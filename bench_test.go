@@ -1,0 +1,265 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation.
+// Each benchmark prints the figure's rows/series once (the same output
+// `ddtbench` produces) and reports a headline metric via testing.B.
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+package spinddt_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"spinddt/internal/apps"
+	"spinddt/internal/core"
+	"spinddt/internal/ddt"
+	"spinddt/internal/experiments"
+)
+
+// paperMsg is the paper's 4 MiB microbenchmark message.
+const paperMsg = int64(4 << 20)
+
+var printOnce sync.Map
+
+// printTable emits a figure's table exactly once per process, so bench
+// output contains every series without repeating it for b.N iterations.
+func printTable(key string, t fmt.Stringer) {
+	if _, loaded := printOnce.LoadOrStore(key, true); !loaded {
+		fmt.Println(t)
+	}
+}
+
+func BenchmarkFig02PutLatency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.Fig02Latency()
+		if err != nil {
+			b.Fatal(err)
+		}
+		printTable("fig02", t)
+	}
+}
+
+func BenchmarkFig08UnpackThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.Fig08Throughput(paperMsg, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printTable("fig08", t)
+	}
+}
+
+func BenchmarkFig09cPULPBandwidth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		printTable("fig09c", experiments.Fig09cPULPBandwidth())
+	}
+}
+
+func BenchmarkFig10PULPvsARM(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		printTable("fig10", experiments.Fig10PULPvsARM())
+	}
+}
+
+func BenchmarkFig11PULPIPC(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		printTable("fig11", experiments.Fig11PULPIPC())
+	}
+}
+
+func BenchmarkFig12HandlerBreakdown(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.Fig12HandlerBreakdown(paperMsg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printTable("fig12", t)
+	}
+}
+
+func BenchmarkFig13Scalability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ta, tb, tc, err := experiments.Fig13Scalability(paperMsg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printTable("fig13a", ta)
+		printTable("fig13b", tb)
+		printTable("fig13c", tc)
+	}
+}
+
+func BenchmarkFig14DMAQueue(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.Fig14DMAQueue(paperMsg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printTable("fig14", t)
+	}
+}
+
+func BenchmarkFig15DMAQueueOverTime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.Fig15DMAQueueOverTime(paperMsg, 16)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printTable("fig15", t)
+	}
+}
+
+// BenchmarkFig16AppSpeedups also covers Figs. 17 and 18, which aggregate
+// the same application sweep.
+func BenchmarkFig16AppSpeedups(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		results, err := experiments.RunApps(apps.All())
+		if err != nil {
+			b.Fatal(err)
+		}
+		printTable("fig16", experiments.Fig16AppSpeedups(results))
+		printTable("fig17", experiments.Fig17Traffic(results))
+		printTable("fig18", experiments.Fig18Amortization(results))
+		best := 0.0
+		for _, r := range results {
+			if r.SpeedupRWCP > best {
+				best = r.SpeedupRWCP
+			}
+			if r.SpeedupSpec > best {
+				best = r.SpeedupSpec
+			}
+		}
+		b.ReportMetric(best, "max-speedup-x")
+	}
+}
+
+func BenchmarkFig19FFT2DScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points, t, err := experiments.Fig19FFT2D(20480, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printTable("fig19", t)
+		b.ReportMetric(points[0].SpeedupPc, "speedup-at-64-nodes-%")
+	}
+}
+
+func BenchmarkAblationEpsilon(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.AblationEpsilon(paperMsg, 512)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printTable("ablation-eps", t)
+	}
+}
+
+func BenchmarkAblationDeltaP(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.AblationDeltaP(paperMsg, 512)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printTable("ablation-dp", t)
+	}
+}
+
+func BenchmarkAblationOutOfOrder(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.AblationOutOfOrder(1<<20, 512)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printTable("ablation-ooo", t)
+	}
+}
+
+func BenchmarkAblationNormalization(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.AblationNormalization()
+		if err != nil {
+			b.Fatal(err)
+		}
+		printTable("ablation-norm", t)
+	}
+}
+
+func BenchmarkAblationSender(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.AblationSender(paperMsg, 512)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printTable("ablation-send", t)
+	}
+}
+
+// --- Component microbenchmarks: the hot paths of the library itself ---
+
+func BenchmarkDDTFlattenVector(b *testing.B) {
+	typ := ddt.MustVector(4096, 16, 32, ddt.Int)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if typ.TotalBlocks(1) != 4096 {
+			b.Fatal("block count")
+		}
+	}
+}
+
+func BenchmarkDDTPackUnpack(b *testing.B) {
+	typ := ddt.MustVector(4096, 16, 32, ddt.Int)
+	_, hi := typ.Footprint(1)
+	src := make([]byte, hi)
+	dst := make([]byte, hi)
+	packed := make([]byte, typ.Size())
+	b.SetBytes(typ.Size())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ddt.PackInto(typ, 1, src, packed); err != nil {
+			b.Fatal(err)
+		}
+		if err := ddt.Unpack(typ, 1, packed, dst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimulationRWCP1MiB(b *testing.B) {
+	typ := ddt.MustVector(2048, 128, 256, ddt.Int) // 512B blocks, 1 MiB
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := core.Run(core.NewRequest(core.RWCP, typ, 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Verified {
+			b.Fatal("not verified")
+		}
+	}
+}
+
+func BenchmarkSimulationSpecialized1MiB(b *testing.B) {
+	typ := ddt.MustVector(2048, 128, 256, ddt.Int)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := core.Run(core.NewRequest(core.Specialized, typ, 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Verified {
+			b.Fatal("not verified")
+		}
+	}
+}
+
+func BenchmarkAblationEndToEnd(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.AblationEndToEnd(1<<20, 512)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printTable("ablation-e2e", t)
+	}
+}

@@ -1,0 +1,122 @@
+// Command spinsim runs a single unpack simulation with explicit parameters
+// and prints the full result: throughput, handler breakdown, NIC memory,
+// DMA statistics and verification status.
+//
+// Example:
+//
+//	spinsim -strategy rwcp -block 256 -msg 1048576 -hpus 16 -ooo 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+
+	"spinddt/internal/core"
+	"spinddt/internal/ddt"
+	"spinddt/internal/fabric"
+	"spinddt/internal/nic"
+)
+
+func main() {
+	strategy := flag.String("strategy", "rwcp", "specialized|rwcp|rocp|hpulocal|host|iovec")
+	block := flag.Int64("block", 512, "vector block size in bytes")
+	stride := flag.Int64("stride", 0, "vector stride in bytes (default 2x block)")
+	msg := flag.Int64("msg", 1<<20, "message size in bytes")
+	hpus := flag.Int("hpus", 16, "number of HPUs")
+	epsilon := flag.Float64("epsilon", 0.2, "checkpoint heuristic tolerance")
+	ooo := flag.Int("ooo", 0, "out-of-order delivery window in packets (0 = in-order)")
+	seed := flag.Int64("seed", 1, "payload and reorder seed")
+	trace := flag.Int("trace", 0, "print the first N NIC pipeline trace events")
+	flag.Parse()
+
+	if err := run(*strategy, *block, *stride, *msg, *hpus, *epsilon, *ooo, *seed, *trace); err != nil {
+		fmt.Fprintln(os.Stderr, "spinsim:", err)
+		os.Exit(1)
+	}
+}
+
+func parseStrategy(s string) (core.Strategy, error) {
+	switch strings.ToLower(s) {
+	case "specialized", "spec":
+		return core.Specialized, nil
+	case "rwcp", "rw-cp":
+		return core.RWCP, nil
+	case "rocp", "ro-cp":
+		return core.ROCP, nil
+	case "hpulocal", "hpu-local":
+		return core.HPULocal, nil
+	case "host":
+		return core.HostUnpack, nil
+	case "iovec", "portals":
+		return core.PortalsIovec, nil
+	default:
+		return 0, fmt.Errorf("unknown strategy %q", s)
+	}
+}
+
+func run(strategyName string, block, stride, msg int64, hpus int, epsilon float64, ooo int, seed int64, trace int) error {
+	strategy, err := parseStrategy(strategyName)
+	if err != nil {
+		return err
+	}
+	if block <= 0 || block%4 != 0 {
+		return fmt.Errorf("block size %d must be a positive multiple of 4", block)
+	}
+	if stride == 0 {
+		stride = 2 * block
+	}
+	count := int(msg / block)
+	typ, err := ddt.NewVector(count, int(block/4), int(stride/4), ddt.Int)
+	if err != nil {
+		return err
+	}
+
+	req := core.NewRequest(strategy, typ, 1)
+	req.NIC.HPUs = hpus
+	req.Epsilon = epsilon
+	req.Seed = seed
+	if trace > 0 {
+		req.NIC.Trace = &nic.Trace{Limit: trace}
+	}
+	if ooo > 0 {
+		n := req.NIC.Fabric.NumPackets(typ.Size())
+		req.Order = fabric.ReorderWindow(n, ooo, rand.New(rand.NewSource(seed)))
+	}
+
+	res, err := core.Run(req)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("strategy            %v\n", res.Strategy)
+	fmt.Printf("message             %d bytes (%d packets, gamma=%.1f)\n",
+		res.MsgBytes, req.NIC.Fabric.NumPackets(res.MsgBytes), res.Gamma)
+	fmt.Printf("processing time     %v\n", res.ProcTime)
+	fmt.Printf("throughput          %.1f Gbit/s\n", res.ThroughputGbps())
+	fmt.Printf("verified            %v\n", res.Verified)
+	if res.NIC.HandlerRuns > 0 {
+		runs := float64(res.NIC.HandlerRuns)
+		b := res.NIC.Handler
+		fmt.Printf("handlers            %d runs, avg init %.0fns setup %.0fns proc %.0fns\n",
+			res.NIC.HandlerRuns, b.Init.Nanoseconds()/runs,
+			b.Setup.Nanoseconds()/runs, b.Processing.Nanoseconds()/runs)
+	}
+	if res.UnpackCPU > 0 {
+		fmt.Printf("host unpack         %v (after %v receive)\n", res.UnpackCPU, res.RecvTime)
+	}
+	fmt.Printf("NIC memory          %d bytes\n", res.NICBytes)
+	if res.Checkpoints > 0 {
+		fmt.Printf("checkpoints         %d (interval %d bytes, dp=%d pkts)\n",
+			res.Checkpoints, res.Interval, res.Choice.DeltaP)
+		fmt.Printf("host prep           %v (%d bytes to NIC)\n", res.Prep.Total(), res.Prep.CopyBytes)
+	}
+	fmt.Printf("DMA                 %d writes, %d wire bytes, peak queue %d\n",
+		res.NIC.DMA.Writes, res.NIC.DMA.WireBytes, res.NIC.DMA.MaxQueueDepth)
+	if req.NIC.Trace != nil {
+		fmt.Printf("\n%s\n%s", req.NIC.Trace.Summary(), req.NIC.Trace)
+	}
+	return nil
+}

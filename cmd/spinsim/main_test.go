@@ -1,0 +1,26 @@
+package main
+
+import "testing"
+
+func TestParseStrategy(t *testing.T) {
+	for _, name := range []string{"specialized", "spec", "rwcp", "RW-CP", "rocp", "hpulocal", "host", "iovec"} {
+		if _, err := parseStrategy(name); err != nil {
+			t.Errorf("%q rejected: %v", name, err)
+		}
+	}
+	if _, err := parseStrategy("bogus"); err == nil {
+		t.Error("bogus strategy accepted")
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	if err := run("rwcp", 256, 0, 1<<16, 8, 0.2, 4, 1, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("host", 512, 1024, 1<<16, 8, 0.2, 0, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("rwcp", 3, 0, 1<<16, 8, 0.2, 0, 1, 0); err == nil {
+		t.Fatal("block size 3 accepted")
+	}
+}

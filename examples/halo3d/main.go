@@ -1,0 +1,70 @@
+// Halo3D: the NAS-MG-style stencil halo exchange of the paper's
+// motivation. A 3D grid exchanges its six faces; depending on the
+// direction, a face is contiguous (x), row-strided (y) or element-strided
+// (z), spanning the whole range of offload-friendliness.
+//
+// Run with: go run ./examples/halo3d
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"spinddt"
+)
+
+const grid = 96 // 96^3 doubles
+
+func face(dim int) *spinddt.Datatype {
+	sizes := []int{grid, grid, grid}
+	sub := []int{grid, grid, grid}
+	sub[dim] = 1
+	typ, err := spinddt.Subarray(sizes, sub, []int{0, 0, 0}, spinddt.Double)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return typ
+}
+
+func main() {
+	faces := []struct {
+		name string
+		typ  *spinddt.Datatype
+	}{
+		{"x-face (one contiguous plane)", face(0)},
+		{"y-face (rows strided by a plane)", face(1)},
+		{"z-face (single elements strided)", face(2)},
+	}
+	strategies := []spinddt.Strategy{
+		spinddt.Specialized, spinddt.RWCP, spinddt.HostUnpack, spinddt.PortalsIovec,
+	}
+
+	fmt.Printf("3D halo exchange, %d^3 doubles, one face = %d KiB\n\n",
+		grid, faces[0].typ.Size()/1024)
+	fmt.Printf("%-34s %8s", "face", "gamma")
+	for _, s := range strategies {
+		fmt.Printf("  %12v", s)
+	}
+	fmt.Println()
+
+	for _, f := range faces {
+		fmt.Printf("%-34s %8.1f", f.name, f.typ.Gamma(1, 2048))
+		var host spinddt.Result
+		for _, s := range strategies {
+			res, err := spinddt.Run(spinddt.NewRequest(s, f.typ, 1))
+			if err != nil {
+				log.Fatal(err)
+			}
+			if s == spinddt.HostUnpack {
+				host = res
+			}
+			fmt.Printf("  %10.1fus", res.ProcTime.Microseconds())
+		}
+		_ = host
+		fmt.Println()
+	}
+
+	fmt.Println("\nContiguous faces gain nothing from offload (plain RDMA already",
+		"\nworks); strided faces gain the most; the element-strided z-face is",
+		"\nthe hard regime where tiny blocks erode every strategy.")
+}

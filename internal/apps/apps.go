@@ -1,0 +1,315 @@
+// Package apps defines the real-application derived datatypes of the
+// paper's Sec. 5.3 (Fig. 16): halo exchanges, transposes and particle
+// exchanges from COMB, FFT2D, LAMMPS, MILC, NAS LU/MG, SPECFEM3D, SW4LITE
+// and WRF. The exact grid sizes of the paper's inputs are not published;
+// each instance here reproduces the documented datatype *structure*
+// (constructor nesting, block-size regime, γ range) at comparable message
+// sizes, which is what determines the offload behaviour.
+package apps
+
+import (
+	"math/rand"
+	"sort"
+
+	"spinddt/internal/ddt"
+)
+
+// Instance is one application datatype configuration: one bar group of
+// Fig. 16.
+type Instance struct {
+	// App is the application label (e.g. "NAS-LU").
+	App string
+	// Input labels the size configuration ("a", "b", ...).
+	Input string
+	// TypeDesc is the paper's constructor description (e.g.
+	// "vector(vector)").
+	TypeDesc string
+	// Type and Count define the received message.
+	Type  *ddt.Type
+	Count int
+}
+
+// MsgBytes returns the packed message size.
+func (in Instance) MsgBytes() int64 { return in.Type.Size() * int64(in.Count) }
+
+// Name returns "App/input".
+func (in Instance) Name() string { return in.App + "/" + in.Input }
+
+func inputLabel(i int) string { return string(rune('a' + i)) }
+
+// COMB: n-dimensional array face exchanges expressed as subarrays. The
+// first two inputs fit in a single packet (the paper notes offload brings
+// no speedup there); the larger ones exchange faces of bigger grids.
+func COMB() []Instance {
+	type cfg struct {
+		n    int
+		face int // dimension with extent 1
+	}
+	cfgs := []cfg{{16, 1}, {16, 0}, {96, 1}, {64, 2}}
+	var out []Instance
+	for i, c := range cfgs {
+		sizes := []int{c.n, c.n, c.n}
+		sub := []int{c.n, c.n, c.n}
+		sub[c.face] = 1
+		starts := []int{0, 0, 0}
+		typ := ddt.MustSubarray(sizes, sub, starts, ddt.Double)
+		out = append(out, Instance{
+			App: "COMB", Input: inputLabel(i), TypeDesc: "subarray",
+			Type: typ, Count: 1,
+		})
+	}
+	return out
+}
+
+// FFT2D: the transpose receive datatype of the row-column 2D FFT (Hoefler &
+// Gottlieb): each peer's contribution is a block of columns of the local
+// row panel — contiguous(vector).
+func FFT2D() []Instance {
+	var out []Instance
+	for i, n := range []int{2048, 4096, 8192, 16384} {
+		p := 32 // communicator size
+		rows := n / p
+		cols := n / p
+		inner := ddt.MustVector(rows, cols, n, ddt.Double)
+		typ := ddt.MustContiguous(1, inner)
+		out = append(out, Instance{
+			App: "FFT2D", Input: inputLabel(i), TypeDesc: "contiguous(vector)",
+			Type: typ, Count: 1,
+		})
+	}
+	return out
+}
+
+// lammpsDispls builds sorted, non-overlapping atom indices.
+func lammpsDispls(rng *rand.Rand, atoms, spacing int) []int {
+	displs := make([]int, atoms)
+	pos := 0
+	for i := range displs {
+		pos += 1 + rng.Intn(spacing)
+		displs[i] = pos
+	}
+	sort.Ints(displs)
+	return displs
+}
+
+// LAMMPS: exchange of per-atom positions (3 doubles) at irregular indices
+// — an indexed datatype with varying block lengths (ghost atoms may carry
+// velocity too).
+func LAMMPS() []Instance {
+	var out []Instance
+	for i, atoms := range []int{2048, 8192, 32768} {
+		rng := rand.New(rand.NewSource(int64(100 + i)))
+		base := ddt.MustContiguous(3, ddt.Double) // x, y, z
+		blockLens := make([]int, atoms)
+		displs := make([]int, atoms)
+		pos := 0
+		for j := range blockLens {
+			blockLens[j] = 1 + rng.Intn(2) // 1 or 2 property sets
+			displs[j] = pos
+			pos += blockLens[j] + rng.Intn(3) // gap keeps blocks disjoint
+		}
+		typ := ddt.MustIndexed(blockLens, displs, base)
+		out = append(out, Instance{
+			App: "LAMMPS", Input: inputLabel(i), TypeDesc: "indexed",
+			Type: typ, Count: 1,
+		})
+	}
+	return out
+}
+
+// LAMMPSFull: the full-properties variant — fixed-size per-atom records
+// (position, velocity, forces: 8 doubles) at irregular indices, an
+// indexed_block datatype.
+func LAMMPSFull() []Instance {
+	var out []Instance
+	for i, atoms := range []int{2048, 8192, 32768} {
+		rng := rand.New(rand.NewSource(int64(200 + i)))
+		base := ddt.MustContiguous(8, ddt.Double)
+		displs := lammpsDispls(rng, atoms, 2)
+		typ := ddt.MustIndexedBlock(1, displs, base)
+		out = append(out, Instance{
+			App: "LAMMPS-F", Input: inputLabel(i), TypeDesc: "indexed_block",
+			Type: typ, Count: 1,
+		})
+	}
+	return out
+}
+
+// MILC: lattice QCD 4D halo exchange — a vector of vectors over the L^4
+// site lattice (48 B su3 sites). Fixing the third coordinate yields L runs
+// of L contiguous sites per plane, L planes per face.
+func MILC() []Instance {
+	var out []Instance
+	for i, l := range []int{8, 12, 16} {
+		site := ddt.MustContiguous(6, ddt.Double) // 3 complex doubles
+		run := ddt.MustContiguous(l, site)        // L contiguous sites
+		siteB := site.Size()
+		inner := ddt.MustHVector(l, 1, int64(l*l)*siteB, run)   // runs in a plane
+		typ := ddt.MustHVector(l, 1, int64(l*l*l)*siteB, inner) // planes in the face
+		out = append(out, Instance{
+			App: "MILC", Input: inputLabel(i), TypeDesc: "vector(vector)",
+			Type: typ, Count: 1,
+		})
+	}
+	return out
+}
+
+// NASLU: the LU solver exchanges faces built from 5-double unknowns
+// (Fig. 3): 40 B blocks with a regular stride.
+func NASLU() []Instance {
+	var out []Instance
+	for i, n := range []int{24, 48, 64, 96} {
+		typ := ddt.MustVector(n*n, 5, 10, ddt.Double)
+		out = append(out, Instance{
+			App: "NAS-LU", Input: inputLabel(i), TypeDesc: "vector",
+			Type: typ, Count: 1,
+		})
+	}
+	return out
+}
+
+// NASMG: the multigrid solver communicates faces of a 3D array: single
+// doubles strided by the row length.
+func NASMG() []Instance {
+	var out []Instance
+	for i, n := range []int{32, 64, 128, 256} {
+		typ := ddt.MustVector(n*n, 1, n, ddt.Double)
+		out = append(out, Instance{
+			App: "NAS-MG", Input: inputLabel(i), TypeDesc: "vector",
+			Type: typ, Count: 1,
+		})
+	}
+	return out
+}
+
+// SPECFEM3D crust-mantle: mesh-boundary points with a few values each —
+// indexed_block with moderate blocks.
+func SPECCM() []Instance {
+	var out []Instance
+	for i, points := range []int{1024, 4096, 16384, 65536} {
+		rng := rand.New(rand.NewSource(int64(300 + i)))
+		displs := lammpsDispls(rng, points, 4)
+		typ := ddt.MustIndexedBlock(25, scale(displs, 25), ddt.Float)
+		out = append(out, Instance{
+			App: "SPEC-CM", Input: inputLabel(i), TypeDesc: "index_block",
+			Type: typ, Count: 1,
+		})
+	}
+	return out
+}
+
+// SPECOC: the ocean variant exchanges single floats per mesh point — the
+// paper's extreme case with γ=512 blocks per packet, where offload loses.
+func SPECOC() []Instance {
+	var out []Instance
+	for i, points := range []int{16384, 65536, 131072, 262144} {
+		rng := rand.New(rand.NewSource(int64(400 + i)))
+		// Gaps of at least one element keep every float its own region,
+		// preserving the paper's γ=512 regime.
+		displs := make([]int, points)
+		pos := 0
+		for j := range displs {
+			displs[j] = pos
+			pos += 2 + rng.Intn(2)
+		}
+		typ := ddt.MustIndexedBlock(1, displs, ddt.Float)
+		out = append(out, Instance{
+			App: "SPEC-OC", Input: inputLabel(i), TypeDesc: "index_block",
+			Type: typ, Count: 1,
+		})
+	}
+	return out
+}
+
+// SW4X: seismic-wave ghost exchange along x — tiny 8 B blocks, the
+// host-favourable regime.
+func SW4X() []Instance {
+	var out []Instance
+	for i, n := range []int{128, 192, 256} {
+		typ := ddt.MustVector(n*n, 1, 4, ddt.Double)
+		out = append(out, Instance{
+			App: "SW4LITE-X", Input: inputLabel(i), TypeDesc: "vector",
+			Type: typ, Count: 1,
+		})
+	}
+	return out
+}
+
+// SW4Y: the y-direction exchange moves whole grid rows — 2 KiB blocks.
+func SW4Y() []Instance {
+	var out []Instance
+	for i, n := range []int{128, 192, 256} {
+		typ := ddt.MustVector(n, n, 4*n, ddt.Double)
+		out = append(out, Instance{
+			App: "SW4LITE-Y", Input: inputLabel(i), TypeDesc: "vector",
+			Type: typ, Count: 1,
+		})
+	}
+	return out
+}
+
+// wrfHalo builds WRF's struct-of-subarrays halo: several 3D variables
+// exchanged together in one struct.
+func wrfHalo(nz, ny, nx, width int, yDirection bool) *ddt.Type {
+	sizes := []int{nz, ny, nx}
+	sub := []int{nz, ny, width}
+	if yDirection {
+		sub = []int{nz, width, nx}
+	}
+	starts := []int{0, 0, 0}
+	va, _ := ddt.NewSubarray(sizes, sub, starts, ddt.Float)
+	vb, _ := ddt.NewSubarray(sizes, sub, starts, ddt.Float)
+	arrayBytes := int64(nz*ny*nx) * 4
+	typ, _ := ddt.NewStruct(
+		[]int{1, 1},
+		[]int64{0, arrayBytes},
+		[]*ddt.Type{va, vb},
+	)
+	return typ
+}
+
+// WRFX: x-direction halos cut across rows — width*4 B blocks.
+func WRFX() []Instance {
+	var out []Instance
+	for i, n := range []int{32, 48, 64, 96} {
+		typ := wrfHalo(n/2, n, n, 4, false)
+		out = append(out, Instance{
+			App: "WRF-X", Input: inputLabel(i), TypeDesc: "struct(subarray)",
+			Type: typ, Count: 1,
+		})
+	}
+	return out
+}
+
+// WRFY: y-direction halos move contiguous row runs — nx*4 B blocks.
+func WRFY() []Instance {
+	var out []Instance
+	for i, n := range []int{32, 48, 64, 96} {
+		typ := wrfHalo(n/2, n, n, 4, true)
+		out = append(out, Instance{
+			App: "WRF-Y", Input: inputLabel(i), TypeDesc: "struct(subarray)",
+			Type: typ, Count: 1,
+		})
+	}
+	return out
+}
+
+func scale(xs []int, k int) []int {
+	out := make([]int, len(xs))
+	for i, x := range xs {
+		out[i] = x * k
+	}
+	return out
+}
+
+// All returns every application instance, the full Fig. 16 sweep.
+func All() []Instance {
+	var out []Instance
+	for _, f := range []func() []Instance{
+		COMB, FFT2D, LAMMPS, LAMMPSFull, MILC, NASLU, NASMG,
+		SPECCM, SPECOC, SW4X, SW4Y, WRFX, WRFY,
+	} {
+		out = append(out, f()...)
+	}
+	return out
+}

@@ -1,0 +1,158 @@
+package apps
+
+import (
+	"testing"
+
+	"spinddt/internal/core"
+	"spinddt/internal/ddt"
+)
+
+func TestAllInstancesWellFormed(t *testing.T) {
+	all := All()
+	if len(all) < 40 {
+		t.Fatalf("only %d instances; Fig. 16 has 13 apps x 3-4 inputs", len(all))
+	}
+	seen := map[string]bool{}
+	appCount := map[string]int{}
+	for _, in := range all {
+		if seen[in.Name()] {
+			t.Fatalf("duplicate instance %s", in.Name())
+		}
+		seen[in.Name()] = true
+		appCount[in.App]++
+		if in.MsgBytes() <= 0 {
+			t.Fatalf("%s: empty message", in.Name())
+		}
+		if in.MsgBytes() > 8<<20 {
+			t.Fatalf("%s: message %d bytes too large for the harness", in.Name(), in.MsgBytes())
+		}
+		lo, _ := in.Type.Footprint(in.Count)
+		if lo < 0 {
+			t.Fatalf("%s: negative lower bound", in.Name())
+		}
+		if in.TypeDesc == "" {
+			t.Fatalf("%s: missing type description", in.Name())
+		}
+	}
+	for _, app := range []string{"COMB", "FFT2D", "LAMMPS", "LAMMPS-F", "MILC",
+		"NAS-LU", "NAS-MG", "SPEC-CM", "SPEC-OC", "SW4LITE-X", "SW4LITE-Y", "WRF-X", "WRF-Y"} {
+		if appCount[app] < 3 {
+			t.Errorf("%s has %d inputs, want >= 3", app, appCount[app])
+		}
+	}
+}
+
+func TestInstancesAreNonOverlapping(t *testing.T) {
+	// MPI receive datatypes must not have overlapping entries; concurrent
+	// handlers rely on it.
+	for _, in := range All() {
+		last := int64(-1)
+		ok := true
+		in.Type.ForEachBlock(in.Count, func(off, size int64) {
+			if off < last {
+				ok = false
+			}
+			if off+size > last {
+				last = off + size
+			}
+		})
+		if !ok {
+			t.Errorf("%s: overlapping or non-monotone typemap", in.Name())
+		}
+	}
+}
+
+func TestCOMBSmallInputsFitOnePacket(t *testing.T) {
+	combs := COMB()
+	for _, in := range combs[:2] {
+		if in.MsgBytes() > 2048 {
+			t.Errorf("%s: %d bytes, must fit one packet", in.Name(), in.MsgBytes())
+		}
+	}
+	for _, in := range combs[2:] {
+		if in.MsgBytes() <= 2048 {
+			t.Errorf("%s: %d bytes, should span many packets", in.Name(), in.MsgBytes())
+		}
+	}
+}
+
+func TestSPECOCHasExtremeGamma(t *testing.T) {
+	for _, in := range SPECOC() {
+		gamma := in.Type.Gamma(in.Count, 2048)
+		if gamma < 300 {
+			t.Errorf("%s: gamma = %.0f, want the paper's ~512-block regime", in.Name(), gamma)
+		}
+	}
+}
+
+func TestSW4RegimesDiffer(t *testing.T) {
+	x := SW4X()[0].Type.Gamma(1, 2048)
+	y := SW4Y()[0].Type.Gamma(1, 2048)
+	if x < 50*y {
+		t.Fatalf("SW4 x-gamma (%.1f) should dwarf y-gamma (%.1f)", x, y)
+	}
+}
+
+func TestNASLUBlockSize(t *testing.T) {
+	typ := NASLU()[0].Type
+	if typ.MinBlock() != 40 || typ.MaxBlock() != 40 {
+		t.Fatalf("NAS-LU blocks are %d-%d bytes, want 40 (5 doubles)",
+			typ.MinBlock(), typ.MaxBlock())
+	}
+}
+
+func TestWRFStructure(t *testing.T) {
+	in := WRFX()[0]
+	if in.Type.Kind() != ddt.KindStruct {
+		t.Fatalf("WRF type kind = %v", in.Type.Kind())
+	}
+	if len(in.Type.Children()) != 2 {
+		t.Fatalf("WRF struct has %d members", len(in.Type.Children()))
+	}
+	for _, c := range in.Type.Children() {
+		if c.Kind() != ddt.KindSubarray {
+			t.Fatalf("WRF member kind = %v", c.Kind())
+		}
+	}
+}
+
+// TestRepresentativeInstancesVerify runs one instance per app through the
+// full RW-CP simulation and checks byte-exact unpacking.
+func TestRepresentativeInstancesVerify(t *testing.T) {
+	byApp := map[string]Instance{}
+	for _, in := range All() {
+		if _, ok := byApp[in.App]; !ok {
+			byApp[in.App] = in // smallest input of each app
+		}
+	}
+	for _, in := range byApp {
+		req := core.NewRequest(core.RWCP, in.Type, in.Count)
+		res, err := core.Run(req)
+		if err != nil {
+			t.Fatalf("%s: %v", in.Name(), err)
+		}
+		if !res.Verified {
+			t.Fatalf("%s: not verified", in.Name())
+		}
+	}
+}
+
+func TestGammaSpansRegimes(t *testing.T) {
+	var lo, hi float64
+	lo = 1e18
+	for _, in := range All() {
+		g := in.Type.Gamma(in.Count, 2048)
+		if g < lo {
+			lo = g
+		}
+		if g > hi {
+			hi = g
+		}
+	}
+	if lo > 1 {
+		t.Errorf("no low-gamma instance (min %.2f)", lo)
+	}
+	if hi < 256 {
+		t.Errorf("no high-gamma instance (max %.2f)", hi)
+	}
+}

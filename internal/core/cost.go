@@ -1,0 +1,78 @@
+// Package core implements the paper's contribution: NIC-offloaded
+// processing of MPI derived datatypes on sPIN. It provides the specialized
+// handlers of Sec. 3.2.3 (O(1) vector arithmetic and offset-list handlers
+// with binary search), the three general MPITypes-based strategies of
+// Sec. 3.2.4 (HPU-local, RO-CP read-only checkpoints, RW-CP progressing
+// checkpoints), the checkpoint-interval selection heuristic, the host-unpack
+// and Portals-4 iovec baselines, and the end-to-end experiment runner that
+// ties them to the NIC model.
+package core
+
+import "spinddt/internal/sim"
+
+// CostModel holds the calibrated HPU cost constants for handler execution
+// on the simulated ARM Cortex-A15 HPUs @800 MHz (paper Sec. 5.1). The
+// defaults are fitted so the shapes of Figs. 8, 12 and 13 hold: the
+// specialized handler reaches line rate at 64 B blocks with 16 HPUs, RW-CP
+// handlers run about 2x slower than specialized ones, RO-CP pays a
+// checkpoint copy on every packet, and HPU-local pays a (P-1)-packet
+// catch-up.
+type CostModel struct {
+	// SpecInit is the specialized handler's startup cost (T_init).
+	SpecInit sim.Time
+	// SpecPerBlock is the specialized handler's per-region cost: offset
+	// computation plus DMA descriptor issue.
+	SpecPerBlock sim.Time
+	// SpecBinSearchStep is the offset-list handler's cost per binary search
+	// level.
+	SpecBinSearchStep sim.Time
+
+	// GenInit is the general handler's startup cost (argument preparation).
+	GenInit sim.Time
+	// GenSetup is the MPITypes processing-function startup (T_setup
+	// before the catch-up term).
+	GenSetup sim.Time
+	// GenPerRegion is the general handler's cost per emitted contiguous
+	// region (dataloop navigation plus DMA issue); about 2x SpecPerBlock.
+	GenPerRegion sim.Time
+	// GenWalkPerBlock is the cost per region walked during catch-up (no
+	// DMA issue, but full dataloop navigation and stack maintenance).
+	GenWalkPerBlock sim.Time
+
+	// CopyPerByteNs is the HPU cost of copying segment state in NIC
+	// memory, in nanoseconds per byte (RO-CP local copies, RW-CP reverts).
+	CopyPerByteNs float64
+
+	// CompletionTime is the completion handler's runtime.
+	CompletionTime sim.Time
+}
+
+// DefaultCostModel returns the calibrated constants.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		SpecInit:          40 * sim.Nanosecond,
+		SpecPerBlock:      38 * sim.Nanosecond,
+		SpecBinSearchStep: 8 * sim.Nanosecond,
+		GenInit:           40 * sim.Nanosecond,
+		GenSetup:          60 * sim.Nanosecond,
+		GenPerRegion:      76 * sim.Nanosecond,
+		GenWalkPerBlock:   60 * sim.Nanosecond,
+		CopyPerByteNs:     0.5,
+		CompletionTime:    50 * sim.Nanosecond,
+	}
+}
+
+// CopyTime returns the HPU time to copy n bytes of segment state.
+func (c CostModel) CopyTime(n int64) sim.Time {
+	return sim.FromNanoseconds(c.CopyPerByteNs * float64(n))
+}
+
+// times scales a duration by an operation count.
+func times(n int64, d sim.Time) sim.Time { return sim.Time(n) * d }
+
+// GeneralHandlerTime is the paper's T_PH(γ) model for the general payload
+// handler: T_init + T_setup + γ·T_block. The heuristic uses it to estimate
+// handler runtime before any packet arrives.
+func (c CostModel) GeneralHandlerTime(gamma float64) sim.Time {
+	return c.GenInit + c.GenSetup + sim.FromNanoseconds(gamma*c.GenPerRegion.Nanoseconds())
+}

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"fmt"
+
+	"spinddt/internal/dataloop"
+	"spinddt/internal/spin"
+)
+
+// hpuLocalState implements the HPU-local strategy (Sec. 3.2.4): every vHPU
+// owns a private MPITypes segment, eliminating write conflicts without
+// synchronization. Under blocked-RR with Δp=1 and one vHPU per physical
+// HPU, each vHPU sees every P-th packet and pays a (P-1)-packet catch-up
+// per handler; an out-of-order packet behind the segment position resets
+// the segment to its initial state.
+type hpuLocalState struct {
+	cost CostModel
+	loop *dataloop.Dataloop
+	segs map[int]*dataloop.Segment
+}
+
+func newHPULocalState(cost CostModel, loop *dataloop.Dataloop) *hpuLocalState {
+	return &hpuLocalState{cost: cost, loop: loop, segs: make(map[int]*dataloop.Segment)}
+}
+
+// NICBytes: the dataloop description plus one segment per vHPU.
+func (h *hpuLocalState) NICBytes(vhpus int) int64 {
+	seg := dataloop.NewSegment(h.loop)
+	return h.loop.EncodedSize() + int64(vhpus)*seg.EncodedSize()
+}
+
+func (h *hpuLocalState) payload(a *spin.HandlerArgs) spin.Result {
+	seg := h.segs[a.VHPU]
+	if seg == nil {
+		seg = dataloop.NewSegment(h.loop)
+		h.segs[a.VHPU] = seg
+	}
+	st, err := seg.Process(a.StreamOff, a.StreamOff+int64(len(a.Payload)),
+		func(memOff, streamOff, size int64) {
+			rel := streamOff - a.StreamOff
+			a.DMA.Write(memOff, a.Payload[rel:rel+size], spin.NoEvent)
+		})
+	if err != nil {
+		return spin.Result{Err: fmt.Errorf("hpu-local: %w", err)}
+	}
+	b := spin.Breakdown{
+		Init:       h.cost.GenInit,
+		Setup:      h.cost.GenSetup + times(st.CatchupBlocks, h.cost.GenWalkPerBlock),
+		Processing: times(st.EmitRegions, h.cost.GenPerRegion),
+	}
+	return spin.Result{Runtime: b.Total(), Breakdown: b}
+}
+
+// rocpState implements RO-CP, read-only checkpoints (Sec. 3.2.4): the host
+// snapshots the segment every Δr bytes; every handler clones the closest
+// checkpoint, catches up to its packet (bounded by Δr) and processes
+// without writing shared state back, so any packet can run on any HPU in
+// parallel.
+type rocpState struct {
+	cost  CostModel
+	ckpts *dataloop.CheckpointSet
+}
+
+func (r *rocpState) payload(a *spin.HandlerArgs) spin.Result {
+	i := r.ckpts.Index(a.StreamOff)
+	w := r.ckpts.Working(i) // local copy of the checkpoint
+	st, err := w.Process(a.StreamOff, a.StreamOff+int64(len(a.Payload)),
+		func(memOff, streamOff, size int64) {
+			rel := streamOff - a.StreamOff
+			a.DMA.Write(memOff, a.Payload[rel:rel+size], spin.NoEvent)
+		})
+	if err != nil {
+		return spin.Result{Err: fmt.Errorf("ro-cp: %w", err)}
+	}
+	b := spin.Breakdown{
+		Init:       r.cost.GenInit + r.cost.CopyTime(w.EncodedSize()),
+		Setup:      r.cost.GenSetup + times(st.CatchupBlocks, r.cost.GenWalkPerBlock),
+		Processing: times(st.EmitRegions, r.cost.GenPerRegion),
+	}
+	return spin.Result{Runtime: b.Total(), Breakdown: b}
+}
+
+// rwcpState implements RW-CP, progressing checkpoints (Sec. 3.2.4): each
+// checkpoint is exclusively owned by the vHPU processing its packet
+// sequence (blocked-RR with Δp = Δr/k), so in-order packets continue the
+// checkpoint state with no copy and no catch-up. A master copy of every
+// checkpoint allows reverting when an out-of-order packet arrives behind
+// the progressed state.
+type rwcpState struct {
+	cost    CostModel
+	ckpts   *dataloop.CheckpointSet
+	working map[int]*dataloop.Segment
+}
+
+func newRWCPState(cost CostModel, ckpts *dataloop.CheckpointSet) *rwcpState {
+	return &rwcpState{cost: cost, ckpts: ckpts, working: make(map[int]*dataloop.Segment)}
+}
+
+func (r *rwcpState) payload(a *spin.HandlerArgs) spin.Result {
+	i := r.ckpts.Index(a.StreamOff)
+	w := r.working[i]
+	init := r.cost.GenInit
+	if w == nil {
+		// First packet of the sequence: the vHPU takes ownership of the
+		// checkpoint (no copy; the master stays pristine for reverts).
+		w = r.ckpts.Working(i)
+		r.working[i] = w
+	}
+	if w.Pos() > a.StreamOff {
+		// Out-of-order within the sequence: revert to the master.
+		w.CopyFrom(r.ckpts.Master(i))
+		init += r.cost.CopyTime(w.EncodedSize())
+	}
+	st, err := w.Process(a.StreamOff, a.StreamOff+int64(len(a.Payload)),
+		func(memOff, streamOff, size int64) {
+			rel := streamOff - a.StreamOff
+			a.DMA.Write(memOff, a.Payload[rel:rel+size], spin.NoEvent)
+		})
+	if err != nil {
+		return spin.Result{Err: fmt.Errorf("rw-cp: %w", err)}
+	}
+	b := spin.Breakdown{
+		Init:       init,
+		Setup:      r.cost.GenSetup + times(st.CatchupBlocks, r.cost.GenWalkPerBlock),
+		Processing: times(st.EmitRegions, r.cost.GenPerRegion),
+	}
+	return spin.Result{Runtime: b.Total(), Breakdown: b}
+}

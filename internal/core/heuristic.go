@@ -1,0 +1,127 @@
+package core
+
+import (
+	"spinddt/internal/sim"
+)
+
+// IntervalChoice reports the checkpoint-interval selection of Sec. 3.2.4:
+// the largest Δr whose blocked-RR scheduling dependency costs at most an ε
+// fraction of the packet processing time, pushed up if the resulting
+// checkpoints would not fit the NIC memory budget.
+type IntervalChoice struct {
+	// IntervalBytes is the selected Δr (a multiple of the packet size).
+	IntervalBytes int64
+	// DeltaP is the blocked-RR sequence length in packets (⌈Δr/k⌉).
+	DeltaP int
+	// Checkpoints is the number of checkpoints the interval implies.
+	Checkpoints int
+	// EpsilonPackets is the Δp upper bound derived from the ε constraint.
+	EpsilonPackets int
+	// MemFloorBytes is the Δr lower bound from the NIC memory budget.
+	MemFloorBytes int64
+	// EpsilonSatisfied reports whether the memory floor allowed staying
+	// within the ε overhead target.
+	EpsilonSatisfied bool
+	// PktBufOK reports the packet-buffer constraint
+	// min(T_PH·k/T_pkt, Δr) <= B_pkt.
+	PktBufOK bool
+}
+
+// IntervalParams are the inputs of the heuristic.
+type IntervalParams struct {
+	MsgBytes int64
+	PktBytes int64
+	HPUs     int
+	// TPH is the estimated general-handler runtime at the datatype's γ.
+	TPH sim.Time
+	// TPkt is the packet arrival interval at line rate.
+	TPkt sim.Time
+	// Epsilon is the tolerated scheduling-overhead fraction (paper: 0.2).
+	Epsilon float64
+	// CheckpointBytes is the size of one checkpoint (C).
+	CheckpointBytes int64
+	// NICMemBudget is the NIC memory available for checkpoints.
+	NICMemBudget int64
+	// PktBufBytes is the NIC packet buffer size (B_pkt).
+	PktBufBytes int64
+}
+
+// SelectInterval computes the checkpoint interval for RW-CP.
+func SelectInterval(p IntervalParams) IntervalChoice {
+	k := p.PktBytes
+	npkt := (p.MsgBytes + k - 1) / k
+	perHPU := (npkt + int64(p.HPUs) - 1) / int64(p.HPUs)
+
+	// Constraint 1: Tpkt + ⌈Δr/k⌉·(P-1)·Tpkt <= ε·⌈npkt/P⌉·T_PH(γ).
+	// Solved for Δp = ⌈Δr/k⌉.
+	var epsPkts int64
+	if p.HPUs <= 1 {
+		// A single HPU serializes everything anyway: no scheduling
+		// dependency, one checkpoint per HPU-share is enough.
+		epsPkts = npkt
+	} else {
+		budget := p.Epsilon*float64(perHPU)*p.TPH.Seconds() - p.TPkt.Seconds()
+		if budget <= 0 {
+			epsPkts = 1
+		} else {
+			epsPkts = int64(budget / (float64(p.HPUs-1) * p.TPkt.Seconds()))
+			if epsPkts < 1 {
+				epsPkts = 1
+			}
+		}
+	}
+	if epsPkts > npkt {
+		epsPkts = npkt
+	}
+
+	// Constraint 2: (npkt·k/Δr)·C <= M_NIC. Solved exactly in integers:
+	// at most ⌊M_NIC/C⌋ checkpoints may exist, so the interval must be at
+	// least ⌈msg/maxCkpts⌉ (rounding the interval up to whole packets only
+	// reduces the checkpoint count further).
+	var memFloor int64
+	if p.NICMemBudget > 0 && p.CheckpointBytes > 0 {
+		maxCkpts := p.NICMemBudget / p.CheckpointBytes
+		if maxCkpts < 1 {
+			maxCkpts = 1
+		}
+		memFloor = (p.MsgBytes + maxCkpts - 1) / maxCkpts
+	}
+
+	deltaP := epsPkts
+	// The T_C model assumes at least P sequences so all HPUs saturate;
+	// cap Δp to keep one sequence per HPU available.
+	if p.HPUs > 1 {
+		if maxSeq := npkt / int64(p.HPUs); maxSeq >= 1 && deltaP > maxSeq {
+			deltaP = maxSeq
+		}
+	}
+	epsOK := true
+	if memFloorPkts := (memFloor + k - 1) / k; memFloorPkts > deltaP {
+		deltaP = memFloorPkts
+		epsOK = false
+	}
+	if deltaP < 1 {
+		deltaP = 1
+	}
+	if deltaP > npkt {
+		deltaP = npkt
+	}
+	interval := deltaP * k
+	checkpoints := int((p.MsgBytes + interval - 1) / interval)
+
+	// Constraint 3: packets buffered during the scheduling dependency fit.
+	buffered := int64(p.TPH.Seconds() / p.TPkt.Seconds() * float64(k))
+	if interval < buffered {
+		buffered = interval
+	}
+
+	return IntervalChoice{
+		IntervalBytes:    interval,
+		DeltaP:           int(deltaP),
+		Checkpoints:      checkpoints,
+		EpsilonPackets:   int(epsPkts),
+		MemFloorBytes:    memFloor,
+		EpsilonSatisfied: epsOK,
+		PktBufOK:         p.PktBufBytes <= 0 || buffered <= p.PktBufBytes,
+	}
+}

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"spinddt/internal/sim"
+)
+
+// Property-based tests on the checkpoint-interval heuristic.
+
+func quickParams(msgKiB, hpus, tphUs uint8, epsPct uint8) IntervalParams {
+	return IntervalParams{
+		MsgBytes:        (int64(msgKiB%200) + 4) * 1024,
+		PktBytes:        2048,
+		HPUs:            int(hpus%32) + 1,
+		TPH:             sim.Time(int64(tphUs%50)+1) * sim.Microsecond,
+		TPkt:            sim.FromNanoseconds(81.92),
+		Epsilon:         float64(epsPct%80+5) / 100,
+		CheckpointBytes: 612,
+		NICMemBudget:    1 << 20,
+		PktBufBytes:     1 << 20,
+	}
+}
+
+func TestQuickIntervalWellFormed(t *testing.T) {
+	f := func(msgKiB, hpus, tphUs, epsPct uint8) bool {
+		p := quickParams(msgKiB, hpus, tphUs, epsPct)
+		c := SelectInterval(p)
+		npkt := (p.MsgBytes + p.PktBytes - 1) / p.PktBytes
+		if c.IntervalBytes <= 0 || c.IntervalBytes%p.PktBytes != 0 {
+			return false
+		}
+		if c.DeltaP < 1 || int64(c.DeltaP) > npkt {
+			return false
+		}
+		if c.Checkpoints < 1 {
+			return false
+		}
+		// The interval implies exactly the reported checkpoint count.
+		return int64(c.Checkpoints) == (p.MsgBytes+c.IntervalBytes-1)/c.IntervalBytes
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickIntervalRespectsMemoryBudget(t *testing.T) {
+	f := func(msgKiB, hpus, tphUs, epsPct uint8, budgetKiB uint8) bool {
+		p := quickParams(msgKiB, hpus, tphUs, epsPct)
+		p.NICMemBudget = (int64(budgetKiB%64) + 1) * 1024
+		c := SelectInterval(p)
+		need := int64(c.Checkpoints) * p.CheckpointBytes
+		// The budget holds exactly whenever it is satisfiable at all (a
+		// single checkpoint is the irreducible minimum).
+		if p.CheckpointBytes > p.NICMemBudget {
+			return c.Checkpoints == 1
+		}
+		return need <= p.NICMemBudget
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickIntervalMonotoneInEpsilon(t *testing.T) {
+	// A larger tolerance never produces a smaller interval.
+	f := func(msgKiB, hpus, tphUs uint8) bool {
+		p1 := quickParams(msgKiB, hpus, tphUs, 5)
+		p2 := p1
+		p1.Epsilon = 0.1
+		p2.Epsilon = 0.6
+		return SelectInterval(p2).IntervalBytes >= SelectInterval(p1).IntervalBytes
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickIntervalMonotoneInHandlerTime(t *testing.T) {
+	// Slower handlers tolerate longer sequences: interval grows with TPH.
+	f := func(msgKiB, hpus uint8) bool {
+		p1 := quickParams(msgKiB, hpus, 2, 20)
+		p2 := p1
+		p2.TPH = p1.TPH * 8
+		return SelectInterval(p2).IntervalBytes >= SelectInterval(p1).IntervalBytes
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickVectorHandlerOffsets(t *testing.T) {
+	// The specialized vector handler's O(1) offset arithmetic must agree
+	// with the typemap for every block geometry and packet boundary.
+	f := func(blkPow, cnt uint8) bool {
+		blockInts := 1 << (blkPow % 8) // 4B..512B blocks
+		count := int(cnt%64) + 2
+		typ := fig8Vector(int64(blockInts)*4, int64(blockInts)*4*int64(count))
+		req := NewRequest(Specialized, typ, 1)
+		res, err := Run(req)
+		return err == nil && res.Verified
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

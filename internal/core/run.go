@@ -1,0 +1,225 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+
+	"spinddt/internal/ddt"
+	"spinddt/internal/hostcpu"
+	"spinddt/internal/nic"
+	"spinddt/internal/portals"
+	"spinddt/internal/sim"
+)
+
+// Request describes one unpack experiment: a datatype arriving as a packed
+// message, processed by one strategy.
+type Request struct {
+	Strategy Strategy
+	Type     *ddt.Type
+	Count    int
+
+	NIC  nic.Config
+	Cost CostModel
+	Host hostcpu.Config
+
+	// Epsilon is the checkpoint heuristic tolerance.
+	Epsilon float64
+	// PktBufBytes feeds the heuristic's packet-buffer check (0 = off).
+	PktBufBytes int64
+	// ForceIntervalBytes overrides the checkpoint interval (ablations).
+	ForceIntervalBytes int64
+	// DisableNormalization skips datatype normalization (ablations).
+	DisableNormalization bool
+	// Order permutes packet delivery (nil = in-order).
+	Order []int
+	// Verify compares the receive buffer against the reference unpack
+	// byte-for-byte after the simulation.
+	Verify bool
+	// Seed generates the synthetic message payload.
+	Seed int64
+}
+
+// NewRequest returns a Request with the paper's default configuration.
+func NewRequest(s Strategy, typ *ddt.Type, count int) Request {
+	return Request{
+		Strategy: s,
+		Type:     typ,
+		Count:    count,
+		NIC:      nic.DefaultConfig(),
+		Cost:     DefaultCostModel(),
+		Host:     hostcpu.DefaultConfig(),
+		Epsilon:  0.2,
+		Verify:   true,
+		Seed:     1,
+	}
+}
+
+// Result reports one unpack experiment.
+type Result struct {
+	Strategy Strategy
+	MsgBytes int64
+	// Gamma is the average number of contiguous regions per packet.
+	Gamma float64
+	// ProcTime is the message processing time: first byte on the wire to
+	// last byte in the receive buffer (plus CPU unpack for the host
+	// baseline).
+	ProcTime sim.Time
+	// NIC is the device-level result (handler breakdowns, DMA stats...).
+	NIC nic.Result
+	// NICBytes is the NIC memory occupied by the strategy state.
+	NICBytes int64
+	// Prep is the host-side preparation cost (offloaded strategies).
+	Prep HostPrep
+	// Interval/Checkpoints/Choice describe the checkpointed strategies.
+	Interval    int64
+	Checkpoints int
+	Choice      IntervalChoice
+	// SpecKind labels the specialized variant used.
+	SpecKind string
+	// RecvTime and UnpackCPU split the host baseline's phases.
+	RecvTime  sim.Time
+	UnpackCPU sim.Time
+	// TrafficBytes is the main-memory volume of the receive+unpack as
+	// Fig. 17 counts it.
+	TrafficBytes int64
+	// Verified is set when the receive buffer matched the reference.
+	Verified bool
+}
+
+// ThroughputGbps returns message size over processing time.
+func (r Result) ThroughputGbps() float64 {
+	if r.ProcTime <= 0 {
+		return 0
+	}
+	return float64(r.MsgBytes) * 8 / r.ProcTime.Seconds() / 1e9
+}
+
+// SpeedupOver returns how much faster this result is than other.
+func (r Result) SpeedupOver(other Result) float64 {
+	if r.ProcTime <= 0 {
+		return 0
+	}
+	return float64(other.ProcTime) / float64(r.ProcTime)
+}
+
+// Run simulates one unpack experiment end to end: it synthesizes the packed
+// message, builds the strategy (handlers, checkpoints, lists), runs the NIC
+// simulation (or the host/iovec baselines) and verifies the resulting
+// receive buffer against the reference ddt.Unpack.
+func Run(req Request) (Result, error) {
+	typ := req.Type.Commit()
+	msgSize := typ.Size() * int64(req.Count)
+	if msgSize <= 0 {
+		return Result{}, fmt.Errorf("core: empty message")
+	}
+	lo, hi := typ.Footprint(req.Count)
+	if lo < 0 {
+		return Result{}, fmt.Errorf("core: receive datatype has negative lower bound %d", lo)
+	}
+
+	rng := rand.New(rand.NewSource(req.Seed))
+	packed := make([]byte, msgSize)
+	rng.Read(packed)
+	dst := make([]byte, hi)
+
+	res := Result{
+		Strategy: req.Strategy,
+		MsgBytes: msgSize,
+		Gamma:    typ.Gamma(req.Count, req.NIC.Fabric.MTU),
+	}
+
+	switch req.Strategy {
+	case HostUnpack:
+		// RDMA the packed stream to a staging buffer, then unpack on the
+		// CPU with cold caches.
+		staging := make([]byte, msgSize)
+		pt := singleMatchPT(&portals.ME{Match: 1, Region: portals.HostRegion{Length: msgSize}})
+		nicRes, err := nic.Receive(req.NIC, pt, 1, packed, staging, req.Order)
+		if err != nil {
+			return Result{}, err
+		}
+		cost := hostcpu.UnpackCost(req.Host, typ, req.Count)
+		if err := ddt.Unpack(typ, req.Count, staging, dst); err != nil {
+			return Result{}, err
+		}
+		res.NIC = nicRes
+		res.RecvTime = nicRes.ProcTime
+		res.UnpackCPU = cost.Time
+		res.ProcTime = nicRes.ProcTime + cost.Time
+		res.TrafficBytes = msgSize + cost.TrafficBytes
+
+	case PortalsIovec:
+		var regions []nic.IovecRegion
+		typ.ForEachBlock(req.Count, func(off, size int64) {
+			regions = append(regions, nic.IovecRegion{HostOff: off, Size: size})
+		})
+		if req.Order != nil {
+			return Result{}, fmt.Errorf("core: the iovec baseline assumes in-order delivery")
+		}
+		nicRes, err := nic.ReceiveIovec(req.NIC, regions, packed, dst)
+		if err != nil {
+			return Result{}, err
+		}
+		listBytes := int64(len(regions)) * 16
+		res.NIC = nicRes
+		res.ProcTime = nicRes.ProcTime
+		res.NICBytes = nicRes.NICMemBytes
+		// The iovec list lives in host memory and is fetched over PCIe.
+		res.TrafficBytes = msgSize + listBytes
+		res.Prep = HostPrep{
+			CPUTime:   hostcpu.WalkCost(req.Host, int64(len(regions))),
+			CopyBytes: listBytes,
+		}
+
+	default:
+		off, err := BuildOffload(req.Strategy, BuildParams{
+			Type: typ, Count: req.Count,
+			NIC: req.NIC, Cost: req.Cost, Host: req.Host,
+			Epsilon: req.Epsilon, PktBufBytes: req.PktBufBytes,
+			ForceIntervalBytes:   req.ForceIntervalBytes,
+			DisableNormalization: req.DisableNormalization,
+		})
+		if err != nil {
+			return Result{}, err
+		}
+		pt := singleMatchPT(&portals.ME{Match: 1, Ctx: off.Ctx})
+		nicRes, err := nic.Receive(req.NIC, pt, 1, packed, dst, req.Order)
+		if err != nil {
+			return Result{}, err
+		}
+		res.NIC = nicRes
+		res.ProcTime = nicRes.ProcTime
+		res.NICBytes = off.Ctx.NICMemBytes
+		res.Prep = off.Prep
+		res.Interval = off.Interval
+		res.Checkpoints = off.Checkpoints
+		res.Choice = off.Choice
+		res.SpecKind = off.SpecKind
+		res.TrafficBytes = msgSize // zero-copy: only the data lands in memory
+	}
+
+	if req.Verify {
+		want := make([]byte, hi)
+		if err := ddt.Unpack(typ, req.Count, packed, want); err != nil {
+			return Result{}, err
+		}
+		if !bytes.Equal(dst, want) {
+			return Result{}, fmt.Errorf("core: %v receive buffer differs from reference unpack", req.Strategy)
+		}
+		res.Verified = true
+	}
+	return res, nil
+}
+
+func singleMatchPT(me *portals.ME) *portals.PT {
+	ni := portals.NewNI(1)
+	pt, err := ni.PT(0)
+	if err != nil {
+		panic(err)
+	}
+	if err := pt.Append(portals.PriorityList, me); err != nil {
+		panic(err)
+	}
+	return pt
+}

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"fmt"
+
+	"spinddt/internal/ddt"
+	"spinddt/internal/hostcpu"
+	"spinddt/internal/nic"
+	"spinddt/internal/sim"
+)
+
+// SendStrategy selects a sender-side implementation (the paper's Fig. 4).
+type SendStrategy int
+
+// The three sender-side strategies.
+const (
+	// PackSend packs on the CPU, then sends the contiguous buffer.
+	PackSend SendStrategy = iota
+	// StreamingPuts streams regions as the CPU identifies them
+	// (PtlSPutStart/PtlSPutStream, Sec. 3.1.1).
+	StreamingPuts
+	// OutboundSpin gathers on the sender NIC (PtlProcessPut, Sec. 3.1.2).
+	OutboundSpin
+)
+
+func (s SendStrategy) String() string {
+	switch s {
+	case PackSend:
+		return "Pack+Send"
+	case StreamingPuts:
+		return "StreamingPuts"
+	case OutboundSpin:
+		return "OutboundSpin"
+	default:
+		return fmt.Sprintf("SendStrategy(%d)", int(s))
+	}
+}
+
+// AllSendStrategies lists the sender-side strategies.
+var AllSendStrategies = []SendStrategy{PackSend, StreamingPuts, OutboundSpin}
+
+// SendRequest describes a sender-side experiment.
+type SendRequest struct {
+	Strategy SendStrategy
+	Type     *ddt.Type
+	Count    int
+	NIC      nic.Config
+	Cost     CostModel
+	Host     hostcpu.Config
+}
+
+// NewSendRequest returns a SendRequest with default configuration.
+func NewSendRequest(s SendStrategy, typ *ddt.Type, count int) SendRequest {
+	return SendRequest{
+		Strategy: s, Type: typ, Count: count,
+		NIC: nic.DefaultConfig(), Cost: DefaultCostModel(), Host: hostcpu.DefaultConfig(),
+	}
+}
+
+// RunSend simulates sending count elements of the datatype with the chosen
+// strategy and returns the NIC-level result.
+func RunSend(req SendRequest) (nic.SendResult, error) {
+	typ := req.Type.Commit()
+	msgSize := typ.Size() * int64(req.Count)
+	if msgSize <= 0 {
+		return nic.SendResult{}, fmt.Errorf("core: empty message")
+	}
+	switch req.Strategy {
+	case PackSend:
+		pack := hostcpu.PackCost(req.Host, typ, req.Count)
+		return nic.SendPacked(req.NIC, msgSize, pack.Time)
+
+	case StreamingPuts:
+		var regions []nic.IovecRegion
+		typ.ForEachBlock(req.Count, func(off, size int64) {
+			regions = append(regions, nic.IovecRegion{HostOff: off, Size: size})
+		})
+		return nic.SendStreaming(req.NIC, regions, req.Host.InterpPerBlock)
+
+	case OutboundSpin:
+		// Per-packet gather handler: like the receive-side specialized
+		// handler, it resolves the packet's source regions and issues the
+		// streaming-put commands.
+		perPkt := perPacketRegions(typ, req.Count, req.NIC.Fabric.MTU)
+		return nic.SendProcessPut(req.NIC, msgSize, func(pkt int, bytes int64) sim.Time {
+			blocks := int64(1)
+			if pkt < len(perPkt) {
+				blocks = perPkt[pkt]
+			}
+			return req.Cost.SpecInit + times(blocks, req.Cost.SpecPerBlock)
+		})
+
+	default:
+		return nic.SendResult{}, fmt.Errorf("core: unknown send strategy %v", req.Strategy)
+	}
+}
+
+// perPacketRegions counts the contiguous regions intersecting each packet.
+func perPacketRegions(typ *ddt.Type, count int, mtu int64) []int64 {
+	msg := typ.Size() * int64(count)
+	n := int((msg + mtu - 1) / mtu)
+	counts := make([]int64, n)
+	var pos int64
+	typ.ForEachBlock(count, func(off, size int64) {
+		first := pos / mtu
+		last := (pos + size - 1) / mtu
+		for p := first; p <= last; p++ {
+			counts[p]++
+		}
+		pos += size
+	})
+	return counts
+}

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"spinddt/internal/ddt"
+	"spinddt/internal/spin"
+)
+
+// vecState is the NIC-memory state of the vector-specialized handler
+// (the paper's spin_vec_t of Listing 1): constant-time arithmetic maps any
+// stream offset to its destination address. Unlike the simplified listing,
+// this implementation handles packet payloads that split blocks.
+type vecState struct {
+	cost      CostModel
+	blockSize int64 // bytes per contiguous block
+	stride    int64 // bytes between block starts within an element
+	perElem   int64 // blocks per datatype element
+	extent    int64 // bytes between consecutive elements
+	msgSize   int64
+}
+
+// NICBytes is the handler state: the four spin_vec_t parameters.
+func (v *vecState) NICBytes() int64 { return 32 }
+
+func (v *vecState) payload(a *spin.HandlerArgs) spin.Result {
+	var blocks int64
+	consumed := int64(0)
+	total := int64(len(a.Payload))
+	for consumed < total {
+		pos := a.StreamOff + consumed
+		g := pos / v.blockSize      // global block index
+		within := pos % v.blockSize // offset inside the block
+		hostOff := (g/v.perElem)*v.extent + (g%v.perElem)*v.stride + within
+		n := v.blockSize - within
+		if n > total-consumed {
+			n = total - consumed
+		}
+		a.DMA.Write(hostOff, a.Payload[consumed:consumed+n], spin.NoEvent)
+		consumed += n
+		blocks++
+	}
+	proc := times(blocks, v.cost.SpecPerBlock)
+	return spin.Result{
+		Runtime:   v.cost.SpecInit + proc,
+		Breakdown: spin.Breakdown{Init: v.cost.SpecInit, Processing: proc},
+	}
+}
+
+// listState is the offset-list specialized handler used for indexed, struct
+// and any other non-vector datatype (Sec. 3.2.3 "Other datatypes"): the
+// host copies the full ⟨offset, size⟩ region list of the message to NIC
+// memory and the handler locates a packet's first region with a binary
+// search over the stream positions.
+type listState struct {
+	cost        CostModel
+	memOff      []int64 // destination offset per region
+	size        []int64 // region size
+	streamStart []int64 // packed-stream position per region (prefix sums)
+	msgSize     int64
+}
+
+func buildListState(cost CostModel, typ *ddt.Type, count int) *listState {
+	ls := &listState{cost: cost, msgSize: typ.Size() * int64(count)}
+	var pos int64
+	typ.ForEachBlock(count, func(off, size int64) {
+		ls.memOff = append(ls.memOff, off)
+		ls.size = append(ls.size, size)
+		ls.streamStart = append(ls.streamStart, pos)
+		pos += size
+	})
+	return ls
+}
+
+// NICBytes follows the paper's accounting: one ⟨offset, size⟩ pair per
+// region (stream positions are prefix sums of the sizes).
+func (l *listState) NICBytes() int64 { return int64(len(l.memOff)) * 16 }
+
+func (l *listState) payload(a *spin.HandlerArgs) spin.Result {
+	total := int64(len(a.Payload))
+	end := a.StreamOff + total
+	// Binary search for the region containing the packet's first byte.
+	i := sort.Search(len(l.streamStart), func(k int) bool {
+		return l.streamStart[k] > a.StreamOff
+	}) - 1
+	var blocks int64
+	for pos := a.StreamOff; pos < end; i++ {
+		within := pos - l.streamStart[i]
+		n := l.size[i] - within
+		if n > end-pos {
+			n = end - pos
+		}
+		a.DMA.Write(l.memOff[i]+within, a.Payload[pos-a.StreamOff:pos-a.StreamOff+n], spin.NoEvent)
+		pos += n
+		blocks++
+	}
+	search := times(int64(bits.Len(uint(len(l.streamStart)))), l.cost.SpecBinSearchStep)
+	proc := times(blocks, l.cost.SpecPerBlock)
+	return spin.Result{
+		Runtime: l.cost.SpecInit + search + proc,
+		Breakdown: spin.Breakdown{
+			Init:       l.cost.SpecInit,
+			Setup:      search,
+			Processing: proc,
+		},
+	}
+}
+
+// buildSpecialized selects the vector fast path when the (normalized)
+// datatype is a uniform-block strided layout, and the offset-list handler
+// otherwise. It returns the payload handler, its NIC state size and the
+// kind label.
+func buildSpecialized(cost CostModel, typ *ddt.Type, count int, skipNormalize bool) (spin.Handler, int64, string, error) {
+	msgSize := typ.Size() * int64(count)
+	if msgSize <= 0 {
+		return nil, 0, "", fmt.Errorf("core: empty datatype")
+	}
+	norm := typ
+	if !skipNormalize {
+		norm = ddt.Normalize(typ)
+	}
+
+	if norm.Contiguous() {
+		v := &vecState{
+			cost:      cost,
+			blockSize: msgSize,
+			stride:    0,
+			perElem:   1,
+			extent:    msgSize,
+			msgSize:   msgSize,
+		}
+		return v.payload, v.NICBytes(), "contiguous", nil
+	}
+
+	if norm.Kind() == ddt.KindVector || norm.Kind() == ddt.KindHVector {
+		base := norm.Children()[0]
+		if base.Contiguous() && norm.BlockLen() > 0 && norm.StrideBytes() > 0 {
+			v := &vecState{
+				cost:      cost,
+				blockSize: int64(norm.BlockLen()) * base.Size(),
+				stride:    norm.StrideBytes(),
+				perElem:   int64(norm.Count()),
+				extent:    norm.Extent(),
+				msgSize:   msgSize,
+			}
+			return v.payload, v.NICBytes(), "vector", nil
+		}
+	}
+
+	ls := buildListState(cost, typ, count)
+	return ls.payload, ls.NICBytes(), "list", nil
+}

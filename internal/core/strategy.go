@@ -1,0 +1,219 @@
+package core
+
+import (
+	"fmt"
+
+	"spinddt/internal/dataloop"
+	"spinddt/internal/ddt"
+	"spinddt/internal/hostcpu"
+	"spinddt/internal/nic"
+	"spinddt/internal/sim"
+	"spinddt/internal/spin"
+)
+
+// Strategy selects a datatype-processing implementation.
+type Strategy int
+
+// The strategies evaluated in the paper.
+const (
+	// Specialized uses datatype-specific handlers (Sec. 3.2.3).
+	Specialized Strategy = iota
+	// RWCP uses progressing checkpoints with blocked-RR scheduling.
+	RWCP
+	// ROCP uses read-only checkpoint snapshots cloned per packet.
+	ROCP
+	// HPULocal replicates the MPITypes segment per vHPU.
+	HPULocal
+	// HostUnpack is the baseline: RDMA to a staging buffer, CPU unpack.
+	HostUnpack
+	// PortalsIovec is the Portals 4 scatter-list baseline (v=32 entries).
+	PortalsIovec
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case Specialized:
+		return "Specialized"
+	case RWCP:
+		return "RW-CP"
+	case ROCP:
+		return "RO-CP"
+	case HPULocal:
+		return "HPU-local"
+	case HostUnpack:
+		return "Host"
+	case PortalsIovec:
+		return "Portals4-iovec"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// OffloadStrategies lists the sPIN-based strategies (Fig. 8's offloaded
+// series).
+var OffloadStrategies = []Strategy{Specialized, RWCP, ROCP, HPULocal}
+
+// AllStrategies lists every strategy including the baselines.
+var AllStrategies = []Strategy{Specialized, RWCP, ROCP, HPULocal, HostUnpack, PortalsIovec}
+
+// HostPrep is the host-side cost of preparing an offload: building the NIC
+// state (offset lists, dataloops, checkpoints) and copying it over PCIe.
+// Fig. 18 amortizes this cost over datatype reuses; Fig. 15 shows it as
+// the "host overhead" before message processing.
+type HostPrep struct {
+	// CPUTime is the host CPU time to build the state.
+	CPUTime sim.Time
+	// CopyBytes is the state volume moved to the NIC (the bar annotations
+	// of Fig. 16).
+	CopyBytes int64
+	// CopyTime is the PCIe transfer time of the state.
+	CopyTime sim.Time
+}
+
+// Total returns the full preparation latency.
+func (hp HostPrep) Total() sim.Time { return hp.CPUTime + hp.CopyTime }
+
+// Offload is a built execution context plus its bookkeeping.
+type Offload struct {
+	Strategy Strategy
+	Ctx      *spin.ExecutionContext
+	Prep     HostPrep
+	// Interval and Checkpoints are set for the checkpointed strategies.
+	Interval    int64
+	Checkpoints int
+	Choice      IntervalChoice
+	// SpecKind labels the specialized variant ("vector", "list",
+	// "contiguous").
+	SpecKind string
+}
+
+// BuildParams carries everything needed to construct an offload.
+type BuildParams struct {
+	Type  *ddt.Type
+	Count int
+	NIC   nic.Config
+	Cost  CostModel
+	Host  hostcpu.Config
+	// Epsilon is the RW-CP scheduling-overhead tolerance (paper: 0.2).
+	Epsilon float64
+	// PktBufBytes is the packet buffer for the heuristic's third
+	// constraint; 0 disables the check.
+	PktBufBytes int64
+	// ForceIntervalBytes overrides the checkpoint-interval heuristic for
+	// the checkpointed strategies (ablation knob); 0 selects automatically.
+	ForceIntervalBytes int64
+	// DisableNormalization makes the specialized builder skip datatype
+	// normalization (ablation knob).
+	DisableNormalization bool
+}
+
+// BuildOffload constructs the execution context for an offloaded strategy.
+// This is the work an MPI implementation performs at type-commit and
+// receive-post time (Sec. 3.2.6).
+func BuildOffload(s Strategy, p BuildParams) (*Offload, error) {
+	if p.Count <= 0 {
+		return nil, fmt.Errorf("core: count %d", p.Count)
+	}
+	msgSize := p.Type.Size() * int64(p.Count)
+	if msgSize <= 0 {
+		return nil, fmt.Errorf("core: empty datatype")
+	}
+
+	off := &Offload{Strategy: s}
+	ctx := &spin.ExecutionContext{Name: s.String()}
+	ctx.Completion = func(*spin.HandlerArgs) spin.Result {
+		return spin.Result{Runtime: p.Cost.CompletionTime}
+	}
+	off.Ctx = ctx
+
+	switch s {
+	case Specialized:
+		handler, nicBytes, kind, err := buildSpecialized(p.Cost, p.Type, p.Count, p.DisableNormalization)
+		if err != nil {
+			return nil, err
+		}
+		ctx.Payload = handler
+		ctx.NICMemBytes = nicBytes
+		off.SpecKind = kind
+		walk := int64(0)
+		if kind == "list" {
+			walk = p.Type.TotalBlocks(p.Count)
+		}
+		off.Prep = HostPrep{
+			CPUTime:   hostcpu.WalkCost(p.Host, walk),
+			CopyBytes: nicBytes,
+			CopyTime:  p.NIC.PCIe.ByteTime(nicBytes) + p.NIC.PCIe.ReadLatency,
+		}
+		return off, nil
+
+	case HPULocal:
+		loop, err := dataloop.CompileCount(p.Type, p.Count)
+		if err != nil {
+			return nil, err
+		}
+		st := newHPULocalState(p.Cost, loop)
+		ctx.Payload = st.payload
+		ctx.Policy = spin.Policy{DeltaP: 1, VHPUs: p.NIC.HPUs}
+		ctx.NICMemBytes = st.NICBytes(p.NIC.HPUs)
+		off.Prep = HostPrep{
+			CopyBytes: loop.EncodedSize(),
+			CopyTime:  p.NIC.PCIe.ByteTime(loop.EncodedSize()) + p.NIC.PCIe.ReadLatency,
+		}
+		return off, nil
+
+	case ROCP, RWCP:
+		loop, err := dataloop.CompileCount(p.Type, p.Count)
+		if err != nil {
+			return nil, err
+		}
+		ckptSize := dataloop.NewSegment(loop).EncodedSize()
+		gamma := p.Type.Gamma(p.Count, p.NIC.Fabric.MTU)
+		budget := p.NIC.NICMemBytes - loop.EncodedSize()
+		if budget < ckptSize {
+			budget = ckptSize
+		}
+		choice := SelectInterval(IntervalParams{
+			MsgBytes:        msgSize,
+			PktBytes:        p.NIC.Fabric.MTU,
+			HPUs:            p.NIC.HPUs,
+			TPH:             p.Cost.GeneralHandlerTime(gamma),
+			TPkt:            p.NIC.Fabric.PacketTime(p.NIC.Fabric.MTU),
+			Epsilon:         p.Epsilon,
+			CheckpointBytes: ckptSize,
+			NICMemBudget:    budget,
+			PktBufBytes:     p.PktBufBytes,
+		})
+		if p.ForceIntervalBytes > 0 {
+			choice.IntervalBytes = p.ForceIntervalBytes
+			choice.DeltaP = int((p.ForceIntervalBytes + p.NIC.Fabric.MTU - 1) / p.NIC.Fabric.MTU)
+			choice.Checkpoints = int((msgSize + p.ForceIntervalBytes - 1) / p.ForceIntervalBytes)
+		}
+		ckpts, err := dataloop.BuildCheckpoints(loop, choice.IntervalBytes)
+		if err != nil {
+			return nil, err
+		}
+		off.Interval = choice.IntervalBytes
+		off.Checkpoints = ckpts.Count()
+		off.Choice = choice
+		ctx.NICMemBytes = ckpts.NICBytes() + loop.EncodedSize()
+		off.Prep = HostPrep{
+			CPUTime: hostcpu.WalkCost(p.Host, ckpts.Build.BlocksWalked) +
+				hostcpu.CopyCost(p.Host, ckpts.Build.BytesCloned),
+			CopyBytes: ctx.NICMemBytes,
+			CopyTime:  p.NIC.PCIe.ByteTime(ctx.NICMemBytes) + p.NIC.PCIe.ReadLatency,
+		}
+		if s == ROCP {
+			st := &rocpState{cost: p.Cost, ckpts: ckpts}
+			ctx.Payload = st.payload
+			// Default policy: RO-CP handlers are independent.
+			return off, nil
+		}
+		st := newRWCPState(p.Cost, ckpts)
+		ctx.Payload = st.payload
+		ctx.Policy = spin.Policy{DeltaP: choice.DeltaP}
+		return off, nil
+
+	default:
+		return nil, fmt.Errorf("core: %v is not an offloaded strategy", s)
+	}
+}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"spinddt/internal/ddt"
+)
+
+func TestTransferMatrix(t *testing.T) {
+	// The full Fig. 4 matrix: every sender x every coupled receiver
+	// strategy moves bytes correctly end to end.
+	typ := fig8Vector(512, 1<<19)
+	for _, send := range AllSendStrategies {
+		for _, recv := range []Strategy{Specialized, RWCP, ROCP, HPULocal, HostUnpack} {
+			req := NewTransferRequest(send, recv, typ, 1)
+			res, err := RunTransfer(req)
+			if err != nil {
+				t.Fatalf("%v -> %v: %v", send, recv, err)
+			}
+			if !res.Verified {
+				t.Fatalf("%v -> %v: not verified", send, recv)
+			}
+			if res.Total <= res.Sender.Injected {
+				t.Fatalf("%v -> %v: receiver finished before sender injected", send, recv)
+			}
+		}
+	}
+}
+
+func TestTransferTransposeOnTheFly(t *testing.T) {
+	// Rows leave the sender contiguously; the receiver's datatype scatters
+	// them into columns: a zero-copy transpose across the wire.
+	const n = 128
+	rows := ddt.MustContiguous(n*n, ddt.Double)
+	col := ddt.MustVector(n, 1, n, ddt.Double)
+	colStep := ddt.MustResized(col, 0, 8)
+	transpose := ddt.MustContiguous(n, colStep)
+
+	req := NewTransferRequest(StreamingPuts, RWCP, rows, 1)
+	req.RecvType = transpose
+	res, err := RunTransfer(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Verified {
+		t.Fatal("transpose transfer not verified")
+	}
+}
+
+func TestTransferMismatchedSizesRejected(t *testing.T) {
+	req := NewTransferRequest(PackSend, RWCP, ddt.MustContiguous(16, ddt.Int), 1)
+	req.RecvType = ddt.MustContiguous(8, ddt.Int)
+	if _, err := RunTransfer(req); err == nil {
+		t.Fatal("mismatched packed sizes accepted")
+	}
+}
+
+func TestTransferIovecRejected(t *testing.T) {
+	req := NewTransferRequest(PackSend, PortalsIovec, fig8Vector(512, 1<<16), 1)
+	if _, err := RunTransfer(req); err == nil {
+		t.Fatal("iovec receiver accepted in a coupled transfer")
+	}
+}
+
+func TestTransferEmptyRejected(t *testing.T) {
+	req := NewTransferRequest(PackSend, RWCP, ddt.MustContiguous(0, ddt.Int), 1)
+	if _, err := RunTransfer(req); err == nil {
+		t.Fatal("empty transfer accepted")
+	}
+	req2 := NewTransferRequest(PackSend, RWCP, ddt.MustContiguous(4, ddt.Int), 0)
+	if _, err := RunTransfer(req2); err == nil {
+		t.Fatal("zero count accepted")
+	}
+}
+
+func TestTransferSenderPacing(t *testing.T) {
+	// A pack+send sender delays the first packet until packing finishes:
+	// the receiver's first byte must come later than with streaming puts.
+	typ := fig8Vector(512, 1<<20)
+	pack, err := RunTransfer(NewTransferRequest(PackSend, RWCP, typ, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, err := RunTransfer(NewTransferRequest(StreamingPuts, RWCP, typ, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pack.Receiver.FirstByte <= stream.Receiver.FirstByte {
+		t.Fatalf("pack+send first byte (%v) should trail streaming (%v)",
+			pack.Receiver.FirstByte, stream.Receiver.FirstByte)
+	}
+	if pack.Total <= stream.Total {
+		t.Fatalf("pack+send total (%v) should exceed streaming (%v)", pack.Total, stream.Total)
+	}
+}
+
+func TestTransferRandomTypes(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	for iter := 0; iter < 10; iter++ {
+		typ := ddt.RandomType(rng, 3)
+		count := 1
+		for typ.Size()*int64(count) < 4*2048 {
+			count *= 2
+		}
+		if typ.Size()*int64(count) > 1<<20 {
+			continue
+		}
+		if lo, _ := typ.Footprint(count); lo < 0 {
+			continue
+		}
+		req := NewTransferRequest(OutboundSpin, RWCP, typ, count)
+		req.Seed = int64(iter)
+		res, err := RunTransfer(req)
+		if err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+		if !res.Verified {
+			t.Fatalf("iter %d: not verified", iter)
+		}
+	}
+}

@@ -1,0 +1,272 @@
+package dataloop
+
+import (
+	"errors"
+	"fmt"
+
+	"spinddt/internal/ddt"
+)
+
+// ErrEmptyType reports a datatype with zero packed size, which has no
+// dataloop representation (there is nothing to process).
+var ErrEmptyType = errors.New("dataloop: datatype has zero size")
+
+// Compile translates an MPI derived datatype into its dataloop tree,
+// applying the classic MPITypes optimizations: contiguous subtypes collapse
+// into leaf elements, and single-use wrappers disappear. The compiled
+// loop's Size always equals the type's packed size.
+func Compile(t *ddt.Type) (*Dataloop, error) {
+	if t.Size() == 0 {
+		return nil, ErrEmptyType
+	}
+	loop := loopOf(t)
+	if loop == nil {
+		return nil, ErrEmptyType
+	}
+	if loop.Size() != t.Size() {
+		return nil, fmt.Errorf("dataloop: compiled size %d != type size %d (internal bug)",
+			loop.Size(), t.Size())
+	}
+	return loop, nil
+}
+
+// CompileCount compiles count consecutive elements of the type, the form a
+// receive of count elements uses.
+func CompileCount(t *ddt.Type, count int) (*Dataloop, error) {
+	if count <= 0 {
+		return nil, fmt.Errorf("dataloop: count %d", count)
+	}
+	if count == 1 {
+		return Compile(t)
+	}
+	if t.Size() == 0 {
+		return nil, ErrEmptyType
+	}
+	// Dense elements collapse into a single leaf run.
+	if isDense(t) {
+		l := &Dataloop{Kind: Contig, Count: int64(count) * denseUnit(t).n, ElSize: denseUnit(t).size, ElExtent: denseUnit(t).size}
+		l.finalize()
+		return l, nil
+	}
+	child := loopOf(t)
+	if child == nil {
+		return nil, ErrEmptyType
+	}
+	l := &Dataloop{
+		Kind: Contig, Count: int64(count),
+		Child: child, ElSize: t.Size(), ElExtent: t.Extent(),
+	}
+	l.finalize()
+	return l, nil
+}
+
+// isDense reports whether count elements of the type occupy one contiguous
+// run with no holes and no spill (so the whole thing is a leaf).
+func isDense(t *ddt.Type) bool {
+	if !t.Contiguous() {
+		return false
+	}
+	lo, hi := t.TrueBounds()
+	return lo == 0 && hi == t.Extent()
+}
+
+type unit struct{ n, size int64 }
+
+func denseUnit(t *ddt.Type) unit { return unit{n: 1, size: t.Size()} }
+
+// loopOf builds the dataloop for one element of t. It returns nil for
+// zero-size subtrees, which callers prune.
+func loopOf(t *ddt.Type) *Dataloop {
+	if t.Size() == 0 {
+		return nil
+	}
+	// MPITypes leaf optimization: any contiguous subtype is an elementary
+	// unit from the processor's point of view.
+	if isDense(t) {
+		l := &Dataloop{Kind: Contig, Count: 1, ElSize: t.Size(), ElExtent: t.Size()}
+		l.finalize()
+		return l
+	}
+
+	switch t.Kind() {
+	case ddt.KindContiguous:
+		return buildContig(int64(t.Count()), t.Children()[0])
+
+	case ddt.KindVector, ddt.KindHVector:
+		base := t.Children()[0]
+		if isDense(base) {
+			l := &Dataloop{
+				Kind: Vector, Count: int64(t.Count()), BlockLen: int64(t.BlockLen()),
+				Stride: t.StrideBytes(), ElSize: base.Size(), ElExtent: base.Extent(),
+			}
+			l.finalize()
+			return l
+		}
+		child := loopOf(base)
+		if child == nil {
+			return nil
+		}
+		l := &Dataloop{
+			Kind: Vector, Count: int64(t.Count()), BlockLen: int64(t.BlockLen()),
+			Stride: t.StrideBytes(), Child: child,
+			ElSize: base.Size(), ElExtent: base.Extent(),
+		}
+		l.finalize()
+		return l
+
+	case ddt.KindIndexedBlock, ddt.KindHIndexedBlock:
+		base := t.Children()[0]
+		offsets := append([]int64(nil), t.Displacements()...)
+		l := &Dataloop{
+			Kind: BlockIndexed, BlockLen: int64(t.BlockLen()), Offsets: offsets,
+			ElSize: base.Size(), ElExtent: base.Extent(),
+		}
+		if !isDense(base) {
+			l.Child = loopOf(base)
+			if l.Child == nil {
+				return nil
+			}
+		}
+		l.finalize()
+		return l
+
+	case ddt.KindIndexed, ddt.KindHIndexed:
+		base := t.Children()[0]
+		var offsets []int64
+		var lens []int64
+		for i, bl := range t.BlockLens() {
+			if bl == 0 {
+				continue // prune empty blocks
+			}
+			offsets = append(offsets, t.Displacements()[i])
+			lens = append(lens, int64(bl))
+		}
+		l := &Dataloop{
+			Kind: Indexed, BlockLens: lens, Offsets: offsets,
+			ElSize: base.Size(), ElExtent: base.Extent(),
+		}
+		if !isDense(base) {
+			l.Child = loopOf(base)
+			if l.Child == nil {
+				return nil
+			}
+		}
+		l.finalize()
+		return l
+
+	case ddt.KindStruct:
+		var offsets, lens, elSizes, elExtents []int64
+		var children []*Dataloop
+		for i, member := range t.Children() {
+			bl := int64(t.BlockLens()[i])
+			if bl == 0 || member.Size() == 0 {
+				continue // prune empty members
+			}
+			var child *Dataloop
+			if !isDense(member) {
+				child = loopOf(member)
+				if child == nil {
+					continue
+				}
+			}
+			offsets = append(offsets, t.Displacements()[i])
+			lens = append(lens, bl)
+			elSizes = append(elSizes, member.Size())
+			elExtents = append(elExtents, member.Extent())
+			children = append(children, child)
+		}
+		// A Struct node needs a Children slice to be interior even when some
+		// members are leaves; leaf members keep a nil child, which the
+		// segment treats as raw bytes — but mixed nil/non-nil children would
+		// break Leaf(). Wrap leaf members in trivial contig leaves instead.
+		for i, c := range children {
+			if c == nil {
+				leaf := &Dataloop{Kind: Contig, Count: 1, ElSize: elSizes[i], ElExtent: elSizes[i]}
+				leaf.finalize()
+				children[i] = leaf
+			}
+		}
+		l := &Dataloop{
+			Kind: Struct, BlockLens: lens, Offsets: offsets,
+			Children: children, ElSizes: elSizes, ElExtents: elExtents,
+		}
+		l.finalize()
+		return l
+
+	case ddt.KindSubarray:
+		return buildSubarray(t)
+
+	case ddt.KindResized:
+		return loopOf(t.Children()[0])
+
+	default: // elementary handled by the isDense fast path above
+		l := &Dataloop{Kind: Contig, Count: 1, ElSize: t.Size(), ElExtent: t.Size()}
+		l.finalize()
+		return l
+	}
+}
+
+func buildContig(count int64, base *ddt.Type) *Dataloop {
+	if isDense(base) {
+		l := &Dataloop{Kind: Contig, Count: count, ElSize: base.Size(), ElExtent: base.Size()}
+		l.finalize()
+		return l
+	}
+	child := loopOf(base)
+	if child == nil {
+		return nil
+	}
+	l := &Dataloop{
+		Kind: Contig, Count: count, Child: child,
+		ElSize: base.Size(), ElExtent: base.Extent(),
+	}
+	l.finalize()
+	return l
+}
+
+// buildSubarray lowers a row-major n-dimensional subarray into nested
+// vector dataloops with an initial offset, the standard MPITypes lowering.
+func buildSubarray(t *ddt.Type) *Dataloop {
+	sizes, subSizes, starts := t.SubarrayDims()
+	base := t.Children()[0]
+	n := len(sizes)
+
+	strides := make([]int64, n) // element strides per dimension
+	strides[n-1] = 1
+	for d := n - 2; d >= 0; d-- {
+		strides[d] = strides[d+1] * int64(sizes[d+1])
+	}
+
+	// Innermost dimension: a run of consecutive base elements.
+	inner := buildContig(int64(subSizes[n-1]), base)
+	if inner == nil {
+		return nil
+	}
+	// Outer dimensions become vectors of single-element blocks.
+	for d := n - 2; d >= 0; d-- {
+		if subSizes[d] == 0 {
+			return nil
+		}
+		v := &Dataloop{
+			Kind: Vector, Count: int64(subSizes[d]), BlockLen: 1,
+			Stride: strides[d] * base.Extent(),
+			Child:  inner, ElSize: inner.Size(), ElExtent: strides[d] * base.Extent(),
+		}
+		v.finalize()
+		inner = v
+	}
+
+	shift := int64(0)
+	for d := 0; d < n; d++ {
+		shift += int64(starts[d]) * strides[d] * base.Extent()
+	}
+	if shift == 0 {
+		return inner
+	}
+	wrap := &Dataloop{
+		Kind: BlockIndexed, BlockLen: 1, Offsets: []int64{shift},
+		Child: inner, ElSize: inner.Size(), ElExtent: inner.Size(),
+	}
+	wrap.finalize()
+	return wrap
+}

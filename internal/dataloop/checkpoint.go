@@ -1,0 +1,93 @@
+package dataloop
+
+import "fmt"
+
+// BuildStats records the host-side cost of creating a checkpoint set: the
+// paper's "checkpoint creation cost" that Fig. 18 amortizes over datatype
+// reuses.
+type BuildStats struct {
+	// BlocksWalked counts leaf regions the host CPU walked to advance the
+	// segment across the whole stream.
+	BlocksWalked int64
+	// BytesCloned counts segment-state bytes copied for the snapshots.
+	BytesCloned int64
+	// Checkpoints is the number of snapshots taken.
+	Checkpoints int
+}
+
+// CheckpointSet holds the segment snapshots of a datatype taken every
+// Interval stream bytes (the paper's Δr). Master copies are kept so RW-CP
+// can revert a checkpoint whose state ran ahead of an out-of-order packet
+// (Sec. 3.2.4).
+type CheckpointSet struct {
+	Interval int64
+	Total    int64
+	masters  []*Segment
+	Build    BuildStats
+}
+
+// BuildCheckpoints processes the datatype on the host and snapshots the
+// segment every interval bytes: checkpoint i is positioned at stream offset
+// i*interval. An interval >= the stream size yields the single initial
+// checkpoint.
+func BuildCheckpoints(loop *Dataloop, interval int64) (*CheckpointSet, error) {
+	if interval <= 0 {
+		return nil, fmt.Errorf("dataloop: checkpoint interval %d", interval)
+	}
+	total := loop.Size()
+	cs := &CheckpointSet{Interval: interval, Total: total}
+	seg := NewSegment(loop)
+	for off := int64(0); off < total; off += interval {
+		st, err := seg.Process(seg.Pos(), off, nil)
+		if err != nil {
+			return nil, err
+		}
+		cs.Build.BlocksWalked += st.CatchupBlocks + st.EmitRegions
+		snap := seg.Clone()
+		cs.Build.BytesCloned += snap.EncodedSize()
+		cs.masters = append(cs.masters, snap)
+	}
+	cs.Build.Checkpoints = len(cs.masters)
+	return cs, nil
+}
+
+// Count returns the number of checkpoints.
+func (cs *CheckpointSet) Count() int { return len(cs.masters) }
+
+// CheckpointSize returns the NIC-memory bytes one checkpoint occupies.
+func (cs *CheckpointSet) CheckpointSize() int64 {
+	if len(cs.masters) == 0 {
+		return 0
+	}
+	return cs.masters[0].EncodedSize()
+}
+
+// NICBytes returns the NIC memory the checkpoint set occupies (all master
+// snapshots).
+func (cs *CheckpointSet) NICBytes() int64 {
+	return int64(cs.Count()) * cs.CheckpointSize()
+}
+
+// Index returns the index of the closest checkpoint at or before the given
+// stream offset.
+func (cs *CheckpointSet) Index(streamOff int64) int {
+	if streamOff <= 0 {
+		return 0
+	}
+	i := int(streamOff / cs.Interval)
+	if i >= len(cs.masters) {
+		i = len(cs.masters) - 1
+	}
+	return i
+}
+
+// Master returns checkpoint i's master snapshot. Callers must not mutate
+// it; use Working or CopyTo for processing.
+func (cs *CheckpointSet) Master(i int) *Segment { return cs.masters[i] }
+
+// Working returns a mutable copy of checkpoint i, the RO-CP "local copy"
+// made by every handler before processing.
+func (cs *CheckpointSet) Working(i int) *Segment { return cs.masters[i].Clone() }
+
+// Pos returns the stream position of checkpoint i.
+func (cs *CheckpointSet) Pos(i int) int64 { return cs.masters[i].Pos() }

@@ -1,0 +1,210 @@
+// Package dataloop is a Go port of the MPITypes library (Ross et al.,
+// EuroPVM/MPI 2009) used by the paper's general sPIN handlers: it represents
+// MPI derived datatypes as trees of five dataloop kinds (contig, vector,
+// blockindexed, indexed, struct) and processes them incrementally through a
+// segment — an explicit stack of cursors that can be advanced over any byte
+// range of the packed stream, cloned, checkpointed, reset and reverted.
+//
+// The segment is the datatype-processing state that the paper copies into
+// NIC memory, snapshots for RO-CP checkpoints and assigns to vHPUs for
+// RW-CP (Sec. 3.2.4). Unlike the original C library, processing here also
+// returns operation counts (blocks walked during catch-up, regions emitted)
+// that drive the simulator's handler cost model.
+package dataloop
+
+import "fmt"
+
+// Kind identifies a dataloop node kind, mirroring MPITypes.
+type Kind int
+
+// The five MPITypes dataloop kinds.
+const (
+	Contig Kind = iota
+	Vector
+	BlockIndexed
+	Indexed
+	Struct
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Contig:
+		return "contig"
+	case Vector:
+		return "vector"
+	case BlockIndexed:
+		return "blockindexed"
+	case Indexed:
+		return "indexed"
+	case Struct:
+		return "struct"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Dataloop is one node of the compiled datatype representation. A node
+// describes a sequence of blocks; each block holds a run of elements. For a
+// leaf node (Child == nil and Children == nil) the elements are raw bytes
+// and a block is one contiguous memory region. For interior nodes each
+// element is an instance of a child dataloop, spaced by the child's extent.
+//
+// Dataloops are immutable after construction; segments share them freely.
+type Dataloop struct {
+	Kind Kind
+
+	// Count is the number of blocks (Vector) or elements (Contig).
+	Count int64
+	// BlockLen is the elements-per-block for Vector and BlockIndexed.
+	BlockLen int64
+	// BlockLens is the per-block element count for Indexed and Struct.
+	BlockLens []int64
+	// Stride is the byte distance between consecutive block starts (Vector).
+	Stride int64
+	// Offsets holds per-block byte offsets (BlockIndexed, Indexed, Struct).
+	Offsets []int64
+
+	// Child is the element dataloop for single-child interior nodes.
+	Child *Dataloop
+	// Children holds per-block element dataloops for Struct nodes.
+	Children []*Dataloop
+
+	// ElSize is the packed size of one element: raw bytes for leaves, the
+	// child's stream size for interior nodes.
+	ElSize int64
+	// ElExtent is the memory spacing of consecutive elements in a block.
+	ElExtent int64
+	// ElSizes/ElExtents are the per-block variants for Struct nodes.
+	ElSizes   []int64
+	ElExtents []int64
+
+	size  int64 // total packed bytes of one execution of this loop
+	depth int   // max node depth of the subtree, this node = 1
+}
+
+// NumBlocks returns the number of blocks in the loop.
+func (d *Dataloop) NumBlocks() int64 {
+	switch d.Kind {
+	case Contig:
+		return 1
+	case Vector:
+		return d.Count
+	default:
+		return int64(len(d.Offsets))
+	}
+}
+
+// BlockCount returns the number of elements in block b.
+func (d *Dataloop) BlockCount(b int64) int64 {
+	switch d.Kind {
+	case Contig:
+		return d.Count
+	case Vector, BlockIndexed:
+		return d.BlockLen
+	default:
+		return d.BlockLens[b]
+	}
+}
+
+// BlockOffset returns the memory offset of block b relative to the loop
+// origin.
+func (d *Dataloop) BlockOffset(b int64) int64 {
+	switch d.Kind {
+	case Contig:
+		return 0
+	case Vector:
+		return b * d.Stride
+	default:
+		return d.Offsets[b]
+	}
+}
+
+// ChildAt returns the element dataloop for block b, or nil for a leaf.
+func (d *Dataloop) ChildAt(b int64) *Dataloop {
+	if d.Kind == Struct {
+		return d.Children[b]
+	}
+	return d.Child
+}
+
+// ElemSize returns the packed bytes per element in block b.
+func (d *Dataloop) ElemSize(b int64) int64 {
+	if d.Kind == Struct {
+		return d.ElSizes[b]
+	}
+	return d.ElSize
+}
+
+// ElemExtent returns the memory spacing of consecutive elements in block b.
+func (d *Dataloop) ElemExtent(b int64) int64 {
+	if d.Kind == Struct {
+		return d.ElExtents[b]
+	}
+	return d.ElExtent
+}
+
+// Leaf reports whether the loop's elements are raw bytes.
+func (d *Dataloop) Leaf() bool { return d.Child == nil && d.Children == nil }
+
+// Size returns the total packed bytes of one execution of the loop.
+func (d *Dataloop) Size() int64 { return d.size }
+
+// Depth returns the maximum node depth of the subtree (this node counts 1).
+func (d *Dataloop) Depth() int { return d.depth }
+
+// Nodes returns the number of dataloop nodes in the subtree.
+func (d *Dataloop) Nodes() int {
+	n := 1
+	if d.Child != nil {
+		n += d.Child.Nodes()
+	}
+	for _, c := range d.Children {
+		if c != nil {
+			n += c.Nodes()
+		}
+	}
+	return n
+}
+
+// finalize computes the cached size and depth. Called once by the builder.
+func (d *Dataloop) finalize() {
+	d.size = 0
+	d.depth = 1
+	for b := int64(0); b < d.NumBlocks(); b++ {
+		d.size += d.BlockCount(b) * d.ElemSize(b)
+		if c := d.ChildAt(b); c != nil && c.depth+1 > d.depth {
+			d.depth = c.depth + 1
+		}
+	}
+}
+
+// EncodedSize returns the bytes needed to store the dataloop description in
+// NIC memory: a fixed node header plus the offset/blocklen arrays. This is
+// the quantity the paper reports as "data moved to the NIC" for the general
+// handlers (dataloops + checkpoints).
+func (d *Dataloop) EncodedSize() int64 {
+	// kind, count, blocklen, stride, elsize, elextent, child refs: 7x8 bytes.
+	n := int64(56)
+	n += int64(len(d.BlockLens)) * 8
+	n += int64(len(d.Offsets)) * 8
+	n += int64(len(d.ElSizes)) * 8
+	n += int64(len(d.ElExtents)) * 8
+	if d.Child != nil {
+		n += d.Child.EncodedSize()
+	}
+	for _, c := range d.Children {
+		if c != nil {
+			n += c.EncodedSize()
+		}
+	}
+	return n
+}
+
+func (d *Dataloop) String() string {
+	if d.Leaf() {
+		return fmt.Sprintf("%v[leaf count=%d bl=%d elsize=%d size=%d]",
+			d.Kind, d.Count, d.BlockLen, d.ElSize, d.size)
+	}
+	return fmt.Sprintf("%v[count=%d bl=%d size=%d depth=%d]",
+		d.Kind, d.Count, d.BlockLen, d.size, d.depth)
+}

@@ -1,0 +1,526 @@
+package dataloop
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"spinddt/internal/ddt"
+)
+
+func compile(t *testing.T, typ *ddt.Type, count int) *Dataloop {
+	t.Helper()
+	loop, err := CompileCount(typ, count)
+	if err != nil {
+		t.Fatalf("compile: %v\n%s", err, typ.Describe())
+	}
+	return loop
+}
+
+func regionsFromDDT(typ *ddt.Type, count int) []Region {
+	var out []Region
+	typ.ForEachBlock(count, func(off, size int64) {
+		out = append(out, Region{MemOff: off, Size: size})
+	})
+	return out
+}
+
+func TestCompileSizeMatchesType(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for iter := 0; iter < 200; iter++ {
+		typ := ddt.RandomType(rng, 3)
+		count := 1 + rng.Intn(3)
+		loop := compile(t, typ, count)
+		if loop.Size() != typ.Size()*int64(count) {
+			t.Fatalf("iter %d: loop size %d, type size %d\n%s",
+				iter, loop.Size(), typ.Size()*int64(count), typ.Describe())
+		}
+	}
+}
+
+func TestRegionsMatchTypemap(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for iter := 0; iter < 200; iter++ {
+		typ := ddt.RandomType(rng, 3)
+		count := 1 + rng.Intn(3)
+		loop := compile(t, typ, count)
+		got := NewSegment(loop).Regions()
+		want := regionsFromDDT(typ, count)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("iter %d: regions mismatch\n got: %v\nwant: %v\n%s",
+				iter, got, want, typ.Describe())
+		}
+	}
+}
+
+func TestVectorLeafCompile(t *testing.T) {
+	v := ddt.MustVector(4, 2, 4, ddt.Int)
+	loop := compile(t, v, 1)
+	if !loop.Leaf() || loop.Kind != Vector {
+		t.Fatalf("vector of int should compile to a leaf vector, got %v", loop)
+	}
+	if loop.Depth() != 1 || loop.Nodes() != 1 {
+		t.Fatalf("depth=%d nodes=%d", loop.Depth(), loop.Nodes())
+	}
+}
+
+func TestNestedVectorCompile(t *testing.T) {
+	inner := ddt.MustVector(3, 1, 2, ddt.Int)
+	outer := ddt.MustVector(2, 1, 8, inner)
+	loop := compile(t, outer, 1)
+	if loop.Leaf() {
+		t.Fatal("vector of vectors must be interior")
+	}
+	if loop.Depth() != 2 {
+		t.Fatalf("depth = %d", loop.Depth())
+	}
+}
+
+func TestContiguousCollapsesToLeaf(t *testing.T) {
+	c := ddt.MustContiguous(16, ddt.Double)
+	loop := compile(t, c, 4)
+	if !loop.Leaf() {
+		t.Fatalf("contiguous run should be a single leaf, got %v", loop)
+	}
+	regions := NewSegment(loop).Regions()
+	if len(regions) != 1 || regions[0] != (Region{0, 4 * 16 * 8}) {
+		t.Fatalf("regions = %v", regions)
+	}
+}
+
+func TestStructMixedMembersCompile(t *testing.T) {
+	col := ddt.MustVector(2, 1, 2, ddt.Int)
+	s := ddt.MustStruct([]int{1, 2}, []int64{0, 64}, []*ddt.Type{col, ddt.Double})
+	loop := compile(t, s, 1)
+	if loop.Kind != Struct {
+		t.Fatalf("kind = %v", loop.Kind)
+	}
+	got := NewSegment(loop).Regions()
+	want := regionsFromDDT(s, 1)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("regions mismatch\n got %v\nwant %v", got, want)
+	}
+}
+
+func TestSubarrayCompileWithShift(t *testing.T) {
+	sa := ddt.MustSubarray([]int{4, 5}, []int{2, 3}, []int{1, 1}, ddt.Double)
+	loop := compile(t, sa, 1)
+	got := NewSegment(loop).Regions()
+	want := regionsFromDDT(sa, 1)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("regions mismatch\n got %v\nwant %v", got, want)
+	}
+}
+
+func TestCompileEmptyType(t *testing.T) {
+	empty := ddt.MustContiguous(0, ddt.Int)
+	if _, err := Compile(empty); err == nil {
+		t.Fatal("compiling empty type must fail")
+	}
+	if _, err := CompileCount(ddt.Int, 0); err == nil {
+		t.Fatal("count 0 must fail")
+	}
+}
+
+func TestProcessFullRangeUnpacks(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for iter := 0; iter < 100; iter++ {
+		typ := ddt.RandomType(rng, 3)
+		count := 1 + rng.Intn(3)
+		loop := compile(t, typ, count)
+
+		_, hi := typ.Footprint(count)
+		src := make([]byte, hi)
+		rng.Read(src)
+		packed, err := ddt.Pack(typ, count, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		dst := make([]byte, hi)
+		seg := NewSegment(loop)
+		_, err = seg.Process(0, loop.Size(), func(memOff, streamOff, size int64) {
+			copy(dst[memOff:memOff+size], packed[streamOff:streamOff+size])
+		})
+		if err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+
+		want := make([]byte, hi)
+		if err := ddt.Unpack(typ, count, packed, want); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(dst, want) {
+			t.Fatalf("iter %d: segment unpack differs from reference\n%s", iter, typ.Describe())
+		}
+		if !seg.Finished() {
+			t.Fatalf("iter %d: segment not finished after full range", iter)
+		}
+	}
+}
+
+// TestProcessArbitraryPartitions is the central property: processing the
+// stream in any partition of sub-ranges gives the same bytes as one pass.
+func TestProcessArbitraryPartitions(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for iter := 0; iter < 150; iter++ {
+		typ := ddt.RandomType(rng, 3)
+		count := 1 + rng.Intn(4)
+		loop := compile(t, typ, count)
+		total := loop.Size()
+
+		_, hi := typ.Footprint(count)
+		src := make([]byte, hi)
+		rng.Read(src)
+		packed, _ := ddt.Pack(typ, count, src)
+		want := make([]byte, hi)
+		if err := ddt.Unpack(typ, count, packed, want); err != nil {
+			t.Fatal(err)
+		}
+
+		// Random cut points.
+		cuts := []int64{0, total}
+		for i := 0; i < rng.Intn(6); i++ {
+			cuts = append(cuts, rng.Int63n(total+1))
+		}
+		sortInt64s(cuts)
+
+		dst := make([]byte, hi)
+		seg := NewSegment(loop)
+		for i := 0; i+1 < len(cuts); i++ {
+			_, err := seg.Process(cuts[i], cuts[i+1], func(memOff, streamOff, size int64) {
+				copy(dst[memOff:memOff+size], packed[streamOff:streamOff+size])
+			})
+			if err != nil {
+				t.Fatalf("iter %d: process [%d,%d): %v", iter, cuts[i], cuts[i+1], err)
+			}
+		}
+		if !bytes.Equal(dst, want) {
+			t.Fatalf("iter %d: partitioned unpack differs\ncuts=%v\n%s", iter, cuts, typ.Describe())
+		}
+	}
+}
+
+func sortInt64s(xs []int64) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+func TestProcessCatchupSkipsData(t *testing.T) {
+	v := ddt.MustVector(8, 1, 2, ddt.Int) // 8 blocks of 4B
+	loop := compile(t, v, 1)
+	seg := NewSegment(loop)
+	var emitted []Region
+	st, err := seg.Process(12, 20, func(memOff, streamOff, size int64) {
+		emitted = append(emitted, Region{memOff, size})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stream [12,20) covers packed blocks 3 and 4 -> memory offsets 24, 32.
+	want := []Region{{24, 4}, {32, 4}}
+	if !reflect.DeepEqual(emitted, want) {
+		t.Fatalf("emitted = %v, want %v", emitted, want)
+	}
+	if st.CatchupBytes != 12 || st.CatchupBlocks != 3 {
+		t.Fatalf("catchup bytes=%d blocks=%d", st.CatchupBytes, st.CatchupBlocks)
+	}
+	if st.EmitBytes != 8 || st.EmitRegions != 2 {
+		t.Fatalf("emit bytes=%d regions=%d", st.EmitBytes, st.EmitRegions)
+	}
+}
+
+func TestProcessBackwardRangeResets(t *testing.T) {
+	v := ddt.MustVector(8, 1, 2, ddt.Int)
+	loop := compile(t, v, 1)
+	seg := NewSegment(loop)
+	if _, err := seg.Process(16, 24, nil); err != nil {
+		t.Fatal(err)
+	}
+	st, err := seg.Process(4, 8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.DidReset {
+		t.Fatal("backward range did not reset")
+	}
+	if seg.Pos() != 8 {
+		t.Fatalf("pos = %d", seg.Pos())
+	}
+}
+
+func TestProcessMidBlockSplit(t *testing.T) {
+	// Blocks of 8 bytes; split mid-block at 4.
+	v := ddt.MustVector(4, 2, 4, ddt.Int)
+	loop := compile(t, v, 1)
+	seg := NewSegment(loop)
+	var first []Region
+	if _, err := seg.Process(0, 4, func(m, s, n int64) { first = append(first, Region{m, n}) }); err != nil {
+		t.Fatal(err)
+	}
+	var second []Region
+	if _, err := seg.Process(4, 12, func(m, s, n int64) { second = append(second, Region{m, n}) }); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first, []Region{{0, 4}}) {
+		t.Fatalf("first = %v", first)
+	}
+	// Second half of block 0 (mem 4..8), then first half of block 1 (mem 16..20).
+	if !reflect.DeepEqual(second, []Region{{4, 4}, {16, 4}}) {
+		t.Fatalf("second = %v", second)
+	}
+}
+
+func TestProcessRangeErrors(t *testing.T) {
+	loop := compile(t, ddt.MustContiguous(4, ddt.Int), 1)
+	seg := NewSegment(loop)
+	if _, err := seg.Process(-1, 4, nil); err == nil {
+		t.Error("negative first accepted")
+	}
+	if _, err := seg.Process(0, 17, nil); err == nil {
+		t.Error("last beyond stream accepted")
+	}
+	if _, err := seg.Process(8, 4, nil); err == nil {
+		t.Error("inverted range accepted")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	v := ddt.MustVector(8, 1, 2, ddt.Int)
+	loop := compile(t, v, 1)
+	seg := NewSegment(loop)
+	if _, err := seg.Process(0, 8, nil); err != nil {
+		t.Fatal(err)
+	}
+	snap := seg.Clone()
+	if _, err := seg.Process(8, 32, nil); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Pos() != 8 {
+		t.Fatalf("clone pos changed to %d", snap.Pos())
+	}
+	// The clone must continue correctly from its snapshot position.
+	var rs []Region
+	if _, err := snap.Process(8, 12, func(m, s, n int64) { rs = append(rs, Region{m, n}) }); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rs, []Region{{16, 4}}) {
+		t.Fatalf("clone emitted %v", rs)
+	}
+}
+
+func TestCopyFrom(t *testing.T) {
+	v := ddt.MustVector(8, 1, 2, ddt.Int)
+	loop := compile(t, v, 1)
+	a := NewSegment(loop)
+	if _, err := a.Process(0, 12, nil); err != nil {
+		t.Fatal(err)
+	}
+	b := NewSegment(loop)
+	b.CopyFrom(a)
+	if b.Pos() != 12 {
+		t.Fatalf("pos = %d", b.Pos())
+	}
+	var rs []Region
+	if _, err := b.Process(12, 16, func(m, s, n int64) { rs = append(rs, Region{m, n}) }); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rs, []Region{{24, 4}}) {
+		t.Fatalf("emitted %v", rs)
+	}
+}
+
+func TestCopyFromDifferentLoopPanics(t *testing.T) {
+	a := NewSegment(compile(t, ddt.MustContiguous(4, ddt.Int), 1))
+	b := NewSegment(compile(t, ddt.MustContiguous(8, ddt.Int), 1))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("CopyFrom across loops did not panic")
+		}
+	}()
+	a.CopyFrom(b)
+}
+
+func TestEncodedSizeConstant(t *testing.T) {
+	inner := ddt.MustVector(3, 1, 2, ddt.Int)
+	outer := ddt.MustVector(4, 1, 8, inner)
+	loop := compile(t, outer, 2)
+	seg := NewSegment(loop)
+	s0 := seg.EncodedSize()
+	if _, err := seg.Process(0, loop.Size()/2, nil); err != nil {
+		t.Fatal(err)
+	}
+	if seg.EncodedSize() != s0 {
+		t.Fatalf("encoded size changed: %d -> %d", s0, seg.EncodedSize())
+	}
+	if s0 <= 0 {
+		t.Fatalf("encoded size %d", s0)
+	}
+}
+
+func TestCheckpointPositions(t *testing.T) {
+	v := ddt.MustVector(64, 1, 2, ddt.Int) // 256B stream
+	loop := compile(t, v, 1)
+	cs, err := BuildCheckpoints(loop, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.Count() != 4 {
+		t.Fatalf("count = %d, want 4", cs.Count())
+	}
+	for i := 0; i < cs.Count(); i++ {
+		if cs.Pos(i) != int64(i)*64 {
+			t.Fatalf("checkpoint %d at %d", i, cs.Pos(i))
+		}
+	}
+	if cs.Build.Checkpoints != 4 || cs.Build.BytesCloned != 4*cs.CheckpointSize() {
+		t.Fatalf("build stats %+v", cs.Build)
+	}
+	if cs.NICBytes() != 4*cs.CheckpointSize() {
+		t.Fatalf("nic bytes = %d", cs.NICBytes())
+	}
+}
+
+func TestCheckpointIndex(t *testing.T) {
+	loop := compile(t, ddt.MustVector(64, 1, 2, ddt.Int), 1)
+	cs, err := BuildCheckpoints(loop, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.Count() != 3 { // 256B / 100B -> checkpoints at 0, 100, 200
+		t.Fatalf("count = %d", cs.Count())
+	}
+	cases := []struct {
+		off  int64
+		want int
+	}{{0, 0}, {-5, 0}, {99, 0}, {100, 1}, {199, 1}, {200, 2}, {255, 2}, {1000, 2}}
+	for _, c := range cases {
+		if got := cs.Index(c.off); got != c.want {
+			t.Errorf("Index(%d) = %d, want %d", c.off, got, c.want)
+		}
+	}
+}
+
+func TestCheckpointIntervalLargerThanStream(t *testing.T) {
+	loop := compile(t, ddt.MustContiguous(4, ddt.Int), 1)
+	cs, err := BuildCheckpoints(loop, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.Count() != 1 || cs.Pos(0) != 0 {
+		t.Fatalf("count=%d pos=%d", cs.Count(), cs.Pos(0))
+	}
+}
+
+func TestCheckpointInvalidInterval(t *testing.T) {
+	loop := compile(t, ddt.MustContiguous(4, ddt.Int), 1)
+	if _, err := BuildCheckpoints(loop, 0); err == nil {
+		t.Fatal("interval 0 accepted")
+	}
+}
+
+// TestCheckpointProcessingEquivalence: starting from any checkpoint and
+// processing any later range gives the same bytes as a straight-line pass.
+func TestCheckpointProcessingEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for iter := 0; iter < 100; iter++ {
+		typ := ddt.RandomType(rng, 3)
+		count := 1 + rng.Intn(3)
+		loop := compile(t, typ, count)
+		total := loop.Size()
+		interval := 1 + rng.Int63n(total)
+		cs, err := BuildCheckpoints(loop, interval)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		_, hi := typ.Footprint(count)
+		src := make([]byte, hi)
+		rng.Read(src)
+		packed, _ := ddt.Pack(typ, count, src)
+		want := make([]byte, hi)
+		if err := ddt.Unpack(typ, count, packed, want); err != nil {
+			t.Fatal(err)
+		}
+
+		// Process random disjoint chunks, each from its closest checkpoint.
+		dst := make([]byte, hi)
+		cuts := []int64{0, total}
+		for i := 0; i < rng.Intn(5); i++ {
+			cuts = append(cuts, rng.Int63n(total+1))
+		}
+		sortInt64s(cuts)
+		for i := 0; i+1 < len(cuts); i++ {
+			a, b := cuts[i], cuts[i+1]
+			if a == b {
+				continue
+			}
+			w := cs.Working(cs.Index(a))
+			if w.Pos() > a {
+				t.Fatalf("checkpoint ahead of chunk: pos=%d a=%d", w.Pos(), a)
+			}
+			if _, err := w.Process(a, b, func(m, s, n int64) {
+				copy(dst[m:m+n], packed[s:s+n])
+			}); err != nil {
+				t.Fatalf("iter %d: %v", iter, err)
+			}
+		}
+		if !bytes.Equal(dst, want) {
+			t.Fatalf("iter %d: checkpointed unpack differs (interval=%d)\n%s",
+				iter, interval, typ.Describe())
+		}
+	}
+}
+
+func TestWorkingDoesNotMutateMaster(t *testing.T) {
+	loop := compile(t, ddt.MustVector(64, 1, 2, ddt.Int), 1)
+	cs, err := BuildCheckpoints(loop, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := cs.Working(1)
+	if _, err := w.Process(w.Pos(), 200, nil); err != nil {
+		t.Fatal(err)
+	}
+	if cs.Master(1).Pos() != 64 {
+		t.Fatalf("master mutated: pos=%d", cs.Master(1).Pos())
+	}
+}
+
+func TestDataloopEncodedSizePositive(t *testing.T) {
+	ib := ddt.MustIndexedBlock(2, []int{0, 8, 20}, ddt.Int)
+	loop := compile(t, ib, 1)
+	if loop.EncodedSize() < 56+3*8 {
+		t.Fatalf("encoded size = %d", loop.EncodedSize())
+	}
+}
+
+func TestProcessStatsAdd(t *testing.T) {
+	a := ProcessStats{CatchupBlocks: 1, CatchupBytes: 2, EmitRegions: 3, EmitBytes: 4}
+	b := ProcessStats{DidReset: true, CatchupBlocks: 10, CatchupBytes: 20, EmitRegions: 30, EmitBytes: 40}
+	a.Add(b)
+	if !a.DidReset || a.CatchupBlocks != 11 || a.CatchupBytes != 22 || a.EmitRegions != 33 || a.EmitBytes != 44 {
+		t.Fatalf("sum = %+v", a)
+	}
+}
+
+func TestSegmentExhaustionError(t *testing.T) {
+	loop := compile(t, ddt.MustContiguous(4, ddt.Int), 1)
+	seg := NewSegment(loop)
+	if _, err := seg.Process(0, 16, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !seg.Finished() {
+		t.Fatal("segment should be finished")
+	}
+	// Re-processing from the start must work after an explicit reset via
+	// backward range.
+	st, err := seg.Process(0, 8, nil)
+	if err != nil || !st.DidReset {
+		t.Fatalf("restart: %v, stats %+v", err, st)
+	}
+}

@@ -1,0 +1,266 @@
+package dataloop
+
+import "fmt"
+
+// frame is one level of the segment's processing stack: a cursor into one
+// dataloop instance. base is the absolute memory offset of the instance
+// origin; block/elem locate the element being processed.
+type frame struct {
+	loop  *Dataloop
+	base  int64
+	block int64
+	elem  int64
+}
+
+// Segment is the resumable datatype-processing state of MPITypes: a stack
+// of dataloop cursors plus the current packed-stream position. Processing a
+// byte range advances the segment; cloning it snapshots the state
+// (checkpoints); resetting rewinds to stream position zero.
+type Segment struct {
+	loop     *Dataloop
+	stack    []frame
+	leafDone int64 // bytes consumed of the current leaf block
+	pos      int64 // current packed-stream position
+	finished bool
+}
+
+// ProcessStats counts the work done by one Process call; the NIC simulator
+// translates these counts into handler runtime.
+type ProcessStats struct {
+	// DidReset is set when the requested range began before the current
+	// position, forcing a rewind to stream offset zero.
+	DidReset bool
+	// CatchupBlocks and CatchupBytes count the leaf regions and bytes walked
+	// (without emitting) to reach the range start.
+	CatchupBlocks int64
+	CatchupBytes  int64
+	// EmitRegions and EmitBytes count the contiguous regions and bytes
+	// delivered to the emit callback.
+	EmitRegions int64
+	EmitBytes   int64
+}
+
+// Add accumulates other into s.
+func (s *ProcessStats) Add(other ProcessStats) {
+	s.DidReset = s.DidReset || other.DidReset
+	s.CatchupBlocks += other.CatchupBlocks
+	s.CatchupBytes += other.CatchupBytes
+	s.EmitRegions += other.EmitRegions
+	s.EmitBytes += other.EmitBytes
+}
+
+// NewSegment returns a segment positioned at stream offset zero.
+func NewSegment(loop *Dataloop) *Segment {
+	s := &Segment{loop: loop}
+	s.Reset()
+	return s
+}
+
+// Loop returns the dataloop this segment processes.
+func (s *Segment) Loop() *Dataloop { return s.loop }
+
+// Pos returns the current packed-stream position.
+func (s *Segment) Pos() int64 { return s.pos }
+
+// Finished reports whether the whole stream has been processed.
+func (s *Segment) Finished() bool { return s.finished }
+
+// Reset rewinds the segment to stream position zero.
+func (s *Segment) Reset() {
+	s.stack = s.stack[:0]
+	s.stack = append(s.stack, frame{loop: s.loop})
+	s.leafDone = 0
+	s.pos = 0
+	s.finished = false
+	s.settle()
+}
+
+// Clone returns a deep copy of the segment. Dataloops are immutable and
+// shared; only the cursor stack is copied. This is the checkpoint snapshot
+// operation, and CopyBytes() tells the simulator what the copy costs.
+func (s *Segment) Clone() *Segment {
+	cp := *s
+	cp.stack = append([]frame(nil), s.stack...)
+	return &cp
+}
+
+// CopyFrom overwrites the segment state from src (same dataloop), reusing
+// the stack allocation. It is the "make a local copy of the checkpoint"
+// step of RO-CP and the revert step of RW-CP.
+func (s *Segment) CopyFrom(src *Segment) {
+	if s.loop != src.loop {
+		panic("dataloop: CopyFrom across different dataloops")
+	}
+	s.stack = append(s.stack[:0], src.stack...)
+	s.leafDone = src.leafDone
+	s.pos = src.pos
+	s.finished = src.finished
+}
+
+// EncodedSize returns the bytes a serialized segment occupies in NIC
+// memory. The size is a function of the dataloop's depth, not the current
+// position, so every checkpoint of a datatype has the same size (the
+// paper's fixed checkpoint size C).
+func (s *Segment) EncodedSize() int64 {
+	// Per frame: loop id, base, block, elem (4x8B); header: pos, leafDone,
+	// flags (3x8B).
+	return int64(s.loop.Depth())*32 + 24
+}
+
+// pop removes the top frame and advances the parent cursor to its next
+// element (wrapping into the next block).
+func (s *Segment) pop() {
+	s.stack = s.stack[:len(s.stack)-1]
+	if len(s.stack) == 0 {
+		return
+	}
+	f := &s.stack[len(s.stack)-1]
+	f.elem++
+	if f.elem >= f.loop.BlockCount(f.block) {
+		f.elem = 0
+		f.block++
+	}
+}
+
+// settle drives the stack to the next non-empty leaf block, descending into
+// children and popping exhausted frames. It returns false when the stream
+// is exhausted.
+func (s *Segment) settle() bool {
+	for {
+		if len(s.stack) == 0 {
+			s.finished = true
+			return false
+		}
+		f := &s.stack[len(s.stack)-1]
+		l := f.loop
+
+		if l.Leaf() {
+			for f.block < l.NumBlocks() && l.BlockCount(f.block)*l.ElSize == 0 {
+				f.block++
+			}
+			if f.block < l.NumBlocks() {
+				return true
+			}
+			s.pop()
+			continue
+		}
+
+		// Skip empty blocks (zero elements or zero-size elements).
+		for f.block < l.NumBlocks() &&
+			(l.BlockCount(f.block) == 0 || l.ElemSize(f.block) == 0) {
+			f.block++
+			f.elem = 0
+		}
+		if f.block >= l.NumBlocks() {
+			s.pop()
+			continue
+		}
+		base := f.base + l.BlockOffset(f.block) + f.elem*l.ElemExtent(f.block)
+		s.stack = append(s.stack, frame{loop: l.ChildAt(f.block), base: base})
+	}
+}
+
+// region returns the memory offset and size of the current leaf block. The
+// stack must be settled on a leaf.
+func (s *Segment) region() (memOff, size int64) {
+	f := &s.stack[len(s.stack)-1]
+	l := f.loop
+	return f.base + l.BlockOffset(f.block), l.BlockCount(f.block) * l.ElSize
+}
+
+// advanceRegion moves past the current leaf block.
+func (s *Segment) advanceRegion() {
+	f := &s.stack[len(s.stack)-1]
+	f.block++
+	s.leafDone = 0
+	s.settle()
+}
+
+// Process advances the segment over the packed-stream range [first, last),
+// calling emit(memOff, streamOff, size) for every contiguous memory region
+// in the range, in stream order. If first is beyond the current position
+// the segment catches up silently; if it is before, the segment resets and
+// catches up from zero (the MPITypes behaviour the paper builds RO-CP and
+// RW-CP around). emit may be nil to progress without delivering data.
+func (s *Segment) Process(first, last int64, emit func(memOff, streamOff, size int64)) (ProcessStats, error) {
+	var st ProcessStats
+	total := s.loop.Size()
+	if first < 0 || last < first || last > total {
+		return st, fmt.Errorf("dataloop: range [%d,%d) outside stream of %d bytes", first, last, total)
+	}
+	if first < s.pos {
+		s.Reset()
+		st.DidReset = true
+	}
+
+	// Catch-up phase: walk to first without emitting.
+	for s.pos < first {
+		if s.finished {
+			return st, fmt.Errorf("dataloop: stream exhausted at %d before reaching %d", s.pos, first)
+		}
+		_, size := s.region()
+		remain := size - s.leafDone
+		step := first - s.pos
+		if step > remain {
+			step = remain
+		}
+		s.leafDone += step
+		s.pos += step
+		st.CatchupBlocks++
+		st.CatchupBytes += step
+		if s.leafDone == size {
+			s.advanceRegion()
+		}
+	}
+
+	// Emit phase.
+	for s.pos < last {
+		if s.finished {
+			return st, fmt.Errorf("dataloop: stream exhausted at %d before reaching %d", s.pos, last)
+		}
+		memOff, size := s.region()
+		remain := size - s.leafDone
+		step := last - s.pos
+		if step > remain {
+			step = remain
+		}
+		if emit != nil {
+			emit(memOff+s.leafDone, s.pos, step)
+		}
+		st.EmitRegions++
+		st.EmitBytes += step
+		s.leafDone += step
+		s.pos += step
+		if s.leafDone == size {
+			s.advanceRegion()
+		}
+	}
+	return st, nil
+}
+
+// Regions materializes the memory regions of the whole stream from a fresh
+// walk (the segment is reset first). Intended for tests and small types.
+func (s *Segment) Regions() []Region {
+	s.Reset()
+	var out []Region
+	_, err := s.Process(0, s.loop.Size(), func(memOff, streamOff, size int64) {
+		// Coalesce adjacent emissions so region splits introduced by loop
+		// structure do not affect the caller's view.
+		if n := len(out); n > 0 && out[n-1].MemOff+out[n-1].Size == memOff {
+			out[n-1].Size += size
+			return
+		}
+		out = append(out, Region{MemOff: memOff, Size: size})
+	})
+	if err != nil {
+		panic(err) // full-range walk of a compiled loop cannot fail
+	}
+	s.Reset()
+	return out
+}
+
+// Region is one contiguous memory region of a typemap.
+type Region struct {
+	MemOff int64
+	Size   int64
+}

@@ -1,0 +1,253 @@
+package ddt
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// The host "copies the DDT data structures to the NIC" (paper Sec. 3.2.6);
+// this codec gives that transfer a concrete wire representation: a
+// recursive TLV encoding of the constructor tree. Encode/Decode round-trip
+// exactly (same typemap, same signature), and EncodedSize is what the
+// transfer costs in bytes.
+
+const codecMagic uint32 = 0x5350494e // "SPIN"
+
+// Encode serializes the datatype's constructor tree.
+func Encode(t *Type) []byte {
+	var buf []byte
+	buf = binary.LittleEndian.AppendUint32(buf, codecMagic)
+	buf = appendType(buf, t)
+	return buf
+}
+
+// EncodedSize returns len(Encode(t)) without materializing the buffer
+// twice; it is the NIC-copy volume for the type description.
+func EncodedSize(t *Type) int64 { return int64(len(Encode(t))) }
+
+func appendType(buf []byte, t *Type) []byte {
+	buf = append(buf, byte(t.kind))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(t.size))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(t.lb))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(t.extent))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(t.count))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(t.blockLen))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(t.stride))
+	buf = appendIntSlice(buf, t.blockLens)
+	buf = appendInt64Slice(buf, t.displs)
+	buf = appendIntSlice(buf, t.dims)
+	buf = appendIntSlice(buf, t.subDims)
+	buf = appendIntSlice(buf, t.starts)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(t.children)))
+	for _, c := range t.children {
+		buf = appendType(buf, c)
+	}
+	return buf
+}
+
+func appendIntSlice(buf []byte, xs []int) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(xs)))
+	for _, x := range xs {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(x))
+	}
+	return buf
+}
+
+func appendInt64Slice(buf []byte, xs []int64) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(xs)))
+	for _, x := range xs {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(x))
+	}
+	return buf
+}
+
+// decoder reads the TLV stream with bounds checking.
+type decoder struct {
+	buf []byte
+	pos int
+	err error
+}
+
+func (d *decoder) u32() uint32 {
+	if d.err != nil || d.pos+4 > len(d.buf) {
+		d.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(d.buf[d.pos:])
+	d.pos += 4
+	return v
+}
+
+func (d *decoder) u64() uint64 {
+	if d.err != nil || d.pos+8 > len(d.buf) {
+		d.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.buf[d.pos:])
+	d.pos += 8
+	return v
+}
+
+func (d *decoder) byte() byte {
+	if d.err != nil || d.pos >= len(d.buf) {
+		d.fail()
+		return 0
+	}
+	v := d.buf[d.pos]
+	d.pos++
+	return v
+}
+
+func (d *decoder) fail() {
+	if d.err == nil {
+		d.err = errors.New("ddt: truncated encoding")
+	}
+}
+
+func (d *decoder) intSlice() []int {
+	n := d.u32()
+	if d.err != nil || int(n) > (len(d.buf)-d.pos)/8 {
+		d.fail()
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]int, n)
+	for i := range out {
+		out[i] = int(int64(d.u64()))
+	}
+	return out
+}
+
+func (d *decoder) int64Slice() []int64 {
+	n := d.u32()
+	if d.err != nil || int(n) > (len(d.buf)-d.pos)/8 {
+		d.fail()
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = int64(d.u64())
+	}
+	return out
+}
+
+// Decode reconstructs a datatype from its encoding. The decoded tree is
+// rebuilt through the public constructors, so every structural invariant
+// is re-validated — a malformed or adversarial encoding yields an error,
+// never an inconsistent type.
+func Decode(buf []byte) (*Type, error) {
+	d := &decoder{buf: buf}
+	if d.u32() != codecMagic {
+		return nil, errors.New("ddt: bad magic")
+	}
+	t, err := d.decodeType(0)
+	if err != nil {
+		return nil, err
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.pos != len(buf) {
+		return nil, fmt.Errorf("ddt: %d trailing bytes", len(buf)-d.pos)
+	}
+	return t, nil
+}
+
+const maxDecodeDepth = 64
+
+func (d *decoder) decodeType(depth int) (*Type, error) {
+	if depth > maxDecodeDepth {
+		return nil, errors.New("ddt: nesting too deep")
+	}
+	kind := Kind(d.byte())
+	size := int64(d.u64())
+	lb := int64(d.u64())
+	extent := int64(d.u64())
+	count := int(int64(d.u64()))
+	blockLen := int(int64(d.u64()))
+	stride := int64(d.u64())
+	blockLens := d.intSlice()
+	displs := d.int64Slice()
+	dims := d.intSlice()
+	subDims := d.intSlice()
+	starts := d.intSlice()
+	nchildren := int(d.u32())
+	if d.err != nil {
+		return nil, d.err
+	}
+	if nchildren > len(d.buf)-d.pos {
+		return nil, errors.New("ddt: child count exceeds buffer")
+	}
+	children := make([]*Type, nchildren)
+	for i := range children {
+		c, err := d.decodeType(depth + 1)
+		if err != nil {
+			return nil, err
+		}
+		children[i] = c
+	}
+
+	rebuild := func() (*Type, error) {
+		switch kind {
+		case KindElementary:
+			if size <= 0 {
+				return nil, errors.New("ddt: elementary size")
+			}
+			return Elementary("decoded", size), nil
+		case KindContiguous:
+			return NewContiguous(count, one(children))
+		case KindVector, KindHVector:
+			if count < 0 || blockLen < 0 || one(children) == nil {
+				return nil, errors.New("ddt: invalid vector encoding")
+			}
+			return newVectorBytes(count, blockLen, stride, one(children), kind)
+		case KindIndexed, KindHIndexed:
+			if one(children) == nil {
+				return nil, errors.New("ddt: indexed without base")
+			}
+			return newIndexedBytes(blockLens, displs, one(children), kind)
+		case KindIndexedBlock, KindHIndexedBlock:
+			if one(children) == nil {
+				return nil, errors.New("ddt: indexed_block without base")
+			}
+			return newIndexedBlockBytes(blockLen, displs, one(children), kind)
+		case KindStruct:
+			return NewStruct(blockLens, displs, children)
+		case KindSubarray:
+			return NewSubarray(dims, subDims, starts, one(children))
+		case KindResized:
+			return NewResized(one(children), lb, extent)
+		default:
+			return nil, fmt.Errorf("ddt: unknown kind %d", kind)
+		}
+	}
+	t, err := rebuild()
+	if err != nil {
+		return nil, err
+	}
+	if t == nil {
+		return nil, errors.New("ddt: decode produced nil type")
+	}
+	// Cross-check the recorded algebra against the reconstruction: a
+	// corrupted stream cannot smuggle in inconsistent metadata.
+	if t.size != size || t.lb != lb || t.extent != extent {
+		return nil, fmt.Errorf("ddt: metadata mismatch (size %d/%d lb %d/%d extent %d/%d)",
+			t.size, size, t.lb, lb, t.extent, extent)
+	}
+	return t, nil
+}
+
+// one returns the single child or nil (constructor validation rejects the
+// nil downstream).
+func one(children []*Type) *Type {
+	if len(children) != 1 {
+		return nil
+	}
+	return children[0]
+}

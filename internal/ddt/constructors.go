@@ -1,0 +1,416 @@
+package ddt
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Predefined elementary datatypes, mirroring the MPI basic types for C.
+var (
+	Char       = Elementary("MPI_CHAR", 1)
+	Byte       = Elementary("MPI_BYTE", 1)
+	Short      = Elementary("MPI_SHORT", 2)
+	Int        = Elementary("MPI_INT", 4)
+	Long       = Elementary("MPI_LONG", 8)
+	Float      = Elementary("MPI_FLOAT", 4)
+	Double     = Elementary("MPI_DOUBLE", 8)
+	Complex    = Elementary("MPI_COMPLEX", 8)
+	DblComplex = Elementary("MPI_DOUBLE_COMPLEX", 16)
+)
+
+// ErrInvalidType reports an invalid constructor argument.
+var ErrInvalidType = errors.New("ddt: invalid type constructor")
+
+func invalidf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrInvalidType, fmt.Sprintf(format, args...))
+}
+
+// Elementary returns a basic datatype of the given byte size. Elementary
+// types are contiguous and have extent equal to size.
+func Elementary(name string, size int64) *Type {
+	if size <= 0 {
+		panic(invalidf("elementary %q size %d", name, size))
+	}
+	return &Type{kind: KindElementary, name: name, size: size, extent: size}
+}
+
+// NewContiguous returns a datatype describing count consecutive elements of
+// base (MPI_Type_contiguous).
+func NewContiguous(count int, base *Type) (*Type, error) {
+	if err := checkCountBase("contiguous", count, base); err != nil {
+		return nil, err
+	}
+	t := &Type{
+		kind:     KindContiguous,
+		name:     "contiguous",
+		count:    count,
+		children: []*Type{base},
+		size:     int64(count) * base.size,
+	}
+	if count > 0 {
+		t.lb = base.lb
+		t.extent = int64(count) * base.extent
+	}
+	return t, nil
+}
+
+// NewVector returns a strided datatype (MPI_Type_vector): count blocks of
+// blockLen base elements, the start of each block stride base-extents apart.
+func NewVector(count, blockLen, stride int, base *Type) (*Type, error) {
+	if err := checkCountBase("vector", count, base); err != nil {
+		return nil, err
+	}
+	if blockLen < 0 {
+		return nil, invalidf("vector blockLen %d", blockLen)
+	}
+	return newVectorBytes(count, blockLen, int64(stride)*base.extent, base, KindVector)
+}
+
+// NewHVector is NewVector with the stride given in bytes
+// (MPI_Type_create_hvector).
+func NewHVector(count, blockLen int, strideBytes int64, base *Type) (*Type, error) {
+	if err := checkCountBase("hvector", count, base); err != nil {
+		return nil, err
+	}
+	if blockLen < 0 {
+		return nil, invalidf("hvector blockLen %d", blockLen)
+	}
+	return newVectorBytes(count, blockLen, strideBytes, base, KindHVector)
+}
+
+func newVectorBytes(count, blockLen int, strideBytes int64, base *Type, kind Kind) (*Type, error) {
+	t := &Type{
+		kind:     kind,
+		name:     kind.String(),
+		count:    count,
+		blockLen: blockLen,
+		stride:   strideBytes,
+		children: []*Type{base},
+		size:     int64(count) * int64(blockLen) * base.size,
+	}
+	if count > 0 && blockLen > 0 {
+		blockSpan := int64(blockLen-1)*base.extent + base.extent // block footprint
+		lo, hi := int64(0), blockSpan
+		last := int64(count-1) * strideBytes
+		if last < lo {
+			lo = last
+		}
+		if last+blockSpan > hi {
+			hi = last + blockSpan
+		}
+		t.lb = lo + base.lb
+		t.extent = hi - lo
+	}
+	return t, nil
+}
+
+// NewIndexed returns an irregularly-strided datatype (MPI_Type_indexed):
+// block i holds blockLens[i] base elements displaced displs[i] base-extents
+// from the origin.
+func NewIndexed(blockLens, displs []int, base *Type) (*Type, error) {
+	if base == nil {
+		return nil, invalidf("indexed nil base")
+	}
+	byteDispls := make([]int64, len(displs))
+	for i, d := range displs {
+		byteDispls[i] = int64(d) * base.extent
+	}
+	return newIndexedBytes(blockLens, byteDispls, base, KindIndexed)
+}
+
+// NewHIndexed is NewIndexed with displacements in bytes
+// (MPI_Type_create_hindexed).
+func NewHIndexed(blockLens []int, byteDispls []int64, base *Type) (*Type, error) {
+	if base == nil {
+		return nil, invalidf("hindexed nil base")
+	}
+	return newIndexedBytes(blockLens, append([]int64(nil), byteDispls...), base, KindHIndexed)
+}
+
+func newIndexedBytes(blockLens []int, byteDispls []int64, base *Type, kind Kind) (*Type, error) {
+	if len(blockLens) != len(byteDispls) {
+		return nil, invalidf("%s blockLens/displs length mismatch (%d vs %d)",
+			kind, len(blockLens), len(byteDispls))
+	}
+	var size int64
+	for i, bl := range blockLens {
+		if bl < 0 {
+			return nil, invalidf("%s blockLens[%d] = %d", kind, i, bl)
+		}
+		size += int64(bl) * base.size
+	}
+	t := &Type{
+		kind:      kind,
+		name:      kind.String(),
+		count:     len(blockLens),
+		blockLens: append([]int(nil), blockLens...),
+		displs:    byteDispls,
+		children:  []*Type{base},
+		size:      size,
+	}
+	t.setIndexedBounds(base, func(i int) int64 { return int64(blockLens[i]) })
+	return t, nil
+}
+
+// NewIndexedBlock returns an indexed datatype with constant block length
+// (MPI_Type_create_indexed_block); displacements are in base extents.
+func NewIndexedBlock(blockLen int, displs []int, base *Type) (*Type, error) {
+	if base == nil {
+		return nil, invalidf("indexed_block nil base")
+	}
+	byteDispls := make([]int64, len(displs))
+	for i, d := range displs {
+		byteDispls[i] = int64(d) * base.extent
+	}
+	return newIndexedBlockBytes(blockLen, byteDispls, base, KindIndexedBlock)
+}
+
+// NewHIndexedBlock is NewIndexedBlock with displacements in bytes
+// (MPI_Type_create_hindexed_block).
+func NewHIndexedBlock(blockLen int, byteDispls []int64, base *Type) (*Type, error) {
+	if base == nil {
+		return nil, invalidf("hindexed_block nil base")
+	}
+	return newIndexedBlockBytes(blockLen, append([]int64(nil), byteDispls...), base, KindHIndexedBlock)
+}
+
+func newIndexedBlockBytes(blockLen int, byteDispls []int64, base *Type, kind Kind) (*Type, error) {
+	if blockLen < 0 {
+		return nil, invalidf("%s blockLen %d", kind, blockLen)
+	}
+	t := &Type{
+		kind:     kind,
+		name:     kind.String(),
+		count:    len(byteDispls),
+		blockLen: blockLen,
+		displs:   byteDispls,
+		children: []*Type{base},
+		size:     int64(len(byteDispls)) * int64(blockLen) * base.size,
+	}
+	t.setIndexedBounds(base, func(int) int64 { return int64(blockLen) })
+	return t, nil
+}
+
+// setIndexedBounds computes lb/extent for the indexed family, where block i
+// covers [displs[i], displs[i]+lenOf(i)*base.extent).
+func (t *Type) setIndexedBounds(base *Type, lenOf func(i int) int64) {
+	first := true
+	var lo, hi int64
+	for i := range t.displs {
+		n := lenOf(i)
+		if n == 0 {
+			continue
+		}
+		b0 := t.displs[i]
+		b1 := t.displs[i] + n*base.extent
+		if first {
+			lo, hi = b0, b1
+			first = false
+			continue
+		}
+		if b0 < lo {
+			lo = b0
+		}
+		if b1 > hi {
+			hi = b1
+		}
+	}
+	if !first {
+		t.lb = lo + base.lb
+		t.extent = hi - lo
+	}
+}
+
+// NewStruct returns a heterogeneous datatype (MPI_Type_create_struct):
+// member i consists of blockLens[i] elements of types[i] at byte
+// displacement displs[i].
+func NewStruct(blockLens []int, displs []int64, types []*Type) (*Type, error) {
+	if len(blockLens) != len(displs) || len(blockLens) != len(types) {
+		return nil, invalidf("struct argument length mismatch (%d, %d, %d)",
+			len(blockLens), len(displs), len(types))
+	}
+	var size int64
+	first := true
+	var lo, hi int64
+	for i, bl := range blockLens {
+		if bl < 0 {
+			return nil, invalidf("struct blockLens[%d] = %d", i, bl)
+		}
+		if types[i] == nil {
+			return nil, invalidf("struct types[%d] is nil", i)
+		}
+		size += int64(bl) * types[i].size
+		if bl == 0 {
+			continue
+		}
+		b0 := displs[i] + types[i].lb
+		b1 := displs[i] + int64(bl-1)*types[i].extent + types[i].UB()
+		if first {
+			lo, hi = b0, b1
+			first = false
+			continue
+		}
+		if b0 < lo {
+			lo = b0
+		}
+		if b1 > hi {
+			hi = b1
+		}
+	}
+	t := &Type{
+		kind:      KindStruct,
+		name:      "struct",
+		count:     len(blockLens),
+		blockLens: append([]int(nil), blockLens...),
+		displs:    append([]int64(nil), displs...),
+		children:  append([]*Type(nil), types...),
+		size:      size,
+	}
+	if !first {
+		t.lb = lo
+		t.extent = hi - lo
+	}
+	return t, nil
+}
+
+// NewSubarray returns a datatype describing an n-dimensional subarray of a
+// larger n-dimensional array in row-major (C) order
+// (MPI_Type_create_subarray). sizes are the full array dimensions, subSizes
+// the subarray dimensions, and starts the subarray origin, all in elements
+// of base. The extent of the type spans the full array, so consecutive
+// elements of the subarray type tile consecutive full arrays.
+func NewSubarray(sizes, subSizes, starts []int, base *Type) (*Type, error) {
+	if base == nil {
+		return nil, invalidf("subarray nil base")
+	}
+	n := len(sizes)
+	if n == 0 || len(subSizes) != n || len(starts) != n {
+		return nil, invalidf("subarray dimension mismatch (%d, %d, %d)",
+			len(sizes), len(subSizes), len(starts))
+	}
+	total, sub := int64(1), int64(1)
+	for d := 0; d < n; d++ {
+		if sizes[d] <= 0 || subSizes[d] < 0 || starts[d] < 0 {
+			return nil, invalidf("subarray dim %d: size=%d sub=%d start=%d",
+				d, sizes[d], subSizes[d], starts[d])
+		}
+		if starts[d]+subSizes[d] > sizes[d] {
+			return nil, invalidf("subarray dim %d exceeds array: start=%d sub=%d size=%d",
+				d, starts[d], subSizes[d], sizes[d])
+		}
+		total *= int64(sizes[d])
+		sub *= int64(subSizes[d])
+	}
+	return &Type{
+		kind:     KindSubarray,
+		name:     "subarray",
+		count:    1,
+		dims:     append([]int(nil), sizes...),
+		subDims:  append([]int(nil), subSizes...),
+		starts:   append([]int(nil), starts...),
+		children: []*Type{base},
+		size:     sub * base.size,
+		lb:       0,
+		extent:   total * base.extent,
+	}, nil
+}
+
+// NewSubarrayFortran is NewSubarray with column-major (Fortran) storage
+// order (MPI_ORDER_FORTRAN): dimension 0 varies fastest. A Fortran-order
+// subarray over sizes is exactly a row-major subarray over the reversed
+// dimension vectors, which is how it is lowered here.
+func NewSubarrayFortran(sizes, subSizes, starts []int, base *Type) (*Type, error) {
+	t, err := NewSubarray(reverseInts(sizes), reverseInts(subSizes), reverseInts(starts), base)
+	if err != nil {
+		return nil, err
+	}
+	t.name = "subarray(fortran)"
+	return t, nil
+}
+
+func reverseInts(xs []int) []int {
+	out := make([]int, len(xs))
+	for i, x := range xs {
+		out[len(xs)-1-i] = x
+	}
+	return out
+}
+
+// NewResized returns base with its lower bound and extent overridden
+// (MPI_Type_create_resized). It changes element spacing without changing
+// the data layout of a single element.
+func NewResized(base *Type, lb, extent int64) (*Type, error) {
+	if base == nil {
+		return nil, invalidf("resized nil base")
+	}
+	if extent < 0 {
+		return nil, invalidf("resized negative extent %d", extent)
+	}
+	return &Type{
+		kind:     KindResized,
+		name:     "resized",
+		count:    1,
+		children: []*Type{base},
+		size:     base.size,
+		lb:       lb,
+		extent:   extent,
+	}, nil
+}
+
+// MustContiguous is NewContiguous that panics on error; for tests and
+// example code with constant arguments.
+func MustContiguous(count int, base *Type) *Type {
+	return mustType(NewContiguous(count, base))
+}
+
+// MustVector is NewVector that panics on error.
+func MustVector(count, blockLen, stride int, base *Type) *Type {
+	return mustType(NewVector(count, blockLen, stride, base))
+}
+
+// MustHVector is NewHVector that panics on error.
+func MustHVector(count, blockLen int, strideBytes int64, base *Type) *Type {
+	return mustType(NewHVector(count, blockLen, strideBytes, base))
+}
+
+// MustIndexed is NewIndexed that panics on error.
+func MustIndexed(blockLens, displs []int, base *Type) *Type {
+	return mustType(NewIndexed(blockLens, displs, base))
+}
+
+// MustIndexedBlock is NewIndexedBlock that panics on error.
+func MustIndexedBlock(blockLen int, displs []int, base *Type) *Type {
+	return mustType(NewIndexedBlock(blockLen, displs, base))
+}
+
+// MustStruct is NewStruct that panics on error.
+func MustStruct(blockLens []int, displs []int64, types []*Type) *Type {
+	return mustType(NewStruct(blockLens, displs, types))
+}
+
+// MustSubarray is NewSubarray that panics on error.
+func MustSubarray(sizes, subSizes, starts []int, base *Type) *Type {
+	return mustType(NewSubarray(sizes, subSizes, starts, base))
+}
+
+// MustResized is NewResized that panics on error.
+func MustResized(base *Type, lb, extent int64) *Type {
+	return mustType(NewResized(base, lb, extent))
+}
+
+func mustType(t *Type, err error) *Type {
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+func checkCountBase(ctor string, count int, base *Type) error {
+	if count < 0 {
+		return invalidf("%s count %d", ctor, count)
+	}
+	if base == nil {
+		return invalidf("%s nil base", ctor)
+	}
+	return nil
+}

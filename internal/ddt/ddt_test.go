@@ -1,0 +1,482 @@
+package ddt
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func blocksEqual(t *testing.T, got, want []Block) {
+	t.Helper()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("blocks mismatch\n got: %v\nwant: %v", got, want)
+	}
+}
+
+func TestElementary(t *testing.T) {
+	if Int.Size() != 4 || Int.Extent() != 4 || Int.LB() != 0 {
+		t.Fatalf("Int: size=%d extent=%d lb=%d", Int.Size(), Int.Extent(), Int.LB())
+	}
+	if Double.Size() != 8 || Char.Size() != 1 || DblComplex.Size() != 16 {
+		t.Fatal("elementary sizes wrong")
+	}
+	if !Int.Contiguous() {
+		t.Fatal("Int must be contiguous")
+	}
+}
+
+func TestElementaryInvalidSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Elementary with size 0 did not panic")
+		}
+	}()
+	Elementary("bad", 0)
+}
+
+func TestContiguous(t *testing.T) {
+	c := MustContiguous(5, Int)
+	if c.Size() != 20 || c.Extent() != 20 {
+		t.Fatalf("contiguous(5,Int): size=%d extent=%d", c.Size(), c.Extent())
+	}
+	blocksEqual(t, c.Flatten(1), []Block{{0, 20}})
+	// Merging across elements: contiguous elements coalesce into one block.
+	blocksEqual(t, c.Flatten(3), []Block{{0, 60}})
+	if c.TotalBlocks(3) != 1 {
+		t.Fatalf("TotalBlocks = %d", c.TotalBlocks(3))
+	}
+}
+
+func TestMatrixColumnVector(t *testing.T) {
+	// A column of a 4x4 row-major int matrix: vector(4, 1, 4, MPI_INT).
+	v := MustVector(4, 1, 4, Int)
+	if v.Size() != 16 {
+		t.Fatalf("size = %d", v.Size())
+	}
+	if v.Extent() != 3*16+4 { // last block at 48, block size 4
+		t.Fatalf("extent = %d", v.Extent())
+	}
+	blocksEqual(t, v.Flatten(1), []Block{{0, 4}, {16, 4}, {32, 4}, {48, 4}})
+	if v.NumBlocks() != 4 || v.MaxBlock() != 4 || v.MinBlock() != 4 {
+		t.Fatalf("blocks=%d max=%d min=%d", v.NumBlocks(), v.MaxBlock(), v.MinBlock())
+	}
+}
+
+func TestVectorDenseStrideMerges(t *testing.T) {
+	v := MustVector(4, 2, 2, Int) // stride == blockLen: dense
+	blocksEqual(t, v.Flatten(1), []Block{{0, 32}})
+	if !v.Contiguous() {
+		t.Fatal("dense vector must be contiguous")
+	}
+}
+
+func TestHVectorNegativeStride(t *testing.T) {
+	v, err := NewHVector(3, 1, -8, Int)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.LB() != -16 {
+		t.Fatalf("lb = %d, want -16", v.LB())
+	}
+	if v.Extent() != 20 { // [-16, 4)
+		t.Fatalf("extent = %d, want 20", v.Extent())
+	}
+	blocksEqual(t, v.Flatten(1), []Block{{0, 4}, {-8, 4}, {-16, 4}})
+}
+
+func TestIndexed(t *testing.T) {
+	ix := MustIndexed([]int{2, 1}, []int{0, 4}, Int)
+	if ix.Size() != 12 {
+		t.Fatalf("size = %d", ix.Size())
+	}
+	if ix.Extent() != 20 { // block 1 covers [16, 20)
+		t.Fatalf("extent = %d", ix.Extent())
+	}
+	blocksEqual(t, ix.Flatten(1), []Block{{0, 8}, {16, 4}})
+}
+
+func TestIndexedAdjacentBlocksMerge(t *testing.T) {
+	ix := MustIndexed([]int{1, 1, 2}, []int{0, 1, 2}, Int)
+	blocksEqual(t, ix.Flatten(1), []Block{{0, 16}})
+}
+
+func TestIndexedBlock(t *testing.T) {
+	ib := MustIndexedBlock(2, []int{0, 4, 10}, Int)
+	if ib.Size() != 24 {
+		t.Fatalf("size = %d", ib.Size())
+	}
+	blocksEqual(t, ib.Flatten(1), []Block{{0, 8}, {16, 8}, {40, 8}})
+}
+
+func TestHIndexedBlockByteDispls(t *testing.T) {
+	ib, err := NewHIndexedBlock(1, []int64{3, 9}, Char)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ib.LB() != 3 || ib.Extent() != 7 { // [3, 10)
+		t.Fatalf("lb=%d extent=%d", ib.LB(), ib.Extent())
+	}
+	blocksEqual(t, ib.Flatten(1), []Block{{3, 1}, {9, 1}})
+}
+
+func TestStruct(t *testing.T) {
+	s := MustStruct([]int{2, 1}, []int64{0, 24}, []*Type{Int, Double})
+	if s.Size() != 16 {
+		t.Fatalf("size = %d", s.Size())
+	}
+	if s.Extent() != 32 {
+		t.Fatalf("extent = %d", s.Extent())
+	}
+	blocksEqual(t, s.Flatten(1), []Block{{0, 8}, {24, 8}})
+}
+
+func TestStructOfVectors(t *testing.T) {
+	col := MustVector(2, 1, 2, Int) // two 4B blocks 8B apart
+	s := MustStruct([]int{1, 1}, []int64{0, 100}, []*Type{col, Double})
+	blocksEqual(t, s.Flatten(1), []Block{{0, 4}, {8, 4}, {100, 8}})
+}
+
+func subarrayOracle(sizes, subSizes, starts []int, elemSize int64) []Block {
+	// Mark every byte of the subarray in a row-major mask, then coalesce.
+	total := int64(1)
+	for _, s := range sizes {
+		total *= int64(s)
+	}
+	mask := make([]bool, total*elemSize)
+	var walk func(dim int, off int64)
+	n := len(sizes)
+	strides := make([]int64, n)
+	strides[n-1] = 1
+	for d := n - 2; d >= 0; d-- {
+		strides[d] = strides[d+1] * int64(sizes[d+1])
+	}
+	walk = func(dim int, off int64) {
+		if dim == n {
+			for b := int64(0); b < elemSize; b++ {
+				mask[off*elemSize+b] = true
+			}
+			return
+		}
+		for i := 0; i < subSizes[dim]; i++ {
+			walk(dim+1, off+int64(starts[dim]+i)*strides[dim])
+		}
+	}
+	walk(0, 0)
+	var blocks []Block
+	for i := int64(0); i < int64(len(mask)); {
+		if !mask[i] {
+			i++
+			continue
+		}
+		j := i
+		for j < int64(len(mask)) && mask[j] {
+			j++
+		}
+		blocks = append(blocks, Block{i, j - i})
+		i = j
+	}
+	return blocks
+}
+
+func TestSubarray2D(t *testing.T) {
+	// 2x3 subarray at (1,1) of a 4x5 double matrix.
+	sa := MustSubarray([]int{4, 5}, []int{2, 3}, []int{1, 1}, Double)
+	if sa.Size() != 2*3*8 {
+		t.Fatalf("size = %d", sa.Size())
+	}
+	if sa.Extent() != 4*5*8 {
+		t.Fatalf("extent = %d", sa.Extent())
+	}
+	blocksEqual(t, sa.Flatten(1), subarrayOracle([]int{4, 5}, []int{2, 3}, []int{1, 1}, 8))
+}
+
+func TestSubarray3D(t *testing.T) {
+	sizes, sub, starts := []int{3, 4, 5}, []int{2, 2, 3}, []int{1, 0, 2}
+	sa := MustSubarray(sizes, sub, starts, Float)
+	blocksEqual(t, sa.Flatten(1), subarrayOracle(sizes, sub, starts, 4))
+}
+
+func TestSubarrayFullIsContiguous(t *testing.T) {
+	sa := MustSubarray([]int{4, 4}, []int{4, 4}, []int{0, 0}, Int)
+	blocksEqual(t, sa.Flatten(1), []Block{{0, 64}})
+}
+
+func TestResizedSpacing(t *testing.T) {
+	r := MustResized(Int, 0, 16)
+	if r.Size() != 4 || r.Extent() != 16 {
+		t.Fatalf("size=%d extent=%d", r.Size(), r.Extent())
+	}
+	blocksEqual(t, r.Flatten(3), []Block{{0, 4}, {16, 4}, {32, 4}})
+}
+
+func TestFootprint(t *testing.T) {
+	v := MustVector(4, 1, 4, Int)
+	lo, hi := v.Footprint(2)
+	if lo != 0 || hi != v.Extent()+52 {
+		t.Fatalf("footprint [%d,%d)", lo, hi)
+	}
+	if l, h := v.Footprint(0); l != 0 || h != 0 {
+		t.Fatalf("empty footprint [%d,%d)", l, h)
+	}
+}
+
+func TestGamma(t *testing.T) {
+	// 64B blocks with 2x stride: a 2048B packet holds 32 blocks.
+	v := MustVector(1024, 16, 32, Int) // 64B blocks, 128B stride
+	gamma := v.Gamma(1, 2048)
+	if gamma != 32 {
+		t.Fatalf("gamma = %v, want 32", gamma)
+	}
+	if g := MustContiguous(4, Int).Gamma(0, 2048); g != 0 {
+		t.Fatalf("gamma of empty message = %v", g)
+	}
+}
+
+func TestPackUnpackVector(t *testing.T) {
+	v := MustVector(4, 1, 4, Int)
+	src := make([]byte, 64)
+	for i := range src {
+		src[i] = byte(i)
+	}
+	packed, err := Pack(v, 1, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{0, 1, 2, 3, 16, 17, 18, 19, 32, 33, 34, 35, 48, 49, 50, 51}
+	if !bytes.Equal(packed, want) {
+		t.Fatalf("packed = %v", packed)
+	}
+	dst := make([]byte, 64)
+	if err := Unpack(v, 1, packed, dst); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range v.Flatten(1) {
+		if !bytes.Equal(dst[b.Offset:b.Offset+b.Size], src[b.Offset:b.Offset+b.Size]) {
+			t.Fatalf("unpack mismatch at block %+v", b)
+		}
+	}
+}
+
+func TestPackErrors(t *testing.T) {
+	v := MustVector(4, 1, 4, Int)
+	if _, err := Pack(v, 1, make([]byte, 10)); err == nil {
+		t.Fatal("pack from short source must fail")
+	}
+	if _, err := PackInto(v, 1, make([]byte, 64), make([]byte, 4)); err == nil {
+		t.Fatal("pack into short destination must fail")
+	}
+	if err := Unpack(v, 1, make([]byte, 4), make([]byte, 64)); err == nil {
+		t.Fatal("unpack from short stream must fail")
+	}
+	if err := Unpack(v, 1, make([]byte, 16), make([]byte, 10)); err == nil {
+		t.Fatal("unpack into short destination must fail")
+	}
+}
+
+// TestPackUnpackRoundTripRandom checks unpack∘pack and pack∘unpack
+// consistency on random nested datatypes.
+func TestPackUnpackRoundTripRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 300; iter++ {
+		typ := RandomType(rng, 3)
+		count := 1 + rng.Intn(3)
+		_, hi := typ.Footprint(count)
+		src := make([]byte, hi)
+		rng.Read(src)
+
+		packed, err := Pack(typ, count, src)
+		if err != nil {
+			t.Fatalf("iter %d: pack: %v\n%s", iter, err, typ.Describe())
+		}
+		if int64(len(packed)) != typ.Size()*int64(count) {
+			t.Fatalf("iter %d: packed %d bytes, want %d", iter, len(packed), typ.Size()*int64(count))
+		}
+
+		dst := make([]byte, hi)
+		if err := Unpack(typ, count, packed, dst); err != nil {
+			t.Fatalf("iter %d: unpack: %v", iter, err)
+		}
+		// Every typemap byte must match the source.
+		typ.ForEachBlock(count, func(off, size int64) {
+			if !bytes.Equal(dst[off:off+size], src[off:off+size]) {
+				t.Fatalf("iter %d: typemap bytes differ at [%d,%d)\n%s",
+					iter, off, off+size, typ.Describe())
+			}
+		})
+		// Re-pack must reproduce the stream exactly.
+		repacked, err := Pack(typ, count, dst)
+		if err != nil {
+			t.Fatalf("iter %d: repack: %v", iter, err)
+		}
+		if !bytes.Equal(repacked, packed) {
+			t.Fatalf("iter %d: pack(unpack(p)) != p\n%s", iter, typ.Describe())
+		}
+	}
+}
+
+func TestRandomTypesNonOverlapping(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for iter := 0; iter < 200; iter++ {
+		typ := RandomType(rng, 3)
+		last := int64(-1)
+		ok := true
+		typ.ForEachBlock(2, func(off, size int64) {
+			if off < last {
+				ok = false
+			}
+			if off+size > last {
+				last = off + size
+			}
+		})
+		if !ok {
+			t.Fatalf("iter %d: random receive type overlaps or is non-monotone\n%s",
+				iter, typ.Describe())
+		}
+	}
+}
+
+func TestNormalizeRules(t *testing.T) {
+	cases := []struct {
+		name string
+		in   *Type
+		kind Kind
+	}{
+		{"contig1", MustContiguous(1, Int), KindElementary},
+		{"contig-contig", MustContiguous(3, MustContiguous(4, Int)), KindContiguous},
+		{"vector-dense", MustVector(4, 2, 2, Int), KindContiguous},
+		{"vector-of-contig", MustVector(3, 1, 2, MustContiguous(2, Int)), KindHVector},
+		{"indexed-equal-lens", MustIndexed([]int{2, 2, 2}, []int{0, 5, 10}, Int), KindHVector},
+		{"indexed-block-regular", MustIndexedBlock(1, []int{0, 3, 6}, Int), KindHVector},
+		{"resized-noop", MustResized(Int, 0, 4), KindElementary},
+	}
+	for _, c := range cases {
+		got := Normalize(c.in)
+		if got.Kind() != c.kind {
+			t.Errorf("%s: normalized to %v, want %v\n%s", c.name, got.Kind(), c.kind, got.Describe())
+		}
+	}
+}
+
+func TestNormalizePreservesTypemap(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for iter := 0; iter < 300; iter++ {
+		typ := RandomType(rng, 3)
+		norm := Normalize(typ)
+		if norm.Size() != typ.Size() || norm.Extent() != typ.Extent() || norm.LB() != typ.LB() {
+			t.Fatalf("iter %d: size/extent/lb changed\nin:  %s\nout: %s",
+				iter, typ.Describe(), norm.Describe())
+		}
+		if !reflect.DeepEqual(norm.Flatten(3), typ.Flatten(3)) {
+			t.Fatalf("iter %d: typemap changed\nin:  %s\nout: %s",
+				iter, typ.Describe(), norm.Describe())
+		}
+	}
+}
+
+func TestNormalizeIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for iter := 0; iter < 100; iter++ {
+		typ := Normalize(RandomType(rng, 3))
+		again := Normalize(typ)
+		if again.Signature() != typ.Signature() {
+			t.Fatalf("iter %d: normalize not idempotent\n1: %s\n2: %s",
+				iter, typ.Signature(), again.Signature())
+		}
+	}
+}
+
+func TestNormalizeLeavesIrregularAlone(t *testing.T) {
+	ix := MustIndexed([]int{1, 2, 1}, []int{0, 3, 9}, Int)
+	if got := Normalize(ix); got.Kind() != KindIndexed {
+		t.Fatalf("irregular indexed normalized to %v", got.Kind())
+	}
+}
+
+func TestCommitCaches(t *testing.T) {
+	v := MustVector(8, 2, 4, Int)
+	if v.Committed() {
+		t.Fatal("fresh type must be uncommitted")
+	}
+	v.Commit()
+	if !v.Committed() {
+		t.Fatal("commit did not mark type")
+	}
+	if v.NumBlocks() != 8 || v.MaxBlock() != 8 || v.MinBlock() != 8 {
+		t.Fatalf("cached stats: n=%d max=%d min=%d", v.NumBlocks(), v.MaxBlock(), v.MinBlock())
+	}
+	v.Commit() // idempotent
+}
+
+func TestConstructorErrors(t *testing.T) {
+	if _, err := NewContiguous(-1, Int); err == nil {
+		t.Error("negative count accepted")
+	}
+	if _, err := NewContiguous(2, nil); err == nil {
+		t.Error("nil base accepted")
+	}
+	if _, err := NewVector(2, -1, 2, Int); err == nil {
+		t.Error("negative blockLen accepted")
+	}
+	if _, err := NewIndexed([]int{1, 2}, []int{0}, Int); err == nil {
+		t.Error("mismatched indexed args accepted")
+	}
+	if _, err := NewIndexed([]int{-1}, []int{0}, Int); err == nil {
+		t.Error("negative indexed blockLen accepted")
+	}
+	if _, err := NewStruct([]int{1}, []int64{0, 8}, []*Type{Int}); err == nil {
+		t.Error("mismatched struct args accepted")
+	}
+	if _, err := NewStruct([]int{1}, []int64{0}, []*Type{nil}); err == nil {
+		t.Error("nil struct member accepted")
+	}
+	if _, err := NewSubarray([]int{4}, []int{5}, []int{0}, Int); err == nil {
+		t.Error("subarray exceeding array accepted")
+	}
+	if _, err := NewSubarray([]int{4, 4}, []int{2}, []int{0}, Int); err == nil {
+		t.Error("subarray dim mismatch accepted")
+	}
+	if _, err := NewResized(Int, 0, -4); err == nil {
+		t.Error("negative extent accepted")
+	}
+}
+
+func TestSignatureDistinguishesTypes(t *testing.T) {
+	a := MustVector(4, 1, 4, Int)
+	b := MustVector(4, 1, 5, Int)
+	if a.Signature() == b.Signature() {
+		t.Fatal("different vectors share a signature")
+	}
+	c := MustVector(4, 1, 4, Int)
+	if a.Signature() != c.Signature() {
+		t.Fatal("identical vectors have different signatures")
+	}
+}
+
+func TestDescribeMentionsEveryLevel(t *testing.T) {
+	typ := MustContiguous(2, MustVector(3, 1, 2, Int))
+	d := typ.Describe()
+	for _, want := range []string{"contiguous", "vector", "MPI_INT"} {
+		if !bytes.Contains([]byte(d), []byte(want)) {
+			t.Fatalf("describe missing %q:\n%s", want, d)
+		}
+	}
+}
+
+func TestZeroCountTypes(t *testing.T) {
+	c := MustContiguous(0, Int)
+	if c.Size() != 0 || c.Extent() != 0 {
+		t.Fatalf("empty contiguous: size=%d extent=%d", c.Size(), c.Extent())
+	}
+	if n := c.TotalBlocks(1); n != 0 {
+		t.Fatalf("empty type has %d blocks", n)
+	}
+	v := MustVector(0, 1, 1, Int)
+	if v.Size() != 0 {
+		t.Fatal("empty vector size")
+	}
+	packed, err := Pack(c, 1, nil)
+	if err != nil || len(packed) != 0 {
+		t.Fatalf("packing empty type: %v, %d bytes", err, len(packed))
+	}
+}

@@ -1,0 +1,67 @@
+package ddt
+
+import "fmt"
+
+// PackInto gathers count elements of the type from src into dst, returning
+// the number of bytes packed. Offsets are interpreted relative to src[0],
+// so the type's footprint must lie inside src (types with negative lower
+// bounds need the caller to offset the slice). dst must hold at least
+// Size()*count bytes.
+func PackInto(t *Type, count int, src, dst []byte) (int64, error) {
+	need := t.Size() * int64(count)
+	if int64(len(dst)) < need {
+		return 0, fmt.Errorf("ddt: pack destination %d bytes, need %d", len(dst), need)
+	}
+	var pos int64
+	var err error
+	t.ForEachBlock(count, func(off, size int64) {
+		if err != nil {
+			return
+		}
+		if off < 0 || off+size > int64(len(src)) {
+			err = fmt.Errorf("ddt: pack source region [%d,%d) outside buffer of %d bytes",
+				off, off+size, len(src))
+			return
+		}
+		copy(dst[pos:pos+size], src[off:off+size])
+		pos += size
+	})
+	if err != nil {
+		return 0, err
+	}
+	return pos, nil
+}
+
+// Pack gathers count elements of the type from src into a new buffer.
+func Pack(t *Type, count int, src []byte) ([]byte, error) {
+	dst := make([]byte, t.Size()*int64(count))
+	if _, err := PackInto(t, count, src, dst); err != nil {
+		return nil, err
+	}
+	return dst, nil
+}
+
+// Unpack scatters a packed byte stream into dst according to count elements
+// of the type. It is the inverse of Pack and the reference semantics that
+// every offloaded strategy in this repository must reproduce byte-for-byte.
+func Unpack(t *Type, count int, packed, dst []byte) error {
+	need := t.Size() * int64(count)
+	if int64(len(packed)) < need {
+		return fmt.Errorf("ddt: packed stream %d bytes, need %d", len(packed), need)
+	}
+	var pos int64
+	var err error
+	t.ForEachBlock(count, func(off, size int64) {
+		if err != nil {
+			return
+		}
+		if off < 0 || off+size > int64(len(dst)) {
+			err = fmt.Errorf("ddt: unpack destination region [%d,%d) outside buffer of %d bytes",
+				off, off+size, len(dst))
+			return
+		}
+		copy(dst[off:off+size], packed[pos:pos+size])
+		pos += size
+	})
+	return err
+}

@@ -1,0 +1,203 @@
+package ddt
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// Property-based tests (testing/quick) on the datatype algebra.
+
+func TestQuickVectorSizeAlgebra(t *testing.T) {
+	f := func(count, blockLen, strideExtra uint8) bool {
+		c := int(count%16) + 1
+		bl := int(blockLen%8) + 1
+		stride := bl + int(strideExtra%8)
+		v, err := NewVector(c, bl, stride, Int)
+		if err != nil {
+			return false
+		}
+		// Size is data only; extent covers first to last byte.
+		wantSize := int64(c) * int64(bl) * 4
+		wantExtent := int64(c-1)*int64(stride)*4 + int64(bl)*4
+		return v.Size() == wantSize && v.Extent() == wantExtent && v.LB() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickContiguousComposition(t *testing.T) {
+	// contiguous(a, contiguous(b, X)) has the same typemap as
+	// contiguous(a*b, X) for every a, b.
+	f := func(a, b uint8) bool {
+		n := int(a%8) + 1
+		m := int(b%8) + 1
+		nested := MustContiguous(n, MustContiguous(m, Double))
+		flat := MustContiguous(n*m, Double)
+		return TypemapEqual(nested, flat)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickBlockInvariants(t *testing.T) {
+	// For any random datatype: blocks are positive-sized, sizes sum to
+	// Size(), and min/max block statistics bound every block.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		typ := RandomType(rng, 3)
+		var sum int64
+		ok := true
+		typ.ForEachBlock(1, func(off, size int64) {
+			if size <= 0 || size < typ.MinBlock() || size > typ.MaxBlock() {
+				ok = false
+			}
+			sum += size
+		})
+		return ok && sum == typ.Size()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickFootprintCoversTypemap(t *testing.T) {
+	f := func(seed int64, countRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		typ := RandomType(rng, 3)
+		count := int(countRaw%4) + 1
+		lo, hi := typ.Footprint(count)
+		ok := true
+		typ.ForEachBlock(count, func(off, size int64) {
+			if off < lo || off+size > hi {
+				ok = false
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickNormalizePreservesTypemap(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		typ := RandomType(rng, 3)
+		return TypemapEqual(typ, Normalize(typ))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickGammaScalesWithMTU(t *testing.T) {
+	// Halving the MTU at least halves the per-packet region count (up to
+	// rounding): gamma(mtu) >= gamma(mtu/2).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		typ := RandomType(rng, 2)
+		count := 4
+		g1 := typ.Gamma(count, 4096)
+		g2 := typ.Gamma(count, 2048)
+		return g1 >= g2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSubarrayFortranAgainstOracle(t *testing.T) {
+	// Fortran order = reversed row-major: verify against a column-major
+	// brute-force oracle.
+	sizes := []int{4, 5, 3}
+	sub := []int{2, 3, 2}
+	starts := []int{1, 1, 0}
+	sa, err := NewSubarrayFortran(sizes, sub, starts, Int)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Column-major oracle: dimension 0 fastest.
+	elem := int64(4)
+	total := int64(sizes[0] * sizes[1] * sizes[2])
+	mask := make([]bool, total*elem)
+	for k := 0; k < sub[2]; k++ {
+		for j := 0; j < sub[1]; j++ {
+			for i := 0; i < sub[0]; i++ {
+				off := int64(starts[0]+i) +
+					int64(starts[1]+j)*int64(sizes[0]) +
+					int64(starts[2]+k)*int64(sizes[0]*sizes[1])
+				for b := int64(0); b < elem; b++ {
+					mask[off*elem+b] = true
+				}
+			}
+		}
+	}
+	var want []Block
+	for i := int64(0); i < int64(len(mask)); {
+		if !mask[i] {
+			i++
+			continue
+		}
+		j := i
+		for j < int64(len(mask)) && mask[j] {
+			j++
+		}
+		want = append(want, Block{i, j - i})
+		i = j
+	}
+	if got := sa.Flatten(1); !reflect.DeepEqual(got, want) {
+		t.Fatalf("fortran subarray blocks\n got %v\nwant %v", got, want)
+	}
+	if sa.Size() != int64(sub[0]*sub[1]*sub[2])*elem {
+		t.Fatalf("size = %d", sa.Size())
+	}
+	if sa.Extent() != total*elem {
+		t.Fatalf("extent = %d", sa.Extent())
+	}
+}
+
+func TestSubarrayFortranVsCOrder(t *testing.T) {
+	// A 1-D subarray is order-independent.
+	c, err := NewSubarray([]int{10}, []int{4}, []int{3}, Double)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := NewSubarrayFortran([]int{10}, []int{4}, []int{3}, Double)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !TypemapEqual(c, f) {
+		t.Fatal("1-D subarray differs between orders")
+	}
+	// In 2-D with a full second dimension they describe the same bytes but
+	// different traversal orders; sizes still agree.
+	c2 := MustSubarray([]int{4, 6}, []int{2, 6}, []int{1, 0}, Int)
+	f2, err := NewSubarrayFortran([]int{6, 4}, []int{6, 2}, []int{0, 1}, Int)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.Size() != f2.Size() || c2.Extent() != f2.Extent() {
+		t.Fatal("transposed subarrays disagree on size/extent")
+	}
+}
+
+func TestTypemapEqual(t *testing.T) {
+	a := MustVector(4, 1, 2, Int)
+	b := MustIndexedBlock(1, []int{0, 2, 4, 6}, Int)
+	if !TypemapEqual(a, b) {
+		t.Fatal("equivalent layouts not equal")
+	}
+	c := MustVector(4, 1, 3, Int)
+	if TypemapEqual(a, c) {
+		t.Fatal("different strides considered equal")
+	}
+	// Same regions but different extent (resized) must differ.
+	d := MustResized(a, 0, a.Extent()+8)
+	if TypemapEqual(a, d) {
+		t.Fatal("resized type considered equal")
+	}
+}

@@ -1,0 +1,100 @@
+package ddt
+
+import "math/rand"
+
+// RandomType generates a random nested datatype for property-based testing.
+// The generated typemap is monotone and non-overlapping (the MPI requirement
+// for receive datatypes), so it is valid for every unpack strategy,
+// including concurrent packet handlers. maxDepth bounds constructor
+// nesting; the footprint is kept small enough for in-memory buffers.
+func RandomType(rng *rand.Rand, maxDepth int) *Type {
+	t := randomTree(rng, maxDepth)
+	// Guard against degenerate empty types: the harness always needs at
+	// least one byte of data to move.
+	if t.Size() == 0 {
+		return randomElementary(rng)
+	}
+	return t
+}
+
+func randomElementary(rng *rand.Rand) *Type {
+	sizes := []int64{1, 2, 4, 8}
+	return Elementary("rand_elem", sizes[rng.Intn(len(sizes))])
+}
+
+func randomTree(rng *rand.Rand, depth int) *Type {
+	if depth <= 0 {
+		return randomElementary(rng)
+	}
+	child := randomTree(rng, depth-1)
+	// Keep footprints bounded: stop nesting once an element grows large.
+	if child.Extent() > 1<<14 {
+		return child
+	}
+	switch rng.Intn(7) {
+	case 0:
+		return MustContiguous(1+rng.Intn(4), child)
+	case 1:
+		bl := 1 + rng.Intn(3)
+		stride := bl + rng.Intn(3) // >= bl: non-overlapping, monotone
+		return MustVector(1+rng.Intn(4), bl, stride, child)
+	case 2:
+		bl := 1 + rng.Intn(2)
+		count := 1 + rng.Intn(4)
+		displs := make([]int, count)
+		pos := rng.Intn(2)
+		for i := range displs {
+			displs[i] = pos
+			pos += bl + rng.Intn(3)
+		}
+		return MustIndexedBlock(bl, displs, child)
+	case 3:
+		count := 1 + rng.Intn(4)
+		blockLens := make([]int, count)
+		displs := make([]int, count)
+		pos := rng.Intn(2)
+		for i := range displs {
+			blockLens[i] = 1 + rng.Intn(2)
+			displs[i] = pos
+			pos += blockLens[i] + rng.Intn(3)
+		}
+		return MustIndexed(blockLens, displs, child)
+	case 4:
+		count := 1 + rng.Intn(3)
+		blockLens := make([]int, count)
+		displs := make([]int64, count)
+		types := make([]*Type, count)
+		pos := int64(0)
+		for i := range types {
+			types[i] = randomTree(rng, depth-1)
+			if lo, _ := types[i].TrueBounds(); types[i].Extent() > 1<<14 || lo < 0 {
+				types[i] = randomElementary(rng)
+			}
+			blockLens[i] = 1 + rng.Intn(2)
+			displs[i] = pos
+			// Advance past the member's true footprint so members never
+			// overlap (the MPI requirement for receive datatypes).
+			_, hi := types[i].TrueBounds()
+			pos += int64(blockLens[i]-1)*types[i].Extent() + hi + int64(rng.Intn(8))
+		}
+		return MustStruct(blockLens, displs, types)
+	case 5:
+		ndims := 1 + rng.Intn(3)
+		sizes := make([]int, ndims)
+		subSizes := make([]int, ndims)
+		starts := make([]int, ndims)
+		for d := 0; d < ndims; d++ {
+			sizes[d] = 2 + rng.Intn(4)
+			subSizes[d] = 1 + rng.Intn(sizes[d])
+			starts[d] = rng.Intn(sizes[d] - subSizes[d] + 1)
+		}
+		return MustSubarray(sizes, subSizes, starts, child)
+	default:
+		// Resized with a larger extent (padding between elements).
+		pad := int64(rng.Intn(16))
+		if child.LB() != 0 {
+			return child
+		}
+		return MustResized(child, 0, child.Extent()+pad)
+	}
+}

@@ -1,0 +1,170 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"spinddt/internal/core"
+	"spinddt/internal/ddt"
+	"spinddt/internal/fabric"
+)
+
+// AblationEpsilon sweeps the RW-CP checkpoint heuristic's ε (DESIGN.md A1):
+// a larger tolerance allows longer sequences — fewer checkpoints and less
+// NIC memory, at more scheduling overhead.
+func AblationEpsilon(msgBytes, blockBytes int64) (*Table, error) {
+	t := &Table{
+		Title:  fmt.Sprintf("Ablation A1: RW-CP epsilon sweep (%dB blocks)", blockBytes),
+		Note:   "paper uses eps=0.2; the interval heuristic trades NIC memory against scheduling overhead",
+		Header: []string{"epsilon", "interval_KiB", "checkpoints", "nicmem_KiB", "proc_us", "Gbps"},
+	}
+	typ := fig8Vector(blockBytes, msgBytes)
+	for _, eps := range []float64{0.05, 0.1, 0.2, 0.4, 0.8} {
+		req := core.NewRequest(core.RWCP, typ, 1)
+		req.Epsilon = eps
+		res, err := core.Run(req)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(f2(eps), kib(res.Interval), d64(int64(res.Checkpoints)),
+			kib(res.NICBytes), usec(res.ProcTime.Microseconds()), f1(res.ThroughputGbps()))
+	}
+	return t, nil
+}
+
+// AblationDeltaP forces blocked-RR sequence lengths for RW-CP (A2),
+// exposing the scheduling-dependency term of the T_C model.
+func AblationDeltaP(msgBytes, blockBytes int64) (*Table, error) {
+	t := &Table{
+		Title:  fmt.Sprintf("Ablation A2: RW-CP forced checkpoint interval (%dB blocks)", blockBytes),
+		Note:   "small intervals need many checkpoints; large ones serialize packet sequences",
+		Header: []string{"delta_p_pkts", "checkpoints", "nicmem_KiB", "proc_us", "Gbps"},
+	}
+	typ := fig8Vector(blockBytes, msgBytes)
+	for _, dp := range []int64{1, 2, 4, 8, 16, 32, 64} {
+		req := core.NewRequest(core.RWCP, typ, 1)
+		req.ForceIntervalBytes = dp * req.NIC.Fabric.MTU
+		res, err := core.Run(req)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(d64(dp), d64(int64(res.Checkpoints)), kib(res.NICBytes),
+			usec(res.ProcTime.Microseconds()), f1(res.ThroughputGbps()))
+	}
+	return t, nil
+}
+
+// AblationOutOfOrder sweeps the delivery reorder window for every
+// offloaded strategy (A3): HPU-local resets, RW-CP reverts, RO-CP and
+// Specialized are insensitive. All runs stay byte-verified.
+func AblationOutOfOrder(msgBytes, blockBytes int64) (*Table, error) {
+	t := &Table{
+		Title: fmt.Sprintf("Ablation A3: out-of-order delivery (%dB blocks, %d KiB)", blockBytes, msgBytes>>10),
+		Note: "processing time (us) under a bounded-displacement reorder window;" +
+			" every run byte-verified against the reference unpack",
+		Header: []string{"window", "Specialized", "RW-CP", "RO-CP", "HPU-local"},
+	}
+	typ := fig8Vector(blockBytes, msgBytes)
+	n := fabric.DefaultConfig().NumPackets(msgBytes)
+	rng := rand.New(rand.NewSource(7))
+	for _, window := range []int{0, 2, 8, 32, 128} {
+		order := fabric.ReorderWindow(n, window, rng)
+		row := []string{d64(int64(window))}
+		for _, s := range core.OffloadStrategies {
+			req := core.NewRequest(s, typ, 1)
+			req.Order = order
+			res, err := core.Run(req)
+			if err != nil {
+				return nil, fmt.Errorf("window %d, %v: %w", window, s, err)
+			}
+			row = append(row, usec(res.ProcTime.Microseconds()))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// AblationNormalization compares the specialized handler with and without
+// datatype normalization (A4, paper Sec. 3.2.3 / Träff [24]): a regularly
+// strided indexed_block collapses to the O(1)-state vector handler when
+// normalized, and falls back to the offset-list handler (NIC state linear
+// in the region count) otherwise.
+func AblationNormalization() (*Table, error) {
+	t := &Table{
+		Title:  "Ablation A4: datatype normalization for the specialized handler",
+		Note:   "indexed_block with arithmetic displacements (512B blocks, 1 MiB message), 16 HPUs",
+		Header: []string{"normalization", "handler", "nicmem_KiB", "proc_us", "Gbps"},
+	}
+	const blocks = 2048
+	displs := make([]int, blocks)
+	for i := range displs {
+		displs[i] = i * 256 // 512B blocks of ints, 1 KiB apart
+	}
+	typ := ddt.MustIndexedBlock(128, displs, ddt.Int)
+	for _, disable := range []bool{false, true} {
+		req := core.NewRequest(core.Specialized, typ, 1)
+		req.DisableNormalization = disable
+		res, err := core.Run(req)
+		if err != nil {
+			return nil, err
+		}
+		label := "on"
+		if disable {
+			label = "off"
+		}
+		t.AddRow(label, res.SpecKind, kib(res.NICBytes),
+			usec(res.ProcTime.Microseconds()), f1(res.ThroughputGbps()))
+	}
+	return t, nil
+}
+
+// AblationEndToEnd runs the complete Fig. 4 matrix (A6): every sender-side
+// strategy paired with every coupled receiver-side strategy on one
+// datatype; each cell is the end-to-end makespan (sender CPU start to last
+// byte placed).
+func AblationEndToEnd(msgBytes, blockBytes int64) (*Table, error) {
+	recvs := []core.Strategy{core.Specialized, core.RWCP, core.HostUnpack}
+	t := &Table{
+		Title: fmt.Sprintf("Ablation A6: end-to-end sender x receiver matrix (%dB blocks, %d KiB)",
+			blockBytes, msgBytes>>10),
+		Note:   "makespan in us; every cell byte-verified end to end",
+		Header: []string{"sender \\ receiver", "Specialized", "RW-CP", "Host"},
+	}
+	typ := fig8Vector(blockBytes, msgBytes)
+	for _, send := range core.AllSendStrategies {
+		row := []string{send.String()}
+		for _, recv := range recvs {
+			res, err := core.RunTransfer(core.NewTransferRequest(send, recv, typ, 1))
+			if err != nil {
+				return nil, fmt.Errorf("%v -> %v: %w", send, recv, err)
+			}
+			if !res.Verified {
+				return nil, fmt.Errorf("%v -> %v: not verified", send, recv)
+			}
+			row = append(row, usec(res.Total.Microseconds()))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// AblationSender compares the three sender-side strategies of Fig. 4 (A5):
+// CPU packing, streaming puts and outbound sPIN.
+func AblationSender(msgBytes, blockBytes int64) (*Table, error) {
+	t := &Table{
+		Title: fmt.Sprintf("Ablation A5: sender-side strategies (%dB blocks, %d KiB)", blockBytes, msgBytes>>10),
+		Note: "pack+send busies the CPU for the whole pack; streaming puts overlap region" +
+			" discovery with injection; outbound sPIN frees the CPU entirely (control plane only)",
+		Header: []string{"strategy", "inject_us", "Gbps", "cpu_busy_us", "hpu_busy_us"},
+	}
+	typ := fig8Vector(blockBytes, msgBytes)
+	for _, s := range core.AllSendStrategies {
+		res, err := core.RunSend(core.NewSendRequest(s, typ, 1))
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(s.String(), usec(res.Injected.Microseconds()), f1(res.ThroughputGbps()),
+			usec(res.CPUBusy.Microseconds()), usec(res.HPUBusy.Microseconds()))
+	}
+	return t, nil
+}

@@ -1,0 +1,350 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"spinddt/internal/apps"
+)
+
+// smallMsg keeps experiment tests fast; the benches run paper-scale sizes.
+const smallMsg = 1 << 19 // 512 KiB
+
+func cell(t *testing.T, tb *Table, row, col int) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(tb.Rows[row][col], 64)
+	if err != nil {
+		t.Fatalf("cell (%d,%d) = %q: %v", row, col, tb.Rows[row][col], err)
+	}
+	return v
+}
+
+func TestFig02(t *testing.T) {
+	tb, err := Fig02Latency()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 2 {
+		t.Fatalf("%d rows", len(tb.Rows))
+	}
+	overhead := cell(t, tb, 1, 5)
+	if overhead < 15 || overhead > 35 {
+		t.Fatalf("sPIN overhead = %.1f%%, paper reports ~24.4%%", overhead)
+	}
+	rdma := cell(t, tb, 0, 1)
+	if rdma < 0.8 || rdma > 1.6 {
+		t.Fatalf("RDMA 1-byte latency = %.2f us, paper ~1.1 us", rdma)
+	}
+}
+
+func TestFig08Shape(t *testing.T) {
+	tb, err := Fig08Throughput(smallMsg, []int64{4, 64, 512, 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Row 0: 4B blocks - host (col 5) beats every offloaded strategy.
+	host4 := cell(t, tb, 0, 5)
+	for col := 1; col <= 4; col++ {
+		if v := cell(t, tb, 0, col); v > host4 {
+			t.Fatalf("at 4B, %s (%.1f) beat host (%.1f)", tb.Header[col], v, host4)
+		}
+	}
+	// Row 1: 64B blocks - specialized near line rate (the short test
+	// message pays a proportionally larger pipeline tail than the paper's
+	// 4 MiB, hence the 170 threshold here; the bench uses full size).
+	if v := cell(t, tb, 1, 1); v < 170 {
+		t.Fatalf("specialized at 64B = %.1f Gbit/s", v)
+	}
+	// Row 3: 2KiB blocks - all offloaded near line rate, host far below.
+	for col := 1; col <= 4; col++ {
+		if v := cell(t, tb, 3, col); v < 150 {
+			t.Fatalf("%s at 2KiB = %.1f Gbit/s", tb.Header[col], v)
+		}
+	}
+	if v := cell(t, tb, 3, 5); v > 100 {
+		t.Fatalf("host at 2KiB = %.1f Gbit/s, expected memory-bound ~35", v)
+	}
+}
+
+func TestFig09c(t *testing.T) {
+	tb := Fig09cPULPBandwidth()
+	if len(tb.Rows) < 8 {
+		t.Fatalf("%d rows", len(tb.Rows))
+	}
+	first := cell(t, tb, 0, 1)
+	if first < 180 || first > 210 {
+		t.Fatalf("256B bandwidth = %.1f", first)
+	}
+	for i := 1; i < len(tb.Rows); i++ {
+		if cell(t, tb, i, 1) < 200 {
+			t.Fatalf("row %d below line rate", i)
+		}
+	}
+}
+
+func TestFig10And11(t *testing.T) {
+	tb := Fig10PULPvsARM()
+	// First row (32B): ARM > PULP; last rows: PULP above line rate.
+	if cell(t, tb, 0, 1) >= cell(t, tb, 0, 2) {
+		t.Fatal("PULP should trail ARM at 32B")
+	}
+	last := len(tb.Rows) - 1
+	if cell(t, tb, last, 1) < 200 {
+		t.Fatal("PULP should exceed line rate at 16KiB (preloaded)")
+	}
+	ipc := Fig11PULPIPC()
+	if v := cell(t, ipc, 0, 1); v < 0.1 || v > 0.2 {
+		t.Fatalf("IPC(32B) = %.3f", v)
+	}
+}
+
+func TestFig12Breakdown(t *testing.T) {
+	tb, err := Fig12HandlerBreakdown(smallMsg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 4*5 {
+		t.Fatalf("%d rows", len(tb.Rows))
+	}
+	// HPU-local rows (0..4): setup dominates at gamma=16 (row 4).
+	setup := cell(t, tb, 4, 3)
+	total := cell(t, tb, 4, 5)
+	if setup < 0.5*total {
+		t.Fatalf("HPU-local at gamma=16: setup %.2f of total %.2f, want dominant", setup, total)
+	}
+	// Specialized rows (15..19): total stays under a microsecond.
+	if tot := cell(t, tb, 19, 5); tot > 1.0 {
+		t.Fatalf("specialized handler at gamma=16 takes %.2f us", tot)
+	}
+}
+
+func TestFig13(t *testing.T) {
+	a, b, c, err := Fig13Scalability(smallMsg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 13a: specialized at line rate with 2 HPUs.
+	if v := cell(t, a, 0, 1); v < 180 {
+		t.Fatalf("specialized with 2 HPUs = %.1f", v)
+	}
+	// 13b: RW-CP memory grows with block size.
+	if cell(t, b, 0, 2) >= cell(t, b, len(b.Rows)-1, 2) {
+		t.Fatal("RW-CP NIC memory should grow with block size")
+	}
+	// 13c: HPU-local memory grows with HPUs.
+	if cell(t, c, 0, 4) >= cell(t, c, len(c.Rows)-1, 4) {
+		t.Fatal("HPU-local NIC memory should grow with HPUs")
+	}
+}
+
+func TestFig14(t *testing.T) {
+	tb, err := Fig14DMAQueue(smallMsg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tb.Rows {
+		writes := cell(t, tb, i, 1)
+		if writes <= 0 {
+			t.Fatalf("row %d: no writes", i)
+		}
+		for col := 2; col <= 5; col++ {
+			if cell(t, tb, i, col) <= 0 {
+				t.Fatalf("row %d col %d: zero queue depth", i, col)
+			}
+		}
+	}
+	// Total writes grow with gamma.
+	if cell(t, tb, 0, 1) >= cell(t, tb, len(tb.Rows)-1, 1) {
+		t.Fatal("total DMA writes should grow with gamma")
+	}
+}
+
+func TestFig15(t *testing.T) {
+	tb, err := Fig15DMAQueueOverTime(smallMsg, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 4 {
+		t.Fatalf("%d rows", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		if row[4] == "" {
+			t.Fatalf("%s: empty depth series", row[0])
+		}
+		if !strings.Contains(row[4], " ") {
+			t.Fatalf("%s: series has a single sample", row[0])
+		}
+	}
+	// Checkpointed strategies must report nonzero host prep.
+	for _, i := range []int{1, 2} { // RO-CP, RW-CP
+		if cell(t, tb, i, 1) <= 0 {
+			t.Fatalf("%s: no host prep overhead", tb.Rows[i][0])
+		}
+	}
+}
+
+func appSubset(t *testing.T) []apps.Instance {
+	t.Helper()
+	byApp := map[string]bool{}
+	var subset []apps.Instance
+	for _, in := range apps.All() {
+		if !byApp[in.App] {
+			byApp[in.App] = true
+			subset = append(subset, in)
+		}
+	}
+	return subset
+}
+
+func TestFig16Through18(t *testing.T) {
+	results, err := RunApps(appSubset(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 13 {
+		t.Fatalf("%d apps", len(results))
+	}
+	t16 := Fig16AppSpeedups(results)
+	if len(t16.Rows) != 13 {
+		t.Fatal("fig16 rows")
+	}
+	var anySpeedup bool
+	for _, r := range results {
+		if r.SpeedupRWCP > 2 {
+			anySpeedup = true
+		}
+		if r.TrafficHost <= r.TrafficRWCP {
+			t.Fatalf("%s: host traffic (%d) not above RW-CP (%d)",
+				r.Instance.Name(), r.TrafficHost, r.TrafficRWCP)
+		}
+	}
+	if !anySpeedup {
+		t.Fatal("no app shows a meaningful RW-CP speedup")
+	}
+	t17 := Fig17Traffic(results)
+	if !strings.Contains(t17.Note, "ratio") {
+		t.Fatal("fig17 note missing geomean ratio")
+	}
+	t18 := Fig18Amortization(results)
+	if len(t18.Rows) != 13 {
+		t.Fatal("fig18 rows")
+	}
+}
+
+func TestFig19(t *testing.T) {
+	points, tb, err := Fig19FFT2D(4096, []int{16, 64, 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 || len(tb.Rows) != 3 {
+		t.Fatal("row count")
+	}
+	// Strong scaling: runtime decreases with nodes.
+	if points[1].HostMs >= points[0].HostMs {
+		t.Fatal("no strong scaling")
+	}
+	// Offload helps, more at small scale than at large scale.
+	if points[0].SpeedupPc <= 0 {
+		t.Fatalf("no speedup at %d nodes", points[0].Nodes)
+	}
+	if points[len(points)-1].SpeedupPc >= points[0].SpeedupPc {
+		t.Fatalf("speedup should shrink with scale: %+v", points)
+	}
+}
+
+func TestAblations(t *testing.T) {
+	eps, err := AblationEpsilon(smallMsg, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Larger epsilon -> fewer checkpoints.
+	if cell(t, eps, 0, 2) < cell(t, eps, len(eps.Rows)-1, 2) {
+		t.Fatal("epsilon sweep: checkpoints should not grow with epsilon")
+	}
+
+	dp, err := AblationDeltaP(smallMsg, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := cell(t, dp, 0, 1)
+	last := cell(t, dp, len(dp.Rows)-1, 1)
+	if first <= last {
+		t.Fatal("delta_p sweep: checkpoints must shrink as the interval grows")
+	}
+
+	ooo, err := AblationOutOfOrder(smallMsg, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ooo.Rows) != 5 {
+		t.Fatal("ooo rows")
+	}
+
+	norm, err := AblationNormalization()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if norm.Rows[0][1] != "vector" || norm.Rows[1][1] != "list" {
+		t.Fatalf("normalization ablation handlers: %v / %v", norm.Rows[0], norm.Rows[1])
+	}
+	// Normalization shrinks NIC state dramatically.
+	if cell(t, norm, 0, 2) >= cell(t, norm, 1, 2) {
+		t.Fatal("normalized handler should use less NIC memory")
+	}
+
+	snd, err := AblationSender(smallMsg, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pack+send busies the CPU most; outbound sPIN uses none.
+	packCPU := cell(t, snd, 0, 3)
+	spinCPU := cell(t, snd, 2, 3)
+	if spinCPU != 0 {
+		t.Fatalf("outbound sPIN CPU busy = %.2f us", spinCPU)
+	}
+	if packCPU <= cell(t, snd, 1, 3) {
+		t.Fatal("packing should busy the CPU more than streaming region discovery")
+	}
+	if hpu := cell(t, snd, 2, 4); hpu <= 0 {
+		t.Fatal("outbound sPIN must charge HPU time")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{Title: "T", Note: "n1\nn2", Header: []string{"a", "bbbb"}}
+	tb.AddRow("1", "2")
+	s := tb.String()
+	for _, want := range []string{"== T ==", "# n1", "# n2", "a", "bbbb", "----"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("rendering missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestAblationEndToEnd(t *testing.T) {
+	tb, err := AblationEndToEnd(smallMsg, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 3 {
+		t.Fatalf("%d rows", len(tb.Rows))
+	}
+	// Pack+send to a host receiver is the slowest corner; streaming to an
+	// offloaded receiver the fastest.
+	slow := cell(t, tb, 0, 3) // Pack+Send -> Host
+	fast := cell(t, tb, 1, 1) // StreamingPuts -> Specialized
+	if fast >= slow {
+		t.Fatalf("matrix corners inverted: fast=%v slow=%v", fast, slow)
+	}
+}
+
+func TestFig09bArea(t *testing.T) {
+	tb := Fig09bArea()
+	if len(tb.Rows) != 4 {
+		t.Fatalf("%d rows", len(tb.Rows))
+	}
+	if cell(t, tb, 0, 1)+cell(t, tb, 1, 1)+cell(t, tb, 2, 1) != 100 {
+		t.Fatal("accelerator shares must sum to 100%")
+	}
+}

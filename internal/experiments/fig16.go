@@ -1,0 +1,160 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"spinddt/internal/apps"
+	"spinddt/internal/core"
+	"spinddt/internal/stats"
+)
+
+// AppResult is one application/input row of the Fig. 16 sweep, with the
+// side data Figs. 17 and 18 aggregate.
+type AppResult struct {
+	Instance apps.Instance
+	Gamma    float64
+	MsgBytes int64
+	// HostMs is the baseline host-unpack message processing time.
+	HostMs float64
+	// Speedups over the host baseline.
+	SpeedupRWCP  float64
+	SpeedupSpec  float64
+	SpeedupIovec float64
+	// NIC data moved to support the unpack (bar annotations of Fig. 16).
+	NICDataRWCP  int64
+	NICDataSpec  int64
+	NICDataIovec int64
+	// Traffic volumes for Fig. 17.
+	TrafficHost int64
+	TrafficRWCP int64
+	// Reuses to amortize the RW-CP checkpoint creation (Fig. 18); negative
+	// when RW-CP does not beat the host.
+	AmortizeReuses float64
+}
+
+// RunApps executes the Fig. 16 sweep: every application instance through
+// RW-CP, Specialized and the Portals-4 iovec baseline, all against the
+// host-unpack baseline.
+func RunApps(instances []apps.Instance) ([]AppResult, error) {
+	var out []AppResult
+	for _, in := range instances {
+		host, err := core.Run(core.NewRequest(core.HostUnpack, in.Type, in.Count))
+		if err != nil {
+			return nil, fmt.Errorf("%s host: %w", in.Name(), err)
+		}
+		rwcp, err := core.Run(core.NewRequest(core.RWCP, in.Type, in.Count))
+		if err != nil {
+			return nil, fmt.Errorf("%s rw-cp: %w", in.Name(), err)
+		}
+		spec, err := core.Run(core.NewRequest(core.Specialized, in.Type, in.Count))
+		if err != nil {
+			return nil, fmt.Errorf("%s specialized: %w", in.Name(), err)
+		}
+		iovec, err := core.Run(core.NewRequest(core.PortalsIovec, in.Type, in.Count))
+		if err != nil {
+			return nil, fmt.Errorf("%s iovec: %w", in.Name(), err)
+		}
+
+		r := AppResult{
+			Instance:     in,
+			Gamma:        host.Gamma,
+			MsgBytes:     host.MsgBytes,
+			HostMs:       host.ProcTime.Milliseconds(),
+			SpeedupRWCP:  rwcp.SpeedupOver(host),
+			SpeedupSpec:  spec.SpeedupOver(host),
+			SpeedupIovec: iovec.SpeedupOver(host),
+			NICDataRWCP:  rwcp.Prep.CopyBytes,
+			NICDataSpec:  spec.Prep.CopyBytes,
+			NICDataIovec: iovec.Prep.CopyBytes,
+			TrafficHost:  host.TrafficBytes,
+			TrafficRWCP:  rwcp.TrafficBytes,
+		}
+		if gain := host.ProcTime - rwcp.ProcTime; gain > 0 {
+			r.AmortizeReuses = float64(rwcp.Prep.Total()) / float64(gain)
+		} else {
+			r.AmortizeReuses = -1
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// Fig16AppSpeedups renders the Fig. 16 table.
+func Fig16AppSpeedups(results []AppResult) *Table {
+	t := &Table{
+		Title: "Fig. 16: message processing speedup over host-based unpacking",
+		Note: "gamma: avg contiguous regions per packet; T: host baseline (ms); S: message (KiB);" +
+			" NIC columns: data moved to the NIC to support the unpack (KiB)\n" +
+			"paper: up to ~10-12x; no speedup for single-packet messages (COMB a/b) or huge gamma (SPEC-OC)",
+		Header: []string{"app/input", "type", "gamma", "T_ms", "S_KiB",
+			"RW-CP_x", "Spec_x", "iovec_x", "NIC_RWCP_KiB", "NIC_Spec_KiB", "NIC_iovec_KiB"},
+	}
+	for _, r := range results {
+		t.AddRow(
+			r.Instance.Name(), r.Instance.TypeDesc,
+			f1(r.Gamma), fmt.Sprintf("%.3f", r.HostMs), kib(r.MsgBytes),
+			f2(r.SpeedupRWCP), f2(r.SpeedupSpec), f2(r.SpeedupIovec),
+			kib(r.NICDataRWCP), kib(r.NICDataSpec), kib(r.NICDataIovec),
+		)
+	}
+	return t
+}
+
+// Fig17Traffic renders the memory-traffic histogram of Fig. 17 and its
+// geometric means (paper: host moves 3.8x more data than RW-CP).
+func Fig17Traffic(results []AppResult) *Table {
+	hist := stats.NewLogHistogram(1024, 32<<20, 15)
+	var hostVols, rwcpVols []float64
+	for _, r := range results {
+		hist.Add(float64(r.TrafficHost))
+		hist.Add(float64(r.TrafficRWCP))
+		hostVols = append(hostVols, float64(r.TrafficHost))
+		rwcpVols = append(rwcpVols, float64(r.TrafficRWCP))
+	}
+	gHost := stats.GeoMean(hostVols)
+	gRWCP := stats.GeoMean(rwcpVols)
+
+	t := &Table{
+		Title: "Fig. 17: main-memory data volume per experiment (KiB)",
+		Note: fmt.Sprintf("geomean host = %.1f KiB, geomean RW-CP = %.1f KiB, ratio = %.2fx (paper: 3.8x)",
+			gHost/1024, gRWCP/1024, gHost/gRWCP),
+		Header: []string{"app/input", "host_KiB", "rwcp_KiB", "ratio"},
+	}
+	for _, r := range results {
+		t.AddRow(r.Instance.Name(), kib(r.TrafficHost), kib(r.TrafficRWCP),
+			f2(float64(r.TrafficHost)/float64(r.TrafficRWCP)))
+	}
+	return t
+}
+
+// Fig18Amortization renders the checkpoint-amortization distribution of
+// Fig. 18 (paper: 75% of cases amortize within 4 datatype reuses).
+func Fig18Amortization(results []AppResult) *Table {
+	var reuses []float64    // profitable cases only, for the median
+	var allReuses []float64 // unprofitable cases count as never-amortizing
+	for _, r := range results {
+		if r.AmortizeReuses >= 0 {
+			reuses = append(reuses, r.AmortizeReuses)
+			allReuses = append(allReuses, r.AmortizeReuses)
+		} else {
+			allReuses = append(allReuses, math.Inf(1))
+		}
+	}
+	within4 := stats.FractionBelow(allReuses, 4) * 100
+	t := &Table{
+		Title: "Fig. 18: datatype reuses needed to amortize RW-CP checkpoint creation",
+		Note: fmt.Sprintf("%d/%d cases profitable; %.0f%% of all cases amortize in under 4 reuses"+
+			" (paper: 75%%); median %.2f reuses among profitable cases",
+			len(reuses), len(results), within4, stats.Median(reuses)),
+		Header: []string{"app/input", "reuses"},
+	}
+	for _, r := range results {
+		v := "never (host faster)"
+		if r.AmortizeReuses >= 0 {
+			v = f2(r.AmortizeReuses)
+		}
+		t.AddRow(r.Instance.Name(), v)
+	}
+	return t
+}

@@ -1,0 +1,171 @@
+// Package fabric models the network link of the paper's evaluation: a
+// 200 Gbit/s Slingshot-class fabric delivering messages as sequences of
+// 2 KiB-payload packets. It packetizes messages, computes wire-arrival
+// schedules, and can permute delivery order to model out-of-order networks.
+package fabric
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"spinddt/internal/sim"
+)
+
+// Config describes the link.
+type Config struct {
+	// LineRateGbps is the link bandwidth in Gbit/s.
+	LineRateGbps float64
+	// MTU is the packet payload size in bytes.
+	MTU int64
+	// HeaderBytes is the per-packet wire overhead (network headers).
+	HeaderBytes int64
+	// WireLatency is the propagation + switching latency of the path.
+	WireLatency sim.Time
+}
+
+// DefaultConfig returns the paper's simulation setup: 200 Gbit/s, 2 KiB
+// payloads. The 745 ns network latency is the RDMA path component of
+// Fig. 2.
+func DefaultConfig() Config {
+	return Config{
+		LineRateGbps: 200,
+		MTU:          2048,
+		HeaderBytes:  64,
+		WireLatency:  745 * sim.Nanosecond,
+	}
+}
+
+// ByteTime returns the serialization time of n bytes at line rate.
+func (c Config) ByteTime(n int64) sim.Time {
+	return sim.FromSeconds(float64(n) * 8 / (c.LineRateGbps * 1e9))
+}
+
+// PacketTime returns the wire occupancy of one packet carrying payload
+// bytes (payload plus header overhead).
+func (c Config) PacketTime(payload int64) sim.Time {
+	return c.ByteTime(payload + c.HeaderBytes)
+}
+
+// Packet is one packet of a message. The first packet of a message is the
+// header packet and the last is the completion packet, which the paper's
+// NIC model relies on arriving first and last respectively.
+type Packet struct {
+	// Index is the packet's position in the message (stream order).
+	Index int
+	// StreamOff is the byte offset of the payload in the packed stream.
+	StreamOff int64
+	// Size is the payload size in bytes.
+	Size int64
+	// Header marks the first packet of the message.
+	Header bool
+	// Completion marks the last packet of the message.
+	Completion bool
+}
+
+// Packetize splits a message of msgSize bytes into MTU-sized packets.
+func (c Config) Packetize(msgSize int64) ([]Packet, error) {
+	if msgSize <= 0 {
+		return nil, fmt.Errorf("fabric: message size %d", msgSize)
+	}
+	if c.MTU <= 0 {
+		return nil, fmt.Errorf("fabric: MTU %d", c.MTU)
+	}
+	n := int((msgSize + c.MTU - 1) / c.MTU)
+	pkts := make([]Packet, n)
+	for i := range pkts {
+		off := int64(i) * c.MTU
+		size := c.MTU
+		if off+size > msgSize {
+			size = msgSize - off
+		}
+		pkts[i] = Packet{
+			Index:      i,
+			StreamOff:  off,
+			Size:       size,
+			Header:     i == 0,
+			Completion: i == n-1,
+		}
+	}
+	return pkts, nil
+}
+
+// NumPackets returns the packet count of a message.
+func (c Config) NumPackets(msgSize int64) int {
+	if msgSize <= 0 {
+		return 0
+	}
+	return int((msgSize + c.MTU - 1) / c.MTU)
+}
+
+// Arrival is one packet delivery: the packet and the time its last byte is
+// available at the receiving NIC.
+type Arrival struct {
+	Packet Packet
+	At     sim.Time
+}
+
+// Schedule computes the arrival schedule of a message whose first bit
+// leaves the sender at start. order gives the wire order as a permutation
+// of packet indices; nil means in-order. The paper's NIC model requires the
+// header packet first and the completion packet last, which Schedule
+// enforces regardless of the permutation of the middle packets.
+func (c Config) Schedule(msgSize int64, start sim.Time, order []int) ([]Arrival, error) {
+	pkts, err := c.Packetize(msgSize)
+	if err != nil {
+		return nil, err
+	}
+	n := len(pkts)
+	if order == nil {
+		order = make([]int, n)
+		for i := range order {
+			order[i] = i
+		}
+	}
+	if len(order) != n {
+		return nil, fmt.Errorf("fabric: order has %d entries for %d packets", len(order), n)
+	}
+	seen := make([]bool, n)
+	for _, idx := range order {
+		if idx < 0 || idx >= n || seen[idx] {
+			return nil, fmt.Errorf("fabric: order is not a permutation")
+		}
+		seen[idx] = true
+	}
+	if n > 1 && (order[0] != 0 || order[n-1] != n-1) {
+		return nil, fmt.Errorf("fabric: header packet must be delivered first and completion last")
+	}
+
+	arrivals := make([]Arrival, n)
+	t := start + c.WireLatency
+	for slot, idx := range order {
+		t += c.PacketTime(pkts[idx].Size)
+		arrivals[slot] = Arrival{Packet: pkts[idx], At: t}
+	}
+	return arrivals, nil
+}
+
+// ReorderWindow returns a delivery permutation where each packet is
+// displaced at most window slots from its in-order position, with the
+// header and completion packets pinned (the delivery model the paper's NIC
+// assumes). window 0 returns the identity.
+func ReorderWindow(n, window int, rng *rand.Rand) []int {
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	if window <= 0 || n <= 3 {
+		return order
+	}
+	// Jitter-sort: perturb each middle packet's position key by up to
+	// window slots and sort. Packets further than window apart keep their
+	// relative order, bounding every displacement by window.
+	keys := make([]float64, n)
+	for i := 1; i < n-1; i++ {
+		keys[i] = float64(i) + rng.Float64()*float64(window)
+	}
+	keys[0] = -1
+	keys[n-1] = float64(n) + float64(window)
+	sort.SliceStable(order, func(a, b int) bool { return keys[order[a]] < keys[order[b]] })
+	return order
+}

@@ -1,0 +1,158 @@
+package fabric
+
+import (
+	"math/rand"
+	"testing"
+
+	"spinddt/internal/sim"
+)
+
+func TestByteTimeAtLineRate(t *testing.T) {
+	c := DefaultConfig()
+	// 2048 B at 200 Gbit/s = 81.92 ns.
+	if got := c.ByteTime(2048); got != sim.Time(81920) {
+		t.Fatalf("ByteTime(2048) = %d ps, want 81920", int64(got))
+	}
+}
+
+func TestPacketize(t *testing.T) {
+	c := DefaultConfig()
+	pkts, err := c.Packetize(5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkts) != 3 {
+		t.Fatalf("%d packets", len(pkts))
+	}
+	if !pkts[0].Header || pkts[0].Completion {
+		t.Fatal("first packet flags")
+	}
+	if pkts[2].Size != 5000-2*2048 || !pkts[2].Completion {
+		t.Fatalf("last packet %+v", pkts[2])
+	}
+	var total int64
+	for i, p := range pkts {
+		if p.Index != i || p.StreamOff != int64(i)*2048 {
+			t.Fatalf("packet %d: %+v", i, p)
+		}
+		total += p.Size
+	}
+	if total != 5000 {
+		t.Fatalf("payload total %d", total)
+	}
+	if c.NumPackets(5000) != 3 || c.NumPackets(0) != 0 {
+		t.Fatal("NumPackets")
+	}
+}
+
+func TestPacketizeSinglePacket(t *testing.T) {
+	c := DefaultConfig()
+	pkts, err := c.Packetize(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkts) != 1 || !pkts[0].Header || !pkts[0].Completion {
+		t.Fatalf("single packet %+v", pkts)
+	}
+}
+
+func TestPacketizeErrors(t *testing.T) {
+	c := DefaultConfig()
+	if _, err := c.Packetize(0); err == nil {
+		t.Fatal("zero-size message accepted")
+	}
+	c.MTU = 0
+	if _, err := c.Packetize(100); err == nil {
+		t.Fatal("zero MTU accepted")
+	}
+}
+
+func TestScheduleInOrder(t *testing.T) {
+	c := DefaultConfig()
+	arr, err := c.Schedule(3*2048, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(arr) != 3 {
+		t.Fatalf("%d arrivals", len(arr))
+	}
+	pt := c.PacketTime(2048)
+	for i, a := range arr {
+		want := c.WireLatency + sim.Time(i+1)*pt
+		if a.At != want {
+			t.Fatalf("arrival %d at %v, want %v", i, a.At, want)
+		}
+		if a.Packet.Index != i {
+			t.Fatalf("arrival %d is packet %d", i, a.Packet.Index)
+		}
+	}
+}
+
+func TestScheduleRejectsBadOrder(t *testing.T) {
+	c := DefaultConfig()
+	if _, err := c.Schedule(3*2048, 0, []int{1, 0, 2}); err == nil {
+		t.Fatal("header not first accepted")
+	}
+	if _, err := c.Schedule(3*2048, 0, []int{0, 2, 1}); err == nil {
+		t.Fatal("completion not last accepted")
+	}
+	if _, err := c.Schedule(3*2048, 0, []int{0, 1}); err == nil {
+		t.Fatal("wrong length accepted")
+	}
+	if _, err := c.Schedule(3*2048, 0, []int{0, 1, 1}); err == nil {
+		t.Fatal("non-permutation accepted")
+	}
+}
+
+func TestScheduleOutOfOrderKeepsSlots(t *testing.T) {
+	c := DefaultConfig()
+	order := []int{0, 2, 1, 3}
+	arr, err := c.Schedule(4*2048, 0, order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for slot, a := range arr {
+		if a.Packet.Index != order[slot] {
+			t.Fatalf("slot %d carries packet %d", slot, a.Packet.Index)
+		}
+	}
+	// Arrival times stay monotone regardless of permutation.
+	for i := 1; i < len(arr); i++ {
+		if arr[i].At <= arr[i-1].At {
+			t.Fatal("arrival times not monotone")
+		}
+	}
+}
+
+func TestReorderWindow(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 64
+	order := ReorderWindow(n, 4, rng)
+	if order[0] != 0 || order[n-1] != n-1 {
+		t.Fatal("header/completion not pinned")
+	}
+	seen := make([]bool, n)
+	displaced := 0
+	for slot, idx := range order {
+		if seen[idx] {
+			t.Fatal("not a permutation")
+		}
+		seen[idx] = true
+		if slot != idx {
+			displaced++
+		}
+		if d := slot - idx; d > 2*4+1 || d < -(2*4+1) {
+			t.Fatalf("packet %d displaced %d slots", idx, d)
+		}
+	}
+	if displaced == 0 {
+		t.Fatal("window 4 produced identity permutation")
+	}
+	// Window 0 is the identity.
+	id := ReorderWindow(n, 0, rng)
+	for i, v := range id {
+		if v != i {
+			t.Fatal("window 0 not identity")
+		}
+	}
+}

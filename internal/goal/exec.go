@@ -1,0 +1,215 @@
+package goal
+
+import (
+	"fmt"
+
+	"spinddt/internal/loggops"
+	"spinddt/internal/sim"
+)
+
+// Result reports a GOAL program execution.
+type Result struct {
+	// Makespan is the completion time of the last operation.
+	Makespan sim.Time
+	// RankFinish holds each rank's last completion.
+	RankFinish []sim.Time
+	// Messages counts delivered messages.
+	Messages int64
+}
+
+type msgKey struct {
+	src, dst, tag int
+}
+
+// execRank is the per-rank execution state.
+type execRank struct {
+	ops      []Op
+	pending  []int // unmet dependency count per op
+	earliest []sim.Time
+	done     []bool
+	deps     map[string][]int // label -> dependent op indices
+	byLabel  map[string]int
+	ready    []int
+	parked   map[msgKey][]int // ready recvs waiting for a message
+	cpuFree  sim.Time
+	nicFree  sim.Time
+	finished int
+}
+
+// Execute runs the program under the LogGOPS model with true dependency
+// semantics: operations start when their requires-edges are satisfied, the
+// rank CPU serializes them in readiness order (list scheduling), and
+// receives that are ready but unmatched park without blocking independent
+// work — the behaviour that lets GOAL traces overlap communication with
+// computation.
+func Execute(params loggops.Params, p *Program) (Result, error) {
+	if err := p.Validate(); err != nil {
+		return Result{}, err
+	}
+	n := len(p.Ranks)
+	ranks := make([]*execRank, n)
+	for r, ops := range p.Ranks {
+		er := &execRank{
+			ops:      ops,
+			pending:  make([]int, len(ops)),
+			earliest: make([]sim.Time, len(ops)),
+			done:     make([]bool, len(ops)),
+			deps:     make(map[string][]int),
+			byLabel:  make(map[string]int, len(ops)),
+			parked:   make(map[msgKey][]int),
+		}
+		for i, op := range ops {
+			er.byLabel[op.Label] = i
+			er.pending[i] = len(op.Requires)
+		}
+		for i, op := range ops {
+			for _, req := range op.Requires {
+				er.deps[req] = append(er.deps[req], i)
+			}
+		}
+		for i := range ops {
+			if er.pending[i] == 0 {
+				er.ready = append(er.ready, i)
+			}
+		}
+		ranks[r] = er
+	}
+
+	arrivals := make(map[msgKey][]sim.Time)
+	res := Result{RankFinish: make([]sim.Time, n)}
+
+	complete := func(er *execRank, idx int, at sim.Time) {
+		er.done[idx] = true
+		er.finished++
+		if at > er.cpuFree {
+			er.cpuFree = at
+		}
+		for _, dep := range er.deps[er.ops[idx].Label] {
+			if er.earliest[dep] < at {
+				er.earliest[dep] = at
+			}
+			er.pending[dep]--
+			if er.pending[dep] == 0 {
+				er.ready = append(er.ready, dep)
+			}
+		}
+	}
+
+	// Worklist fixpoint: all costs are deterministic time algebra, so
+	// ranks can be advanced repeatedly until nothing progresses. Within a
+	// rank, ready operations run in list-scheduling order: the op with the
+	// earliest feasible start goes first, so a receive whose message is
+	// still in flight never delays independent ready work.
+	const never = sim.Time(1) << 62
+	progress := true
+	for progress {
+		progress = false
+		for r, er := range ranks {
+			// Receives parked on now-known arrivals become ready again.
+			for key, queue := range er.parked {
+				if len(queue) > 0 && len(arrivals[key]) > 0 {
+					er.ready = append(er.ready, queue...)
+					er.parked[key] = nil
+					progress = true
+				}
+			}
+
+			for len(er.ready) > 0 {
+				// Select the ready op with the earliest feasible start.
+				best, bestStart := -1, never
+				for _, idx := range er.ready {
+					op := er.ops[idx]
+					start := maxTime(er.cpuFree, er.earliest[idx])
+					if op.Kind == Recv {
+						key := msgKey{src: op.Peer, dst: r, tag: op.Tag}
+						times := arrivals[key]
+						if len(times) == 0 {
+							continue // arrival unknown: not schedulable yet
+						}
+						start = maxTime(start, times[0])
+					}
+					if start < bestStart {
+						best, bestStart = idx, start
+					}
+				}
+				if best == -1 {
+					// Only arrival-less receives remain: park them all.
+					for _, idx := range er.ready {
+						op := er.ops[idx]
+						key := msgKey{src: op.Peer, dst: r, tag: op.Tag}
+						er.parked[key] = append(er.parked[key], idx)
+					}
+					er.ready = er.ready[:0]
+					break
+				}
+				er.ready = removeIdx(er.ready, best)
+				op := er.ops[best]
+				switch op.Kind {
+				case Calc:
+					start := maxTime(er.cpuFree, er.earliest[best])
+					er.cpuFree = start + op.Dur
+					complete(er, best, er.cpuFree)
+
+				case Send:
+					start := maxTime(er.cpuFree, er.nicFree, er.earliest[best])
+					injected := start + params.O
+					er.cpuFree = injected
+					gap := params.G
+					if bt := params.ByteTime(op.Bytes); bt > gap {
+						gap = bt
+					}
+					er.nicFree = injected + gap
+					key := msgKey{src: r, dst: op.Peer, tag: op.Tag}
+					arrivals[key] = append(arrivals[key], injected+params.L+params.ByteTime(op.Bytes))
+					res.Messages++
+					complete(er, best, injected)
+
+				case Recv:
+					key := msgKey{src: op.Peer, dst: r, tag: op.Tag}
+					arrival := arrivals[key][0]
+					arrivals[key] = arrivals[key][1:]
+					start := maxTime(er.cpuFree, er.earliest[best], arrival)
+					er.cpuFree = start + params.O + op.Dur
+					complete(er, best, er.cpuFree)
+				}
+				progress = true
+			}
+		}
+	}
+
+	for r, er := range ranks {
+		if er.finished != len(er.ops) {
+			return Result{}, fmt.Errorf("goal: rank %d deadlocked with %d of %d ops done",
+				r, er.finished, len(er.ops))
+		}
+		fin := er.cpuFree
+		if er.nicFree > fin {
+			fin = er.nicFree
+		}
+		res.RankFinish[r] = fin
+		if fin > res.Makespan {
+			res.Makespan = fin
+		}
+	}
+	return res, nil
+}
+
+func maxTime(ts ...sim.Time) sim.Time {
+	var m sim.Time
+	for _, t := range ts {
+		if t > m {
+			m = t
+		}
+	}
+	return m
+}
+
+// removeIdx deletes the first occurrence of v from xs, preserving order.
+func removeIdx(xs []int, v int) []int {
+	for i, x := range xs {
+		if x == v {
+			return append(xs[:i], xs[i+1:]...)
+		}
+	}
+	return xs
+}

@@ -1,0 +1,295 @@
+// Package goal implements GOAL — the Group Operation Assembly Language of
+// Hoefler, Siebert & Lumsdaine (ICPP'09) — which the paper uses to express
+// application traces for LogGOPSim ("We use these two parameters to build a
+// GOAL trace for FFT2D", Sec. 5.4). A GOAL program gives every rank a set
+// of labelled operations (calc, send, recv) with explicit dependency
+// edges; unlike a sequential schedule, independent operations may overlap.
+//
+// The package provides the program representation with validation, a text
+// serializer/parser for the GOAL format, and a dependency-driven executor
+// under the LogGOPS cost model.
+package goal
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"spinddt/internal/loggops"
+	"spinddt/internal/sim"
+)
+
+// OpKind enumerates GOAL operation kinds.
+type OpKind int
+
+// The GOAL operation kinds.
+const (
+	Calc OpKind = iota
+	Send
+	Recv
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case Calc:
+		return "calc"
+	case Send:
+		return "send"
+	case Recv:
+		return "recv"
+	default:
+		return fmt.Sprintf("OpKind(%d)", int(k))
+	}
+}
+
+// Op is one labelled operation of a rank.
+type Op struct {
+	// Label names the op within its rank (the target of requires edges).
+	Label string
+	Kind  OpKind
+	// Dur is the computation time (Calc) or post-arrival processing
+	// charged on the CPU (Recv, e.g. datatype unpack).
+	Dur sim.Time
+	// Peer is the destination (Send) or source (Recv) rank.
+	Peer int
+	// Bytes is the message size (Send/Recv).
+	Bytes int64
+	// Tag matches sends to recvs.
+	Tag int
+	// Requires lists labels of same-rank ops that must complete first.
+	Requires []string
+}
+
+// Program is a GOAL schedule: one op list per rank.
+type Program struct {
+	Ranks [][]Op
+}
+
+// NumOps returns the total operation count.
+func (p *Program) NumOps() int {
+	n := 0
+	for _, ops := range p.Ranks {
+		n += len(ops)
+	}
+	return n
+}
+
+// Validate checks labels, dependency references and peer ranges.
+func (p *Program) Validate() error {
+	if len(p.Ranks) == 0 {
+		return fmt.Errorf("goal: empty program")
+	}
+	for r, ops := range p.Ranks {
+		labels := make(map[string]bool, len(ops))
+		for _, op := range ops {
+			if op.Label == "" {
+				return fmt.Errorf("goal: rank %d has an unlabelled op", r)
+			}
+			if labels[op.Label] {
+				return fmt.Errorf("goal: rank %d duplicates label %q", r, op.Label)
+			}
+			labels[op.Label] = true
+			if op.Kind != Calc {
+				if op.Peer < 0 || op.Peer >= len(p.Ranks) {
+					return fmt.Errorf("goal: rank %d op %q peer %d out of range", r, op.Label, op.Peer)
+				}
+				if op.Bytes <= 0 {
+					return fmt.Errorf("goal: rank %d op %q has %d bytes", r, op.Label, op.Bytes)
+				}
+			}
+		}
+		for _, op := range ops {
+			for _, req := range op.Requires {
+				if !labels[req] {
+					return fmt.Errorf("goal: rank %d op %q requires unknown label %q", r, op.Label, req)
+				}
+				if req == op.Label {
+					return fmt.Errorf("goal: rank %d op %q requires itself", r, op.Label)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Marshal renders the program in GOAL text form.
+func (p *Program) Marshal() []byte {
+	var b strings.Builder
+	fmt.Fprintf(&b, "num_ranks %d\n", len(p.Ranks))
+	for r, ops := range p.Ranks {
+		fmt.Fprintf(&b, "rank %d {\n", r)
+		for _, op := range ops {
+			switch op.Kind {
+			case Calc:
+				fmt.Fprintf(&b, "  %s: calc %d\n", op.Label, int64(op.Dur))
+			case Send:
+				fmt.Fprintf(&b, "  %s: send %db to %d tag %d\n", op.Label, op.Bytes, op.Peer, op.Tag)
+			case Recv:
+				fmt.Fprintf(&b, "  %s: recv %db from %d tag %d cpu %d\n",
+					op.Label, op.Bytes, op.Peer, op.Tag, int64(op.Dur))
+			}
+		}
+		for _, op := range ops {
+			for _, req := range op.Requires {
+				fmt.Fprintf(&b, "  %s requires %s\n", op.Label, req)
+			}
+		}
+		fmt.Fprintf(&b, "}\n")
+	}
+	return []byte(b.String())
+}
+
+// Parse reads a program in the text form produced by Marshal.
+func Parse(r io.Reader) (*Program, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	p := &Program{}
+	cur := -1
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		switch {
+		case fields[0] == "num_ranks" && len(fields) == 2:
+			var n int
+			if _, err := fmt.Sscanf(fields[1], "%d", &n); err != nil || n <= 0 {
+				return nil, fmt.Errorf("goal: line %d: bad num_ranks", line)
+			}
+			p.Ranks = make([][]Op, n)
+
+		case fields[0] == "rank" && len(fields) == 3 && fields[2] == "{":
+			var r int
+			if _, err := fmt.Sscanf(fields[1], "%d", &r); err != nil || r < 0 || r >= len(p.Ranks) {
+				return nil, fmt.Errorf("goal: line %d: bad rank header", line)
+			}
+			cur = r
+
+		case fields[0] == "}":
+			cur = -1
+
+		case len(fields) >= 3 && fields[1] == "requires":
+			if cur < 0 {
+				return nil, fmt.Errorf("goal: line %d: requires outside a rank", line)
+			}
+			if !addRequire(p.Ranks[cur], fields[0], fields[2]) {
+				return nil, fmt.Errorf("goal: line %d: requires on unknown op %q", line, fields[0])
+			}
+
+		default:
+			if cur < 0 {
+				return nil, fmt.Errorf("goal: line %d: op outside a rank", line)
+			}
+			op, err := parseOp(fields)
+			if err != nil {
+				return nil, fmt.Errorf("goal: line %d: %v", line, err)
+			}
+			p.Ranks[cur] = append(p.Ranks[cur], op)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func addRequire(ops []Op, label, req string) bool {
+	for i := range ops {
+		if ops[i].Label == label {
+			ops[i].Requires = append(ops[i].Requires, req)
+			return true
+		}
+	}
+	return false
+}
+
+func parseOp(fields []string) (Op, error) {
+	if len(fields) < 3 || !strings.HasSuffix(fields[0], ":") {
+		return Op{}, fmt.Errorf("malformed op %q", strings.Join(fields, " "))
+	}
+	label := strings.TrimSuffix(fields[0], ":")
+	switch fields[1] {
+	case "calc":
+		var d int64
+		if _, err := fmt.Sscanf(fields[2], "%d", &d); err != nil || d < 0 {
+			return Op{}, fmt.Errorf("bad calc duration")
+		}
+		return Op{Label: label, Kind: Calc, Dur: sim.Time(d)}, nil
+	case "send":
+		var bytes int64
+		var peer, tag int
+		if len(fields) != 7 || fields[3] != "to" || fields[5] != "tag" {
+			return Op{}, fmt.Errorf("malformed send")
+		}
+		if _, err := fmt.Sscanf(fields[2], "%db", &bytes); err != nil {
+			return Op{}, fmt.Errorf("bad send size")
+		}
+		if _, err := fmt.Sscanf(fields[4], "%d", &peer); err != nil {
+			return Op{}, fmt.Errorf("bad send peer")
+		}
+		if _, err := fmt.Sscanf(fields[6], "%d", &tag); err != nil {
+			return Op{}, fmt.Errorf("bad send tag")
+		}
+		return Op{Label: label, Kind: Send, Bytes: bytes, Peer: peer, Tag: tag}, nil
+	case "recv":
+		var bytes, cpu int64
+		var peer, tag int
+		if len(fields) != 9 || fields[3] != "from" || fields[5] != "tag" || fields[7] != "cpu" {
+			return Op{}, fmt.Errorf("malformed recv")
+		}
+		if _, err := fmt.Sscanf(fields[2], "%db", &bytes); err != nil {
+			return Op{}, fmt.Errorf("bad recv size")
+		}
+		if _, err := fmt.Sscanf(fields[4], "%d", &peer); err != nil {
+			return Op{}, fmt.Errorf("bad recv peer")
+		}
+		if _, err := fmt.Sscanf(fields[6], "%d", &tag); err != nil {
+			return Op{}, fmt.Errorf("bad recv tag")
+		}
+		if _, err := fmt.Sscanf(fields[8], "%d", &cpu); err != nil {
+			return Op{}, fmt.Errorf("bad recv cpu")
+		}
+		return Op{Label: label, Kind: Recv, Bytes: bytes, Peer: peer, Tag: tag, Dur: sim.Time(cpu)}, nil
+	default:
+		return Op{}, fmt.Errorf("unknown op kind %q", fields[1])
+	}
+}
+
+// Sequential converts a loggops sequential schedule into a GOAL program
+// with chain dependencies (each op requires its predecessor).
+func Sequential(sched loggops.Schedule) *Program {
+	p := &Program{Ranks: make([][]Op, len(sched))}
+	for r, ops := range sched {
+		for i, op := range ops {
+			g := Op{Label: fmt.Sprintf("o%d", i)}
+			switch op.Kind {
+			case loggops.OpCalc:
+				g.Kind = Calc
+				g.Dur = op.Dur
+			case loggops.OpSend:
+				g.Kind = Send
+				g.Peer = op.Peer
+				g.Bytes = op.Bytes
+				g.Tag = op.Tag
+			case loggops.OpRecv:
+				g.Kind = Recv
+				g.Peer = op.Peer
+				g.Tag = op.Tag
+				g.Dur = op.Dur
+				g.Bytes = 1 // size is carried by the matching send
+			}
+			if i > 0 {
+				g.Requires = []string{fmt.Sprintf("o%d", i-1)}
+			}
+			p.Ranks[r] = append(p.Ranks[r], g)
+		}
+	}
+	return p
+}

@@ -1,0 +1,209 @@
+package goal
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"spinddt/internal/loggops"
+	"spinddt/internal/sim"
+)
+
+func params() loggops.Params {
+	return loggops.Params{
+		L:        500 * sim.Nanosecond,
+		O:        100 * sim.Nanosecond,
+		G:        80 * sim.Nanosecond,
+		GPerByte: 1 / 25e9,
+	}
+}
+
+func ns(v int64) sim.Time { return sim.Time(v) * sim.Nanosecond }
+
+func TestValidate(t *testing.T) {
+	good := &Program{Ranks: [][]Op{
+		{{Label: "a", Kind: Calc, Dur: ns(10)}, {Label: "b", Kind: Send, Peer: 1, Bytes: 64, Requires: []string{"a"}}},
+		{{Label: "r", Kind: Recv, Peer: 0, Bytes: 64}},
+	}}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []*Program{
+		{}, // empty
+		{Ranks: [][]Op{{{Label: "", Kind: Calc}}}},
+		{Ranks: [][]Op{{{Label: "a", Kind: Calc}, {Label: "a", Kind: Calc}}}},
+		{Ranks: [][]Op{{{Label: "a", Kind: Send, Peer: 5, Bytes: 1}}}},
+		{Ranks: [][]Op{{{Label: "a", Kind: Send, Peer: 0, Bytes: 0}}}},
+		{Ranks: [][]Op{{{Label: "a", Kind: Calc, Requires: []string{"zz"}}}}},
+		{Ranks: [][]Op{{{Label: "a", Kind: Calc, Requires: []string{"a"}}}}},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Fatalf("bad program %d validated", i)
+		}
+	}
+}
+
+func TestExecuteMatchesSequentialLogGOPS(t *testing.T) {
+	// A chain-dependency GOAL program must agree exactly with the
+	// sequential loggops executor.
+	sched := loggops.Schedule{
+		{loggops.Calc(ns(1000)), loggops.Send(1, 4096, 0), loggops.Recv(1, 1, ns(500))},
+		{loggops.Recv(0, 0, ns(200)), loggops.Calc(ns(300)), loggops.Send(0, 4096, 1)},
+	}
+	want, err := loggops.Run(params(), sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Execute(params(), Sequential(sched))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Makespan != want.Makespan {
+		t.Fatalf("GOAL chain makespan %v, loggops %v", got.Makespan, want.Makespan)
+	}
+	if got.Messages != want.Messages {
+		t.Fatalf("messages %d vs %d", got.Messages, want.Messages)
+	}
+}
+
+func TestDAGOverlapsIndependentWork(t *testing.T) {
+	// Rank 1 waits for a message and has an independent 10us calc. A
+	// sequential schedule (recv before calc) serializes them; the DAG
+	// overlaps the calc with the message latency.
+	p := params()
+	compute := ns(10000)
+	delayedSend := &Program{Ranks: [][]Op{
+		{{Label: "wait", Kind: Calc, Dur: ns(8000)},
+			{Label: "s", Kind: Send, Peer: 1, Bytes: 64, Requires: []string{"wait"}}},
+		{{Label: "r", Kind: Recv, Peer: 0, Bytes: 64},
+			{Label: "c", Kind: Calc, Dur: compute}},
+	}}
+	dag, err := Execute(p, delayedSend)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := loggops.Schedule{
+		{loggops.Calc(ns(8000)), loggops.Send(1, 64, 0)},
+		{loggops.Recv(0, 0, 0), loggops.Calc(compute)},
+	}
+	seqRes, err := loggops.Run(p, seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dag.Makespan >= seqRes.Makespan {
+		t.Fatalf("DAG (%v) should overlap and beat sequential (%v)", dag.Makespan, seqRes.Makespan)
+	}
+	// The overlap saves roughly the sender's delay.
+	if saved := seqRes.Makespan - dag.Makespan; saved < ns(7000) {
+		t.Fatalf("only saved %v", saved)
+	}
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	p := &Program{Ranks: [][]Op{
+		{{Label: "r", Kind: Recv, Peer: 1, Bytes: 1}},
+		{{Label: "r", Kind: Recv, Peer: 0, Bytes: 1}},
+	}}
+	if _, err := Execute(params(), p); err == nil {
+		t.Fatal("communication deadlock not detected")
+	}
+	cyclic := &Program{Ranks: [][]Op{{
+		{Label: "a", Kind: Calc, Requires: []string{"b"}},
+		{Label: "b", Kind: Calc, Requires: []string{"a"}},
+	}}}
+	if _, err := Execute(params(), cyclic); err == nil {
+		t.Fatal("dependency cycle not detected")
+	}
+}
+
+func TestMarshalParseRoundTrip(t *testing.T) {
+	orig := &Program{Ranks: [][]Op{
+		{{Label: "c0", Kind: Calc, Dur: ns(123)},
+			{Label: "s0", Kind: Send, Peer: 1, Bytes: 2048, Tag: 7, Requires: []string{"c0"}},
+			{Label: "r0", Kind: Recv, Peer: 1, Bytes: 64, Tag: 9, Dur: ns(55), Requires: []string{"c0"}}},
+		{{Label: "r", Kind: Recv, Peer: 0, Bytes: 2048, Tag: 7},
+			{Label: "s", Kind: Send, Peer: 0, Bytes: 64, Tag: 9, Requires: []string{"r"}}},
+	}}
+	text := orig.Marshal()
+	parsed, err := Parse(bytes.NewReader(text))
+	if err != nil {
+		t.Fatalf("%v\n%s", err, text)
+	}
+	// Executing both must agree exactly.
+	a, err := Execute(params(), orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Execute(params(), parsed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Makespan != b.Makespan || a.Messages != b.Messages {
+		t.Fatalf("round trip changed execution: %+v vs %+v", a, b)
+	}
+	if parsed.NumOps() != orig.NumOps() {
+		t.Fatalf("ops %d vs %d", parsed.NumOps(), orig.NumOps())
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"rank 0 {\n}\n",                           // no num_ranks
+		"num_ranks 0\n",                           // zero ranks
+		"num_ranks 1\nrank 3 {\n}\n",              // rank out of range
+		"num_ranks 1\na: calc 5\n",                // op outside rank
+		"num_ranks 1\nrank 0 {\n x: frob 1\n}\n",  // unknown kind
+		"num_ranks 1\nrank 0 {\n x: send 4b\n}\n", // malformed send
+		"num_ranks 1\nrank 0 {\n a requires b\n}\n",
+	}
+	for i, c := range cases {
+		if _, err := Parse(strings.NewReader(c)); err == nil {
+			t.Fatalf("case %d parsed: %q", i, c)
+		}
+	}
+	// Comments and blank lines are fine.
+	ok := "# comment\nnum_ranks 1\n\nrank 0 {\n  a: calc 5\n}\n"
+	if _, err := Parse(strings.NewReader(ok)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFFT2DTraceThroughGOAL(t *testing.T) {
+	// The paper's methodology: build the FFT2D trace as GOAL, execute it
+	// under LogGOPS. The sequential GOAL form must match loggops exactly.
+	cfg := loggops.FFT2DConfig{
+		N: 1024, ElemBytes: 16, FlopRate: 8e9,
+		UnpackPerMsg: ns(2000),
+		Net:          params(),
+	}
+	p := 8
+	sched := cfg.Schedule(p)
+	want, err := loggops.Run(cfg.Net, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := Sequential(sched)
+	if err := prog.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Execute(cfg.Net, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Makespan != want.Makespan {
+		t.Fatalf("GOAL FFT2D makespan %v, loggops %v", got.Makespan, want.Makespan)
+	}
+	// And it serializes/parses at scale.
+	parsed, err := Parse(bytes.NewReader(prog.Marshal()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := Execute(cfg.Net, parsed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Makespan != want.Makespan {
+		t.Fatal("parsed trace diverged")
+	}
+}

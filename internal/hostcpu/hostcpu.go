@@ -1,0 +1,143 @@
+// Package hostcpu models the host-based unpack baseline of the paper's
+// evaluation: the MPITypes MPIT_Type_memcpy function profiled on an Intel
+// i7-4770 with cold caches (Sec. 5.1). The model reproduces the two
+// observables the paper uses: the unpack time (the "Host" series of Fig. 8
+// and the T baselines of Fig. 16) and the main-memory traffic the unpack
+// causes (Fig. 17).
+package hostcpu
+
+import (
+	"spinddt/internal/ddt"
+	"spinddt/internal/sim"
+)
+
+// Config is the host CPU/memory model.
+type Config struct {
+	// InterpPerBlock is the datatype-interpreter overhead per contiguous
+	// region (dataloop navigation, loop control).
+	InterpPerBlock sim.Time
+	// WalkPerBlock is the cheaper per-region cost of walking a datatype
+	// without copying (used when the host builds checkpoints).
+	WalkPerBlock sim.Time
+	// CopyBandwidth is the effective cold-cache copy bandwidth in bytes/s,
+	// applied to all memory traffic the unpack generates.
+	CopyBandwidth float64
+	// ColdCaches enforces the paper's microbenchmark methodology: every
+	// unpack runs from cold caches (Sec. 5.3), so the cache tier below is
+	// ignored. Disable it to model unpacks inside a live application loop
+	// (the Fig. 19 FFT2D study), where small working sets stay cached.
+	ColdCaches bool
+	// CachedBandwidth applies instead of CopyBandwidth when ColdCaches is
+	// false and the unpack working set (packed stream plus touched
+	// destination lines) fits under CacheFootprintLimit: the
+	// write-allocate and write-back traffic then stays on-chip.
+	CachedBandwidth float64
+	// CacheFootprintLimit is the working-set size below which the unpack
+	// runs at CachedBandwidth.
+	CacheFootprintLimit int64
+	// CacheLine is the cache line size in bytes.
+	CacheLine int64
+	// MemCopyPerByte is the CPU-side cost of touching one byte in cache
+	// (segment snapshots, small copies) in nanoseconds per byte.
+	MemCopyPerByte float64
+}
+
+// DefaultConfig returns the i7-4770-like profile used throughout the
+// experiments.
+func DefaultConfig() Config {
+	return Config{
+		InterpPerBlock:      sim.Time(800), // 0.8 ns: a tight leaf-copy loop
+		WalkPerBlock:        sim.Time(500), // 0.5 ns: navigation without copying
+		ColdCaches:          true,
+		CopyBandwidth:       16e9,
+		CachedBandwidth:     40e9,
+		CacheFootprintLimit: 1 << 20,
+		CacheLine:           64,
+		MemCopyPerByte:      0.25,
+	}
+}
+
+// Cost is the modeled cost of one host-side unpack (or pack).
+type Cost struct {
+	// Time is the CPU time of the operation.
+	Time sim.Time
+	// Blocks is the number of contiguous regions processed.
+	Blocks int64
+	// DestLines is the number of distinct destination cache lines touched.
+	DestLines int64
+	// TrafficBytes is the main-memory volume of the operation as the paper
+	// counts it for Fig. 17: LLC miss volume = packed-stream reads plus
+	// destination write-allocate fills.
+	TrafficBytes int64
+	// TimeBytes is the memory volume that costs time: reads, write-allocate
+	// fills and write-backs.
+	TimeBytes int64
+}
+
+// UnpackCost models unpacking count elements of the datatype from a packed
+// stream, cold caches.
+func UnpackCost(cfg Config, typ *ddt.Type, count int) Cost {
+	var c Cost
+	m := typ.Size() * int64(count)
+	line := cfg.CacheLine
+	lastLine := int64(-1)
+	typ.ForEachBlock(count, func(off, size int64) {
+		c.Blocks++
+		first := off / line
+		last := (off + size - 1) / line
+		if first == lastLine {
+			first++ // line shared with the previous region: already counted
+		}
+		if last >= first {
+			c.DestLines += last - first + 1
+			lastLine = last
+		}
+	})
+	// Reads: the packed stream; write-allocate: every destination line is
+	// fetched before being partially overwritten; write-backs drain the
+	// same lines.
+	destBytes := c.DestLines * line
+	c.TrafficBytes = m + destBytes
+	c.TimeBytes = m + 2*destBytes
+	c.Time = sim.Time(c.Blocks)*cfg.InterpPerBlock +
+		sim.FromSeconds(float64(c.TimeBytes)/cfg.bandwidthFor(m+destBytes))
+	return c
+}
+
+// bandwidthFor returns the copy bandwidth tier for a working set of the
+// given size.
+func (cfg Config) bandwidthFor(workingSet int64) float64 {
+	if !cfg.ColdCaches && cfg.CacheFootprintLimit > 0 &&
+		workingSet <= cfg.CacheFootprintLimit &&
+		cfg.CachedBandwidth > cfg.CopyBandwidth {
+		return cfg.CachedBandwidth
+	}
+	return cfg.CopyBandwidth
+}
+
+// PackCost models the sender-side pack of count elements into a contiguous
+// buffer (the left tile of the paper's Fig. 4). The traffic is symmetric to
+// unpack with source reads instead of destination fills.
+func PackCost(cfg Config, typ *ddt.Type, count int) Cost {
+	c := UnpackCost(cfg, typ, count)
+	// Packing reads the scattered source (same line count) and writes the
+	// stream; the stream is written sequentially, full lines, so no
+	// write-allocate cost on it.
+	m := typ.Size() * int64(count)
+	c.TrafficBytes = c.DestLines*cfg.CacheLine + m
+	c.TimeBytes = c.DestLines*cfg.CacheLine + m
+	c.Time = sim.Time(c.Blocks)*cfg.InterpPerBlock +
+		sim.FromSeconds(float64(c.TimeBytes)/cfg.bandwidthFor(c.TimeBytes))
+	return c
+}
+
+// WalkCost models advancing a datatype's processing state across its whole
+// stream without copying data (checkpoint construction).
+func WalkCost(cfg Config, blocks int64) sim.Time {
+	return sim.Time(blocks) * cfg.WalkPerBlock
+}
+
+// CopyCost models a small in-cache copy of n bytes (segment snapshots).
+func CopyCost(cfg Config, n int64) sim.Time {
+	return sim.FromNanoseconds(cfg.MemCopyPerByte * float64(n))
+}

@@ -1,0 +1,102 @@
+package hostcpu
+
+import (
+	"testing"
+
+	"spinddt/internal/ddt"
+	"spinddt/internal/sim"
+)
+
+func TestUnpackCostContiguous(t *testing.T) {
+	cfg := DefaultConfig()
+	typ := ddt.MustContiguous(1024, ddt.Double) // 8 KiB, one region
+	c := UnpackCost(cfg, typ, 1)
+	if c.Blocks != 1 {
+		t.Fatalf("blocks = %d", c.Blocks)
+	}
+	if c.DestLines != 8192/64 {
+		t.Fatalf("dest lines = %d", c.DestLines)
+	}
+	// Traffic: 8 KiB read + 8 KiB write-allocate.
+	if c.TrafficBytes != 2*8192 {
+		t.Fatalf("traffic = %d", c.TrafficBytes)
+	}
+	if c.Time <= 0 {
+		t.Fatal("zero time")
+	}
+}
+
+func TestUnpackCostStridedSharesLines(t *testing.T) {
+	cfg := DefaultConfig()
+	// 4 B blocks with 8 B stride: 8 blocks per 64 B destination line.
+	typ := ddt.MustVector(1024, 1, 2, ddt.Int)
+	c := UnpackCost(cfg, typ, 1)
+	if c.Blocks != 1024 {
+		t.Fatalf("blocks = %d", c.Blocks)
+	}
+	// Destination spans 2x the data: 8 KiB span -> 128 lines.
+	if c.DestLines != 128 {
+		t.Fatalf("dest lines = %d, want 128", c.DestLines)
+	}
+}
+
+func TestUnpackCostSparseBlocks(t *testing.T) {
+	cfg := DefaultConfig()
+	// 4 B blocks, 256 B apart: every block its own line.
+	typ := ddt.MustVector(100, 1, 64, ddt.Int)
+	c := UnpackCost(cfg, typ, 1)
+	if c.DestLines != 100 {
+		t.Fatalf("dest lines = %d, want 100", c.DestLines)
+	}
+}
+
+func TestSmallBlocksCostMoreTimePerByte(t *testing.T) {
+	cfg := DefaultConfig()
+	bulk := UnpackCost(cfg, ddt.MustVector(64, 512, 1024, ddt.Int), 1) // 2 KiB blocks
+	tiny := UnpackCost(cfg, ddt.MustVector(32768, 1, 2, ddt.Int), 1)   // 4 B blocks
+	if bulk.Blocks*512 != tiny.Blocks/2 && bulk.TrafficBytes <= 0 {
+		t.Fatal("setup")
+	}
+	perByteBulk := float64(bulk.Time) / float64(64*512*4)
+	perByteTiny := float64(tiny.Time) / float64(32768*4)
+	if perByteTiny <= perByteBulk {
+		t.Fatalf("tiny blocks (%.3f ps/B) should cost more than bulk (%.3f ps/B)",
+			perByteTiny, perByteBulk)
+	}
+}
+
+func TestPackCostCheaperThanUnpack(t *testing.T) {
+	cfg := DefaultConfig()
+	typ := ddt.MustVector(4096, 4, 8, ddt.Int)
+	up := UnpackCost(cfg, typ, 1)
+	pk := PackCost(cfg, typ, 1)
+	if pk.Time >= up.Time {
+		t.Fatalf("pack (%v) should be cheaper than unpack (%v): no write-allocate on stream",
+			pk.Time, up.Time)
+	}
+}
+
+func TestWalkAndCopyCost(t *testing.T) {
+	cfg := DefaultConfig()
+	if WalkCost(cfg, 1000) != 500*sim.Nanosecond {
+		t.Fatalf("walk cost = %v", WalkCost(cfg, 1000))
+	}
+	if CopyCost(cfg, 612) != sim.FromNanoseconds(153) {
+		t.Fatalf("copy cost = %v", CopyCost(cfg, 612))
+	}
+}
+
+func TestUnpackCostScalesWithCount(t *testing.T) {
+	cfg := DefaultConfig()
+	typ := ddt.MustVector(128, 4, 8, ddt.Int)
+	one := UnpackCost(cfg, typ, 1)
+	four := UnpackCost(cfg, typ, 4)
+	// A vector's upper bound coincides with its last block, so consecutive
+	// elements merge one block pair at each boundary: 4*128 - 3.
+	if four.Blocks != 4*one.Blocks-3 {
+		t.Fatalf("blocks: %d, want %d", four.Blocks, 4*one.Blocks-3)
+	}
+	if four.Time <= 3*one.Time {
+		t.Fatalf("time did not scale: %v vs %v", four.Time, one.Time)
+	}
+}

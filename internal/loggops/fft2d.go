@@ -1,0 +1,85 @@
+package loggops
+
+import (
+	"math"
+
+	"spinddt/internal/sim"
+)
+
+// FFT2DConfig describes the strong-scaling FFT2D study of Sec. 5.4: an
+// n x n complex matrix partitioned by rows, transformed with the
+// row-column algorithm. The two transposes are alltoall exchanges whose
+// receive side uses MPI datatypes; UnpackPerMsg charges the per-message
+// datatype processing on the receiving CPU (host-based unpack) — zero when
+// the NIC unpacks (RW-CP offload), with ExtraRecvLatency for the NIC
+// processing overhead instead.
+type FFT2DConfig struct {
+	// N is the matrix dimension (the paper uses 20480).
+	N int
+	// ElemBytes is the matrix element size (16 for complex doubles).
+	ElemBytes int64
+	// FlopRate is the per-node 1D-FFT compute rate in flop/s.
+	FlopRate float64
+	// UnpackPerMsg is the receiver CPU time per message for datatype
+	// processing. It serializes on the receiving CPU, message after
+	// message — the host-unpack bottleneck the offload removes.
+	UnpackPerMsg sim.Time
+	// ExtraRecvLatency models the NIC-side datatype processing tail when
+	// unpacking is offloaded. Handler execution pipelines with the
+	// arrival of subsequent messages, so it is charged once per
+	// alltoall phase, not per message.
+	ExtraRecvLatency sim.Time
+	// Net holds the LogGOPS parameters.
+	Net Params
+}
+
+// MsgBytes returns the per-peer transpose message size at p nodes.
+func (c FFT2DConfig) MsgBytes(p int) int64 {
+	rows := int64(c.N / p)
+	return rows * rows * c.ElemBytes
+}
+
+// FFTPhaseTime returns one 1D-FFT phase's compute time per node: n/p rows
+// of 5*n*log2(n) flops.
+func (c FFT2DConfig) FFTPhaseTime(p int) sim.Time {
+	rows := float64(c.N) / float64(p)
+	flops := rows * 5 * float64(c.N) * math.Log2(float64(c.N))
+	return sim.FromSeconds(flops / c.FlopRate)
+}
+
+// Schedule builds the per-rank schedule: FFT, transpose alltoall, FFT,
+// transpose-back alltoall.
+func (c FFT2DConfig) Schedule(p int) Schedule {
+	sched := make(Schedule, p)
+	fft := c.FFTPhaseTime(p)
+	msg := c.MsgBytes(p)
+	for r := 0; r < p; r++ {
+		var ops []Op
+		for phase := 0; phase < 2; phase++ {
+			ops = append(ops, Calc(fft))
+			tag := phase
+			for k := 1; k < p; k++ {
+				ops = append(ops, Send((r+k)%p, msg, tag))
+			}
+			for k := 1; k < p; k++ {
+				ops = append(ops, Recv((r-k+p)%p, tag, c.UnpackPerMsg))
+			}
+			if c.ExtraRecvLatency > 0 {
+				// The NIC finishes scattering the final message after its
+				// last byte arrived: one pipelined processing tail.
+				ops = append(ops, Calc(c.ExtraRecvLatency))
+			}
+		}
+		sched[r] = ops
+	}
+	return sched
+}
+
+// Run executes the FFT2D schedule at p nodes and returns the makespan.
+func (c FFT2DConfig) Run(p int) (sim.Time, error) {
+	res, err := Run(c.Net, c.Schedule(p))
+	if err != nil {
+		return 0, err
+	}
+	return res.Makespan, nil
+}

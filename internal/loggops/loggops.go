@@ -1,0 +1,201 @@
+// Package loggops is a LogGOPS simulator in the spirit of LogGOPSim
+// (Hoefler, Schneider, Lumsdaine, HPDC'10), which the paper uses for the
+// large-scale FFT2D study (Sec. 5.4): per-rank operation schedules
+// (compute, send, receive) are replayed against the LogGOPS network model
+// (L latency, o per-message CPU overhead, g per-message gap, G per-byte
+// gap), with per-receive CPU costs to charge host-based datatype unpacking.
+package loggops
+
+import (
+	"errors"
+	"fmt"
+
+	"spinddt/internal/sim"
+)
+
+// Params are the LogGOPS network parameters.
+type Params struct {
+	// L is the end-to-end message latency.
+	L sim.Time
+	// O is the per-message CPU overhead (the model's lowercase o).
+	O sim.Time
+	// G is the minimum gap between message injections (lowercase g).
+	G sim.Time
+	// GPerByte is the per-byte gap in seconds/byte (uppercase G), the
+	// inverse bandwidth.
+	GPerByte float64
+}
+
+// NextGen returns parameters for the next-generation 200 Gbit/s network the
+// paper models: 745 ns latency, 200 ns overhead, packet-interval gap.
+func NextGen() Params {
+	return Params{
+		L:        745 * sim.Nanosecond,
+		O:        200 * sim.Nanosecond,
+		G:        sim.FromNanoseconds(81.92),
+		GPerByte: 1 / 25e9,
+	}
+}
+
+// ByteTime returns the wire time of n bytes.
+func (p Params) ByteTime(n int64) sim.Time {
+	return sim.FromSeconds(float64(n) * p.GPerByte)
+}
+
+// OpKind enumerates schedule operations.
+type OpKind int
+
+// Schedule operations: local computation, message send, message receive.
+const (
+	OpCalc OpKind = iota
+	OpSend
+	OpRecv
+)
+
+// Op is one operation of a rank's sequential schedule.
+type Op struct {
+	Kind OpKind
+	// Dur is the computation time (OpCalc) or the receive-side processing
+	// charged after arrival, e.g. datatype unpack (OpRecv).
+	Dur sim.Time
+	// Peer is the destination (OpSend) or source (OpRecv) rank.
+	Peer int
+	// Bytes is the message size (OpSend).
+	Bytes int64
+	// Tag matches sends to receives.
+	Tag int
+}
+
+// Calc returns a computation op.
+func Calc(d sim.Time) Op { return Op{Kind: OpCalc, Dur: d} }
+
+// Send returns a send op.
+func Send(dst int, bytes int64, tag int) Op {
+	return Op{Kind: OpSend, Peer: dst, Bytes: bytes, Tag: tag}
+}
+
+// Recv returns a receive op; postCPU is charged on the receiving CPU after
+// the message arrives (the host-unpack cost; zero for NIC-offloaded DDTs).
+func Recv(src int, tag int, postCPU sim.Time) Op {
+	return Op{Kind: OpRecv, Peer: src, Tag: tag, Dur: postCPU}
+}
+
+// Schedule is one operation list per rank.
+type Schedule [][]Op
+
+type msgKey struct {
+	src, dst, tag int
+}
+
+type rankState struct {
+	pc      int
+	cpuFree sim.Time
+	nicFree sim.Time
+	blocked bool
+}
+
+// Result reports a schedule execution.
+type Result struct {
+	// Makespan is the time the last rank finishes.
+	Makespan sim.Time
+	// RankFinish holds each rank's completion time.
+	RankFinish []sim.Time
+	// Messages is the number of messages delivered.
+	Messages int64
+}
+
+// Run replays the schedule under the LogGOPS model and returns the
+// makespan. Receives match sends by (src, dst, tag) in FIFO order.
+func Run(params Params, sched Schedule) (Result, error) {
+	n := len(sched)
+	if n == 0 {
+		return Result{}, errors.New("loggops: empty schedule")
+	}
+	eng := sim.New()
+	ranks := make([]rankState, n)
+	arrivals := make(map[msgKey][]sim.Time)
+	res := Result{RankFinish: make([]sim.Time, n)}
+
+	var advance func(r int)
+	advance = func(r int) {
+		st := &ranks[r]
+		st.blocked = false
+		for st.pc < len(sched[r]) {
+			op := sched[r][st.pc]
+			switch op.Kind {
+			case OpCalc:
+				st.cpuFree += op.Dur
+				st.pc++
+
+			case OpSend:
+				start := st.cpuFree
+				if st.nicFree > start {
+					start = st.nicFree
+				}
+				injected := start + params.O
+				st.cpuFree = injected
+				gap := params.G
+				if bt := params.ByteTime(op.Bytes); bt > gap {
+					gap = bt
+				}
+				st.nicFree = injected + gap
+				arrival := injected + params.L + params.ByteTime(op.Bytes)
+				key := msgKey{src: r, dst: op.Peer, tag: op.Tag}
+				arrivals[key] = append(arrivals[key], arrival)
+				dst := op.Peer
+				eng.At(arrival, func() {
+					if ranks[dst].blocked {
+						advance(dst)
+					}
+				})
+				res.Messages++
+				st.pc++
+
+			case OpRecv:
+				key := msgKey{src: op.Peer, dst: r, tag: op.Tag}
+				queue := arrivals[key]
+				if len(queue) == 0 {
+					st.blocked = true
+					return // resumed by the arrival event
+				}
+				arrival := queue[0]
+				if arrival > eng.Now() {
+					// Arrival known but in the future relative to this
+					// rank's progress: wait for its event.
+					if arrival > st.cpuFree {
+						st.blocked = true
+						return
+					}
+				}
+				arrivals[key] = queue[1:]
+				if arrival > st.cpuFree {
+					st.cpuFree = arrival
+				}
+				st.cpuFree += params.O + op.Dur
+				st.pc++
+			}
+		}
+	}
+
+	// Kick every rank at time zero, then run arrival-driven progress.
+	for r := 0; r < n; r++ {
+		r := r
+		eng.At(0, func() { advance(r) })
+	}
+	eng.Run()
+
+	for r := range ranks {
+		if ranks[r].pc < len(sched[r]) {
+			return Result{}, fmt.Errorf("loggops: rank %d deadlocked at op %d", r, ranks[r].pc)
+		}
+		fin := ranks[r].cpuFree
+		if ranks[r].nicFree > fin {
+			fin = ranks[r].nicFree
+		}
+		res.RankFinish[r] = fin
+		if fin > res.Makespan {
+			res.Makespan = fin
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,224 @@
+package loggops
+
+import (
+	"testing"
+
+	"spinddt/internal/sim"
+)
+
+func testParams() Params {
+	return Params{
+		L:        500 * sim.Nanosecond,
+		O:        100 * sim.Nanosecond,
+		G:        80 * sim.Nanosecond,
+		GPerByte: 1 / 25e9,
+	}
+}
+
+func TestPingPong(t *testing.T) {
+	p := testParams()
+	sched := Schedule{
+		{Send(1, 1024, 0), Recv(1, 1, 0)},
+		{Recv(0, 0, 0), Send(0, 1024, 1)},
+	}
+	res, err := Run(p, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bt := p.ByteTime(1024)
+	// One direction: o + L + G*s, absorbed with o; then the reply.
+	oneWay := p.O + p.L + bt
+	want := oneWay + p.O + p.O + p.L + bt + p.O
+	if res.Makespan != want {
+		t.Fatalf("makespan = %v, want %v", res.Makespan, want)
+	}
+	if res.Messages != 2 {
+		t.Fatalf("messages = %d", res.Messages)
+	}
+}
+
+func TestCalcOnly(t *testing.T) {
+	res, err := Run(testParams(), Schedule{{Calc(time(1000))}, {Calc(time(500))}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan != time(1000) {
+		t.Fatalf("makespan = %v", res.Makespan)
+	}
+	if res.RankFinish[1] != time(500) {
+		t.Fatalf("rank 1 finish = %v", res.RankFinish[1])
+	}
+}
+
+func time(ns int64) sim.Time { return sim.Time(ns) * sim.Nanosecond }
+
+func TestRecvPostCPUCharged(t *testing.T) {
+	p := testParams()
+	base := Schedule{
+		{Send(1, 64, 0)},
+		{Recv(0, 0, 0)},
+	}
+	withUnpack := Schedule{
+		{Send(1, 64, 0)},
+		{Recv(0, 0, time(10000))},
+	}
+	r0, err := Run(p, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := Run(p, withUnpack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Makespan-r0.Makespan != time(10000) {
+		t.Fatalf("unpack cost not charged: %v vs %v", r1.Makespan, r0.Makespan)
+	}
+}
+
+func TestGapSerializesSends(t *testing.T) {
+	p := testParams()
+	p.GPerByte = 0
+	// Rank 0 fires 10 sends; the NIC gap dominates o, so injection takes
+	// o + 9 gaps at least.
+	var ops []Op
+	for i := 0; i < 10; i++ {
+		ops = append(ops, Send(1, 1, i))
+	}
+	var recvs []Op
+	for i := 0; i < 10; i++ {
+		recvs = append(recvs, Recv(0, i, 0))
+	}
+	res, err := Run(p, Schedule{ops, recvs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	minInjection := p.O + 9*p.G // gap-bound pipeline
+	if res.Makespan < minInjection+p.L {
+		t.Fatalf("makespan %v ignores injection gaps", res.Makespan)
+	}
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	sched := Schedule{
+		{Recv(1, 0, 0)},
+		{Recv(0, 0, 0)},
+	}
+	if _, err := Run(testParams(), sched); err == nil {
+		t.Fatal("deadlock not detected")
+	}
+}
+
+func TestEmptySchedule(t *testing.T) {
+	if _, err := Run(testParams(), nil); err == nil {
+		t.Fatal("empty schedule accepted")
+	}
+}
+
+func TestOutOfOrderTagsMatch(t *testing.T) {
+	p := testParams()
+	sched := Schedule{
+		{Send(1, 64, 7), Send(1, 64, 3)},
+		{Recv(0, 3, 0), Recv(0, 7, 0)},
+	}
+	if _, err := Run(p, sched); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlltoallCompletes(t *testing.T) {
+	p := testParams()
+	n := 8
+	sched := make(Schedule, n)
+	for r := 0; r < n; r++ {
+		var ops []Op
+		for k := 1; k < n; k++ {
+			ops = append(ops, Send((r+k)%n, 4096, 0))
+		}
+		for k := 1; k < n; k++ {
+			ops = append(ops, Recv((r-k+n)%n, 0, 0))
+		}
+		sched[r] = ops
+	}
+	res, err := Run(p, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Messages != int64(n*(n-1)) {
+		t.Fatalf("messages = %d", res.Messages)
+	}
+	if res.Makespan <= 0 {
+		t.Fatal("zero makespan")
+	}
+}
+
+func TestFFT2DSchedule(t *testing.T) {
+	cfg := FFT2DConfig{
+		N: 1024, ElemBytes: 16, FlopRate: 8e9,
+		UnpackPerMsg: time(1000),
+		Net:          testParams(),
+	}
+	p := 8
+	if cfg.MsgBytes(p) != int64(128*128*16) {
+		t.Fatalf("msg bytes = %d", cfg.MsgBytes(p))
+	}
+	if cfg.FFTPhaseTime(p) <= 0 {
+		t.Fatal("fft time")
+	}
+	sched := cfg.Schedule(p)
+	if len(sched) != p {
+		t.Fatalf("%d rank schedules", len(sched))
+	}
+	// 2 phases x (1 calc + 7 sends + 7 recvs).
+	if len(sched[0]) != 2*(1+7+7) {
+		t.Fatalf("%d ops for rank 0", len(sched[0]))
+	}
+	mk, err := cfg.Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mk <= 2*cfg.FFTPhaseTime(p) {
+		t.Fatalf("makespan %v must exceed pure compute", mk)
+	}
+}
+
+func TestFFT2DUnpackOffloadHelps(t *testing.T) {
+	host := FFT2DConfig{
+		N: 2048, ElemBytes: 16, FlopRate: 8e9,
+		UnpackPerMsg: time(50000),
+		Net:          testParams(),
+	}
+	offl := host
+	offl.UnpackPerMsg = 0
+	offl.ExtraRecvLatency = time(500)
+	p := 16
+	th, err := host.Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	to, err := offl.Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if to >= th {
+		t.Fatalf("offloaded (%v) should beat host unpack (%v)", to, th)
+	}
+}
+
+func TestFFT2DStrongScaling(t *testing.T) {
+	cfg := FFT2DConfig{
+		N: 4096, ElemBytes: 16, FlopRate: 8e9,
+		UnpackPerMsg: time(2000),
+		Net:          testParams(),
+	}
+	t16, err := cfg.Run(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t64, err := cfg.Run(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t64 >= t16 {
+		t.Fatalf("no strong scaling: %v at 64 vs %v at 16", t64, t16)
+	}
+}

@@ -1,0 +1,346 @@
+// Package mpi implements the paper's Sec. 3.2.6: the integration of
+// NIC-offloaded datatype processing into an MPI-like communication library.
+// It covers the full lifecycle the paper describes:
+//
+//  1. Commit — the library intercepts MPI_Type_commit, selects the
+//     processing strategy for the datatype and honours user attributes
+//     (MPI_Type_set_attr): offload preference, victim-selection priority,
+//     and the heuristic's ε.
+//  2. Post — posting a receive builds the offload state, allocates NIC
+//     memory (evicting colder datatypes LRU-first within priority), and
+//     appends a matching entry to the Portals priority list. When NIC
+//     memory cannot be found, the receive transparently falls back to
+//     host-based unpacking.
+//  3. Complete — message delivery runs the full NIC simulation and the
+//     library consumes the completion event.
+//
+// Unexpected messages (no posted receive) land packed through the overflow
+// list and are unpacked by the host CPU when the receive arrives — offload
+// is impossible because the receive datatype is unknown at match time.
+package mpi
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+
+	"spinddt/internal/core"
+	"spinddt/internal/ddt"
+	"spinddt/internal/hostcpu"
+	"spinddt/internal/nic"
+	"spinddt/internal/portals"
+	"spinddt/internal/sim"
+)
+
+// Preference is the user's offload attribute for a datatype.
+type Preference int
+
+// Offload preferences settable via type attributes.
+const (
+	// OffloadAuto lets the library decide (the default).
+	OffloadAuto Preference = iota
+	// OffloadNever forces host-based processing.
+	OffloadNever
+	// OffloadAlways fails the receive instead of falling back.
+	OffloadAlways
+)
+
+// Attr carries the paper's MPI_Type_set_attr knobs.
+type Attr struct {
+	// Offload is the offload preference.
+	Offload Preference
+	// Priority drives NIC-memory victim selection: receives may evict
+	// state of datatypes with lower or equal priority.
+	Priority int
+	// Epsilon overrides the checkpoint heuristic tolerance; 0 uses the
+	// library default.
+	Epsilon float64
+}
+
+// Type is a committed datatype with its selected strategy.
+type Type struct {
+	ddt      *ddt.Type
+	attr     Attr
+	strategy core.Strategy
+}
+
+// DDT returns the underlying derived datatype.
+func (t *Type) DDT() *ddt.Type { return t.ddt }
+
+// Strategy returns the processing strategy selected at commit.
+func (t *Type) Strategy() core.Strategy { return t.strategy }
+
+// Stats counts library-level outcomes.
+type Stats struct {
+	// Offloaded receives completed through NIC handlers.
+	Offloaded int
+	// HostFallbacks counts receives processed on the host because NIC
+	// memory was unavailable or the type preferred it.
+	HostFallbacks int
+	// Unexpected counts messages that arrived before their receive.
+	Unexpected int
+	// Evictions counts NIC-memory victims.
+	Evictions int64
+}
+
+// Lib is one process's communication library instance.
+type Lib struct {
+	nicCfg  nic.Config
+	cost    core.CostModel
+	host    hostcpu.Config
+	epsilon float64
+
+	alloc      *nic.Allocator
+	ni         *portals.NI
+	pt         *portals.PT
+	nextMatch  portals.MatchBits
+	posted     map[portals.MatchBits]*Recv
+	unexpected map[portals.MatchBits][]byte
+	stats      Stats
+}
+
+// NewLib returns a library over the given NIC configuration.
+func NewLib(cfg nic.Config) (*Lib, error) {
+	ni := portals.NewNI(1)
+	pt, err := ni.PT(0)
+	if err != nil {
+		return nil, err
+	}
+	return &Lib{
+		nicCfg:     cfg,
+		cost:       core.DefaultCostModel(),
+		host:       hostcpu.DefaultConfig(),
+		epsilon:    0.2,
+		alloc:      nic.NewAllocator(cfg.NICMemBytes),
+		ni:         ni,
+		pt:         pt,
+		posted:     make(map[portals.MatchBits]*Recv),
+		unexpected: make(map[portals.MatchBits][]byte),
+	}, nil
+}
+
+// Stats returns the outcome counters.
+func (l *Lib) Stats() Stats {
+	s := l.stats
+	s.Evictions = l.alloc.Evictions()
+	return s
+}
+
+// NICMemUsed returns the NIC memory currently held by offloaded datatypes.
+func (l *Lib) NICMemUsed() int64 { return l.alloc.Used() }
+
+// CommitType implements the commit step: strategy selection plus attribute
+// handling. Vector-like datatypes (after normalization) take the
+// specialized handler; everything else takes RW-CP, the paper's best
+// general strategy.
+func (l *Lib) CommitType(t *ddt.Type, attr Attr) (*Type, error) {
+	if t.Size() <= 0 {
+		return nil, errors.New("mpi: empty datatype")
+	}
+	t.Commit()
+	strategy := core.RWCP
+	if attr.Offload == OffloadNever {
+		strategy = core.HostUnpack
+	} else {
+		norm := ddt.Normalize(t)
+		switch norm.Kind() {
+		case ddt.KindVector, ddt.KindHVector, ddt.KindElementary, ddt.KindContiguous:
+			strategy = core.Specialized
+		}
+	}
+	return &Type{ddt: t, attr: attr, strategy: strategy}, nil
+}
+
+// Recv is a posted receive.
+type Recv struct {
+	typ    *Type
+	count  int
+	match  portals.MatchBits
+	buf    []byte
+	memKey string
+	// Offloaded reports whether the receive runs on the NIC; otherwise it
+	// falls back to host unpacking.
+	Offloaded bool
+	off       *core.Offload
+	completed bool
+	// Result holds the delivery outcome after completion.
+	Result RecvResult
+}
+
+// RecvResult reports a completed receive.
+type RecvResult struct {
+	// ProcTime is the message processing time (plus host unpack for
+	// fallback paths).
+	ProcTime sim.Time
+	// Offloaded and Unexpected record which path ran.
+	Offloaded  bool
+	Unexpected bool
+}
+
+// PostRecv posts a receive for count elements of the committed type into
+// buf. The match bits identify the message. If the message already arrived
+// (unexpected path) it is unpacked immediately by the host CPU.
+func (l *Lib) PostRecv(typ *Type, count int, match portals.MatchBits, buf []byte) (*Recv, error) {
+	if typ == nil || count <= 0 {
+		return nil, errors.New("mpi: invalid receive")
+	}
+	if _, dup := l.posted[match]; dup {
+		return nil, fmt.Errorf("mpi: match bits %#x already posted", match)
+	}
+	lo, hi := typ.ddt.Footprint(count)
+	if lo < 0 {
+		return nil, fmt.Errorf("mpi: receive datatype has negative lower bound %d", lo)
+	}
+	if int64(len(buf)) < hi {
+		return nil, fmt.Errorf("mpi: receive buffer %d bytes, datatype needs %d", len(buf), hi)
+	}
+	r := &Recv{typ: typ, count: count, match: match, buf: buf}
+
+	// Unexpected message already queued: host-unpack it now (Sec. 3.2.6:
+	// offload is impossible, the datatype was unknown at match time).
+	if packed, ok := l.unexpected[match]; ok {
+		delete(l.unexpected, match)
+		if err := ddt.Unpack(typ.ddt, count, packed, buf); err != nil {
+			return nil, err
+		}
+		cost := hostcpu.UnpackCost(l.host, typ.ddt, count)
+		r.completed = true
+		r.Result = RecvResult{ProcTime: cost.Time, Unexpected: true}
+		l.stats.HostFallbacks++
+		return r, nil
+	}
+
+	if typ.strategy != core.HostUnpack {
+		if err := l.tryOffload(r); err != nil && typ.attr.Offload == OffloadAlways {
+			return nil, fmt.Errorf("mpi: offload required but unavailable: %w", err)
+		}
+	}
+	if !r.Offloaded {
+		// Fallback: a plain entry lands the packed stream for CPU unpack.
+		me := &portals.ME{Match: match, UseOnce: true,
+			Region: portals.HostRegion{Length: typ.ddt.Size() * int64(count)}}
+		if err := l.pt.Append(portals.PriorityList, me); err != nil {
+			return nil, err
+		}
+	}
+	l.posted[match] = r
+	return r, nil
+}
+
+// tryOffload builds the offload state, allocates NIC memory (with LRU
+// eviction) and appends the processing entry.
+func (l *Lib) tryOffload(r *Recv) error {
+	eps := l.epsilon
+	if r.typ.attr.Epsilon > 0 {
+		eps = r.typ.attr.Epsilon
+	}
+	off, err := core.BuildOffload(r.typ.strategy, core.BuildParams{
+		Type: r.typ.ddt, Count: r.count,
+		NIC: l.nicCfg, Cost: l.cost, Host: l.host, Epsilon: eps,
+	})
+	if err != nil {
+		return err
+	}
+	// The state depends on the datatype, the count and the heuristic
+	// parameters: distinct attribute settings get distinct NIC entries.
+	key := fmt.Sprintf("%s/x%d/e%g/%v", r.typ.ddt.Signature(), r.count, eps, r.typ.strategy)
+	if _, err := l.alloc.Allocate(key, off.Ctx.NICMemBytes, r.typ.attr.Priority); err != nil {
+		return err
+	}
+	if err := l.alloc.Pin(key); err != nil {
+		return err
+	}
+	me := &portals.ME{Match: r.match, UseOnce: true, Ctx: off.Ctx}
+	if err := l.pt.Append(portals.PriorityList, me); err != nil {
+		_ = l.alloc.Unpin(key)
+		return err
+	}
+	r.memKey = key
+	r.off = off
+	r.Offloaded = true
+	return nil
+}
+
+// Deliver simulates the arrival of a message carrying packed for the given
+// match bits. With a posted receive it completes it (offloaded or
+// fallback); without one it takes the unexpected path: the overflow entry
+// captures the packed stream for a later PostRecv.
+func (l *Lib) Deliver(match portals.MatchBits, packed []byte, order []int) (*Recv, error) {
+	r, ok := l.posted[match]
+	if !ok {
+		// Unexpected: stage through the overflow list.
+		staging := make([]byte, len(packed))
+		me := &portals.ME{Match: match, UseOnce: true,
+			Region: portals.HostRegion{Length: int64(len(packed))}}
+		if err := l.pt.Append(portals.OverflowList, me); err != nil {
+			return nil, err
+		}
+		if _, err := nic.Receive(l.nicCfg, l.pt, match, packed, staging, order); err != nil {
+			return nil, err
+		}
+		l.unexpected[match] = staging
+		l.stats.Unexpected++
+		return nil, nil
+	}
+	delete(l.posted, match)
+
+	if r.Offloaded {
+		res, err := nic.Receive(l.nicCfg, l.pt, match, packed, r.buf, order)
+		if err != nil {
+			return nil, err
+		}
+		if err := l.alloc.Unpin(r.memKey); err != nil {
+			return nil, err
+		}
+		r.completed = true
+		r.Result = RecvResult{ProcTime: res.ProcTime, Offloaded: true}
+		l.stats.Offloaded++
+		return r, nil
+	}
+
+	staging := make([]byte, len(packed))
+	res, err := nic.Receive(l.nicCfg, l.pt, match, packed, staging, order)
+	if err != nil {
+		return nil, err
+	}
+	if err := ddt.Unpack(r.typ.ddt, r.count, staging, r.buf); err != nil {
+		return nil, err
+	}
+	cost := hostcpu.UnpackCost(l.host, r.typ.ddt, r.count)
+	r.completed = true
+	r.Result = RecvResult{ProcTime: res.ProcTime + cost.Time}
+	l.stats.HostFallbacks++
+	return r, nil
+}
+
+// Completed reports whether the receive finished.
+func (r *Recv) Completed() bool { return r.completed }
+
+// Verify compares the receive buffer against the reference unpack of the
+// given packed stream.
+func (r *Recv) Verify(packed []byte) error {
+	_, hi := r.typ.ddt.Footprint(r.count)
+	want := make([]byte, hi)
+	if err := ddt.Unpack(r.typ.ddt, r.count, packed, want); err != nil {
+		return err
+	}
+	if !bytes.Equal(r.buf[:hi], want) {
+		return errors.New("mpi: receive buffer differs from reference unpack")
+	}
+	return nil
+}
+
+// FreeType releases the NIC state cached for a datatype signature across
+// all counts (MPI_Type_free). Pinned state of in-flight receives blocks
+// the free.
+func (l *Lib) FreeType(typ *Type) error {
+	prefix := typ.ddt.Signature() + "/x"
+	for _, key := range l.alloc.Keys() {
+		if len(key) >= len(prefix) && key[:len(prefix)] == prefix {
+			if err := l.alloc.Free(key); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,283 @@
+package mpi
+
+import (
+	"math/rand"
+	"testing"
+
+	"spinddt/internal/core"
+	"spinddt/internal/ddt"
+	"spinddt/internal/nic"
+	"spinddt/internal/portals"
+)
+
+func packedFor(t *testing.T, typ *ddt.Type, count int, seed int64) []byte {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	packed := make([]byte, typ.Size()*int64(count))
+	rng.Read(packed)
+	return packed
+}
+
+func bufFor(typ *ddt.Type, count int) []byte {
+	_, hi := typ.Footprint(count)
+	return make([]byte, hi)
+}
+
+func newLib(t *testing.T) *Lib {
+	t.Helper()
+	l, err := NewLib(nic.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestCommitSelectsStrategies(t *testing.T) {
+	l := newLib(t)
+	vec, err := l.CommitType(ddt.MustVector(128, 4, 8, ddt.Int), Attr{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vec.Strategy() != core.Specialized {
+		t.Fatalf("vector strategy = %v", vec.Strategy())
+	}
+	ix, err := l.CommitType(ddt.MustIndexed([]int{1, 2, 1}, []int{0, 3, 9}, ddt.Int), Attr{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Strategy() != core.RWCP {
+		t.Fatalf("indexed strategy = %v", ix.Strategy())
+	}
+	never, err := l.CommitType(ddt.MustVector(128, 4, 8, ddt.Int), Attr{Offload: OffloadNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if never.Strategy() != core.HostUnpack {
+		t.Fatalf("never strategy = %v", never.Strategy())
+	}
+	if _, err := l.CommitType(ddt.MustContiguous(0, ddt.Int), Attr{}); err == nil {
+		t.Fatal("empty type committed")
+	}
+}
+
+func TestOffloadedReceiveLifecycle(t *testing.T) {
+	l := newLib(t)
+	typ, err := l.CommitType(ddt.MustVector(2048, 16, 32, ddt.Int), Attr{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := bufFor(typ.DDT(), 4)
+	r, err := l.PostRecv(typ, 4, 7, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Offloaded {
+		t.Fatal("receive not offloaded")
+	}
+	if l.NICMemUsed() == 0 {
+		t.Fatal("no NIC memory allocated")
+	}
+
+	packed := packedFor(t, typ.DDT(), 4, 1)
+	done, err := l.Deliver(7, packed, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done != r || !r.Completed() || !r.Result.Offloaded {
+		t.Fatalf("completion state: %+v", r.Result)
+	}
+	if err := r.Verify(packed); err != nil {
+		t.Fatal(err)
+	}
+	if s := l.Stats(); s.Offloaded != 1 || s.HostFallbacks != 0 {
+		t.Fatalf("stats %+v", s)
+	}
+	// State stays cached for reuse (amortization), unpinned.
+	if l.NICMemUsed() == 0 {
+		t.Fatal("state evicted immediately after completion")
+	}
+	if err := l.FreeType(typ); err != nil {
+		t.Fatal(err)
+	}
+	if l.NICMemUsed() != 0 {
+		t.Fatalf("free left %d bytes", l.NICMemUsed())
+	}
+}
+
+func TestFallbackWhenNICMemoryFull(t *testing.T) {
+	cfg := nic.DefaultConfig()
+	cfg.NICMemBytes = 64 // too small even for the dataloop description
+	l, err := NewLib(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := l.CommitType(ddt.MustIndexed([]int{1, 2, 1}, []int{0, 3, 9}, ddt.Int), Attr{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 4096
+	buf := bufFor(ix.DDT(), count)
+	r, err := l.PostRecv(ix, count, 9, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Offloaded {
+		t.Fatal("offloaded despite exhausted NIC memory")
+	}
+	packed := packedFor(t, ix.DDT(), count, 2)
+	if _, err := l.Deliver(9, packed, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Verify(packed); err != nil {
+		t.Fatal(err)
+	}
+	if s := l.Stats(); s.HostFallbacks != 1 || s.Offloaded != 0 {
+		t.Fatalf("stats %+v", s)
+	}
+	// OffloadAlways refuses the fallback.
+	always, err := l.CommitType(ddt.MustIndexed([]int{1, 2, 1}, []int{0, 3, 9}, ddt.Int),
+		Attr{Offload: OffloadAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.PostRecv(always, count, 10, bufFor(always.DDT(), count)); err == nil {
+		t.Fatal("OffloadAlways fell back silently")
+	}
+}
+
+func TestLRUEvictionAcrossTypes(t *testing.T) {
+	cfg := nic.DefaultConfig()
+	l, err := NewLib(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fill NIC memory with several large indexed types, forcing eviction.
+	count := 2048
+	var types []*Type
+	for i := 0; i < 6; i++ {
+		displs := make([]int, 512)
+		for j := range displs {
+			displs[j] = j*4 + i // distinct signatures
+		}
+		typ, err := l.CommitType(ddt.MustIndexedBlock(1, displs, ddt.Double), Attr{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		types = append(types, typ)
+	}
+	for i, typ := range types {
+		match := portals.MatchBits(100 + i)
+		buf := bufFor(typ.DDT(), count)
+		r, err := l.PostRecv(typ, count, match, buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		packed := packedFor(t, typ.DDT(), count, int64(i))
+		if _, err := l.Deliver(match, packed, nil); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Verify(packed); err != nil {
+			t.Fatalf("type %d: %v", i, err)
+		}
+	}
+	if l.Stats().Offloaded != len(types) {
+		t.Fatalf("stats %+v", l.Stats())
+	}
+	if l.NICMemUsed() > cfg.NICMemBytes {
+		t.Fatalf("NIC memory overcommitted: %d of %d", l.NICMemUsed(), cfg.NICMemBytes)
+	}
+}
+
+func TestUnexpectedMessagePath(t *testing.T) {
+	l := newLib(t)
+	typ, err := l.CommitType(ddt.MustVector(1024, 16, 32, ddt.Int), Attr{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	packed := packedFor(t, typ.DDT(), 2, 3)
+
+	// Message arrives before the receive: unexpected.
+	done, err := l.Deliver(42, packed, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done != nil {
+		t.Fatal("unexpected delivery returned a receive")
+	}
+	if l.Stats().Unexpected != 1 {
+		t.Fatalf("stats %+v", l.Stats())
+	}
+
+	// The late receive host-unpacks the staged message.
+	buf := bufFor(typ.DDT(), 2)
+	r, err := l.PostRecv(typ, 2, 42, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Completed() || !r.Result.Unexpected || r.Result.Offloaded {
+		t.Fatalf("late receive state: %+v", r.Result)
+	}
+	if err := r.Verify(packed); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPostRecvValidation(t *testing.T) {
+	l := newLib(t)
+	typ, err := l.CommitType(ddt.MustVector(64, 4, 8, ddt.Int), Attr{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.PostRecv(nil, 1, 1, nil); err == nil {
+		t.Fatal("nil type accepted")
+	}
+	if _, err := l.PostRecv(typ, 0, 1, nil); err == nil {
+		t.Fatal("zero count accepted")
+	}
+	if _, err := l.PostRecv(typ, 1, 1, make([]byte, 8)); err == nil {
+		t.Fatal("short buffer accepted")
+	}
+	buf := bufFor(typ.DDT(), 1)
+	if _, err := l.PostRecv(typ, 1, 5, buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.PostRecv(typ, 1, 5, buf); err == nil {
+		t.Fatal("duplicate match bits accepted")
+	}
+}
+
+func TestEpsilonAttributePropagates(t *testing.T) {
+	l := newLib(t)
+	ix := ddt.MustIndexed([]int{1, 2, 1}, []int{0, 3, 9}, ddt.Int)
+	loose, err := l.CommitType(ix, Attr{Epsilon: 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tight, err := l.CommitType(ix, Attr{Epsilon: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 8192
+	rl, err := l.PostRecv(loose, count, 20, bufFor(ix, count))
+	if err != nil {
+		t.Fatal(err)
+	}
+	memAfterLoose := l.NICMemUsed()
+	if !rl.Offloaded {
+		t.Fatal("not offloaded")
+	}
+	if _, err := l.Deliver(20, packedFor(t, ix, count, 9), nil); err != nil {
+		t.Fatal(err)
+	}
+	rt, err := l.PostRecv(tight, count, 21, bufFor(ix, count))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rt.Offloaded {
+		t.Fatal("not offloaded")
+	}
+	// Tight epsilon -> smaller interval -> more checkpoints -> more memory.
+	if l.NICMemUsed() <= memAfterLoose {
+		t.Fatalf("epsilon attribute ignored: %d <= %d", l.NICMemUsed(), memAfterLoose)
+	}
+}

@@ -1,0 +1,99 @@
+// Package nic is the discrete-event model of the paper's sPIN-capable
+// 200 Gbit/s NIC (Fig. 1): an inbound engine that parses packets and runs
+// Portals 4 matching, a scheduler that maps virtual HPUs onto physical
+// Handler Processing Units under the default or blocked round-robin policy,
+// a multi-channel DMA write engine feeding a PCIe Gen4 x32 host interface,
+// and the non-processing RDMA path. It substitutes for the Cray Slingshot
+// SST model + gem5 setup of the paper's Sec. 5.1.
+package nic
+
+import (
+	"spinddt/internal/fabric"
+	"spinddt/internal/pcie"
+	"spinddt/internal/sim"
+)
+
+// Config carries every calibration constant of the NIC model. Defaults
+// reproduce the paper's simulation setup; experiments sweep individual
+// fields.
+type Config struct {
+	// HPUs is the number of physical Handler Processing Units (the paper
+	// uses 16 for the microbenchmarks, 32 for the full setup).
+	HPUs int
+	// Fabric is the link model.
+	Fabric fabric.Config
+	// PCIe is the host interface model.
+	PCIe pcie.Config
+	// PCIeWriteLatency is the completion latency of a DMA write once it
+	// leaves the link (the paper's Fig. 2 shows 266 ns on the PCIe
+	// segment).
+	PCIeWriteLatency sim.Time
+
+	// NICMemBytes is the handler-visible NIC memory capacity.
+	NICMemBytes int64
+	// NICMemBandwidth is the NIC memory bandwidth in bytes/s (50 GiB/s in
+	// the paper, with 2*HPUs channels).
+	NICMemBandwidth float64
+
+	// InboundParse is the per-packet parse occupancy of the inbound engine.
+	InboundParse sim.Time
+	// MatchTime is the matching-unit occupancy for a header packet.
+	MatchTime sim.Time
+	// HERDispatch is the latency from inbound completion to handler
+	// schedulability (handler execution request creation + scheduling).
+	HERDispatch sim.Time
+
+	// DMAChannels is the DMA engine channel count; 0 derives 2*HPUs.
+	DMAChannels int
+	// DMAChannelOccupancy is the per-request occupancy of one channel.
+	DMAChannelOccupancy sim.Time
+
+	// IovecEntries is the NIC-resident scatter-gather list size of the
+	// Portals 4 iovec baseline (32 entries, a ConnectX-3).
+	IovecEntries int
+	// IovecPerRegion is the iovec engine's per-region processing cost.
+	IovecPerRegion sim.Time
+
+	// MaxWriteChunks bounds the number of timing events used to spread one
+	// handler's DMA writes across its runtime (event-count batching; byte
+	// and request accounting stay exact).
+	MaxWriteChunks int
+
+	// Trace, when non-nil, records the pipeline events of the simulation.
+	Trace *Trace
+}
+
+// DefaultConfig returns the paper's NIC: 16 HPUs, 200 Gbit/s link, PCIe
+// Gen4 x32, 4 MiB NIC memory at 50 GiB/s.
+func DefaultConfig() Config {
+	return Config{
+		HPUs:                16,
+		Fabric:              fabric.DefaultConfig(),
+		PCIe:                pcie.DefaultConfig(),
+		PCIeWriteLatency:    266 * sim.Nanosecond,
+		NICMemBytes:         4 << 20,
+		NICMemBandwidth:     50 * float64(1<<30),
+		InboundParse:        12 * sim.Nanosecond,
+		MatchTime:           30 * sim.Nanosecond,
+		HERDispatch:         140 * sim.Nanosecond,
+		DMAChannels:         0,
+		DMAChannelOccupancy: 80 * sim.Nanosecond,
+		IovecEntries:        32,
+		IovecPerRegion:      4 * sim.Nanosecond,
+		MaxWriteChunks:      32,
+	}
+}
+
+// Channels returns the DMA channel count.
+func (c Config) Channels() int {
+	if c.DMAChannels > 0 {
+		return c.DMAChannels
+	}
+	return 2 * c.HPUs
+}
+
+// NICMemCopyTime returns the NIC-memory occupancy of copying n bytes
+// (packet payloads into handler-visible memory).
+func (c Config) NICMemCopyTime(n int64) sim.Time {
+	return sim.FromSeconds(float64(n) / c.NICMemBandwidth)
+}

@@ -1,0 +1,435 @@
+package nic
+
+import (
+	"errors"
+	"fmt"
+
+	"spinddt/internal/fabric"
+	"spinddt/internal/portals"
+	"spinddt/internal/sim"
+	"spinddt/internal/spin"
+)
+
+// Result reports one simulated message receive.
+type Result struct {
+	// MsgBytes is the message (packed stream) size.
+	MsgBytes int64
+	// FirstByte is when the first bit of the message reached the NIC.
+	FirstByte sim.Time
+	// Done is when the last byte landed in the receive buffer (for sPIN
+	// contexts with a completion handler: when its completion event fired).
+	Done sim.Time
+	// ProcTime is the paper's message processing time: Done - FirstByte.
+	ProcTime sim.Time
+
+	// HandlerRuns counts payload-handler executions; Handler accumulates
+	// their runtime phases (Fig. 12); MaxHandlerRuntime is the worst run.
+	HandlerRuns       int
+	Handler           spin.Breakdown
+	MaxHandlerRuntime sim.Time
+	// HPUBusy is the total HPU occupancy across all handlers.
+	HPUBusy sim.Time
+
+	// DMA aggregates the DMA engine activity.
+	DMA DMAStats
+	// PktBufPeak is the peak number of packets resident in NIC memory
+	// (arrived but not fully processed).
+	PktBufPeak int64
+	// NICMemBytes is the context state resident in NIC memory.
+	NICMemBytes int64
+
+	// MatchedList records which Portals list the message matched on.
+	MatchedList portals.List
+	// Dropped is set when no list entry matched (message discarded).
+	Dropped bool
+}
+
+// ThroughputGbps returns the receive throughput over the processing time.
+func (r Result) ThroughputGbps() float64 {
+	if r.ProcTime <= 0 {
+		return 0
+	}
+	return float64(r.MsgBytes) * 8 / r.ProcTime.Seconds() / 1e9
+}
+
+// writeOp is one buffered handler DMA write.
+type writeOp struct {
+	hostOff int64
+	data    []byte
+	flags   spin.WriteFlags
+}
+
+// writeBuffer collects the DMA writes of one handler execution.
+type writeBuffer struct{ ops []writeOp }
+
+func (w *writeBuffer) Write(hostOff int64, data []byte, flags spin.WriteFlags) {
+	w.ops = append(w.ops, writeOp{hostOff: hostOff, data: data, flags: flags})
+}
+
+// vhpu is a scheduling unit: a virtual HPU owning a FIFO of packets.
+type vhpu struct {
+	id       int
+	queue    []fabric.Packet
+	running  bool
+	enqueued bool
+}
+
+type rxSim struct {
+	cfg Config
+	eng *sim.Engine
+
+	pt   *portals.PT
+	bits portals.MatchBits
+	me   *portals.ME
+	ctx  *spin.ExecutionContext
+
+	packed []byte
+	host   []byte
+
+	inbound sim.Server
+	dma     *dmaEngine
+
+	freeHPUs int
+	ready    []*vhpu
+	vhpus    map[int]*vhpu
+
+	payloadsLeft      int
+	completionArrived bool
+	completionDone    bool
+	lastWriteDone     sim.Time
+
+	resident    int64
+	maxResident int64
+
+	res Result
+	err error
+}
+
+// Receive simulates the arrival and processing of one message: packets are
+// scheduled on the wire, matched through the portal table on the header
+// packet, and either processed by the matched entry's sPIN execution
+// context or delivered through the non-processing RDMA path. order
+// optionally permutes packet delivery (nil = in-order).
+//
+// host is the receiver's memory; an ME with a context scatters into it
+// through handler DMA writes, a plain ME lands the packed stream at its
+// region offset.
+func Receive(cfg Config, pt *portals.PT, bits portals.MatchBits, packed, host []byte, order []int) (Result, error) {
+	if len(packed) == 0 {
+		return Result{}, errors.New("nic: empty message")
+	}
+	arrivals, err := cfg.Fabric.Schedule(int64(len(packed)), 0, order)
+	if err != nil {
+		return Result{}, err
+	}
+	return ReceiveArrivals(cfg, pt, bits, packed, host, arrivals)
+}
+
+// ReceiveArrivals is Receive with an explicit packet arrival schedule,
+// allowing a sender-side simulation to pace the receiver (end-to-end
+// transfers). The schedule must deliver the header packet first and the
+// completion packet last.
+func ReceiveArrivals(cfg Config, pt *portals.PT, bits portals.MatchBits, packed, host []byte, arrivals []fabric.Arrival) (Result, error) {
+	if len(packed) == 0 {
+		return Result{}, errors.New("nic: empty message")
+	}
+	if cfg.HPUs <= 0 {
+		return Result{}, fmt.Errorf("nic: %d HPUs", cfg.HPUs)
+	}
+	if len(arrivals) == 0 {
+		return Result{}, errors.New("nic: empty arrival schedule")
+	}
+
+	s := &rxSim{
+		cfg:      cfg,
+		eng:      sim.New(),
+		pt:       pt,
+		bits:     bits,
+		packed:   packed,
+		host:     host,
+		freeHPUs: cfg.HPUs,
+		vhpus:    make(map[int]*vhpu),
+	}
+	s.dma = newDMAEngine(s.eng, cfg.PCIe, cfg.Channels(), cfg.DMAChannelOccupancy, host)
+	s.res.MsgBytes = int64(len(packed))
+	s.res.FirstByte = arrivals[0].At - cfg.Fabric.PacketTime(arrivals[0].Packet.Size)
+	s.payloadsLeft = len(arrivals)
+
+	for _, a := range arrivals {
+		a := a
+		s.eng.At(a.At, func() { s.onArrival(a) })
+	}
+	s.eng.Run()
+
+	if s.err != nil {
+		return Result{}, s.err
+	}
+	if s.res.Dropped {
+		s.res.Done = s.eng.Now()
+		s.res.ProcTime = 0
+		return s.res, nil
+	}
+	s.res.ProcTime = s.res.Done - s.res.FirstByte
+	s.res.DMA = s.dma.stats
+	s.res.PktBufPeak = s.maxResident
+	if s.ctx != nil {
+		s.res.NICMemBytes = s.ctx.NICMemBytes
+	}
+	return s.res, nil
+}
+
+func (s *rxSim) fail(err error) {
+	if s.err == nil {
+		s.err = err
+	}
+}
+
+func (s *rxSim) onArrival(a fabric.Arrival) {
+	if s.err != nil {
+		return
+	}
+	p := a.Packet
+
+	if p.Header {
+		me, list, ok := s.pt.Match(s.bits)
+		if !ok {
+			s.res.Dropped = true
+			s.pt.PostEvent(portals.Event{Kind: portals.EventDropped, Match: s.bits, Size: s.res.MsgBytes})
+			return
+		}
+		s.me = me
+		s.ctx = me.Ctx
+		s.res.MatchedList = list
+		if s.ctx != nil && s.ctx.NICMemBytes > s.cfg.NICMemBytes {
+			s.fail(fmt.Errorf("nic: context needs %d bytes of NIC memory, have %d",
+				s.ctx.NICMemBytes, s.cfg.NICMemBytes))
+			return
+		}
+	}
+	if s.res.Dropped {
+		return // rest of a dropped message is discarded
+	}
+	if s.me == nil {
+		s.fail(errors.New("nic: non-header packet before header (fabric must deliver header first)"))
+		return
+	}
+
+	s.cfg.Trace.add(TraceEvent{At: a.At, Kind: TracePktArrival, Pkt: p.Index, VHPU: -1})
+	occ := s.cfg.InboundParse
+	if p.Header {
+		s.cfg.Trace.add(TraceEvent{At: a.At, Kind: TraceMatch, Pkt: p.Index, VHPU: -1})
+		occ += s.cfg.MatchTime
+	}
+	if s.ctx != nil {
+		occ += s.cfg.NICMemCopyTime(p.Size) // stage payload into NIC memory
+	}
+	_, inboundDone := s.inbound.Acquire(a.At, occ)
+
+	if s.ctx == nil {
+		// Non-processing RDMA path: one bulk DMA write per packet.
+		s.eng.At(inboundDone, func() { s.rdmaDeliver(p) })
+		return
+	}
+	s.eng.At(inboundDone+s.cfg.HERDispatch, func() {
+		s.cfg.Trace.add(TraceEvent{At: s.eng.Now(), Kind: TraceHER, Pkt: p.Index, VHPU: -1})
+		s.enqueue(p)
+	})
+}
+
+// rdmaDeliver lands one packet of a non-processing message.
+func (s *rxSim) rdmaDeliver(p fabric.Packet) {
+	hostOff := s.me.Region.Offset + p.StreamOff
+	s.dma.copyToHost(hostOff, s.packed[p.StreamOff:p.StreamOff+p.Size])
+	end := s.dma.write(1, p.Size) + s.cfg.PCIeWriteLatency
+	if end > s.lastWriteDone {
+		s.lastWriteDone = end
+	}
+	s.payloadsLeft--
+	if s.payloadsLeft == 0 {
+		done := s.lastWriteDone
+		s.eng.At(done, func() {
+			s.pt.PostEvent(portals.Event{Kind: portals.EventPut, Match: s.bits, Size: s.res.MsgBytes})
+		})
+		s.res.Done = done
+	}
+}
+
+// enqueue hands a packet to its vHPU and kicks the dispatcher.
+func (s *rxSim) enqueue(p fabric.Packet) {
+	if s.err != nil {
+		return
+	}
+	s.resident++
+	if s.resident > s.maxResident {
+		s.maxResident = s.resident
+	}
+
+	vid := s.ctx.Policy.SequenceOf(p.Index)
+	if vid < 0 {
+		vid = p.Index // default policy: every packet independent
+	}
+	v := s.vhpus[vid]
+	if v == nil {
+		v = &vhpu{id: vid}
+		s.vhpus[vid] = v
+	}
+	v.queue = append(v.queue, p)
+	if !v.running && !v.enqueued {
+		v.enqueued = true
+		s.ready = append(s.ready, v)
+	}
+	if p.Completion {
+		s.completionArrived = true
+	}
+	s.dispatch()
+}
+
+func (s *rxSim) dispatch() {
+	for s.freeHPUs > 0 && len(s.ready) > 0 {
+		v := s.ready[0]
+		s.ready = s.ready[1:]
+		v.enqueued = false
+		if len(v.queue) == 0 || v.running {
+			continue
+		}
+		v.running = true
+		s.freeHPUs--
+		s.runNext(v)
+	}
+}
+
+// runNext executes the payload handler for the head of v's queue.
+func (s *rxSim) runNext(v *vhpu) {
+	p := v.queue[0]
+	v.queue = v.queue[1:]
+
+	var wb writeBuffer
+	args := &spin.HandlerArgs{
+		StreamOff: p.StreamOff,
+		Payload:   s.packed[p.StreamOff : p.StreamOff+p.Size],
+		MsgSize:   s.res.MsgBytes,
+		PktIndex:  p.Index,
+		VHPU:      v.id,
+		DMA:       &wb,
+	}
+	res := s.ctx.Payload(args)
+	if res.Err != nil {
+		s.fail(fmt.Errorf("nic: payload handler packet %d: %w", p.Index, res.Err))
+		return
+	}
+
+	s.res.HandlerRuns++
+	s.res.Handler.Add(res.Breakdown)
+	if res.Runtime > s.res.MaxHandlerRuntime {
+		s.res.MaxHandlerRuntime = res.Runtime
+	}
+	s.res.HPUBusy += res.Runtime
+
+	start := s.eng.Now()
+	end := start + res.Runtime
+	s.cfg.Trace.add(TraceEvent{At: start, Kind: TraceHandlerStart, Pkt: p.Index, VHPU: v.id, Dur: res.Runtime})
+	s.scheduleWrites(start, res.Runtime, wb.ops)
+	s.eng.At(end, func() {
+		s.cfg.Trace.add(TraceEvent{At: end, Kind: TraceHandlerEnd, Pkt: p.Index, VHPU: v.id})
+		s.handlerDone(v)
+	})
+}
+
+// scheduleWrites performs the functional copies immediately and spreads the
+// timing of the write requests across the handler runtime in bounded
+// chunks.
+func (s *rxSim) scheduleWrites(start sim.Time, runtime sim.Time, ops []writeOp) {
+	n := len(ops)
+	if n == 0 {
+		return
+	}
+	for _, op := range ops {
+		s.dma.copyToHost(op.hostOff, op.data)
+	}
+	chunks := s.cfg.MaxWriteChunks
+	if chunks <= 0 {
+		chunks = 32
+	}
+	if n < chunks {
+		chunks = n
+	}
+	per := n / chunks
+	extra := n % chunks
+	idx := 0
+	for c := 0; c < chunks; c++ {
+		cnt := per
+		if c < extra {
+			cnt++
+		}
+		var bytes int64
+		for i := 0; i < cnt; i++ {
+			bytes += int64(len(ops[idx].data))
+			idx++
+		}
+		reqs, tot := int64(cnt), bytes
+		at := start + sim.Time(int64(runtime)*int64(c+1)/int64(chunks))
+		s.eng.At(at, func() {
+			s.cfg.Trace.add(TraceEvent{At: at, Kind: TraceDMAIssue, Pkt: -1, VHPU: -1, Reqs: reqs, Bytes: tot})
+			end := s.dma.write(reqs, tot) + s.cfg.PCIeWriteLatency
+			if end > s.lastWriteDone {
+				s.lastWriteDone = end
+			}
+		})
+	}
+}
+
+// handlerDone releases or reuses the HPU and advances message completion.
+func (s *rxSim) handlerDone(v *vhpu) {
+	if s.err != nil {
+		return
+	}
+	s.resident--
+	s.payloadsLeft--
+
+	if len(v.queue) > 0 {
+		s.runNext(v) // vHPU keeps its HPU while it has packets
+	} else {
+		v.running = false
+		s.freeHPUs++
+		s.dispatch()
+	}
+
+	if s.payloadsLeft == 0 && s.completionArrived && !s.completionDone {
+		s.completionDone = true
+		s.runCompletion()
+	}
+}
+
+// runCompletion executes the completion handler (Sec. 3.2.2): a final
+// zero-byte DMA write with events enabled, signalling the host that the
+// message is fully unpacked.
+func (s *rxSim) runCompletion() {
+	finish := func(at sim.Time) {
+		s.cfg.Trace.add(TraceEvent{At: at, Kind: TraceCompletion, Pkt: -1, VHPU: -1})
+		s.res.Done = at
+		s.eng.At(at, func() {
+			s.pt.PostEvent(portals.Event{Kind: portals.EventHandlerCompletion, Match: s.bits, Size: s.res.MsgBytes})
+		})
+	}
+	if s.ctx.Completion == nil {
+		finish(s.lastWriteDone)
+		return
+	}
+	var wb writeBuffer
+	args := &spin.HandlerArgs{MsgSize: s.res.MsgBytes, DMA: &wb}
+	res := s.ctx.Completion(args)
+	if res.Err != nil {
+		s.fail(fmt.Errorf("nic: completion handler: %w", res.Err))
+		return
+	}
+	s.res.HPUBusy += res.Runtime
+	end := s.eng.Now() + res.Runtime
+	s.eng.At(end, func() {
+		// The final write flushes behind all data writes on the FIFO link.
+		done := s.dma.write(1, 0) + s.cfg.PCIeWriteLatency
+		if done < s.lastWriteDone {
+			done = s.lastWriteDone
+		}
+		finish(done)
+	})
+}

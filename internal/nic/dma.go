@@ -1,0 +1,115 @@
+package nic
+
+import (
+	"spinddt/internal/pcie"
+	"spinddt/internal/sim"
+)
+
+// QueueSample is one point of the DMA-queue-depth time series (Fig. 15).
+type QueueSample struct {
+	At    sim.Time
+	Depth int
+}
+
+// DMAStats aggregates the DMA engine activity of one simulation: request
+// and byte counts, queue occupancy (Fig. 14) and its time series (Fig. 15).
+type DMAStats struct {
+	// Writes is the number of DMA write requests issued.
+	Writes int64
+	// Bytes is the payload written to host memory.
+	Bytes int64
+	// WireBytes is the PCIe wire volume including TLP overheads.
+	WireBytes int64
+	// MaxQueueDepth is the peak number of outstanding write requests.
+	MaxQueueDepth int
+	// Samples is the decimated (time, depth) series.
+	Samples []QueueSample
+	// ReadStalls counts DMA reads (iovec refills) issued toward the host.
+	ReadStalls int64
+}
+
+// dmaEngine models the NIC's DMA write path: a pool of channels each with a
+// fixed per-request occupancy, feeding a shared PCIe link. Writes copy
+// their payload into the host buffer immediately (functional layer) while
+// completion times come from the channel and link servers (timing layer).
+type dmaEngine struct {
+	eng      *sim.Engine
+	channels *sim.MultiServer
+	link     *sim.Server
+	pcie     pcie.Config
+	perReq   sim.Time
+
+	host  []byte
+	depth int
+	stats DMAStats
+
+	sampleStride int // decimation factor for the depth series
+	sampleSkip   int
+}
+
+func newDMAEngine(eng *sim.Engine, p pcie.Config, channels int, perReq sim.Time, host []byte) *dmaEngine {
+	return &dmaEngine{
+		eng:          eng,
+		channels:     sim.NewMultiServer(channels),
+		link:         &sim.Server{},
+		pcie:         p,
+		perReq:       perReq,
+		host:         host,
+		sampleStride: 1,
+	}
+}
+
+// write issues reqs DMA write requests at the current simulation time,
+// moving total payload bytes. The payload has already been copied to the
+// host buffer by the caller; this accounts timing and queue depth. It
+// returns the completion time of the last request.
+func (d *dmaEngine) write(reqs int64, totalBytes int64) sim.Time {
+	if reqs <= 0 {
+		return d.eng.Now()
+	}
+	now := d.eng.Now()
+	_, chanEnd := d.channels.Acquire(now, sim.Time(reqs)*d.perReq)
+	wire := sim.FromSeconds(float64(totalBytes+reqs*d.pcie.TLPHeaderBytes) / d.pcie.Bandwidth())
+	_, end := d.link.Acquire(chanEnd, wire)
+
+	d.stats.Writes += reqs
+	d.stats.Bytes += totalBytes
+	d.stats.WireBytes += totalBytes + reqs*d.pcie.TLPHeaderBytes
+
+	d.adjustDepth(int(reqs))
+	d.eng.At(end, func() { d.adjustDepth(-int(reqs)) })
+	return end
+}
+
+// read models a DMA read from host memory (the iovec-refill path): the
+// caller stalls for the PCIe round trip.
+func (d *dmaEngine) readLatency() sim.Time {
+	d.stats.ReadStalls++
+	return d.pcie.ReadLatency
+}
+
+func (d *dmaEngine) adjustDepth(delta int) {
+	d.depth += delta
+	if d.depth > d.stats.MaxQueueDepth {
+		d.stats.MaxQueueDepth = d.depth
+	}
+	d.sampleSkip++
+	if d.sampleSkip >= d.sampleStride {
+		d.sampleSkip = 0
+		d.stats.Samples = append(d.stats.Samples, QueueSample{At: d.eng.Now(), Depth: d.depth})
+		if len(d.stats.Samples) >= 16384 {
+			// Decimate in place: keep every other sample, double the stride.
+			kept := d.stats.Samples[:0]
+			for i := 0; i < len(d.stats.Samples); i += 2 {
+				kept = append(kept, d.stats.Samples[i])
+			}
+			d.stats.Samples = kept
+			d.sampleStride *= 2
+		}
+	}
+}
+
+// copyToHost performs the functional store of a write's payload.
+func (d *dmaEngine) copyToHost(hostOff int64, data []byte) {
+	copy(d.host[hostOff:hostOff+int64(len(data))], data)
+}

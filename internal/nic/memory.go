@@ -1,0 +1,170 @@
+package nic
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Allocator manages handler-visible NIC memory across offloaded datatypes.
+// When an allocation does not fit, the paper's MPI integration (Sec. 3.2.6)
+// either falls back to host processing or frees previously offloaded
+// datatypes "e.g., by applying a LRU policy"; type attributes supply a
+// priority that drives victim selection. Entries pinned by an active
+// receive are never evicted.
+type Allocator struct {
+	capacity  int64
+	used      int64
+	entries   map[string]*MemEntry
+	clock     int64
+	evictions int64
+}
+
+// MemEntry is one resident datatype state.
+type MemEntry struct {
+	Key      string
+	Bytes    int64
+	Priority int
+	pinned   int
+	lastUse  int64
+}
+
+// Pinned reports whether the entry is held by an active receive.
+func (e *MemEntry) Pinned() bool { return e.pinned > 0 }
+
+// ErrNICMemFull reports an allocation that cannot be satisfied even after
+// evicting every unpinned lower-or-equal-priority entry.
+var ErrNICMemFull = errors.New("nic: NIC memory exhausted")
+
+// NewAllocator returns an allocator over capacity bytes.
+func NewAllocator(capacity int64) *Allocator {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &Allocator{capacity: capacity, entries: make(map[string]*MemEntry)}
+}
+
+// Capacity returns the managed capacity in bytes.
+func (a *Allocator) Capacity() int64 { return a.capacity }
+
+// Used returns the bytes currently allocated.
+func (a *Allocator) Used() int64 { return a.used }
+
+// Evictions returns the number of entries evicted so far.
+func (a *Allocator) Evictions() int64 { return a.evictions }
+
+// Resident reports whether a datatype state is already on the NIC,
+// refreshing its LRU position.
+func (a *Allocator) Resident(key string) bool {
+	e, ok := a.entries[key]
+	if ok {
+		a.clock++
+		e.lastUse = a.clock
+	}
+	return ok
+}
+
+// Allocate reserves bytes for a datatype state. If the state is already
+// resident it is reused (refreshing LRU). Otherwise lower-or-equal-priority
+// unpinned entries are evicted in LRU order until the allocation fits; if
+// it still cannot fit, ErrNICMemFull is returned and the caller falls back
+// to host-based processing.
+func (a *Allocator) Allocate(key string, bytes int64, priority int) (*MemEntry, error) {
+	if bytes < 0 {
+		return nil, fmt.Errorf("nic: negative allocation %d", bytes)
+	}
+	a.clock++
+	if e, ok := a.entries[key]; ok {
+		if e.Bytes != bytes {
+			return nil, fmt.Errorf("nic: entry %q resized %d -> %d", key, e.Bytes, bytes)
+		}
+		e.lastUse = a.clock
+		return e, nil
+	}
+	if bytes > a.capacity {
+		return nil, fmt.Errorf("%w: need %d of %d bytes", ErrNICMemFull, bytes, a.capacity)
+	}
+	for a.used+bytes > a.capacity {
+		if !a.evictOne(priority) {
+			return nil, fmt.Errorf("%w: need %d, %d in use, no evictable victims",
+				ErrNICMemFull, bytes, a.used)
+		}
+	}
+	e := &MemEntry{Key: key, Bytes: bytes, Priority: priority, lastUse: a.clock}
+	a.entries[key] = e
+	a.used += bytes
+	return e, nil
+}
+
+// evictOne removes the least-recently-used unpinned entry whose priority
+// does not exceed the requester's.
+func (a *Allocator) evictOne(priority int) bool {
+	var victim *MemEntry
+	for _, e := range a.entries {
+		if e.Pinned() || e.Priority > priority {
+			continue
+		}
+		if victim == nil || e.lastUse < victim.lastUse {
+			victim = e
+		}
+	}
+	if victim == nil {
+		return false
+	}
+	delete(a.entries, victim.Key)
+	a.used -= victim.Bytes
+	a.evictions++
+	return true
+}
+
+// Pin marks the entry as in use by an active receive; pinned entries are
+// never evicted. Pins nest.
+func (a *Allocator) Pin(key string) error {
+	e, ok := a.entries[key]
+	if !ok {
+		return fmt.Errorf("nic: pin of non-resident entry %q", key)
+	}
+	e.pinned++
+	return nil
+}
+
+// Unpin releases one pin.
+func (a *Allocator) Unpin(key string) error {
+	e, ok := a.entries[key]
+	if !ok {
+		return fmt.Errorf("nic: unpin of non-resident entry %q", key)
+	}
+	if e.pinned == 0 {
+		return fmt.Errorf("nic: entry %q not pinned", key)
+	}
+	e.pinned--
+	return nil
+}
+
+// Free explicitly removes an entry (MPI_Type_free of an offloaded type).
+// Freeing a pinned entry fails.
+func (a *Allocator) Free(key string) error {
+	e, ok := a.entries[key]
+	if !ok {
+		return nil
+	}
+	if e.Pinned() {
+		return fmt.Errorf("nic: entry %q pinned by an active receive", key)
+	}
+	delete(a.entries, key)
+	a.used -= e.Bytes
+	return nil
+}
+
+// Keys returns the resident entry keys, most recently used first; for
+// diagnostics and tests.
+func (a *Allocator) Keys() []string {
+	keys := make([]string, 0, len(a.entries))
+	for k := range a.entries {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		return a.entries[keys[i]].lastUse > a.entries[keys[j]].lastUse
+	})
+	return keys
+}

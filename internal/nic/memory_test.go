@@ -1,0 +1,144 @@
+package nic
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestAllocatorBasic(t *testing.T) {
+	a := NewAllocator(1000)
+	if a.Capacity() != 1000 || a.Used() != 0 {
+		t.Fatal("fresh allocator")
+	}
+	e, err := a.Allocate("a", 400, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Bytes != 400 || a.Used() != 400 {
+		t.Fatalf("entry %+v used %d", e, a.Used())
+	}
+	// Reuse refreshes instead of double-allocating.
+	if _, err := a.Allocate("a", 400, 0); err != nil {
+		t.Fatal(err)
+	}
+	if a.Used() != 400 {
+		t.Fatalf("reuse double-counted: %d", a.Used())
+	}
+}
+
+func TestAllocatorLRUEviction(t *testing.T) {
+	a := NewAllocator(1000)
+	if _, err := a.Allocate("old", 400, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Allocate("mid", 400, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Resident("old") { // touch "old": "mid" becomes the LRU victim
+		t.Fatal("old not resident")
+	}
+	if _, err := a.Allocate("new", 400, 0); err != nil {
+		t.Fatal(err)
+	}
+	if a.Resident("mid") {
+		t.Fatal("LRU did not evict the least recently used entry")
+	}
+	if !a.Resident("old") || !a.Resident("new") {
+		t.Fatal("wrong victim")
+	}
+	if a.Evictions() != 1 {
+		t.Fatalf("evictions = %d", a.Evictions())
+	}
+}
+
+func TestAllocatorPriorityVictimSelection(t *testing.T) {
+	a := NewAllocator(1000)
+	if _, err := a.Allocate("high", 600, 10); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Allocate("low", 300, 1); err != nil {
+		t.Fatal(err)
+	}
+	// A priority-5 request may evict "low" but not "high".
+	if _, err := a.Allocate("want", 300, 5); err != nil {
+		t.Fatal(err)
+	}
+	if a.Resident("low") || !a.Resident("high") {
+		t.Fatal("priority victim selection wrong")
+	}
+	// A request that would need to evict a higher-priority entry fails.
+	if _, err := a.Allocate("too-big", 500, 5); !errors.Is(err, ErrNICMemFull) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestAllocatorPinnedNeverEvicted(t *testing.T) {
+	a := NewAllocator(1000)
+	if _, err := a.Allocate("pinned", 600, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Pin("pinned"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Allocate("other", 600, 100); !errors.Is(err, ErrNICMemFull) {
+		t.Fatalf("pinned entry evicted: %v", err)
+	}
+	if err := a.Free("pinned"); err == nil {
+		t.Fatal("freed a pinned entry")
+	}
+	if err := a.Unpin("pinned"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Allocate("other", 600, 100); err != nil {
+		t.Fatalf("after unpin: %v", err)
+	}
+}
+
+func TestAllocatorOversized(t *testing.T) {
+	a := NewAllocator(100)
+	if _, err := a.Allocate("x", 200, 0); !errors.Is(err, ErrNICMemFull) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := a.Allocate("neg", -1, 0); err == nil {
+		t.Fatal("negative allocation accepted")
+	}
+}
+
+func TestAllocatorResizeRejected(t *testing.T) {
+	a := NewAllocator(1000)
+	if _, err := a.Allocate("k", 100, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Allocate("k", 200, 0); err == nil {
+		t.Fatal("silent resize accepted")
+	}
+}
+
+func TestAllocatorFreeAndKeys(t *testing.T) {
+	a := NewAllocator(1000)
+	for _, k := range []string{"a", "b", "c"} {
+		if _, err := a.Allocate(k, 100, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a.Resident("a") // refresh: a becomes MRU
+	keys := a.Keys()
+	if keys[0] != "a" {
+		t.Fatalf("MRU order %v", keys)
+	}
+	if err := a.Free("b"); err != nil {
+		t.Fatal(err)
+	}
+	if a.Used() != 200 {
+		t.Fatalf("used = %d", a.Used())
+	}
+	if err := a.Free("missing"); err != nil {
+		t.Fatal("freeing a missing key must be a no-op")
+	}
+	if err := a.Pin("missing"); err == nil {
+		t.Fatal("pinned a missing key")
+	}
+	if err := a.Unpin("a"); err == nil {
+		t.Fatal("unpinned an unpinned key")
+	}
+}

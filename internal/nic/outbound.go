@@ -1,0 +1,134 @@
+package nic
+
+import (
+	"errors"
+
+	"spinddt/internal/sim"
+)
+
+// SendResult reports a sender-side simulation (the three tiles of the
+// paper's Fig. 4). Timing is computed with server algebra over the sender
+// CPU, the PCIe read path and the injection link.
+type SendResult struct {
+	MsgBytes int64
+	// Injected is when the last bit of the message left the sender NIC.
+	Injected sim.Time
+	// CPUBusy is the sender CPU time consumed by datatype processing
+	// (packing or region identification); the paper's motivation for
+	// outbound sPIN is driving this to zero.
+	CPUBusy sim.Time
+	// HPUBusy is the sender-NIC handler time (outbound sPIN only).
+	HPUBusy sim.Time
+	// HandlerRuns counts gather-handler executions (outbound sPIN only).
+	HandlerRuns int
+	// Regions is the number of contiguous source regions processed.
+	Regions int64
+	// PacketInjections holds the time each packet finished leaving the
+	// NIC, in stream order, for coupling with a receiver simulation.
+	PacketInjections []sim.Time
+}
+
+// ThroughputGbps returns message bits over injection time.
+func (s SendResult) ThroughputGbps() float64 {
+	if s.Injected <= 0 {
+		return 0
+	}
+	return float64(s.MsgBytes) * 8 / s.Injected.Seconds() / 1e9
+}
+
+// SendPacked models the classic pack+send (Fig. 4, left): the sender CPU
+// packs the datatype into a contiguous buffer (packTime), then the NIC
+// streams it, pipelining PCIe reads with line-rate injection.
+func SendPacked(cfg Config, msgBytes int64, packTime sim.Time) (SendResult, error) {
+	if msgBytes <= 0 {
+		return SendResult{}, errors.New("nic: empty message")
+	}
+	res := SendResult{MsgBytes: msgBytes, CPUBusy: packTime, Regions: 1}
+	var pcie, link sim.Server
+	start := packTime + cfg.PCIe.ReadLatency // first DMA read round trip
+	npkt := cfg.Fabric.NumPackets(msgBytes)
+	for i := 0; i < npkt; i++ {
+		size := cfg.Fabric.MTU
+		if off := int64(i) * cfg.Fabric.MTU; off+size > msgBytes {
+			size = msgBytes - off
+		}
+		_, fetched := pcie.Acquire(start, cfg.PCIe.ByteTime(size))
+		_, injected := link.Acquire(fetched, cfg.Fabric.PacketTime(size))
+		res.Injected = injected
+		res.PacketInjections = append(res.PacketInjections, injected)
+	}
+	return res, nil
+}
+
+// SendStreaming models streaming puts (Fig. 4, middle): the sender CPU
+// walks the datatype, announcing each contiguous region with
+// PtlSPutStream while the NIC fetches and injects already-announced data.
+// The CPU and the wire pipeline; whichever is slower paces the send.
+func SendStreaming(cfg Config, regions []IovecRegion, findPerRegion sim.Time) (SendResult, error) {
+	if len(regions) == 0 {
+		return SendResult{}, errors.New("nic: no regions")
+	}
+	res := SendResult{Regions: int64(len(regions))}
+	var pcie, link sim.Server
+	cpu := sim.Time(0)
+	var pktBytes int64 // bytes accumulated toward the current packet
+	for _, r := range regions {
+		if r.Size <= 0 {
+			return SendResult{}, errors.New("nic: empty region")
+		}
+		cpu += findPerRegion // PtlSPutStream call after locating the region
+		res.MsgBytes += r.Size
+		pktBytes += r.Size
+		for pktBytes >= cfg.Fabric.MTU {
+			pktBytes -= cfg.Fabric.MTU
+			_, fetched := pcie.Acquire(cpu+cfg.PCIe.ReadLatency, cfg.PCIe.ByteTime(cfg.Fabric.MTU))
+			_, injected := link.Acquire(fetched, cfg.Fabric.PacketTime(cfg.Fabric.MTU))
+			res.Injected = injected
+			res.PacketInjections = append(res.PacketInjections, injected)
+		}
+	}
+	if pktBytes > 0 {
+		_, fetched := pcie.Acquire(cpu+cfg.PCIe.ReadLatency, cfg.PCIe.ByteTime(pktBytes))
+		_, injected := link.Acquire(fetched, cfg.Fabric.PacketTime(pktBytes))
+		res.Injected = injected
+		res.PacketInjections = append(res.PacketInjections, injected)
+	}
+	res.CPUBusy = cpu
+	return res, nil
+}
+
+// SendProcessPut models outbound sPIN (Fig. 4, right; Sec. 3.1.2): a
+// PtlProcessPut creates the message packets on the NIC and runs a gather
+// handler for each one on the sender HPUs; handlers locate the packet's
+// source regions and stream them out. The sender CPU only issues the
+// control-plane operation. handlerTime gives the gather handler runtime
+// for packet i.
+func SendProcessPut(cfg Config, msgBytes int64, handlerTime func(pkt int, bytes int64) sim.Time) (SendResult, error) {
+	if msgBytes <= 0 {
+		return SendResult{}, errors.New("nic: empty message")
+	}
+	if cfg.HPUs <= 0 {
+		return SendResult{}, errors.New("nic: no HPUs")
+	}
+	res := SendResult{MsgBytes: msgBytes}
+	hpus := sim.NewMultiServer(cfg.HPUs)
+	var pcie, link sim.Server
+	npkt := cfg.Fabric.NumPackets(msgBytes)
+	cmd := cfg.HERDispatch // PtlProcessPut command reaches the outbound engine
+	for i := 0; i < npkt; i++ {
+		size := cfg.Fabric.MTU
+		if off := int64(i) * cfg.Fabric.MTU; off+size > msgBytes {
+			size = msgBytes - off
+		}
+		ht := handlerTime(i, size)
+		res.HPUBusy += ht
+		res.HandlerRuns++
+		_, handlerDone := hpus.Acquire(cmd, ht)
+		_, fetched := pcie.Acquire(handlerDone+cfg.PCIe.ReadLatency, cfg.PCIe.ByteTime(size))
+		// Packets must leave in order: the link server serializes them.
+		_, injected := link.Acquire(fetched, cfg.Fabric.PacketTime(size))
+		res.Injected = injected
+		res.PacketInjections = append(res.PacketInjections, injected)
+	}
+	return res, nil
+}

@@ -1,0 +1,60 @@
+// Package pcie models the host interface of the simulated NIC: a PCIe
+// Gen4 link with 128b/130b encoding, per-TLP header overhead on DMA writes,
+// and a fixed round-trip latency for DMA reads (the paper models iovec
+// fetches as 500 ns PCIe reads).
+package pcie
+
+import "spinddt/internal/sim"
+
+// Config describes the PCIe link between NIC and host.
+type Config struct {
+	// Lanes is the link width (the paper simulates a x32 Gen4 interface).
+	Lanes int
+	// GTPerLane is the raw signalling rate per lane in GT/s (16 for Gen4).
+	GTPerLane float64
+	// EncodingNum/EncodingDen express the line coding (128/130 for Gen4).
+	EncodingNum, EncodingDen int64
+	// TLPHeaderBytes is the per-transaction overhead added to every DMA
+	// write (TLP header + framing).
+	TLPHeaderBytes int64
+	// ReadLatency is the round-trip latency of a DMA read from host memory.
+	ReadLatency sim.Time
+}
+
+// DefaultConfig returns the paper's host interface: PCIe Gen4 x32 with
+// 128b/130b encoding and 500 ns read latency.
+func DefaultConfig() Config {
+	return Config{
+		Lanes:          32,
+		GTPerLane:      16,
+		EncodingNum:    128,
+		EncodingDen:    130,
+		TLPHeaderBytes: 26,
+		ReadLatency:    500 * sim.Nanosecond,
+	}
+}
+
+// Bandwidth returns the effective payload bandwidth in bytes/second after
+// line coding.
+func (c Config) Bandwidth() float64 {
+	raw := float64(c.Lanes) * c.GTPerLane * 1e9 / 8 // bytes/s before coding
+	return raw * float64(c.EncodingNum) / float64(c.EncodingDen)
+}
+
+// WriteWireBytes returns the wire bytes consumed by a DMA write of payload
+// bytes, including the TLP overhead.
+func (c Config) WriteWireBytes(payload int64) int64 {
+	return payload + c.TLPHeaderBytes
+}
+
+// WriteTime returns the link occupancy of a DMA write of payload bytes.
+func (c Config) WriteTime(payload int64) sim.Time {
+	return sim.FromSeconds(float64(c.WriteWireBytes(payload)) / c.Bandwidth())
+}
+
+// ByteTime returns the link occupancy of n payload bytes without TLP
+// overhead (bulk transfers that the model treats as a single transaction
+// stream, e.g. the non-processing RDMA path).
+func (c Config) ByteTime(n int64) sim.Time {
+	return sim.FromSeconds(float64(n) / c.Bandwidth())
+}

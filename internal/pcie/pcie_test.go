@@ -1,0 +1,72 @@
+package pcie
+
+import (
+	"math"
+	"testing"
+
+	"spinddt/internal/sim"
+)
+
+func TestBandwidth(t *testing.T) {
+	c := DefaultConfig()
+	// Gen4 x32: 32 lanes * 16 GT/s / 8 = 64 GB/s raw, * 128/130 ~ 63.0 GB/s.
+	want := 64e9 * 128.0 / 130.0
+	if got := c.Bandwidth(); math.Abs(got-want) > 1 {
+		t.Fatalf("bandwidth = %v, want %v", got, want)
+	}
+}
+
+func TestWriteWireBytes(t *testing.T) {
+	c := DefaultConfig()
+	if got := c.WriteWireBytes(4); got != 30 {
+		t.Fatalf("4B write uses %d wire bytes", got)
+	}
+	if got := c.WriteWireBytes(0); got != 26 {
+		t.Fatalf("0B write uses %d wire bytes", got)
+	}
+}
+
+func TestWriteTimeScalesWithPayload(t *testing.T) {
+	c := DefaultConfig()
+	small := c.WriteTime(4)
+	big := c.WriteTime(2048)
+	if small <= 0 || big <= small {
+		t.Fatalf("write times: small=%v big=%v", small, big)
+	}
+	// 2 KiB + 26 B at ~63 GB/s is ~32.9 ns.
+	if big < 30*sim.Nanosecond || big > 36*sim.Nanosecond {
+		t.Fatalf("2KiB write time = %v", big)
+	}
+}
+
+func TestSmallWritesAreInefficient(t *testing.T) {
+	c := DefaultConfig()
+	// Moving 2048 B as 512 4-byte writes must cost far more wire time than
+	// one 2048 B write — the effect the paper blames for the poor offload
+	// performance at γ=512 (Sec. 5.3).
+	one := c.WriteTime(2048)
+	many := sim.Time(0)
+	for i := 0; i < 512; i++ {
+		many += c.WriteTime(4)
+	}
+	if many < 5*one {
+		t.Fatalf("512 tiny writes (%v) should cost >5x one bulk write (%v)", many, one)
+	}
+}
+
+func TestReadLatencyDefault(t *testing.T) {
+	c := DefaultConfig()
+	if c.ReadLatency != 500*sim.Nanosecond {
+		t.Fatalf("read latency = %v", c.ReadLatency)
+	}
+}
+
+func TestByteTimeNoOverhead(t *testing.T) {
+	c := DefaultConfig()
+	if c.ByteTime(0) != 0 {
+		t.Fatal("0 bytes must take 0 time")
+	}
+	if c.ByteTime(1024) >= c.WriteTime(1024) {
+		t.Fatal("bulk byte time must be below TLP write time")
+	}
+}

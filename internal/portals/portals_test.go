@@ -1,0 +1,240 @@
+package portals
+
+import (
+	"testing"
+
+	"spinddt/internal/spin"
+)
+
+func TestMatchBitsSemantics(t *testing.T) {
+	me := &ME{Match: 0xAB, Ignore: 0x0F}
+	for _, c := range []struct {
+		bits MatchBits
+		want bool
+	}{
+		{0xAB, true},
+		{0xA0, true}, // low nibble ignored
+		{0xAF, true},
+		{0xBB, false}, // high nibble differs
+		{0x1AB, false},
+	} {
+		if got := me.matches(c.bits); got != c.want {
+			t.Errorf("match(%#x) = %v, want %v", c.bits, got, c.want)
+		}
+	}
+}
+
+func TestPriorityBeforeOverflow(t *testing.T) {
+	ni := NewNI(4)
+	pt, err := ni.PT(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	over := &ME{Match: 7}
+	prio := &ME{Match: 7}
+	if err := pt.Append(OverflowList, over); err != nil {
+		t.Fatal(err)
+	}
+	if err := pt.Append(PriorityList, prio); err != nil {
+		t.Fatal(err)
+	}
+	got, list, ok := pt.Match(7)
+	if !ok || got != prio || list != PriorityList {
+		t.Fatalf("matched %v on %v list", got, list)
+	}
+}
+
+func TestOverflowFallback(t *testing.T) {
+	ni := NewNI(1)
+	pt, _ := ni.PT(0)
+	over := &ME{Match: 9}
+	if err := pt.Append(OverflowList, over); err != nil {
+		t.Fatal(err)
+	}
+	got, list, ok := pt.Match(9)
+	if !ok || got != over || list != OverflowList {
+		t.Fatalf("matched %v on %v list", got, list)
+	}
+}
+
+func TestNoMatchDiscards(t *testing.T) {
+	ni := NewNI(1)
+	pt, _ := ni.PT(0)
+	if err := pt.Append(PriorityList, &ME{Match: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := pt.Match(2); ok {
+		t.Fatal("unexpected match")
+	}
+}
+
+func TestMatchOrderIsAppendOrder(t *testing.T) {
+	ni := NewNI(1)
+	pt, _ := ni.PT(0)
+	first := &ME{Match: 5}
+	second := &ME{Match: 5}
+	if err := pt.Append(PriorityList, first); err != nil {
+		t.Fatal(err)
+	}
+	if err := pt.Append(PriorityList, second); err != nil {
+		t.Fatal(err)
+	}
+	got, _, _ := pt.Match(5)
+	if got != first {
+		t.Fatal("matching must search in append order")
+	}
+}
+
+func TestUseOnceUnlinks(t *testing.T) {
+	ni := NewNI(1)
+	pt, _ := ni.PT(0)
+	me := &ME{Match: 3, UseOnce: true}
+	if err := pt.Append(PriorityList, me); err != nil {
+		t.Fatal(err)
+	}
+	got, _, ok := pt.Match(3)
+	if !ok || got != me {
+		t.Fatal("first match failed")
+	}
+	if me.Linked() {
+		t.Fatal("use-once entry still linked after match")
+	}
+	if _, _, ok := pt.Match(3); ok {
+		t.Fatal("use-once entry matched twice")
+	}
+}
+
+func TestPersistentEntryMatchesRepeatedly(t *testing.T) {
+	ni := NewNI(1)
+	pt, _ := ni.PT(0)
+	me := &ME{Match: 3}
+	if err := pt.Append(PriorityList, me); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, _, ok := pt.Match(3); !ok {
+			t.Fatalf("match %d failed", i)
+		}
+	}
+	if !me.Linked() {
+		t.Fatal("persistent entry unlinked")
+	}
+}
+
+func TestUnlinkRemoves(t *testing.T) {
+	ni := NewNI(1)
+	pt, _ := ni.PT(0)
+	a := &ME{Match: 1}
+	b := &ME{Match: 1}
+	if err := pt.Append(PriorityList, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := pt.Append(PriorityList, b); err != nil {
+		t.Fatal(err)
+	}
+	pt.Unlink(a)
+	if a.Linked() {
+		t.Fatal("a still linked")
+	}
+	got, _, _ := pt.Match(1)
+	if got != b {
+		t.Fatal("unlinked entry still matches")
+	}
+	pt.Unlink(a) // no-op
+}
+
+func TestDoubleAppendRejected(t *testing.T) {
+	ni := NewNI(1)
+	pt, _ := ni.PT(0)
+	me := &ME{Match: 1}
+	if err := pt.Append(PriorityList, me); err != nil {
+		t.Fatal(err)
+	}
+	if err := pt.Append(OverflowList, me); err == nil {
+		t.Fatal("double append accepted")
+	}
+	if err := pt.Append(PriorityList, nil); err == nil {
+		t.Fatal("nil ME accepted")
+	}
+}
+
+func TestEventsAndCounter(t *testing.T) {
+	ni := NewNI(1)
+	pt, _ := ni.PT(0)
+	pt.PostEvent(Event{Kind: EventPut, Match: 1, Size: 64})
+	pt.PostEvent(Event{Kind: EventHandlerCompletion, Match: 1})
+	if pt.Counter() != 2 {
+		t.Fatalf("counter = %d", pt.Counter())
+	}
+	evs := pt.DrainEvents()
+	if len(evs) != 2 || evs[0].Kind != EventPut || evs[1].Kind != EventHandlerCompletion {
+		t.Fatalf("events = %v", evs)
+	}
+	if len(pt.Events()) != 0 {
+		t.Fatal("events not drained")
+	}
+	if evs[0].Kind.String() != "PUT" || EventDropped.String() != "DROPPED" {
+		t.Fatal("event kind names")
+	}
+}
+
+func TestPTRange(t *testing.T) {
+	ni := NewNI(2)
+	if ni.NumPTs() != 2 {
+		t.Fatalf("NumPTs = %d", ni.NumPTs())
+	}
+	if _, err := ni.PT(2); err == nil {
+		t.Fatal("out-of-range PT accepted")
+	}
+	if _, err := ni.PT(-1); err == nil {
+		t.Fatal("negative PT accepted")
+	}
+}
+
+func TestPlainPut(t *testing.T) {
+	op := NewPut(1, 42, Region{Offset: 100, Size: 4096})
+	if op.TotalBytes != 4096 || len(op.Regions) != 1 || op.Gather != nil {
+		t.Fatalf("op = %+v", op)
+	}
+}
+
+func TestStreamingPut(t *testing.T) {
+	sp := StartStreamingPut(0, 7, Region{0, 100})
+	if sp.Closed() {
+		t.Fatal("fresh streaming put closed")
+	}
+	if _, err := sp.Op(); err == nil {
+		t.Fatal("open streaming put produced an op")
+	}
+	if err := sp.Stream(Region{200, 50}, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := sp.Stream(Region{400, 25}, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := sp.Stream(Region{600, 10}, false); err != ErrStreamClosed {
+		t.Fatalf("stream after close: %v", err)
+	}
+	op, err := sp.Op()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if op.TotalBytes != 175 || len(op.Regions) != 3 {
+		t.Fatalf("op = %+v", op)
+	}
+}
+
+func TestStreamingPutRejectsNegativeRegion(t *testing.T) {
+	sp := StartStreamingPut(0, 7, Region{0, 100})
+	if err := sp.Stream(Region{0, -1}, false); err == nil {
+		t.Fatal("negative region accepted")
+	}
+}
+
+func TestProcessPut(t *testing.T) {
+	ctx := &spin.ExecutionContext{Name: "gather"}
+	op := NewProcessPut(2, 9, 1<<20, ctx)
+	if op.Gather != ctx || op.TotalBytes != 1<<20 || len(op.Regions) != 0 {
+		t.Fatalf("op = %+v", op)
+	}
+}

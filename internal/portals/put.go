@@ -1,0 +1,97 @@
+package portals
+
+import (
+	"errors"
+	"fmt"
+
+	"spinddt/internal/spin"
+)
+
+// Region is a contiguous source-memory region of a put operation.
+type Region struct {
+	Offset int64
+	Size   int64
+}
+
+// PutOp is a fully-specified put consumed by the outbound engine. The three
+// sender-side strategies of the paper's Fig. 4 all reduce to this form:
+//
+//   - plain put: one region (the CPU packed the data first);
+//   - streaming put: many regions accumulated by PtlSPutStart/Stream while
+//     the CPU walks the datatype;
+//   - process put (outbound sPIN): no regions — the Gather context's
+//     handlers resolve each packet's source regions on the NIC.
+type PutOp struct {
+	PT    int
+	Match MatchBits
+	// Regions are the source regions in sender memory, in stream order.
+	Regions []Region
+	// Gather, when non-nil, marks a PtlProcessPut: packets are formed by
+	// sender-side handlers instead of a region list.
+	Gather *spin.ExecutionContext
+	// TotalBytes is the message size on the wire.
+	TotalBytes int64
+}
+
+// NewPut returns a plain put of one contiguous region (PtlPut).
+func NewPut(pt int, match MatchBits, region Region) PutOp {
+	return PutOp{PT: pt, Match: match, Regions: []Region{region}, TotalBytes: region.Size}
+}
+
+// NewProcessPut returns an outbound-sPIN put (PtlProcessPut): the NIC
+// generates totalBytes of message and runs the gather context's handler on
+// every outgoing packet.
+func NewProcessPut(pt int, match MatchBits, totalBytes int64, gather *spin.ExecutionContext) PutOp {
+	return PutOp{PT: pt, Match: match, TotalBytes: totalBytes, Gather: gather}
+}
+
+// StreamingPut builds a message from multiple calls, the paper's streaming
+// put extension. All regions are part of one Portals message: the target
+// matches once and sees a single message.
+type StreamingPut struct {
+	op     PutOp
+	closed bool
+}
+
+// ErrStreamClosed reports a PtlSPutStream call after the end-of-message
+// flag was set.
+var ErrStreamClosed = errors.New("portals: streaming put already closed")
+
+// StartStreamingPut begins a streaming put with its first region
+// (PtlSPutStart).
+func StartStreamingPut(pt int, match MatchBits, first Region) *StreamingPut {
+	return &StreamingPut{op: PutOp{
+		PT: pt, Match: match,
+		Regions:    []Region{first},
+		TotalBytes: first.Size,
+	}}
+}
+
+// Stream appends a region to the message (PtlSPutStream). endOfMessage
+// closes the put; no further regions may be added.
+func (sp *StreamingPut) Stream(r Region, endOfMessage bool) error {
+	if sp.closed {
+		return ErrStreamClosed
+	}
+	if r.Size < 0 {
+		return fmt.Errorf("portals: negative region size %d", r.Size)
+	}
+	sp.op.Regions = append(sp.op.Regions, r)
+	sp.op.TotalBytes += r.Size
+	if endOfMessage {
+		sp.closed = true
+	}
+	return nil
+}
+
+// Closed reports whether the end-of-message flag was set.
+func (sp *StreamingPut) Closed() bool { return sp.closed }
+
+// Op returns the accumulated put operation. The streaming put must be
+// closed: an open put has no defined message length.
+func (sp *StreamingPut) Op() (PutOp, error) {
+	if !sp.closed {
+		return PutOp{}, errors.New("portals: streaming put not closed")
+	}
+	return sp.op, nil
+}

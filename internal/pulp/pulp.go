@@ -1,0 +1,185 @@
+// Package pulp models the paper's hardware prototype of sPIN (Sec. 4): a
+// PULP multicluster with 4 clusters x 8 RISC-V cores @1 GHz, per-cluster L1
+// scratchpads with cluster DMAs, a two-bank L2, and 256-bit interconnects
+// sized for a 200 Gbit/s line rate. It substitutes a calibrated cycle-level
+// analytic model for the paper's QuestaSim RTL simulation, reproducing the
+// three measurements of Sec. 4.3: DMA bandwidth vs block size (Fig. 9c),
+// RW-CP datatype-processing throughput vs the gem5 ARM setup (Fig. 10) and
+// the handlers' instructions-per-cycle (Fig. 11). The silicon-area and
+// power figures of Sec. 4.4 are reported as published constants — they
+// come from a 22 nm synthesis run that cannot be re-derived in software.
+package pulp
+
+import (
+	"spinddt/internal/sim"
+)
+
+// Config describes the PULP accelerator.
+type Config struct {
+	// Clusters and CoresPerCluster give the 4x8 RV32 core array.
+	Clusters        int
+	CoresPerCluster int
+	// ClockHz is the core and interconnect clock (1 GHz in 22 nm FDSOI).
+	ClockHz float64
+	// ClusterDMABytesPerSec is one cluster DMA's bandwidth (64 bit/cycle).
+	ClusterDMABytesPerSec float64
+	// DMASetup is the per-burst programming overhead.
+	DMASetup sim.Time
+	// LineRateGbps is the NIC line rate the accelerator must sustain.
+	LineRateGbps float64
+
+	// HandlerInstrPerBlock is the RW-CP handler's instruction count per
+	// contiguous region.
+	HandlerInstrPerBlock float64
+	// RuntimeOverhead is the per-packet runtime cost (HER dispatch, segment
+	// bookkeeping) on a PULP core.
+	RuntimeOverhead sim.Time
+	// IPCMax is the asymptotic handler IPC with no L2 contention; IPCKnee
+	// is the block size (bytes) at which contention halves it.
+	IPCMax  float64
+	IPCKnee float64
+
+	// ARMPerPacket and ARMPerBlock parameterize the gem5 Cortex-A15
+	// comparator of Fig. 10.
+	ARMPerPacket sim.Time
+	ARMPerBlock  sim.Time
+}
+
+// DefaultConfig returns the paper's configuration.
+func DefaultConfig() Config {
+	return Config{
+		Clusters:              4,
+		CoresPerCluster:       8,
+		ClockHz:               1e9,
+		ClusterDMABytesPerSec: 8e9, // 64 bit/cycle @1 GHz
+		DMASetup:              10 * sim.Nanosecond,
+		LineRateGbps:          200,
+		HandlerInstrPerBlock:  30,
+		RuntimeOverhead:       600 * sim.Nanosecond,
+		IPCMax:                0.27,
+		IPCKnee:               30,
+		ARMPerPacket:          700 * sim.Nanosecond,
+		ARMPerBlock:           76 * sim.Nanosecond,
+	}
+}
+
+// Cores returns the total core count.
+func (c Config) Cores() int { return c.Clusters * c.CoresPerCluster }
+
+// DMABandwidthGbps models the Fig. 9c benchmark: every core stream moves
+// blocks L2 -> L1 -> PCIe with per-burst setup overhead; the four cluster
+// DMAs operate in parallel.
+func (c Config) DMABandwidthGbps(blockBytes int64) float64 {
+	if blockBytes <= 0 {
+		return 0
+	}
+	perBlock := c.DMASetup.Seconds() + float64(blockBytes)/c.ClusterDMABytesPerSec
+	perCluster := float64(blockBytes) / perBlock // bytes/s
+	return float64(c.Clusters) * perCluster * 8 / 1e9
+}
+
+// IPC models the RW-CP handler's instructions-per-cycle as a function of
+// block size (Fig. 11): small blocks touch L2 more often per instruction,
+// raising contention and stalling the cores.
+func (c Config) IPC(blockBytes int64) float64 {
+	if blockBytes <= 0 {
+		return 0
+	}
+	b := float64(blockBytes)
+	return c.IPCMax * b / (b + c.IPCKnee)
+}
+
+// PacketTimePULP returns the RW-CP handler time for one packet carrying
+// blocks regions on a PULP core.
+func (c Config) PacketTimePULP(blockBytes, pktBytes int64) sim.Time {
+	blocks := float64(pktBytes) / float64(blockBytes)
+	if blocks < 1 {
+		blocks = 1
+	}
+	instr := blocks * c.HandlerInstrPerBlock
+	cycles := instr / c.IPC(blockBytes)
+	return c.RuntimeOverhead + sim.FromSeconds(cycles/c.ClockHz)
+}
+
+// PacketTimeARM returns the comparator cost on the gem5 ARM setup.
+func (c Config) PacketTimeARM(blockBytes, pktBytes int64) sim.Time {
+	blocks := float64(pktBytes) / float64(blockBytes)
+	if blocks < 1 {
+		blocks = 1
+	}
+	return c.ARMPerPacket + sim.FromSeconds(blocks*c.ARMPerBlock.Seconds())
+}
+
+// KernelPoint is one x-position of Fig. 10/11.
+type KernelPoint struct {
+	BlockBytes int64
+	// PulpGbps and ArmGbps are the processing throughputs (not capped by
+	// the network: packets are preloaded in L2, as in the paper).
+	PulpGbps float64
+	ArmGbps  float64
+	// PulpIPC is the modeled handler IPC.
+	PulpIPC float64
+}
+
+// RWCPKernel reproduces the Sec. 4.3.2 microkernel: a message of msgBytes
+// with a vector datatype of the given block size, split into pktBytes
+// packets statically assigned to the cores in blocked-RR sequences of
+// deltaP. Throughput is msg size over the maximum per-core processing
+// time.
+func (c Config) RWCPKernel(msgBytes, blockBytes, pktBytes int64, deltaP int) KernelPoint {
+	cores := c.Cores()
+	npkt := int((msgBytes + pktBytes - 1) / pktBytes)
+	nseq := (npkt + deltaP - 1) / deltaP
+
+	// Static blocked-RR assignment: sequence s -> core s mod cores.
+	perCore := make([]int, cores)
+	for s := 0; s < nseq; s++ {
+		pkts := deltaP
+		if s == nseq-1 && npkt%deltaP != 0 {
+			pkts = npkt % deltaP
+		}
+		perCore[s%cores] += pkts
+	}
+	maxPkts := 0
+	for _, n := range perCore {
+		if n > maxPkts {
+			maxPkts = n
+		}
+	}
+
+	tpulp := sim.Time(maxPkts) * c.PacketTimePULP(blockBytes, pktBytes)
+	tarm := sim.Time(maxPkts) * c.PacketTimeARM(blockBytes, pktBytes)
+	return KernelPoint{
+		BlockBytes: blockBytes,
+		PulpGbps:   float64(msgBytes) * 8 / tpulp.Seconds() / 1e9,
+		ArmGbps:    float64(msgBytes) * 8 / tarm.Seconds() / 1e9,
+		PulpIPC:    c.IPC(blockBytes),
+	}
+}
+
+// Area holds the published 22 nm synthesis results of Sec. 4.4. These are
+// constants from the paper, not model outputs.
+type Area struct {
+	TotalMGE         float64 // million gate equivalents
+	TotalMM2         float64 // silicon area at 85% density
+	ClusterPercent   float64 // share of the 4 clusters
+	L2Percent        float64 // share of the 8 MiB L2
+	InterconnPercent float64
+	L1PercentCluster float64 // L1 share within one cluster
+	PowerWatts       float64
+	ClockGHz         float64
+}
+
+// PublishedArea returns the paper's synthesis numbers.
+func PublishedArea() Area {
+	return Area{
+		TotalMGE:         100,
+		TotalMM2:         23.5,
+		ClusterPercent:   39,
+		L2Percent:        59,
+		InterconnPercent: 2,
+		L1PercentCluster: 84,
+		PowerWatts:       6,
+		ClockGHz:         1,
+	}
+}

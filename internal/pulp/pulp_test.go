@@ -1,0 +1,107 @@
+package pulp
+
+import "testing"
+
+func TestDMABandwidthShape(t *testing.T) {
+	c := DefaultConfig()
+	// Fig. 9c: ~192 Gbit/s at 256 B blocks, above line rate beyond.
+	at256 := c.DMABandwidthGbps(256)
+	if at256 < 180 || at256 > 210 {
+		t.Fatalf("DMA bandwidth at 256B = %.1f Gbit/s, want ~192", at256)
+	}
+	for _, b := range []int64{512, 1024, 4096, 131072} {
+		if bw := c.DMABandwidthGbps(b); bw < c.LineRateGbps {
+			t.Fatalf("DMA bandwidth at %dB = %.1f Gbit/s, want above line rate", b, bw)
+		}
+	}
+	// Monotone in block size.
+	last := 0.0
+	for _, b := range []int64{256, 512, 1024, 2048, 8192, 32768, 131072} {
+		bw := c.DMABandwidthGbps(b)
+		if bw <= last {
+			t.Fatalf("bandwidth not monotone at %dB", b)
+		}
+		last = bw
+	}
+	if c.DMABandwidthGbps(0) != 0 {
+		t.Fatal("zero block")
+	}
+}
+
+func TestIPCShape(t *testing.T) {
+	c := DefaultConfig()
+	// Fig. 11: medians between ~0.14 (32B) and ~0.26 (16 KiB), monotone.
+	lo := c.IPC(32)
+	hi := c.IPC(16384)
+	if lo < 0.1 || lo > 0.18 {
+		t.Fatalf("IPC(32B) = %.3f, want ~0.14", lo)
+	}
+	if hi < 0.24 || hi > 0.28 {
+		t.Fatalf("IPC(16KiB) = %.3f, want ~0.26", hi)
+	}
+	last := 0.0
+	for _, b := range []int64{32, 64, 128, 256, 1024, 4096, 16384} {
+		v := c.IPC(b)
+		if v <= last {
+			t.Fatalf("IPC not monotone at %dB", b)
+		}
+		last = v
+	}
+}
+
+func TestRWCPKernelCrossover(t *testing.T) {
+	c := DefaultConfig()
+	// Fig. 10: PULP slower than ARM below 256 B, competitive above.
+	small := c.RWCPKernel(1<<20, 32, 2048, 4)
+	if small.PulpGbps >= small.ArmGbps {
+		t.Fatalf("PULP (%.0f) should trail ARM (%.0f) at 32B blocks",
+			small.PulpGbps, small.ArmGbps)
+	}
+	big := c.RWCPKernel(1<<20, 4096, 2048, 4)
+	if big.PulpGbps < 0.8*big.ArmGbps {
+		t.Fatalf("PULP (%.0f) should be competitive with ARM (%.0f) at 4KiB blocks",
+			big.PulpGbps, big.ArmGbps)
+	}
+}
+
+func TestRWCPKernelExceedsLineRateWhenPreloaded(t *testing.T) {
+	c := DefaultConfig()
+	// Packets are preloaded in L2: large-block throughput exceeds the
+	// 200 Gbit/s line rate (Sec. 4.3.2).
+	p := c.RWCPKernel(1<<20, 16384, 2048, 4)
+	if p.PulpGbps < c.LineRateGbps {
+		t.Fatalf("preloaded PULP throughput %.0f Gbit/s, want above line rate", p.PulpGbps)
+	}
+	// And PULP reaches line rate from 256B blocks up.
+	q := c.RWCPKernel(1<<20, 256, 2048, 4)
+	if q.PulpGbps < c.LineRateGbps {
+		t.Fatalf("PULP at 256B = %.0f Gbit/s, want >= line rate", q.PulpGbps)
+	}
+}
+
+func TestRWCPKernelBalancedAssignment(t *testing.T) {
+	c := DefaultConfig()
+	// 512 packets, Δp=4 -> 128 sequences over 32 cores: 16 packets each.
+	p := c.RWCPKernel(1<<20, 2048, 2048, 4)
+	perPkt := c.PacketTimePULP(2048, 2048)
+	wantGbps := float64(1<<20) * 8 / (16 * perPkt.Seconds()) / 1e9
+	if diff := p.PulpGbps/wantGbps - 1; diff > 0.01 || diff < -0.01 {
+		t.Fatalf("throughput %.1f, want %.1f (balanced static assignment)", p.PulpGbps, wantGbps)
+	}
+}
+
+func TestCores(t *testing.T) {
+	if DefaultConfig().Cores() != 32 {
+		t.Fatalf("cores = %d", DefaultConfig().Cores())
+	}
+}
+
+func TestPublishedArea(t *testing.T) {
+	a := PublishedArea()
+	if a.TotalMM2 != 23.5 || a.TotalMGE != 100 || a.PowerWatts != 6 {
+		t.Fatalf("published constants changed: %+v", a)
+	}
+	if a.ClusterPercent+a.L2Percent+a.InterconnPercent != 100 {
+		t.Fatalf("area breakdown does not sum to 100%%: %+v", a)
+	}
+}

@@ -1,0 +1,95 @@
+package sim
+
+// Server models a serially-occupied resource (a link, a DMA channel, a
+// matching unit): requests arriving while the server is busy queue in FIFO
+// order. It is time-algebra rather than event-driven — callers ask "if work
+// of length d arrives at time t, when does it start and finish?" — which
+// keeps bandwidth modelling exact without flooding the event queue.
+type Server struct {
+	busyUntil Time
+	busyTotal Time
+	jobs      uint64
+}
+
+// Acquire books the server for a job of duration d arriving at time t.
+// It returns the time the job starts (>= t) and the time it completes.
+func (s *Server) Acquire(t, d Time) (start, end Time) {
+	if d < 0 {
+		panic("sim: negative service time")
+	}
+	start = t
+	if s.busyUntil > start {
+		start = s.busyUntil
+	}
+	end = start + d
+	s.busyUntil = end
+	s.busyTotal += d
+	s.jobs++
+	return start, end
+}
+
+// BusyUntil returns the time at which the server becomes idle.
+func (s *Server) BusyUntil() Time { return s.busyUntil }
+
+// BusyTotal returns the cumulative busy time booked on the server.
+func (s *Server) BusyTotal() Time { return s.busyTotal }
+
+// Jobs returns the number of jobs served.
+func (s *Server) Jobs() uint64 { return s.jobs }
+
+// Utilization returns busy time divided by the horizon, in [0,1] when the
+// horizon covers all bookings.
+func (s *Server) Utilization(horizon Time) float64 {
+	if horizon <= 0 {
+		return 0
+	}
+	return float64(s.busyTotal) / float64(horizon)
+}
+
+// MultiServer models k identical parallel servers with a shared FIFO queue
+// (e.g. DMA channels). A job is placed on the server that frees up first.
+type MultiServer struct {
+	busyUntil []Time
+	busyTotal Time
+	jobs      uint64
+}
+
+// NewMultiServer returns a pool of k servers. k must be positive.
+func NewMultiServer(k int) *MultiServer {
+	if k <= 0 {
+		panic("sim: MultiServer needs k >= 1")
+	}
+	return &MultiServer{busyUntil: make([]Time, k)}
+}
+
+// Acquire books a job of duration d arriving at time t on the earliest
+// available server, returning start and end times.
+func (m *MultiServer) Acquire(t, d Time) (start, end Time) {
+	if d < 0 {
+		panic("sim: negative service time")
+	}
+	best := 0
+	for i := 1; i < len(m.busyUntil); i++ {
+		if m.busyUntil[i] < m.busyUntil[best] {
+			best = i
+		}
+	}
+	start = t
+	if m.busyUntil[best] > start {
+		start = m.busyUntil[best]
+	}
+	end = start + d
+	m.busyUntil[best] = end
+	m.busyTotal += d
+	m.jobs++
+	return start, end
+}
+
+// Servers returns the pool size.
+func (m *MultiServer) Servers() int { return len(m.busyUntil) }
+
+// BusyTotal returns the cumulative busy time across all servers.
+func (m *MultiServer) BusyTotal() Time { return m.busyTotal }
+
+// Jobs returns the number of jobs served.
+func (m *MultiServer) Jobs() uint64 { return m.jobs }

@@ -1,0 +1,153 @@
+// Package sim provides the discrete-event simulation engine used by every
+// timed model in this repository (NIC, PCIe, link, LogGOPS). Time is kept in
+// integer picoseconds so event ordering is exact and reproducible.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is a simulation timestamp in picoseconds.
+type Time int64
+
+// Common duration units expressed in picoseconds.
+const (
+	Picosecond  Time = 1
+	Nanosecond  Time = 1000
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// Nanoseconds returns the time as a float64 nanosecond count.
+func (t Time) Nanoseconds() float64 { return float64(t) / float64(Nanosecond) }
+
+// Microseconds returns the time as a float64 microsecond count.
+func (t Time) Microseconds() float64 { return float64(t) / float64(Microsecond) }
+
+// Milliseconds returns the time as a float64 millisecond count.
+func (t Time) Milliseconds() float64 { return float64(t) / float64(Millisecond) }
+
+// Seconds returns the time as a float64 second count.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+func (t Time) String() string {
+	switch {
+	case t >= Second:
+		return fmt.Sprintf("%.3fs", t.Seconds())
+	case t >= Millisecond:
+		return fmt.Sprintf("%.3fms", t.Milliseconds())
+	case t >= Microsecond:
+		return fmt.Sprintf("%.3fus", t.Microseconds())
+	case t >= Nanosecond:
+		return fmt.Sprintf("%.3fns", t.Nanoseconds())
+	default:
+		return fmt.Sprintf("%dps", int64(t))
+	}
+}
+
+// FromSeconds converts a float64 second count to a Time, rounding to the
+// nearest picosecond.
+func FromSeconds(s float64) Time { return Time(math.Round(s * 1e12)) }
+
+// FromNanoseconds converts a float64 nanosecond count to a Time.
+func FromNanoseconds(ns float64) Time { return Time(math.Round(ns * 1e3)) }
+
+// event is a scheduled callback. Events with equal timestamps fire in
+// insertion order (seq breaks ties), which keeps simulations deterministic.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}
+
+// Engine is a single-threaded discrete-event simulator. The zero value is
+// ready to use.
+type Engine struct {
+	now     Time
+	queue   eventQueue
+	nextSeq uint64
+	fired   uint64
+}
+
+// New returns a fresh simulation engine at time zero.
+func New() *Engine { return &Engine{} }
+
+// Now returns the current simulation time.
+func (e *Engine) Now() Time { return e.now }
+
+// Fired returns the number of events executed so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending returns the number of events still queued.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// At schedules fn to run at absolute time t. Scheduling in the past panics:
+// it always indicates a model bug and silently reordering time would corrupt
+// every downstream statistic.
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	ev := &event{at: t, seq: e.nextSeq, fn: fn}
+	e.nextSeq++
+	heap.Push(&e.queue, ev)
+}
+
+// After schedules fn to run delay picoseconds from now.
+func (e *Engine) After(delay Time, fn func()) {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", delay))
+	}
+	e.At(e.now+delay, fn)
+}
+
+// Run executes events until the queue is empty and returns the final time.
+func (e *Engine) Run() Time {
+	for len(e.queue) > 0 {
+		e.step()
+	}
+	return e.now
+}
+
+// RunUntil executes events with timestamps <= deadline. Events scheduled
+// beyond the deadline remain queued; the clock is left at the deadline or at
+// the last fired event, whichever is later.
+func (e *Engine) RunUntil(deadline Time) Time {
+	for len(e.queue) > 0 && e.queue[0].at <= deadline {
+		e.step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+	return e.now
+}
+
+func (e *Engine) step() {
+	ev := heap.Pop(&e.queue).(*event)
+	e.now = ev.at
+	e.fired++
+	ev.fn()
+}

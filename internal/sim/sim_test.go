@@ -1,0 +1,224 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestTimeUnits(t *testing.T) {
+	if Second != 1e12*Picosecond {
+		t.Fatalf("Second = %d ps", int64(Second))
+	}
+	if got := (2500 * Nanosecond).Microseconds(); got != 2.5 {
+		t.Fatalf("2500ns = %vus, want 2.5", got)
+	}
+	if got := FromSeconds(1.5); got != 1500*Millisecond {
+		t.Fatalf("FromSeconds(1.5) = %v", got)
+	}
+	if got := FromNanoseconds(81.92); got != Time(81920) {
+		t.Fatalf("FromNanoseconds(81.92) = %d ps", int64(got))
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		in   Time
+		want string
+	}{
+		{500 * Picosecond, "500ps"},
+		{1500 * Nanosecond, "1.500us"},
+		{3 * Millisecond, "3.000ms"},
+		{2 * Second, "2.000s"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("%d ps -> %q, want %q", int64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestEngineOrdering(t *testing.T) {
+	e := New()
+	var order []int
+	e.After(30, func() { order = append(order, 3) })
+	e.After(10, func() { order = append(order, 1) })
+	e.After(20, func() { order = append(order, 2) })
+	end := e.Run()
+	if end != 30 {
+		t.Fatalf("end = %v, want 30ps", int64(end))
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestEngineFIFOTieBreak(t *testing.T) {
+	e := New()
+	var order []int
+	for i := 0; i < 100; i++ {
+		i := i
+		e.At(42, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("tie-broken order[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := New()
+	hits := 0
+	var chain func()
+	chain = func() {
+		hits++
+		if hits < 5 {
+			e.After(7, chain)
+		}
+	}
+	e.After(7, chain)
+	end := e.Run()
+	if hits != 5 {
+		t.Fatalf("hits = %d", hits)
+	}
+	if end != 35 {
+		t.Fatalf("end = %d", int64(end))
+	}
+	if e.Fired() != 5 {
+		t.Fatalf("fired = %d", e.Fired())
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := New()
+	ran := 0
+	e.At(10, func() { ran++ })
+	e.At(20, func() { ran++ })
+	e.At(30, func() { ran++ })
+	e.RunUntil(20)
+	if ran != 2 {
+		t.Fatalf("ran = %d, want 2", ran)
+	}
+	if e.Now() != 20 {
+		t.Fatalf("now = %v", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d", e.Pending())
+	}
+	e.Run()
+	if ran != 3 {
+		t.Fatalf("ran = %d, want 3", ran)
+	}
+}
+
+func TestEnginePastSchedulingPanics(t *testing.T) {
+	e := New()
+	e.At(100, func() {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	e.At(50, func() {})
+}
+
+func TestEngineNegativeDelayPanics(t *testing.T) {
+	e := New()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative delay did not panic")
+		}
+	}()
+	e.After(-1, func() {})
+}
+
+func TestEngineMonotoneClock(t *testing.T) {
+	e := New()
+	rng := rand.New(rand.NewSource(1))
+	last := Time(-1)
+	var spawn func()
+	count := 0
+	spawn = func() {
+		if e.Now() < last {
+			t.Fatalf("clock went backwards: %v after %v", e.Now(), last)
+		}
+		last = e.Now()
+		count++
+		if count < 2000 {
+			e.After(Time(rng.Intn(100)), spawn)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		e.After(Time(rng.Intn(1000)), spawn)
+	}
+	e.Run()
+}
+
+func TestServerSerializes(t *testing.T) {
+	var s Server
+	st, en := s.Acquire(0, 100)
+	if st != 0 || en != 100 {
+		t.Fatalf("first job [%d,%d]", int64(st), int64(en))
+	}
+	st, en = s.Acquire(10, 50) // arrives while busy: queued
+	if st != 100 || en != 150 {
+		t.Fatalf("second job [%d,%d], want [100,150]", int64(st), int64(en))
+	}
+	st, en = s.Acquire(1000, 5) // arrives idle
+	if st != 1000 || en != 1005 {
+		t.Fatalf("third job [%d,%d]", int64(st), int64(en))
+	}
+	if s.Jobs() != 3 || s.BusyTotal() != 155 {
+		t.Fatalf("jobs=%d busy=%d", s.Jobs(), int64(s.BusyTotal()))
+	}
+}
+
+func TestServerUtilization(t *testing.T) {
+	var s Server
+	s.Acquire(0, 250)
+	s.Acquire(0, 250)
+	if u := s.Utilization(1000); u != 0.5 {
+		t.Fatalf("utilization = %v", u)
+	}
+	if u := s.Utilization(0); u != 0 {
+		t.Fatalf("zero-horizon utilization = %v", u)
+	}
+}
+
+func TestMultiServerParallelism(t *testing.T) {
+	m := NewMultiServer(2)
+	_, e1 := m.Acquire(0, 100)
+	_, e2 := m.Acquire(0, 100)
+	if e1 != 100 || e2 != 100 {
+		t.Fatalf("two servers should run in parallel: %d %d", int64(e1), int64(e2))
+	}
+	st, en := m.Acquire(0, 100) // third job queues behind the earliest
+	if st != 100 || en != 200 {
+		t.Fatalf("third job [%d,%d]", int64(st), int64(en))
+	}
+	if m.Servers() != 2 || m.Jobs() != 3 || m.BusyTotal() != 300 {
+		t.Fatalf("servers=%d jobs=%d busy=%d", m.Servers(), m.Jobs(), int64(m.BusyTotal()))
+	}
+}
+
+func TestMultiServerPicksEarliest(t *testing.T) {
+	m := NewMultiServer(3)
+	m.Acquire(0, 300)
+	m.Acquire(0, 100)
+	m.Acquire(0, 200)
+	st, _ := m.Acquire(0, 10)
+	if st != 100 {
+		t.Fatalf("start = %d, want 100 (earliest-free server)", int64(st))
+	}
+}
+
+func TestMultiServerInvalidSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewMultiServer(0) did not panic")
+		}
+	}()
+	NewMultiServer(0)
+}

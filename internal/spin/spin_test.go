@@ -1,0 +1,54 @@
+package spin
+
+import (
+	"testing"
+
+	"spinddt/internal/sim"
+)
+
+func TestDefaultPolicy(t *testing.T) {
+	var p Policy
+	if !p.Default() {
+		t.Fatal("zero policy must be default")
+	}
+	for pkt := 0; pkt < 10; pkt++ {
+		if p.SequenceOf(pkt) != -1 {
+			t.Fatal("default policy must not pin packets")
+		}
+	}
+}
+
+func TestBlockedRRHPULocal(t *testing.T) {
+	// HPU-local: Δp=1, vHPUs = P -> packet i on vHPU i mod P.
+	p := Policy{DeltaP: 1, VHPUs: 4}
+	want := []int{0, 1, 2, 3, 0, 1, 2, 3}
+	for pkt, w := range want {
+		if got := p.SequenceOf(pkt); got != w {
+			t.Fatalf("pkt %d -> vHPU %d, want %d", pkt, got, w)
+		}
+	}
+}
+
+func TestBlockedRRSequences(t *testing.T) {
+	// RW-CP: Δp=4, one vHPU per sequence.
+	p := Policy{DeltaP: 4}
+	for pkt := 0; pkt < 16; pkt++ {
+		if got, want := p.SequenceOf(pkt), pkt/4; got != want {
+			t.Fatalf("pkt %d -> vHPU %d, want %d", pkt, got, want)
+		}
+	}
+}
+
+func TestBreakdown(t *testing.T) {
+	b := Breakdown{Init: 10, Setup: 20, Processing: 30}
+	if b.Total() != 60 {
+		t.Fatalf("total = %v", b.Total())
+	}
+	b.Add(Breakdown{Init: 1, Setup: 2, Processing: 3})
+	if b.Init != 11 || b.Setup != 22 || b.Processing != 33 {
+		t.Fatalf("sum = %+v", b)
+	}
+	if b.Total() != 66*sim.Picosecond {
+		t.Fatalf("total = %v", b.Total())
+	}
+}

@@ -1,0 +1,154 @@
+// Package stats provides the small statistical helpers used by the
+// experiment harness: geometric means, histograms with log-scaled buckets,
+// medians and percentiles.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// GeoMean returns the geometric mean of xs. All values must be positive;
+// non-positive values are skipped (matching how the paper aggregates data
+// volumes, which are strictly positive). It returns 0 for an empty input.
+func GeoMean(xs []float64) float64 {
+	sum := 0.0
+	n := 0
+	for _, x := range xs {
+		if x <= 0 {
+			continue
+		}
+		sum += math.Log(x)
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(sum / float64(n))
+}
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Median returns the median of xs, or 0 for an empty input.
+func Median(xs []float64) float64 { return Percentile(xs, 50) }
+
+// Percentile returns the p-th percentile (0..100) of xs using linear
+// interpolation between closest ranks. Returns 0 for an empty input.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// FractionBelow returns the fraction of xs strictly less than bound.
+func FractionBelow(xs []float64, bound float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	n := 0
+	for _, x := range xs {
+		if x < bound {
+			n++
+		}
+	}
+	return float64(n) / float64(len(xs))
+}
+
+// Histogram is a set of counted buckets over float64 samples.
+type Histogram struct {
+	// Edges holds len(Counts)+1 bucket boundaries; bucket i covers
+	// [Edges[i], Edges[i+1]).
+	Edges  []float64
+	Counts []int
+	// Samples retains the raw values so callers can compute summary
+	// statistics after binning.
+	Samples []float64
+}
+
+// NewLogHistogram builds a histogram with log2-spaced bucket edges covering
+// [lo, hi]. lo and hi must be positive with lo < hi.
+func NewLogHistogram(lo, hi float64, buckets int) *Histogram {
+	if lo <= 0 || hi <= lo || buckets <= 0 {
+		panic("stats: invalid log histogram parameters")
+	}
+	edges := make([]float64, buckets+1)
+	ratio := math.Pow(hi/lo, 1/float64(buckets))
+	edges[0] = lo
+	for i := 1; i <= buckets; i++ {
+		edges[i] = edges[i-1] * ratio
+	}
+	edges[buckets] = hi
+	return &Histogram{Edges: edges, Counts: make([]int, buckets)}
+}
+
+// Add records a sample. Samples outside the edge range clamp to the first or
+// last bucket so totals are preserved.
+func (h *Histogram) Add(x float64) {
+	h.Samples = append(h.Samples, x)
+	idx := sort.SearchFloat64s(h.Edges, x)
+	// SearchFloat64s returns the first edge >= x; bucket index is one less.
+	if idx > 0 {
+		idx--
+	}
+	if idx >= len(h.Counts) {
+		idx = len(h.Counts) - 1
+	}
+	h.Counts[idx]++
+}
+
+// Total returns the number of recorded samples.
+func (h *Histogram) Total() int { return len(h.Samples) }
+
+// String renders the histogram as an ASCII bar chart.
+func (h *Histogram) String() string {
+	var b strings.Builder
+	max := 0
+	for _, c := range h.Counts {
+		if c > max {
+			max = c
+		}
+	}
+	for i, c := range h.Counts {
+		bar := ""
+		if max > 0 {
+			bar = strings.Repeat("#", c*40/maxInt(max, 1))
+		}
+		fmt.Fprintf(&b, "[%10.3g, %10.3g) %4d %s\n", h.Edges[i], h.Edges[i+1], c, bar)
+	}
+	return b.String()
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,120 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestGeoMean(t *testing.T) {
+	if g := GeoMean([]float64{2, 8}); !almostEqual(g, 4, 1e-12) {
+		t.Fatalf("GeoMean(2,8) = %v", g)
+	}
+	if g := GeoMean([]float64{1, 10, 100}); !almostEqual(g, 10, 1e-9) {
+		t.Fatalf("GeoMean(1,10,100) = %v", g)
+	}
+	if g := GeoMean(nil); g != 0 {
+		t.Fatalf("GeoMean(nil) = %v", g)
+	}
+	if g := GeoMean([]float64{-3, 0, 5}); !almostEqual(g, 5, 1e-12) {
+		t.Fatalf("GeoMean skipping non-positives = %v", g)
+	}
+}
+
+func TestGeoMeanScaleInvariance(t *testing.T) {
+	f := func(a, b, c uint8) bool {
+		xs := []float64{float64(a) + 1, float64(b) + 1, float64(c) + 1}
+		scaled := []float64{xs[0] * 7, xs[1] * 7, xs[2] * 7}
+		return almostEqual(GeoMean(scaled), 7*GeoMean(xs), 1e-6)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeanMedian(t *testing.T) {
+	if m := Mean([]float64{1, 2, 3, 4}); m != 2.5 {
+		t.Fatalf("Mean = %v", m)
+	}
+	if m := Mean(nil); m != 0 {
+		t.Fatalf("Mean(nil) = %v", m)
+	}
+	if m := Median([]float64{5, 1, 3}); m != 3 {
+		t.Fatalf("Median odd = %v", m)
+	}
+	if m := Median([]float64{1, 2, 3, 4}); m != 2.5 {
+		t.Fatalf("Median even = %v", m)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{10, 20, 30, 40, 50}
+	cases := []struct{ p, want float64 }{
+		{0, 10}, {100, 50}, {50, 30}, {25, 20}, {75, 40},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("P%v = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if got := Percentile(nil, 50); got != 0 {
+		t.Fatalf("Percentile(nil) = %v", got)
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Percentile(xs, 50)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatalf("input mutated: %v", xs)
+	}
+}
+
+func TestFractionBelow(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if f := FractionBelow(xs, 3); f != 0.5 {
+		t.Fatalf("FractionBelow = %v", f)
+	}
+	if f := FractionBelow(nil, 3); f != 0 {
+		t.Fatalf("FractionBelow(nil) = %v", f)
+	}
+}
+
+func TestLogHistogram(t *testing.T) {
+	h := NewLogHistogram(1, 1024, 10) // decade per bucket in log2: edges 1,2,4,...
+	h.Add(1)
+	h.Add(3)
+	h.Add(1000)
+	h.Add(5000) // clamps into last bucket
+	h.Add(0.1)  // clamps into first bucket
+	if h.Total() != 5 {
+		t.Fatalf("total = %d", h.Total())
+	}
+	sum := 0
+	for _, c := range h.Counts {
+		sum += c
+	}
+	if sum != 5 {
+		t.Fatalf("bucket sum = %d, want 5 (clamping must preserve totals)", sum)
+	}
+	if h.Counts[0] < 2 {
+		t.Fatalf("first bucket = %d, want >=2 (1 and clamped 0.1)", h.Counts[0])
+	}
+	if h.Counts[len(h.Counts)-1] < 2 {
+		t.Fatalf("last bucket = %d, want >=2 (1000 and clamped 5000)", h.Counts[len(h.Counts)-1])
+	}
+	if h.String() == "" {
+		t.Fatal("empty histogram rendering")
+	}
+}
+
+func TestLogHistogramInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid histogram params did not panic")
+		}
+	}()
+	NewLogHistogram(0, 10, 4)
+}

@@ -1,0 +1,208 @@
+// Package spinddt is a simulation-backed reproduction of "Network-
+// Accelerated Non-Contiguous Memory Transfers" (Di Girolamo et al., SC'19):
+// NIC-offloaded processing of MPI derived datatypes on sPIN-capable network
+// cards.
+//
+// The public API exposes three layers:
+//
+//   - Datatypes: the MPI derived-datatype constructors (Vector, Indexed,
+//     Struct, Subarray, ...), their typemap algebra and reference
+//     Pack/Unpack.
+//   - Strategies: the paper's datatype-processing implementations —
+//     Specialized handlers, the general RW-CP / RO-CP / HPU-local MPITypes
+//     strategies, the host-unpack and Portals-4 iovec baselines, plus the
+//     sender-side pack+send / streaming-puts / outbound-sPIN paths.
+//   - Experiments: Run simulates one message end to end on the modeled
+//     200 Gbit/s sPIN NIC and byte-verifies the receive buffer against the
+//     reference unpack.
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-vs-measured results of every figure.
+package spinddt
+
+import (
+	"spinddt/internal/core"
+	"spinddt/internal/ddt"
+	"spinddt/internal/hostcpu"
+	"spinddt/internal/nic"
+)
+
+// Datatype is an MPI derived datatype. Build one with the constructors
+// below, commit it, and pass it to Run.
+type Datatype = ddt.Type
+
+// Predefined elementary datatypes.
+var (
+	Char   = ddt.Char
+	Byte   = ddt.Byte
+	Short  = ddt.Short
+	Int    = ddt.Int
+	Long   = ddt.Long
+	Float  = ddt.Float
+	Double = ddt.Double
+)
+
+// Elementary returns a basic datatype of the given byte size.
+func Elementary(name string, size int64) *Datatype { return ddt.Elementary(name, size) }
+
+// Contiguous returns count consecutive elements of base
+// (MPI_Type_contiguous).
+func Contiguous(count int, base *Datatype) (*Datatype, error) {
+	return ddt.NewContiguous(count, base)
+}
+
+// Vector returns count blocks of blockLen base elements strided by stride
+// base extents (MPI_Type_vector).
+func Vector(count, blockLen, stride int, base *Datatype) (*Datatype, error) {
+	return ddt.NewVector(count, blockLen, stride, base)
+}
+
+// HVector is Vector with a byte stride (MPI_Type_create_hvector).
+func HVector(count, blockLen int, strideBytes int64, base *Datatype) (*Datatype, error) {
+	return ddt.NewHVector(count, blockLen, strideBytes, base)
+}
+
+// Indexed returns blocks of blockLens[i] elements at displs[i] base extents
+// (MPI_Type_indexed).
+func Indexed(blockLens, displs []int, base *Datatype) (*Datatype, error) {
+	return ddt.NewIndexed(blockLens, displs, base)
+}
+
+// IndexedBlock returns fixed-length blocks at the given displacements
+// (MPI_Type_create_indexed_block).
+func IndexedBlock(blockLen int, displs []int, base *Datatype) (*Datatype, error) {
+	return ddt.NewIndexedBlock(blockLen, displs, base)
+}
+
+// Struct returns a heterogeneous datatype (MPI_Type_create_struct).
+func Struct(blockLens []int, displs []int64, types []*Datatype) (*Datatype, error) {
+	return ddt.NewStruct(blockLens, displs, types)
+}
+
+// Subarray returns an n-dimensional subarray in row-major order
+// (MPI_Type_create_subarray).
+func Subarray(sizes, subSizes, starts []int, base *Datatype) (*Datatype, error) {
+	return ddt.NewSubarray(sizes, subSizes, starts, base)
+}
+
+// Resized overrides a type's lower bound and extent
+// (MPI_Type_create_resized).
+func Resized(base *Datatype, lb, extent int64) (*Datatype, error) {
+	return ddt.NewResized(base, lb, extent)
+}
+
+// Normalize rewrites a datatype into an equivalent simpler form, making
+// more types eligible for the O(1)-state specialized handler.
+func Normalize(t *Datatype) *Datatype { return ddt.Normalize(t) }
+
+// Pack gathers count elements of the type from src into a new buffer.
+func Pack(t *Datatype, count int, src []byte) ([]byte, error) { return ddt.Pack(t, count, src) }
+
+// Unpack scatters a packed stream into dst; the reference semantics every
+// offloaded strategy reproduces byte-for-byte.
+func Unpack(t *Datatype, count int, packed, dst []byte) error {
+	return ddt.Unpack(t, count, packed, dst)
+}
+
+// Strategy selects a receive-side datatype-processing implementation.
+type Strategy = core.Strategy
+
+// The receive-side strategies of the paper.
+const (
+	// Specialized uses datatype-specific handlers (vector arithmetic or
+	// offset lists with binary search).
+	Specialized = core.Specialized
+	// RWCP uses progressing checkpoints with blocked round-robin
+	// scheduling — the paper's best general strategy.
+	RWCP = core.RWCP
+	// ROCP clones read-only checkpoint snapshots per packet.
+	ROCP = core.ROCP
+	// HPULocal replicates the MPITypes segment per virtual HPU.
+	HPULocal = core.HPULocal
+	// HostUnpack is the baseline: RDMA to a staging buffer, CPU unpack.
+	HostUnpack = core.HostUnpack
+	// PortalsIovec is the Portals 4 scatter-list baseline.
+	PortalsIovec = core.PortalsIovec
+)
+
+// OffloadStrategies lists the sPIN-based strategies.
+var OffloadStrategies = core.OffloadStrategies
+
+// AllStrategies lists every strategy including the baselines.
+var AllStrategies = core.AllStrategies
+
+// Request describes one unpack experiment; Result reports it.
+type (
+	Request = core.Request
+	Result  = core.Result
+)
+
+// NICConfig configures the simulated NIC; CostModel the HPU handler costs;
+// HostConfig the host CPU baseline.
+type (
+	NICConfig  = nic.Config
+	CostModel  = core.CostModel
+	HostConfig = hostcpu.Config
+)
+
+// DefaultNICConfig returns the paper's NIC: 16 HPUs, 200 Gbit/s, 2 KiB
+// packets, PCIe Gen4 x32, 4 MiB NIC memory.
+func DefaultNICConfig() NICConfig { return nic.DefaultConfig() }
+
+// DefaultCostModel returns the calibrated handler cost constants.
+func DefaultCostModel() CostModel { return core.DefaultCostModel() }
+
+// DefaultHostConfig returns the i7-4770-like host profile.
+func DefaultHostConfig() HostConfig { return hostcpu.DefaultConfig() }
+
+// NewRequest returns a Request with the paper's default configuration.
+func NewRequest(s Strategy, typ *Datatype, count int) Request {
+	return core.NewRequest(s, typ, count)
+}
+
+// Run simulates one message receive end to end: it synthesizes the packed
+// stream, builds the strategy state (handlers, checkpoints, offset lists),
+// replays the packet arrivals through the NIC model, and verifies the
+// receive buffer byte-for-byte against the reference Unpack.
+func Run(req Request) (Result, error) { return core.Run(req) }
+
+// SendStrategy selects a sender-side implementation.
+type SendStrategy = core.SendStrategy
+
+// The sender-side strategies of the paper's Fig. 4.
+const (
+	PackSend      = core.PackSend
+	StreamingPuts = core.StreamingPuts
+	OutboundSpin  = core.OutboundSpin
+)
+
+// SendRequest describes a sender-side experiment; SendResult reports it.
+type (
+	SendRequest = core.SendRequest
+	SendResult  = nic.SendResult
+)
+
+// NewSendRequest returns a SendRequest with default configuration.
+func NewSendRequest(s SendStrategy, typ *Datatype, count int) SendRequest {
+	return core.NewSendRequest(s, typ, count)
+}
+
+// RunSend simulates sending count elements of the datatype.
+func RunSend(req SendRequest) (SendResult, error) { return core.RunSend(req) }
+
+// TransferRequest describes a coupled end-to-end transfer: a sender-side
+// gather strategy feeding a receiver-side scatter strategy, possibly with
+// different layouts on the two sides (an on-the-fly transform).
+type (
+	TransferRequest = core.TransferRequest
+	TransferResult  = core.TransferResult
+)
+
+// NewTransferRequest returns a TransferRequest with default configuration.
+func NewTransferRequest(send SendStrategy, recv Strategy, typ *Datatype, count int) TransferRequest {
+	return core.NewTransferRequest(send, recv, typ, count)
+}
+
+// RunTransfer simulates the whole path — gather, wire, scatter — and
+// byte-verifies the receive buffer against the reference pipeline.
+func RunTransfer(req TransferRequest) (TransferResult, error) { return core.RunTransfer(req) }
