@@ -1,0 +1,3 @@
+module spinddt
+
+go 1.24

@@ -3,7 +3,6 @@ package core
 import (
 	"bytes"
 	"fmt"
-	"math/rand"
 
 	"spinddt/internal/ddt"
 	"spinddt/internal/hostcpu"
@@ -118,10 +117,11 @@ func Run(req Request) (Result, error) {
 		return Result{}, fmt.Errorf("core: receive datatype has negative lower bound %d", lo)
 	}
 
-	rng := rand.New(rand.NewSource(req.Seed))
-	packed := make([]byte, msgSize)
-	rng.Read(packed)
-	dst := make([]byte, hi)
+	// The scratch buffers come from a pool and go back on success; error
+	// paths simply drop them to the GC.
+	packed := getBuf(msgSize)
+	fillPayload(req.Seed, packed)
+	dst := getZeroBuf(hi)
 
 	res := Result{
 		Strategy: req.Strategy,
@@ -133,7 +133,7 @@ func Run(req Request) (Result, error) {
 	case HostUnpack:
 		// RDMA the packed stream to a staging buffer, then unpack on the
 		// CPU with cold caches.
-		staging := make([]byte, msgSize)
+		staging := getBuf(msgSize)
 		pt := singleMatchPT(&portals.ME{Match: 1, Region: portals.HostRegion{Length: msgSize}})
 		nicRes, err := nic.Receive(req.NIC, pt, 1, packed, staging, req.Order)
 		if err != nil {
@@ -143,6 +143,7 @@ func Run(req Request) (Result, error) {
 		if err := ddt.Unpack(typ, req.Count, staging, dst); err != nil {
 			return Result{}, err
 		}
+		putBuf(staging)
 		res.NIC = nicRes
 		res.RecvTime = nicRes.ProcTime
 		res.UnpackCPU = cost.Time
@@ -150,7 +151,7 @@ func Run(req Request) (Result, error) {
 		res.TrafficBytes = msgSize + cost.TrafficBytes
 
 	case PortalsIovec:
-		var regions []nic.IovecRegion
+		regions := make([]nic.IovecRegion, 0, typ.TotalBlocks(req.Count))
 		typ.ForEachBlock(req.Count, func(off, size int64) {
 			regions = append(regions, nic.IovecRegion{HostOff: off, Size: size})
 		})
@@ -200,16 +201,81 @@ func Run(req Request) (Result, error) {
 	}
 
 	if req.Verify {
-		want := make([]byte, hi)
-		if err := ddt.Unpack(typ, req.Count, packed, want); err != nil {
-			return Result{}, err
-		}
-		if !bytes.Equal(dst, want) {
-			return Result{}, fmt.Errorf("core: %v receive buffer differs from reference unpack", req.Strategy)
+		if err := verifyReference(typ, req.Count, packed, dst, hi); err != nil {
+			return Result{}, fmt.Errorf("core: %v %w", req.Strategy, err)
 		}
 		res.Verified = true
 	}
+	putBuf(packed)
+	putBuf(dst)
 	return res, nil
+}
+
+// verifyReference checks the receive buffer byte-for-byte against the
+// reference unpack of the packed stream: a zeroed buffer with the stream
+// scattered through the datatype's compiled block program.
+//
+// For monotone, non-overlapping typemaps (every valid receive datatype) the
+// comparison runs in place: each region must equal its slice of the packed
+// stream and every gap between regions must still be zero — exactly the
+// bytes a reference ddt.Unpack into a zeroed buffer would produce, without
+// materializing that buffer. Non-monotone typemaps fall back to the
+// materialized reference.
+func verifyReference(typ *ddt.Type, count int, packed, dst []byte, hi int64) error {
+	monotone := true
+	mismatch := false
+	var pos, cursor int64 // stream position; end of the previous region
+	typ.ForEachBlock(count, func(off, size int64) {
+		if !monotone {
+			return
+		}
+		if off < cursor || off+size > hi {
+			monotone = false
+			return
+		}
+		// A mismatch stays tentative until the whole walk proves the
+		// typemap monotone: with interleaved elements a "gap" legitimately
+		// holds data from a later region, and only the fallback can judge.
+		if !mismatch {
+			if !allZero(dst[cursor:off]) ||
+				!bytes.Equal(dst[off:off+size], packed[pos:pos+size]) {
+				mismatch = true
+			} else {
+				pos += size
+			}
+		}
+		cursor = off + size
+	})
+	if monotone {
+		if mismatch || !allZero(dst[cursor:hi]) {
+			return fmt.Errorf("receive buffer differs from reference unpack")
+		}
+		return nil
+	}
+
+	want := getZeroBuf(hi)
+	if err := ddt.Unpack(typ, count, packed, want); err != nil {
+		return err
+	}
+	if !bytes.Equal(dst, want) {
+		return fmt.Errorf("receive buffer differs from reference unpack")
+	}
+	putBuf(want)
+	return nil
+}
+
+// zeros backs the vectorized gap checks of verifyReference.
+var zeros [64 << 10]byte
+
+// allZero reports whether every byte of b is zero.
+func allZero(b []byte) bool {
+	for len(b) > len(zeros) {
+		if !bytes.Equal(b[:len(zeros)], zeros[:]) {
+			return false
+		}
+		b = b[len(zeros):]
+	}
+	return bytes.Equal(b, zeros[:len(b)])
 }
 
 func singleMatchPT(me *portals.ME) *portals.PT {

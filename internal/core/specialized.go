@@ -63,7 +63,14 @@ type listState struct {
 }
 
 func buildListState(cost CostModel, typ *ddt.Type, count int) *listState {
-	ls := &listState{cost: cost, msgSize: typ.Size() * int64(count)}
+	n := typ.TotalBlocks(count)
+	ls := &listState{
+		cost:        cost,
+		msgSize:     typ.Size() * int64(count),
+		memOff:      make([]int64, 0, n),
+		size:        make([]int64, 0, n),
+		streamStart: make([]int64, 0, n),
+	}
 	var pos int64
 	typ.ForEachBlock(count, func(off, size int64) {
 		ls.memOff = append(ls.memOff, off)

@@ -1,9 +1,7 @@
 package core
 
 import (
-	"bytes"
 	"fmt"
-	"math/rand"
 
 	"spinddt/internal/ddt"
 	"spinddt/internal/fabric"
@@ -94,13 +92,13 @@ func RunTransfer(req TransferRequest) (TransferResult, error) {
 	if sLo < 0 {
 		return TransferResult{}, fmt.Errorf("core: send datatype has negative lower bound %d", sLo)
 	}
-	rng := rand.New(rand.NewSource(req.Seed))
-	src := make([]byte, sHi)
-	rng.Read(src)
-	packed, err := ddt.Pack(sendTyp, req.Count, src)
-	if err != nil {
+	src := getBuf(sHi)
+	fillPayload(req.Seed, src)
+	packed := getBuf(msg)
+	if _, err := ddt.PackInto(sendTyp, req.Count, src, packed); err != nil {
 		return TransferResult{}, err
 	}
+	putBuf(src)
 
 	// Sender timing.
 	sendRes, err := RunSend(SendRequest{
@@ -130,12 +128,12 @@ func RunTransfer(req TransferRequest) (TransferResult, error) {
 
 	// Receiver.
 	_, rHi := recvTyp.Footprint(req.Count)
-	dst := make([]byte, rHi)
+	dst := getZeroBuf(rHi)
 	res := TransferResult{Sender: sendRes}
 
 	switch req.Recv {
 	case HostUnpack:
-		staging := make([]byte, msg)
+		staging := getBuf(msg)
 		pt := singleMatchPT(&portals.ME{Match: 1, Region: portals.HostRegion{Length: msg}})
 		nicRes, err := nic.ReceiveArrivals(req.NIC, pt, 1, packed, staging, arrivals)
 		if err != nil {
@@ -145,6 +143,7 @@ func RunTransfer(req TransferRequest) (TransferResult, error) {
 		if err := ddt.Unpack(recvTyp, req.Count, staging, dst); err != nil {
 			return TransferResult{}, err
 		}
+		putBuf(staging)
 		res.Receiver = nicRes
 		res.Total = nicRes.Done + cost.Time
 
@@ -169,15 +168,12 @@ func RunTransfer(req TransferRequest) (TransferResult, error) {
 	}
 
 	if req.Verify {
-		want := make([]byte, rHi)
-		if err := ddt.Unpack(recvTyp, req.Count, packed, want); err != nil {
-			return TransferResult{}, err
-		}
-		if !bytes.Equal(dst, want) {
-			return TransferResult{}, fmt.Errorf("core: transfer %v->%v corrupted the receive buffer",
-				req.Send, req.Recv)
+		if err := verifyReference(recvTyp, req.Count, packed, dst, rHi); err != nil {
+			return TransferResult{}, fmt.Errorf("core: transfer %v->%v: %w", req.Send, req.Recv, err)
 		}
 		res.Verified = true
 	}
+	putBuf(packed)
+	putBuf(dst)
 	return res, nil
 }

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"spinddt/internal/ddt"
+)
+
+// TestVerifyReferenceCatchesCorruption exercises the in-place verifier
+// directly: both a corrupted typemap region and a stray byte in a gap
+// between regions must fail, exactly as the materialized reference compare
+// would.
+func TestVerifyReferenceCatchesCorruption(t *testing.T) {
+	typ := ddt.MustVector(8, 2, 4, ddt.Int).Commit()
+	count := 2
+	_, hi := typ.Footprint(count)
+	msg := typ.Size() * int64(count)
+
+	packed := make([]byte, msg)
+	fillPayload(7, packed)
+	good := make([]byte, hi)
+	if err := ddt.Unpack(typ, count, packed, good); err != nil {
+		t.Fatal(err)
+	}
+	if err := verifyReference(typ, count, packed, good, hi); err != nil {
+		t.Fatalf("clean buffer rejected: %v", err)
+	}
+
+	// Flip one byte inside the first region.
+	region := append([]byte(nil), good...)
+	region[0] ^= 0xff
+	if err := verifyReference(typ, count, packed, region, hi); err == nil {
+		t.Fatal("corrupted region accepted")
+	}
+
+	// Scribble into the hole between block 0 ([0,8)) and block 1 ([16,24)).
+	gap := append([]byte(nil), good...)
+	gap[10] = 0x5a
+	if err := verifyReference(typ, count, packed, gap, hi); err == nil {
+		t.Fatal("corrupted gap accepted")
+	}
+}
+
+// TestVerifyReferenceInterleavedElements covers the fallback path: a
+// resized type whose elements interleave (element 2's first region sits in
+// the "gap" between element 1's regions) is non-monotone in typemap order,
+// so the in-place walk must defer to the materialized reference instead of
+// misreading legitimately-written gaps as corruption.
+func TestVerifyReferenceInterleavedElements(t *testing.T) {
+	typ := ddt.MustResized(ddt.MustVector(2, 1, 2, ddt.Int), 0, 4).Commit()
+	count := 2
+	_, hi := typ.Footprint(count) // regions: 0, 8 | 4, 12 — interleaved
+	msg := typ.Size() * int64(count)
+
+	packed := make([]byte, msg)
+	fillPayload(3, packed)
+	dst := make([]byte, hi)
+	if err := ddt.Unpack(typ, count, packed, dst); err != nil {
+		t.Fatal(err)
+	}
+	if err := verifyReference(typ, count, packed, dst, hi); err != nil {
+		t.Fatalf("clean interleaved buffer rejected: %v", err)
+	}
+	dst[5] ^= 0xff
+	if err := verifyReference(typ, count, packed, dst, hi); err == nil {
+		t.Fatal("corrupted interleaved buffer accepted")
+	}
+}
+
+// TestRunDeterministicWithPooledBuffers re-runs the same request through the
+// recycled scratch buffers: results must be bit-identical and verified, and
+// interleaving a different message size must not poison the pool.
+func TestRunDeterministicWithPooledBuffers(t *testing.T) {
+	big := ddt.MustVector(512, 16, 32, ddt.Int)
+	small := ddt.MustVector(16, 4, 8, ddt.Int)
+
+	first, err := Run(NewRequest(RWCP, big, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(NewRequest(Specialized, small, 3)); err != nil {
+		t.Fatal(err)
+	}
+	second, err := Run(NewRequest(RWCP, big, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !first.Verified || !second.Verified {
+		t.Fatal("runs not verified")
+	}
+	if first.ProcTime != second.ProcTime || first.Gamma != second.Gamma ||
+		first.NICBytes != second.NICBytes {
+		t.Fatalf("pooled buffers broke determinism: %+v vs %+v", first, second)
+	}
+}
+
+// TestVerifyFailureSurfacesStrategy keeps the error message actionable.
+func TestVerifyFailureSurfacesStrategy(t *testing.T) {
+	typ := ddt.MustVector(8, 2, 4, ddt.Int).Commit()
+	_, hi := typ.Footprint(1)
+	packed := make([]byte, typ.Size())
+	fillPayload(1, packed)
+	dst := make([]byte, hi) // left empty: nothing unpacked
+	err := verifyReference(typ, 1, packed, dst, hi)
+	if err == nil || !strings.Contains(err.Error(), "reference unpack") {
+		t.Fatalf("err = %v", err)
+	}
+}

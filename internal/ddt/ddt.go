@@ -9,11 +9,18 @@
 // dataloop package compiles these types into the representation that the
 // simulated NIC handlers interpret, and every strategy in internal/core is
 // validated against the reference Pack/Unpack implemented here.
+//
+// Commit compiles each type's typemap into a flat block program (see
+// program.go) that Pack, Unpack, ForEachBlock, Flatten, TotalBlocks and
+// Gamma replay instead of re-walking the constructor tree, mirroring how
+// the paper's offload engine precomputes per-datatype state once at
+// MPI_Type_commit and reuses it for every message.
 package ddt
 
 import (
 	"fmt"
 	"strings"
+	"sync"
 )
 
 // Kind identifies a datatype constructor.
@@ -88,12 +95,15 @@ type Type struct {
 
 	children []*Type // one child except for struct
 
-	committed bool
-	numBlocks int64 // merged contiguous regions per element, cached by Commit
-	maxBlock  int64 // largest merged contiguous region, bytes
-	minBlock  int64 // smallest merged contiguous region, bytes
-	trueLB    int64 // smallest typemap offset (MPI true lower bound)
-	trueUB    int64 // largest typemap offset+size (MPI true upper bound)
+	commitOnce sync.Once
+	committed  bool
+	numBlocks  int64 // merged contiguous regions per element, cached by Commit
+	maxBlock   int64 // largest merged contiguous region, bytes
+	minBlock   int64 // smallest merged contiguous region, bytes
+	trueLB     int64 // smallest typemap offset (MPI true lower bound)
+	trueUB     int64 // largest typemap offset+size (MPI true upper bound)
+	fuse       bool  // last region of element i fuses with first of i+1
+	prog       *blockProgram
 }
 
 // Kind returns the constructor kind of the type.
@@ -148,20 +158,28 @@ func (t *Type) Children() []*Type { return t.children }
 // Committed reports whether Commit has been called on the type.
 func (t *Type) Committed() bool { return t.committed }
 
-// Commit finalizes the datatype, caching typemap statistics (contiguous
-// region counts and min/max region sizes). It mirrors MPI_Type_commit: an
-// implementation intercepts this call to prepare offload data structures.
-// Commit is idempotent.
+// Commit finalizes the datatype: one recursive walk of the typemap caches
+// the statistics (contiguous region counts and min/max region sizes) and
+// compiles the block program that every subsequent iteration replays. It
+// mirrors MPI_Type_commit — an implementation intercepts this call to
+// prepare offload data structures. Commit is idempotent and safe for
+// concurrent use.
 func (t *Type) Commit() *Type {
-	if t.committed {
-		return t
-	}
+	t.commitOnce.Do(t.commit)
+	return t
+}
+
+func (t *Type) commit() {
 	var n, maxB int64
 	minB := int64(-1)
 	var tlo, thi int64
-	t.ForEachBlock(1, func(off, size int64) {
+	var firstOff, lastEnd int64
+	var blocks []Block
+	overflow := false
+	m := &merger{emit: func(off, size int64) {
 		if n == 0 {
 			tlo, thi = off, off+size
+			firstOff = off
 		} else {
 			if off < tlo {
 				tlo = off
@@ -170,6 +188,7 @@ func (t *Type) Commit() *Type {
 				thi = off + size
 			}
 		}
+		lastEnd = off + size
 		n++
 		if size > maxB {
 			maxB = size
@@ -177,14 +196,32 @@ func (t *Type) Commit() *Type {
 		if minB < 0 || size < minB {
 			minB = size
 		}
-	})
+		if !overflow {
+			if n > compiledBlockCap {
+				// Pathological region count: drop the program and keep
+				// streaming; only the statistics are retained.
+				overflow = true
+				blocks = nil
+			} else {
+				blocks = append(blocks, Block{Offset: off, Size: size})
+			}
+		}
+	}}
+	t.forEach(0, m)
+	m.flush()
 	if minB < 0 {
 		minB = 0
 	}
 	t.numBlocks, t.maxBlock, t.minBlock = n, maxB, minB
 	t.trueLB, t.trueUB = tlo, thi
+	// The last region of element i ends at lastEnd + i*extent; element i+1's
+	// first region starts at firstOff + (i+1)*extent. They fuse exactly when
+	// those coincide, identically at every boundary.
+	t.fuse = n > 0 && lastEnd == firstOff+t.extent
+	if !overflow {
+		t.prog = &blockProgram{elem: blocks, fuse: t.fuse}
+	}
 	t.committed = true
-	return t
 }
 
 // TrueBounds returns the smallest typemap offset and the largest typemap

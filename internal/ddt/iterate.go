@@ -42,7 +42,17 @@ func (m *merger) flush() {
 // to the origin of element 0; element i is displaced i*Extent(). Adjacent
 // regions merge across element boundaries, exactly as a contiguous message
 // buffer would be described.
+//
+// ForEachBlock commits the type: after the first call the compiled block
+// program is replayed instead of re-walking the constructor tree. Types
+// whose region count exceeds the compilation cap stream through the
+// recursive walk.
 func (t *Type) ForEachBlock(count int, fn func(off, size int64)) {
+	t.Commit()
+	if p := t.prog; p != nil {
+		p.replay(count, t.extent, fn)
+		return
+	}
 	m := &merger{emit: fn}
 	for i := 0; i < count; i++ {
 		t.forEach(int64(i)*t.extent, m)
@@ -137,19 +147,33 @@ func (t *Type) forEachSubarray(origin int64, m *merger) {
 // Flatten materializes the merged contiguous regions of count elements, in
 // typemap order. For large messages prefer ForEachBlock, which streams.
 func (t *Type) Flatten(count int) []Block {
-	var blocks []Block
+	blocks := make([]Block, 0, t.TotalBlocks(count))
 	t.ForEachBlock(count, func(off, size int64) {
 		blocks = append(blocks, Block{Offset: off, Size: size})
 	})
+	if len(blocks) == 0 {
+		return nil
+	}
 	return blocks
 }
 
 // TotalBlocks returns the number of merged contiguous regions in count
-// consecutive elements of the type.
+// consecutive elements of the type. For committed types this is O(1):
+// regions only merge pairwise at element boundaries, so the total is
+// count*NumBlocks() minus one per fused boundary.
 func (t *Type) TotalBlocks(count int) int64 {
-	var n int64
-	t.ForEachBlock(count, func(off, size int64) { n++ })
-	return n
+	if count <= 0 {
+		return 0
+	}
+	t.Commit()
+	if t.numBlocks == 0 {
+		return 0
+	}
+	total := t.numBlocks * int64(count)
+	if t.fuse {
+		total -= int64(count - 1)
+	}
+	return total
 }
 
 // Gamma returns the paper's γ: the average number of contiguous memory

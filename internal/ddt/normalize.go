@@ -162,11 +162,24 @@ func TypemapEqual(a, b *Type) bool {
 }
 
 // withChildren returns a shallow copy of t with the child slice replaced.
-// Cached commit statistics are dropped; the copy is uncommitted.
+// The constructor fields are copied one by one — Type embeds a sync.Once
+// and must not be copied as a value — so the copy is uncommitted with no
+// cached statistics or compiled program.
 func (t *Type) withChildren(children []*Type) *Type {
-	cp := *t
-	cp.children = children
-	cp.committed = false
-	cp.numBlocks, cp.maxBlock, cp.minBlock = 0, 0, 0
-	return &cp
+	return &Type{
+		kind:      t.kind,
+		name:      t.name,
+		size:      t.size,
+		lb:        t.lb,
+		extent:    t.extent,
+		count:     t.count,
+		blockLen:  t.blockLen,
+		blockLens: t.blockLens,
+		stride:    t.stride,
+		displs:    t.displs,
+		dims:      t.dims,
+		subDims:   t.subDims,
+		starts:    t.starts,
+		children:  children,
+	}
 }

@@ -1,0 +1,93 @@
+package ddt
+
+// Compiled block programs.
+//
+// A committed datatype carries a blockProgram: the merged contiguous regions
+// of ONE element, materialized once at Commit time, plus the one bit of
+// cross-element structure needed to replay the full message — whether the
+// last region of element i fuses with the first region of element i+1 when
+// consecutive elements are laid out Extent() bytes apart.
+//
+// Replaying the program shifted by i*Extent() reproduces, block for block,
+// what the recursive typemap walk (forEach + merger) emits for any element
+// count, but in a tight loop over a flat slice instead of a tree traversal
+// with per-region closure calls. Every consumer of the typemap — Pack,
+// Unpack, ForEachBlock, Flatten, TotalBlocks, Gamma, the host-CPU cost
+// model and the offload builders — rides this fast path.
+//
+// The fusion bit is sound because the per-element regions are maximally
+// merged: region k and k+1 of the same element never touch (otherwise the
+// merger would have coalesced them), so a fused boundary block can never
+// cascade into the element's second region. The only unbounded cascade is
+// the single-region case (size == extent), where the whole message collapses
+// to one region; replay handles it in closed form.
+//
+// Pathological typemaps (region counts above compiledBlockCap) are not
+// materialized: the program stays nil and every consumer falls back to the
+// streaming recursive walk, keeping memory bounded.
+
+// compiledBlockCap bounds the number of per-element regions Commit will
+// materialize (16 bytes per region: 32 MiB at the default). It is a
+// variable so tests can force the streaming fallback.
+var compiledBlockCap = int64(1) << 21
+
+// blockProgram is the compiled, replayable form of one element's typemap.
+type blockProgram struct {
+	// elem holds the merged contiguous regions of a single element, in
+	// typemap order.
+	elem []Block
+	// fuse records that the last region of element i and the first region
+	// of element i+1 form one contiguous run (lastEnd == firstOff+extent).
+	fuse bool
+}
+
+// replay emits the merged regions of count consecutive elements, shifted by
+// extent per element, exactly as the recursive walk would.
+func (p *blockProgram) replay(count int, extent int64, fn func(off, size int64)) {
+	n := len(p.elem)
+	if n == 0 || count <= 0 {
+		return
+	}
+	if !p.fuse {
+		for i := 0; i < count; i++ {
+			shift := int64(i) * extent
+			for _, b := range p.elem {
+				fn(b.Offset+shift, b.Size)
+			}
+		}
+		return
+	}
+	if n == 1 {
+		// One region per element fusing across every boundary: the whole
+		// message is a single contiguous run.
+		fn(p.elem[0].Offset, p.elem[0].Size+int64(count-1)*extent)
+		return
+	}
+	first, last := p.elem[0], p.elem[n-1]
+	mid := p.elem[1 : n-1]
+	fn(first.Offset, first.Size)
+	for _, b := range mid {
+		fn(b.Offset, b.Size)
+	}
+	bridge := last.Size + first.Size
+	for i := 1; i < count; i++ {
+		shift := int64(i) * extent
+		fn(last.Offset+shift-extent, bridge)
+		for _, b := range mid {
+			fn(b.Offset+shift, b.Size)
+		}
+	}
+	fn(last.Offset+int64(count-1)*extent, last.Size)
+}
+
+// numBlocks returns the merged region count of count elements in O(1).
+func (p *blockProgram) numBlocks(count int) int64 {
+	if count <= 0 || len(p.elem) == 0 {
+		return 0
+	}
+	total := int64(len(p.elem)) * int64(count)
+	if p.fuse {
+		total -= int64(count - 1)
+	}
+	return total
+}

@@ -1,0 +1,147 @@
+package ddt
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// recursiveBlocks walks the constructor tree directly (the pre-compilation
+// reference path), bypassing the compiled block program.
+func recursiveBlocks(t *Type, count int) []Block {
+	var out []Block
+	m := &merger{emit: func(off, size int64) {
+		out = append(out, Block{Offset: off, Size: size})
+	}}
+	for i := 0; i < count; i++ {
+		t.forEach(int64(i)*t.extent, m)
+	}
+	m.flush()
+	return out
+}
+
+// checkCompiledAgainstRecursive asserts that the compiled replay reproduces
+// the recursive walk exactly: identical block streams, identical TotalBlocks
+// and byte-identical pack/unpack round trips.
+func checkCompiledAgainstRecursive(t *testing.T, typ *Type, count int) {
+	t.Helper()
+	want := recursiveBlocks(typ, count)
+	typ.Commit()
+	got := typ.Flatten(count)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("count=%d: compiled blocks differ\n got %v\nwant %v\n%s",
+			count, got, want, typ.Describe())
+	}
+	if n := typ.TotalBlocks(count); n != int64(len(want)) {
+		t.Fatalf("count=%d: TotalBlocks = %d, recursive walk emits %d\n%s",
+			count, n, len(want), typ.Describe())
+	}
+
+	lo, hi := typ.Footprint(count)
+	if lo < 0 {
+		return // pack/unpack need a non-negative origin; blocks already checked
+	}
+	src := make([]byte, hi)
+	for i := range src {
+		src[i] = byte(i*131 + 17)
+	}
+	packed, err := Pack(typ, count, src)
+	if err != nil {
+		t.Fatalf("count=%d: pack: %v", count, err)
+	}
+	// Reference gather straight off the recursive block list.
+	wantPacked := make([]byte, 0, typ.Size()*int64(count))
+	for _, b := range want {
+		wantPacked = append(wantPacked, src[b.Offset:b.Offset+b.Size]...)
+	}
+	if !bytes.Equal(packed, wantPacked) {
+		t.Fatalf("count=%d: compiled pack differs from recursive gather\n%s",
+			count, typ.Describe())
+	}
+	dst := make([]byte, hi)
+	if err := Unpack(typ, count, packed, dst); err != nil {
+		t.Fatalf("count=%d: unpack: %v", count, err)
+	}
+	wantDst := make([]byte, hi)
+	for _, b := range want {
+		copy(wantDst[b.Offset:b.Offset+b.Size], src[b.Offset:b.Offset+b.Size])
+	}
+	if !bytes.Equal(dst, wantDst) {
+		t.Fatalf("count=%d: compiled unpack differs from recursive scatter\n%s",
+			count, typ.Describe())
+	}
+}
+
+func TestQuickCompiledMatchesRecursive(t *testing.T) {
+	f := func(seed int64, countRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		typ := RandomType(rng, 3)
+		checkCompiledAgainstRecursive(t, typ, int(countRaw%5)+1)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompiledBoundaryFusion(t *testing.T) {
+	// Single region per element, size == extent: the whole message is one
+	// contiguous run.
+	dense := MustContiguous(5, Int)
+	if got := dense.Flatten(4); !reflect.DeepEqual(got, []Block{{0, 80}}) {
+		t.Fatalf("dense blocks = %v", got)
+	}
+	if n := dense.TotalBlocks(4); n != 1 {
+		t.Fatalf("dense TotalBlocks = %d", n)
+	}
+
+	// Multi-region element whose LAST region ends exactly at the extent:
+	// blocks [0,4) and [8,16) with extent 16, so element i+1's first region
+	// at 16i+0 continues element i's last region ending at 16(i-1)+16.
+	fused := MustIndexed([]int{1, 2}, []int{0, 2}, Int)
+	if fused.Extent() != 16 {
+		t.Fatalf("extent = %d", fused.Extent())
+	}
+	want := []Block{{0, 4}, {8, 12}, {24, 12}, {40, 8}}
+	if got := fused.Flatten(3); !reflect.DeepEqual(got, want) {
+		t.Fatalf("fused blocks = %v, want %v", got, want)
+	}
+	// 2 regions per element, 3 elements, 2 fused boundaries: 2*3-2 = 4.
+	if n := fused.TotalBlocks(3); n != 4 {
+		t.Fatalf("fused TotalBlocks = %d", n)
+	}
+	checkCompiledAgainstRecursive(t, fused, 3)
+
+	// Padding after the last region keeps elements separate.
+	padded := MustResized(MustContiguous(2, Int), 0, 12)
+	if n := padded.TotalBlocks(3); n != 3 {
+		t.Fatalf("padded TotalBlocks = %d", n)
+	}
+	checkCompiledAgainstRecursive(t, padded, 3)
+}
+
+func TestCompiledCapFallsBackToStreaming(t *testing.T) {
+	saved := compiledBlockCap
+	compiledBlockCap = 4
+	defer func() { compiledBlockCap = saved }()
+
+	typ := MustVector(8, 1, 2, Int) // 8 regions: above the lowered cap
+	typ.Commit()
+	if typ.prog != nil {
+		t.Fatal("program materialized above the cap")
+	}
+	if typ.NumBlocks() != 8 {
+		t.Fatalf("NumBlocks = %d", typ.NumBlocks())
+	}
+	checkCompiledAgainstRecursive(t, typ, 3)
+
+	// Under the cap the program exists and agrees.
+	small := MustVector(3, 1, 2, Int)
+	small.Commit()
+	if small.prog == nil {
+		t.Fatal("program missing below the cap")
+	}
+	checkCompiledAgainstRecursive(t, small, 3)
+}

@@ -19,15 +19,19 @@ func AblationEpsilon(msgBytes, blockBytes int64) (*Table, error) {
 		Header: []string{"epsilon", "interval_KiB", "checkpoints", "nicmem_KiB", "proc_us", "Gbps"},
 	}
 	typ := fig8Vector(blockBytes, msgBytes)
-	for _, eps := range []float64{0.05, 0.1, 0.2, 0.4, 0.8} {
+	epsilons := []float64{0.05, 0.1, 0.2, 0.4, 0.8}
+	err := sweepRows(t, len(epsilons), func(i int) ([]string, error) {
 		req := core.NewRequest(core.RWCP, typ, 1)
-		req.Epsilon = eps
+		req.Epsilon = epsilons[i]
 		res, err := core.Run(req)
 		if err != nil {
 			return nil, err
 		}
-		t.AddRow(f2(eps), kib(res.Interval), d64(int64(res.Checkpoints)),
-			kib(res.NICBytes), usec(res.ProcTime.Microseconds()), f1(res.ThroughputGbps()))
+		return []string{f2(epsilons[i]), kib(res.Interval), d64(int64(res.Checkpoints)),
+			kib(res.NICBytes), usec(res.ProcTime.Microseconds()), f1(res.ThroughputGbps())}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -41,15 +45,19 @@ func AblationDeltaP(msgBytes, blockBytes int64) (*Table, error) {
 		Header: []string{"delta_p_pkts", "checkpoints", "nicmem_KiB", "proc_us", "Gbps"},
 	}
 	typ := fig8Vector(blockBytes, msgBytes)
-	for _, dp := range []int64{1, 2, 4, 8, 16, 32, 64} {
+	dps := []int64{1, 2, 4, 8, 16, 32, 64}
+	err := sweepRows(t, len(dps), func(i int) ([]string, error) {
 		req := core.NewRequest(core.RWCP, typ, 1)
-		req.ForceIntervalBytes = dp * req.NIC.Fabric.MTU
+		req.ForceIntervalBytes = dps[i] * req.NIC.Fabric.MTU
 		res, err := core.Run(req)
 		if err != nil {
 			return nil, err
 		}
-		t.AddRow(d64(dp), d64(int64(res.Checkpoints)), kib(res.NICBytes),
-			usec(res.ProcTime.Microseconds()), f1(res.ThroughputGbps()))
+		return []string{d64(dps[i]), d64(int64(res.Checkpoints)), kib(res.NICBytes),
+			usec(res.ProcTime.Microseconds()), f1(res.ThroughputGbps())}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -66,20 +74,30 @@ func AblationOutOfOrder(msgBytes, blockBytes int64) (*Table, error) {
 	}
 	typ := fig8Vector(blockBytes, msgBytes)
 	n := fabric.DefaultConfig().NumPackets(msgBytes)
+	windows := []int{0, 2, 8, 32, 128}
+	// The reorder permutations come from one sequential rand stream; draw
+	// them before fanning out so the sweep stays deterministic.
 	rng := rand.New(rand.NewSource(7))
-	for _, window := range []int{0, 2, 8, 32, 128} {
-		order := fabric.ReorderWindow(n, window, rng)
+	orders := make([][]int, len(windows))
+	for i, window := range windows {
+		orders[i] = fabric.ReorderWindow(n, window, rng)
+	}
+	err := sweepRows(t, len(windows), func(i int) ([]string, error) {
+		window := windows[i]
 		row := []string{d64(int64(window))}
 		for _, s := range core.OffloadStrategies {
 			req := core.NewRequest(s, typ, 1)
-			req.Order = order
+			req.Order = orders[i]
 			res, err := core.Run(req)
 			if err != nil {
 				return nil, fmt.Errorf("window %d, %v: %w", window, s, err)
 			}
 			row = append(row, usec(res.ProcTime.Microseconds()))
 		}
-		t.AddRow(row...)
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -101,19 +119,23 @@ func AblationNormalization() (*Table, error) {
 		displs[i] = i * 256 // 512B blocks of ints, 1 KiB apart
 	}
 	typ := ddt.MustIndexedBlock(128, displs, ddt.Int)
-	for _, disable := range []bool{false, true} {
+	modes := []bool{false, true}
+	err := sweepRows(t, len(modes), func(i int) ([]string, error) {
 		req := core.NewRequest(core.Specialized, typ, 1)
-		req.DisableNormalization = disable
+		req.DisableNormalization = modes[i]
 		res, err := core.Run(req)
 		if err != nil {
 			return nil, err
 		}
 		label := "on"
-		if disable {
+		if modes[i] {
 			label = "off"
 		}
-		t.AddRow(label, res.SpecKind, kib(res.NICBytes),
-			usec(res.ProcTime.Microseconds()), f1(res.ThroughputGbps()))
+		return []string{label, res.SpecKind, kib(res.NICBytes),
+			usec(res.ProcTime.Microseconds()), f1(res.ThroughputGbps())}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -131,18 +153,27 @@ func AblationEndToEnd(msgBytes, blockBytes int64) (*Table, error) {
 		Header: []string{"sender \\ receiver", "Specialized", "RW-CP", "Host"},
 	}
 	typ := fig8Vector(blockBytes, msgBytes)
-	for _, send := range core.AllSendStrategies {
-		row := []string{send.String()}
-		for _, recv := range recvs {
-			res, err := core.RunTransfer(core.NewTransferRequest(send, recv, typ, 1))
-			if err != nil {
-				return nil, fmt.Errorf("%v -> %v: %w", send, recv, err)
-			}
-			if !res.Verified {
-				return nil, fmt.Errorf("%v -> %v: not verified", send, recv)
-			}
-			row = append(row, usec(res.Total.Microseconds()))
+	sends := core.AllSendStrategies
+	// One cell per sender/receiver pair, fanned as a flat index space.
+	cells := make([]string, len(sends)*len(recvs))
+	err := sweep(len(cells), func(i int) error {
+		send := sends[i/len(recvs)]
+		recv := recvs[i%len(recvs)]
+		res, err := core.RunTransfer(core.NewTransferRequest(send, recv, typ, 1))
+		if err != nil {
+			return fmt.Errorf("%v -> %v: %w", send, recv, err)
 		}
+		if !res.Verified {
+			return fmt.Errorf("%v -> %v: not verified", send, recv)
+		}
+		cells[i] = usec(res.Total.Microseconds())
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for si, send := range sends {
+		row := append([]string{send.String()}, cells[si*len(recvs):(si+1)*len(recvs)]...)
 		t.AddRow(row...)
 	}
 	return t, nil
@@ -158,13 +189,17 @@ func AblationSender(msgBytes, blockBytes int64) (*Table, error) {
 		Header: []string{"strategy", "inject_us", "Gbps", "cpu_busy_us", "hpu_busy_us"},
 	}
 	typ := fig8Vector(blockBytes, msgBytes)
-	for _, s := range core.AllSendStrategies {
-		res, err := core.RunSend(core.NewSendRequest(s, typ, 1))
+	sends := core.AllSendStrategies
+	err := sweepRows(t, len(sends), func(i int) ([]string, error) {
+		res, err := core.RunSend(core.NewSendRequest(sends[i], typ, 1))
 		if err != nil {
 			return nil, err
 		}
-		t.AddRow(s.String(), usec(res.Injected.Microseconds()), f1(res.ThroughputGbps()),
-			usec(res.CPUBusy.Microseconds()), usec(res.HPUBusy.Microseconds()))
+		return []string{sends[i].String(), usec(res.Injected.Microseconds()), f1(res.ThroughputGbps()),
+			usec(res.CPUBusy.Microseconds()), usec(res.HPUBusy.Microseconds())}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }

@@ -35,25 +35,27 @@ type AppResult struct {
 
 // RunApps executes the Fig. 16 sweep: every application instance through
 // RW-CP, Specialized and the Portals-4 iovec baseline, all against the
-// host-unpack baseline.
+// host-unpack baseline. Instances fan out across the worker pool; the
+// result order matches the input order exactly as in a serial run.
 func RunApps(instances []apps.Instance) ([]AppResult, error) {
-	var out []AppResult
-	for _, in := range instances {
+	out := make([]AppResult, len(instances))
+	err := sweep(len(instances), func(i int) error {
+		in := instances[i]
 		host, err := core.Run(core.NewRequest(core.HostUnpack, in.Type, in.Count))
 		if err != nil {
-			return nil, fmt.Errorf("%s host: %w", in.Name(), err)
+			return fmt.Errorf("%s host: %w", in.Name(), err)
 		}
 		rwcp, err := core.Run(core.NewRequest(core.RWCP, in.Type, in.Count))
 		if err != nil {
-			return nil, fmt.Errorf("%s rw-cp: %w", in.Name(), err)
+			return fmt.Errorf("%s rw-cp: %w", in.Name(), err)
 		}
 		spec, err := core.Run(core.NewRequest(core.Specialized, in.Type, in.Count))
 		if err != nil {
-			return nil, fmt.Errorf("%s specialized: %w", in.Name(), err)
+			return fmt.Errorf("%s specialized: %w", in.Name(), err)
 		}
 		iovec, err := core.Run(core.NewRequest(core.PortalsIovec, in.Type, in.Count))
 		if err != nil {
-			return nil, fmt.Errorf("%s iovec: %w", in.Name(), err)
+			return fmt.Errorf("%s iovec: %w", in.Name(), err)
 		}
 
 		r := AppResult{
@@ -75,7 +77,11 @@ func RunApps(instances []apps.Instance) ([]AppResult, error) {
 		} else {
 			r.AmortizeReuses = -1
 		}
-		out = append(out, r)
+		out[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -32,11 +32,12 @@ func Fig19FFT2D(n int, nodeCounts []int) ([]FFT2DPoint, *Table, error) {
 	// microbenchmarks), which is what shrinks the unpack overhead — and
 	// the offload speedup — at scale.
 	hostCfg.ColdCaches = false
-	var points []FFT2DPoint
-	for _, p := range nodeCounts {
+	points := make([]FFT2DPoint, len(nodeCounts))
+	err := sweep(len(nodeCounts), func(idx int) error {
+		p := nodeCounts[idx]
 		rows := n / p
 		if rows == 0 {
-			return nil, nil, fmt.Errorf("fig19: %d nodes exceed matrix dimension %d", p, n)
+			return fmt.Errorf("fig19: %d nodes exceed matrix dimension %d", p, n)
 		}
 		// The transpose receive datatype from one peer: rows x rows complex
 		// elements within the local rows x n panel (2 doubles per element).
@@ -51,7 +52,7 @@ func Fig19FFT2D(n int, nodeCounts []int) ([]FFT2DPoint, *Table, error) {
 		req.Verify = false // byte-verified elsewhere; this is a timing sweep
 		rwcp, err := core.Run(req)
 		if err != nil {
-			return nil, nil, err
+			return err
 		}
 		wire := req.NIC.Fabric.ByteTime(rwcp.MsgBytes)
 		extra := rwcp.ProcTime - wire
@@ -70,18 +71,22 @@ func Fig19FFT2D(n int, nodeCounts []int) ([]FFT2DPoint, *Table, error) {
 
 		th, err := hostRun.Run(p)
 		if err != nil {
-			return nil, nil, err
+			return err
 		}
 		to, err := offRun.Run(p)
 		if err != nil {
-			return nil, nil, err
+			return err
 		}
-		points = append(points, FFT2DPoint{
+		points[idx] = FFT2DPoint{
 			Nodes:     p,
 			HostMs:    th.Milliseconds(),
 			RWCPMs:    to.Milliseconds(),
 			SpeedupPc: (float64(th)/float64(to) - 1) * 100,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
 	}
 
 	t := &Table{

@@ -100,7 +100,8 @@ func Fig08Throughput(msgBytes int64, blockSizes []int64) (*Table, error) {
 			" all offloaded strategies below Host at 4B",
 		Header: []string{"block_B", "Specialized", "RW-CP", "RO-CP", "HPU-local", "Host"},
 	}
-	for _, b := range blockSizes {
+	err := sweepRows(t, len(blockSizes), func(i int) ([]string, error) {
+		b := blockSizes[i]
 		row := []string{d64(b)}
 		typ := fig8Vector(b, msgBytes)
 		for _, s := range strategies {
@@ -111,7 +112,10 @@ func Fig08Throughput(msgBytes int64, blockSizes []int64) (*Table, error) {
 			}
 			row = append(row, f1(res.ThroughputGbps()))
 		}
-		t.AddRow(row...)
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -174,22 +178,27 @@ func Fig12HandlerBreakdown(msgBytes int64) (*Table, error) {
 			" catch-up (setup), RO-CP by checkpoint copy (init) + catch-up, RW-CP ~2x Specialized",
 		Header: []string{"strategy", "gamma", "init_us", "setup_us", "proc_us", "total_us"},
 	}
-	for _, s := range []core.Strategy{core.HPULocal, core.ROCP, core.RWCP, core.Specialized} {
-		for _, gamma := range []int64{1, 2, 4, 8, 16} {
-			block := int64(2048) / gamma
-			typ := fig8Vector(block, msgBytes)
-			res, err := core.Run(core.NewRequest(s, typ, 1))
-			if err != nil {
-				return nil, fmt.Errorf("%v gamma %d: %w", s, gamma, err)
-			}
-			runs := float64(res.NIC.HandlerRuns)
-			b := res.NIC.Handler
-			t.AddRow(s.String(), d64(gamma),
-				usec(b.Init.Microseconds()/runs),
-				usec(b.Setup.Microseconds()/runs),
-				usec(b.Processing.Microseconds()/runs),
-				usec(b.Total().Microseconds()/runs))
+	strategies := []core.Strategy{core.HPULocal, core.ROCP, core.RWCP, core.Specialized}
+	gammas := []int64{1, 2, 4, 8, 16}
+	err := sweepRows(t, len(strategies)*len(gammas), func(i int) ([]string, error) {
+		s := strategies[i/len(gammas)]
+		gamma := gammas[i%len(gammas)]
+		block := int64(2048) / gamma
+		typ := fig8Vector(block, msgBytes)
+		res, err := core.Run(core.NewRequest(s, typ, 1))
+		if err != nil {
+			return nil, fmt.Errorf("%v gamma %d: %w", s, gamma, err)
 		}
+		runs := float64(res.NIC.HandlerRuns)
+		b := res.NIC.Handler
+		return []string{s.String(), d64(gamma),
+			usec(b.Init.Microseconds() / runs),
+			usec(b.Setup.Microseconds() / runs),
+			usec(b.Processing.Microseconds() / runs),
+			usec(b.Total().Microseconds() / runs)}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -205,18 +214,22 @@ func Fig13Scalability(msgBytes int64) (*Table, *Table, *Table, error) {
 		Note:   "paper: Specialized reaches line rate with 2 HPUs",
 		Header: []string{"HPUs", "Specialized", "RW-CP", "RO-CP", "HPU-local"},
 	}
-	for _, hpus := range []int{2, 4, 8, 16, 32} {
+	hpuCounts := []int{2, 4, 8, 16, 32}
+	if err := sweepRows(a, len(hpuCounts), func(i int) ([]string, error) {
+		hpus := hpuCounts[i]
 		row := []string{d64(int64(hpus))}
 		for _, s := range strategies {
 			req := core.NewRequest(s, fig8Vector(2048, msgBytes), 1)
 			req.NIC.HPUs = hpus
 			res, err := core.Run(req)
 			if err != nil {
-				return nil, nil, nil, err
+				return nil, err
 			}
 			row = append(row, f1(res.ThroughputGbps()))
 		}
-		a.AddRow(row...)
+		return row, nil
+	}); err != nil {
+		return nil, nil, nil, err
 	}
 
 	b := &Table{
@@ -224,17 +237,21 @@ func Fig13Scalability(msgBytes int64) (*Table, *Table, *Table, error) {
 		Note:   "paper: checkpointed variants shrink the interval for larger blocks (more memory)",
 		Header: []string{"block_B", "Specialized", "RW-CP", "RO-CP", "HPU-local"},
 	}
-	for _, blk := range []int64{4, 32, 128, 512, 2048, 8192} {
+	blockSizes := []int64{4, 32, 128, 512, 2048, 8192}
+	if err := sweepRows(b, len(blockSizes), func(i int) ([]string, error) {
+		blk := blockSizes[i]
 		row := []string{d64(blk)}
 		for _, s := range strategies {
 			req := core.NewRequest(s, fig8Vector(blk, msgBytes), 1)
 			res, err := core.Run(req)
 			if err != nil {
-				return nil, nil, nil, err
+				return nil, err
 			}
 			row = append(row, kib(res.NICBytes))
 		}
-		b.AddRow(row...)
+		return row, nil
+	}); err != nil {
+		return nil, nil, nil, err
 	}
 
 	c := &Table{
@@ -242,18 +259,22 @@ func Fig13Scalability(msgBytes int64) (*Table, *Table, *Table, error) {
 		Note:   "paper: HPU-local replicates segments per HPU; RW-CP adds checkpoints with HPUs",
 		Header: []string{"HPUs", "Specialized", "RW-CP", "RO-CP", "HPU-local"},
 	}
-	for _, hpus := range []int{4, 8, 16, 32} {
+	cHPUs := []int{4, 8, 16, 32}
+	if err := sweepRows(c, len(cHPUs), func(i int) ([]string, error) {
+		hpus := cHPUs[i]
 		row := []string{d64(int64(hpus))}
 		for _, s := range strategies {
 			req := core.NewRequest(s, fig8Vector(2048, msgBytes), 1)
 			req.NIC.HPUs = hpus
 			res, err := core.Run(req)
 			if err != nil {
-				return nil, nil, nil, err
+				return nil, err
 			}
 			row = append(row, kib(res.NICBytes))
 		}
-		c.AddRow(row...)
+		return row, nil
+	}); err != nil {
+		return nil, nil, nil, err
 	}
 	return a, b, c, nil
 }
@@ -266,7 +287,9 @@ func Fig14DMAQueue(msgBytes int64) (*Table, error) {
 		Note:   "paper: stays under ~160 requests - PCIe is not the bottleneck",
 		Header: []string{"gamma", "total_writes", "Specialized", "RW-CP", "RO-CP", "HPU-local"},
 	}
-	for _, gamma := range []int64{1, 2, 4, 8, 16} {
+	gammas := []int64{1, 2, 4, 8, 16}
+	err := sweepRows(t, len(gammas), func(g int) ([]string, error) {
+		gamma := gammas[g]
 		block := int64(2048) / gamma
 		typ := fig8Vector(block, msgBytes)
 		row := []string{d64(gamma)}
@@ -283,8 +306,10 @@ func Fig14DMAQueue(msgBytes int64) (*Table, error) {
 			depths = append(depths, d64(int64(res.NIC.DMA.MaxQueueDepth)))
 		}
 		row = append(row, d64(totalWrites))
-		row = append(row, depths...)
-		t.AddRow(row...)
+		return append(row, depths...), nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -300,7 +325,9 @@ func Fig15DMAQueueOverTime(msgBytes int64, points int) (*Table, error) {
 		Header: []string{"strategy", "host_prep_us", "proc_us", "peak", "depth_series"},
 	}
 	typ := fig8Vector(128, msgBytes)
-	for _, s := range []core.Strategy{core.HPULocal, core.ROCP, core.RWCP, core.Specialized} {
+	strategies := []core.Strategy{core.HPULocal, core.ROCP, core.RWCP, core.Specialized}
+	err := sweepRows(t, len(strategies), func(i int) ([]string, error) {
+		s := strategies[i]
 		res, err := core.Run(core.NewRequest(s, typ, 1))
 		if err != nil {
 			return nil, err
@@ -312,18 +339,21 @@ func Fig15DMAQueueOverTime(msgBytes int64, points int) (*Table, error) {
 			if stride < 1 {
 				stride = 1
 			}
-			for i := 0; i < len(samples); i += stride {
+			for k := 0; k < len(samples); k += stride {
 				if series != "" {
 					series += " "
 				}
-				series += d64(int64(samples[i].Depth))
+				series += d64(int64(samples[k].Depth))
 			}
 		}
-		t.AddRow(s.String(),
+		return []string{s.String(),
 			usec(res.Prep.Total().Microseconds()),
 			usec(res.ProcTime.Microseconds()),
 			d64(int64(res.NIC.DMA.MaxQueueDepth)),
-			series)
+			series}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }

@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+// withGOMAXPROCS forces the worker-pool width for the duration of a test,
+// so parallel scheduling is exercised even on single-CPU machines.
+func withGOMAXPROCS(t *testing.T, n int) {
+	t.Helper()
+	old := runtime.GOMAXPROCS(n)
+	t.Cleanup(func() { runtime.GOMAXPROCS(old) })
+}
+
+func TestSweepRunsEveryIndexOnce(t *testing.T) {
+	withGOMAXPROCS(t, 4)
+	const n = 100
+	var counts [n]atomic.Int32
+	if err := sweep(n, func(i int) error {
+		counts[i].Add(1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range counts {
+		if c := counts[i].Load(); c != 1 {
+			t.Fatalf("index %d ran %d times", i, c)
+		}
+	}
+}
+
+func TestSweepReturnsLowestIndexError(t *testing.T) {
+	withGOMAXPROCS(t, 4)
+	want := errors.New("boom-3")
+	for trial := 0; trial < 20; trial++ {
+		err := sweep(16, func(i int) error {
+			if i == 3 {
+				return want
+			}
+			if i > 7 {
+				return fmt.Errorf("boom-%d", i)
+			}
+			return nil
+		})
+		if !errors.Is(err, want) {
+			t.Fatalf("trial %d: err = %v, want lowest-index %v", trial, err, want)
+		}
+	}
+}
+
+func TestSweepEmptyAndSerial(t *testing.T) {
+	if err := sweep(0, func(int) error { t.Fatal("called"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	withGOMAXPROCS(t, 1)
+	var order []int
+	if err := sweep(5, func(i int) error {
+		order = append(order, i)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if i != v {
+			t.Fatalf("serial fallback out of order: %v", order)
+		}
+	}
+}
+
+// TestParallelTablesMatchSerial is the acceptance check for the sweep
+// executor: the rendered tables must be byte-identical whether the sweep
+// runs serially or across workers.
+func TestParallelTablesMatchSerial(t *testing.T) {
+	blocks := []int64{64, 512, 2048}
+
+	runtime.GOMAXPROCS(1)
+	serial8, err := Fig08Throughput(smallMsg, blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serialApps, err := RunApps(appSubset(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	withGOMAXPROCS(t, 4)
+	par8, err := Fig08Throughput(smallMsg, blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parApps, err := RunApps(appSubset(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if serial8.String() != par8.String() {
+		t.Fatalf("Fig. 8 differs between serial and parallel runs:\n%s\nvs\n%s",
+			serial8, par8)
+	}
+	s16 := Fig16AppSpeedups(serialApps).String()
+	p16 := Fig16AppSpeedups(parApps).String()
+	if s16 != p16 {
+		t.Fatalf("Fig. 16 differs between serial and parallel runs:\n%s\nvs\n%s", s16, p16)
+	}
+}
