@@ -1,0 +1,29 @@
+# Developer entry points; CI runs the same commands.
+
+GO ?= go
+BENCH_DATE := $(shell date +%F)
+# The core perf benchmarks recorded in BENCH_<date>.json: the end-to-end
+# simulation hot path, the datatype engine, and the event-engine microbench.
+BENCH_CORE := BenchmarkSimulationRWCP1MiB|BenchmarkSimulationSpecialized1MiB|BenchmarkDDTPackUnpack|BenchmarkEventEngine
+
+.PHONY: build test race bench bench-all
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) vet ./...
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/ddt/ ./internal/core/ ./internal/sim/ ./internal/experiments/
+
+# bench records the core perf trajectory to BENCH_<date>.json (multiple
+# iterations, stable numbers).
+bench:
+	$(GO) run ./cmd/benchjson -bench '$(BENCH_CORE)' -benchtime 2s -out BENCH_$(BENCH_DATE).json
+
+# bench-all runs every figure and component benchmark once (the CI smoke
+# configuration) and records it.
+bench-all:
+	$(GO) test -run '^$$' -bench . -benchtime 1x -benchmem ./... | $(GO) run ./cmd/benchjson -out BENCH_$(BENCH_DATE).json

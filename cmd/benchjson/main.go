@@ -1,0 +1,150 @@
+// Command benchjson records the repository's performance trajectory: it
+// runs (or reads) `go test -bench` output and emits a machine-readable
+// BENCH_<date>.json snapshot, which CI uploads as an artifact so perf
+// regressions are visible across commits.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem ./... | benchjson -out BENCH_2026-07-27.json
+//	benchjson -bench 'BenchmarkSimulation|BenchmarkEventEngine' # runs go test itself
+//
+// With no -out, the file name defaults to BENCH_<today>.json in the
+// current directory.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name       string  `json:"name"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	// Metrics holds every reported unit beyond ns/op (B/op, allocs/op,
+	// MB/s and custom b.ReportMetric units), keyed by unit name.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Snapshot is the emitted file format.
+type Snapshot struct {
+	Date       string   `json:"date"`
+	GoVersion  string   `json:"go_version"`
+	GOOS       string   `json:"goos"`
+	GOARCH     string   `json:"goarch"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+// benchLine matches e.g. "BenchmarkFoo-8   123   456.7 ns/op   8 B/op".
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+(.*)$`)
+
+func parse(r io.Reader) ([]Result, error) {
+	var out []Result
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(sc.Text()))
+		if m == nil {
+			continue
+		}
+		iters, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			continue
+		}
+		res := Result{Name: m[1], Iterations: iters, Metrics: map[string]float64{}}
+		fields := strings.Fields(m[3])
+		for i := 0; i+1 < len(fields); i += 2 {
+			val, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			unit := fields[i+1]
+			if unit == "ns/op" {
+				res.NsPerOp = val
+			} else {
+				res.Metrics[unit] = val
+			}
+		}
+		if len(res.Metrics) == 0 {
+			res.Metrics = nil
+		}
+		out = append(out, res)
+	}
+	return out, sc.Err()
+}
+
+func main() {
+	out := flag.String("out", "", "output file (default BENCH_<date>.json)")
+	bench := flag.String("bench", "", "run `go test -bench` with this pattern instead of reading stdin")
+	pkg := flag.String("pkg", "./...", "package pattern for -bench runs")
+	benchtime := flag.String("benchtime", "1x", "benchtime for -bench runs")
+	flag.Parse()
+
+	var src io.Reader = os.Stdin
+	if *bench != "" {
+		cmd := exec.Command("go", "test", "-run", "^$", "-bench", *bench,
+			"-benchmem", "-benchtime", *benchtime, *pkg)
+		cmd.Stderr = os.Stderr
+		pipe, err := cmd.StdoutPipe()
+		if err != nil {
+			fatal(err)
+		}
+		if err := cmd.Start(); err != nil {
+			fatal(err)
+		}
+		defer func() {
+			if err := cmd.Wait(); err != nil {
+				fatal(err)
+			}
+		}()
+		src = io.TeeReader(pipe, os.Stdout)
+	} else if stat, err := os.Stdin.Stat(); err == nil && stat.Mode()&os.ModeCharDevice != 0 {
+		fatal(fmt.Errorf("no piped input; pass -bench <pattern> or pipe `go test -bench` output"))
+	}
+
+	results, err := parse(src)
+	if err != nil {
+		fatal(err)
+	}
+	if len(results) == 0 {
+		fatal(fmt.Errorf("no benchmark lines found in input"))
+	}
+
+	date := time.Now().Format("2006-01-02")
+	snap := Snapshot{
+		Date:       date,
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		Benchmarks: results,
+	}
+	path := *out
+	if path == "" {
+		path = "BENCH_" + date + ".json"
+	}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(results), path)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

@@ -30,11 +30,37 @@ func getBuf(n int64) []byte {
 	return make([]byte, n, c)
 }
 
+// cleanPool recycles buffers that are zero through their full capacity, so
+// the receive buffer of the next simulation needs no fresh memclr. Run
+// re-zeroes only the regions the typemap wrote (at most the message size)
+// before returning a buffer here — cheaper than zeroing the whole extent
+// at the next acquisition, and the gap checks of verifyReference would
+// loudly catch any violation of the invariant.
+var cleanPool sync.Pool
+
 // getZeroBuf returns a length-n zeroed byte slice, matching a fresh make().
 func getZeroBuf(n int64) []byte {
+	if v := cleanPool.Get(); v != nil {
+		if b := *(v.(*[]byte)); int64(cap(b)) >= n {
+			return b[:n]
+		} else {
+			// Too small for this request but still a perfectly good
+			// buffer; let the dirty pool reuse it.
+			putBuf(b)
+		}
+	}
 	b := getBuf(n)
-	clear(b)
+	clear(b[:cap(b)])
 	return b
+}
+
+// putCleanBuf makes a buffer that is zero through cap(b) available for
+// reuse without re-clearing.
+func putCleanBuf(b []byte) {
+	if cap(b) == 0 {
+		return
+	}
+	cleanPool.Put(&b)
 }
 
 // putBuf makes a scratch buffer available for reuse.
@@ -43,6 +69,54 @@ func putBuf(b []byte) {
 		return
 	}
 	bufPool.Put(&b)
+}
+
+// payloadCache memoizes the synthetic message payloads. The fill is a pure
+// function of (seed, size) and sweeps re-synthesize the same payload for
+// every strategy and repetition, so Run/RunTransfer share one immutable
+// buffer per key instead of refilling megabytes per simulation. Entries are
+// read-only after insertion; callers must never write to or pool a cached
+// payload.
+var payloadCache struct {
+	sync.RWMutex
+	m     map[payloadKey][]byte
+	bytes int64
+}
+
+type payloadKey struct {
+	seed int64
+	size int64
+}
+
+// payloadCacheCap bounds the cache volume; once exceeded, further keys are
+// filled directly (uncached) so pathological sweeps cannot hold the whole
+// experiment set in memory.
+const payloadCacheCap = 256 << 20
+
+// payloadFor returns the deterministic payload for (seed, size). The result
+// is shared and read-only.
+func payloadFor(seed, size int64) []byte {
+	k := payloadKey{seed: seed, size: size}
+	payloadCache.RLock()
+	b := payloadCache.m[k]
+	payloadCache.RUnlock()
+	if b != nil {
+		return b
+	}
+	b = make([]byte, size)
+	fillPayload(seed, b)
+	payloadCache.Lock()
+	if have := payloadCache.m[k]; have != nil {
+		b = have // lost the race: share the winner
+	} else if payloadCache.bytes+size <= payloadCacheCap {
+		if payloadCache.m == nil {
+			payloadCache.m = make(map[payloadKey][]byte)
+		}
+		payloadCache.m[k] = b
+		payloadCache.bytes += size
+	}
+	payloadCache.Unlock()
+	return b
 }
 
 // fillPayload fills buf with a deterministic pseudo-random byte stream

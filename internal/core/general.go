@@ -7,6 +7,24 @@ import (
 	"spinddt/internal/spin"
 )
 
+// emitState gives the general-strategy handlers one reusable emit callback:
+// Segment.Process takes a func, and binding a fresh closure over the
+// handler arguments on every packet was one of the simulator's top
+// allocation sites. The closure is built once per simulation and reads the
+// current packet through cur.
+type emitState struct {
+	cur  *spin.HandlerArgs
+	emit func(memOff, streamOff, size int64)
+}
+
+func (e *emitState) init() {
+	e.emit = func(memOff, streamOff, size int64) {
+		a := e.cur
+		rel := streamOff - a.StreamOff
+		a.DMA.Write(memOff, a.Payload[rel:rel+size], spin.NoEvent)
+	}
+}
+
 // hpuLocalState implements the HPU-local strategy (Sec. 3.2.4): every vHPU
 // owns a private MPITypes segment, eliminating write conflicts without
 // synchronization. Under blocked-RR with Δp=1 and one vHPU per physical
@@ -17,10 +35,13 @@ type hpuLocalState struct {
 	cost CostModel
 	loop *dataloop.Dataloop
 	segs map[int]*dataloop.Segment
+	emitState
 }
 
 func newHPULocalState(cost CostModel, loop *dataloop.Dataloop) *hpuLocalState {
-	return &hpuLocalState{cost: cost, loop: loop, segs: make(map[int]*dataloop.Segment)}
+	h := &hpuLocalState{cost: cost, loop: loop, segs: make(map[int]*dataloop.Segment)}
+	h.init()
+	return h
 }
 
 // NICBytes: the dataloop description plus one segment per vHPU.
@@ -35,11 +56,8 @@ func (h *hpuLocalState) payload(a *spin.HandlerArgs) spin.Result {
 		seg = dataloop.NewSegment(h.loop)
 		h.segs[a.VHPU] = seg
 	}
-	st, err := seg.Process(a.StreamOff, a.StreamOff+int64(len(a.Payload)),
-		func(memOff, streamOff, size int64) {
-			rel := streamOff - a.StreamOff
-			a.DMA.Write(memOff, a.Payload[rel:rel+size], spin.NoEvent)
-		})
+	h.cur = a
+	st, err := seg.Process(a.StreamOff, a.StreamOff+int64(len(a.Payload)), h.emit)
 	if err != nil {
 		return spin.Result{Err: fmt.Errorf("hpu-local: %w", err)}
 	}
@@ -55,20 +73,28 @@ func (h *hpuLocalState) payload(a *spin.HandlerArgs) spin.Result {
 // snapshots the segment every Δr bytes; every handler clones the closest
 // checkpoint, catches up to its packet (bounded by Δr) and processes
 // without writing shared state back, so any packet can run on any HPU in
-// parallel.
+// parallel. The clone is modeled in the handler cost but executed as a
+// CopyFrom into one reusable scratch segment, so the simulator itself
+// allocates nothing per packet.
 type rocpState struct {
-	cost  CostModel
-	ckpts *dataloop.CheckpointSet
+	cost    CostModel
+	ckpts   *dataloop.CheckpointSet
+	scratch *dataloop.Segment
+	emitState
+}
+
+func newROCPState(cost CostModel, ckpts *dataloop.CheckpointSet) *rocpState {
+	r := &rocpState{cost: cost, ckpts: ckpts, scratch: ckpts.Master(0).Clone()}
+	r.init()
+	return r
 }
 
 func (r *rocpState) payload(a *spin.HandlerArgs) spin.Result {
 	i := r.ckpts.Index(a.StreamOff)
-	w := r.ckpts.Working(i) // local copy of the checkpoint
-	st, err := w.Process(a.StreamOff, a.StreamOff+int64(len(a.Payload)),
-		func(memOff, streamOff, size int64) {
-			rel := streamOff - a.StreamOff
-			a.DMA.Write(memOff, a.Payload[rel:rel+size], spin.NoEvent)
-		})
+	w := r.scratch
+	w.CopyFrom(r.ckpts.Master(i)) // local copy of the checkpoint
+	r.cur = a
+	st, err := w.Process(a.StreamOff, a.StreamOff+int64(len(a.Payload)), r.emit)
 	if err != nil {
 		return spin.Result{Err: fmt.Errorf("ro-cp: %w", err)}
 	}
@@ -90,10 +116,13 @@ type rwcpState struct {
 	cost    CostModel
 	ckpts   *dataloop.CheckpointSet
 	working map[int]*dataloop.Segment
+	emitState
 }
 
 func newRWCPState(cost CostModel, ckpts *dataloop.CheckpointSet) *rwcpState {
-	return &rwcpState{cost: cost, ckpts: ckpts, working: make(map[int]*dataloop.Segment)}
+	r := &rwcpState{cost: cost, ckpts: ckpts, working: make(map[int]*dataloop.Segment)}
+	r.init()
+	return r
 }
 
 func (r *rwcpState) payload(a *spin.HandlerArgs) spin.Result {
@@ -111,11 +140,8 @@ func (r *rwcpState) payload(a *spin.HandlerArgs) spin.Result {
 		w.CopyFrom(r.ckpts.Master(i))
 		init += r.cost.CopyTime(w.EncodedSize())
 	}
-	st, err := w.Process(a.StreamOff, a.StreamOff+int64(len(a.Payload)),
-		func(memOff, streamOff, size int64) {
-			rel := streamOff - a.StreamOff
-			a.DMA.Write(memOff, a.Payload[rel:rel+size], spin.NoEvent)
-		})
+	r.cur = a
+	st, err := w.Process(a.StreamOff, a.StreamOff+int64(len(a.Payload)), r.emit)
 	if err != nil {
 		return spin.Result{Err: fmt.Errorf("rw-cp: %w", err)}
 	}

@@ -117,10 +117,10 @@ func Run(req Request) (Result, error) {
 		return Result{}, fmt.Errorf("core: receive datatype has negative lower bound %d", lo)
 	}
 
-	// The scratch buffers come from a pool and go back on success; error
-	// paths simply drop them to the GC.
-	packed := getBuf(msgSize)
-	fillPayload(req.Seed, packed)
+	// The receive scratch comes from a pool and goes back on success; error
+	// paths simply drop it to the GC. The packed payload is a shared
+	// read-only buffer from the payload cache and is never pooled.
+	packed := payloadFor(req.Seed, msgSize)
 	dst := getZeroBuf(hi)
 
 	res := Result{
@@ -205,10 +205,22 @@ func Run(req Request) (Result, error) {
 			return Result{}, fmt.Errorf("core: %v %w", req.Strategy, err)
 		}
 		res.Verified = true
+		releaseRecvBuf(typ, req.Count, dst)
+	} else {
+		putBuf(dst)
 	}
-	putBuf(packed)
-	putBuf(dst)
 	return res, nil
+}
+
+// releaseRecvBuf returns a verified receive buffer to the clean pool: the
+// simulation only wrote the typemap's regions (verifyReference just proved
+// every gap is still zero), so re-zeroing those regions — at most the
+// message size, not the full extent — restores an all-zero buffer.
+func releaseRecvBuf(typ *ddt.Type, count int, dst []byte) {
+	typ.ForEachBlock(count, func(off, size int64) {
+		clear(dst[off : off+size])
+	})
+	putCleanBuf(dst)
 }
 
 // verifyReference checks the receive buffer byte-for-byte against the

@@ -92,13 +92,11 @@ func RunTransfer(req TransferRequest) (TransferResult, error) {
 	if sLo < 0 {
 		return TransferResult{}, fmt.Errorf("core: send datatype has negative lower bound %d", sLo)
 	}
-	src := getBuf(sHi)
-	fillPayload(req.Seed, src)
+	src := payloadFor(req.Seed, sHi) // shared read-only source image
 	packed := getBuf(msg)
 	if _, err := ddt.PackInto(sendTyp, req.Count, src, packed); err != nil {
 		return TransferResult{}, err
 	}
-	putBuf(src)
 
 	// Sender timing.
 	sendRes, err := RunSend(SendRequest{
@@ -172,8 +170,10 @@ func RunTransfer(req TransferRequest) (TransferResult, error) {
 			return TransferResult{}, fmt.Errorf("core: transfer %v->%v: %w", req.Send, req.Recv, err)
 		}
 		res.Verified = true
+		releaseRecvBuf(recvTyp, req.Count, dst)
+	} else {
+		putBuf(dst)
 	}
 	putBuf(packed)
-	putBuf(dst)
 	return res, nil
 }

@@ -37,13 +37,16 @@ func BuildCheckpoints(loop *Dataloop, interval int64) (*CheckpointSet, error) {
 	total := loop.Size()
 	cs := &CheckpointSet{Interval: interval, Total: total}
 	seg := NewSegment(loop)
+	count := int((total + interval - 1) / interval)
+	arena := newSegmentArena(count, loop.Depth())
+	cs.masters = make([]*Segment, 0, count)
 	for off := int64(0); off < total; off += interval {
 		st, err := seg.Process(seg.Pos(), off, nil)
 		if err != nil {
 			return nil, err
 		}
 		cs.Build.BlocksWalked += st.CatchupBlocks + st.EmitRegions
-		snap := seg.Clone()
+		snap := arena.clone(seg)
 		cs.Build.BytesCloned += snap.EncodedSize()
 		cs.masters = append(cs.masters, snap)
 	}

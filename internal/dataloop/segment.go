@@ -84,6 +84,46 @@ func (s *Segment) Clone() *Segment {
 	return &cp
 }
 
+// segmentArena bulk-allocates segments and their frame stacks: one slab of
+// Segment values and one slab of frames instead of two heap objects per
+// clone. BuildCheckpoints snapshots through it so a checkpoint set costs
+// two allocations total, not two per checkpoint.
+type segmentArena struct {
+	segs   []Segment
+	frames []frame
+}
+
+// newSegmentArena sizes the arena for count snapshots of stacks up to
+// maxDepth frames.
+func newSegmentArena(count int, maxDepth int) *segmentArena {
+	return &segmentArena{
+		segs:   make([]Segment, 0, count),
+		frames: make([]frame, 0, count*(maxDepth+1)),
+	}
+}
+
+// clone snapshots src into the arena. The returned segment behaves exactly
+// like src.Clone(); its stack begins as an arena sub-slice (capacity capped
+// so neighbouring snapshots never alias) and reallocates out of the arena
+// only if it later grows past the snapshot depth.
+func (a *segmentArena) clone(src *Segment) *Segment {
+	if len(a.segs) == cap(a.segs) {
+		// Arena exhausted (caller under-sized it): fall back to the heap.
+		return src.Clone()
+	}
+	a.segs = a.segs[:len(a.segs)+1]
+	cp := &a.segs[len(a.segs)-1]
+	*cp = *src
+	start := len(a.frames)
+	if cap(a.frames)-start < len(src.stack) {
+		cp.stack = append([]frame(nil), src.stack...)
+		return cp
+	}
+	a.frames = append(a.frames, src.stack...)
+	cp.stack = a.frames[start:len(a.frames):len(a.frames)]
+	return cp
+}
+
 // CopyFrom overwrites the segment state from src (same dataloop), reusing
 // the stack allocation. It is the "make a local copy of the checkpoint"
 // step of RO-CP and the revert step of RW-CP.

@@ -328,7 +328,9 @@ func Fig15DMAQueueOverTime(msgBytes int64, points int) (*Table, error) {
 	strategies := []core.Strategy{core.HPULocal, core.ROCP, core.RWCP, core.Specialized}
 	err := sweepRows(t, len(strategies), func(i int) ([]string, error) {
 		s := strategies[i]
-		res, err := core.Run(core.NewRequest(s, typ, 1))
+		req := core.NewRequest(s, typ, 1)
+		req.NIC.CollectDMASeries = true
+		res, err := core.Run(req)
 		if err != nil {
 			return nil, err
 		}

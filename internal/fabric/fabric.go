@@ -63,6 +63,25 @@ type Packet struct {
 	Completion bool
 }
 
+// packetAt synthesizes packet idx of an n-packet message: every packet's
+// fields are a pure function of its index. Packetize and AppendSchedule
+// both build packets through this, so the two schedule paths cannot
+// diverge.
+func (c Config) packetAt(idx, n int, msgSize int64) Packet {
+	off := int64(idx) * c.MTU
+	size := c.MTU
+	if off+size > msgSize {
+		size = msgSize - off
+	}
+	return Packet{
+		Index:      idx,
+		StreamOff:  off,
+		Size:       size,
+		Header:     idx == 0,
+		Completion: idx == n-1,
+	}
+}
+
 // Packetize splits a message of msgSize bytes into MTU-sized packets.
 func (c Config) Packetize(msgSize int64) ([]Packet, error) {
 	if msgSize <= 0 {
@@ -74,18 +93,7 @@ func (c Config) Packetize(msgSize int64) ([]Packet, error) {
 	n := int((msgSize + c.MTU - 1) / c.MTU)
 	pkts := make([]Packet, n)
 	for i := range pkts {
-		off := int64(i) * c.MTU
-		size := c.MTU
-		if off+size > msgSize {
-			size = msgSize - off
-		}
-		pkts[i] = Packet{
-			Index:      i,
-			StreamOff:  off,
-			Size:       size,
-			Header:     i == 0,
-			Completion: i == n-1,
-		}
+		pkts[i] = c.packetAt(i, n, msgSize)
 	}
 	return pkts, nil
 }
@@ -111,38 +119,54 @@ type Arrival struct {
 // header packet first and the completion packet last, which Schedule
 // enforces regardless of the permutation of the middle packets.
 func (c Config) Schedule(msgSize int64, start sim.Time, order []int) ([]Arrival, error) {
-	pkts, err := c.Packetize(msgSize)
-	if err != nil {
-		return nil, err
+	return c.AppendSchedule(nil, msgSize, start, order)
+}
+
+// AppendSchedule is Schedule appending into dst (which may be nil or a
+// recycled buffer), so hot callers can reuse one arrival slice across
+// simulations. Packets are synthesized on the fly — their fields are pure
+// functions of the packet index — instead of materializing an intermediate
+// packet list.
+func (c Config) AppendSchedule(dst []Arrival, msgSize int64, start sim.Time, order []int) ([]Arrival, error) {
+	if msgSize <= 0 {
+		return nil, fmt.Errorf("fabric: message size %d", msgSize)
 	}
-	n := len(pkts)
-	if order == nil {
-		order = make([]int, n)
-		for i := range order {
-			order[i] = i
+	if c.MTU <= 0 {
+		return nil, fmt.Errorf("fabric: MTU %d", c.MTU)
+	}
+	n := int((msgSize + c.MTU - 1) / c.MTU)
+	if order != nil {
+		if len(order) != n {
+			return nil, fmt.Errorf("fabric: order has %d entries for %d packets", len(order), n)
 		}
-	}
-	if len(order) != n {
-		return nil, fmt.Errorf("fabric: order has %d entries for %d packets", len(order), n)
-	}
-	seen := make([]bool, n)
-	for _, idx := range order {
-		if idx < 0 || idx >= n || seen[idx] {
-			return nil, fmt.Errorf("fabric: order is not a permutation")
+		seen := make([]bool, n)
+		for _, idx := range order {
+			if idx < 0 || idx >= n || seen[idx] {
+				return nil, fmt.Errorf("fabric: order is not a permutation")
+			}
+			seen[idx] = true
 		}
-		seen[idx] = true
-	}
-	if n > 1 && (order[0] != 0 || order[n-1] != n-1) {
-		return nil, fmt.Errorf("fabric: header packet must be delivered first and completion last")
+		if n > 1 && (order[0] != 0 || order[n-1] != n-1) {
+			return nil, fmt.Errorf("fabric: header packet must be delivered first and completion last")
+		}
 	}
 
-	arrivals := make([]Arrival, n)
 	t := start + c.WireLatency
-	for slot, idx := range order {
-		t += c.PacketTime(pkts[idx].Size)
-		arrivals[slot] = Arrival{Packet: pkts[idx], At: t}
+	mtuTime := c.PacketTime(c.MTU) // all packets but the tail share it
+	for slot := 0; slot < n; slot++ {
+		idx := slot
+		if order != nil {
+			idx = order[slot]
+		}
+		p := c.packetAt(idx, n, msgSize)
+		if p.Size == c.MTU {
+			t += mtuTime
+		} else {
+			t += c.PacketTime(p.Size)
+		}
+		dst = append(dst, Arrival{Packet: p, At: t})
 	}
-	return arrivals, nil
+	return dst, nil
 }
 
 // ReorderWindow returns a delivery permutation where each packet is

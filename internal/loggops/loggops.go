@@ -104,6 +104,94 @@ type Result struct {
 	Messages int64
 }
 
+// Typed event kinds of the LogGOPS replay: a is the rank to progress.
+// Registered in init because advance schedules kindWake itself.
+var (
+	kindKick sim.Kind // time-zero kick: progress the rank unconditionally
+	kindWake sim.Kind // message arrival: progress the rank if blocked
+)
+
+func init() {
+	kindKick = sim.RegisterKind("loggops.kick", func(ctx any, a, _ int64) {
+		ctx.(*logSim).advance(int(a))
+	})
+	kindWake = sim.RegisterKind("loggops.wake", func(ctx any, a, _ int64) {
+		s := ctx.(*logSim)
+		if s.ranks[a].blocked {
+			s.advance(int(a))
+		}
+	})
+}
+
+// logSim is the replay state: per-rank cursors and the in-flight message
+// arrival queues.
+type logSim struct {
+	eng      *sim.Engine
+	self     sim.Ctx
+	params   Params
+	sched    Schedule
+	ranks    []rankState
+	arrivals map[msgKey][]sim.Time
+	messages int64
+}
+
+// advance replays rank r's schedule until it blocks in a receive or
+// finishes.
+func (s *logSim) advance(r int) {
+	st := &s.ranks[r]
+	st.blocked = false
+	for st.pc < len(s.sched[r]) {
+		op := s.sched[r][st.pc]
+		switch op.Kind {
+		case OpCalc:
+			st.cpuFree += op.Dur
+			st.pc++
+
+		case OpSend:
+			start := st.cpuFree
+			if st.nicFree > start {
+				start = st.nicFree
+			}
+			injected := start + s.params.O
+			st.cpuFree = injected
+			gap := s.params.G
+			if bt := s.params.ByteTime(op.Bytes); bt > gap {
+				gap = bt
+			}
+			st.nicFree = injected + gap
+			arrival := injected + s.params.L + s.params.ByteTime(op.Bytes)
+			key := msgKey{src: r, dst: op.Peer, tag: op.Tag}
+			s.arrivals[key] = append(s.arrivals[key], arrival)
+			s.eng.Post(arrival, kindWake, s.self, int64(op.Peer), 0)
+			s.messages++
+			st.pc++
+
+		case OpRecv:
+			key := msgKey{src: op.Peer, dst: r, tag: op.Tag}
+			queue := s.arrivals[key]
+			if len(queue) == 0 {
+				st.blocked = true
+				return // resumed by the arrival event
+			}
+			arrival := queue[0]
+			if arrival > s.eng.Now() {
+				// Arrival known but in the future relative to this
+				// rank's progress: wait for its event.
+				if arrival > st.cpuFree {
+					st.blocked = true
+					return
+				}
+			}
+			s.arrivals[key] = queue[1:]
+			if arrival > st.cpuFree {
+				st.cpuFree = arrival
+			}
+			st.cpuFree += s.params.O + op.Dur
+			st.pc++
+		}
+	}
+}
+
 // Run replays the schedule under the LogGOPS model and returns the
 // makespan. Receives match sends by (src, dst, tag) in FIFO order.
 func Run(params Params, sched Schedule) (Result, error) {
@@ -111,86 +199,32 @@ func Run(params Params, sched Schedule) (Result, error) {
 	if n == 0 {
 		return Result{}, errors.New("loggops: empty schedule")
 	}
-	eng := sim.New()
-	ranks := make([]rankState, n)
-	arrivals := make(map[msgKey][]sim.Time)
-	res := Result{RankFinish: make([]sim.Time, n)}
-
-	var advance func(r int)
-	advance = func(r int) {
-		st := &ranks[r]
-		st.blocked = false
-		for st.pc < len(sched[r]) {
-			op := sched[r][st.pc]
-			switch op.Kind {
-			case OpCalc:
-				st.cpuFree += op.Dur
-				st.pc++
-
-			case OpSend:
-				start := st.cpuFree
-				if st.nicFree > start {
-					start = st.nicFree
-				}
-				injected := start + params.O
-				st.cpuFree = injected
-				gap := params.G
-				if bt := params.ByteTime(op.Bytes); bt > gap {
-					gap = bt
-				}
-				st.nicFree = injected + gap
-				arrival := injected + params.L + params.ByteTime(op.Bytes)
-				key := msgKey{src: r, dst: op.Peer, tag: op.Tag}
-				arrivals[key] = append(arrivals[key], arrival)
-				dst := op.Peer
-				eng.At(arrival, func() {
-					if ranks[dst].blocked {
-						advance(dst)
-					}
-				})
-				res.Messages++
-				st.pc++
-
-			case OpRecv:
-				key := msgKey{src: op.Peer, dst: r, tag: op.Tag}
-				queue := arrivals[key]
-				if len(queue) == 0 {
-					st.blocked = true
-					return // resumed by the arrival event
-				}
-				arrival := queue[0]
-				if arrival > eng.Now() {
-					// Arrival known but in the future relative to this
-					// rank's progress: wait for its event.
-					if arrival > st.cpuFree {
-						st.blocked = true
-						return
-					}
-				}
-				arrivals[key] = queue[1:]
-				if arrival > st.cpuFree {
-					st.cpuFree = arrival
-				}
-				st.cpuFree += params.O + op.Dur
-				st.pc++
-			}
-		}
+	eng := sim.Acquire()
+	defer sim.Release(eng)
+	s := &logSim{
+		eng:      eng,
+		params:   params,
+		sched:    sched,
+		ranks:    make([]rankState, n),
+		arrivals: make(map[msgKey][]sim.Time),
 	}
+	s.self = eng.Bind(s)
+	res := Result{RankFinish: make([]sim.Time, n)}
 
 	// Kick every rank at time zero, then run arrival-driven progress.
 	for r := 0; r < n; r++ {
-		r := r
-		eng.At(0, func() { advance(r) })
+		eng.Post(0, kindKick, s.self, int64(r), 0)
 	}
 	eng.Run()
+	res.Messages = s.messages
 
-	for r := range ranks {
-		if ranks[r].pc < len(sched[r]) {
-			return Result{}, fmt.Errorf("loggops: rank %d deadlocked at op %d", r, ranks[r].pc)
+	for r := range s.ranks {
+		if s.ranks[r].pc < len(sched[r]) {
+			return Result{}, fmt.Errorf("loggops: rank %d deadlocked at op %d", r, s.ranks[r].pc)
 		}
-		fin := ranks[r].cpuFree
-		if ranks[r].nicFree > fin {
-			fin = ranks[r].nicFree
+		fin := s.ranks[r].cpuFree
+		if s.ranks[r].nicFree > fin {
+			fin = s.ranks[r].nicFree
 		}
 		res.RankFinish[r] = fin
 		if fin > res.Makespan {

@@ -1,0 +1,64 @@
+package nic
+
+import (
+	"testing"
+
+	"spinddt/internal/pcie"
+	"spinddt/internal/portals"
+	"spinddt/internal/sim"
+)
+
+// TestDMAWritePathSteadyStateAllocs guards the tentpole property of the
+// typed event engine: once warm, the NIC's DMA write path — issuing write
+// bursts, booking the channel pool and PCIe link, and firing the depth
+// completion events — performs zero heap allocations per event.
+func TestDMAWritePathSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; alloc guard runs without -race")
+	}
+	eng := sim.New()
+	host := make([]byte, 1<<16)
+	d := newDMAEngine(eng, pcie.DefaultConfig(), 32, 80*sim.Nanosecond, host, false)
+
+	burst := func() {
+		for i := 0; i < 64; i++ {
+			d.write(4, 4096)
+		}
+		eng.Run()
+	}
+	for i := 0; i < 16; i++ {
+		burst() // warm the engine's queue storage
+	}
+	if n := testing.AllocsPerRun(200, burst); n != 0 {
+		t.Fatalf("steady-state DMA write path allocates %v per burst, want 0", n)
+	}
+}
+
+// TestReceiveSteadyStateAllocBound checks that repeated receives of the
+// same message shape settle into a small, flat allocation profile: the
+// per-event costs (closures, boxed events) that used to dominate are gone,
+// leaving only per-simulation state.
+func TestReceiveSteadyStateAllocBound(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; alloc guard runs without -race")
+	}
+	cfg := DefaultConfig()
+	packed := randPacked(64*2048, 99)
+	host := make([]byte, len(packed))
+	pt := newPT(t, &portals.ME{Match: 3, Region: portals.HostRegion{Length: int64(len(packed))}})
+
+	recv := func() {
+		if _, err := Receive(cfg, pt, 3, packed, host, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 8; i++ {
+		recv()
+	}
+	n := testing.AllocsPerRun(50, recv)
+	// 64 packets used to cost hundreds of closure allocations; the typed
+	// path leaves only the per-simulation structures.
+	if n > 40 {
+		t.Fatalf("steady-state receive allocates %v per message", n)
+	}
+}

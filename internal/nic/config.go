@@ -59,6 +59,11 @@ type Config struct {
 	// and request accounting stay exact).
 	MaxWriteChunks int
 
+	// CollectDMASeries enables recording the DMA queue-depth time series
+	// (DMAStats.Samples), needed only by the Fig. 15 study; the depth
+	// tracking itself (MaxQueueDepth) is always on.
+	CollectDMASeries bool
+
 	// Trace, when non-nil, records the pipeline events of the simulation.
 	Trace *Trace
 }

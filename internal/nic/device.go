@@ -3,6 +3,7 @@ package nic
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"spinddt/internal/fabric"
 	"spinddt/internal/portals"
@@ -59,39 +60,113 @@ type writeOp struct {
 	flags   spin.WriteFlags
 }
 
-// writeBuffer collects the DMA writes of one handler execution.
+// writeBuffer collects the DMA writes of one handler execution. One buffer
+// per simulation is reused across handler runs: the ops are consumed
+// synchronously by scheduleWrites before the next run begins.
 type writeBuffer struct{ ops []writeOp }
 
 func (w *writeBuffer) Write(hostOff int64, data []byte, flags spin.WriteFlags) {
 	w.ops = append(w.ops, writeOp{hostOff: hostOff, data: data, flags: flags})
 }
 
-// vhpu is a scheduling unit: a virtual HPU owning a FIFO of packets.
+// vhpu is a scheduling unit: a virtual HPU owning a FIFO of packets. It
+// carries its simulation so a handler-end event needs only the vhpu as
+// context.
 type vhpu struct {
+	s        *rxSim
+	self     sim.Ctx
 	id       int
 	queue    []fabric.Packet
+	inline   [4]fabric.Packet // initial queue storage; spills to the heap
 	running  bool
 	enqueued bool
 }
 
+// Typed event kinds of the receive pipeline. Each handler recovers its
+// simulation (or vhpu) from the event context and its packet from the
+// scalar arguments — no per-event closures, no per-event allocations. The
+// kinds are registered in init (not var initializers) because the handlers
+// call methods that schedule the same kinds.
+var (
+	kindRxArrival         sim.Kind // a = delivery slot into rxSim.arrivals
+	kindRxRDMA            sim.Kind // a = delivery slot (non-processing RDMA delivery)
+	kindRxHER             sim.Kind // a = delivery slot (handler execution request)
+	kindRxPortalsEvent    sim.Kind // a = portals.EventKind to post
+	kindRxHandlerEnd      sim.Kind // ctx = *vhpu, a = packet index (trace only)
+	kindRxDMAChunk        sim.Kind // a = DMA requests, b = payload bytes
+	kindRxCompletionWrite sim.Kind // completion handler finished: final write
+)
+
+func init() {
+	kindRxArrival = sim.RegisterKind("nic.rxArrival", func(ctx any, a, _ int64) {
+		ctx.(*rxSim).onArrival(int(a))
+	})
+	kindRxRDMA = sim.RegisterKind("nic.rxRDMA", func(ctx any, a, _ int64) {
+		s := ctx.(*rxSim)
+		s.rdmaDeliver(s.arrivals[a].Packet)
+	})
+	kindRxHER = sim.RegisterKind("nic.rxHER", func(ctx any, a, _ int64) {
+		s := ctx.(*rxSim)
+		p := s.arrivals[a].Packet
+		s.cfg.Trace.add(TraceEvent{At: s.eng.Now(), Kind: TraceHER, Pkt: p.Index, VHPU: -1})
+		s.enqueue(p)
+	})
+	kindRxPortalsEvent = sim.RegisterKind("nic.rxPortalsEvent", func(ctx any, a, _ int64) {
+		s := ctx.(*rxSim)
+		s.pt.PostEvent(portals.Event{Kind: portals.EventKind(a), Match: s.bits, Size: s.res.MsgBytes})
+	})
+	kindRxHandlerEnd = sim.RegisterKind("nic.rxHandlerEnd", func(ctx any, a, _ int64) {
+		v := ctx.(*vhpu)
+		s := v.s
+		s.cfg.Trace.add(TraceEvent{At: s.eng.Now(), Kind: TraceHandlerEnd, Pkt: int(a), VHPU: v.id})
+		s.handlerDone(v)
+	})
+	kindRxDMAChunk = sim.RegisterKind("nic.rxDMAChunk", func(ctx any, a, b int64) {
+		s := ctx.(*rxSim)
+		s.cfg.Trace.add(TraceEvent{At: s.eng.Now(), Kind: TraceDMAIssue, Pkt: -1, VHPU: -1, Reqs: a, Bytes: b})
+		end := s.dma.write(a, b) + s.cfg.PCIeWriteLatency
+		if end > s.lastWriteDone {
+			s.lastWriteDone = end
+		}
+	})
+	kindRxCompletionWrite = sim.RegisterKind("nic.rxCompletionWrite", func(ctx any, _, _ int64) {
+		s := ctx.(*rxSim)
+		// The final write flushes behind all data writes on the FIFO link.
+		done := s.dma.write(1, 0) + s.cfg.PCIeWriteLatency
+		if done < s.lastWriteDone {
+			done = s.lastWriteDone
+		}
+		s.finishCompletion(done)
+	})
+}
+
 type rxSim struct {
-	cfg Config
-	eng *sim.Engine
+	cfg  Config
+	eng  *sim.Engine
+	self sim.Ctx
 
 	pt   *portals.PT
 	bits portals.MatchBits
 	me   *portals.ME
 	ctx  *spin.ExecutionContext
 
-	packed []byte
-	host   []byte
+	packed   []byte
+	host     []byte
+	arrivals []fabric.Arrival
 
-	inbound sim.Server
-	dma     *dmaEngine
+	inbound     sim.Server
+	dma         *dmaEngine
+	mtuCopyTime sim.Time // NICMemCopyTime(MTU), the per-packet staging cost
 
 	freeHPUs int
 	ready    []*vhpu
-	vhpus    map[int]*vhpu
+	vhpus    []*vhpu // dense vid -> scheduling unit
+	vslab    []vhpu  // chunked backing storage for new vhpus
+
+	// wb and args are reused across handler executions (the handlers run
+	// synchronously and must not retain them).
+	wb   writeBuffer
+	args spin.HandlerArgs
 
 	payloadsLeft      int
 	completionArrived bool
@@ -103,6 +178,23 @@ type rxSim struct {
 
 	res Result
 	err error
+}
+
+// arrivalBufPool recycles arrival-schedule slices across receives.
+var arrivalBufPool sync.Pool
+
+func getArrivalBuf() []fabric.Arrival {
+	if v := arrivalBufPool.Get(); v != nil {
+		return (*v.(*[]fabric.Arrival))[:0]
+	}
+	return nil
+}
+
+func putArrivalBuf(buf []fabric.Arrival) {
+	if cap(buf) == 0 {
+		return
+	}
+	arrivalBufPool.Put(&buf)
 }
 
 // Receive simulates the arrival and processing of one message: packets are
@@ -118,11 +210,13 @@ func Receive(cfg Config, pt *portals.PT, bits portals.MatchBits, packed, host []
 	if len(packed) == 0 {
 		return Result{}, errors.New("nic: empty message")
 	}
-	arrivals, err := cfg.Fabric.Schedule(int64(len(packed)), 0, order)
+	arrivals, err := cfg.Fabric.AppendSchedule(getArrivalBuf(), int64(len(packed)), 0, order)
 	if err != nil {
 		return Result{}, err
 	}
-	return ReceiveArrivals(cfg, pt, bits, packed, host, arrivals)
+	res, err := ReceiveArrivals(cfg, pt, bits, packed, host, arrivals)
+	putArrivalBuf(arrivals)
+	return res, err
 }
 
 // ReceiveArrivals is Receive with an explicit packet arrival schedule,
@@ -140,24 +234,28 @@ func ReceiveArrivals(cfg Config, pt *portals.PT, bits portals.MatchBits, packed,
 		return Result{}, errors.New("nic: empty arrival schedule")
 	}
 
+	eng := sim.Acquire()
+	defer sim.Release(eng)
 	s := &rxSim{
 		cfg:      cfg,
-		eng:      sim.New(),
+		eng:      eng,
 		pt:       pt,
 		bits:     bits,
 		packed:   packed,
 		host:     host,
+		arrivals: arrivals,
 		freeHPUs: cfg.HPUs,
-		vhpus:    make(map[int]*vhpu),
+		vhpus:    make([]*vhpu, len(arrivals)),
 	}
-	s.dma = newDMAEngine(s.eng, cfg.PCIe, cfg.Channels(), cfg.DMAChannelOccupancy, host)
+	s.self = eng.Bind(s)
+	s.mtuCopyTime = cfg.NICMemCopyTime(cfg.Fabric.MTU)
+	s.dma = newDMAEngine(s.eng, cfg.PCIe, cfg.Channels(), cfg.DMAChannelOccupancy, host, cfg.CollectDMASeries)
 	s.res.MsgBytes = int64(len(packed))
 	s.res.FirstByte = arrivals[0].At - cfg.Fabric.PacketTime(arrivals[0].Packet.Size)
 	s.payloadsLeft = len(arrivals)
 
-	for _, a := range arrivals {
-		a := a
-		s.eng.At(a.At, func() { s.onArrival(a) })
+	for i := range arrivals {
+		s.eng.Post(arrivals[i].At, kindRxArrival, s.self, int64(i), 0)
 	}
 	s.eng.Run()
 
@@ -184,10 +282,11 @@ func (s *rxSim) fail(err error) {
 	}
 }
 
-func (s *rxSim) onArrival(a fabric.Arrival) {
+func (s *rxSim) onArrival(slot int) {
 	if s.err != nil {
 		return
 	}
+	a := s.arrivals[slot]
 	p := a.Packet
 
 	if p.Header {
@@ -221,19 +320,21 @@ func (s *rxSim) onArrival(a fabric.Arrival) {
 		occ += s.cfg.MatchTime
 	}
 	if s.ctx != nil {
-		occ += s.cfg.NICMemCopyTime(p.Size) // stage payload into NIC memory
+		// Stage the payload into NIC memory (cached for full-size packets).
+		if p.Size == s.cfg.Fabric.MTU {
+			occ += s.mtuCopyTime
+		} else {
+			occ += s.cfg.NICMemCopyTime(p.Size)
+		}
 	}
 	_, inboundDone := s.inbound.Acquire(a.At, occ)
 
 	if s.ctx == nil {
 		// Non-processing RDMA path: one bulk DMA write per packet.
-		s.eng.At(inboundDone, func() { s.rdmaDeliver(p) })
+		s.eng.Post(inboundDone, kindRxRDMA, s.self, int64(slot), 0)
 		return
 	}
-	s.eng.At(inboundDone+s.cfg.HERDispatch, func() {
-		s.cfg.Trace.add(TraceEvent{At: s.eng.Now(), Kind: TraceHER, Pkt: p.Index, VHPU: -1})
-		s.enqueue(p)
-	})
+	s.eng.Post(inboundDone+s.cfg.HERDispatch, kindRxHER, s.self, int64(slot), 0)
 }
 
 // rdmaDeliver lands one packet of a non-processing message.
@@ -247,9 +348,7 @@ func (s *rxSim) rdmaDeliver(p fabric.Packet) {
 	s.payloadsLeft--
 	if s.payloadsLeft == 0 {
 		done := s.lastWriteDone
-		s.eng.At(done, func() {
-			s.pt.PostEvent(portals.Event{Kind: portals.EventPut, Match: s.bits, Size: s.res.MsgBytes})
-		})
+		s.eng.Post(done, kindRxPortalsEvent, s.self, int64(portals.EventPut), 0)
 		s.res.Done = done
 	}
 }
@@ -268,9 +367,19 @@ func (s *rxSim) enqueue(p fabric.Packet) {
 	if vid < 0 {
 		vid = p.Index // default policy: every packet independent
 	}
+	for vid >= len(s.vhpus) {
+		s.vhpus = append(s.vhpus, nil)
+	}
 	v := s.vhpus[vid]
 	if v == nil {
-		v = &vhpu{id: vid}
+		if len(s.vslab) == 0 {
+			s.vslab = make([]vhpu, 64)
+		}
+		v = &s.vslab[0]
+		s.vslab = s.vslab[1:]
+		v.s, v.id = s, vid
+		v.queue = v.inline[:0]
+		v.self = s.eng.Bind(v)
 		s.vhpus[vid] = v
 	}
 	v.queue = append(v.queue, p)
@@ -303,16 +412,16 @@ func (s *rxSim) runNext(v *vhpu) {
 	p := v.queue[0]
 	v.queue = v.queue[1:]
 
-	var wb writeBuffer
-	args := &spin.HandlerArgs{
+	s.wb.ops = s.wb.ops[:0]
+	s.args = spin.HandlerArgs{
 		StreamOff: p.StreamOff,
 		Payload:   s.packed[p.StreamOff : p.StreamOff+p.Size],
 		MsgSize:   s.res.MsgBytes,
 		PktIndex:  p.Index,
 		VHPU:      v.id,
-		DMA:       &wb,
+		DMA:       &s.wb,
 	}
-	res := s.ctx.Payload(args)
+	res := s.ctx.Payload(&s.args)
 	if res.Err != nil {
 		s.fail(fmt.Errorf("nic: payload handler packet %d: %w", p.Index, res.Err))
 		return
@@ -328,16 +437,14 @@ func (s *rxSim) runNext(v *vhpu) {
 	start := s.eng.Now()
 	end := start + res.Runtime
 	s.cfg.Trace.add(TraceEvent{At: start, Kind: TraceHandlerStart, Pkt: p.Index, VHPU: v.id, Dur: res.Runtime})
-	s.scheduleWrites(start, res.Runtime, wb.ops)
-	s.eng.At(end, func() {
-		s.cfg.Trace.add(TraceEvent{At: end, Kind: TraceHandlerEnd, Pkt: p.Index, VHPU: v.id})
-		s.handlerDone(v)
-	})
+	s.scheduleWrites(start, res.Runtime, s.wb.ops)
+	s.eng.Post(end, kindRxHandlerEnd, v.self, int64(p.Index), 0)
 }
 
 // scheduleWrites performs the functional copies immediately and spreads the
 // timing of the write requests across the handler runtime in bounded
-// chunks.
+// chunks. ops is only read during the call; the chunk events carry their
+// request and byte counts as scalars.
 func (s *rxSim) scheduleWrites(start sim.Time, runtime sim.Time, ops []writeOp) {
 	n := len(ops)
 	if n == 0 {
@@ -366,15 +473,8 @@ func (s *rxSim) scheduleWrites(start sim.Time, runtime sim.Time, ops []writeOp) 
 			bytes += int64(len(ops[idx].data))
 			idx++
 		}
-		reqs, tot := int64(cnt), bytes
 		at := start + sim.Time(int64(runtime)*int64(c+1)/int64(chunks))
-		s.eng.At(at, func() {
-			s.cfg.Trace.add(TraceEvent{At: at, Kind: TraceDMAIssue, Pkt: -1, VHPU: -1, Reqs: reqs, Bytes: tot})
-			end := s.dma.write(reqs, tot) + s.cfg.PCIeWriteLatency
-			if end > s.lastWriteDone {
-				s.lastWriteDone = end
-			}
-		})
+		s.eng.Post(at, kindRxDMAChunk, s.self, int64(cnt), bytes)
 	}
 }
 
@@ -400,36 +500,29 @@ func (s *rxSim) handlerDone(v *vhpu) {
 	}
 }
 
+// finishCompletion records the completion time and posts the host event.
+func (s *rxSim) finishCompletion(at sim.Time) {
+	s.cfg.Trace.add(TraceEvent{At: at, Kind: TraceCompletion, Pkt: -1, VHPU: -1})
+	s.res.Done = at
+	s.eng.Post(at, kindRxPortalsEvent, s.self, int64(portals.EventHandlerCompletion), 0)
+}
+
 // runCompletion executes the completion handler (Sec. 3.2.2): a final
 // zero-byte DMA write with events enabled, signalling the host that the
 // message is fully unpacked.
 func (s *rxSim) runCompletion() {
-	finish := func(at sim.Time) {
-		s.cfg.Trace.add(TraceEvent{At: at, Kind: TraceCompletion, Pkt: -1, VHPU: -1})
-		s.res.Done = at
-		s.eng.At(at, func() {
-			s.pt.PostEvent(portals.Event{Kind: portals.EventHandlerCompletion, Match: s.bits, Size: s.res.MsgBytes})
-		})
-	}
 	if s.ctx.Completion == nil {
-		finish(s.lastWriteDone)
+		s.finishCompletion(s.lastWriteDone)
 		return
 	}
-	var wb writeBuffer
-	args := &spin.HandlerArgs{MsgSize: s.res.MsgBytes, DMA: &wb}
-	res := s.ctx.Completion(args)
+	s.wb.ops = s.wb.ops[:0]
+	s.args = spin.HandlerArgs{MsgSize: s.res.MsgBytes, DMA: &s.wb}
+	res := s.ctx.Completion(&s.args)
 	if res.Err != nil {
 		s.fail(fmt.Errorf("nic: completion handler: %w", res.Err))
 		return
 	}
 	s.res.HPUBusy += res.Runtime
 	end := s.eng.Now() + res.Runtime
-	s.eng.At(end, func() {
-		// The final write flushes behind all data writes on the FIFO link.
-		done := s.dma.write(1, 0) + s.cfg.PCIeWriteLatency
-		if done < s.lastWriteDone {
-			done = s.lastWriteDone
-		}
-		finish(done)
-	})
+	s.eng.Post(end, kindRxCompletionWrite, s.self, 0, 0)
 }

@@ -22,11 +22,19 @@ type DMAStats struct {
 	WireBytes int64
 	// MaxQueueDepth is the peak number of outstanding write requests.
 	MaxQueueDepth int
-	// Samples is the decimated (time, depth) series.
+	// Samples is the decimated (time, depth) series. It is only recorded
+	// when Config.CollectDMASeries is set (the Fig. 15 study); depth and
+	// MaxQueueDepth are always tracked.
 	Samples []QueueSample
 	// ReadStalls counts DMA reads (iovec refills) issued toward the host.
 	ReadStalls int64
 }
+
+// kindDMADepth adjusts the outstanding-request depth when a write burst
+// completes: ctx is the engine, a the (negative) request delta.
+var kindDMADepth = sim.RegisterKind("nic.dmaDepth", func(ctx any, a, _ int64) {
+	ctx.(*dmaEngine).adjustDepth(int(a))
+})
 
 // dmaEngine models the NIC's DMA write path: a pool of channels each with a
 // fixed per-request occupancy, feeding a shared PCIe link. Writes copy
@@ -34,42 +42,47 @@ type DMAStats struct {
 // completion times come from the channel and link servers (timing layer).
 type dmaEngine struct {
 	eng      *sim.Engine
+	self     sim.Ctx
 	channels *sim.MultiServer
-	link     *sim.Server
-	pcie     pcie.Config
+	link     sim.Server
+	pcie     pcie.Link
 	perReq   sim.Time
 
 	host  []byte
 	depth int
 	stats DMAStats
 
-	sampleStride int // decimation factor for the depth series
-	sampleSkip   int
+	collectSeries bool
+	sampleStride  int // decimation factor for the depth series
+	sampleSkip    int
 }
 
-func newDMAEngine(eng *sim.Engine, p pcie.Config, channels int, perReq sim.Time, host []byte) *dmaEngine {
-	return &dmaEngine{
-		eng:          eng,
-		channels:     sim.NewMultiServer(channels),
-		link:         &sim.Server{},
-		pcie:         p,
-		perReq:       perReq,
-		host:         host,
-		sampleStride: 1,
+func newDMAEngine(eng *sim.Engine, p pcie.Config, channels int, perReq sim.Time, host []byte, series bool) *dmaEngine {
+	d := &dmaEngine{
+		eng:           eng,
+		channels:      sim.NewMultiServer(channels),
+		pcie:          pcie.NewLink(p),
+		perReq:        perReq,
+		host:          host,
+		collectSeries: series,
+		sampleStride:  1,
 	}
+	d.self = eng.Bind(d)
+	return d
 }
 
 // write issues reqs DMA write requests at the current simulation time,
 // moving total payload bytes. The payload has already been copied to the
 // host buffer by the caller; this accounts timing and queue depth. It
-// returns the completion time of the last request.
+// returns the completion time of the last request. The steady-state path
+// performs no heap allocations: the depth completion is a typed event.
 func (d *dmaEngine) write(reqs int64, totalBytes int64) sim.Time {
 	if reqs <= 0 {
 		return d.eng.Now()
 	}
 	now := d.eng.Now()
 	_, chanEnd := d.channels.Acquire(now, sim.Time(reqs)*d.perReq)
-	wire := sim.FromSeconds(float64(totalBytes+reqs*d.pcie.TLPHeaderBytes) / d.pcie.Bandwidth())
+	wire := d.pcie.BurstTime(reqs, totalBytes)
 	_, end := d.link.Acquire(chanEnd, wire)
 
 	d.stats.Writes += reqs
@@ -77,7 +90,7 @@ func (d *dmaEngine) write(reqs int64, totalBytes int64) sim.Time {
 	d.stats.WireBytes += totalBytes + reqs*d.pcie.TLPHeaderBytes
 
 	d.adjustDepth(int(reqs))
-	d.eng.At(end, func() { d.adjustDepth(-int(reqs)) })
+	d.eng.Post(end, kindDMADepth, d.self, -reqs, 0)
 	return end
 }
 
@@ -92,6 +105,9 @@ func (d *dmaEngine) adjustDepth(delta int) {
 	d.depth += delta
 	if d.depth > d.stats.MaxQueueDepth {
 		d.stats.MaxQueueDepth = d.depth
+	}
+	if !d.collectSeries {
+		return
 	}
 	d.sampleSkip++
 	if d.sampleSkip >= d.sampleStride {

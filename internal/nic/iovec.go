@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"spinddt/internal/fabric"
 	"spinddt/internal/sim"
 )
 
@@ -12,6 +13,76 @@ import (
 type IovecRegion struct {
 	HostOff int64
 	Size    int64
+}
+
+// Typed event kinds of the iovec engine.
+var (
+	// a = delivery slot into iovecSim.arrivals.
+	kindIovecArrival = sim.RegisterKind("nic.iovecArrival", func(ctx any, a, _ int64) {
+		ctx.(*iovecSim).onArrival(int(a))
+	})
+	// a = DMA requests, b = payload bytes of one packet's scatter burst.
+	kindIovecIssue = sim.RegisterKind("nic.iovecIssue", func(ctx any, a, b int64) {
+		s := ctx.(*iovecSim)
+		end := s.dma.write(a, b) + s.cfg.PCIeWriteLatency
+		if end > s.lastWrite {
+			s.lastWrite = end
+		}
+	})
+)
+
+// iovecSim is the state of one iovec receive: the NIC-resident entry
+// window, the scatter cursor and the serial processing engine.
+type iovecSim struct {
+	cfg      Config
+	eng      *sim.Engine
+	self     sim.Ctx
+	dma      *dmaEngine
+	engine   sim.Server // the iovec processing engine is serial
+	regions  []IovecRegion
+	packed   []byte
+	arrivals []fabric.Arrival
+
+	regionIdx   int
+	regionDone  int64 // bytes of regions[regionIdx] already written
+	entriesLeft int
+	lastWrite   sim.Time
+}
+
+// onArrival scatters one packet through the region list, charging the
+// per-region engine cost and an entry-refill PCIe read whenever the
+// NIC-resident window is exhausted.
+func (s *iovecSim) onArrival(slot int) {
+	p := s.arrivals[slot].Packet
+	occ := s.cfg.InboundParse
+	var reqs, bytes int64
+	streamPos := p.StreamOff
+	remaining := p.Size
+	for remaining > 0 {
+		if s.entriesLeft == 0 {
+			occ += s.dma.readLatency() // fetch the next batch of entries
+			s.entriesLeft = s.cfg.IovecEntries
+		}
+		r := s.regions[s.regionIdx]
+		frag := r.Size - s.regionDone
+		if frag > remaining {
+			frag = remaining
+		}
+		s.dma.copyToHost(r.HostOff+s.regionDone, s.packed[streamPos:streamPos+frag])
+		reqs++
+		bytes += frag
+		occ += s.cfg.IovecPerRegion
+		s.regionDone += frag
+		streamPos += frag
+		remaining -= frag
+		if s.regionDone == r.Size {
+			s.regionIdx++
+			s.regionDone = 0
+			s.entriesLeft--
+		}
+	}
+	_, engDone := s.engine.Acquire(s.eng.Now(), occ)
+	s.eng.Post(engDone, kindIovecIssue, s.self, reqs, bytes)
 }
 
 // ReceiveIovec simulates the paper's Portals 4 baseline (Sec. 5.3): the NIC
@@ -40,68 +111,36 @@ func ReceiveIovec(cfg Config, regions []IovecRegion, packed, host []byte) (Resul
 		return Result{}, fmt.Errorf("nic: iovec entries %d", cfg.IovecEntries)
 	}
 
-	arrivals, err := cfg.Fabric.Schedule(int64(len(packed)), 0, nil)
+	arrivals, err := cfg.Fabric.AppendSchedule(getArrivalBuf(), int64(len(packed)), 0, nil)
 	if err != nil {
 		return Result{}, err
 	}
+	defer putArrivalBuf(arrivals)
 
-	eng := sim.New()
-	dma := newDMAEngine(eng, cfg.PCIe, cfg.Channels(), cfg.DMAChannelOccupancy, host)
-	var engine sim.Server // the iovec processing engine is serial
+	eng := sim.Acquire()
+	defer sim.Release(eng)
+	s := &iovecSim{
+		cfg:         cfg,
+		eng:         eng,
+		dma:         newDMAEngine(eng, cfg.PCIe, cfg.Channels(), cfg.DMAChannelOccupancy, host, cfg.CollectDMASeries),
+		regions:     regions,
+		packed:      packed,
+		arrivals:    arrivals,
+		entriesLeft: cfg.IovecEntries,
+	}
+	s.self = eng.Bind(s)
 
 	res := Result{MsgBytes: int64(len(packed))}
 	res.FirstByte = arrivals[0].At - cfg.Fabric.PacketTime(arrivals[0].Packet.Size)
 
-	regionIdx := 0
-	var regionDone int64 // bytes of regions[regionIdx] already written
-	entriesLeft := cfg.IovecEntries
-	var lastWrite sim.Time
-
-	for _, a := range arrivals {
-		a := a
-		eng.At(a.At, func() {
-			p := a.Packet
-			occ := cfg.InboundParse
-			var reqs, bytes int64
-			streamPos := p.StreamOff
-			remaining := p.Size
-			for remaining > 0 {
-				if entriesLeft == 0 {
-					occ += dma.readLatency() // fetch the next batch of entries
-					entriesLeft = cfg.IovecEntries
-				}
-				r := regions[regionIdx]
-				frag := r.Size - regionDone
-				if frag > remaining {
-					frag = remaining
-				}
-				dma.copyToHost(r.HostOff+regionDone, packed[streamPos:streamPos+frag])
-				reqs++
-				bytes += frag
-				occ += cfg.IovecPerRegion
-				regionDone += frag
-				streamPos += frag
-				remaining -= frag
-				if regionDone == r.Size {
-					regionIdx++
-					regionDone = 0
-					entriesLeft--
-				}
-			}
-			_, engDone := engine.Acquire(eng.Now(), occ)
-			eng.At(engDone, func() {
-				end := dma.write(reqs, bytes) + cfg.PCIeWriteLatency
-				if end > lastWrite {
-					lastWrite = end
-				}
-			})
-		})
+	for i := range arrivals {
+		eng.Post(arrivals[i].At, kindIovecArrival, s.self, int64(i), 0)
 	}
 	eng.Run()
 
-	res.Done = lastWrite
+	res.Done = s.lastWrite
 	res.ProcTime = res.Done - res.FirstByte
-	res.DMA = dma.stats
+	res.DMA = s.dma.stats
 	// The iovec list lives in host memory; only the cached entries occupy
 	// NIC memory.
 	res.NICMemBytes = int64(cfg.IovecEntries) * 16

@@ -290,6 +290,7 @@ func TestNICMemoryOverflowFails(t *testing.T) {
 
 func TestDMAQueueStats(t *testing.T) {
 	cfg := DefaultConfig()
+	cfg.CollectDMASeries = true
 	packed := randPacked(32*2048, 13)
 	host := make([]byte, len(packed))
 	// Handler issuing 16 writes per packet.

@@ -1,0 +1,7 @@
+//go:build race
+
+package nic
+
+// raceEnabled reports that the race detector is active; its
+// instrumentation allocates and breaks exact allocation guards.
+const raceEnabled = true

@@ -58,3 +58,22 @@ func (c Config) WriteTime(payload int64) sim.Time {
 func (c Config) ByteTime(n int64) sim.Time {
 	return sim.FromSeconds(float64(n) / c.Bandwidth())
 }
+
+// Link is the per-simulation form of a Config with the derived bandwidth
+// precomputed, for the DMA completion hot path: one write completion is
+// scheduled per DMA burst, and recomputing the line-coding chain there
+// costs more than the division itself. The time formulas are identical to
+// Config's, so results are bit-equal.
+type Link struct {
+	Config
+	bw float64 // effective payload bandwidth, bytes/s
+}
+
+// NewLink precomputes the derived rates of c.
+func NewLink(c Config) Link { return Link{Config: c, bw: c.Bandwidth()} }
+
+// BurstTime returns the link occupancy of a burst of reqs DMA writes
+// moving payload bytes in total, including per-TLP overhead.
+func (l Link) BurstTime(reqs, payload int64) sim.Time {
+	return sim.FromSeconds(float64(payload+reqs*l.TLPHeaderBytes) / l.bw)
+}

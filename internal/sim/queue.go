@@ -1,0 +1,308 @@
+package sim
+
+// event is one scheduled occurrence. Events with equal timestamps fire in
+// insertion order (seq breaks ties), which keeps simulations deterministic
+// no matter which queue implementation holds them.
+//
+// The struct is pointer-free on purpose: the queue shuffles events through
+// buckets constantly, and a pointer field would drag GC write barriers
+// into every sift and memmove. The context object lives in the
+// engine's context table; the event carries only its handle.
+type event struct {
+	at   Time
+	seq  uint64
+	a, b int64 // scalar payload handed to the kind handler
+	ctx  Ctx   // handle of the context object in the engine's table
+	kind Kind
+}
+
+// before reports whether e fires ahead of o under the exact (at, seq) order.
+func (e event) before(o event) bool {
+	if e.at != o.at {
+		return e.at < o.at
+	}
+	return e.seq < o.seq
+}
+
+// eventHeap is a hand-rolled binary min-heap of event values ordered by
+// (at, seq). It is the spill store for out-of-order far-future events and
+// the reference implementation the calendar queue is property-tested
+// against. Storing values instead of
+// boxed pointers keeps sift comparisons free of interface dispatch and
+// avoids a per-event allocation.
+type eventHeap []event
+
+func (h *eventHeap) push(ev event) {
+	q := append(*h, ev)
+	i := len(q) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !q[i].before(q[p]) {
+			break
+		}
+		q[i], q[p] = q[p], q[i]
+		i = p
+	}
+	*h = q
+}
+
+func (h *eventHeap) pop() event {
+	q := *h
+	n := len(q) - 1
+	q[0], q[n] = q[n], q[0]
+	ev := q[n]
+	q = q[:n]
+	*h = q
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && q[r].before(q[l]) {
+			m = r
+		}
+		if !q[m].before(q[i]) {
+			break
+		}
+		q[i], q[m] = q[m], q[i]
+		i = m
+	}
+	return ev
+}
+
+// bucket is one calendar slot: a sorted run of events (ascending (at,
+// seq)) drained from head. Near-monotone schedules append at the tail in
+// O(1) — one comparison against the last element — and pop from the head
+// in O(1) with no sift; the rare out-of-order insert pays a binary search
+// plus memmove within the (tiny) bucket.
+type bucket struct {
+	ev   []event
+	head int
+}
+
+func (b *bucket) empty() bool { return b.head == len(b.ev) }
+
+func (b *bucket) peek() event { return b.ev[b.head] }
+
+func (b *bucket) pop() event {
+	ev := b.ev[b.head]
+	b.head++
+	if b.head == len(b.ev) {
+		b.ev = b.ev[:0]
+		b.head = 0
+	}
+	return ev
+}
+
+func (b *bucket) insert(ev event) {
+	n := len(b.ev)
+	if n == b.head || !ev.before(b.ev[n-1]) {
+		b.ev = append(b.ev, ev)
+		return
+	}
+	b.insertSlow(ev, n)
+}
+
+// insertSlow places an out-of-order event: events at or before the drain
+// head have already fired (or sort before the new event by seq), so the
+// insertion point is within [head, n).
+func (b *bucket) insertSlow(ev event, n int) {
+	lo, hi := b.head, n
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if b.ev[mid].before(ev) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	b.ev = append(b.ev, event{})
+	copy(b.ev[lo+1:], b.ev[lo:])
+	b.ev[lo] = ev
+}
+
+func (b *bucket) reset() {
+	b.ev = b.ev[:0]
+	b.head = 0
+}
+
+// Calendar-queue geometry. The bucket width is a power of two of
+// picoseconds so bucket indexing is a shift, and the ring is a power of two
+// of buckets so the slot lookup is a mask. 2^16 ps = 65.536 ns per bucket
+// matches the inter-event spacing of the NIC models (packet arrivals every
+// ~85 ns at 200 Gbit/s); 256 buckets give a ~16.8 us horizon. Events beyond
+// the horizon wait in the overflow store and are admitted as the cursor
+// advances, so the width only affects speed, never ordering.
+const (
+	calShift   = 16
+	calBuckets = 256
+	calMask    = calBuckets - 1
+)
+
+// calQueue is a calendar (bucket) queue specialized for the near-monotone
+// schedules discrete-event network models produce: pushes land a bounded
+// lookahead past the clock, so the common case is an O(1) append into a
+// bucket near the cursor and an O(1) pop from it.
+//
+//   - Bucket b holds events whose absolute bucket index at>>calShift equals
+//     b for some era; each bucket is a sorted run drained from its
+//     head, so intra-bucket ordering (including same-time bursts, via seq)
+//     is exact and pushes into the bucket currently being drained stay
+//     ordered.
+//   - curAbs is the drain cursor. Events are popped by scanning buckets
+//     upward from curAbs; an event whose absolute index differs from curAbs
+//     belongs to a later era sharing the slot and is left for a later pass.
+//   - Events beyond the ring horizon (curAbs+calBuckets) wait in the
+//     overflow store: a sorted run (ovSorted, consumed from ovHead) absorbs
+//     monotone pushes — the dominant pattern, e.g. a message's precomputed
+//     arrival schedule — in O(1), and a spill heap (ovHeap) takes the rare
+//     out-of-order remainder. Both are merged into the ring as the cursor
+//     opens their buckets.
+//   - When the ring is empty the cursor jumps straight to the overflow
+//     minimum, so sparse schedules (e.g. millisecond-scale LogGOPS runs)
+//     never scan empty buckets.
+//
+// The zero value is an empty queue.
+type calQueue struct {
+	curAbs   int64 // absolute bucket index of the drain cursor
+	ovMinAbs int64 // bucket index of the earliest overflow event (maxInt64 when empty)
+	ringSize int   // events resident in buckets
+	size     int   // total events (ring + overflow)
+	ovHead   int   // consumed prefix of ovSorted
+	ovSorted []event
+	ovHeap   eventHeap
+	buckets  [calBuckets]bucket
+}
+
+// ovEmptyAbs marks an empty overflow store in ovMinAbs; the zero value of
+// calQueue relies on refreshOvMin setting it on first use.
+const ovEmptyAbs = int64(1) << 62
+
+// refreshOvMin recomputes the cached bucket index of the overflow minimum,
+// so the settle hot loop can gate admission on a single integer compare.
+func (q *calQueue) refreshOvMin() {
+	if q.ovLen() == 0 {
+		q.ovMinAbs = ovEmptyAbs
+	} else {
+		q.ovMinAbs = int64(q.ovMin().at) >> calShift
+	}
+}
+
+func (q *calQueue) len() int { return q.size }
+
+func (q *calQueue) push(ev event) {
+	if q.size == 0 && q.ringSize == 0 && q.ovMinAbs == 0 {
+		q.ovMinAbs = ovEmptyAbs // zero-value queue: mark overflow empty
+	}
+	q.size++
+	abs := int64(ev.at) >> calShift
+	if abs < q.curAbs {
+		// The cursor ran ahead of the clock over empty buckets (a peek with
+		// nothing due yet); rewind it so the scan revisits this bucket. The
+		// skipped-over buckets hold at most later-era events, which the era
+		// check in settle leaves alone.
+		q.curAbs = abs
+	}
+	if abs < q.curAbs+calBuckets {
+		q.buckets[abs&calMask].insert(ev)
+		q.ringSize++
+		return
+	}
+	if n := len(q.ovSorted); n == q.ovHead || !ev.before(q.ovSorted[n-1]) {
+		q.ovSorted = append(q.ovSorted, ev)
+		if abs < q.ovMinAbs || q.ovLen() == 1 {
+			q.refreshOvMin()
+		}
+		return
+	}
+	q.ovHeap.push(ev)
+	if abs < q.ovMinAbs {
+		q.ovMinAbs = abs
+	}
+}
+
+// ovMin returns the earliest overflow event without removing it. The
+// overflow store must be non-empty.
+func (q *calQueue) ovMin() event {
+	if q.ovHead == len(q.ovSorted) {
+		return q.ovHeap[0]
+	}
+	if len(q.ovHeap) == 0 || q.ovSorted[q.ovHead].before(q.ovHeap[0]) {
+		return q.ovSorted[q.ovHead]
+	}
+	return q.ovHeap[0]
+}
+
+// ovPop removes and returns the earliest overflow event.
+func (q *calQueue) ovPop() event {
+	if q.ovHead < len(q.ovSorted) &&
+		(len(q.ovHeap) == 0 || q.ovSorted[q.ovHead].before(q.ovHeap[0])) {
+		ev := q.ovSorted[q.ovHead]
+		q.ovHead++
+		if q.ovHead == len(q.ovSorted) {
+			q.ovSorted = q.ovSorted[:0]
+			q.ovHead = 0
+		}
+		return ev
+	}
+	return q.ovHeap.pop()
+}
+
+func (q *calQueue) ovLen() int { return len(q.ovSorted) - q.ovHead + len(q.ovHeap) }
+
+// admit moves overflow events whose bucket entered the ring horizon.
+func (q *calQueue) admit() {
+	for q.ovMinAbs < q.curAbs+calBuckets {
+		ev := q.ovPop()
+		q.buckets[int64(ev.at)>>calShift&calMask].insert(ev)
+		q.ringSize++
+		q.refreshOvMin()
+	}
+}
+
+// settle advances the cursor to the bucket holding the global minimum
+// event. The queue must be non-empty.
+func (q *calQueue) settle() *bucket {
+	if q.ringSize == 0 {
+		// Ring drained: jump the cursor straight to the overflow era.
+		q.curAbs = q.ovMinAbs
+		q.admit()
+	}
+	for {
+		b := &q.buckets[q.curAbs&calMask]
+		if !b.empty() && int64(b.peek().at)>>calShift == q.curAbs {
+			return b
+		}
+		q.curAbs++
+		q.admit()
+	}
+}
+
+// peek returns the earliest event without removing it.
+func (q *calQueue) peek() event {
+	return q.settle().peek()
+}
+
+func (q *calQueue) pop() event {
+	b := q.settle()
+	q.ringSize--
+	q.size--
+	return b.pop()
+}
+
+// reset empties the queue, retaining bucket and overflow capacity so a
+// pooled engine reaches steady state with no further allocations.
+func (q *calQueue) reset() {
+	for i := range q.buckets {
+		q.buckets[i].reset()
+	}
+	q.ovSorted = q.ovSorted[:0]
+	q.ovHeap = q.ovHeap[:0]
+	q.ovHead = 0
+	q.ovMinAbs = ovEmptyAbs
+	q.curAbs = 0
+	q.ringSize = 0
+	q.size = 0
+}

@@ -1,0 +1,176 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestCalendarQueueMatchesHeap drives random near-monotone schedules —
+// including equal-timestamp bursts, short jitter, and far-future outliers
+// beyond the ring horizon — through the calendar queue and the reference
+// binary heap, asserting the exact same (time, seq) firing order. Pushes
+// happen interleaved with pops, as handlers scheduling follow-up events
+// would, and random peeks exercise the cursor rewind path.
+func TestCalendarQueueMatchesHeap(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 40; trial++ {
+		var cal calQueue
+		var ref eventHeap
+		var seq uint64
+		now := Time(0)
+
+		push := func(at Time) {
+			ev := event{at: at, seq: seq, a: int64(seq)}
+			seq++
+			cal.push(ev)
+			ref.push(ev)
+		}
+		randomDelay := func() Time {
+			switch rng.Intn(12) {
+			case 0:
+				return 0 // same-timestamp burst
+			case 1:
+				return Time(rng.Intn(3)) // sub-bucket jitter
+			case 2:
+				// Beyond the ring horizon: lands in the overflow store.
+				return Time(rng.Int63n(int64(500 * Microsecond)))
+			case 3:
+				// Far outlier: several overflow eras out.
+				return 50 * Millisecond
+			default:
+				// Within a few buckets of the clock (the common case).
+				return Time(rng.Intn(200_000))
+			}
+		}
+
+		for i := 0; i < 30; i++ {
+			push(Time(rng.Intn(1_000_000)))
+		}
+		budget := 3000
+		for cal.len() > 0 {
+			if cal.len() != len(ref) {
+				t.Fatalf("trial %d: size %d vs heap %d", trial, cal.len(), len(ref))
+			}
+			if rng.Intn(4) == 0 {
+				// Peek must agree with the heap minimum and must not
+				// disturb subsequent ordering (cursor rewind on push).
+				if got, want := cal.peek(), ref[0]; got != want {
+					t.Fatalf("trial %d: peek (%d,%d), want (%d,%d)",
+						trial, got.at, got.seq, want.at, want.seq)
+				}
+			}
+			got, want := cal.pop(), ref.pop()
+			if got != want {
+				t.Fatalf("trial %d: pop (%d,%d), want (%d,%d)",
+					trial, got.at, got.seq, want.at, want.seq)
+			}
+			if got.at < now {
+				t.Fatalf("trial %d: time went backwards: %d after %d", trial, got.at, now)
+			}
+			now = got.at
+			if budget > 0 {
+				for j := rng.Intn(3); j > 0; j-- {
+					budget--
+					push(now + randomDelay())
+				}
+			}
+		}
+		if len(ref) != 0 {
+			t.Fatalf("trial %d: heap retains %d events", trial, len(ref))
+		}
+	}
+}
+
+// TestCalendarQueueEqualBurst floods one timestamp with more events than a
+// bucket initially holds; firing order must be exactly insertion order.
+func TestCalendarQueueEqualBurst(t *testing.T) {
+	var q calQueue
+	const n = 500
+	for i := 0; i < n; i++ {
+		q.push(event{at: 42 * Microsecond, seq: uint64(i)})
+	}
+	for i := 0; i < n; i++ {
+		if ev := q.pop(); ev.seq != uint64(i) {
+			t.Fatalf("pop %d: seq %d", i, ev.seq)
+		}
+	}
+	if q.len() != 0 {
+		t.Fatalf("len = %d", q.len())
+	}
+}
+
+// benchState is the context of the event-engine microbenchmark: a set of
+// self-rescheduling event chains with mixed deltas (ties, near-future,
+// past-horizon outliers), mimicking the NIC pipeline's schedule shape.
+type benchState struct {
+	eng    *Engine
+	self   Ctx
+	remain int64
+}
+
+var benchKind Kind
+
+func init() {
+	benchKind = RegisterKind("sim.bench", func(ctx any, a, _ int64) {
+		s := ctx.(*benchState)
+		if s.remain <= 0 {
+			return
+		}
+		s.remain--
+		var delta Time
+		switch a % 8 {
+		case 0:
+			delta = 0 // tie with the current timestamp
+		case 7:
+			delta = 30 * Microsecond // beyond the ring horizon
+		default:
+			delta = Time(a%8) * 40 * Nanosecond
+		}
+		s.eng.Post(s.eng.Now()+delta, benchKind, s.self, a+1, 0)
+	})
+}
+
+// BenchmarkEventEngine measures steady-state schedule+dispatch throughput
+// of the typed event path. The headline is allocs/op: zero once the queue
+// storage has warmed up.
+func BenchmarkEventEngine(b *testing.B) {
+	e := New()
+	s := &benchState{eng: e, remain: int64(b.N)}
+	s.self = e.Bind(s)
+	const chains = 64
+	for i := 0; i < chains; i++ {
+		e.Post(Time(i)*100*Nanosecond, benchKind, s.self, int64(i), 0)
+	}
+	// Warm the queue storage to steady state before measuring.
+	b.ReportAllocs()
+	b.ResetTimer()
+	e.Run()
+}
+
+// TestEventEngineSteadyStateAllocs is the allocation guard behind
+// BenchmarkEventEngine: after warm-up, scheduling and firing typed events
+// performs zero heap allocations.
+func TestEventEngineSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; alloc guard runs without -race")
+	}
+	e := New()
+	s := &benchState{eng: e}
+	// One simulation batch, as the pooled engines run them: reset, bind the
+	// model, schedule the kick-off events, drain.
+	batch := func() {
+		e.Reset()
+		s.self = e.Bind(s)
+		s.remain = 512
+		for i := 0; i < 16; i++ {
+			e.Post(Time(i)*10*Nanosecond, benchKind, s.self, int64(i), 0)
+		}
+		e.Run()
+	}
+	for i := 0; i < 8; i++ {
+		batch() // warm bucket, overflow and context storage
+	}
+	if n := testing.AllocsPerRun(100, batch); n != 0 {
+		t.Fatalf("steady-state event engine allocates %v per batch, want 0", n)
+	}
+}

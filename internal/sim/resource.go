@@ -48,10 +48,28 @@ func (s *Server) Utilization(horizon Time) float64 {
 
 // MultiServer models k identical parallel servers with a shared FIFO queue
 // (e.g. DMA channels). A job is placed on the server that frees up first.
+//
+// The pool is a binary min-heap of (busyUntil, index) entries — ties break
+// toward the lowest index, matching the linear-scan semantics this
+// replaced — so Acquire costs O(log k) instead of O(k) scans on the DMA
+// hot path.
 type MultiServer struct {
-	busyUntil []Time
+	heap      []serverSlot
 	busyTotal Time
 	jobs      uint64
+}
+
+// serverSlot is one server in the availability heap.
+type serverSlot struct {
+	busyUntil Time
+	idx       int
+}
+
+func (a serverSlot) before(b serverSlot) bool {
+	if a.busyUntil != b.busyUntil {
+		return a.busyUntil < b.busyUntil
+	}
+	return a.idx < b.idx
 }
 
 // NewMultiServer returns a pool of k servers. k must be positive.
@@ -59,7 +77,11 @@ func NewMultiServer(k int) *MultiServer {
 	if k <= 0 {
 		panic("sim: MultiServer needs k >= 1")
 	}
-	return &MultiServer{busyUntil: make([]Time, k)}
+	m := &MultiServer{heap: make([]serverSlot, k)}
+	for i := range m.heap {
+		m.heap[i].idx = i
+	}
+	return m
 }
 
 // Acquire books a job of duration d arriving at time t on the earliest
@@ -68,25 +90,38 @@ func (m *MultiServer) Acquire(t, d Time) (start, end Time) {
 	if d < 0 {
 		panic("sim: negative service time")
 	}
-	best := 0
-	for i := 1; i < len(m.busyUntil); i++ {
-		if m.busyUntil[i] < m.busyUntil[best] {
-			best = i
-		}
-	}
 	start = t
-	if m.busyUntil[best] > start {
-		start = m.busyUntil[best]
+	if m.heap[0].busyUntil > start {
+		start = m.heap[0].busyUntil
 	}
 	end = start + d
-	m.busyUntil[best] = end
+	m.heap[0].busyUntil = end
+	// Sift the re-booked root down to its place.
+	h := m.heap
+	n := len(h)
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		c := l
+		if r := l + 1; r < n && h[r].before(h[l]) {
+			c = r
+		}
+		if !h[c].before(h[i]) {
+			break
+		}
+		h[i], h[c] = h[c], h[i]
+		i = c
+	}
 	m.busyTotal += d
 	m.jobs++
 	return start, end
 }
 
 // Servers returns the pool size.
-func (m *MultiServer) Servers() int { return len(m.busyUntil) }
+func (m *MultiServer) Servers() int { return len(m.heap) }
 
 // BusyTotal returns the cumulative busy time across all servers.
 func (m *MultiServer) BusyTotal() Time { return m.busyTotal }

@@ -1,11 +1,43 @@
 // Package sim provides the discrete-event simulation engine used by every
-// timed model in this repository (NIC, PCIe, link, LogGOPS). Time is kept in
-// integer picoseconds so event ordering is exact and reproducible.
+// timed model in this repository (NIC, PCIe, link, LogGOPS). Time is kept
+// in integer picoseconds so event ordering is exact and reproducible.
+//
+// # Event queue
+//
+// The engine stores pending events in a calendar (bucket) queue tuned for
+// the near-monotone schedules these models produce: events are pushed a
+// bounded lookahead past the clock, so push and pop are O(1) amortized — a
+// bucket append near the drain cursor instead of an O(log n) heap sift.
+// Buckets are tiny binary min-heaps, events beyond the bucket horizon wait
+// in an overflow heap, and an empty ring jumps the cursor straight to the
+// overflow minimum, so sparse millisecond-scale schedules cost no empty
+// scans. Bucket geometry affects only speed, never order.
+//
+// # Determinism contract
+//
+// Events fire in strictly non-decreasing time, and events with equal
+// timestamps fire in scheduling order: every scheduling call is stamped
+// with a monotone sequence number and the queue orders by exactly
+// (time, seq). Two runs issuing the same schedule calls in the same order
+// observe the same firing order, byte for byte, regardless of queue
+// internals. Scheduling in the past panics rather than reordering time.
+//
+// # Typed events
+//
+// The hot path schedules typed events: an event carries a Kind (an index
+// into a jump table of handlers registered with RegisterKind at package
+// init), a context handle (Engine.Bind) and two scalar arguments. Posting
+// one performs zero heap allocations, and the queued event is pointer-free
+// so queue traffic incurs no GC write barriers. At and After remain as
+// thin compatibility wrappers that bind a func() and dispatch it through
+// the same table, for callers and tests that do not need the
+// allocation-free path.
 package sim
 
 import (
 	"fmt"
 	"math"
+	"sync"
 )
 
 // Time is a simulation timestamp in picoseconds.
@@ -54,79 +86,102 @@ func FromSeconds(s float64) Time { return Time(math.Round(s * 1e12)) }
 // FromNanoseconds converts a float64 nanosecond count to a Time.
 func FromNanoseconds(ns float64) Time { return Time(math.Round(ns * 1e3)) }
 
-// event is a scheduled callback. Events with equal timestamps fire in
-// insertion order (seq breaks ties), which keeps simulations deterministic.
-type event struct {
-	at  Time
-	seq uint64
-	fn  func()
+// Kind identifies a typed event handler registered with RegisterKind.
+type Kind uint8
+
+// Ctx is an engine-local handle to an event context object, obtained from
+// Engine.Bind. Events store the handle instead of the object so the queue
+// holds no pointers: shuffling pointer-free events through the calendar
+// buckets costs plain memmoves, with no GC write barriers.
+type Ctx int32
+
+// KindFunc is the reserved compatibility kind: its context is a func()
+// scheduled through At or After.
+const KindFunc Kind = 0
+
+// HandlerFunc executes one typed event. ctx and the two scalars are
+// whatever the scheduler passed to Post.
+type HandlerFunc func(ctx any, a, b int64)
+
+var (
+	kindTable [256]HandlerFunc
+	kindNames [256]string
+	kindCount = 1 // slot 0 is KindFunc
+)
+
+func init() {
+	kindTable[KindFunc] = func(ctx any, _, _ int64) { ctx.(func())() }
+	kindNames[KindFunc] = "sim.func"
 }
 
-// eventQueue is a hand-rolled binary min-heap of event values ordered by
-// (at, seq). Storing values instead of boxed pointers removes one heap
-// allocation per scheduled event — the simulator's hottest allocation site —
-// and keeps sift comparisons free of interface dispatch.
-type eventQueue []event
-
-func (q eventQueue) less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+// RegisterKind installs a typed event handler in the global jump table and
+// returns its Kind. Registration must happen at package init time (the
+// table is read without synchronization once engines run); the name is for
+// diagnostics only.
+func RegisterKind(name string, fn HandlerFunc) Kind {
+	if fn == nil {
+		panic("sim: RegisterKind with nil handler")
 	}
-	return q[i].seq < q[j].seq
-}
-
-func (q *eventQueue) push(ev event) {
-	h := append(*q, ev)
-	i := len(h) - 1
-	for i > 0 {
-		p := (i - 1) / 2
-		if !h.less(i, p) {
-			break
-		}
-		h[i], h[p] = h[p], h[i]
-		i = p
+	if kindCount >= len(kindTable) {
+		panic("sim: event kind table exhausted")
 	}
-	*q = h
-}
-
-func (q *eventQueue) pop() event {
-	h := *q
-	n := len(h) - 1
-	h[0], h[n] = h[n], h[0]
-	ev := h[n]
-	h[n].fn = nil // release the closure
-	h = h[:n]
-	*q = h
-	i := 0
-	for {
-		l := 2*i + 1
-		if l >= n {
-			break
-		}
-		m := l
-		if r := l + 1; r < n && h.less(r, l) {
-			m = r
-		}
-		if !h.less(m, i) {
-			break
-		}
-		h[i], h[m] = h[m], h[i]
-		i = m
-	}
-	return ev
+	k := Kind(kindCount)
+	kindCount++
+	kindTable[k] = fn
+	kindNames[k] = name
+	return k
 }
 
 // Engine is a single-threaded discrete-event simulator. The zero value is
 // ready to use.
 type Engine struct {
-	now     Time
-	queue   eventQueue
-	nextSeq uint64
-	fired   uint64
+	now      Time
+	nextSeq  uint64
+	fired    uint64
+	ctxs     []any
+	funcFree []Ctx // recycled context slots of fired At/After closures
+	queue    calQueue
 }
 
 // New returns a fresh simulation engine at time zero.
 func New() *Engine { return &Engine{} }
+
+// enginePool recycles engines (and their bucket capacity) across
+// simulations, so a steady stream of simulations stops allocating queue
+// storage once the pooled engines have warmed up.
+var enginePool = sync.Pool{New: func() any { return New() }}
+
+// Acquire returns a reset engine from the pool.
+func Acquire() *Engine { return enginePool.Get().(*Engine) }
+
+// Release resets the engine and returns it to the pool. The caller must
+// not use the engine afterwards.
+func Release(e *Engine) {
+	e.Reset()
+	enginePool.Put(e)
+}
+
+// Reset returns the engine to time zero with an empty queue and an empty
+// context table, retaining internal capacity.
+func (e *Engine) Reset() {
+	e.queue.reset()
+	for i := range e.ctxs {
+		e.ctxs[i] = nil
+	}
+	e.ctxs = e.ctxs[:0]
+	e.funcFree = e.funcFree[:0]
+	e.now = 0
+	e.nextSeq = 0
+	e.fired = 0
+}
+
+// Bind registers obj in the engine's context table and returns its handle
+// for Post. A simulation binds each long-lived model object once (the
+// object stays reachable until Reset); binding is append-only and O(1).
+func (e *Engine) Bind(obj any) Ctx {
+	e.ctxs = append(e.ctxs, obj)
+	return Ctx(len(e.ctxs) - 1)
+}
 
 // Now returns the current simulation time.
 func (e *Engine) Now() Time { return e.now }
@@ -135,40 +190,61 @@ func (e *Engine) Now() Time { return e.now }
 func (e *Engine) Fired() uint64 { return e.fired }
 
 // Pending returns the number of events still queued.
-func (e *Engine) Pending() int { return len(e.queue) }
+func (e *Engine) Pending() int { return e.queue.len() }
 
-// At schedules fn to run at absolute time t. Scheduling in the past panics:
-// it always indicates a model bug and silently reordering time would corrupt
-// every downstream statistic.
-func (e *Engine) At(t Time, fn func()) {
+// Post schedules a typed event at absolute time t: at t, the handler
+// registered for k runs with (ctx, a, b), where ctx is the object bound to
+// c. Scheduling in the past panics: it always indicates a model bug and
+// silently reordering time would corrupt every downstream statistic.
+func (e *Engine) Post(t Time, k Kind, c Ctx, a, b int64) {
 	if t < e.now {
-		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+		panic(fmt.Sprintf("sim: scheduling %s event at %v before now %v", kindNames[k], t, e.now))
 	}
-	e.queue.push(event{at: t, seq: e.nextSeq, fn: fn})
+	e.queue.push(event{at: t, seq: e.nextSeq, kind: k, ctx: c, a: a, b: b})
 	e.nextSeq++
 }
+
+// bindFunc binds an At/After closure, reusing the slot of a previously
+// fired closure so long-running engines stay O(pending) in context-table
+// size, matching the old heap's release-on-pop behaviour.
+func (e *Engine) bindFunc(fn func()) Ctx {
+	if n := len(e.funcFree); n > 0 {
+		c := e.funcFree[n-1]
+		e.funcFree = e.funcFree[:n-1]
+		e.ctxs[c] = fn
+		return c
+	}
+	return e.Bind(fn)
+}
+
+// At schedules fn to run at absolute time t. It is the compatibility
+// wrapper over the typed path; the closure is bound as the event context.
+func (e *Engine) At(t Time, fn func()) { e.Post(t, KindFunc, e.bindFunc(fn), 0, 0) }
 
 // After schedules fn to run delay picoseconds from now.
 func (e *Engine) After(delay Time, fn func()) {
 	if delay < 0 {
 		panic(fmt.Sprintf("sim: negative delay %v", delay))
 	}
-	e.At(e.now+delay, fn)
+	e.Post(e.now+delay, KindFunc, e.bindFunc(fn), 0, 0)
 }
 
 // Run executes events until the queue is empty and returns the final time.
 func (e *Engine) Run() Time {
-	for len(e.queue) > 0 {
+	for e.queue.len() > 0 {
 		e.step()
 	}
 	return e.now
 }
 
-// RunUntil executes events with timestamps <= deadline. Events scheduled
-// beyond the deadline remain queued; the clock is left at the deadline or at
-// the last fired event, whichever is later.
+// RunUntil executes events with timestamps <= deadline, including events
+// those executions schedule at or before the deadline. Events beyond the
+// deadline remain queued; the clock is left at the deadline or at the last
+// fired event, whichever is later — in particular, when the queue drains
+// with its last event exactly at the deadline, the clock rests at the
+// deadline and a later RunUntil with the same deadline is a no-op.
 func (e *Engine) RunUntil(deadline Time) Time {
-	for len(e.queue) > 0 && e.queue[0].at <= deadline {
+	for e.queue.len() > 0 && e.queue.peek().at <= deadline {
 		e.step()
 	}
 	if e.now < deadline {
@@ -181,5 +257,12 @@ func (e *Engine) step() {
 	ev := e.queue.pop()
 	e.now = ev.at
 	e.fired++
-	ev.fn()
+	ctx := e.ctxs[ev.ctx]
+	if ev.kind == KindFunc {
+		// Release the fired closure and recycle its slot (the typed path
+		// binds long-lived model objects once; only closures churn).
+		e.ctxs[ev.ctx] = nil
+		e.funcFree = append(e.funcFree, ev.ctx)
+	}
+	kindTable[ev.kind](ctx, ev.a, ev.b)
 }

@@ -112,6 +112,83 @@ func TestEngineRunUntil(t *testing.T) {
 	}
 }
 
+// TestEngineRunUntilDeadlineDrain is the regression test for the queue
+// draining exactly at the deadline: events at the deadline fire (including
+// ones they schedule at the same timestamp, in seq order), the clock rests
+// exactly at the deadline, and a repeated RunUntil with the same deadline
+// is a no-op that still accepts new same-time work.
+func TestEngineRunUntilDeadlineDrain(t *testing.T) {
+	e := New()
+	var fired []int
+	e.At(10, func() { fired = append(fired, 1) })
+	e.At(20, func() {
+		fired = append(fired, 2)
+		// Scheduled at the deadline while executing a deadline event: must
+		// still run within this RunUntil, after its scheduler (seq order).
+		e.At(20, func() { fired = append(fired, 3) })
+	})
+	if end := e.RunUntil(20); end != 20 {
+		t.Fatalf("end = %v, want 20", int64(end))
+	}
+	if len(fired) != 3 || fired[0] != 1 || fired[1] != 2 || fired[2] != 3 {
+		t.Fatalf("fired = %v", fired)
+	}
+	if e.Now() != 20 || e.Pending() != 0 {
+		t.Fatalf("now = %v pending = %d", e.Now(), e.Pending())
+	}
+	if end := e.RunUntil(20); end != 20 || len(fired) != 3 {
+		t.Fatalf("second RunUntil: end = %v fired = %v", int64(end), fired)
+	}
+	// The clock sits exactly at the deadline, so scheduling more work at
+	// the deadline is legal and a further RunUntil picks it up.
+	e.At(20, func() { fired = append(fired, 4) })
+	if end := e.RunUntil(20); end != 20 || len(fired) != 4 || fired[3] != 4 {
+		t.Fatalf("third RunUntil: end = %v fired = %v", int64(end), fired)
+	}
+}
+
+// TestEngineRunUntilAdvancesPastLastEvent: when the queue drains before
+// the deadline, the clock still advances to the deadline; when events
+// remain beyond it, they stay queued.
+func TestEngineRunUntilAdvancesPastLastEvent(t *testing.T) {
+	e := New()
+	ran := 0
+	e.At(5, func() { ran++ })
+	e.At(30, func() { ran++ })
+	if end := e.RunUntil(20); end != 20 || ran != 1 {
+		t.Fatalf("end = %v ran = %d", int64(end), ran)
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d", e.Pending())
+	}
+	if end := e.Run(); end != 30 || ran != 2 {
+		t.Fatalf("end = %v ran = %d", int64(end), ran)
+	}
+}
+
+// TestEngineClosureSlotsRecycled: firing an At/After closure releases its
+// context-table slot, so a long run of sequential closures keeps the table
+// O(pending) instead of O(total events).
+func TestEngineClosureSlotsRecycled(t *testing.T) {
+	e := New()
+	count := 0
+	var chain func()
+	chain = func() {
+		count++
+		if count < 10000 {
+			e.After(10, chain)
+		}
+	}
+	e.After(0, chain)
+	e.Run()
+	if count != 10000 {
+		t.Fatalf("count = %d", count)
+	}
+	if len(e.ctxs) > 8 {
+		t.Fatalf("context table grew to %d entries for sequential closures", len(e.ctxs))
+	}
+}
+
 func TestEnginePastSchedulingPanics(t *testing.T) {
 	e := New()
 	e.At(100, func() {})
