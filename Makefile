@@ -1,12 +1,39 @@
 # Developer entry points; CI runs the same commands.
+#
+# CI (.github/workflows/ci.yml) runs these as separate jobs:
+#
+#   lint         gofmt -l (must print nothing), go vet, staticcheck
+#   test         build + test
+#   race         `make race` — includes nic/loggops/fabric now that
+#                shards execute those models concurrently
+#   bench-gate   `make bench-check` — reruns the core benchmarks and
+#                gates them against the checked-in BENCH_BASELINE.json
+#                (exit nonzero past the tolerance), so perf regressions
+#                fail the PR; the fresh snapshot is still uploaded as an
+#                artifact alongside the bench-smoke snapshot
+#   determinism  `make determinism` — renders every figure/table twice,
+#                once on the serial engine and once on the sharded
+#                engine, and diffs both against the golden outputs in
+#                testdata/golden/ (byte-identical or the job fails)
+#
+# Refresh the baseline with `make bench-baseline` (on a quiet machine) and
+# the goldens with `make golden` whenever an intentional model change
+# shifts numbers; commit both.
 
 GO ?= go
 BENCH_DATE := $(shell date +%F)
-# The core perf benchmarks recorded in BENCH_<date>.json: the end-to-end
-# simulation hot path, the datatype engine, and the event-engine microbench.
-BENCH_CORE := BenchmarkSimulationRWCP1MiB|BenchmarkSimulationSpecialized1MiB|BenchmarkDDTPackUnpack|BenchmarkEventEngine
+# The core perf benchmarks recorded in BENCH_<date>.json and gated by
+# bench-check: the end-to-end simulation hot path, the datatype engine,
+# the event-engine microbench, and the sharded cluster simulation (serial
+# executor baseline + all-cores executor).
+BENCH_CORE := BenchmarkSimulationRWCP1MiB|BenchmarkSimulationSpecialized1MiB|BenchmarkDDTPackUnpack|BenchmarkEventEngine|BenchmarkSimulationClusterSerial|BenchmarkSimulationSharded
+# Allowed fractional ns/op regression vs BENCH_BASELINE.json.
+TOLERANCE ?= 0.25
+# Workload of the golden figure renders (kept moderate so the determinism
+# job stays fast; the bench smoke still runs paper-scale sizes).
+GOLDEN_ARGS := -fig all -msg 1048576
 
-.PHONY: build test race bench bench-all
+.PHONY: build test race bench bench-all bench-check bench-baseline golden determinism
 
 build:
 	$(GO) build ./...
@@ -16,7 +43,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/ddt/ ./internal/core/ ./internal/sim/ ./internal/experiments/
+	$(GO) test -race ./internal/ddt/ ./internal/core/ ./internal/sim/ ./internal/experiments/ ./internal/nic/ ./internal/loggops/ ./internal/fabric/
 
 # bench records the core perf trajectory to BENCH_<date>.json (multiple
 # iterations, stable numbers).
@@ -24,6 +51,30 @@ bench:
 	$(GO) run ./cmd/benchjson -bench '$(BENCH_CORE)' -benchtime 2s -out BENCH_$(BENCH_DATE).json
 
 # bench-all runs every figure and component benchmark once (the CI smoke
-# configuration) and records it.
+# configuration) and records it. -p 1 keeps package binaries from timing
+# against each other (benchjson -bench does the same).
 bench-all:
-	$(GO) test -run '^$$' -bench . -benchtime 1x -benchmem ./... | $(GO) run ./cmd/benchjson -out BENCH_$(BENCH_DATE).json
+	$(GO) test -run '^$$' -bench . -benchtime 1x -benchmem -p 1 ./... | $(GO) run ./cmd/benchjson -out BENCH_$(BENCH_DATE).json
+
+# bench-check reruns the core benchmarks and fails if any is more than
+# TOLERANCE slower than the committed baseline (the CI bench-gate).
+bench-check:
+	$(GO) run ./cmd/benchjson -bench '$(BENCH_CORE)' -benchtime 2s -out BENCH_check.json -compare BENCH_BASELINE.json -tolerance $(TOLERANCE)
+
+# bench-baseline refreshes the committed baseline snapshot.
+bench-baseline:
+	$(GO) run ./cmd/benchjson -bench '$(BENCH_CORE)' -benchtime 2s -out BENCH_BASELINE.json
+
+# golden refreshes the checked-in figure/table outputs the determinism
+# job diffs against.
+golden:
+	$(GO) run ./cmd/ddtbench $(GOLDEN_ARGS) -engine serial > testdata/golden/ddtbench.txt
+
+# determinism renders every figure/table on both engines and requires
+# byte-identical output, pinned to the goldens.
+determinism:
+	$(GO) run ./cmd/ddtbench $(GOLDEN_ARGS) -engine serial > ddtbench-serial.out
+	$(GO) run ./cmd/ddtbench $(GOLDEN_ARGS) -engine sharded > ddtbench-sharded.out
+	diff -u testdata/golden/ddtbench.txt ddtbench-serial.out
+	diff -u testdata/golden/ddtbench.txt ddtbench-sharded.out
+	@echo "determinism: serial and sharded outputs match the goldens"

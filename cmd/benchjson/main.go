@@ -7,9 +7,16 @@
 //
 //	go test -run '^$' -bench . -benchmem ./... | benchjson -out BENCH_2026-07-27.json
 //	benchjson -bench 'BenchmarkSimulation|BenchmarkEventEngine' # runs go test itself
+//	benchjson -bench '...' -compare BENCH_BASELINE.json -tolerance 0.25
 //
 // With no -out, the file name defaults to BENCH_<today>.json in the
 // current directory.
+//
+// -compare gates the fresh run against a checked-in baseline snapshot:
+// every baseline benchmark must be present in the fresh run and no slower
+// than (1 + tolerance) times its baseline ns/op, or the process exits
+// nonzero listing the regressions. CI runs this as `make bench-check` so
+// perf regressions fail the PR instead of only shipping an artifact.
 package main
 
 import (
@@ -89,12 +96,19 @@ func main() {
 	bench := flag.String("bench", "", "run `go test -bench` with this pattern instead of reading stdin")
 	pkg := flag.String("pkg", "./...", "package pattern for -bench runs")
 	benchtime := flag.String("benchtime", "1x", "benchtime for -bench runs")
+	compare := flag.String("compare", "", "baseline snapshot to gate the fresh results against")
+	tolerance := flag.Float64("tolerance", 0.25, "allowed fractional ns/op regression for -compare")
 	flag.Parse()
 
 	var src io.Reader = os.Stdin
 	if *bench != "" {
+		// -p 1 serializes the package test binaries: without it, go test
+		// runs them concurrently and a core-saturating benchmark in one
+		// package (BenchmarkSimulationSharded) would contend with a
+		// nanosecond microbench timing in another, making recorded and
+		// gated ns/op non-comparable.
 		cmd := exec.Command("go", "test", "-run", "^$", "-bench", *bench,
-			"-benchmem", "-benchtime", *benchtime, *pkg)
+			"-benchmem", "-benchtime", *benchtime, "-p", "1", *pkg)
 		cmd.Stderr = os.Stderr
 		pipe, err := cmd.StdoutPipe()
 		if err != nil {
@@ -142,6 +156,68 @@ func main() {
 		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(results), path)
+
+	if *compare != "" {
+		if err := gate(*compare, results, *tolerance); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// gate compares fresh results against the baseline snapshot at path:
+// every baseline benchmark must appear in the fresh run no slower than
+// (1 + tolerance) times its baseline ns/op.
+func gate(path string, fresh []Result, tolerance float64) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base Snapshot
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if len(base.Benchmarks) == 0 {
+		return fmt.Errorf("%s: no baseline benchmarks", path)
+	}
+	byName := make(map[string]Result, len(fresh))
+	for _, r := range fresh {
+		// Strip the -GOMAXPROCS suffix so baselines port across machines.
+		byName[trimProcSuffix(r.Name)] = r
+	}
+	var failures []string
+	fmt.Fprintf(os.Stderr, "benchjson: gating against %s (tolerance %.0f%%)\n", path, tolerance*100)
+	for _, b := range base.Benchmarks {
+		name := trimProcSuffix(b.Name)
+		got, ok := byName[name]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: in baseline but missing from this run (update %s if it was renamed)", name, path))
+			continue
+		}
+		ratio := got.NsPerOp / b.NsPerOp
+		verdict := "ok"
+		if got.NsPerOp > b.NsPerOp*(1+tolerance) {
+			verdict = "REGRESSION"
+			failures = append(failures, fmt.Sprintf("%s: %.0f ns/op vs baseline %.0f ns/op (%+.1f%%, tolerance %.0f%%)",
+				name, got.NsPerOp, b.NsPerOp, (ratio-1)*100, tolerance*100))
+		}
+		fmt.Fprintf(os.Stderr, "  %-45s %12.0f -> %12.0f ns/op  %+6.1f%%  %s\n",
+			name, b.NsPerOp, got.NsPerOp, (ratio-1)*100, verdict)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("%d benchmark(s) failed the gate:\n  %s", len(failures), strings.Join(failures, "\n  "))
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: gate passed (%d benchmarks)\n", len(base.Benchmarks))
+	return nil
+}
+
+// trimProcSuffix drops the -N GOMAXPROCS suffix of a benchmark name.
+func trimProcSuffix(name string) string {
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			return name[:i]
+		}
+	}
+	return name
 }
 
 func fatal(err error) {

@@ -1,0 +1,62 @@
+package core
+
+import (
+	"spinddt/internal/fabric"
+	"spinddt/internal/nic"
+	"spinddt/internal/portals"
+)
+
+// receiveFunc/receiveArrivalsFunc abstract the two executors of the NIC
+// receive model so Run and RunTransfer stay engine-agnostic.
+type receiveFunc = func(nic.Config, *portals.PT, portals.MatchBits, []byte, []byte, []int) (nic.Result, error)
+type receiveArrivalsFunc = func(nic.Config, *portals.PT, portals.MatchBits, []byte, []byte, []fabric.Arrival) (nic.Result, error)
+
+var (
+	nicReceiveSerial          receiveFunc         = nic.Receive
+	nicReceiveSharded         receiveFunc         = nic.ReceiveSharded
+	nicReceiveArrivalsSerial  receiveArrivalsFunc = nic.ReceiveArrivals
+	nicReceiveArrivalsSharded receiveArrivalsFunc = nic.ReceiveArrivalsSharded
+)
+
+// EngineMode selects the discrete-event executor behind a request.
+type EngineMode int
+
+const (
+	// EngineSerial runs each simulation on one engine (the default).
+	EngineSerial EngineMode = iota
+	// EngineSharded runs each simulation on the sharded engine: the NIC
+	// and the host become separate domains joined through mailboxes (see
+	// sim.Shard and nic.ReceiveSharded). Results are byte-identical to
+	// EngineSerial — the sharded executor preserves the engine's exact
+	// (time, seq) firing order — which the determinism CI gate enforces
+	// across every figure and table.
+	EngineSharded
+)
+
+// DefaultEngine seeds the Engine field of NewRequest and
+// NewTransferRequest. Commands flip it once at startup (ddtbench
+// -engine sharded); individual requests may override their own field.
+var DefaultEngine = EngineSerial
+
+// Receive is nic.Receive dispatched through DefaultEngine, for model code
+// outside Run/RunTransfer (the Fig. 2 latency probe, the MPI library
+// model) so every figure honors the engine knob.
+func Receive(cfg nic.Config, pt *portals.PT, bits portals.MatchBits, packed, host []byte, order []int) (nic.Result, error) {
+	return DefaultEngine.receive()(cfg, pt, bits, packed, host, order)
+}
+
+// receive returns nic.Receive or its sharded counterpart.
+func (m EngineMode) receive() receiveFunc {
+	if m == EngineSharded {
+		return nicReceiveSharded
+	}
+	return nicReceiveSerial
+}
+
+// receiveArrivals returns nic.ReceiveArrivals or its sharded counterpart.
+func (m EngineMode) receiveArrivals() receiveArrivalsFunc {
+	if m == EngineSharded {
+		return nicReceiveArrivalsSharded
+	}
+	return nicReceiveArrivalsSerial
+}

@@ -37,6 +37,10 @@ type Request struct {
 	Verify bool
 	// Seed generates the synthetic message payload.
 	Seed int64
+	// Engine selects the executor (serial by default; EngineSharded runs
+	// the NIC and host as separate conservative-lookahead domains with
+	// byte-identical results).
+	Engine EngineMode
 }
 
 // NewRequest returns a Request with the paper's default configuration.
@@ -51,6 +55,7 @@ func NewRequest(s Strategy, typ *ddt.Type, count int) Request {
 		Epsilon:  0.2,
 		Verify:   true,
 		Seed:     1,
+		Engine:   DefaultEngine,
 	}
 }
 
@@ -135,7 +140,7 @@ func Run(req Request) (Result, error) {
 		// CPU with cold caches.
 		staging := getBuf(msgSize)
 		pt := singleMatchPT(&portals.ME{Match: 1, Region: portals.HostRegion{Length: msgSize}})
-		nicRes, err := nic.Receive(req.NIC, pt, 1, packed, staging, req.Order)
+		nicRes, err := req.Engine.receive()(req.NIC, pt, 1, packed, staging, req.Order)
 		if err != nil {
 			return Result{}, err
 		}
@@ -185,7 +190,7 @@ func Run(req Request) (Result, error) {
 			return Result{}, err
 		}
 		pt := singleMatchPT(&portals.ME{Match: 1, Ctx: off.Ctx})
-		nicRes, err := nic.Receive(req.NIC, pt, 1, packed, dst, req.Order)
+		nicRes, err := req.Engine.receive()(req.NIC, pt, 1, packed, dst, req.Order)
 		if err != nil {
 			return Result{}, err
 		}

@@ -31,6 +31,8 @@ type TransferRequest struct {
 	Epsilon float64
 	Verify  bool
 	Seed    int64
+	// Engine selects the executor (see Request.Engine).
+	Engine EngineMode
 }
 
 // NewTransferRequest returns a TransferRequest with default configuration.
@@ -38,7 +40,7 @@ func NewTransferRequest(send SendStrategy, recv Strategy, typ *ddt.Type, count i
 	return TransferRequest{
 		Send: send, Recv: recv, SendType: typ, Count: count,
 		NIC: nic.DefaultConfig(), Cost: DefaultCostModel(), Host: hostcpu.DefaultConfig(),
-		Epsilon: 0.2, Verify: true, Seed: 1,
+		Epsilon: 0.2, Verify: true, Seed: 1, Engine: DefaultEngine,
 	}
 }
 
@@ -133,7 +135,7 @@ func RunTransfer(req TransferRequest) (TransferResult, error) {
 	case HostUnpack:
 		staging := getBuf(msg)
 		pt := singleMatchPT(&portals.ME{Match: 1, Region: portals.HostRegion{Length: msg}})
-		nicRes, err := nic.ReceiveArrivals(req.NIC, pt, 1, packed, staging, arrivals)
+		nicRes, err := req.Engine.receiveArrivals()(req.NIC, pt, 1, packed, staging, arrivals)
 		if err != nil {
 			return TransferResult{}, err
 		}
@@ -157,7 +159,7 @@ func RunTransfer(req TransferRequest) (TransferResult, error) {
 			return TransferResult{}, err
 		}
 		pt := singleMatchPT(&portals.ME{Match: 1, Ctx: off.Ctx})
-		nicRes, err := nic.ReceiveArrivals(req.NIC, pt, 1, packed, dst, arrivals)
+		nicRes, err := req.Engine.receiveArrivals()(req.NIC, pt, 1, packed, dst, arrivals)
 		if err != nil {
 			return TransferResult{}, err
 		}

@@ -41,6 +41,12 @@ func (c Config) ByteTime(n int64) sim.Time {
 	return sim.FromSeconds(float64(n) * 8 / (c.LineRateGbps * 1e9))
 }
 
+// Lookahead returns the conservative-PDES lookahead of the link: no
+// influence can cross it faster than the wire latency, so a fabric domain
+// that delays every cross-domain delivery by at least this much satisfies
+// the sharded engine's synchronization contract (sim.Shard).
+func (c Config) Lookahead() sim.Time { return c.WireLatency }
+
 // PacketTime returns the wire occupancy of one packet carrying payload
 // bytes (payload plus header overhead).
 func (c Config) PacketTime(payload int64) sim.Time {

@@ -31,6 +31,12 @@ type FFT2DConfig struct {
 	ExtraRecvLatency sim.Time
 	// Net holds the LogGOPS parameters.
 	Net Params
+	// Domains shards the replay across that many rank-group domains
+	// executed by Workers goroutines (RunSharded); <= 1 replays serially.
+	// The result is identical either way — sharding is a wall-clock knob.
+	Domains int
+	// Workers bounds the sharded executor's parallelism; 0 uses Domains.
+	Workers int
 }
 
 // MsgBytes returns the per-peer transpose message size at p nodes.
@@ -77,7 +83,17 @@ func (c FFT2DConfig) Schedule(p int) Schedule {
 
 // Run executes the FFT2D schedule at p nodes and returns the makespan.
 func (c FFT2DConfig) Run(p int) (sim.Time, error) {
-	res, err := Run(c.Net, c.Schedule(p))
+	var res Result
+	var err error
+	if c.Domains > 1 {
+		workers := c.Workers
+		if workers <= 0 {
+			workers = c.Domains
+		}
+		res, err = RunSharded(c.Net, c.Schedule(p), c.Domains, workers)
+	} else {
+		res, err = Run(c.Net, c.Schedule(p))
+	}
 	if err != nil {
 		return 0, err
 	}

@@ -104,44 +104,91 @@ type Result struct {
 	Messages int64
 }
 
-// Typed event kinds of the LogGOPS replay: a is the rank to progress.
+// Typed event kinds of the LogGOPS replay: a is the rank to progress (for
+// cross-domain deliveries, the packed (src, dst) pair, with the tag in b).
 // Registered in init because advance schedules kindWake itself.
 var (
-	kindKick sim.Kind // time-zero kick: progress the rank unconditionally
-	kindWake sim.Kind // message arrival: progress the rank if blocked
+	kindKick    sim.Kind // time-zero kick: progress the rank unconditionally
+	kindWake    sim.Kind // message arrival: progress the rank if blocked
+	kindDeliver sim.Kind // cross-domain delivery: record the arrival, then wake
 )
 
 func init() {
 	kindKick = sim.RegisterKind("loggops.kick", func(ctx any, a, _ int64) {
-		ctx.(*logSim).advance(int(a))
+		ctx.(*domain).advance(int(a))
 	})
 	kindWake = sim.RegisterKind("loggops.wake", func(ctx any, a, _ int64) {
-		s := ctx.(*logSim)
-		if s.ranks[a].blocked {
-			s.advance(int(a))
+		d := ctx.(*domain)
+		if d.ranks[int(a)-d.lo].blocked {
+			d.advance(int(a))
+		}
+	})
+	kindDeliver = sim.RegisterKind("loggops.deliver", func(ctx any, a, b int64) {
+		d := ctx.(*domain)
+		src, dst := int(a>>32), int(a&0xffffffff)
+		key := msgKey{src: src, dst: dst, tag: int(b)}
+		d.arrivals[key] = append(d.arrivals[key], d.eng.Now())
+		if d.ranks[dst-d.lo].blocked {
+			d.advance(dst)
 		}
 	})
 }
 
-// logSim is the replay state: per-rank cursors and the in-flight message
-// arrival queues.
-type logSim struct {
+// domain is the replay state of one rank group: per-rank cursors and the
+// arrival queues of messages addressed to its ranks. The serial engine
+// runs one domain holding every rank; the sharded engine partitions ranks
+// into contiguous groups, one sim.Shard each, and routes cross-domain
+// messages through the shard mailboxes as kindDeliver events.
+//
+// A same-domain send records its arrival at send-execution time (the
+// receiver may consume a known future arrival once its local clock passes
+// it); a cross-domain send records it at arrival time on the receiving
+// side. The two bookkeeping points yield identical replays: consumption
+// arithmetic depends only on the arrival value and the consuming rank's
+// local clocks, never on when the arrival became visible, and per-key
+// FIFO order is preserved because a sender's arrivals to one (src, dst,
+// tag) queue are strictly increasing.
+type domain struct {
 	eng      *sim.Engine
+	shard    *sim.Shard // nil under the serial engine
 	self     sim.Ctx
 	params   Params
 	sched    Schedule
-	ranks    []rankState
+	lo, hi   int         // global rank range [lo, hi) owned by this domain
+	ranks    []rankState // indexed by global rank minus lo
+	peers    []*domain   // global rank -> owning domain; nil when serial
 	arrivals map[msgKey][]sim.Time
 	messages int64
 }
 
+func newDomain(eng *sim.Engine, params Params, sched Schedule, lo, hi int) *domain {
+	d := &domain{
+		eng:      eng,
+		params:   params,
+		sched:    sched,
+		lo:       lo,
+		hi:       hi,
+		ranks:    make([]rankState, hi-lo),
+		arrivals: make(map[msgKey][]sim.Time),
+	}
+	d.self = eng.Bind(d)
+	return d
+}
+
+// kick schedules the time-zero kick of every owned rank, in rank order.
+func (d *domain) kick() {
+	for r := d.lo; r < d.hi; r++ {
+		d.eng.Post(0, kindKick, d.self, int64(r), 0)
+	}
+}
+
 // advance replays rank r's schedule until it blocks in a receive or
 // finishes.
-func (s *logSim) advance(r int) {
-	st := &s.ranks[r]
+func (d *domain) advance(r int) {
+	st := &d.ranks[r-d.lo]
 	st.blocked = false
-	for st.pc < len(s.sched[r]) {
-		op := s.sched[r][st.pc]
+	for st.pc < len(d.sched[r]) {
+		op := d.sched[r][st.pc]
 		switch op.Kind {
 		case OpCalc:
 			st.cpuFree += op.Dur
@@ -152,29 +199,38 @@ func (s *logSim) advance(r int) {
 			if st.nicFree > start {
 				start = st.nicFree
 			}
-			injected := start + s.params.O
+			injected := start + d.params.O
 			st.cpuFree = injected
-			gap := s.params.G
-			if bt := s.params.ByteTime(op.Bytes); bt > gap {
+			gap := d.params.G
+			if bt := d.params.ByteTime(op.Bytes); bt > gap {
 				gap = bt
 			}
 			st.nicFree = injected + gap
-			arrival := injected + s.params.L + s.params.ByteTime(op.Bytes)
-			key := msgKey{src: r, dst: op.Peer, tag: op.Tag}
-			s.arrivals[key] = append(s.arrivals[key], arrival)
-			s.eng.Post(arrival, kindWake, s.self, int64(op.Peer), 0)
-			s.messages++
+			arrival := injected + d.params.L + d.params.ByteTime(op.Bytes)
+			if p := d.owner(op.Peer); p != d {
+				// Cross-domain: the delivery event lands at the arrival
+				// time, at least L past this domain's clock (the rank
+				// invariant cpuFree >= now makes injected >= now), which
+				// is exactly the lookahead the shard declared.
+				d.shard.PostRemote(p.shard, arrival, kindDeliver, p.self,
+					int64(r)<<32|int64(op.Peer), int64(op.Tag))
+			} else {
+				key := msgKey{src: r, dst: op.Peer, tag: op.Tag}
+				d.arrivals[key] = append(d.arrivals[key], arrival)
+				d.eng.Post(arrival, kindWake, d.self, int64(op.Peer), 0)
+			}
+			d.messages++
 			st.pc++
 
 		case OpRecv:
 			key := msgKey{src: op.Peer, dst: r, tag: op.Tag}
-			queue := s.arrivals[key]
+			queue := d.arrivals[key]
 			if len(queue) == 0 {
 				st.blocked = true
 				return // resumed by the arrival event
 			}
 			arrival := queue[0]
-			if arrival > s.eng.Now() {
+			if arrival > d.eng.Now() {
 				// Arrival known but in the future relative to this
 				// rank's progress: wait for its event.
 				if arrival > st.cpuFree {
@@ -182,14 +238,46 @@ func (s *logSim) advance(r int) {
 					return
 				}
 			}
-			s.arrivals[key] = queue[1:]
+			d.arrivals[key] = queue[1:]
 			if arrival > st.cpuFree {
 				st.cpuFree = arrival
 			}
-			st.cpuFree += s.params.O + op.Dur
+			st.cpuFree += d.params.O + op.Dur
 			st.pc++
 		}
 	}
+}
+
+// owner returns the domain owning a global rank.
+func (d *domain) owner(rank int) *domain {
+	if d.peers == nil {
+		return d
+	}
+	return d.peers[rank]
+}
+
+// collect folds the domains' final rank states into a Result.
+func collect(sched Schedule, doms []*domain) (Result, error) {
+	n := len(sched)
+	res := Result{RankFinish: make([]sim.Time, n)}
+	for _, d := range doms {
+		res.Messages += d.messages
+		for r := d.lo; r < d.hi; r++ {
+			st := d.ranks[r-d.lo]
+			if st.pc < len(sched[r]) {
+				return Result{}, fmt.Errorf("loggops: rank %d deadlocked at op %d", r, st.pc)
+			}
+			fin := st.cpuFree
+			if st.nicFree > fin {
+				fin = st.nicFree
+			}
+			res.RankFinish[r] = fin
+			if fin > res.Makespan {
+				res.Makespan = fin
+			}
+		}
+	}
+	return res, nil
 }
 
 // Run replays the schedule under the LogGOPS model and returns the
@@ -201,35 +289,55 @@ func Run(params Params, sched Schedule) (Result, error) {
 	}
 	eng := sim.Acquire()
 	defer sim.Release(eng)
-	s := &logSim{
-		eng:      eng,
-		params:   params,
-		sched:    sched,
-		ranks:    make([]rankState, n),
-		arrivals: make(map[msgKey][]sim.Time),
-	}
-	s.self = eng.Bind(s)
-	res := Result{RankFinish: make([]sim.Time, n)}
-
-	// Kick every rank at time zero, then run arrival-driven progress.
-	for r := 0; r < n; r++ {
-		eng.Post(0, kindKick, s.self, int64(r), 0)
-	}
+	d := newDomain(eng, params, sched, 0, n)
+	d.kick()
 	eng.Run()
-	res.Messages = s.messages
+	return collect(sched, []*domain{d})
+}
 
-	for r := range s.ranks {
-		if s.ranks[r].pc < len(sched[r]) {
-			return Result{}, fmt.Errorf("loggops: rank %d deadlocked at op %d", r, s.ranks[r].pc)
-		}
-		fin := s.ranks[r].cpuFree
-		if s.ranks[r].nicFree > fin {
-			fin = s.ranks[r].nicFree
-		}
-		res.RankFinish[r] = fin
-		if fin > res.Makespan {
-			res.Makespan = fin
-		}
+// RunSharded is Run on the sharded engine: ranks are partitioned into
+// domains contiguous rank groups, each a sim.Shard advancing in parallel
+// between conservative synchronization windows, with lookahead L (no
+// message can arrive sooner than the wire latency after its send). The
+// Result is identical to Run's — the replay arithmetic is independent of
+// when arrivals become visible (see domain) — which the figure goldens
+// and TestRunShardedMatchesSerial both pin down.
+func RunSharded(params Params, sched Schedule, domains, workers int) (Result, error) {
+	n := len(sched)
+	if n == 0 {
+		return Result{}, errors.New("loggops: empty schedule")
 	}
-	return res, nil
+	if domains > n {
+		domains = n
+	}
+	if domains <= 1 || params.L <= 0 {
+		// One domain degenerates to the serial replay; so does a
+		// zero-latency model, which conservative synchronization cannot
+		// shard (no lookahead) but the serial engine replays fine — the
+		// two engines stay interchangeable for every valid input.
+		return Run(params, sched)
+	}
+	pe := sim.NewParallel(workers)
+	chunk := (n + domains - 1) / domains
+	var doms []*domain
+	peers := make([]*domain, n)
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		shard := pe.NewShard(fmt.Sprintf("ranks[%d:%d]", lo, hi), params.L)
+		d := newDomain(&shard.Engine, params, sched, lo, hi)
+		d.shard = shard
+		d.peers = peers
+		for r := lo; r < hi; r++ {
+			peers[r] = d
+		}
+		doms = append(doms, d)
+	}
+	for _, d := range doms {
+		d.kick()
+	}
+	pe.Run()
+	return collect(sched, doms)
 }

@@ -1,0 +1,117 @@
+package loggops
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"spinddt/internal/sim"
+)
+
+// randomSchedule builds a deadlock-free random workload: a sequence of
+// rounds, each either a random ring exchange (every rank sends to a
+// random-offset peer, then receives), a random scatter of point-to-point
+// pairs (send posted before the matching receive rank blocks), or random
+// local compute. Tags separate rounds, so FIFO matching stays exercised
+// within a round via duplicate sends.
+func randomSchedule(rng *rand.Rand, n, rounds int) Schedule {
+	sched := make(Schedule, n)
+	for round := 0; round < rounds; round++ {
+		switch rng.Intn(3) {
+		case 0: // ring exchange at a random offset, possibly doubled
+			off := 1 + rng.Intn(n-1)
+			repeat := 1 + rng.Intn(2)
+			bytes := int64(1 + rng.Intn(1<<16))
+			for r := 0; r < n; r++ {
+				for k := 0; k < repeat; k++ {
+					sched[r] = append(sched[r], Send((r+off)%n, bytes, round))
+				}
+				for k := 0; k < repeat; k++ {
+					sched[r] = append(sched[r], Recv((r-off+n)%n, round, sim.Time(rng.Intn(2000))*sim.Nanosecond))
+				}
+			}
+		case 1: // random disjoint pairs: evens send, odds receive first
+			perm := rng.Perm(n)
+			for i := 0; i+1 < n; i += 2 {
+				a, b := perm[i], perm[i+1]
+				bytes := int64(1 + rng.Intn(1<<14))
+				sched[a] = append(sched[a], Send(b, bytes, round), Recv(b, round, 0))
+				sched[b] = append(sched[b], Send(a, bytes, round), Recv(a, round, sim.Time(rng.Intn(500))*sim.Nanosecond))
+			}
+		default: // staggered compute
+			for r := 0; r < n; r++ {
+				sched[r] = append(sched[r], Calc(sim.Time(rng.Intn(5000))*sim.Nanosecond))
+			}
+		}
+	}
+	return sched
+}
+
+// TestRunShardedMatchesSerial checks, across randomized cross-domain
+// workloads, that the sharded replay reproduces the serial Result exactly
+// for every domain partition and executor width.
+func TestRunShardedMatchesSerial(t *testing.T) {
+	params := NextGen()
+	for seed := int64(1); seed <= 12; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(13)
+		sched := randomSchedule(rng, n, 3+rng.Intn(5))
+		want, err := Run(params, sched)
+		if err != nil {
+			t.Fatalf("seed %d: serial: %v", seed, err)
+		}
+		for _, domains := range []int{2, 3, n} {
+			for _, workers := range []int{1, 4} {
+				got, err := RunSharded(params, sched, domains, workers)
+				if err != nil {
+					t.Fatalf("seed %d domains %d workers %d: %v", seed, domains, workers, err)
+				}
+				if !reflect.DeepEqual(want, got) {
+					t.Fatalf("seed %d domains %d workers %d: sharded result differs\nserial:  %+v\nsharded: %+v",
+						seed, domains, workers, want, got)
+				}
+			}
+		}
+	}
+}
+
+// TestRunShardedFFT2D pins the sharded replay on the Fig. 19 workload
+// shape itself.
+func TestRunShardedFFT2D(t *testing.T) {
+	cfg := FFT2DConfig{N: 1024, ElemBytes: 16, FlopRate: 6.5e9, Net: NextGen(),
+		UnpackPerMsg: 3 * sim.Microsecond}
+	serial, err := cfg.Run(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Domains = 4
+	cfg.Workers = 4
+	sharded, err := cfg.Run(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial != sharded {
+		t.Fatalf("FFT2D makespan: serial %v, sharded %v", serial, sharded)
+	}
+}
+
+// TestRunShardedZeroLatencyFallsBack checks engine interchangeability on
+// the lookahead edge: a zero-latency model cannot be sharded
+// conservatively, so RunSharded must replay it serially, not error.
+func TestRunShardedZeroLatencyFallsBack(t *testing.T) {
+	sched := Schedule{
+		{Calc(sim.Microsecond), Send(1, 64, 0)},
+		{Recv(0, 0, sim.Microsecond)},
+	}
+	want, err := Run(Params{}, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := RunSharded(Params{}, sched, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("zero-latency fallback diverged: %+v vs %+v", want, got)
+	}
+}

@@ -1,0 +1,226 @@
+package nic
+
+import (
+	"errors"
+	"fmt"
+
+	"spinddt/internal/fabric"
+	"spinddt/internal/portals"
+	"spinddt/internal/sim"
+)
+
+// This file shards the receive model across domains (sim.Shard): a fabric
+// domain that owns the wire and mails packet deliveries to per-endpoint
+// NIC+HPU domains, and a host domain that collects completion
+// notifications over the PCIe round trip. Lookaheads come straight from
+// the link models: fabric.Config.Lookahead (the wire latency) bounds
+// fabric-to-NIC influence, pcie.Config.NotifyLatency bounds NIC-to-host
+// influence. Between synchronization windows the endpoint domains execute
+// in parallel; results are byte-identical to the serial executor by the
+// sharded engine's determinism contract.
+
+// ClusterEndpoint describes one receiver of a sharded cluster receive.
+type ClusterEndpoint struct {
+	Cfg  Config
+	PT   *portals.PT
+	Bits portals.MatchBits
+	// Packed is the endpoint's inbound packed stream; Host its memory.
+	Packed []byte
+	Host   []byte
+	// Start is when the message's first bit leaves its sender.
+	Start sim.Time
+	// Order optionally permutes packet delivery (nil = in-order).
+	Order []int
+}
+
+// ClusterResult reports a sharded cluster receive.
+type ClusterResult struct {
+	// Results holds each endpoint's receive result, endpoint order.
+	Results []Result
+	// Notified is the time the host domain observed each endpoint's
+	// completion (Done plus the PCIe notification round trip).
+	Notified []sim.Time
+	// Makespan is the latest event fired in any domain.
+	Makespan sim.Time
+	// Windows is the number of conservative synchronization rounds; it is
+	// a model property, identical for every executor width.
+	Windows uint64
+}
+
+// clusterFabric is the fabric domain's state: one wire event per packet,
+// mailed to the owning endpoint a wire latency later.
+type clusterFabric struct {
+	shard *sim.Shard
+	links []fabricLink
+}
+
+// fabricLink wires the fabric domain to one endpoint domain.
+type fabricLink struct {
+	shard *sim.Shard
+	rx    sim.Ctx // the endpoint's rxSim handle in its own engine
+	wire  sim.Time
+}
+
+// clusterHost is the host domain's state: completion observations.
+type clusterHost struct {
+	shard    *sim.Shard
+	notified []sim.Time
+}
+
+// Typed event kinds of the sharded cluster: a is the endpoint index; for
+// wire events b is the delivery slot.
+var (
+	kindClusterWire   sim.Kind
+	kindClusterNotify sim.Kind
+)
+
+func init() {
+	kindClusterWire = sim.RegisterKind("nic.clusterWire", func(ctx any, a, b int64) {
+		f := ctx.(*clusterFabric)
+		l := f.links[a]
+		f.shard.PostRemote(l.shard, f.shard.Now()+l.wire, kindRxArrival, l.rx, b, 0)
+	})
+	kindClusterNotify = sim.RegisterKind("nic.clusterNotify", func(ctx any, a, _ int64) {
+		h := ctx.(*clusterHost)
+		h.notified[a] = h.shard.Now()
+	})
+}
+
+// ReceiveCluster simulates every endpoint's receive in one sharded
+// simulation executed by up to workers goroutines (workers <= 1 runs the
+// serial executor; both fire identical event sequences). Each endpoint's
+// Result matches what the endpoint would report in isolation up to event
+// tie-breaking; serial and parallel executions of the cluster itself are
+// byte-identical.
+func ReceiveCluster(eps []ClusterEndpoint, workers int) (ClusterResult, error) {
+	if len(eps) == 0 {
+		return ClusterResult{}, errors.New("nic: empty cluster")
+	}
+	for i := range eps {
+		// A Trace is a plain event slice; endpoint shards run concurrently
+		// and must not share one (the sim.Shard no-shared-mutable-state
+		// contract), and a per-endpoint merge is not modelled yet.
+		if eps[i].Cfg.Trace != nil {
+			return ClusterResult{}, fmt.Errorf("nic: endpoint %d: cluster receives do not support tracing", i)
+		}
+	}
+	pe := sim.NewParallel(workers)
+
+	// Fabric domain: its lookahead is the minimum wire latency of any link.
+	minWire := eps[0].Cfg.Fabric.Lookahead()
+	for _, ep := range eps[1:] {
+		if w := ep.Cfg.Fabric.Lookahead(); w < minWire {
+			minWire = w
+		}
+	}
+	if minWire <= 0 {
+		return ClusterResult{}, fmt.Errorf("nic: fabric wire latency %v cannot synchronize a sharded cluster", minWire)
+	}
+	fabShard := pe.NewShard("fabric", minWire)
+	fab := &clusterFabric{shard: fabShard}
+	fabCtx := fabShard.Bind(fab)
+
+	// Endpoint domains, then the host domain (so makespan includes the
+	// final notification).
+	sims := make([]*rxSim, len(eps))
+	epShards := make([]*sim.Shard, len(eps))
+	for i, ep := range eps {
+		notifyLat := ep.Cfg.PCIe.NotifyLatency()
+		if notifyLat <= 0 {
+			return ClusterResult{}, fmt.Errorf("nic: endpoint %d PCIe notify latency %v cannot synchronize a sharded cluster", i, notifyLat)
+		}
+		epShards[i] = pe.NewShard(fmt.Sprintf("nic%d", i), notifyLat)
+	}
+	hostShard := pe.NewShard("host", sim.InfiniteLookahead)
+	host := &clusterHost{shard: hostShard, notified: make([]sim.Time, len(eps))}
+	hostCtx := hostShard.Bind(host)
+
+	for i := range eps {
+		ep := &eps[i]
+		arrivals, err := ep.Cfg.Fabric.AppendSchedule(nil, int64(len(ep.Packed)), ep.Start, ep.Order)
+		if err != nil {
+			return ClusterResult{}, fmt.Errorf("nic: endpoint %d: %w", i, err)
+		}
+		s, err := newRxSim(&epShards[i].Engine, ep.Cfg, ep.PT, ep.Bits, ep.Packed, ep.Host, arrivals)
+		if err != nil {
+			return ClusterResult{}, fmt.Errorf("nic: endpoint %d: %w", i, err)
+		}
+		idx, shard, lat := int64(i), epShards[i], ep.Cfg.PCIe.NotifyLatency()
+		s.notify = func(done sim.Time) {
+			shard.PostRemote(hostShard, done+lat, kindClusterNotify, hostCtx, idx, 0)
+		}
+		sims[i] = s
+
+		// The fabric owns each packet until it is on the endpoint's wire:
+		// one local event per packet at (arrival - wire latency), mailed
+		// onward with exactly the wire latency, so delivery times equal
+		// the serial schedule tick for tick.
+		wire := ep.Cfg.Fabric.WireLatency
+		fab.links = append(fab.links, fabricLink{shard: epShards[i], rx: s.self, wire: wire})
+		for slot := range arrivals {
+			fabShard.Post(arrivals[slot].At-wire, kindClusterWire, fabCtx, idx, int64(slot))
+		}
+	}
+
+	makespan := pe.Run()
+
+	res := ClusterResult{
+		Results:  make([]Result, len(eps)),
+		Notified: host.notified,
+		Makespan: makespan,
+		Windows:  pe.Windows(),
+	}
+	for i, s := range sims {
+		r, err := s.finish()
+		if err != nil {
+			return ClusterResult{}, fmt.Errorf("nic: endpoint %d: %w", i, err)
+		}
+		res.Results[i] = r
+	}
+	return res, nil
+}
+
+// ReceiveArrivalsSharded runs one receive on the sharded engine: the NIC
+// (inbound, HPUs, DMA) is one domain and the host another, joined by the
+// completion notification over the PCIe round trip. The arrival schedule
+// is pre-posted into the NIC domain through the same code path as the
+// serial ReceiveArrivals, so the NIC domain's sequence numbering — and
+// therefore the Result — is byte-identical to the serial engine; the
+// windowed executor only changes when events run, never their order.
+func ReceiveArrivalsSharded(cfg Config, pt *portals.PT, bits portals.MatchBits, packed, host []byte, arrivals []fabric.Arrival) (Result, error) {
+	notifyLat := cfg.PCIe.NotifyLatency()
+	if notifyLat <= 0 {
+		return Result{}, fmt.Errorf("nic: PCIe notify latency %v cannot synchronize a sharded receive", notifyLat)
+	}
+	pe := sim.NewParallel(1)
+	ep := pe.NewShard("nic", notifyLat)
+	hostShard := pe.NewShard("host", sim.InfiniteLookahead)
+	h := &clusterHost{shard: hostShard, notified: make([]sim.Time, 1)}
+	hostCtx := hostShard.Bind(h)
+
+	s, err := newRxSim(&ep.Engine, cfg, pt, bits, packed, host, arrivals)
+	if err != nil {
+		return Result{}, err
+	}
+	s.notify = func(done sim.Time) {
+		ep.PostRemote(hostShard, done+notifyLat, kindClusterNotify, hostCtx, 0, 0)
+	}
+	s.postArrivals()
+	pe.Run()
+	return s.finish()
+}
+
+// ReceiveSharded is Receive on the sharded engine (see
+// ReceiveArrivalsSharded).
+func ReceiveSharded(cfg Config, pt *portals.PT, bits portals.MatchBits, packed, host []byte, order []int) (Result, error) {
+	if len(packed) == 0 {
+		return Result{}, errors.New("nic: empty message")
+	}
+	arrivals, err := cfg.Fabric.AppendSchedule(getArrivalBuf(), int64(len(packed)), 0, order)
+	if err != nil {
+		return Result{}, err
+	}
+	res, err := ReceiveArrivalsSharded(cfg, pt, bits, packed, host, arrivals)
+	putArrivalBuf(arrivals)
+	return res, err
+}

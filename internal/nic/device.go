@@ -168,6 +168,11 @@ type rxSim struct {
 	wb   writeBuffer
 	args spin.HandlerArgs
 
+	// notify, when non-nil, is called once at the completion event with
+	// the message's Done time; the sharded cluster path uses it to mail
+	// the completion to the host domain.
+	notify func(done sim.Time)
+
 	payloadsLeft      int
 	completionArrived bool
 	completionDone    bool
@@ -224,18 +229,31 @@ func Receive(cfg Config, pt *portals.PT, bits portals.MatchBits, packed, host []
 // transfers). The schedule must deliver the header packet first and the
 // completion packet last.
 func ReceiveArrivals(cfg Config, pt *portals.PT, bits portals.MatchBits, packed, host []byte, arrivals []fabric.Arrival) (Result, error) {
-	if len(packed) == 0 {
-		return Result{}, errors.New("nic: empty message")
-	}
-	if cfg.HPUs <= 0 {
-		return Result{}, fmt.Errorf("nic: %d HPUs", cfg.HPUs)
-	}
-	if len(arrivals) == 0 {
-		return Result{}, errors.New("nic: empty arrival schedule")
-	}
-
 	eng := sim.Acquire()
 	defer sim.Release(eng)
+	s, err := newRxSim(eng, cfg, pt, bits, packed, host, arrivals)
+	if err != nil {
+		return Result{}, err
+	}
+	s.postArrivals()
+	eng.Run()
+	return s.finish()
+}
+
+// newRxSim validates the receive parameters and builds the simulation
+// state on eng, without scheduling anything: the caller chooses how packet
+// arrivals reach the engine (postArrivals pre-posts the whole schedule;
+// the sharded cluster path mails them in from a fabric domain).
+func newRxSim(eng *sim.Engine, cfg Config, pt *portals.PT, bits portals.MatchBits, packed, host []byte, arrivals []fabric.Arrival) (*rxSim, error) {
+	if len(packed) == 0 {
+		return nil, errors.New("nic: empty message")
+	}
+	if cfg.HPUs <= 0 {
+		return nil, fmt.Errorf("nic: %d HPUs", cfg.HPUs)
+	}
+	if len(arrivals) == 0 {
+		return nil, errors.New("nic: empty arrival schedule")
+	}
 	s := &rxSim{
 		cfg:      cfg,
 		eng:      eng,
@@ -253,12 +271,21 @@ func ReceiveArrivals(cfg Config, pt *portals.PT, bits portals.MatchBits, packed,
 	s.res.MsgBytes = int64(len(packed))
 	s.res.FirstByte = arrivals[0].At - cfg.Fabric.PacketTime(arrivals[0].Packet.Size)
 	s.payloadsLeft = len(arrivals)
+	return s, nil
+}
 
-	for i := range arrivals {
-		s.eng.Post(arrivals[i].At, kindRxArrival, s.self, int64(i), 0)
+// postArrivals schedules the whole arrival schedule up front (the serial
+// path; the sequence numbering of these posts is part of the engine's
+// determinism contract, so the sharded single-receive path pre-posts
+// through the same code).
+func (s *rxSim) postArrivals() {
+	for i := range s.arrivals {
+		s.eng.Post(s.arrivals[i].At, kindRxArrival, s.self, int64(i), 0)
 	}
-	s.eng.Run()
+}
 
+// finish assembles the Result after the engine drained.
+func (s *rxSim) finish() (Result, error) {
 	if s.err != nil {
 		return Result{}, s.err
 	}
@@ -350,6 +377,9 @@ func (s *rxSim) rdmaDeliver(p fabric.Packet) {
 		done := s.lastWriteDone
 		s.eng.Post(done, kindRxPortalsEvent, s.self, int64(portals.EventPut), 0)
 		s.res.Done = done
+		if s.notify != nil {
+			s.notify(done)
+		}
 	}
 }
 
@@ -505,6 +535,9 @@ func (s *rxSim) finishCompletion(at sim.Time) {
 	s.cfg.Trace.add(TraceEvent{At: at, Kind: TraceCompletion, Pkt: -1, VHPU: -1})
 	s.res.Done = at
 	s.eng.Post(at, kindRxPortalsEvent, s.self, int64(portals.EventHandlerCompletion), 0)
+	if s.notify != nil {
+		s.notify(at)
+	}
 }
 
 // runCompletion executes the completion handler (Sec. 3.2.2): a final

@@ -41,6 +41,13 @@ func (c Config) Bandwidth() float64 {
 	return raw * float64(c.EncodingNum) / float64(c.EncodingDen)
 }
 
+// NotifyLatency returns the host-notification latency of the link: the
+// round trip for the host to observe a NIC-side completion (the paper
+// models host-visible NIC reads as ReadLatency PCIe round trips). It is
+// the conservative-PDES lookahead of a NIC domain toward its host domain
+// in the sharded engine (sim.Shard).
+func (c Config) NotifyLatency() sim.Time { return c.ReadLatency }
+
 // WriteWireBytes returns the wire bytes consumed by a DMA write of payload
 // bytes, including the TLP overhead.
 func (c Config) WriteWireBytes(payload int64) int64 {

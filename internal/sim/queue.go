@@ -285,6 +285,15 @@ func (q *calQueue) peek() event {
 	return q.settle().peek()
 }
 
+// peekTime returns the earliest pending timestamp, or false on an empty
+// queue (peek requires a non-empty queue).
+func (q *calQueue) peekTime() (Time, bool) {
+	if q.size == 0 {
+		return 0, false
+	}
+	return q.peek().at, true
+}
+
 func (q *calQueue) pop() event {
 	b := q.settle()
 	q.ringSize--

@@ -1,0 +1,226 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// InfiniteLookahead marks a shard that never posts cross-shard events (a
+// pure sink, e.g. a host-side collector). Such shards never constrain the
+// synchronization horizon.
+const InfiniteLookahead = Time(1) << 62
+
+// xmsg is one cross-shard event in flight: a typed event plus its absolute
+// firing time. The context handle is relative to the destination shard's
+// engine (the sender names an object the receiver bound).
+type xmsg struct {
+	at   Time
+	a, b int64
+	ctx  Ctx
+	kind Kind
+}
+
+// Shard is one domain of a sharded simulation: it owns a full Engine (its
+// own calendar queue, context table and clock) plus outboxes of events
+// posted to other shards. All model state reachable from a shard's events
+// must be owned by that shard; cross-shard influence flows exclusively
+// through PostRemote.
+type Shard struct {
+	Engine
+	id        int
+	name      string
+	lookahead Time
+	parent    *ParallelEngine
+	outbox    [][]xmsg // per-destination shard, this window's posts
+}
+
+// ID returns the shard's index in its ParallelEngine.
+func (s *Shard) ID() int { return s.id }
+
+// Name returns the diagnostic name given to NewShard.
+func (s *Shard) Name() string { return s.name }
+
+// PostRemote schedules a typed event in dst's engine at absolute time t.
+// The context handle c must have been obtained from dst's Bind. The event
+// is buffered in a mailbox and delivered at the next window boundary; the
+// conservative protocol requires t to be at least the current window's
+// horizon, which the sender's declared lookahead guarantees when every
+// cross-shard post is delayed by at least that lookahead. Violations panic:
+// they mean the shard declared a lookahead larger than the model's true
+// minimum cross-domain latency, which would silently corrupt event order.
+func (s *Shard) PostRemote(dst *Shard, t Time, k Kind, c Ctx, a, b int64) {
+	if dst.parent != s.parent {
+		panic("sim: PostRemote across ParallelEngines")
+	}
+	if dst == s {
+		s.Post(t, k, c, a, b) // self-posts are ordinary local events
+		return
+	}
+	if t < s.parent.horizon {
+		panic(fmt.Sprintf("sim: shard %q posts to %q at %v inside the current window (horizon %v, lookahead %v): lookahead violation",
+			s.name, dst.name, t, s.parent.horizon, s.lookahead))
+	}
+	s.outbox[dst.id] = append(s.outbox[dst.id], xmsg{at: t, kind: k, ctx: c, a: a, b: b})
+}
+
+// ParallelEngine coordinates a set of shards under conservative windowed
+// synchronization (an LBTS/null-message scheme in its barrier form): in
+// each round it computes the lower bound on the timestamp of any future
+// cross-shard event — min over shards of (earliest pending local event +
+// that shard's lookahead) — and lets every shard execute its local events
+// strictly below that horizon in parallel. Between rounds, mailboxes are
+// flushed in a deterministic merge order, so the firing sequence of every
+// shard is independent of the worker count and of OS scheduling.
+type ParallelEngine struct {
+	shards  []*Shard
+	workers int
+	horizon Time
+	windows uint64
+	scratch []xmsg
+}
+
+// NewParallel returns an empty sharded simulation executed by up to
+// workers goroutines per window. workers <= 1 selects the serial executor,
+// which runs shards in index order within each window and fires, by
+// construction, exactly the same per-shard event sequences as any parallel
+// execution.
+func NewParallel(workers int) *ParallelEngine {
+	if workers < 1 {
+		workers = 1
+	}
+	return &ParallelEngine{workers: workers}
+}
+
+// NewShard adds a domain. lookahead is the minimum delay of any cross-shard
+// event the domain will ever post, measured from its clock at post time: it
+// must be positive (a zero-lookahead domain cannot be synchronized
+// conservatively), and shards that never post remotely should pass
+// InfiniteLookahead so they never throttle the window. Shards must all be
+// created before Run.
+func (p *ParallelEngine) NewShard(name string, lookahead Time) *Shard {
+	if lookahead <= 0 {
+		panic(fmt.Sprintf("sim: shard %q lookahead %v must be positive", name, lookahead))
+	}
+	s := &Shard{id: len(p.shards), name: name, lookahead: lookahead, parent: p}
+	p.shards = append(p.shards, s)
+	for _, sh := range p.shards {
+		for len(sh.outbox) < len(p.shards) {
+			sh.outbox = append(sh.outbox, nil)
+		}
+	}
+	return s
+}
+
+// Windows returns the number of synchronization rounds executed so far. It
+// is a pure function of the model (not of the worker count), which makes it
+// safe to report in deterministic outputs.
+func (p *ParallelEngine) Windows() uint64 { return p.windows }
+
+// flush delivers every outbox into its destination engine. For one
+// destination, pending events are merged across sources by (time, source
+// shard, post order) — a total order derived only from model state — and
+// posted in that order, so the destination's sequence numbering (and
+// therefore its tie-breaking among equal timestamps) is deterministic.
+func (p *ParallelEngine) flush() {
+	for _, dst := range p.shards {
+		msgs := p.scratch[:0]
+		for _, src := range p.shards {
+			box := src.outbox[dst.id]
+			if len(box) == 0 {
+				continue
+			}
+			msgs = append(msgs, box...)
+			src.outbox[dst.id] = box[:0]
+		}
+		if len(msgs) == 0 {
+			continue
+		}
+		// Stable sort: equal timestamps keep their concatenation order,
+		// which is (source shard id, post order within the source).
+		sort.SliceStable(msgs, func(i, j int) bool { return msgs[i].at < msgs[j].at })
+		for _, m := range msgs {
+			dst.Post(m.at, m.kind, m.ctx, m.a, m.b)
+		}
+		p.scratch = msgs // retain capacity
+	}
+}
+
+// lbts returns the horizon of the next window: no cross-shard event can be
+// created with a timestamp below it. ok is false when no shard has pending
+// events (the simulation is finished once mailboxes are also empty).
+func (p *ParallelEngine) lbts() (Time, bool) {
+	horizon := Time(1)<<62 + 1
+	ok := false
+	for _, s := range p.shards {
+		next, pending := s.queue.peekTime()
+		if !pending {
+			continue
+		}
+		ok = true
+		cand := next + s.lookahead
+		if cand < next { // overflow clamp (InfiniteLookahead far future)
+			cand = Time(1) << 62
+		}
+		if cand < horizon {
+			horizon = cand
+		}
+	}
+	return horizon, ok
+}
+
+// Run executes the sharded simulation to completion and returns the
+// makespan: the latest timestamp any shard fired an event at.
+func (p *ParallelEngine) Run() Time {
+	for {
+		p.flush()
+		horizon, ok := p.lbts()
+		if !ok {
+			break
+		}
+		p.horizon = horizon
+		p.windows++
+		p.runWindow(horizon)
+	}
+	var makespan Time
+	for _, s := range p.shards {
+		if s.Now() > makespan {
+			makespan = s.Now()
+		}
+	}
+	return makespan
+}
+
+// runWindow fires, in every shard, the local events with timestamps
+// strictly below horizon. Shards share no mutable state (outbox rows are
+// written only by their owner), so the executor is free to run them on any
+// worker in any order; the result is identical to the serial executor.
+func (p *ParallelEngine) runWindow(horizon Time) {
+	if p.workers <= 1 || len(p.shards) <= 1 {
+		for _, s := range p.shards {
+			s.runBefore(horizon)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	workers := p.workers
+	if workers > len(p.shards) {
+		workers = len(p.shards)
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(p.shards) {
+					return
+				}
+				p.shards[i].runBefore(horizon)
+			}
+		}()
+	}
+	wg.Wait()
+}

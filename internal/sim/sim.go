@@ -32,6 +32,35 @@
 // thin compatibility wrappers that bind a func() and dispatch it through
 // the same table, for callers and tests that do not need the
 // allocation-free path.
+//
+// # Sharded parallel execution
+//
+// A large simulation can be partitioned into domains — Shards created
+// under a ParallelEngine — each owning a full Engine (its own calendar
+// queue, clock and context table) plus the model state its events touch.
+// Domains interact only through Shard.PostRemote, which buffers typed
+// events in per-destination mailboxes.
+//
+// Synchronization is conservative, in the windowed LBTS form of the
+// null-message protocol: each shard declares a lookahead, the minimum
+// delay (from its clock at post time) of any cross-shard event it will
+// ever post — for the models here, the minimum cross-domain link latency:
+// the fabric wire latency for NIC domains, the PCIe notification round
+// trip for host domains, the LogGOPS L parameter for rank domains. Each
+// round, the engine computes the horizon min over shards of (earliest
+// pending event + lookahead); every cross-shard event created while
+// executing below that horizon necessarily lands at or beyond it, so all
+// shards may execute their sub-horizon events in parallel with no further
+// coordination, then meet at a barrier where mailboxes are flushed.
+//
+// The determinism contract extends to shards: mailbox flushes merge
+// pending events by (time, source shard, post order) — a total order
+// derived from model state alone — before assigning destination sequence
+// numbers, and within a shard events fire in exact (time, seq) order as
+// always. The per-shard firing sequences are therefore a pure function of
+// the model: the parallel executor and the serial executor (workers=1,
+// shards stepped in index order) fire identical sequences, byte for byte,
+// regardless of worker count or OS scheduling.
 package sim
 
 import (
@@ -227,6 +256,17 @@ func (e *Engine) After(delay Time, fn func()) {
 		panic(fmt.Sprintf("sim: negative delay %v", delay))
 	}
 	e.Post(e.now+delay, KindFunc, e.bindFunc(fn), 0, 0)
+}
+
+// runBefore executes events with timestamps strictly below limit,
+// including events those executions schedule below the limit. It is the
+// window step of the sharded executor: the clock is left at the last fired
+// event (never advanced artificially), so a later window continues exactly
+// where a plain Run would be.
+func (e *Engine) runBefore(limit Time) {
+	for e.queue.len() > 0 && e.queue.peek().at < limit {
+		e.step()
+	}
 }
 
 // Run executes events until the queue is empty and returns the final time.
