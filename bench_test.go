@@ -15,6 +15,7 @@ import (
 	"testing"
 	"time"
 
+	"spinddt"
 	"spinddt/internal/apps"
 	"spinddt/internal/core"
 	"spinddt/internal/ddt"
@@ -331,6 +332,54 @@ func TestShardedClusterSpeedup(t *testing.T) {
 	if sharded >= serial {
 		t.Fatalf("sharded executor (%v) not faster than serial (%v) on %d cores",
 			sharded, serial, runtime.GOMAXPROCS(0))
+	}
+}
+
+// BenchmarkSessionPostReuse measures the session API's amortization claim
+// (the Fig. 18 semantics as a perf property): a committed TypeHandle is
+// posted 64 times per iteration against one endpoint, and after the first
+// post the per-post cost must be bookkeeping only — no offload rebuild, no
+// host prep, allocations near zero. Posts are spaced so their arrival
+// windows do not overlap: the benchmark isolates the posting path, not
+// device contention (BenchmarkAlltoall8 measures that).
+func BenchmarkSessionPostReuse(b *testing.B) {
+	typ := ddt.MustVector(128, 128, 256, ddt.Int) // 512 B blocks, 64 KiB
+	sess := spinddt.NewSession(spinddt.NewSessionConfig())
+	h, err := sess.Commit(typ)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ep := sess.Endpoint(spinddt.EndpointConfig{})
+	const posts = 64
+	const gap = 50 * sim.Microsecond
+	run := func() {
+		for p := 0; p < posts; p++ {
+			if _, err := ep.Post(h, 1, spinddt.PostOpts{Seed: 1, Start: sim.Time(p) * gap}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := ep.Flush(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	run() // absorb the one-time build and first-post prep
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run()
+	}
+}
+
+// BenchmarkAlltoall8 regenerates the alltoall figure: 7 peer messages
+// batched through one NIC residency pass per strategy, the multi-message
+// contention workload of the session API.
+func BenchmarkAlltoall8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.AlltoallExchange(8, 1<<20)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printTable("alltoall", t)
 	}
 }
 

@@ -1,12 +1,11 @@
-// MPI integration (paper Sec. 3.2.6): committing datatypes selects offload
-// strategies, posting receives allocates NIC memory with LRU victim
-// selection, exhausted NIC memory falls back to host unpacking, and
-// unexpected messages take the overflow path.
-//
-// This example drives internal/mpi through four scenarios and prints the
-// library's bookkeeping. (It imports internal packages: it demonstrates the
-// integration layer, which downstream users would reach through their MPI
-// implementation, not the public simulation API.)
+// MPI integration (paper Sec. 3.2.6 and Fig. 18): how an MPI library maps
+// onto the session API. MPI_Type_commit becomes Session.Commit — the
+// strategy is auto-selected (vector-like layouts take the specialized
+// handler, irregular ones RW-CP) and the offload state is built exactly
+// once per handle. Posted receives become Endpoint.Post against the
+// persistent handles; a collective's receive side becomes a batch of
+// posts flushed through one NIC residency pass; MPI_Type_free becomes
+// Free.
 //
 // Run with: go run ./examples/mpilib
 package main
@@ -14,24 +13,17 @@ package main
 import (
 	"fmt"
 	"log"
-	"math/rand"
 
-	"spinddt/internal/ddt"
-	"spinddt/internal/mpi"
-	"spinddt/internal/nic"
-	"spinddt/internal/portals"
+	"spinddt"
 )
 
 func main() {
-	cfg := nic.DefaultConfig()
-	lib, err := mpi.NewLib(cfg)
-	if err != nil {
-		log.Fatal(err)
-	}
+	sess := spinddt.NewSession(spinddt.NewSessionConfig())
 
-	// 1. Commit: a strided face takes the specialized handler; an
-	// irregular particle exchange takes RW-CP.
-	face, err := lib.CommitType(ddt.MustVector(4096, 16, 32, ddt.Int), mpi.Attr{Priority: 5})
+	// 1. Commit: a strided face takes the specialized handler, an
+	// irregular particle exchange takes RW-CP — the same selection an MPI
+	// library performs at MPI_Type_commit.
+	face, err := spinddt.Vector(4096, 16, 32, spinddt.Int)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -39,54 +31,74 @@ func main() {
 	for i := range displs {
 		displs[i] = i*3 + i%2
 	}
-	particles, err := lib.CommitType(ddt.MustIndexedBlock(2, displs, ddt.Double), mpi.Attr{Priority: 1})
+	particles, err := spinddt.IndexedBlock(2, displs, spinddt.Double)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("committed: face -> %v, particles -> %v\n", face.Strategy(), particles.Strategy())
-
-	// 2. Offloaded receive: post, deliver, verify.
-	deliver(lib, face, 4, 1)
-	fmt.Printf("after face recv:      NIC memory %6d B, stats %+v\n", lib.NICMemUsed(), lib.Stats())
-
-	// 3. Second datatype: allocates beside the first (or evicts LRU-first
-	// if it would not fit).
-	deliver(lib, particles, 1, 2)
-	fmt.Printf("after particle recv:  NIC memory %6d B, stats %+v\n", lib.NICMemUsed(), lib.Stats())
-
-	// 4. Unexpected message: it arrives before the receive and is staged
-	// through the overflow list; the late receive unpacks on the host.
-	packed := make([]byte, face.DDT().Size()*2)
-	rand.New(rand.NewSource(3)).Read(packed)
-	if _, err := lib.Deliver(99, packed, nil); err != nil {
-		log.Fatal(err)
-	}
-	_, hi := face.DDT().Footprint(2)
-	late, err := lib.PostRecv(face, 2, 99, make([]byte, hi))
+	faceH, err := sess.Commit(face)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := late.Verify(packed); err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("unexpected message:   handled on the host (offload impossible: datatype unknown at match time)\n")
-	fmt.Printf("final stats:          %+v\n", lib.Stats())
-}
-
-func deliver(lib *mpi.Lib, typ *mpi.Type, count int, match int) {
-	_, hi := typ.DDT().Footprint(count)
-	recv, err := lib.PostRecv(typ, count, portals.MatchBits(match), make([]byte, hi))
+	partH, err := sess.Commit(particles)
 	if err != nil {
 		log.Fatal(err)
 	}
-	packed := make([]byte, typ.DDT().Size()*int64(count))
-	rand.New(rand.NewSource(int64(match))).Read(packed)
-	if _, err := lib.Deliver(portals.MatchBits(match), packed, nil); err != nil {
+	fmt.Printf("committed: face -> %v, particles -> %v\n", faceH.Strategy(), partH.Strategy())
+
+	// 2. Point-to-point receives: each post reuses the committed state.
+	// Only the first post of a handle reports host preparation.
+	ep := sess.Endpoint(spinddt.EndpointConfig{})
+	for i := 0; i < 2; i++ {
+		for _, h := range []*spinddt.TypeHandle{faceH, partH} {
+			fut, err := ep.Post(h, 1, spinddt.PostOpts{Seed: int64(i + 1)})
+			if err != nil {
+				log.Fatal(err)
+			}
+			res, err := fut.Wait()
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("recv %-11v post %d: proc=%-12v host-prep=%-10v verified=%v\n",
+				res.Strategy, i, res.ProcTime, res.Prep.Total(), res.Verified)
+		}
+	}
+
+	// 3. A collective's receive side: seven peers' face messages posted as
+	// one batch and flushed through a single NIC residency pass — the
+	// messages contend for the endpoint's HPUs, DMA and NIC memory the way
+	// real alltoall traffic does.
+	exchange := sess.Endpoint(spinddt.EndpointConfig{})
+	const peers = 7
+	futures := make([]*spinddt.Future, peers)
+	for p := range futures {
+		if futures[p], err = exchange.Post(faceH, 1, spinddt.PostOpts{Seed: int64(100 + p)}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := exchange.Flush(); err != nil {
 		log.Fatal(err)
 	}
-	if err := recv.Verify(packed); err != nil {
-		log.Fatal(err)
+	var last spinddt.Result
+	verified := 0
+	for _, f := range futures {
+		res, err := f.Wait()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if res.Verified {
+			verified++
+		}
+		if res.NIC.Done > last.NIC.Done {
+			last = res
+		}
 	}
-	fmt.Printf("recv %-10v offloaded=%-5v proc=%v\n",
-		typ.Strategy(), recv.Result.Offloaded, recv.Result.ProcTime)
+	fmt.Printf("alltoall:  %d messages in one residency pass, last done at %v, %d/%d verified\n",
+		peers, last.NIC.Done, verified, peers)
+
+	// 4. MPI_Type_free: the handle is released; later posts fail, the
+	// session's caches keep the immutable artifacts for a cheap re-commit.
+	faceH.Free()
+	if _, err := ep.Post(faceH, 1, spinddt.PostOpts{}); err != nil {
+		fmt.Printf("freed:     post after Free correctly fails (%v)\n", err)
+	}
 }

@@ -1,0 +1,162 @@
+package core
+
+import (
+	"fmt"
+
+	"spinddt/internal/ddt"
+	"spinddt/internal/fabric"
+	"spinddt/internal/hostcpu"
+	"spinddt/internal/nic"
+	"spinddt/internal/portals"
+	"spinddt/internal/sim"
+)
+
+// BackendEnv carries the session configuration a backend needs to execute
+// a flush: the device model, the executor knob and the host CPU profile.
+type BackendEnv struct {
+	NIC    nic.Config
+	Engine EngineMode
+	Host   hostcpu.Config
+}
+
+// BackendMessage is one posted message in the backend exchange format. The
+// contract is the committed datatype's compiled block program: Type/Count
+// define the scatter layout (ddt compiles it at commit; ForEachBlock and
+// Unpack replay it), Packed is the wire stream and Dst the destination
+// buffer. Simulated backends additionally receive the portal-table entry
+// whose execution context holds the offload state built at commit time;
+// host backends execute the block program directly.
+type BackendMessage struct {
+	Type  *ddt.Type
+	Count int
+
+	// PT/Bits bind the message to its match-list entry. For offloaded
+	// strategies the matched entry carries the sPIN execution context; a
+	// nil-context entry takes the non-processing RDMA path into Region.
+	PT     *portals.PT
+	Bits   portals.MatchBits
+	Region portals.HostRegion
+
+	Packed []byte
+	Dst    []byte
+
+	// Start is when the message's first bit leaves its sender; Order
+	// optionally permutes packet delivery; Arrivals, when non-nil, is an
+	// explicit schedule overriding both (coupled transfers).
+	Start    sim.Time
+	Order    []int
+	Arrivals []fabric.Arrival
+}
+
+// Backend executes the data movement of posted messages. SimBackend — the
+// default — replays each message through the simulated sPIN NIC; other
+// backends may execute the same block programs against real resources
+// (host memory today; iovec lists or kernel-bypass paths tomorrow). All
+// backends must land byte-identical Dst contents — the differential tests
+// hold them to the reference ddt.Unpack.
+type Backend interface {
+	// Name labels the backend ("sim", "mem").
+	Name() string
+	// Flush executes msgs — all posted to one endpoint — in a single
+	// residency pass and returns per-message device-level results in
+	// input order.
+	Flush(env BackendEnv, msgs []BackendMessage) ([]nic.Result, error)
+	// Iovec executes the Portals-4 scatter-list baseline for one message.
+	Iovec(env BackendEnv, regions []nic.IovecRegion, packed, dst []byte) (nic.Result, error)
+}
+
+// SimBackend executes messages on the simulated sPIN NIC: the paper's
+// timing models (fabric, inbound parser, HPUs, DMA, PCIe), with all
+// messages of one flush sharing a single device residency pass.
+type SimBackend struct{}
+
+// Name implements Backend.
+func (SimBackend) Name() string { return "sim" }
+
+// Flush implements Backend on the NIC simulator.
+func (SimBackend) Flush(env BackendEnv, msgs []BackendMessage) ([]nic.Result, error) {
+	batch := make([]nic.BatchMessage, len(msgs))
+	for i := range msgs {
+		m := &msgs[i]
+		batch[i] = nic.BatchMessage{
+			PT:       m.PT,
+			Bits:     m.Bits,
+			Packed:   m.Packed,
+			Host:     m.Dst,
+			Start:    m.Start,
+			Order:    m.Order,
+			Arrivals: m.Arrivals,
+		}
+	}
+	if env.Engine == EngineSharded {
+		return nic.ReceiveBatchSharded(env.NIC, batch)
+	}
+	return nic.ReceiveBatch(env.NIC, batch)
+}
+
+// Iovec implements Backend on the NIC simulator.
+func (SimBackend) Iovec(env BackendEnv, regions []nic.IovecRegion, packed, dst []byte) (nic.Result, error) {
+	return nic.ReceiveIovec(env.NIC, regions, packed, dst)
+}
+
+// MemBackend executes messages directly on host memory: each posted
+// message's packed stream is scattered into its destination buffer by
+// replaying the committed type's compiled block program on the CPU — no
+// NIC model involved. It is the first non-simulated backend and the
+// differential-testing oracle for SimBackend: both must produce identical
+// buffers. Reported times come from the host CPU cost model (an unpack of
+// the message), so results stay deterministic.
+type MemBackend struct{}
+
+// Name implements Backend.
+func (MemBackend) Name() string { return "mem" }
+
+// Flush implements Backend by executing the block programs on the CPU.
+func (MemBackend) Flush(env BackendEnv, msgs []BackendMessage) ([]nic.Result, error) {
+	results := make([]nic.Result, len(msgs))
+	for i := range msgs {
+		m := &msgs[i]
+		res := nic.Result{MsgBytes: int64(len(m.Packed)), FirstByte: m.Start}
+		if m.Type != nil {
+			if err := ddt.Unpack(m.Type, m.Count, m.Packed, m.Dst); err != nil {
+				return nil, fmt.Errorf("core: mem backend message %d: %w", i, err)
+			}
+			cost := hostcpu.UnpackCost(env.Host, m.Type, m.Count)
+			res.Done = m.Start + cost.Time
+			res.DMA = nic.DMAStats{Writes: m.Type.TotalBlocks(m.Count), Bytes: int64(len(m.Packed))}
+		} else {
+			// Non-processing path: the packed stream lands contiguously at
+			// the region offset.
+			copy(m.Dst[m.Region.Offset:], m.Packed)
+			cost := hostcpu.CopyCost(env.Host, int64(len(m.Packed)))
+			res.Done = m.Start + cost
+			res.DMA = nic.DMAStats{Writes: 1, Bytes: int64(len(m.Packed))}
+		}
+		res.ProcTime = res.Done - res.FirstByte
+		results[i] = res
+	}
+	return results, nil
+}
+
+// Iovec implements Backend by scattering the region list on the CPU.
+func (MemBackend) Iovec(env BackendEnv, regions []nic.IovecRegion, packed, dst []byte) (nic.Result, error) {
+	var total int64
+	for _, r := range regions {
+		total += r.Size
+	}
+	if total != int64(len(packed)) {
+		return nic.Result{}, fmt.Errorf("core: mem backend iovec regions cover %d bytes, message is %d", total, len(packed))
+	}
+	var pos int64
+	for _, r := range regions {
+		copy(dst[r.HostOff:r.HostOff+r.Size], packed[pos:pos+r.Size])
+		pos += r.Size
+	}
+	cost := hostcpu.CopyCost(env.Host, pos) + hostcpu.WalkCost(env.Host, int64(len(regions)))
+	return nic.Result{
+		MsgBytes: pos,
+		Done:     cost,
+		ProcTime: cost,
+		DMA:      nic.DMAStats{Writes: int64(len(regions)), Bytes: pos},
+	}, nil
+}

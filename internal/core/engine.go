@@ -1,21 +1,17 @@
 package core
 
 import (
-	"spinddt/internal/fabric"
 	"spinddt/internal/nic"
 	"spinddt/internal/portals"
 )
 
-// receiveFunc/receiveArrivalsFunc abstract the two executors of the NIC
-// receive model so Run and RunTransfer stay engine-agnostic.
+// receiveFunc abstracts the two executors of the NIC receive model for
+// callers outside the session/backend path (Receive below).
 type receiveFunc = func(nic.Config, *portals.PT, portals.MatchBits, []byte, []byte, []int) (nic.Result, error)
-type receiveArrivalsFunc = func(nic.Config, *portals.PT, portals.MatchBits, []byte, []byte, []fabric.Arrival) (nic.Result, error)
 
 var (
-	nicReceiveSerial          receiveFunc         = nic.Receive
-	nicReceiveSharded         receiveFunc         = nic.ReceiveSharded
-	nicReceiveArrivalsSerial  receiveArrivalsFunc = nic.ReceiveArrivals
-	nicReceiveArrivalsSharded receiveArrivalsFunc = nic.ReceiveArrivalsSharded
+	nicReceiveSerial  receiveFunc = nic.Receive
+	nicReceiveSharded receiveFunc = nic.ReceiveSharded
 )
 
 // EngineMode selects the discrete-event executor behind a request.
@@ -51,12 +47,4 @@ func (m EngineMode) receive() receiveFunc {
 		return nicReceiveSharded
 	}
 	return nicReceiveSerial
-}
-
-// receiveArrivals returns nic.ReceiveArrivals or its sharded counterpart.
-func (m EngineMode) receiveArrivals() receiveArrivalsFunc {
-	if m == EngineSharded {
-		return nicReceiveArrivalsSharded
-	}
-	return nicReceiveArrivalsSerial
 }

@@ -107,11 +107,19 @@ func (r Result) SpeedupOver(other Result) float64 {
 	return float64(other.ProcTime) / float64(r.ProcTime)
 }
 
-// Run simulates one unpack experiment end to end: it synthesizes the packed
-// message, builds the strategy (handlers, checkpoints, lists), runs the NIC
-// simulation (or the host/iovec baselines) and verifies the resulting
-// receive buffer against the reference ddt.Unpack.
-func Run(req Request) (Result, error) {
+// Run simulates one unpack experiment end to end. It is a thin one-shot
+// wrapper over the private package session: commit, post, flush, verify in
+// one call, against the simulated backend and the shared default caches.
+// Results are byte-identical to the pre-session API.
+func Run(req Request) (Result, error) { return oneShot.Run(req) }
+
+// Run executes one unpack experiment on the session: it synthesizes the
+// packed message, builds the strategy (handlers, checkpoints, lists)
+// through the session caches, runs it on the session backend (or the
+// host/iovec baselines) and verifies the resulting receive buffer against
+// the reference ddt.Unpack. Unlike Endpoint posts, a one-shot Run always
+// reports the full cold-build host preparation cost.
+func (s *Session) Run(req Request) (Result, error) {
 	typ := req.Type.Commit()
 	msgSize := typ.Size() * int64(req.Count)
 	if msgSize <= 0 {
@@ -134,13 +142,18 @@ func Run(req Request) (Result, error) {
 		Gamma:    typ.Gamma(req.Count, req.NIC.Fabric.MTU),
 	}
 
+	env := BackendEnv{NIC: req.NIC, Engine: req.Engine, Host: req.Host}
+
 	switch req.Strategy {
 	case HostUnpack:
 		// RDMA the packed stream to a staging buffer, then unpack on the
 		// CPU with cold caches.
 		staging := getBuf(msgSize)
 		pt := singleMatchPT(&portals.ME{Match: 1, Region: portals.HostRegion{Length: msgSize}})
-		nicRes, err := req.Engine.receive()(req.NIC, pt, 1, packed, staging, req.Order)
+		nicRes, err := s.flushOne(env, BackendMessage{
+			PT: pt, Bits: 1, Region: portals.HostRegion{Length: msgSize},
+			Packed: packed, Dst: staging, Order: req.Order,
+		})
 		if err != nil {
 			return Result{}, err
 		}
@@ -163,7 +176,7 @@ func Run(req Request) (Result, error) {
 		if req.Order != nil {
 			return Result{}, fmt.Errorf("core: the iovec baseline assumes in-order delivery")
 		}
-		nicRes, err := nic.ReceiveIovec(req.NIC, regions, packed, dst)
+		nicRes, err := s.backend.Iovec(env, regions, packed, dst)
 		if err != nil {
 			return Result{}, err
 		}
@@ -179,7 +192,7 @@ func Run(req Request) (Result, error) {
 		}
 
 	default:
-		off, err := BuildOffload(req.Strategy, BuildParams{
+		off, err := s.caches.buildOffload(req.Strategy, BuildParams{
 			Type: typ, Count: req.Count,
 			NIC: req.NIC, Cost: req.Cost, Host: req.Host,
 			Epsilon: req.Epsilon, PktBufBytes: req.PktBufBytes,
@@ -190,7 +203,10 @@ func Run(req Request) (Result, error) {
 			return Result{}, err
 		}
 		pt := singleMatchPT(&portals.ME{Match: 1, Ctx: off.Ctx})
-		nicRes, err := req.Engine.receive()(req.NIC, pt, 1, packed, dst, req.Order)
+		nicRes, err := s.flushOne(env, BackendMessage{
+			Type: typ, Count: req.Count, PT: pt, Bits: 1,
+			Packed: packed, Dst: dst, Order: req.Order,
+		})
 		if err != nil {
 			return Result{}, err
 		}

@@ -58,8 +58,15 @@ func NewSendRequest(s SendStrategy, typ *ddt.Type, count int) SendRequest {
 }
 
 // RunSend simulates sending count elements of the datatype with the chosen
-// strategy and returns the NIC-level result.
-func RunSend(req SendRequest) (nic.SendResult, error) {
+// strategy. It is a thin one-shot wrapper over the private package session
+// (see Run).
+func RunSend(req SendRequest) (nic.SendResult, error) { return oneShot.RunSend(req) }
+
+// RunSend executes one sender-side experiment on the session and returns
+// the NIC-level result. The sender models (pack+send, streaming puts,
+// outbound sPIN) are timing models of the injection path; they do not move
+// receive-side data, so they run identically on every backend.
+func (s *Session) RunSend(req SendRequest) (nic.SendResult, error) {
 	typ := req.Type.Commit()
 	msgSize := typ.Size() * int64(req.Count)
 	if msgSize <= 0 {

@@ -1,0 +1,553 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"spinddt/internal/ddt"
+	"spinddt/internal/hostcpu"
+	"spinddt/internal/nic"
+	"spinddt/internal/portals"
+	"spinddt/internal/sim"
+)
+
+// SessionConfig configures a Session: the device and cost models shared by
+// every commit and post, the discrete-event executor, and the backend the
+// posted messages execute on.
+type SessionConfig struct {
+	NIC  nic.Config
+	Cost CostModel
+	Host hostcpu.Config
+	// Epsilon is the checkpoint heuristic tolerance (paper: 0.2).
+	Epsilon float64
+	// PktBufBytes feeds the heuristic's packet-buffer check (0 = off).
+	PktBufBytes int64
+	// Engine selects the discrete-event executor (see Request.Engine).
+	Engine EngineMode
+	// Backend executes posted messages; nil selects SimBackend.
+	Backend Backend
+}
+
+// NewSessionConfig returns the paper's default session configuration.
+func NewSessionConfig() SessionConfig {
+	return SessionConfig{
+		NIC:     nic.DefaultConfig(),
+		Cost:    DefaultCostModel(),
+		Host:    hostcpu.DefaultConfig(),
+		Epsilon: 0.2,
+		Engine:  DefaultEngine,
+	}
+}
+
+// Session owns a Backend plus the offload build caches every TypeHandle
+// committed on it shares. It is the library-lifetime object an MPI
+// implementation would hold: types are committed once (Commit), receives
+// are posted against endpoints many times, and the expensive offload state
+// — compiled block programs, dataloops, checkpoint sets, specialized
+// handlers — is built exactly once per committed handle and amortized
+// across every post (the paper's Fig. 18 reuse argument as an API).
+// Sessions are safe for concurrent use.
+type Session struct {
+	cfg     SessionConfig
+	backend Backend
+	caches  *offloadCaches
+
+	mu         sync.Mutex
+	handles    map[handleID]*TypeHandle
+	busyTraces map[*nic.Trace]struct{} // traces of in-flight flushes
+	closed     bool
+}
+
+type handleID struct {
+	typ      *ddt.Type
+	strategy Strategy
+}
+
+// NewSession returns a Session with its own cache set. Traces are
+// per-endpoint (EndpointConfig.Trace): a session-level NIC trace would be
+// appended to by every endpoint's flush, and endpoints flush concurrently.
+func NewSession(cfg SessionConfig) *Session {
+	if cfg.NIC.Trace != nil {
+		panic("core: SessionConfig.NIC.Trace is not supported; attach one Trace per endpoint (EndpointConfig.Trace)")
+	}
+	b := cfg.Backend
+	if b == nil {
+		b = SimBackend{}
+	}
+	return &Session{
+		cfg:     cfg,
+		backend: b,
+		caches:  &offloadCaches{},
+		handles: make(map[handleID]*TypeHandle),
+	}
+}
+
+// oneShot is the private session behind the package-level Run, RunSend and
+// RunTransfer wrappers: the simulated backend against the shared default
+// caches, exactly the state those functions used before sessions existed.
+var oneShot = &Session{
+	cfg:     SessionConfig{Engine: DefaultEngine},
+	backend: SimBackend{},
+	caches:  &defaultCaches,
+	handles: make(map[handleID]*TypeHandle),
+}
+
+// Backend returns the session's backend.
+func (s *Session) Backend() Backend { return s.backend }
+
+// SelectStrategy picks the receive strategy an MPI library would commit
+// the datatype with (Sec. 3.2.6): vector-like layouts (after
+// normalization) take the O(1)-state specialized handler, everything else
+// takes RW-CP, the paper's best general strategy.
+func SelectStrategy(t *ddt.Type) Strategy {
+	switch ddt.Normalize(t).Kind() {
+	case ddt.KindVector, ddt.KindHVector, ddt.KindElementary, ddt.KindContiguous:
+		return Specialized
+	}
+	return RWCP
+}
+
+// Commit commits the datatype on the session with the auto-selected
+// strategy (SelectStrategy) and returns its handle. Committing the same
+// type twice returns the same handle.
+func (s *Session) Commit(t *ddt.Type) (*TypeHandle, error) {
+	return s.CommitAs(t, SelectStrategy(t))
+}
+
+// CommitAs commits the datatype with an explicit strategy. The commit
+// compiles the type's block program; the per-count offload state
+// (handlers, checkpoint sets, offset lists) is built exactly once on first
+// use and shared by every subsequent post of the handle. Commit is
+// concurrency-safe and idempotent per (type, strategy).
+func (s *Session) CommitAs(t *ddt.Type, strategy Strategy) (*TypeHandle, error) {
+	if t == nil || t.Size() <= 0 {
+		return nil, fmt.Errorf("core: cannot commit an empty datatype")
+	}
+	t.Commit() // compiles the block program (idempotent)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, fmt.Errorf("core: session is closed")
+	}
+	id := handleID{typ: t, strategy: strategy}
+	if h, ok := s.handles[id]; ok {
+		return h, nil
+	}
+	h := &TypeHandle{sess: s, typ: t, strategy: strategy}
+	s.handles[id] = h
+	return h, nil
+}
+
+// Endpoint returns a new endpoint of the session: one simulated NIC
+// receiving the messages posted to it. A Trace is unsynchronized, so one
+// Trace must not feed two concurrent simulations (the same rule
+// nic.ReceiveCluster enforces); concurrent flushes within one session
+// detect that and panic. Sequential reuse of a Trace across endpoints is
+// fine. Sharing a Trace across sessions, or with a concurrent one-shot
+// Run's req.NIC.Trace, is not detected — keep traces session-local.
+func (s *Session) Endpoint(cfg EndpointConfig) *Endpoint {
+	ni := portals.NewNI(1)
+	pt, err := ni.PT(0)
+	if err != nil {
+		panic(err) // NI with one PT cannot fail
+	}
+	return &Endpoint{sess: s, cfg: cfg, pt: pt, nextBits: 1}
+}
+
+// acquireTrace marks the trace as owned by an in-flight flush; the
+// returned release restores it. Two concurrent flushes feeding one
+// unsynchronized Trace would race on its event slice, so that is a
+// programmer error worth a loud stop.
+func (s *Session) acquireTrace(tr *nic.Trace) (release func()) {
+	if tr == nil {
+		return func() {}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, busy := s.busyTraces[tr]; busy {
+		panic("core: one nic.Trace flushed from two endpoints concurrently; endpoints need distinct traces")
+	}
+	if s.busyTraces == nil {
+		s.busyTraces = make(map[*nic.Trace]struct{})
+	}
+	s.busyTraces[tr] = struct{}{}
+	return func() {
+		s.mu.Lock()
+		delete(s.busyTraces, tr)
+		s.mu.Unlock()
+	}
+}
+
+// Close frees every handle committed on the session. Posting on a closed
+// session's handles fails; already-flushed results stay valid.
+func (s *Session) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	for id, h := range s.handles {
+		h.markFreed()
+		delete(s.handles, id)
+	}
+}
+
+// TypeHandle is a committed datatype bound to a session and a strategy —
+// what MPI_Type_commit returns in a library built on this API. The
+// handle's offload state is built exactly once per element count and
+// reused by every post; Free releases the handle (the session drops it and
+// further posts fail).
+type TypeHandle struct {
+	sess     *Session
+	typ      *ddt.Type
+	strategy Strategy
+
+	mu     sync.Mutex
+	builds map[int]*handleBuild // by element count
+	freed  bool
+}
+
+// handleBuild is the once-built offload state of one (handle, count).
+type handleBuild struct {
+	once     sync.Once
+	err      error
+	template *Offload
+	params   BuildParams
+	// posted flips on the first flushed post: Fig. 18 semantics — the
+	// first post pays the host preparation, subsequent posts report zero.
+	posted atomic.Bool
+}
+
+// Type returns the committed datatype.
+func (h *TypeHandle) Type() *ddt.Type { return h.typ }
+
+// Strategy returns the strategy the handle was committed with.
+func (h *TypeHandle) Strategy() Strategy { return h.strategy }
+
+// Free releases the handle: the session forgets it and subsequent posts
+// fail. The underlying caches keep their immutable artifacts (a later
+// re-commit of the same type rebuilds cheaply). Free is idempotent, and a
+// stale Free never evicts a live handle from a later re-commit.
+func (h *TypeHandle) Free() {
+	s := h.sess
+	id := handleID{typ: h.typ, strategy: h.strategy}
+	s.mu.Lock()
+	if s.handles[id] == h {
+		delete(s.handles, id)
+	}
+	s.mu.Unlock()
+	h.markFreed()
+}
+
+func (h *TypeHandle) markFreed() {
+	h.mu.Lock()
+	h.freed = true
+	h.mu.Unlock()
+}
+
+// build returns the once-built offload state for count elements, building
+// it on first use. Concurrent calls for the same count build exactly once.
+func (h *TypeHandle) build(count int) (*handleBuild, error) {
+	h.mu.Lock()
+	if h.freed {
+		h.mu.Unlock()
+		return nil, fmt.Errorf("core: %v handle for %s is freed", h.strategy, h.typ.Name())
+	}
+	if h.builds == nil {
+		h.builds = make(map[int]*handleBuild)
+	}
+	b, ok := h.builds[count]
+	if !ok {
+		b = &handleBuild{params: BuildParams{
+			Type: h.typ, Count: count,
+			NIC: h.sess.cfg.NIC, Cost: h.sess.cfg.Cost, Host: h.sess.cfg.Host,
+			Epsilon: h.sess.cfg.Epsilon, PktBufBytes: h.sess.cfg.PktBufBytes,
+		}}
+		h.builds[count] = b
+	}
+	h.mu.Unlock()
+	b.once.Do(func() {
+		b.template, b.err = h.sess.caches.buildOffload(h.strategy, b.params)
+	})
+	if b.err != nil {
+		return nil, b.err
+	}
+	return b, nil
+}
+
+// instantiate returns the execution context for one posted message. The
+// specialized handlers are stateless after construction, so the template
+// context is shared by every post; the general strategies carry mutable
+// per-message working state (progressing checkpoints, per-vHPU segments)
+// and mint a fresh context from the cached immutable artifacts.
+func (h *TypeHandle) instantiate(b *handleBuild) (*Offload, error) {
+	if h.strategy == Specialized {
+		return b.template, nil
+	}
+	return h.sess.caches.buildOffload(h.strategy, b.params)
+}
+
+// EndpointConfig configures one endpoint.
+type EndpointConfig struct {
+	// Trace, when non-nil, collects the endpoint's NIC pipeline events.
+	// One Trace must not be flushed from two endpoints concurrently
+	// (detected; panics); sequential reuse is fine.
+	Trace *nic.Trace
+}
+
+// Endpoint is one receiving NIC of a session. Posts accumulate; Flush (or
+// the first Future.Wait) runs every pending message through the backend in
+// a single NIC residency pass, so the messages of a real exchange —
+// alltoall, halo — contend for the endpoint's inbound parser, HPUs, DMA
+// channels and NIC memory instead of each message having the device to
+// itself. Endpoints are safe for concurrent use.
+type Endpoint struct {
+	sess *Session
+	cfg  EndpointConfig
+
+	mu       sync.Mutex
+	pt       *portals.PT
+	nextBits portals.MatchBits
+	pending  []*postOp
+}
+
+// PostOpts tunes one posted message. The zero value is a valid default.
+type PostOpts struct {
+	// Seed generates the synthetic packed payload (0 = seed 1, matching
+	// NewRequest).
+	Seed int64
+	// Start is when the message's first bit leaves its sender; staggering
+	// starts models an incast ramp.
+	Start sim.Time
+	// Order permutes the message's packet delivery (nil = in-order).
+	Order []int
+	// Dst, when non-nil, is the caller's receive buffer (it must be
+	// zeroed and at least the datatype footprint); nil draws a pooled
+	// buffer that is reclaimed after verification.
+	Dst []byte
+	// NoVerify skips the byte-for-byte reference check.
+	NoVerify bool
+}
+
+// postOp is one pending message of an endpoint.
+type postOp struct {
+	h     *TypeHandle
+	build *handleBuild
+	off   *Offload
+	count int
+	opts  PostOpts
+
+	packed    []byte
+	dst       []byte
+	pooledDst bool
+	hi        int64
+	bits      portals.MatchBits
+	me        *portals.ME
+
+	done bool
+	res  Result
+	err  error
+}
+
+// Future is the deferred result of one posted message.
+type Future struct {
+	ep *Endpoint
+	op *postOp
+}
+
+// Post posts a receive of count elements of the committed handle to the
+// endpoint and returns its Future. The message executes at the next Flush
+// (or the Future's Wait); the handle's offload state is NOT rebuilt — that
+// happened once at first use — so a post costs only the per-message
+// bookkeeping.
+func (ep *Endpoint) Post(h *TypeHandle, count int, opts PostOpts) (*Future, error) {
+	if h == nil {
+		return nil, fmt.Errorf("core: post with nil handle")
+	}
+	if h.sess != ep.sess {
+		return nil, fmt.Errorf("core: handle committed on a different session")
+	}
+	if count <= 0 {
+		return nil, fmt.Errorf("core: count %d", count)
+	}
+	switch h.strategy {
+	case HostUnpack, PortalsIovec:
+		return nil, fmt.Errorf("core: endpoint posts require an offloaded strategy, not %v", h.strategy)
+	}
+	b, err := h.build(count)
+	if err != nil {
+		return nil, err
+	}
+	off, err := h.instantiate(b)
+	if err != nil {
+		return nil, err
+	}
+
+	typ := h.typ
+	msgSize := typ.Size() * int64(count)
+	lo, hi := typ.Footprint(count)
+	if lo < 0 {
+		return nil, fmt.Errorf("core: receive datatype has negative lower bound %d", lo)
+	}
+	seed := opts.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	op := &postOp{
+		h: h, build: b, off: off, count: count, opts: opts,
+		packed: payloadFor(seed, msgSize),
+		hi:     hi,
+	}
+	if opts.Dst != nil {
+		if int64(len(opts.Dst)) < hi {
+			return nil, fmt.Errorf("core: receive buffer %d bytes, datatype needs %d", len(opts.Dst), hi)
+		}
+		op.dst = opts.Dst
+	} else {
+		op.dst = getZeroBuf(hi)
+		op.pooledDst = true
+	}
+
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	op.bits = ep.nextBits
+	ep.nextBits++
+	op.me = &portals.ME{Match: op.bits, Ctx: off.Ctx, UseOnce: true}
+	if err := ep.pt.Append(portals.PriorityList, op.me); err != nil {
+		if op.pooledDst {
+			putCleanBuf(op.dst) // drawn zeroed and never written
+		}
+		return nil, err
+	}
+	ep.pending = append(ep.pending, op)
+	return &Future{ep: ep, op: op}, nil
+}
+
+// Flush executes every pending post in one batched NIC residency pass and
+// resolves their Futures. It returns the first per-message error (each
+// Future still carries its own).
+func (ep *Endpoint) Flush() error {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	return ep.flushLocked()
+}
+
+func (ep *Endpoint) flushLocked() error {
+	ops := ep.pending
+	if len(ops) == 0 {
+		return nil
+	}
+	ep.pending = nil
+
+	msgs := make([]BackendMessage, len(ops))
+	for i, op := range ops {
+		msgs[i] = BackendMessage{
+			Type:   op.h.typ,
+			Count:  op.count,
+			PT:     ep.pt,
+			Bits:   op.bits,
+			Packed: op.packed,
+			Dst:    op.dst,
+			Start:  op.opts.Start,
+			Order:  op.opts.Order,
+		}
+	}
+	env := BackendEnv{NIC: ep.sess.cfg.NIC, Engine: ep.sess.cfg.Engine, Host: ep.sess.cfg.Host}
+	env.NIC.Trace = ep.cfg.Trace // session-level traces are rejected at NewSession
+	release := ep.sess.acquireTrace(ep.cfg.Trace)
+	results, err := ep.sess.backend.Flush(env, msgs)
+	release()
+	// Retire this flush's match entries whether or not the backend
+	// consumed them (SimBackend unlinks at match time; a host backend
+	// never touches the PT) so the priority list stays bounded.
+	for _, op := range ops {
+		ep.pt.Unlink(op.me)
+	}
+	if err != nil {
+		for _, op := range ops {
+			op.done, op.err = true, err
+			if op.pooledDst {
+				putBuf(op.dst) // possibly partially scattered: dirty pool
+			}
+		}
+		return err
+	}
+	ep.pt.DrainEvents() // keep the endpoint's event queue bounded
+
+	var first error
+	for i, op := range ops {
+		op.done = true
+		op.res, op.err = ep.finishOp(op, results[i])
+		if op.err != nil && first == nil {
+			first = op.err
+		}
+	}
+	return first
+}
+
+// finishOp assembles one post's Result from its device-level result,
+// applying the Fig. 18 amortization: only the first flushed post of a
+// (handle, count) build reports the host preparation cost.
+func (ep *Endpoint) finishOp(op *postOp, nicRes nic.Result) (Result, error) {
+	typ := op.h.typ
+	res := Result{
+		Strategy:     op.h.strategy,
+		MsgBytes:     int64(len(op.packed)),
+		Gamma:        typ.Gamma(op.count, ep.sess.cfg.NIC.Fabric.MTU),
+		NIC:          nicRes,
+		ProcTime:     nicRes.ProcTime,
+		NICBytes:     op.off.Ctx.NICMemBytes,
+		Interval:     op.off.Interval,
+		Checkpoints:  op.off.Checkpoints,
+		Choice:       op.off.Choice,
+		SpecKind:     op.off.SpecKind,
+		TrafficBytes: int64(len(op.packed)),
+	}
+	if op.build.posted.CompareAndSwap(false, true) {
+		res.Prep = op.off.Prep
+	}
+	if !op.opts.NoVerify {
+		if err := verifyReference(typ, op.count, op.packed, op.dst, op.hi); err != nil {
+			if op.pooledDst {
+				putBuf(op.dst) // holds the mismatching scatter: dirty pool
+			}
+			return Result{}, fmt.Errorf("core: %v (backend %s): %w", op.h.strategy, ep.sess.backend.Name(), err)
+		}
+		res.Verified = true
+		if op.pooledDst {
+			releaseRecvBuf(typ, op.count, op.dst)
+		}
+	} else if op.pooledDst {
+		putBuf(op.dst)
+	}
+	return res, nil
+}
+
+// flushOne runs a single backend message and returns its device result
+// (the one-shot wrappers' path into the backend).
+func (s *Session) flushOne(env BackendEnv, msg BackendMessage) (nic.Result, error) {
+	results, err := s.backend.Flush(env, []BackendMessage{msg})
+	if err != nil {
+		return nic.Result{}, err
+	}
+	return results[0], nil
+}
+
+// Wait flushes the endpoint if the message is still pending and returns
+// the message's Result.
+func (f *Future) Wait() (Result, error) {
+	f.ep.mu.Lock()
+	defer f.ep.mu.Unlock()
+	if !f.op.done {
+		if err := f.ep.flushLocked(); err != nil && !f.op.done {
+			return Result{}, err
+		}
+	}
+	return f.op.res, f.op.err
+}
+
+// Done reports whether the message has been flushed.
+func (f *Future) Done() bool {
+	f.ep.mu.Lock()
+	defer f.ep.mu.Unlock()
+	return f.op.done
+}

@@ -155,38 +155,51 @@ type specCacheEntry struct {
 	kind     string
 }
 
-var (
-	loopCache, ckptCache, specCache sync.Map
-	offloadCacheSize                atomic.Int64
-)
+// offloadCaches is one set of the build caches above. Every Session owns
+// its own set (NewSession), so sessions are isolated; the package-level
+// one-shot wrappers (Run, RunTransfer, RunCluster via BuildOffload) share
+// defaultCaches.
+type offloadCaches struct {
+	loop, ckpt, spec sync.Map
+	size             atomic.Int64
+}
 
-func cacheStore(m *sync.Map, k, v any) {
-	if offloadCacheSize.Load() >= offloadCacheCap {
+// defaultCaches backs the package-level BuildOffload and the private
+// one-shot session behind Run/RunSend/RunTransfer.
+var defaultCaches offloadCaches
+
+func (c *offloadCaches) store(m *sync.Map, k, v any) {
+	if c.size.Load() >= offloadCacheCap {
 		return
 	}
 	if _, loaded := m.LoadOrStore(k, v); !loaded {
-		offloadCacheSize.Add(1)
+		c.size.Add(1)
 	}
 }
 
 // compileLoop returns the (shared, immutable) dataloop of a committed type.
-func compileLoop(typ *ddt.Type, count int) (*dataloop.Dataloop, error) {
+func (c *offloadCaches) compileLoop(typ *ddt.Type, count int) (*dataloop.Dataloop, error) {
 	k := loopCacheKey{typ: typ, count: count}
-	if v, ok := loopCache.Load(k); ok {
+	if v, ok := c.loop.Load(k); ok {
 		return v.(*dataloop.Dataloop), nil
 	}
 	loop, err := dataloop.CompileCount(typ, count)
 	if err != nil {
 		return nil, err
 	}
-	cacheStore(&loopCache, k, loop)
+	c.store(&c.loop, k, loop)
 	return loop, nil
 }
 
-// BuildOffload constructs the execution context for an offloaded strategy.
-// This is the work an MPI implementation performs at type-commit and
-// receive-post time (Sec. 3.2.6).
+// BuildOffload constructs the execution context for an offloaded strategy
+// using the shared default caches. This is the work an MPI implementation
+// performs at type-commit and receive-post time (Sec. 3.2.6).
 func BuildOffload(s Strategy, p BuildParams) (*Offload, error) {
+	return defaultCaches.buildOffload(s, p)
+}
+
+// buildOffload is BuildOffload against one session's cache set.
+func (c *offloadCaches) buildOffload(s Strategy, p BuildParams) (*Offload, error) {
 	if p.Count <= 0 {
 		return nil, fmt.Errorf("core: count %d", p.Count)
 	}
@@ -206,7 +219,7 @@ func BuildOffload(s Strategy, p BuildParams) (*Offload, error) {
 	case Specialized:
 		sk := specCacheKey{typ: p.Type, count: p.Count, cost: p.Cost, disableNorm: p.DisableNormalization}
 		var se specCacheEntry
-		if v, ok := specCache.Load(sk); ok {
+		if v, ok := c.spec.Load(sk); ok {
 			se = v.(specCacheEntry)
 		} else {
 			handler, nicBytes, kind, err := buildSpecialized(p.Cost, p.Type, p.Count, p.DisableNormalization)
@@ -214,7 +227,7 @@ func BuildOffload(s Strategy, p BuildParams) (*Offload, error) {
 				return nil, err
 			}
 			se = specCacheEntry{handler: handler, nicBytes: nicBytes, kind: kind}
-			cacheStore(&specCache, sk, se)
+			c.store(&c.spec, sk, se)
 		}
 		ctx.Payload = se.handler
 		ctx.NICMemBytes = se.nicBytes
@@ -231,7 +244,7 @@ func BuildOffload(s Strategy, p BuildParams) (*Offload, error) {
 		return off, nil
 
 	case HPULocal:
-		loop, err := compileLoop(p.Type, p.Count)
+		loop, err := c.compileLoop(p.Type, p.Count)
 		if err != nil {
 			return nil, err
 		}
@@ -246,7 +259,7 @@ func BuildOffload(s Strategy, p BuildParams) (*Offload, error) {
 		return off, nil
 
 	case ROCP, RWCP:
-		loop, err := compileLoop(p.Type, p.Count)
+		loop, err := c.compileLoop(p.Type, p.Count)
 		if err != nil {
 			return nil, err
 		}
@@ -258,7 +271,7 @@ func BuildOffload(s Strategy, p BuildParams) (*Offload, error) {
 		ck.nic.Trace = nil // tracing does not affect the build
 		var choice IntervalChoice
 		var ckpts *dataloop.CheckpointSet
-		if v, ok := ckptCache.Load(ck); ok {
+		if v, ok := c.ckpt.Load(ck); ok {
 			e := v.(ckptCacheEntry)
 			choice, ckpts = e.choice, e.ckpts
 		} else {
@@ -288,7 +301,7 @@ func BuildOffload(s Strategy, p BuildParams) (*Offload, error) {
 			if err != nil {
 				return nil, err
 			}
-			cacheStore(&ckptCache, ck, ckptCacheEntry{choice: choice, ckpts: ckpts})
+			c.store(&c.ckpt, ck, ckptCacheEntry{choice: choice, ckpts: ckpts})
 		}
 		off.Interval = choice.IntervalBytes
 		off.Checkpoints = ckpts.Count()

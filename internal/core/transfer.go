@@ -64,11 +64,18 @@ func (r TransferResult) ThroughputGbps() float64 {
 	return float64(r.Receiver.MsgBytes) * 8 / r.Total.Seconds() / 1e9
 }
 
-// RunTransfer simulates the whole path: gather at the sender (functional
-// pack from a synthetic source buffer), per-packet injection times from the
-// sender-side model, wire latency, and the receiver-side processing of the
-// resulting arrival schedule.
+// RunTransfer simulates the whole path — gather, wire, scatter. It is a
+// thin one-shot wrapper over the private package session (see Run).
 func RunTransfer(req TransferRequest) (TransferResult, error) {
+	return oneShot.RunTransfer(req)
+}
+
+// RunTransfer executes one coupled transfer on the session: gather at the
+// sender (functional pack from a synthetic source buffer), per-packet
+// injection times from the sender-side model, wire latency, and the
+// receiver-side processing of the resulting arrival schedule on the
+// session backend.
+func (s *Session) RunTransfer(req TransferRequest) (TransferResult, error) {
 	if req.RecvType == nil {
 		req.RecvType = req.SendType
 	}
@@ -130,12 +137,16 @@ func RunTransfer(req TransferRequest) (TransferResult, error) {
 	_, rHi := recvTyp.Footprint(req.Count)
 	dst := getZeroBuf(rHi)
 	res := TransferResult{Sender: sendRes}
+	env := BackendEnv{NIC: req.NIC, Engine: req.Engine, Host: req.Host}
 
 	switch req.Recv {
 	case HostUnpack:
 		staging := getBuf(msg)
 		pt := singleMatchPT(&portals.ME{Match: 1, Region: portals.HostRegion{Length: msg}})
-		nicRes, err := req.Engine.receiveArrivals()(req.NIC, pt, 1, packed, staging, arrivals)
+		nicRes, err := s.flushOne(env, BackendMessage{
+			PT: pt, Bits: 1, Region: portals.HostRegion{Length: msg},
+			Packed: packed, Dst: staging, Arrivals: arrivals,
+		})
 		if err != nil {
 			return TransferResult{}, err
 		}
@@ -151,7 +162,7 @@ func RunTransfer(req TransferRequest) (TransferResult, error) {
 		return TransferResult{}, fmt.Errorf("core: the iovec baseline does not support coupled transfers")
 
 	default:
-		off, err := BuildOffload(req.Recv, BuildParams{
+		off, err := s.caches.buildOffload(req.Recv, BuildParams{
 			Type: recvTyp, Count: req.Count,
 			NIC: req.NIC, Cost: req.Cost, Host: req.Host, Epsilon: req.Epsilon,
 		})
@@ -159,7 +170,10 @@ func RunTransfer(req TransferRequest) (TransferResult, error) {
 			return TransferResult{}, err
 		}
 		pt := singleMatchPT(&portals.ME{Match: 1, Ctx: off.Ctx})
-		nicRes, err := req.Engine.receiveArrivals()(req.NIC, pt, 1, packed, dst, arrivals)
+		nicRes, err := s.flushOne(env, BackendMessage{
+			Type: recvTyp, Count: req.Count, PT: pt, Bits: 1,
+			Packed: packed, Dst: dst, Arrivals: arrivals,
+		})
 		if err != nil {
 			return TransferResult{}, err
 		}

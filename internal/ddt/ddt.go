@@ -254,10 +254,14 @@ func (t *Type) MinBlock() int64 {
 	return t.minBlock
 }
 
-// Contiguous reports whether one element of the type is a single contiguous
-// region (size == extent and one block).
+// Contiguous reports whether one element of the type is a single
+// contiguous region occupying exactly [0, size) — the typemap {(0, size)}.
+// A single-block type whose block is displaced (a subarray or resized
+// construction whose typemap spills past the declared bounds, trueLB > 0)
+// is NOT contiguous: fast paths that assume data starts at byte zero must
+// not take it.
 func (t *Type) Contiguous() bool {
-	return t.NumBlocks() == 1 && t.size == t.extent && t.lb == 0
+	return t.NumBlocks() == 1 && t.size == t.extent && t.lb == 0 && t.trueLB == 0
 }
 
 // Describe renders the full constructor tree, one node per line.

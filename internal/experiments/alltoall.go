@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"fmt"
+
+	"spinddt/internal/core"
+	"spinddt/internal/sim"
+)
+
+// AlltoallExchange reports the receive side of one rank in an alltoall:
+// ranks-1 peers each send msgBytes of the Fig. 8 workload (2 KiB blocks)
+// to one endpoint, posted as a batch against a single committed TypeHandle
+// and flushed in one NIC residency pass. Unlike the cluster figure (many
+// NICs, one message each), every message here contends for ONE device —
+// inbound parser, HPUs, DMA channels, NIC memory — so the slowdown column
+// is the incast contention factor over an isolated receive of the same
+// message. The handle is committed once per strategy: the first post pays
+// the host preparation, the remaining ranks-1-1 posts report zero (the
+// Fig. 18 amortization through the session API).
+func AlltoallExchange(ranks int, msgBytes int64) (*Table, error) {
+	peers := ranks - 1
+	if peers < 1 {
+		return nil, fmt.Errorf("alltoall needs at least 2 ranks, have %d", ranks)
+	}
+	const stagger = sim.Microsecond
+	typ := fig8Vector(2048, msgBytes)
+	size := fmt.Sprintf("%d MiB", msgBytes>>20)
+	if msgBytes < 1<<20 {
+		size = fmt.Sprintf("%d KiB", msgBytes>>10)
+	}
+
+	t := &Table{
+		Title: fmt.Sprintf("Alltoall: %d ranks x %s per peer message (2 KiB blocks), one endpoint's receive side", ranks, size),
+		Note: fmt.Sprintf("one committed TypeHandle per strategy, %d posts batched through one NIC residency pass (1 us incast ramp);\n"+
+			"solo = isolated one-shot receive; slowdown = slowest batched message vs solo (device contention);\n"+
+			"prep_first = host preparation of the first post; every later post reports zero (Fig. 18 amortization)", peers),
+		Header: []string{"strategy", "msgs", "solo_us", "batch_max_us", "slowdown", "last_done_us", "agg_Gbps", "prep_first_us", "verified"},
+	}
+
+	sess := core.NewSession(core.NewSessionConfig())
+	for _, s := range core.OffloadStrategies {
+		h, err := sess.CommitAs(typ, s)
+		if err != nil {
+			return nil, fmt.Errorf("alltoall %v: %w", s, err)
+		}
+		ep := sess.Endpoint(core.EndpointConfig{})
+		futs := make([]*core.Future, peers)
+		for p := 0; p < peers; p++ {
+			futs[p], err = ep.Post(h, 1, core.PostOpts{
+				Seed:  int64(p + 1),
+				Start: sim.Time(p) * stagger,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("alltoall %v post %d: %w", s, p, err)
+			}
+		}
+		if err := ep.Flush(); err != nil {
+			return nil, fmt.Errorf("alltoall %v: %w", s, err)
+		}
+
+		var maxProc, lastDone, firstByte, prepFirst sim.Time
+		verified := 0
+		for p := range futs {
+			res, err := futs[p].Wait()
+			if err != nil {
+				return nil, fmt.Errorf("alltoall %v message %d: %w", s, p, err)
+			}
+			if res.ProcTime > maxProc {
+				maxProc = res.ProcTime
+			}
+			if res.NIC.Done > lastDone {
+				lastDone = res.NIC.Done
+			}
+			if p == 0 || res.NIC.FirstByte < firstByte {
+				firstByte = res.NIC.FirstByte
+			}
+			if p == 0 {
+				prepFirst = res.Prep.Total()
+			} else if res.Prep != (core.HostPrep{}) {
+				return nil, fmt.Errorf("alltoall %v message %d: reused handle reports host prep %+v", s, p, res.Prep)
+			}
+			if res.Verified {
+				verified++
+			}
+		}
+
+		solo, err := core.Run(core.NewRequest(s, typ, 1))
+		if err != nil {
+			return nil, fmt.Errorf("alltoall %v solo: %w", s, err)
+		}
+
+		totalBits := float64(msgBytes*int64(peers)) * 8
+		aggGbps := totalBits / (lastDone - firstByte).Seconds() / 1e9
+		t.AddRow(s.String(), d64(int64(peers)),
+			usec(solo.ProcTime.Microseconds()),
+			usec(maxProc.Microseconds()),
+			fmt.Sprintf("%.2fx", float64(maxProc)/float64(solo.ProcTime)),
+			usec(lastDone.Microseconds()),
+			f1(aggGbps),
+			usec(prepFirst.Microseconds()),
+			fmt.Sprintf("%d/%d", verified, peers))
+	}
+	return t, nil
+}

@@ -138,15 +138,9 @@ func (l *Lib) CommitType(t *ddt.Type, attr Attr) (*Type, error) {
 		return nil, errors.New("mpi: empty datatype")
 	}
 	t.Commit()
-	strategy := core.RWCP
+	strategy := core.SelectStrategy(t)
 	if attr.Offload == OffloadNever {
 		strategy = core.HostUnpack
-	} else {
-		norm := ddt.Normalize(t)
-		switch norm.Kind() {
-		case ddt.KindVector, ddt.KindHVector, ddt.KindElementary, ddt.KindContiguous:
-			strategy = core.Specialized
-		}
 	}
 	return &Type{ddt: t, attr: attr, strategy: strategy}, nil
 }

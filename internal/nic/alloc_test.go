@@ -17,12 +17,12 @@ func TestDMAWritePathSteadyStateAllocs(t *testing.T) {
 		t.Skip("race instrumentation allocates; alloc guard runs without -race")
 	}
 	eng := sim.New()
-	host := make([]byte, 1<<16)
-	d := newDMAEngine(eng, pcie.DefaultConfig(), 32, 80*sim.Nanosecond, host, false)
+	d := newDMAEngine(eng, pcie.DefaultConfig(), 32, 80*sim.Nanosecond, false)
 
+	var st DMAStats
 	burst := func() {
 		for i := 0; i < 64; i++ {
-			d.write(4, 4096)
+			d.write(&st, 4, 4096)
 		}
 		eng.Run()
 	}

@@ -97,14 +97,20 @@ func ReceiveCluster(eps []ClusterEndpoint, workers int) (ClusterResult, error) {
 		return ClusterResult{}, errors.New("nic: empty cluster")
 	}
 	for i := range eps {
-		// A Trace is a plain event slice; endpoint shards run concurrently
-		// and must not share one (the sim.Shard no-shared-mutable-state
-		// contract), and a per-endpoint merge is not modelled yet.
-		if eps[i].Cfg.Trace != nil {
-			return ClusterResult{}, fmt.Errorf("nic: endpoint %d: cluster receives do not support tracing", i)
+		// Per-endpoint traces are fine: each endpoint domain appends only
+		// to its own Trace. What the sim.Shard no-shared-mutable-state
+		// contract forbids is two concurrent endpoint domains writing one
+		// Trace, so sharing a pointer across endpoints is rejected.
+		if t := eps[i].Cfg.Trace; t != nil {
+			for j := range eps[:i] {
+				if eps[j].Cfg.Trace == t {
+					return ClusterResult{}, fmt.Errorf("nic: endpoints %d and %d share one Trace; cluster endpoints need distinct traces", j, i)
+				}
+			}
 		}
 	}
-	pe := sim.NewParallel(workers)
+	pe := sim.AcquireParallel(workers)
+	defer sim.ReleaseParallel(pe)
 
 	// Fabric domain: its lookahead is the minimum wire latency of any link.
 	minWire := eps[0].Cfg.Fabric.Lookahead()
@@ -180,34 +186,22 @@ func ReceiveCluster(eps []ClusterEndpoint, workers int) (ClusterResult, error) {
 	return res, nil
 }
 
-// ReceiveArrivalsSharded runs one receive on the sharded engine: the NIC
-// (inbound, HPUs, DMA) is one domain and the host another, joined by the
-// completion notification over the PCIe round trip. The arrival schedule
-// is pre-posted into the NIC domain through the same code path as the
-// serial ReceiveArrivals, so the NIC domain's sequence numbering — and
-// therefore the Result — is byte-identical to the serial engine; the
-// windowed executor only changes when events run, never their order.
+// ReceiveArrivalsSharded runs one receive on the sharded engine: a
+// single-message batch through ReceiveBatchSharded — the NIC (inbound,
+// HPUs, DMA) is one domain and the host another, joined by the completion
+// notification over the PCIe round trip. The arrival schedule is
+// pre-posted into the NIC domain through the same code path as the serial
+// ReceiveArrivals, so the NIC domain's sequence numbering — and therefore
+// the Result — is byte-identical to the serial engine; the windowed
+// executor only changes when events run, never their order.
 func ReceiveArrivalsSharded(cfg Config, pt *portals.PT, bits portals.MatchBits, packed, host []byte, arrivals []fabric.Arrival) (Result, error) {
-	notifyLat := cfg.PCIe.NotifyLatency()
-	if notifyLat <= 0 {
-		return Result{}, fmt.Errorf("nic: PCIe notify latency %v cannot synchronize a sharded receive", notifyLat)
-	}
-	pe := sim.NewParallel(1)
-	ep := pe.NewShard("nic", notifyLat)
-	hostShard := pe.NewShard("host", sim.InfiniteLookahead)
-	h := &clusterHost{shard: hostShard, notified: make([]sim.Time, 1)}
-	hostCtx := hostShard.Bind(h)
-
-	s, err := newRxSim(&ep.Engine, cfg, pt, bits, packed, host, arrivals)
+	results, err := ReceiveBatchSharded(cfg, []BatchMessage{{
+		PT: pt, Bits: bits, Packed: packed, Host: host, Arrivals: arrivals,
+	}})
 	if err != nil {
 		return Result{}, err
 	}
-	s.notify = func(done sim.Time) {
-		ep.PostRemote(hostShard, done+notifyLat, kindClusterNotify, hostCtx, 0, 0)
-	}
-	s.postArrivals()
-	pe.Run()
-	return s.finish()
+	return results[0], nil
 }
 
 // ReceiveSharded is Receive on the sharded engine (see

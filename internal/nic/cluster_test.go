@@ -98,13 +98,42 @@ func TestClusterSerialParallelIdentical(t *testing.T) {
 	}
 }
 
-// TestClusterRejectsTracing pins the no-shared-mutable-state guard: a
-// Trace cannot be appended to from concurrent endpoint shards.
-func TestClusterRejectsTracing(t *testing.T) {
-	eps, _ := clusterFixture(t, 2, 2048, 0)
-	eps[1].Cfg.Trace = &Trace{}
-	if _, err := ReceiveCluster(eps, 2); err == nil {
-		t.Fatal("expected an error for a traced cluster endpoint")
+// TestClusterPerEndpointTracing pins the per-endpoint trace contract:
+// each endpoint may carry its own Trace (its domain alone appends to it,
+// so concurrent shards stay race-free) and every traced endpoint records
+// its full pipeline; sharing one Trace across endpoints would break the
+// no-shared-mutable-state rule and is rejected.
+func TestClusterPerEndpointTracing(t *testing.T) {
+	eps, _ := clusterFixture(t, 3, 3*2048, 0)
+	traces := make([]*Trace, len(eps))
+	for i := range eps {
+		traces[i] = &Trace{}
+		eps[i].Cfg.Trace = traces[i]
+	}
+	if _, err := ReceiveCluster(eps, 3); err != nil {
+		t.Fatal(err)
+	}
+	for i, tr := range traces {
+		if len(tr.Events) == 0 {
+			t.Fatalf("endpoint %d: trace empty", i)
+		}
+		completions := 0
+		for _, ev := range tr.Events {
+			if ev.Kind == TraceCompletion {
+				completions++
+			}
+		}
+		if completions != 1 {
+			t.Fatalf("endpoint %d: %d completion events, want 1", i, completions)
+		}
+	}
+
+	shared, _ := clusterFixture(t, 2, 2048, 0)
+	tr := &Trace{}
+	shared[0].Cfg.Trace = tr
+	shared[1].Cfg.Trace = tr
+	if _, err := ReceiveCluster(shared, 2); err == nil {
+		t.Fatal("expected an error for endpoints sharing one Trace")
 	}
 }
 

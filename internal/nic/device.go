@@ -61,7 +61,7 @@ type writeOp struct {
 }
 
 // writeBuffer collects the DMA writes of one handler execution. One buffer
-// per simulation is reused across handler runs: the ops are consumed
+// per device is reused across handler runs: the ops are consumed
 // synchronously by scheduleWrites before the next run begins.
 type writeBuffer struct{ ops []writeOp }
 
@@ -70,8 +70,8 @@ func (w *writeBuffer) Write(hostOff int64, data []byte, flags spin.WriteFlags) {
 }
 
 // vhpu is a scheduling unit: a virtual HPU owning a FIFO of packets. It
-// carries its simulation so a handler-end event needs only the vhpu as
-// context.
+// carries its message simulation so a handler-end event needs only the
+// vhpu as context; the physical HPUs it competes for belong to the device.
 type vhpu struct {
 	s        *rxSim
 	self     sim.Ctx
@@ -108,7 +108,7 @@ func init() {
 	kindRxHER = sim.RegisterKind("nic.rxHER", func(ctx any, a, _ int64) {
 		s := ctx.(*rxSim)
 		p := s.arrivals[a].Packet
-		s.cfg.Trace.add(TraceEvent{At: s.eng.Now(), Kind: TraceHER, Pkt: p.Index, VHPU: -1})
+		s.dev.cfg.Trace.add(TraceEvent{At: s.dev.eng.Now(), Kind: TraceHER, Pkt: p.Index, VHPU: -1})
 		s.enqueue(p)
 	})
 	kindRxPortalsEvent = sim.RegisterKind("nic.rxPortalsEvent", func(ctx any, a, _ int64) {
@@ -118,13 +118,13 @@ func init() {
 	kindRxHandlerEnd = sim.RegisterKind("nic.rxHandlerEnd", func(ctx any, a, _ int64) {
 		v := ctx.(*vhpu)
 		s := v.s
-		s.cfg.Trace.add(TraceEvent{At: s.eng.Now(), Kind: TraceHandlerEnd, Pkt: int(a), VHPU: v.id})
+		s.dev.cfg.Trace.add(TraceEvent{At: s.dev.eng.Now(), Kind: TraceHandlerEnd, Pkt: int(a), VHPU: v.id})
 		s.handlerDone(v)
 	})
 	kindRxDMAChunk = sim.RegisterKind("nic.rxDMAChunk", func(ctx any, a, b int64) {
 		s := ctx.(*rxSim)
-		s.cfg.Trace.add(TraceEvent{At: s.eng.Now(), Kind: TraceDMAIssue, Pkt: -1, VHPU: -1, Reqs: a, Bytes: b})
-		end := s.dma.write(a, b) + s.cfg.PCIeWriteLatency
+		s.dev.cfg.Trace.add(TraceEvent{At: s.dev.eng.Now(), Kind: TraceDMAIssue, Pkt: -1, VHPU: -1, Reqs: a, Bytes: b})
+		end := s.dev.dma.write(&s.dmaStats, a, b) + s.dev.cfg.PCIeWriteLatency
 		if end > s.lastWriteDone {
 			s.lastWriteDone = end
 		}
@@ -132,7 +132,7 @@ func init() {
 	kindRxCompletionWrite = sim.RegisterKind("nic.rxCompletionWrite", func(ctx any, _, _ int64) {
 		s := ctx.(*rxSim)
 		// The final write flushes behind all data writes on the FIFO link.
-		done := s.dma.write(1, 0) + s.cfg.PCIeWriteLatency
+		done := s.dev.dma.write(&s.dmaStats, 1, 0) + s.dev.cfg.PCIeWriteLatency
 		if done < s.lastWriteDone {
 			done = s.lastWriteDone
 		}
@@ -140,9 +140,73 @@ func init() {
 	})
 }
 
+// rxDevice is the per-NIC state of a receive simulation: the inbound
+// parser, the physical HPU pool with its dispatch queue, and the DMA
+// engine toward host memory. A single-message receive owns one device; a
+// batched endpoint flush (ReceiveBatch) runs every posted message against
+// the same device in one residency pass, so concurrent messages contend
+// for the inbound parser, the HPUs, the DMA channels and the PCIe link —
+// and their execution contexts must fit NIC memory together.
+type rxDevice struct {
+	cfg Config
+	eng *sim.Engine
+
+	inbound     sim.Server
+	dma         *dmaEngine
+	mtuCopyTime sim.Time // NICMemCopyTime(MTU), the per-packet staging cost
+
+	freeHPUs int
+	ready    []*vhpu
+	vslab    []vhpu // chunked backing storage for new vhpus
+
+	// wb and args are reused across handler executions (the handlers run
+	// synchronously and must not retain them).
+	wb   writeBuffer
+	args spin.HandlerArgs
+
+	// resCtxs tracks the distinct execution contexts resident in NIC
+	// memory, and resCtxBytes their total state volume: a batch of
+	// messages may share one committed context (counted once) or bring
+	// several, and together they must fit the device's memory.
+	resCtxs     []*spin.ExecutionContext
+	resCtxBytes int64
+}
+
+// newRxDevice builds the shared device state on eng.
+func newRxDevice(eng *sim.Engine, cfg Config) (*rxDevice, error) {
+	if cfg.HPUs <= 0 {
+		return nil, fmt.Errorf("nic: %d HPUs", cfg.HPUs)
+	}
+	d := &rxDevice{
+		cfg:      cfg,
+		eng:      eng,
+		freeHPUs: cfg.HPUs,
+	}
+	d.mtuCopyTime = cfg.NICMemCopyTime(cfg.Fabric.MTU)
+	d.dma = newDMAEngine(eng, cfg.PCIe, cfg.Channels(), cfg.DMAChannelOccupancy, cfg.CollectDMASeries)
+	return d, nil
+}
+
+// addContext accounts ctx as resident in NIC memory (idempotent per
+// context) and returns the total resident state volume.
+func (d *rxDevice) addContext(ctx *spin.ExecutionContext) int64 {
+	for _, have := range d.resCtxs {
+		if have == ctx {
+			return d.resCtxBytes
+		}
+	}
+	d.resCtxs = append(d.resCtxs, ctx)
+	d.resCtxBytes += ctx.NICMemBytes
+	return d.resCtxBytes
+}
+
+// rxSim is the per-message state of a receive simulation: the match
+// result, the packed stream and destination buffer, the arrival schedule
+// and the completion bookkeeping. Its vHPUs are message-local scheduling
+// units (the policy's sequence numbering is per message) that occupy the
+// device's physical HPUs while running.
 type rxSim struct {
-	cfg  Config
-	eng  *sim.Engine
+	dev  *rxDevice
 	self sim.Ctx
 
 	pt   *portals.PT
@@ -154,19 +218,7 @@ type rxSim struct {
 	host     []byte
 	arrivals []fabric.Arrival
 
-	inbound     sim.Server
-	dma         *dmaEngine
-	mtuCopyTime sim.Time // NICMemCopyTime(MTU), the per-packet staging cost
-
-	freeHPUs int
-	ready    []*vhpu
-	vhpus    []*vhpu // dense vid -> scheduling unit
-	vslab    []vhpu  // chunked backing storage for new vhpus
-
-	// wb and args are reused across handler executions (the handlers run
-	// synchronously and must not retain them).
-	wb   writeBuffer
-	args spin.HandlerArgs
+	vhpus []*vhpu // dense vid -> scheduling unit (message-local)
 
 	// notify, when non-nil, is called once at the completion event with
 	// the message's Done time; the sharded cluster path uses it to mail
@@ -180,6 +232,10 @@ type rxSim struct {
 
 	resident    int64
 	maxResident int64
+
+	// dmaStats accumulates this message's DMA traffic; the depth time
+	// series stays device-level (dmaEngine.stats).
+	dmaStats DMAStats
 
 	res Result
 	err error
@@ -240,36 +296,39 @@ func ReceiveArrivals(cfg Config, pt *portals.PT, bits portals.MatchBits, packed,
 	return s.finish()
 }
 
-// newRxSim validates the receive parameters and builds the simulation
-// state on eng, without scheduling anything: the caller chooses how packet
-// arrivals reach the engine (postArrivals pre-posts the whole schedule;
-// the sharded cluster path mails them in from a fabric domain).
+// newRxSim validates the receive parameters and builds a fresh device plus
+// one message simulation on eng, without scheduling anything: the caller
+// chooses how packet arrivals reach the engine (postArrivals pre-posts the
+// whole schedule; the sharded cluster path mails them in from a fabric
+// domain).
 func newRxSim(eng *sim.Engine, cfg Config, pt *portals.PT, bits portals.MatchBits, packed, host []byte, arrivals []fabric.Arrival) (*rxSim, error) {
+	dev, err := newRxDevice(eng, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return dev.newMessage(pt, bits, packed, host, arrivals)
+}
+
+// newMessage adds one message simulation to the device.
+func (d *rxDevice) newMessage(pt *portals.PT, bits portals.MatchBits, packed, host []byte, arrivals []fabric.Arrival) (*rxSim, error) {
 	if len(packed) == 0 {
 		return nil, errors.New("nic: empty message")
-	}
-	if cfg.HPUs <= 0 {
-		return nil, fmt.Errorf("nic: %d HPUs", cfg.HPUs)
 	}
 	if len(arrivals) == 0 {
 		return nil, errors.New("nic: empty arrival schedule")
 	}
 	s := &rxSim{
-		cfg:      cfg,
-		eng:      eng,
+		dev:      d,
 		pt:       pt,
 		bits:     bits,
 		packed:   packed,
 		host:     host,
 		arrivals: arrivals,
-		freeHPUs: cfg.HPUs,
 		vhpus:    make([]*vhpu, len(arrivals)),
 	}
-	s.self = eng.Bind(s)
-	s.mtuCopyTime = cfg.NICMemCopyTime(cfg.Fabric.MTU)
-	s.dma = newDMAEngine(s.eng, cfg.PCIe, cfg.Channels(), cfg.DMAChannelOccupancy, host, cfg.CollectDMASeries)
+	s.self = d.eng.Bind(s)
 	s.res.MsgBytes = int64(len(packed))
-	s.res.FirstByte = arrivals[0].At - cfg.Fabric.PacketTime(arrivals[0].Packet.Size)
+	s.res.FirstByte = arrivals[0].At - d.cfg.Fabric.PacketTime(arrivals[0].Packet.Size)
 	s.payloadsLeft = len(arrivals)
 	return s, nil
 }
@@ -280,7 +339,7 @@ func newRxSim(eng *sim.Engine, cfg Config, pt *portals.PT, bits portals.MatchBit
 // through the same code).
 func (s *rxSim) postArrivals() {
 	for i := range s.arrivals {
-		s.eng.Post(s.arrivals[i].At, kindRxArrival, s.self, int64(i), 0)
+		s.dev.eng.Post(s.arrivals[i].At, kindRxArrival, s.self, int64(i), 0)
 	}
 }
 
@@ -290,12 +349,12 @@ func (s *rxSim) finish() (Result, error) {
 		return Result{}, s.err
 	}
 	if s.res.Dropped {
-		s.res.Done = s.eng.Now()
 		s.res.ProcTime = 0
 		return s.res, nil
 	}
 	s.res.ProcTime = s.res.Done - s.res.FirstByte
-	s.res.DMA = s.dma.stats
+	s.res.DMA = s.dmaStats
+	s.res.DMA.Samples = s.dev.dma.stats.Samples
 	s.res.PktBufPeak = s.maxResident
 	if s.ctx != nil {
 		s.res.NICMemBytes = s.ctx.NICMemBytes
@@ -313,6 +372,7 @@ func (s *rxSim) onArrival(slot int) {
 	if s.err != nil {
 		return
 	}
+	d := s.dev
 	a := s.arrivals[slot]
 	p := a.Packet
 
@@ -320,16 +380,27 @@ func (s *rxSim) onArrival(slot int) {
 		me, list, ok := s.pt.Match(s.bits)
 		if !ok {
 			s.res.Dropped = true
+			// The drop is decided here, at the header's arrival; in a
+			// batch the shared engine keeps running other messages, so
+			// finish() must not stamp the batch's drain time on this one.
+			s.res.Done = a.At
 			s.pt.PostEvent(portals.Event{Kind: portals.EventDropped, Match: s.bits, Size: s.res.MsgBytes})
 			return
 		}
 		s.me = me
 		s.ctx = me.Ctx
 		s.res.MatchedList = list
-		if s.ctx != nil && s.ctx.NICMemBytes > s.cfg.NICMemBytes {
-			s.fail(fmt.Errorf("nic: context needs %d bytes of NIC memory, have %d",
-				s.ctx.NICMemBytes, s.cfg.NICMemBytes))
-			return
+		if s.ctx != nil {
+			if s.ctx.NICMemBytes > d.cfg.NICMemBytes {
+				s.fail(fmt.Errorf("nic: context needs %d bytes of NIC memory, have %d",
+					s.ctx.NICMemBytes, d.cfg.NICMemBytes))
+				return
+			}
+			if total := d.addContext(s.ctx); total > d.cfg.NICMemBytes {
+				s.fail(fmt.Errorf("nic: batched contexts need %d bytes of NIC memory together, have %d",
+					total, d.cfg.NICMemBytes))
+				return
+			}
 		}
 	}
 	if s.res.Dropped {
@@ -340,42 +411,43 @@ func (s *rxSim) onArrival(slot int) {
 		return
 	}
 
-	s.cfg.Trace.add(TraceEvent{At: a.At, Kind: TracePktArrival, Pkt: p.Index, VHPU: -1})
-	occ := s.cfg.InboundParse
+	d.cfg.Trace.add(TraceEvent{At: a.At, Kind: TracePktArrival, Pkt: p.Index, VHPU: -1})
+	occ := d.cfg.InboundParse
 	if p.Header {
-		s.cfg.Trace.add(TraceEvent{At: a.At, Kind: TraceMatch, Pkt: p.Index, VHPU: -1})
-		occ += s.cfg.MatchTime
+		d.cfg.Trace.add(TraceEvent{At: a.At, Kind: TraceMatch, Pkt: p.Index, VHPU: -1})
+		occ += d.cfg.MatchTime
 	}
 	if s.ctx != nil {
 		// Stage the payload into NIC memory (cached for full-size packets).
-		if p.Size == s.cfg.Fabric.MTU {
-			occ += s.mtuCopyTime
+		if p.Size == d.cfg.Fabric.MTU {
+			occ += d.mtuCopyTime
 		} else {
-			occ += s.cfg.NICMemCopyTime(p.Size)
+			occ += d.cfg.NICMemCopyTime(p.Size)
 		}
 	}
-	_, inboundDone := s.inbound.Acquire(a.At, occ)
+	_, inboundDone := d.inbound.Acquire(a.At, occ)
 
 	if s.ctx == nil {
 		// Non-processing RDMA path: one bulk DMA write per packet.
-		s.eng.Post(inboundDone, kindRxRDMA, s.self, int64(slot), 0)
+		d.eng.Post(inboundDone, kindRxRDMA, s.self, int64(slot), 0)
 		return
 	}
-	s.eng.Post(inboundDone+s.cfg.HERDispatch, kindRxHER, s.self, int64(slot), 0)
+	d.eng.Post(inboundDone+d.cfg.HERDispatch, kindRxHER, s.self, int64(slot), 0)
 }
 
 // rdmaDeliver lands one packet of a non-processing message.
 func (s *rxSim) rdmaDeliver(p fabric.Packet) {
+	d := s.dev
 	hostOff := s.me.Region.Offset + p.StreamOff
-	s.dma.copyToHost(hostOff, s.packed[p.StreamOff:p.StreamOff+p.Size])
-	end := s.dma.write(1, p.Size) + s.cfg.PCIeWriteLatency
+	d.dma.copyToHost(s.host, hostOff, s.packed[p.StreamOff:p.StreamOff+p.Size])
+	end := d.dma.write(&s.dmaStats, 1, p.Size) + d.cfg.PCIeWriteLatency
 	if end > s.lastWriteDone {
 		s.lastWriteDone = end
 	}
 	s.payloadsLeft--
 	if s.payloadsLeft == 0 {
 		done := s.lastWriteDone
-		s.eng.Post(done, kindRxPortalsEvent, s.self, int64(portals.EventPut), 0)
+		d.eng.Post(done, kindRxPortalsEvent, s.self, int64(portals.EventPut), 0)
 		s.res.Done = done
 		if s.notify != nil {
 			s.notify(done)
@@ -383,11 +455,12 @@ func (s *rxSim) rdmaDeliver(p fabric.Packet) {
 	}
 }
 
-// enqueue hands a packet to its vHPU and kicks the dispatcher.
+// enqueue hands a packet to its vHPU and kicks the device dispatcher.
 func (s *rxSim) enqueue(p fabric.Packet) {
 	if s.err != nil {
 		return
 	}
+	d := s.dev
 	s.resident++
 	if s.resident > s.maxResident {
 		s.maxResident = s.resident
@@ -402,56 +475,59 @@ func (s *rxSim) enqueue(p fabric.Packet) {
 	}
 	v := s.vhpus[vid]
 	if v == nil {
-		if len(s.vslab) == 0 {
-			s.vslab = make([]vhpu, 64)
+		if len(d.vslab) == 0 {
+			d.vslab = make([]vhpu, 64)
 		}
-		v = &s.vslab[0]
-		s.vslab = s.vslab[1:]
+		v = &d.vslab[0]
+		d.vslab = d.vslab[1:]
 		v.s, v.id = s, vid
 		v.queue = v.inline[:0]
-		v.self = s.eng.Bind(v)
+		v.self = d.eng.Bind(v)
 		s.vhpus[vid] = v
 	}
 	v.queue = append(v.queue, p)
 	if !v.running && !v.enqueued {
 		v.enqueued = true
-		s.ready = append(s.ready, v)
+		d.ready = append(d.ready, v)
 	}
 	if p.Completion {
 		s.completionArrived = true
 	}
-	s.dispatch()
+	d.dispatch()
 }
 
-func (s *rxSim) dispatch() {
-	for s.freeHPUs > 0 && len(s.ready) > 0 {
-		v := s.ready[0]
-		s.ready = s.ready[1:]
+// dispatch hands free physical HPUs to ready vHPUs, FIFO across every
+// message resident on the device.
+func (d *rxDevice) dispatch() {
+	for d.freeHPUs > 0 && len(d.ready) > 0 {
+		v := d.ready[0]
+		d.ready = d.ready[1:]
 		v.enqueued = false
 		if len(v.queue) == 0 || v.running {
 			continue
 		}
 		v.running = true
-		s.freeHPUs--
-		s.runNext(v)
+		d.freeHPUs--
+		v.s.runNext(v)
 	}
 }
 
 // runNext executes the payload handler for the head of v's queue.
 func (s *rxSim) runNext(v *vhpu) {
+	d := s.dev
 	p := v.queue[0]
 	v.queue = v.queue[1:]
 
-	s.wb.ops = s.wb.ops[:0]
-	s.args = spin.HandlerArgs{
+	d.wb.ops = d.wb.ops[:0]
+	d.args = spin.HandlerArgs{
 		StreamOff: p.StreamOff,
 		Payload:   s.packed[p.StreamOff : p.StreamOff+p.Size],
 		MsgSize:   s.res.MsgBytes,
 		PktIndex:  p.Index,
 		VHPU:      v.id,
-		DMA:       &s.wb,
+		DMA:       &d.wb,
 	}
-	res := s.ctx.Payload(&s.args)
+	res := s.ctx.Payload(&d.args)
 	if res.Err != nil {
 		s.fail(fmt.Errorf("nic: payload handler packet %d: %w", p.Index, res.Err))
 		return
@@ -464,11 +540,11 @@ func (s *rxSim) runNext(v *vhpu) {
 	}
 	s.res.HPUBusy += res.Runtime
 
-	start := s.eng.Now()
+	start := d.eng.Now()
 	end := start + res.Runtime
-	s.cfg.Trace.add(TraceEvent{At: start, Kind: TraceHandlerStart, Pkt: p.Index, VHPU: v.id, Dur: res.Runtime})
-	s.scheduleWrites(start, res.Runtime, s.wb.ops)
-	s.eng.Post(end, kindRxHandlerEnd, v.self, int64(p.Index), 0)
+	d.cfg.Trace.add(TraceEvent{At: start, Kind: TraceHandlerStart, Pkt: p.Index, VHPU: v.id, Dur: res.Runtime})
+	s.scheduleWrites(start, res.Runtime, d.wb.ops)
+	d.eng.Post(end, kindRxHandlerEnd, v.self, int64(p.Index), 0)
 }
 
 // scheduleWrites performs the functional copies immediately and spreads the
@@ -476,14 +552,15 @@ func (s *rxSim) runNext(v *vhpu) {
 // chunks. ops is only read during the call; the chunk events carry their
 // request and byte counts as scalars.
 func (s *rxSim) scheduleWrites(start sim.Time, runtime sim.Time, ops []writeOp) {
+	d := s.dev
 	n := len(ops)
 	if n == 0 {
 		return
 	}
 	for _, op := range ops {
-		s.dma.copyToHost(op.hostOff, op.data)
+		d.dma.copyToHost(s.host, op.hostOff, op.data)
 	}
-	chunks := s.cfg.MaxWriteChunks
+	chunks := d.cfg.MaxWriteChunks
 	if chunks <= 0 {
 		chunks = 32
 	}
@@ -504,7 +581,7 @@ func (s *rxSim) scheduleWrites(start sim.Time, runtime sim.Time, ops []writeOp) 
 			idx++
 		}
 		at := start + sim.Time(int64(runtime)*int64(c+1)/int64(chunks))
-		s.eng.Post(at, kindRxDMAChunk, s.self, int64(cnt), bytes)
+		d.eng.Post(at, kindRxDMAChunk, s.self, int64(cnt), bytes)
 	}
 }
 
@@ -513,6 +590,7 @@ func (s *rxSim) handlerDone(v *vhpu) {
 	if s.err != nil {
 		return
 	}
+	d := s.dev
 	s.resident--
 	s.payloadsLeft--
 
@@ -520,8 +598,8 @@ func (s *rxSim) handlerDone(v *vhpu) {
 		s.runNext(v) // vHPU keeps its HPU while it has packets
 	} else {
 		v.running = false
-		s.freeHPUs++
-		s.dispatch()
+		d.freeHPUs++
+		d.dispatch()
 	}
 
 	if s.payloadsLeft == 0 && s.completionArrived && !s.completionDone {
@@ -532,9 +610,9 @@ func (s *rxSim) handlerDone(v *vhpu) {
 
 // finishCompletion records the completion time and posts the host event.
 func (s *rxSim) finishCompletion(at sim.Time) {
-	s.cfg.Trace.add(TraceEvent{At: at, Kind: TraceCompletion, Pkt: -1, VHPU: -1})
+	s.dev.cfg.Trace.add(TraceEvent{At: at, Kind: TraceCompletion, Pkt: -1, VHPU: -1})
 	s.res.Done = at
-	s.eng.Post(at, kindRxPortalsEvent, s.self, int64(portals.EventHandlerCompletion), 0)
+	s.dev.eng.Post(at, kindRxPortalsEvent, s.self, int64(portals.EventHandlerCompletion), 0)
 	if s.notify != nil {
 		s.notify(at)
 	}
@@ -544,18 +622,19 @@ func (s *rxSim) finishCompletion(at sim.Time) {
 // zero-byte DMA write with events enabled, signalling the host that the
 // message is fully unpacked.
 func (s *rxSim) runCompletion() {
+	d := s.dev
 	if s.ctx.Completion == nil {
 		s.finishCompletion(s.lastWriteDone)
 		return
 	}
-	s.wb.ops = s.wb.ops[:0]
-	s.args = spin.HandlerArgs{MsgSize: s.res.MsgBytes, DMA: &s.wb}
-	res := s.ctx.Completion(&s.args)
+	d.wb.ops = d.wb.ops[:0]
+	d.args = spin.HandlerArgs{MsgSize: s.res.MsgBytes, DMA: &d.wb}
+	res := s.ctx.Completion(&d.args)
 	if res.Err != nil {
 		s.fail(fmt.Errorf("nic: completion handler: %w", res.Err))
 		return
 	}
 	s.res.HPUBusy += res.Runtime
-	end := s.eng.Now() + res.Runtime
-	s.eng.Post(end, kindRxCompletionWrite, s.self, 0, 0)
+	end := d.eng.Now() + res.Runtime
+	d.eng.Post(end, kindRxCompletionWrite, s.self, 0, 0)
 }

@@ -38,8 +38,11 @@ var kindDMADepth = sim.RegisterKind("nic.dmaDepth", func(ctx any, a, _ int64) {
 
 // dmaEngine models the NIC's DMA write path: a pool of channels each with a
 // fixed per-request occupancy, feeding a shared PCIe link. Writes copy
-// their payload into the host buffer immediately (functional layer) while
-// completion times come from the channel and link servers (timing layer).
+// their payload into the destination host buffer immediately (functional
+// layer) while completion times come from the channel and link servers
+// (timing layer). The engine carries no host buffer of its own: a batched
+// receive shares one DMA engine across messages with distinct destination
+// buffers, so the functional store names its buffer per copy.
 type dmaEngine struct {
 	eng      *sim.Engine
 	self     sim.Ctx
@@ -48,7 +51,6 @@ type dmaEngine struct {
 	pcie     pcie.Link
 	perReq   sim.Time
 
-	host  []byte
 	depth int
 	stats DMAStats
 
@@ -57,13 +59,12 @@ type dmaEngine struct {
 	sampleSkip    int
 }
 
-func newDMAEngine(eng *sim.Engine, p pcie.Config, channels int, perReq sim.Time, host []byte, series bool) *dmaEngine {
+func newDMAEngine(eng *sim.Engine, p pcie.Config, channels int, perReq sim.Time, series bool) *dmaEngine {
 	d := &dmaEngine{
 		eng:           eng,
 		channels:      sim.NewMultiServer(channels),
 		pcie:          pcie.NewLink(p),
 		perReq:        perReq,
-		host:          host,
 		collectSeries: series,
 		sampleStride:  1,
 	}
@@ -73,10 +74,13 @@ func newDMAEngine(eng *sim.Engine, p pcie.Config, channels int, perReq sim.Time,
 
 // write issues reqs DMA write requests at the current simulation time,
 // moving total payload bytes. The payload has already been copied to the
-// host buffer by the caller; this accounts timing and queue depth. It
+// host buffer by the caller; this accounts timing and queue depth. Request
+// and byte counters land in st — the issuing message's statistics, so a
+// batched receive attributes traffic per message — while queue depth (a
+// physical device property) is tracked in the engine's own stats. It
 // returns the completion time of the last request. The steady-state path
 // performs no heap allocations: the depth completion is a typed event.
-func (d *dmaEngine) write(reqs int64, totalBytes int64) sim.Time {
+func (d *dmaEngine) write(st *DMAStats, reqs int64, totalBytes int64) sim.Time {
 	if reqs <= 0 {
 		return d.eng.Now()
 	}
@@ -85,27 +89,29 @@ func (d *dmaEngine) write(reqs int64, totalBytes int64) sim.Time {
 	wire := d.pcie.BurstTime(reqs, totalBytes)
 	_, end := d.link.Acquire(chanEnd, wire)
 
-	d.stats.Writes += reqs
-	d.stats.Bytes += totalBytes
-	d.stats.WireBytes += totalBytes + reqs*d.pcie.TLPHeaderBytes
+	st.Writes += reqs
+	st.Bytes += totalBytes
+	st.WireBytes += totalBytes + reqs*d.pcie.TLPHeaderBytes
 
 	d.adjustDepth(int(reqs))
+	if d.depth > st.MaxQueueDepth {
+		st.MaxQueueDepth = d.depth
+	}
 	d.eng.Post(end, kindDMADepth, d.self, -reqs, 0)
 	return end
 }
 
 // read models a DMA read from host memory (the iovec-refill path): the
 // caller stalls for the PCIe round trip.
-func (d *dmaEngine) readLatency() sim.Time {
-	d.stats.ReadStalls++
+func (d *dmaEngine) readLatency(st *DMAStats) sim.Time {
+	st.ReadStalls++
 	return d.pcie.ReadLatency
 }
 
+// adjustDepth tracks the physical queue depth (per-message peaks are
+// recorded at issue time in write; d.stats only carries the depth series).
 func (d *dmaEngine) adjustDepth(delta int) {
 	d.depth += delta
-	if d.depth > d.stats.MaxQueueDepth {
-		d.stats.MaxQueueDepth = d.depth
-	}
 	if !d.collectSeries {
 		return
 	}
@@ -125,7 +131,8 @@ func (d *dmaEngine) adjustDepth(delta int) {
 	}
 }
 
-// copyToHost performs the functional store of a write's payload.
-func (d *dmaEngine) copyToHost(hostOff int64, data []byte) {
-	copy(d.host[hostOff:hostOff+int64(len(data))], data)
+// copyToHost performs the functional store of a write's payload into the
+// owning message's host buffer.
+func (d *dmaEngine) copyToHost(host []byte, hostOff int64, data []byte) {
+	copy(host[hostOff:hostOff+int64(len(data))], data)
 }

@@ -24,7 +24,7 @@ var (
 	// a = DMA requests, b = payload bytes of one packet's scatter burst.
 	kindIovecIssue = sim.RegisterKind("nic.iovecIssue", func(ctx any, a, b int64) {
 		s := ctx.(*iovecSim)
-		end := s.dma.write(a, b) + s.cfg.PCIeWriteLatency
+		end := s.dma.write(&s.stats, a, b) + s.cfg.PCIeWriteLatency
 		if end > s.lastWrite {
 			s.lastWrite = end
 		}
@@ -41,7 +41,9 @@ type iovecSim struct {
 	engine   sim.Server // the iovec processing engine is serial
 	regions  []IovecRegion
 	packed   []byte
+	host     []byte
 	arrivals []fabric.Arrival
+	stats    DMAStats
 
 	regionIdx   int
 	regionDone  int64 // bytes of regions[regionIdx] already written
@@ -60,7 +62,7 @@ func (s *iovecSim) onArrival(slot int) {
 	remaining := p.Size
 	for remaining > 0 {
 		if s.entriesLeft == 0 {
-			occ += s.dma.readLatency() // fetch the next batch of entries
+			occ += s.dma.readLatency(&s.stats) // fetch the next batch of entries
 			s.entriesLeft = s.cfg.IovecEntries
 		}
 		r := s.regions[s.regionIdx]
@@ -68,7 +70,7 @@ func (s *iovecSim) onArrival(slot int) {
 		if frag > remaining {
 			frag = remaining
 		}
-		s.dma.copyToHost(r.HostOff+s.regionDone, s.packed[streamPos:streamPos+frag])
+		s.dma.copyToHost(s.host, r.HostOff+s.regionDone, s.packed[streamPos:streamPos+frag])
 		reqs++
 		bytes += frag
 		occ += s.cfg.IovecPerRegion
@@ -122,9 +124,10 @@ func ReceiveIovec(cfg Config, regions []IovecRegion, packed, host []byte) (Resul
 	s := &iovecSim{
 		cfg:         cfg,
 		eng:         eng,
-		dma:         newDMAEngine(eng, cfg.PCIe, cfg.Channels(), cfg.DMAChannelOccupancy, host, cfg.CollectDMASeries),
+		dma:         newDMAEngine(eng, cfg.PCIe, cfg.Channels(), cfg.DMAChannelOccupancy, cfg.CollectDMASeries),
 		regions:     regions,
 		packed:      packed,
+		host:        host,
 		arrivals:    arrivals,
 		entriesLeft: cfg.IovecEntries,
 	}
@@ -140,7 +143,8 @@ func ReceiveIovec(cfg Config, regions []IovecRegion, packed, host []byte) (Resul
 
 	res.Done = s.lastWrite
 	res.ProcTime = res.Done - res.FirstByte
-	res.DMA = s.dma.stats
+	res.DMA = s.stats
+	res.DMA.Samples = s.dma.stats.Samples
 	// The iovec list lives in host memory; only the cached entries occupy
 	// NIC memory.
 	res.NICMemBytes = int64(cfg.IovecEntries) * 16

@@ -75,6 +75,7 @@ func (s *Shard) PostRemote(dst *Shard, t Time, k Kind, c Ctx, a, b int64) {
 // shard is independent of the worker count and of OS scheduling.
 type ParallelEngine struct {
 	shards  []*Shard
+	spare   []*Shard // reset shards kept for reuse (AcquireParallel pooling)
 	workers int
 	horizon Time
 	windows uint64
@@ -93,6 +94,43 @@ func NewParallel(workers int) *ParallelEngine {
 	return &ParallelEngine{workers: workers}
 }
 
+// parallelPool recycles ParallelEngines together with their Shard storage
+// (each shard's calendar queue, context table and outbox rows), the
+// sharded-engine counterpart of enginePool: a steady stream of sharded
+// simulations — `-engine sharded` figure sweeps run one per message —
+// stops re-allocating per-shard queue storage once the pooled engines have
+// warmed up.
+var parallelPool = sync.Pool{New: func() any { return &ParallelEngine{} }}
+
+// AcquireParallel returns an empty pooled sharded simulation with the
+// given executor width. Shards created on it reuse the queue storage of
+// the shards of previous runs.
+func AcquireParallel(workers int) *ParallelEngine {
+	if workers < 1 {
+		workers = 1
+	}
+	p := parallelPool.Get().(*ParallelEngine)
+	p.workers = workers
+	return p
+}
+
+// ReleaseParallel resets the engine and returns it (with its shard
+// storage) to the pool. The caller must not use the engine, its shards or
+// anything bound in their context tables afterwards.
+func ReleaseParallel(p *ParallelEngine) {
+	for _, s := range p.shards {
+		s.Reset()
+		for i := range s.outbox {
+			s.outbox[i] = s.outbox[i][:0]
+		}
+		p.spare = append(p.spare, s)
+	}
+	p.shards = p.shards[:0]
+	p.horizon = 0
+	p.windows = 0
+	parallelPool.Put(p)
+}
+
 // NewShard adds a domain. lookahead is the minimum delay of any cross-shard
 // event the domain will ever post, measured from its clock at post time: it
 // must be positive (a zero-lookahead domain cannot be synchronized
@@ -103,7 +141,14 @@ func (p *ParallelEngine) NewShard(name string, lookahead Time) *Shard {
 	if lookahead <= 0 {
 		panic(fmt.Sprintf("sim: shard %q lookahead %v must be positive", name, lookahead))
 	}
-	s := &Shard{id: len(p.shards), name: name, lookahead: lookahead, parent: p}
+	var s *Shard
+	if n := len(p.spare); n > 0 {
+		s = p.spare[n-1]
+		p.spare = p.spare[:n-1]
+		s.id, s.name, s.lookahead, s.parent = len(p.shards), name, lookahead, p
+	} else {
+		s = &Shard{id: len(p.shards), name: name, lookahead: lookahead, parent: p}
+	}
 	p.shards = append(p.shards, s)
 	for _, sh := range p.shards {
 		for len(sh.outbox) < len(p.shards) {

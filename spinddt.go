@@ -3,21 +3,38 @@
 // NIC-offloaded processing of MPI derived datatypes on sPIN-capable network
 // cards.
 //
-// The public API exposes three layers:
+// The public API exposes four layers:
 //
 //   - Datatypes: the MPI derived-datatype constructors (Vector, Indexed,
 //     Struct, Subarray, ...), their typemap algebra and reference
-//     Pack/Unpack.
-//   - Strategies: the paper's datatype-processing implementations —
-//     Specialized handlers, the general RW-CP / RO-CP / HPU-local MPITypes
-//     strategies, the host-unpack and Portals-4 iovec baselines, plus the
-//     sender-side pack+send / streaming-puts / outbound-sPIN paths.
-//   - Experiments: Run simulates one message end to end on the modeled
-//     200 Gbit/s sPIN NIC and byte-verifies the receive buffer against the
-//     reference unpack.
+//     Pack/Unpack. Committing a datatype compiles its flat block program —
+//     the exchange format every layer below consumes.
+//   - Sessions and handles: NewSession owns a Backend plus the offload
+//     build caches; Session.Commit returns a persistent TypeHandle whose
+//     strategy state (specialized handlers, checkpoint sets, offset lists)
+//     is built exactly once and amortized across every post — the paper's
+//     Fig. 18 reuse argument as an API, shaped the way an MPI library
+//     holds a committed type.
+//   - Endpoints and backends: Session.Endpoint is one receiving NIC;
+//     Endpoint.Post enqueues messages against committed handles and
+//     Flush executes the batch in a single simulated residency pass, so
+//     real exchanges (alltoall, halo) contend for the device the way real
+//     traffic does. The Backend interface decides what executes a flush:
+//     SimBackend replays block programs through the modeled 200 Gbit/s
+//     sPIN NIC, MemBackend executes them directly on host memory (the
+//     differential-testing oracle); custom backends plug in the same way.
+//   - Strategies and one-shot runs: the paper's datatype-processing
+//     implementations — Specialized handlers, the general RW-CP / RO-CP /
+//     HPU-local strategies, the host-unpack and Portals-4 iovec baselines,
+//     the sender-side pack+send / streaming-puts / outbound-sPIN paths —
+//     driven either through sessions or through the one-shot Run /
+//     RunSend / RunTransfer wrappers, which commit, post and flush a
+//     private session per call and byte-verify every receive buffer
+//     against the reference unpack.
 //
-// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-// paper-vs-measured results of every figure.
+// See session.go for the session-layer walkthrough, DESIGN.md for the
+// system inventory and EXPERIMENTS.md for the paper-vs-measured results of
+// every figure.
 package spinddt
 
 import (
@@ -163,7 +180,10 @@ func NewRequest(s Strategy, typ *Datatype, count int) Request {
 // Run simulates one message receive end to end: it synthesizes the packed
 // stream, builds the strategy state (handlers, checkpoints, offset lists),
 // replays the packet arrivals through the NIC model, and verifies the
-// receive buffer byte-for-byte against the reference Unpack.
+// receive buffer byte-for-byte against the reference Unpack. It is a
+// one-shot wrapper over a private session; libraries that reuse datatypes
+// should hold a Session and commit TypeHandles instead, amortizing the
+// state build across posts.
 func Run(req Request) (Result, error) { return core.Run(req) }
 
 // SendStrategy selects a sender-side implementation.
