@@ -25,9 +25,10 @@ BENCH_DATE := $(shell date +%F)
 # The core perf benchmarks recorded in BENCH_<date>.json and gated by
 # bench-check: the end-to-end simulation hot path, the datatype engine,
 # the event-engine microbench, the sharded cluster simulation (serial
-# executor baseline + all-cores executor), and the session API (committed
-# handle reuse + the batched alltoall endpoint pass).
-BENCH_CORE := BenchmarkSimulationRWCP1MiB|BenchmarkSimulationSpecialized1MiB|BenchmarkDDTPackUnpack|BenchmarkEventEngine|BenchmarkSimulationClusterSerial|BenchmarkSimulationSharded|BenchmarkSessionPostReuse|BenchmarkAlltoall8
+# executor baseline + all-cores executor), the session API (committed
+# handle reuse + the batched alltoall endpoint pass), and the symmetric
+# device model (sender-side handle reuse + the sharded halo exchange).
+BENCH_CORE := BenchmarkSimulationRWCP1MiB|BenchmarkSimulationSpecialized1MiB|BenchmarkDDTPackUnpack|BenchmarkEventEngine|BenchmarkSimulationClusterSerial|BenchmarkSimulationSharded|BenchmarkSessionPostReuse|BenchmarkAlltoall8|BenchmarkSessionSendReuse|BenchmarkHaloExchange8
 # Allowed fractional ns/op regression vs BENCH_BASELINE.json.
 TOLERANCE ?= 0.25
 # Workload of the golden figure renders (kept moderate so the determinism

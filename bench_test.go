@@ -383,6 +383,53 @@ func BenchmarkAlltoall8(b *testing.B) {
 	}
 }
 
+// BenchmarkSessionSendReuse is the sender-side mirror of
+// BenchmarkSessionPostReuse: a committed TypeHandle is sent 64 times per
+// iteration through one endpoint's outbound device, and after the first
+// send the per-send cost must be bookkeeping only — no gather rebuild, no
+// host prep. Sends are spaced so their injection windows do not overlap.
+func BenchmarkSessionSendReuse(b *testing.B) {
+	typ := ddt.MustVector(128, 128, 256, ddt.Int) // 512 B blocks, 64 KiB
+	sess := spinddt.NewSession(spinddt.NewSessionConfig())
+	h, err := sess.Commit(typ)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ep := sess.Endpoint(spinddt.EndpointConfig{})
+	const sends = 64
+	const gap = 50 * sim.Microsecond
+	run := func() {
+		for p := 0; p < sends; p++ {
+			if _, err := ep.Send(h, 1, spinddt.SendOpts{Seed: 1, Start: sim.Time(p) * gap}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := ep.FlushSends(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	run() // absorb the one-time gather build and first-send prep
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run()
+	}
+}
+
+// BenchmarkHaloExchange8 regenerates the haloexchange figure: an 8-rank
+// ring where every rank's two gathered sends contend on its outbound
+// device and its two receives on its inbound device, sharded one domain
+// per rank — the full symmetric device model under the parallel executor.
+func BenchmarkHaloExchange8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.HaloExchange(8, 1<<20)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printTable("haloexchange", t)
+	}
+}
+
 func BenchmarkAblationEndToEnd(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		t, err := experiments.AblationEndToEnd(1<<20, 512)

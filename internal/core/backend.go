@@ -48,12 +48,34 @@ type BackendMessage struct {
 	Arrivals []fabric.Arrival
 }
 
+// BackendSend is one posted send in the backend exchange format: the
+// committed datatype (whose compiled block program defines the gather
+// layout), the host source image, and the fully-prepared device message.
+// Msg.Packed is the outgoing wire stream; for non-gathered kinds
+// (TxPacked, TxStreaming) the backend performs the functional pack itself
+// before the timing pass, for TxProcessPut the gather handlers fill it.
+type BackendSend struct {
+	Type  *ddt.Type
+	Count int
+	Src   []byte
+	Msg   nic.TxMessage
+}
+
+// BackendTransfer couples one send with the receive it paces: the send's
+// packet injections cross the fabric and become the receive's arrival
+// schedule. Recv.Packed must alias the wire stream the send produces.
+type BackendTransfer struct {
+	Send BackendSend
+	Recv BackendMessage
+}
+
 // Backend executes the data movement of posted messages. SimBackend — the
 // default — replays each message through the simulated sPIN NIC; other
 // backends may execute the same block programs against real resources
 // (host memory today; iovec lists or kernel-bypass paths tomorrow). All
-// backends must land byte-identical Dst contents — the differential tests
-// hold them to the reference ddt.Unpack.
+// backends must land byte-identical buffer contents — the differential
+// tests hold receives to the reference ddt.Unpack and sends to the
+// reference ddt.Pack.
 type Backend interface {
 	// Name labels the backend ("sim", "mem").
 	Name() string
@@ -61,6 +83,14 @@ type Backend interface {
 	// residency pass and returns per-message device-level results in
 	// input order.
 	Flush(env BackendEnv, msgs []BackendMessage) ([]nic.Result, error)
+	// FlushSends executes sends — all posted to one endpoint — against
+	// one shared outbound device and returns per-message results in input
+	// order.
+	FlushSends(env BackendEnv, sends []BackendSend) ([]nic.SendResult, error)
+	// Transfer executes coupled end-to-end transfers: senders share one
+	// outbound device, receivers one inbound device, and each receive's
+	// arrival schedule is paced by its send through the fabric.
+	Transfer(env BackendEnv, xfers []BackendTransfer) ([]nic.SendResult, []nic.Result, error)
 	// Iovec executes the Portals-4 scatter-list baseline for one message.
 	Iovec(env BackendEnv, regions []nic.IovecRegion, packed, dst []byte) (nic.Result, error)
 }
@@ -97,6 +127,60 @@ func (SimBackend) Flush(env BackendEnv, msgs []BackendMessage) ([]nic.Result, er
 // Iovec implements Backend on the NIC simulator.
 func (SimBackend) Iovec(env BackendEnv, regions []nic.IovecRegion, packed, dst []byte) (nic.Result, error) {
 	return nic.ReceiveIovec(env.NIC, regions, packed, dst)
+}
+
+// stageSend performs the functional pack of a non-gathered send: the CPU
+// (TxPacked) or the announcing walk (TxStreaming) materializes the wire
+// stream before the timing pass; gather handlers (TxProcessPut) fill it
+// during the simulation instead.
+func stageSend(s *BackendSend) error {
+	if s.Msg.Kind == nic.TxProcessPut || s.Type == nil || s.Msg.Packed == nil {
+		return nil
+	}
+	_, err := ddt.PackInto(s.Type, s.Count, s.Src, s.Msg.Packed)
+	return err
+}
+
+// FlushSends implements Backend on the NIC simulator: every send of the
+// batch runs against ONE outbound device, contending for its HPUs, host
+// read path, injection link and NIC memory.
+func (SimBackend) FlushSends(env BackendEnv, sends []BackendSend) ([]nic.SendResult, error) {
+	batch := make([]nic.TxMessage, len(sends))
+	for i := range sends {
+		if err := stageSend(&sends[i]); err != nil {
+			return nil, fmt.Errorf("core: send %d: %w", i, err)
+		}
+		batch[i] = sends[i].Msg
+	}
+	if env.Engine == EngineSharded {
+		return nic.SendBatchSharded(env.NIC, batch)
+	}
+	return nic.SendBatch(env.NIC, batch)
+}
+
+// Transfer implements Backend on the NIC simulator: tx and rx devices run
+// in one coupled simulation joined by the fabric.
+func (SimBackend) Transfer(env BackendEnv, xfers []BackendTransfer) ([]nic.SendResult, []nic.Result, error) {
+	pairs := make([]nic.CoupledMessage, len(xfers))
+	for i := range xfers {
+		x := &xfers[i]
+		if err := stageSend(&x.Send); err != nil {
+			return nil, nil, fmt.Errorf("core: transfer %d: %w", i, err)
+		}
+		pairs[i] = nic.CoupledMessage{
+			Tx: x.Send.Msg,
+			Rx: nic.BatchMessage{
+				PT:     x.Recv.PT,
+				Bits:   x.Recv.Bits,
+				Packed: x.Recv.Packed,
+				Host:   x.Recv.Dst,
+			},
+		}
+	}
+	if env.Engine == EngineSharded {
+		return nic.RunCoupledSharded(env.NIC, env.NIC, pairs)
+	}
+	return nic.RunCoupled(env.NIC, env.NIC, pairs)
 }
 
 // MemBackend executes messages directly on host memory: each posted
@@ -136,6 +220,73 @@ func (MemBackend) Flush(env BackendEnv, msgs []BackendMessage) ([]nic.Result, er
 		results[i] = res
 	}
 	return results, nil
+}
+
+// memSend packs one message on the CPU and reports host-model timing.
+func memSend(env BackendEnv, s *BackendSend, i int) (nic.SendResult, error) {
+	if s.Type == nil {
+		return nic.SendResult{}, fmt.Errorf("core: mem backend send %d needs a datatype", i)
+	}
+	if s.Msg.Packed != nil {
+		if _, err := ddt.PackInto(s.Type, s.Count, s.Src, s.Msg.Packed); err != nil {
+			return nic.SendResult{}, fmt.Errorf("core: mem backend send %d: %w", i, err)
+		}
+	}
+	pack := hostcpu.PackCost(env.Host, s.Type, s.Count)
+	return nic.SendResult{
+		MsgBytes: s.Msg.MsgBytes,
+		CPUBusy:  pack.Time,
+		Injected: s.Msg.Start + pack.Time,
+		Regions:  s.Type.TotalBlocks(s.Count),
+	}, nil
+}
+
+// FlushSends implements Backend by packing on the CPU: every send is a
+// reference ddt.Pack of the committed block program — the differential
+// oracle for the simulated gather handlers.
+func (MemBackend) FlushSends(env BackendEnv, sends []BackendSend) ([]nic.SendResult, error) {
+	results := make([]nic.SendResult, len(sends))
+	for i := range sends {
+		r, err := memSend(env, &sends[i], i)
+		if err != nil {
+			return nil, err
+		}
+		results[i] = r
+	}
+	return results, nil
+}
+
+// Transfer implements Backend as pack-then-unpack on the CPU: the
+// reference pipeline every coupled simulated transfer must reproduce
+// byte for byte.
+func (MemBackend) Transfer(env BackendEnv, xfers []BackendTransfer) ([]nic.SendResult, []nic.Result, error) {
+	sends := make([]nic.SendResult, len(xfers))
+	recvs := make([]nic.Result, len(xfers))
+	for i := range xfers {
+		x := &xfers[i]
+		sr, err := memSend(env, &x.Send, i)
+		if err != nil {
+			return nil, nil, err
+		}
+		sends[i] = sr
+		m := &x.Recv
+		rr := nic.Result{MsgBytes: int64(len(m.Packed)), FirstByte: sr.Injected}
+		if m.Type != nil {
+			if err := ddt.Unpack(m.Type, m.Count, m.Packed, m.Dst); err != nil {
+				return nil, nil, fmt.Errorf("core: mem backend transfer %d: %w", i, err)
+			}
+			cost := hostcpu.UnpackCost(env.Host, m.Type, m.Count)
+			rr.Done = sr.Injected + cost.Time
+			rr.DMA = nic.DMAStats{Writes: m.Type.TotalBlocks(m.Count), Bytes: int64(len(m.Packed))}
+		} else {
+			copy(m.Dst[m.Region.Offset:], m.Packed)
+			rr.Done = sr.Injected + hostcpu.CopyCost(env.Host, int64(len(m.Packed)))
+			rr.DMA = nic.DMAStats{Writes: 1, Bytes: int64(len(m.Packed))}
+		}
+		rr.ProcTime = rr.Done - rr.FirstByte
+		recvs[i] = rr
+	}
+	return sends, recvs, nil
 }
 
 // Iovec implements Backend by scattering the region list on the CPU.

@@ -169,10 +169,7 @@ func (s *Session) Run(req Request) (Result, error) {
 		res.TrafficBytes = msgSize + cost.TrafficBytes
 
 	case PortalsIovec:
-		regions := make([]nic.IovecRegion, 0, typ.TotalBlocks(req.Count))
-		typ.ForEachBlock(req.Count, func(off, size int64) {
-			regions = append(regions, nic.IovecRegion{HostOff: off, Size: size})
-		})
+		regions := iovecRegions(typ, req.Count)
 		if req.Order != nil {
 			return Result{}, fmt.Errorf("core: the iovec baseline assumes in-order delivery")
 		}

@@ -78,11 +78,7 @@ func (s *Session) RunSend(req SendRequest) (nic.SendResult, error) {
 		return nic.SendPacked(req.NIC, msgSize, pack.Time)
 
 	case StreamingPuts:
-		var regions []nic.IovecRegion
-		typ.ForEachBlock(req.Count, func(off, size int64) {
-			regions = append(regions, nic.IovecRegion{HostOff: off, Size: size})
-		})
-		return nic.SendStreaming(req.NIC, regions, req.Host.InterpPerBlock)
+		return nic.SendStreaming(req.NIC, iovecRegions(typ, req.Count), req.Host.InterpPerBlock)
 
 	case OutboundSpin:
 		// Per-packet gather handler: like the receive-side specialized

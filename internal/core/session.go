@@ -62,6 +62,7 @@ type Session struct {
 type handleID struct {
 	typ      *ddt.Type
 	strategy Strategy
+	epsilon  float64
 }
 
 // NewSession returns a Session with its own cache set. Traces are
@@ -121,6 +122,20 @@ func (s *Session) Commit(t *ddt.Type) (*TypeHandle, error) {
 // use and shared by every subsequent post of the handle. Commit is
 // concurrency-safe and idempotent per (type, strategy).
 func (s *Session) CommitAs(t *ddt.Type, strategy Strategy) (*TypeHandle, error) {
+	return s.CommitWith(t, strategy, CommitOpts{})
+}
+
+// CommitOpts tunes one committed handle (the MPI_Type_set_attr knobs an
+// MPI library exposes per datatype).
+type CommitOpts struct {
+	// Epsilon overrides the session's checkpoint heuristic tolerance for
+	// this handle (0 = session default).
+	Epsilon float64
+}
+
+// CommitWith is CommitAs with per-handle options; handles are idempotent
+// per (type, strategy, options).
+func (s *Session) CommitWith(t *ddt.Type, strategy Strategy, opts CommitOpts) (*TypeHandle, error) {
 	if t == nil || t.Size() <= 0 {
 		return nil, fmt.Errorf("core: cannot commit an empty datatype")
 	}
@@ -130,11 +145,11 @@ func (s *Session) CommitAs(t *ddt.Type, strategy Strategy) (*TypeHandle, error) 
 	if s.closed {
 		return nil, fmt.Errorf("core: session is closed")
 	}
-	id := handleID{typ: t, strategy: strategy}
+	id := handleID{typ: t, strategy: strategy, epsilon: opts.Epsilon}
 	if h, ok := s.handles[id]; ok {
 		return h, nil
 	}
-	h := &TypeHandle{sess: s, typ: t, strategy: strategy}
+	h := &TypeHandle{sess: s, typ: t, strategy: strategy, epsilon: opts.Epsilon}
 	s.handles[id] = h
 	return h, nil
 }
@@ -200,10 +215,12 @@ type TypeHandle struct {
 	sess     *Session
 	typ      *ddt.Type
 	strategy Strategy
+	epsilon  float64 // per-handle checkpoint tolerance (0 = session default)
 
-	mu     sync.Mutex
-	builds map[int]*handleBuild // by element count
-	freed  bool
+	mu       sync.Mutex
+	builds   map[int]*handleBuild // receive-side offload state, by count
+	txBuilds map[int]*txBuild     // sender-side gather state, by count
+	freed    bool
 }
 
 // handleBuild is the once-built offload state of one (handle, count).
@@ -229,7 +246,7 @@ func (h *TypeHandle) Strategy() Strategy { return h.strategy }
 // stale Free never evicts a live handle from a later re-commit.
 func (h *TypeHandle) Free() {
 	s := h.sess
-	id := handleID{typ: h.typ, strategy: h.strategy}
+	id := handleID{typ: h.typ, strategy: h.strategy, epsilon: h.epsilon}
 	s.mu.Lock()
 	if s.handles[id] == h {
 		delete(s.handles, id)
@@ -257,10 +274,14 @@ func (h *TypeHandle) build(count int) (*handleBuild, error) {
 	}
 	b, ok := h.builds[count]
 	if !ok {
+		eps := h.sess.cfg.Epsilon
+		if h.epsilon > 0 {
+			eps = h.epsilon
+		}
 		b = &handleBuild{params: BuildParams{
 			Type: h.typ, Count: count,
 			NIC: h.sess.cfg.NIC, Cost: h.sess.cfg.Cost, Host: h.sess.cfg.Host,
-			Epsilon: h.sess.cfg.Epsilon, PktBufBytes: h.sess.cfg.PktBufBytes,
+			Epsilon: eps, PktBufBytes: h.sess.cfg.PktBufBytes,
 		}}
 		h.builds[count] = b
 	}
@@ -286,6 +307,19 @@ func (h *TypeHandle) instantiate(b *handleBuild) (*Offload, error) {
 	return h.sess.caches.buildOffload(h.strategy, b.params)
 }
 
+// Instantiate returns an execution-ready Offload for one message of count
+// elements: the offload state is built once per (handle, count) and the
+// per-message mutable parts are minted fresh. It is the hook a library
+// layered on the session API (internal/mpi) uses to place handle-backed
+// contexts on its own portal table.
+func (h *TypeHandle) Instantiate(count int) (*Offload, error) {
+	b, err := h.build(count)
+	if err != nil {
+		return nil, err
+	}
+	return h.instantiate(b)
+}
+
 // EndpointConfig configures one endpoint.
 type EndpointConfig struct {
 	// Trace, when non-nil, collects the endpoint's NIC pipeline events.
@@ -294,20 +328,25 @@ type EndpointConfig struct {
 	Trace *nic.Trace
 }
 
-// Endpoint is one receiving NIC of a session. Posts accumulate; Flush (or
-// the first Future.Wait) runs every pending message through the backend in
-// a single NIC residency pass, so the messages of a real exchange —
+// Endpoint is one NIC of a session, with both halves of the symmetric
+// device model. On the receive side, Post accumulates messages and Flush
+// (or the first Future.Wait) runs every pending one through the backend in
+// a single inbound residency pass, so the messages of a real exchange —
 // alltoall, halo — contend for the endpoint's inbound parser, HPUs, DMA
 // channels and NIC memory instead of each message having the device to
-// itself. Endpoints are safe for concurrent use.
+// itself. On the send side, Send accumulates outbound messages and
+// FlushSends runs them through one shared outbound device the same way
+// (Flush drains both directions, sends first). Endpoints are safe for
+// concurrent use.
 type Endpoint struct {
 	sess *Session
 	cfg  EndpointConfig
 
-	mu       sync.Mutex
-	pt       *portals.PT
-	nextBits portals.MatchBits
-	pending  []*postOp
+	mu           sync.Mutex
+	pt           *portals.PT
+	nextBits     portals.MatchBits
+	pending      []*postOp
+	pendingSends []*sendOp
 }
 
 // PostOpts tunes one posted message. The zero value is a valid default.
@@ -422,13 +461,17 @@ func (ep *Endpoint) Post(h *TypeHandle, count int, opts PostOpts) (*Future, erro
 	return &Future{ep: ep, op: op}, nil
 }
 
-// Flush executes every pending post in one batched NIC residency pass and
-// resolves their Futures. It returns the first per-message error (each
-// Future still carries its own).
+// Flush executes every pending send and post, each direction in one
+// batched device residency pass, and resolves their futures. It returns
+// the first per-message error (each future still carries its own).
 func (ep *Endpoint) Flush() error {
 	ep.mu.Lock()
 	defer ep.mu.Unlock()
-	return ep.flushLocked()
+	sendErr := ep.flushSendsLocked()
+	if err := ep.flushLocked(); err != nil && sendErr == nil {
+		sendErr = err
+	}
+	return sendErr
 }
 
 func (ep *Endpoint) flushLocked() error {

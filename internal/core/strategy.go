@@ -160,8 +160,8 @@ type specCacheEntry struct {
 // one-shot wrappers (Run, RunTransfer, RunCluster via BuildOffload) share
 // defaultCaches.
 type offloadCaches struct {
-	loop, ckpt, spec sync.Map
-	size             atomic.Int64
+	loop, ckpt, spec, txspec sync.Map
+	size                     atomic.Int64
 }
 
 // defaultCaches backs the package-level BuildOffload and the private

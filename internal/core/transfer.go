@@ -1,10 +1,10 @@
 package core
 
 import (
+	"bytes"
 	"fmt"
 
 	"spinddt/internal/ddt"
-	"spinddt/internal/fabric"
 	"spinddt/internal/hostcpu"
 	"spinddt/internal/nic"
 	"spinddt/internal/portals"
@@ -70,11 +70,54 @@ func RunTransfer(req TransferRequest) (TransferResult, error) {
 	return oneShot.RunTransfer(req)
 }
 
-// RunTransfer executes one coupled transfer on the session: gather at the
-// sender (functional pack from a synthetic source buffer), per-packet
-// injection times from the sender-side model, wire latency, and the
-// receiver-side processing of the resulting arrival schedule on the
-// session backend.
+// buildBackendSend assembles the sender half of a coupled transfer: the
+// strategy's device message (CPU pack, streaming announce schedule, or the
+// NIC gather context built through the session caches) plus the functional
+// source image. packed is the wire-stream buffer the send produces into.
+func (s *Session) buildBackendSend(strategy SendStrategy, typ *ddt.Type, count int,
+	nicCfg nic.Config, cost CostModel, host hostcpu.Config, src, packed []byte) (BackendSend, error) {
+	msg := typ.Size() * int64(count)
+	send := BackendSend{Type: typ, Count: count, Src: src}
+	switch strategy {
+	case PackSend:
+		pack := hostcpu.PackCost(host, typ, count)
+		send.Msg = nic.TxMessage{Kind: nic.TxPacked, MsgBytes: msg, PackTime: pack.Time, Packed: packed}
+
+	case StreamingPuts:
+		regions := iovecRegions(typ, count)
+		ready, cpu, bytes, err := nic.StreamingSchedule(nicCfg, regions, host.InterpPerBlock)
+		if err != nil {
+			return BackendSend{}, err
+		}
+		send.Msg = nic.TxMessage{
+			Kind: nic.TxStreaming, MsgBytes: bytes, Packed: packed,
+			ReadyAt: ready, CPUTime: cpu, Regions: int64(len(regions)),
+		}
+
+	case OutboundSpin:
+		txoff, err := s.caches.buildTxOffload(BuildParams{
+			Type: typ, Count: count, NIC: nicCfg, Cost: cost, Host: host,
+		})
+		if err != nil {
+			return BackendSend{}, err
+		}
+		send.Msg = nic.TxMessage{
+			Kind: nic.TxProcessPut, MsgBytes: msg,
+			Ctx: txoff.Ctx, Src: src, Packed: packed,
+		}
+
+	default:
+		return BackendSend{}, fmt.Errorf("core: unknown send strategy %v", strategy)
+	}
+	return send, nil
+}
+
+// RunTransfer executes one coupled transfer on the session: the sender-
+// side device gathers the source layout (through the committed block
+// program for outbound sPIN), each packet crosses the fabric as its
+// injection completes, and the receiver-side device scatters the arrivals
+// — tx and rx run in ONE simulation on the session backend instead of
+// summing independent cost models.
 func (s *Session) RunTransfer(req TransferRequest) (TransferResult, error) {
 	if req.RecvType == nil {
 		req.RecvType = req.SendType
@@ -95,57 +138,30 @@ func (s *Session) RunTransfer(req TransferRequest) (TransferResult, error) {
 	if lo, _ := recvTyp.Footprint(req.Count); lo < 0 {
 		return TransferResult{}, fmt.Errorf("core: receive datatype has negative lower bound %d", lo)
 	}
-
-	// Functional source: pack the sender layout into the wire stream.
 	sLo, sHi := sendTyp.Footprint(req.Count)
 	if sLo < 0 {
 		return TransferResult{}, fmt.Errorf("core: send datatype has negative lower bound %d", sLo)
 	}
+
 	src := payloadFor(req.Seed, sHi) // shared read-only source image
 	packed := getBuf(msg)
-	if _, err := ddt.PackInto(sendTyp, req.Count, src, packed); err != nil {
-		return TransferResult{}, err
-	}
-
-	// Sender timing.
-	sendRes, err := RunSend(SendRequest{
-		Strategy: req.Send, Type: sendTyp, Count: req.Count,
-		NIC: req.NIC, Cost: req.Cost, Host: req.Host,
-	})
+	send, err := s.buildBackendSend(req.Send, sendTyp, req.Count, req.NIC, req.Cost, req.Host, src, packed)
 	if err != nil {
 		return TransferResult{}, err
 	}
 
-	// Arrival schedule: each packet lands a wire latency after injection.
-	pkts, err := req.NIC.Fabric.Packetize(msg)
-	if err != nil {
-		return TransferResult{}, err
-	}
-	if len(pkts) != len(sendRes.PacketInjections) {
-		return TransferResult{}, fmt.Errorf("core: %d packets but %d injections (internal bug)",
-			len(pkts), len(sendRes.PacketInjections))
-	}
-	arrivals := make([]fabric.Arrival, len(pkts))
-	for i := range pkts {
-		arrivals[i] = fabric.Arrival{
-			Packet: pkts[i],
-			At:     sendRes.PacketInjections[i] + req.NIC.Fabric.WireLatency,
-		}
-	}
-
-	// Receiver.
 	_, rHi := recvTyp.Footprint(req.Count)
 	dst := getZeroBuf(rHi)
-	res := TransferResult{Sender: sendRes}
 	env := BackendEnv{NIC: req.NIC, Engine: req.Engine, Host: req.Host}
+	var res TransferResult
 
 	switch req.Recv {
 	case HostUnpack:
 		staging := getBuf(msg)
 		pt := singleMatchPT(&portals.ME{Match: 1, Region: portals.HostRegion{Length: msg}})
-		nicRes, err := s.flushOne(env, BackendMessage{
+		sendRes, recvRes, err := s.transferOne(env, send, BackendMessage{
 			PT: pt, Bits: 1, Region: portals.HostRegion{Length: msg},
-			Packed: packed, Dst: staging, Arrivals: arrivals,
+			Packed: packed, Dst: staging,
 		})
 		if err != nil {
 			return TransferResult{}, err
@@ -155,8 +171,9 @@ func (s *Session) RunTransfer(req TransferRequest) (TransferResult, error) {
 			return TransferResult{}, err
 		}
 		putBuf(staging)
-		res.Receiver = nicRes
-		res.Total = nicRes.Done + cost.Time
+		res.Sender = sendRes
+		res.Receiver = recvRes
+		res.Total = recvRes.Done + cost.Time
 
 	case PortalsIovec:
 		return TransferResult{}, fmt.Errorf("core: the iovec baseline does not support coupled transfers")
@@ -170,18 +187,35 @@ func (s *Session) RunTransfer(req TransferRequest) (TransferResult, error) {
 			return TransferResult{}, err
 		}
 		pt := singleMatchPT(&portals.ME{Match: 1, Ctx: off.Ctx})
-		nicRes, err := s.flushOne(env, BackendMessage{
+		sendRes, recvRes, err := s.transferOne(env, send, BackendMessage{
 			Type: recvTyp, Count: req.Count, PT: pt, Bits: 1,
-			Packed: packed, Dst: dst, Arrivals: arrivals,
+			Packed: packed, Dst: dst,
 		})
 		if err != nil {
 			return TransferResult{}, err
 		}
-		res.Receiver = nicRes
-		res.Total = nicRes.Done
+		res.Sender = sendRes
+		res.Receiver = recvRes
+		res.Total = recvRes.Done
 	}
 
 	if req.Verify {
+		// A gathered wire stream was produced by the send-side handlers:
+		// hold it to the reference pack of the source image before
+		// trusting it as the receiver's ground truth. The CPU-side kinds
+		// produce the stream with that very reference pack, so there is
+		// nothing to compare for them.
+		if send.Msg.Kind == nic.TxProcessPut {
+			want := getBuf(msg)
+			if _, err := ddt.PackInto(sendTyp, req.Count, src, want); err != nil {
+				return TransferResult{}, err
+			}
+			same := bytes.Equal(packed, want)
+			putBuf(want)
+			if !same {
+				return TransferResult{}, fmt.Errorf("core: transfer %v->%v: wire stream differs from reference pack", req.Send, req.Recv)
+			}
+		}
 		if err := verifyReference(recvTyp, req.Count, packed, dst, rHi); err != nil {
 			return TransferResult{}, fmt.Errorf("core: transfer %v->%v: %w", req.Send, req.Recv, err)
 		}
@@ -192,4 +226,13 @@ func (s *Session) RunTransfer(req TransferRequest) (TransferResult, error) {
 	}
 	putBuf(packed)
 	return res, nil
+}
+
+// transferOne runs a single coupled transfer through the backend.
+func (s *Session) transferOne(env BackendEnv, send BackendSend, recv BackendMessage) (nic.SendResult, nic.Result, error) {
+	sends, recvs, err := s.backend.Transfer(env, []BackendTransfer{{Send: send, Recv: recv}})
+	if err != nil {
+		return nic.SendResult{}, nic.Result{}, err
+	}
+	return sends[0], recvs[0], nil
 }

@@ -1,0 +1,227 @@
+package core
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"spinddt/internal/ddt"
+	"spinddt/internal/hostcpu"
+	"spinddt/internal/nic"
+	"spinddt/internal/spin"
+)
+
+// This file builds the sender half of the symmetric offload: a gather
+// execution context whose payload handler walks the committed datatype's
+// block program in reverse direction — instead of scattering an arrived
+// packet into host memory, it resolves the packet's contiguous SOURCE
+// regions, fetches them over the PCIe read path (HandlerArgs.DMARead) and
+// fills the packet's slice of the outgoing wire stream. It is the state a
+// PtlProcessPut references on the sender NIC (Sec. 3.1.2), mirroring the
+// receive-side specialized handlers: O(1) arithmetic state for vector-like
+// layouts, an offset list with binary search otherwise.
+
+// iovecRegions materializes the committed layout's contiguous regions in
+// stream order — the list the iovec baseline, the streaming-puts
+// announcements and the offset-list builders all consume.
+func iovecRegions(typ *ddt.Type, count int) []nic.IovecRegion {
+	regions := make([]nic.IovecRegion, 0, typ.TotalBlocks(count))
+	typ.ForEachBlock(count, func(off, size int64) {
+		regions = append(regions, nic.IovecRegion{HostOff: off, Size: size})
+	})
+	return regions
+}
+
+// TxOffload is a built gather context plus its bookkeeping.
+type TxOffload struct {
+	Ctx  *spin.ExecutionContext
+	Prep HostPrep
+	// Kind labels the gather variant ("vector", "list", "contiguous").
+	Kind string
+	// Blocks is the number of contiguous source regions of the layout.
+	Blocks int64
+}
+
+// txVecState is the O(1) gather state for strided uniform-block layouts:
+// constant-time arithmetic maps any stream offset to its source address.
+type txVecState struct {
+	cost      CostModel
+	blockSize int64
+	stride    int64
+	perElem   int64
+	extent    int64
+}
+
+func (v *txVecState) payload(a *spin.HandlerArgs) spin.Result {
+	var blocks int64
+	consumed := int64(0)
+	total := a.PktBytes
+	for consumed < total {
+		pos := a.StreamOff + consumed
+		g := pos / v.blockSize
+		within := pos % v.blockSize
+		hostOff := (g/v.perElem)*v.extent + (g%v.perElem)*v.stride + within
+		n := v.blockSize - within
+		if n > total-consumed {
+			n = total - consumed
+		}
+		if a.Payload != nil {
+			a.DMARead.Read(hostOff, a.Payload[consumed:consumed+n])
+		}
+		consumed += n
+		blocks++
+	}
+	proc := times(blocks, v.cost.SpecPerBlock)
+	return spin.Result{
+		Runtime:   v.cost.SpecInit + proc,
+		Breakdown: spin.Breakdown{Init: v.cost.SpecInit, Processing: proc},
+	}
+}
+
+// txListState is the offset-list gather state for every other layout: the
+// host copies the region list to NIC memory and the handler locates a
+// packet's first source region with a binary search over stream positions.
+type txListState struct {
+	cost        CostModel
+	hostOff     []int64
+	size        []int64
+	streamStart []int64
+}
+
+func (l *txListState) payload(a *spin.HandlerArgs) spin.Result {
+	total := a.PktBytes
+	end := a.StreamOff + total
+	i := sort.Search(len(l.streamStart), func(k int) bool {
+		return l.streamStart[k] > a.StreamOff
+	}) - 1
+	var blocks int64
+	for pos := a.StreamOff; pos < end; i++ {
+		within := pos - l.streamStart[i]
+		n := l.size[i] - within
+		if n > end-pos {
+			n = end - pos
+		}
+		if a.Payload != nil {
+			a.DMARead.Read(l.hostOff[i]+within, a.Payload[pos-a.StreamOff:pos-a.StreamOff+n])
+		}
+		pos += n
+		blocks++
+	}
+	search := times(int64(bits.Len(uint(len(l.streamStart)))), l.cost.SpecBinSearchStep)
+	proc := times(blocks, l.cost.SpecPerBlock)
+	return spin.Result{
+		Runtime: l.cost.SpecInit + search + proc,
+		Breakdown: spin.Breakdown{
+			Init:       l.cost.SpecInit,
+			Setup:      search,
+			Processing: proc,
+		},
+	}
+}
+
+// txCacheKey identifies a cached gather build. The gather depends only on
+// the committed layout and the handler cost constants — not on the receive
+// strategy, the checkpoint heuristic or the NIC geometry.
+type txCacheKey struct {
+	typ   *ddt.Type
+	count int
+	cost  CostModel
+}
+
+type txCacheEntry struct {
+	handler  spin.Handler
+	nicBytes int64
+	kind     string
+	blocks   int64
+}
+
+// BuildTxOffload constructs the gather execution context for sending count
+// elements of the committed datatype, using the shared default caches.
+func BuildTxOffload(p BuildParams) (*TxOffload, error) {
+	return defaultCaches.buildTxOffload(p)
+}
+
+// buildTxOffload is BuildTxOffload against one session's cache set. The
+// gather state is immutable after construction, so one context is shared
+// by every message of the committed layout — a batch of sends referencing
+// it occupies its NIC memory once, like a batch of receives sharing a
+// committed receive context.
+func (c *offloadCaches) buildTxOffload(p BuildParams) (*TxOffload, error) {
+	if p.Count <= 0 {
+		return nil, fmt.Errorf("core: count %d", p.Count)
+	}
+	msgSize := p.Type.Size() * int64(p.Count)
+	if msgSize <= 0 {
+		return nil, fmt.Errorf("core: empty datatype")
+	}
+
+	k := txCacheKey{typ: p.Type, count: p.Count, cost: p.Cost}
+	var e txCacheEntry
+	if v, ok := c.txspec.Load(k); ok {
+		e = v.(txCacheEntry)
+	} else {
+		e = buildTxGather(p.Cost, p.Type, p.Count)
+		c.store(&c.txspec, k, e)
+	}
+
+	walk := int64(0)
+	if e.kind == "list" {
+		walk = e.blocks
+	}
+	return &TxOffload{
+		Ctx: &spin.ExecutionContext{
+			Name:        "gather/" + e.kind,
+			Payload:     e.handler,
+			NICMemBytes: e.nicBytes,
+		},
+		Prep: HostPrep{
+			CPUTime:   hostcpu.WalkCost(p.Host, walk),
+			CopyBytes: e.nicBytes,
+			CopyTime:  p.NIC.PCIe.ByteTime(e.nicBytes) + p.NIC.PCIe.ReadLatency,
+		},
+		Kind:   e.kind,
+		Blocks: e.blocks,
+	}, nil
+}
+
+// buildTxGather selects the vector fast path when the normalized datatype
+// is a uniform-block strided layout, and the offset-list gather otherwise
+// (the sender-side mirror of buildSpecialized).
+func buildTxGather(cost CostModel, typ *ddt.Type, count int) txCacheEntry {
+	msgSize := typ.Size() * int64(count)
+	norm := ddt.Normalize(typ)
+
+	if norm.Contiguous() {
+		v := &txVecState{cost: cost, blockSize: msgSize, stride: 0, perElem: 1, extent: msgSize}
+		return txCacheEntry{handler: v.payload, nicBytes: 32, kind: "contiguous", blocks: 1}
+	}
+	if norm.Kind() == ddt.KindVector || norm.Kind() == ddt.KindHVector {
+		base := norm.Children()[0]
+		if base.Contiguous() && norm.BlockLen() > 0 && norm.StrideBytes() > 0 {
+			v := &txVecState{
+				cost:      cost,
+				blockSize: int64(norm.BlockLen()) * base.Size(),
+				stride:    norm.StrideBytes(),
+				perElem:   int64(norm.Count()),
+				extent:    norm.Extent(),
+			}
+			return txCacheEntry{handler: v.payload, nicBytes: 32, kind: "vector", blocks: typ.TotalBlocks(count)}
+		}
+	}
+
+	n := typ.TotalBlocks(count)
+	ls := &txListState{
+		cost:        cost,
+		hostOff:     make([]int64, 0, n),
+		size:        make([]int64, 0, n),
+		streamStart: make([]int64, 0, n),
+	}
+	var pos int64
+	typ.ForEachBlock(count, func(off, size int64) {
+		ls.hostOff = append(ls.hostOff, off)
+		ls.size = append(ls.size, size)
+		ls.streamStart = append(ls.streamStart, pos)
+		pos += size
+	})
+	return txCacheEntry{handler: ls.payload, nicBytes: n * 16, kind: "list", blocks: n}
+}

@@ -1,0 +1,185 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+
+	"spinddt/internal/core"
+	"spinddt/internal/ddt"
+	"spinddt/internal/hostcpu"
+	"spinddt/internal/nic"
+	"spinddt/internal/portals"
+	"spinddt/internal/sim"
+)
+
+// HaloExchange reports a ring halo exchange on a sharded multi-NIC
+// cluster — the composition of both batching device passes with the
+// domain-sharded executor. Every rank is one simulation domain owning a
+// full NIC: its two outbound halo messages (to the left and right
+// neighbors) are gathered by sender-side sPIN handlers and contend for the
+// rank's ONE outbound device — HPUs, host read path, injection link — and
+// its two inbound messages contend for the rank's ONE inbound device,
+// ReceiveBatch-style. Packets cross the fabric as their injection
+// completes, so sender-side backpressure paces the receivers tick for
+// tick. Results are identical for every executor width and for both
+// engines (the serial executor and the windowed parallel one fire the same
+// event sequences), which the determinism CI job pins.
+func HaloExchange(ranks int, msgBytes int64) (*Table, error) {
+	if ranks < 3 {
+		return nil, fmt.Errorf("halo exchange needs at least 3 ranks, have %d", ranks)
+	}
+	typ := fig8Vector(2048, msgBytes)
+	typ.Commit()
+	lo, hi := typ.Footprint(1)
+	if lo < 0 {
+		return nil, fmt.Errorf("halo exchange datatype has negative lower bound %d", lo)
+	}
+	size := fmt.Sprintf("%d MiB", msgBytes>>20)
+	if msgBytes < 1<<20 {
+		size = fmt.Sprintf("%d KiB", msgBytes>>10)
+	}
+
+	// One directed message per (rank, direction): the wire streams are
+	// pre-staged (cross-domain coupling forbids in-simulation functional
+	// gathers — tx and rx live in different domains), strategy-invariant,
+	// and verified against the reference unpack after every run.
+	const dirs = 2 // 0 = to the left neighbor, 1 = to the right
+	packs := make([][]byte, ranks*dirs)
+	for r := 0; r < ranks; r++ {
+		for d := 0; d < dirs; d++ {
+			src := make([]byte, hi)
+			fillHaloSrc(int64(r*dirs+d+1), src)
+			packed, err := ddt.Pack(typ, 1, src)
+			if err != nil {
+				return nil, err
+			}
+			packs[r*dirs+d] = packed
+		}
+	}
+
+	t := &Table{
+		Title: fmt.Sprintf("Halo exchange: %d-rank ring, %s per neighbor message (2 KiB blocks), both device halves sharded", ranks, size),
+		Note: "per rank: 2 sends gathered on one outbound device (sPIN gather handlers; HPUs, host reads, wire shared)\n" +
+			"and 2 receives scattered on one inbound device; injections pace arrivals across rank domains (wire-latency lookahead);\n" +
+			"windows = synchronization rounds (executor-invariant); every buffer byte-verified against the reference unpack",
+		Header: []string{"strategy", "msgs", "send_max_us", "gather_hpu_us", "recv_max_us", "last_done_us", "makespan_us", "windows", "verified"},
+	}
+
+	for _, s := range core.OffloadStrategies {
+		txoff, err := core.BuildTxOffload(core.BuildParams{
+			Type: typ, Count: 1,
+			NIC: nic.DefaultConfig(), Cost: core.DefaultCostModel(), Host: hostcpu.DefaultConfig(),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("halo %v gather: %w", s, err)
+		}
+
+		eps := make([]nic.ExchangeEndpoint, ranks)
+		dsts := make([][]byte, ranks*dirs)
+		for r := 0; r < ranks; r++ {
+			left := (r + ranks - 1) % ranks
+			right := (r + 1) % ranks
+			recvs := make([]nic.BatchMessage, dirs)
+			// Slot 0 receives from the right neighbor's leftward send,
+			// slot 1 from the left neighbor's rightward send.
+			for slot, from := range [dirs]int{right*dirs + 0, left*dirs + 1} {
+				off, err := core.BuildOffload(s, core.BuildParams{
+					Type: typ, Count: 1,
+					NIC: nic.DefaultConfig(), Cost: core.DefaultCostModel(), Host: hostcpu.DefaultConfig(),
+					Epsilon: 0.2,
+				})
+				if err != nil {
+					return nil, fmt.Errorf("halo %v: %w", s, err)
+				}
+				ni := portals.NewNI(1)
+				pt, err := ni.PT(0)
+				if err != nil {
+					return nil, err
+				}
+				if err := pt.Append(portals.PriorityList, &portals.ME{Match: 1, Ctx: off.Ctx}); err != nil {
+					return nil, err
+				}
+				dst := make([]byte, hi)
+				dsts[r*dirs+slot] = dst
+				recvs[slot] = nic.BatchMessage{PT: pt, Bits: 1, Packed: packs[from], Host: dst}
+			}
+			eps[r] = nic.ExchangeEndpoint{
+				Cfg:   nic.DefaultConfig(),
+				Recvs: recvs,
+				Sends: []nic.ExchangeSend{
+					{Msg: nic.TxMessage{Kind: nic.TxProcessPut, MsgBytes: msgBytes, Ctx: txoff.Ctx}, Dst: left, DstRecv: 0},
+					{Msg: nic.TxMessage{Kind: nic.TxProcessPut, MsgBytes: msgBytes, Ctx: txoff.Ctx}, Dst: right, DstRecv: 1},
+				},
+			}
+		}
+
+		res, err := nic.RunExchange(eps, clusterWorkers())
+		if err != nil {
+			return nil, fmt.Errorf("halo %v: %w", s, err)
+		}
+
+		var sendMax, hpuMax, recvMax, lastDone sim.Time
+		verified := 0
+		for r := 0; r < ranks; r++ {
+			var hpu sim.Time
+			for _, sr := range res.Sends[r] {
+				if sr.Injected > sendMax {
+					sendMax = sr.Injected
+				}
+				hpu += sr.HPUBusy
+			}
+			if hpu > hpuMax {
+				hpuMax = hpu
+			}
+			for slot, rr := range res.Recvs[r] {
+				if rr.ProcTime > recvMax {
+					recvMax = rr.ProcTime
+				}
+				if res.Notified[r][slot] > lastDone {
+					lastDone = res.Notified[r][slot]
+				}
+				want := make([]byte, hi)
+				var from int
+				if slot == 0 {
+					from = ((r+1)%ranks)*dirs + 0
+				} else {
+					from = ((r+ranks-1)%ranks)*dirs + 1
+				}
+				if err := ddt.Unpack(typ, 1, packs[from], want); err != nil {
+					return nil, err
+				}
+				if bytes.Equal(dsts[r*dirs+slot], want) {
+					verified++
+				}
+			}
+		}
+
+		t.AddRow(s.String(), d64(int64(ranks*dirs)),
+			usec(sendMax.Microseconds()),
+			usec(hpuMax.Microseconds()),
+			usec(recvMax.Microseconds()),
+			usec(lastDone.Microseconds()),
+			usec(res.Makespan.Microseconds()),
+			d64(int64(res.Windows)),
+			fmt.Sprintf("%d/%d", verified, ranks*dirs))
+	}
+	return t, nil
+}
+
+// fillHaloSrc fills buf with a deterministic pseudo-random stream derived
+// from seed (a splitmix64 generator, independent of math/rand).
+func fillHaloSrc(seed int64, buf []byte) {
+	x := uint64(seed)
+	for i := 0; i < len(buf); i += 8 {
+		x += 0x9e3779b97f4a7c15
+		z := x
+		z ^= z >> 30
+		z *= 0xbf58476d1ce4e5b9
+		z ^= z >> 27
+		z *= 0x94d049bb133111eb
+		z ^= z >> 31
+		for j := 0; j < 8 && i+j < len(buf); j++ {
+			buf[i+j] = byte(z >> (8 * j))
+		}
+	}
+}

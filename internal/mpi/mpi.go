@@ -5,12 +5,17 @@
 //  1. Commit — the library intercepts MPI_Type_commit, selects the
 //     processing strategy for the datatype and honours user attributes
 //     (MPI_Type_set_attr): offload preference, victim-selection priority,
-//     and the heuristic's ε.
-//  2. Post — posting a receive builds the offload state, allocates NIC
-//     memory (evicting colder datatypes LRU-first within priority), and
-//     appends a matching entry to the Portals priority list. When NIC
-//     memory cannot be found, the receive transparently falls back to
-//     host-based unpacking.
+//     and the heuristic's ε. Commit goes through the session API: the
+//     library holds a core.Session, and each committed Type is backed by
+//     a persistent core.TypeHandle, so the expensive offload state
+//     (compiled block programs, dataloops, checkpoint sets, specialized
+//     handlers) is built exactly once per handle and shared by every
+//     posted receive — no library-private build caches.
+//  2. Post — posting a receive instantiates the handle's offload state,
+//     allocates NIC memory (evicting colder datatypes LRU-first within
+//     priority), and appends a matching entry to the Portals priority
+//     list. When NIC memory cannot be found, the receive transparently
+//     falls back to host-based unpacking.
 //  3. Complete — message delivery runs the full NIC simulation and the
 //     library consumes the completion event.
 //
@@ -57,18 +62,22 @@ type Attr struct {
 	Epsilon float64
 }
 
-// Type is a committed datatype with its selected strategy.
+// Type is a committed datatype: a session-backed TypeHandle plus the
+// library-level attributes.
 type Type struct {
-	ddt      *ddt.Type
-	attr     Attr
-	strategy core.Strategy
+	ddt    *ddt.Type
+	attr   Attr
+	handle *core.TypeHandle
 }
 
 // DDT returns the underlying derived datatype.
 func (t *Type) DDT() *ddt.Type { return t.ddt }
 
 // Strategy returns the processing strategy selected at commit.
-func (t *Type) Strategy() core.Strategy { return t.strategy }
+func (t *Type) Strategy() core.Strategy { return t.handle.Strategy() }
+
+// Handle returns the session handle backing the committed type.
+func (t *Type) Handle() *core.TypeHandle { return t.handle }
 
 // Stats counts library-level outcomes.
 type Stats struct {
@@ -83,12 +92,14 @@ type Stats struct {
 	Evictions int64
 }
 
-// Lib is one process's communication library instance.
+// Lib is one process's communication library instance. It owns a
+// core.Session: committed types are session handles, and the session's
+// caches replace the library-private offload build state earlier versions
+// duplicated.
 type Lib struct {
-	nicCfg  nic.Config
-	cost    core.CostModel
-	host    hostcpu.Config
-	epsilon float64
+	nicCfg nic.Config
+	host   hostcpu.Config
+	sess   *core.Session
 
 	alloc      *nic.Allocator
 	ni         *portals.NI
@@ -106,11 +117,13 @@ func NewLib(cfg nic.Config) (*Lib, error) {
 	if err != nil {
 		return nil, err
 	}
+	scfg := core.NewSessionConfig()
+	scfg.NIC = cfg
+	scfg.NIC.Trace = nil // sessions reject shared traces; Deliver keeps cfg's
 	return &Lib{
 		nicCfg:     cfg,
-		cost:       core.DefaultCostModel(),
-		host:       hostcpu.DefaultConfig(),
-		epsilon:    0.2,
+		host:       scfg.Host,
+		sess:       core.NewSession(scfg),
 		alloc:      nic.NewAllocator(cfg.NICMemBytes),
 		ni:         ni,
 		pt:         pt,
@@ -132,17 +145,22 @@ func (l *Lib) NICMemUsed() int64 { return l.alloc.Used() }
 // CommitType implements the commit step: strategy selection plus attribute
 // handling. Vector-like datatypes (after normalization) take the
 // specialized handler; everything else takes RW-CP, the paper's best
-// general strategy.
+// general strategy. The returned Type is backed by a persistent session
+// TypeHandle: its offload state is built once on first post and shared by
+// every receive of the type.
 func (l *Lib) CommitType(t *ddt.Type, attr Attr) (*Type, error) {
 	if t.Size() <= 0 {
 		return nil, errors.New("mpi: empty datatype")
 	}
-	t.Commit()
 	strategy := core.SelectStrategy(t)
 	if attr.Offload == OffloadNever {
 		strategy = core.HostUnpack
 	}
-	return &Type{ddt: t, attr: attr, strategy: strategy}, nil
+	h, err := l.sess.CommitWith(t, strategy, core.CommitOpts{Epsilon: attr.Epsilon})
+	if err != nil {
+		return nil, fmt.Errorf("mpi: %w", err)
+	}
+	return &Type{ddt: t, attr: attr, handle: h}, nil
 }
 
 // Recv is a posted receive.
@@ -204,7 +222,7 @@ func (l *Lib) PostRecv(typ *Type, count int, match portals.MatchBits, buf []byte
 		return r, nil
 	}
 
-	if typ.strategy != core.HostUnpack {
+	if typ.Strategy() != core.HostUnpack {
 		if err := l.tryOffload(r); err != nil && typ.attr.Offload == OffloadAlways {
 			return nil, fmt.Errorf("mpi: offload required but unavailable: %w", err)
 		}
@@ -221,23 +239,23 @@ func (l *Lib) PostRecv(typ *Type, count int, match portals.MatchBits, buf []byte
 	return r, nil
 }
 
-// tryOffload builds the offload state, allocates NIC memory (with LRU
+// tryOffload instantiates the handle's offload state (built once per
+// (handle, count) by the session), allocates NIC memory (with LRU
 // eviction) and appends the processing entry.
 func (l *Lib) tryOffload(r *Recv) error {
-	eps := l.epsilon
-	if r.typ.attr.Epsilon > 0 {
-		eps = r.typ.attr.Epsilon
-	}
-	off, err := core.BuildOffload(r.typ.strategy, core.BuildParams{
-		Type: r.typ.ddt, Count: r.count,
-		NIC: l.nicCfg, Cost: l.cost, Host: l.host, Epsilon: eps,
-	})
+	off, err := r.typ.handle.Instantiate(r.count)
 	if err != nil {
 		return err
 	}
 	// The state depends on the datatype, the count and the heuristic
-	// parameters: distinct attribute settings get distinct NIC entries.
-	key := fmt.Sprintf("%s/x%d/e%g/%v", r.typ.ddt.Signature(), r.count, eps, r.typ.strategy)
+	// parameters: distinct attribute settings get distinct NIC entries,
+	// keyed by the EFFECTIVE epsilon so an explicit attribute equal to
+	// the session default shares the default's entry.
+	eps := r.typ.attr.Epsilon
+	if eps == 0 {
+		eps = core.NewSessionConfig().Epsilon
+	}
+	key := fmt.Sprintf("%s/x%d/e%g/%v", r.typ.ddt.Signature(), r.count, eps, r.typ.Strategy())
 	if _, err := l.alloc.Allocate(key, off.Ctx.NICMemBytes, r.typ.attr.Priority); err != nil {
 		return err
 	}

@@ -1,10 +1,32 @@
 // Package nic is the discrete-event model of the paper's sPIN-capable
-// 200 Gbit/s NIC (Fig. 1): an inbound engine that parses packets and runs
-// Portals 4 matching, a scheduler that maps virtual HPUs onto physical
-// Handler Processing Units under the default or blocked round-robin policy,
-// a multi-channel DMA write engine feeding a PCIe Gen4 x32 host interface,
-// and the non-processing RDMA path. It substitutes for the Cray Slingshot
-// SST model + gem5 setup of the paper's Sec. 5.1.
+// 200 Gbit/s NIC (Fig. 1). The model is symmetric — the paper's offload
+// builds packets with the same datatype walk the receiver scatters with —
+// so the package is organized around a direction-generic device core
+// (device: the physical HPU pool with FIFO dispatch of virtual HPUs, and
+// the NIC-memory accounting of resident execution contexts) with one
+// specialization per direction:
+//
+//   - rxDevice (device.go) is the receive side: an inbound engine that
+//     parses packets and runs Portals 4 matching, payload handlers
+//     scattering into host memory through a multi-channel DMA write
+//     engine and a PCIe Gen4 x32 host interface, and the non-processing
+//     RDMA path. Messages of one ReceiveBatch contend for the inbound
+//     parser, the HPUs, the DMA channels, the PCIe link and NIC memory.
+//   - txDevice (tx.go) is the send side: gather handlers resolving a
+//     packet's contiguous source regions (outbound sPIN), or CPU-paced
+//     pack/streaming pipelines, fetching host data over the PCIe read
+//     path and injecting packets in stream order through the shared wire.
+//     Messages of one SendBatch contend for the HPUs, the host read path,
+//     the injection link and NIC memory.
+//
+// Devices are created per simulation and live for one residency pass: a
+// batch constructs the device, runs every message against it, and reads
+// per-message results after the engine drains. The two halves compose:
+// RunCoupled joins a txDevice and an rxDevice through the fabric (each
+// injection becomes an arrival one wire latency later), and RunExchange
+// shards a cluster of endpoints — each one domain owning both halves —
+// under conservative wire-latency lookahead. It substitutes for the Cray
+// Slingshot SST model + gem5 setup of the paper's Sec. 5.1.
 package nic
 
 import (

@@ -69,11 +69,43 @@ func (w *writeBuffer) Write(hostOff int64, data []byte, flags spin.WriteFlags) {
 	w.ops = append(w.ops, writeOp{hostOff: hostOff, data: data, flags: flags})
 }
 
+// readOp is one buffered gather-handler DMA read.
+type readOp struct {
+	hostOff int64
+	n       int64
+}
+
+// readBuffer collects the DMA reads of one gather-handler execution (the
+// sender-side mirror of writeBuffer): Read performs the functional fetch
+// from the message's host source immediately and records the request for
+// the timing layer. src is rebound per handler run; nil runs timing-only
+// (the functional gather was pre-staged, e.g. for a sharded exchange).
+type readBuffer struct {
+	ops []readOp
+	src []byte
+}
+
+func (r *readBuffer) Read(hostOff int64, dst []byte) {
+	if r.src != nil {
+		copy(dst, r.src[hostOff:hostOff+int64(len(dst))])
+	}
+	r.ops = append(r.ops, readOp{hostOff: hostOff, n: int64(len(dst))})
+}
+
+// hpuOwner is the per-message side of the HPU dispatch loop: the device
+// hands a free physical HPU to a ready vHPU by calling its owner's runNext,
+// which executes the head-of-queue packet's handler. Both directions of the
+// symmetric device model implement it — rxSim runs scatter handlers, txSim
+// runs gather handlers — against the same pool.
+type hpuOwner interface {
+	runNext(v *vhpu)
+}
+
 // vhpu is a scheduling unit: a virtual HPU owning a FIFO of packets. It
 // carries its message simulation so a handler-end event needs only the
 // vhpu as context; the physical HPUs it competes for belong to the device.
 type vhpu struct {
-	s        *rxSim
+	o        hpuOwner
 	self     sim.Ctx
 	id       int
 	queue    []fabric.Packet
@@ -117,7 +149,7 @@ func init() {
 	})
 	kindRxHandlerEnd = sim.RegisterKind("nic.rxHandlerEnd", func(ctx any, a, _ int64) {
 		v := ctx.(*vhpu)
-		s := v.s
+		s := v.o.(*rxSim)
 		s.dev.cfg.Trace.add(TraceEvent{At: s.dev.eng.Now(), Kind: TraceHandlerEnd, Pkt: int(a), VHPU: v.id})
 		s.handlerDone(v)
 	})
@@ -140,28 +172,26 @@ func init() {
 	})
 }
 
-// rxDevice is the per-NIC state of a receive simulation: the inbound
-// parser, the physical HPU pool with its dispatch queue, and the DMA
-// engine toward host memory. A single-message receive owns one device; a
-// batched endpoint flush (ReceiveBatch) runs every posted message against
-// the same device in one residency pass, so concurrent messages contend
-// for the inbound parser, the HPUs, the DMA channels and the PCIe link —
-// and their execution contexts must fit NIC memory together.
-type rxDevice struct {
+// device is the direction-generic core of one side of a simulated NIC:
+// the physical HPU pool with its dispatch queue, the vHPU backing storage,
+// the reused handler-argument scratch, and the NIC-memory accounting of
+// resident execution contexts. Both device directions — rxDevice parsing
+// and scattering inbound messages, txDevice gathering and injecting
+// outbound ones — are built on this core, so their messages contend for
+// HPUs and NIC memory through identical machinery.
+type device struct {
 	cfg Config
 	eng *sim.Engine
-
-	inbound     sim.Server
-	dma         *dmaEngine
-	mtuCopyTime sim.Time // NICMemCopyTime(MTU), the per-packet staging cost
 
 	freeHPUs int
 	ready    []*vhpu
 	vslab    []vhpu // chunked backing storage for new vhpus
 
-	// wb and args are reused across handler executions (the handlers run
-	// synchronously and must not retain them).
+	// wb, rb and args are reused across handler executions (the handlers
+	// run synchronously and must not retain them): wb collects the scatter
+	// writes of a receive handler, rb the gather reads of a send handler.
 	wb   writeBuffer
+	rb   readBuffer
 	args spin.HandlerArgs
 
 	// resCtxs tracks the distinct execution contexts resident in NIC
@@ -172,24 +202,20 @@ type rxDevice struct {
 	resCtxBytes int64
 }
 
-// newRxDevice builds the shared device state on eng.
-func newRxDevice(eng *sim.Engine, cfg Config) (*rxDevice, error) {
+// initDevice validates the configuration and seeds the HPU pool.
+func (d *device) initDevice(eng *sim.Engine, cfg Config) error {
 	if cfg.HPUs <= 0 {
-		return nil, fmt.Errorf("nic: %d HPUs", cfg.HPUs)
+		return fmt.Errorf("nic: %d HPUs", cfg.HPUs)
 	}
-	d := &rxDevice{
-		cfg:      cfg,
-		eng:      eng,
-		freeHPUs: cfg.HPUs,
-	}
-	d.mtuCopyTime = cfg.NICMemCopyTime(cfg.Fabric.MTU)
-	d.dma = newDMAEngine(eng, cfg.PCIe, cfg.Channels(), cfg.DMAChannelOccupancy, cfg.CollectDMASeries)
-	return d, nil
+	d.cfg = cfg
+	d.eng = eng
+	d.freeHPUs = cfg.HPUs
+	return nil
 }
 
 // addContext accounts ctx as resident in NIC memory (idempotent per
 // context) and returns the total resident state volume.
-func (d *rxDevice) addContext(ctx *spin.ExecutionContext) int64 {
+func (d *device) addContext(ctx *spin.ExecutionContext) int64 {
 	for _, have := range d.resCtxs {
 		if have == ctx {
 			return d.resCtxBytes
@@ -198,6 +224,106 @@ func (d *rxDevice) addContext(ctx *spin.ExecutionContext) int64 {
 	d.resCtxs = append(d.resCtxs, ctx)
 	d.resCtxBytes += ctx.NICMemBytes
 	return d.resCtxBytes
+}
+
+// reserveContext is the NIC-memory admission check shared by both device
+// directions: the context alone must fit, and so must the batch of
+// distinct contexts resident together.
+func (d *device) reserveContext(ctx *spin.ExecutionContext) error {
+	if ctx.NICMemBytes > d.cfg.NICMemBytes {
+		return fmt.Errorf("nic: context needs %d bytes of NIC memory, have %d",
+			ctx.NICMemBytes, d.cfg.NICMemBytes)
+	}
+	if total := d.addContext(ctx); total > d.cfg.NICMemBytes {
+		return fmt.Errorf("nic: batched contexts need %d bytes of NIC memory together, have %d",
+			total, d.cfg.NICMemBytes)
+	}
+	return nil
+}
+
+// vhpuFor returns the scheduling unit for vid in a message's dense vHPU
+// table, carving a new one from the device slab on first use.
+func (d *device) vhpuFor(o hpuOwner, vhpus *[]*vhpu, vid int) *vhpu {
+	for vid >= len(*vhpus) {
+		*vhpus = append(*vhpus, nil)
+	}
+	v := (*vhpus)[vid]
+	if v == nil {
+		if len(d.vslab) == 0 {
+			d.vslab = make([]vhpu, 64)
+		}
+		v = &d.vslab[0]
+		d.vslab = d.vslab[1:]
+		v.o, v.id = o, vid
+		v.queue = v.inline[:0]
+		v.self = d.eng.Bind(v)
+		(*vhpus)[vid] = v
+	}
+	return v
+}
+
+// enqueueVHPU appends a packet to v's FIFO and marks it ready.
+func (d *device) enqueueVHPU(v *vhpu, p fabric.Packet) {
+	v.queue = append(v.queue, p)
+	if !v.running && !v.enqueued {
+		v.enqueued = true
+		d.ready = append(d.ready, v)
+	}
+}
+
+// dispatch hands free physical HPUs to ready vHPUs, FIFO across every
+// message resident on the device.
+func (d *device) dispatch() {
+	for d.freeHPUs > 0 && len(d.ready) > 0 {
+		v := d.ready[0]
+		d.ready = d.ready[1:]
+		v.enqueued = false
+		if len(v.queue) == 0 || v.running {
+			continue
+		}
+		v.running = true
+		d.freeHPUs--
+		v.o.runNext(v)
+	}
+}
+
+// handlerFinished releases or reuses v's HPU after a handler execution: a
+// vHPU keeps its HPU while it has queued packets, otherwise the HPU goes
+// back to the pool and the dispatcher runs.
+func (d *device) handlerFinished(v *vhpu) {
+	if len(v.queue) > 0 {
+		v.o.runNext(v)
+		return
+	}
+	v.running = false
+	d.freeHPUs++
+	d.dispatch()
+}
+
+// rxDevice is the per-NIC receive side: the shared device core plus the
+// inbound parser and the DMA write engine toward host memory. A
+// single-message receive owns one device; a batched endpoint flush
+// (ReceiveBatch) runs every posted message against the same device in one
+// residency pass, so concurrent messages contend for the inbound parser,
+// the HPUs, the DMA channels and the PCIe link — and their execution
+// contexts must fit NIC memory together.
+type rxDevice struct {
+	device
+
+	inbound     sim.Server
+	dma         *dmaEngine
+	mtuCopyTime sim.Time // NICMemCopyTime(MTU), the per-packet staging cost
+}
+
+// newRxDevice builds the shared device state on eng.
+func newRxDevice(eng *sim.Engine, cfg Config) (*rxDevice, error) {
+	d := &rxDevice{}
+	if err := d.initDevice(eng, cfg); err != nil {
+		return nil, err
+	}
+	d.mtuCopyTime = cfg.NICMemCopyTime(cfg.Fabric.MTU)
+	d.dma = newDMAEngine(eng, cfg.PCIe, cfg.Channels(), cfg.DMAChannelOccupancy, cfg.CollectDMASeries)
+	return d, nil
 }
 
 // rxSim is the per-message state of a receive simulation: the match
@@ -224,6 +350,12 @@ type rxSim struct {
 	// the message's Done time; the sharded cluster path uses it to mail
 	// the completion to the host domain.
 	notify func(done sim.Time)
+
+	// deferFirstByte marks a coupled receive whose arrival times are filled
+	// in by a sender-side simulation as packets cross the fabric: FirstByte
+	// is then derived from the header packet's actual arrival instead of
+	// the pre-computed schedule.
+	deferFirstByte bool
 
 	payloadsLeft      int
 	completionArrived bool
@@ -377,6 +509,9 @@ func (s *rxSim) onArrival(slot int) {
 	p := a.Packet
 
 	if p.Header {
+		if s.deferFirstByte {
+			s.res.FirstByte = a.At - d.cfg.Fabric.PacketTime(p.Size)
+		}
 		me, list, ok := s.pt.Match(s.bits)
 		if !ok {
 			s.res.Dropped = true
@@ -391,14 +526,8 @@ func (s *rxSim) onArrival(slot int) {
 		s.ctx = me.Ctx
 		s.res.MatchedList = list
 		if s.ctx != nil {
-			if s.ctx.NICMemBytes > d.cfg.NICMemBytes {
-				s.fail(fmt.Errorf("nic: context needs %d bytes of NIC memory, have %d",
-					s.ctx.NICMemBytes, d.cfg.NICMemBytes))
-				return
-			}
-			if total := d.addContext(s.ctx); total > d.cfg.NICMemBytes {
-				s.fail(fmt.Errorf("nic: batched contexts need %d bytes of NIC memory together, have %d",
-					total, d.cfg.NICMemBytes))
+			if err := d.reserveContext(s.ctx); err != nil {
+				s.fail(err)
 				return
 			}
 		}
@@ -470,46 +599,12 @@ func (s *rxSim) enqueue(p fabric.Packet) {
 	if vid < 0 {
 		vid = p.Index // default policy: every packet independent
 	}
-	for vid >= len(s.vhpus) {
-		s.vhpus = append(s.vhpus, nil)
-	}
-	v := s.vhpus[vid]
-	if v == nil {
-		if len(d.vslab) == 0 {
-			d.vslab = make([]vhpu, 64)
-		}
-		v = &d.vslab[0]
-		d.vslab = d.vslab[1:]
-		v.s, v.id = s, vid
-		v.queue = v.inline[:0]
-		v.self = d.eng.Bind(v)
-		s.vhpus[vid] = v
-	}
-	v.queue = append(v.queue, p)
-	if !v.running && !v.enqueued {
-		v.enqueued = true
-		d.ready = append(d.ready, v)
-	}
+	v := d.vhpuFor(s, &s.vhpus, vid)
+	d.enqueueVHPU(v, p)
 	if p.Completion {
 		s.completionArrived = true
 	}
 	d.dispatch()
-}
-
-// dispatch hands free physical HPUs to ready vHPUs, FIFO across every
-// message resident on the device.
-func (d *rxDevice) dispatch() {
-	for d.freeHPUs > 0 && len(d.ready) > 0 {
-		v := d.ready[0]
-		d.ready = d.ready[1:]
-		v.enqueued = false
-		if len(v.queue) == 0 || v.running {
-			continue
-		}
-		v.running = true
-		d.freeHPUs--
-		v.s.runNext(v)
-	}
 }
 
 // runNext executes the payload handler for the head of v's queue.
@@ -522,6 +617,7 @@ func (s *rxSim) runNext(v *vhpu) {
 	d.args = spin.HandlerArgs{
 		StreamOff: p.StreamOff,
 		Payload:   s.packed[p.StreamOff : p.StreamOff+p.Size],
+		PktBytes:  p.Size,
 		MsgSize:   s.res.MsgBytes,
 		PktIndex:  p.Index,
 		VHPU:      v.id,
@@ -593,14 +689,7 @@ func (s *rxSim) handlerDone(v *vhpu) {
 	d := s.dev
 	s.resident--
 	s.payloadsLeft--
-
-	if len(v.queue) > 0 {
-		s.runNext(v) // vHPU keeps its HPU while it has packets
-	} else {
-		v.running = false
-		d.freeHPUs++
-		d.dispatch()
-	}
+	d.handlerFinished(v)
 
 	if s.payloadsLeft == 0 && s.completionArrived && !s.completionDone {
 		s.completionDone = true

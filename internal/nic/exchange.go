@@ -1,0 +1,275 @@
+package nic
+
+import (
+	"errors"
+	"fmt"
+
+	"spinddt/internal/fabric"
+	"spinddt/internal/sim"
+)
+
+// This file composes the two batching device passes with the sharded
+// multi-NIC cluster: every endpoint of an exchange is one simulation
+// domain owning BOTH halves of its NIC — an rxDevice its inbound batch
+// contends on (ReceiveBatch semantics) and a txDevice its outbound batch
+// contends on (SendBatch semantics) — and endpoint domains are joined by
+// the fabric: an outbound packet injected at one endpoint arrives at its
+// destination endpoint exactly one wire latency later, carried by a
+// cross-domain event. A host domain collects completion notifications over
+// the PCIe round trip. Lookaheads come from the link models (wire latency
+// between endpoints, notify latency toward the host), so serial and
+// parallel executors fire identical event sequences and the exchange
+// renders byte-identically at any worker count.
+
+// ExchangeSend is one outbound message of an exchange endpoint, coupled to
+// a receive slot of a peer endpoint: the send's packet injections cross
+// the fabric and become the destination message's arrival schedule.
+//
+// Cross-domain coupling forbids in-simulation functional data movement
+// (the sending and receiving domains would share a mutable buffer), so
+// the wire stream must be pre-staged: Msg.Src and Msg.Packed must be nil
+// and the destination receive's Packed buffer already holds the packed
+// bytes — the gather handlers run timing-only against it.
+type ExchangeSend struct {
+	Msg TxMessage
+	// Dst names the receiving endpoint and the index of the coupled
+	// message in that endpoint's Recvs.
+	Dst     int
+	DstRecv int
+}
+
+// ExchangeEndpoint is one NIC domain of an exchange.
+type ExchangeEndpoint struct {
+	Cfg Config
+	// Recvs is the endpoint's inbound batch, sharing its rxDevice. A
+	// message targeted by a peer's ExchangeSend must leave Arrivals nil
+	// (its schedule comes from the fabric) — Start and Order are then
+	// ignored; other messages are scheduled from their Start as in
+	// ReceiveBatch.
+	Recvs []BatchMessage
+	// Sends is the endpoint's outbound batch, sharing its txDevice.
+	Sends []ExchangeSend
+}
+
+// ExchangeResult reports a sharded exchange.
+type ExchangeResult struct {
+	// Recvs and Sends hold the per-endpoint, per-message results in input
+	// order.
+	Recvs [][]Result
+	Sends [][]SendResult
+	// Notified is the time the host domain observed each receive's
+	// completion (Done plus the PCIe notification round trip), indexed
+	// like Recvs.
+	Notified [][]sim.Time
+	// Makespan is the latest event fired in any domain; Windows the
+	// number of conservative synchronization rounds (executor-invariant).
+	Makespan sim.Time
+	Windows  uint64
+}
+
+// RunExchange simulates the whole exchange in one sharded simulation
+// executed by up to workers goroutines (workers <= 1 runs the serial
+// executor; both fire identical event sequences).
+func RunExchange(eps []ExchangeEndpoint, workers int) (ExchangeResult, error) {
+	if len(eps) == 0 {
+		return ExchangeResult{}, errors.New("nic: empty exchange")
+	}
+	for i := range eps {
+		if t := eps[i].Cfg.Trace; t != nil {
+			for j := range eps[:i] {
+				if eps[j].Cfg.Trace == t {
+					return ExchangeResult{}, fmt.Errorf("nic: endpoints %d and %d share one Trace; exchange endpoints need distinct traces", j, i)
+				}
+			}
+		}
+	}
+
+	// coupled[e][m] marks receive m of endpoint e as fabric-paced.
+	coupled := make([][]bool, len(eps))
+	for e := range eps {
+		coupled[e] = make([]bool, len(eps[e].Recvs))
+	}
+	for e := range eps {
+		for si := range eps[e].Sends {
+			snd := &eps[e].Sends[si]
+			if snd.Dst < 0 || snd.Dst >= len(eps) {
+				return ExchangeResult{}, fmt.Errorf("nic: endpoint %d send %d targets endpoint %d of %d", e, si, snd.Dst, len(eps))
+			}
+			if snd.DstRecv < 0 || snd.DstRecv >= len(eps[snd.Dst].Recvs) {
+				return ExchangeResult{}, fmt.Errorf("nic: endpoint %d send %d targets receive %d of %d", e, si, snd.DstRecv, len(eps[snd.Dst].Recvs))
+			}
+			if coupled[snd.Dst][snd.DstRecv] {
+				return ExchangeResult{}, fmt.Errorf("nic: endpoint %d receive %d is paced by two sends", snd.Dst, snd.DstRecv)
+			}
+			if snd.Msg.Src != nil || snd.Msg.Packed != nil {
+				return ExchangeResult{}, fmt.Errorf("nic: endpoint %d send %d: exchange sends run timing-only (pre-stage the packed stream in the destination receive)", e, si)
+			}
+			coupled[snd.Dst][snd.DstRecv] = true
+		}
+	}
+
+	pe := sim.AcquireParallel(workers)
+	defer sim.ReleaseParallel(pe)
+
+	// Endpoint domains first, then the host domain (so makespan includes
+	// the final notification). A domain's lookahead is the tightest bound
+	// on its outgoing influence: the notify round trip toward the host,
+	// and — when it sends — its wire latency toward peer endpoints.
+	shards := make([]*sim.Shard, len(eps))
+	for e := range eps {
+		notifyLat := eps[e].Cfg.PCIe.NotifyLatency()
+		if notifyLat <= 0 {
+			return ExchangeResult{}, fmt.Errorf("nic: endpoint %d PCIe notify latency %v cannot synchronize a sharded exchange", e, notifyLat)
+		}
+		la := notifyLat
+		if len(eps[e].Sends) > 0 {
+			if wire := eps[e].Cfg.Fabric.WireLatency; wire <= 0 {
+				return ExchangeResult{}, fmt.Errorf("nic: endpoint %d wire latency %v cannot synchronize a sharded exchange", e, wire)
+			} else if wire < la {
+				la = wire
+			}
+		}
+		shards[e] = pe.NewShard(fmt.Sprintf("nic%d", e), la)
+	}
+	hostShard := pe.NewShard("host", sim.InfiniteLookahead)
+	hosts := make([]*clusterHost, len(eps))
+
+	rxDevs := make([]*rxDevice, len(eps))
+	txDevs := make([]*txDevice, len(eps))
+	rxSims := make([][]*rxSim, len(eps))
+	txSims := make([][]*txSim, len(eps))
+	var schedules [][]fabric.Arrival
+	defer func() { releaseSchedules(schedules) }()
+
+	// Receive side: every endpoint's inbound batch on its own device.
+	for e := range eps {
+		ep := &eps[e]
+		eng := &shards[e].Engine
+		var err error
+		rxDevs[e] = nil
+		if len(ep.Recvs) > 0 || len(ep.Sends) > 0 {
+			rxDevs[e], err = newRxDevice(eng, ep.Cfg)
+			if err != nil {
+				return ExchangeResult{}, fmt.Errorf("nic: endpoint %d: %w", e, err)
+			}
+			txDevs[e], err = newTxDevice(eng, ep.Cfg)
+			if err != nil {
+				return ExchangeResult{}, fmt.Errorf("nic: endpoint %d: %w", e, err)
+			}
+		}
+		hosts[e] = &clusterHost{shard: hostShard, notified: make([]sim.Time, len(ep.Recvs))}
+		hostCtx := hostShard.Bind(hosts[e])
+		notifyLat := ep.Cfg.PCIe.NotifyLatency()
+
+		rxSims[e] = make([]*rxSim, len(ep.Recvs))
+		for mi := range ep.Recvs {
+			m := &ep.Recvs[mi]
+			var s *rxSim
+			if coupled[e][mi] {
+				if m.Arrivals != nil {
+					return ExchangeResult{}, fmt.Errorf("nic: endpoint %d receive %d: coupled receive cannot carry an explicit arrival schedule", e, mi)
+				}
+				pkts, err := ep.Cfg.Fabric.Packetize(int64(len(m.Packed)))
+				if err != nil {
+					return ExchangeResult{}, fmt.Errorf("nic: endpoint %d receive %d: %w", e, mi, err)
+				}
+				arrivals := make([]fabric.Arrival, len(pkts))
+				for i := range pkts {
+					arrivals[i].Packet = pkts[i]
+				}
+				s, err = rxDevs[e].newMessage(m.PT, m.Bits, m.Packed, m.Host, arrivals)
+				if err != nil {
+					return ExchangeResult{}, fmt.Errorf("nic: endpoint %d receive %d: %w", e, mi, err)
+				}
+				s.deferFirstByte = true
+			} else {
+				arrivals := m.Arrivals
+				if arrivals == nil {
+					arrivals, err = ep.Cfg.Fabric.AppendSchedule(getArrivalBuf(), int64(len(m.Packed)), m.Start, m.Order)
+					if err != nil {
+						return ExchangeResult{}, fmt.Errorf("nic: endpoint %d receive %d: %w", e, mi, err)
+					}
+					schedules = append(schedules, arrivals)
+				}
+				s, err = rxDevs[e].newMessage(m.PT, m.Bits, m.Packed, m.Host, arrivals)
+				if err != nil {
+					return ExchangeResult{}, fmt.Errorf("nic: endpoint %d receive %d: %w", e, mi, err)
+				}
+				s.postArrivals()
+			}
+			idx, user, shard := int64(mi), m.Notify, shards[e]
+			s.notify = func(done sim.Time) {
+				if user != nil {
+					user(done)
+				}
+				shard.PostRemote(hostShard, done+notifyLat, kindClusterNotify, hostCtx, idx, 0)
+			}
+			rxSims[e][mi] = s
+		}
+	}
+
+	// Send side: every endpoint's outbound batch on its own device, each
+	// injection mailed to its destination endpoint's receive.
+	for e := range eps {
+		ep := &eps[e]
+		txSims[e] = make([]*txSim, len(ep.Sends))
+		for si := range ep.Sends {
+			snd := &ep.Sends[si]
+			dstRx := rxSims[snd.Dst][snd.DstRecv]
+			if int64(len(dstRx.packed)) != snd.Msg.MsgBytes {
+				return ExchangeResult{}, fmt.Errorf("nic: endpoint %d send %d injects %d bytes, receive expects %d",
+					e, si, snd.Msg.MsgBytes, len(dstRx.packed))
+			}
+			if ep.Cfg.Fabric.MTU != eps[snd.Dst].Cfg.Fabric.MTU {
+				return ExchangeResult{}, fmt.Errorf("nic: endpoint %d MTU %d differs from endpoint %d MTU %d",
+					e, ep.Cfg.Fabric.MTU, snd.Dst, eps[snd.Dst].Cfg.Fabric.MTU)
+			}
+			m := snd.Msg // local copy: the notify hook must not escape into the caller's slice
+			src, dst, wire := shards[e], shards[snd.Dst], ep.Cfg.Fabric.WireLatency
+			user := m.Notify
+			m.Notify = func(pkt int, injected sim.Time) {
+				if user != nil {
+					user(pkt, injected)
+				}
+				at := injected + wire
+				src.PostRemote(dst, at, kindRxArrivalAt, dstRx.self, int64(pkt), int64(at))
+			}
+			s, err := txDevs[e].newMessage(&m)
+			if err != nil {
+				return ExchangeResult{}, fmt.Errorf("nic: endpoint %d send %d: %w", e, si, err)
+			}
+			s.postLaunch(&m)
+			txSims[e][si] = s
+		}
+	}
+
+	makespan := pe.Run()
+
+	res := ExchangeResult{
+		Recvs:    make([][]Result, len(eps)),
+		Sends:    make([][]SendResult, len(eps)),
+		Notified: make([][]sim.Time, len(eps)),
+		Makespan: makespan,
+		Windows:  pe.Windows(),
+	}
+	for e := range eps {
+		res.Notified[e] = hosts[e].notified
+		res.Recvs[e] = make([]Result, len(rxSims[e]))
+		for mi, s := range rxSims[e] {
+			r, err := s.finish()
+			if err != nil {
+				return ExchangeResult{}, fmt.Errorf("nic: endpoint %d receive %d: %w", e, mi, err)
+			}
+			res.Recvs[e][mi] = r
+		}
+		res.Sends[e] = make([]SendResult, len(txSims[e]))
+		for si, s := range txSims[e] {
+			r, err := s.finish()
+			if err != nil {
+				return ExchangeResult{}, fmt.Errorf("nic: endpoint %d send %d: %w", e, si, err)
+			}
+			res.Sends[e][si] = r
+		}
+	}
+	return res, nil
+}

@@ -4,11 +4,11 @@ import (
 	"errors"
 
 	"spinddt/internal/sim"
+	"spinddt/internal/spin"
 )
 
-// SendResult reports a sender-side simulation (the three tiles of the
-// paper's Fig. 4). Timing is computed with server algebra over the sender
-// CPU, the PCIe read path and the injection link.
+// SendResult reports one sender-side simulation (the three tiles of the
+// paper's Fig. 4), produced by the outbound device model (SendBatch).
 type SendResult struct {
 	MsgBytes int64
 	// Injected is when the last bit of the message left the sender NIC.
@@ -36,6 +36,16 @@ func (s SendResult) ThroughputGbps() float64 {
 	return float64(s.MsgBytes) * 8 / s.Injected.Seconds() / 1e9
 }
 
+// sendOne runs a single message through a fresh outbound device — the
+// uncontended baseline the three classic entry points report.
+func sendOne(cfg Config, m TxMessage) (SendResult, error) {
+	results, err := SendBatch(cfg, []TxMessage{m})
+	if err != nil {
+		return SendResult{}, err
+	}
+	return results[0], nil
+}
+
 // SendPacked models the classic pack+send (Fig. 4, left): the sender CPU
 // packs the datatype into a contiguous buffer (packTime), then the NIC
 // streams it, pipelining PCIe reads with line-rate injection.
@@ -43,21 +53,7 @@ func SendPacked(cfg Config, msgBytes int64, packTime sim.Time) (SendResult, erro
 	if msgBytes <= 0 {
 		return SendResult{}, errors.New("nic: empty message")
 	}
-	res := SendResult{MsgBytes: msgBytes, CPUBusy: packTime, Regions: 1}
-	var pcie, link sim.Server
-	start := packTime + cfg.PCIe.ReadLatency // first DMA read round trip
-	npkt := cfg.Fabric.NumPackets(msgBytes)
-	for i := 0; i < npkt; i++ {
-		size := cfg.Fabric.MTU
-		if off := int64(i) * cfg.Fabric.MTU; off+size > msgBytes {
-			size = msgBytes - off
-		}
-		_, fetched := pcie.Acquire(start, cfg.PCIe.ByteTime(size))
-		_, injected := link.Acquire(fetched, cfg.Fabric.PacketTime(size))
-		res.Injected = injected
-		res.PacketInjections = append(res.PacketInjections, injected)
-	}
-	return res, nil
+	return sendOne(cfg, TxMessage{Kind: TxPacked, MsgBytes: msgBytes, PackTime: packTime})
 }
 
 // SendStreaming models streaming puts (Fig. 4, middle): the sender CPU
@@ -65,36 +61,14 @@ func SendPacked(cfg Config, msgBytes int64, packTime sim.Time) (SendResult, erro
 // PtlSPutStream while the NIC fetches and injects already-announced data.
 // The CPU and the wire pipeline; whichever is slower paces the send.
 func SendStreaming(cfg Config, regions []IovecRegion, findPerRegion sim.Time) (SendResult, error) {
-	if len(regions) == 0 {
-		return SendResult{}, errors.New("nic: no regions")
+	ready, cpu, msgBytes, err := StreamingSchedule(cfg, regions, findPerRegion)
+	if err != nil {
+		return SendResult{}, err
 	}
-	res := SendResult{Regions: int64(len(regions))}
-	var pcie, link sim.Server
-	cpu := sim.Time(0)
-	var pktBytes int64 // bytes accumulated toward the current packet
-	for _, r := range regions {
-		if r.Size <= 0 {
-			return SendResult{}, errors.New("nic: empty region")
-		}
-		cpu += findPerRegion // PtlSPutStream call after locating the region
-		res.MsgBytes += r.Size
-		pktBytes += r.Size
-		for pktBytes >= cfg.Fabric.MTU {
-			pktBytes -= cfg.Fabric.MTU
-			_, fetched := pcie.Acquire(cpu+cfg.PCIe.ReadLatency, cfg.PCIe.ByteTime(cfg.Fabric.MTU))
-			_, injected := link.Acquire(fetched, cfg.Fabric.PacketTime(cfg.Fabric.MTU))
-			res.Injected = injected
-			res.PacketInjections = append(res.PacketInjections, injected)
-		}
-	}
-	if pktBytes > 0 {
-		_, fetched := pcie.Acquire(cpu+cfg.PCIe.ReadLatency, cfg.PCIe.ByteTime(pktBytes))
-		_, injected := link.Acquire(fetched, cfg.Fabric.PacketTime(pktBytes))
-		res.Injected = injected
-		res.PacketInjections = append(res.PacketInjections, injected)
-	}
-	res.CPUBusy = cpu
-	return res, nil
+	return sendOne(cfg, TxMessage{
+		Kind: TxStreaming, MsgBytes: msgBytes,
+		ReadyAt: ready, CPUTime: cpu, Regions: int64(len(regions)),
+	})
 }
 
 // SendProcessPut models outbound sPIN (Fig. 4, right; Sec. 3.1.2): a
@@ -107,28 +81,11 @@ func SendProcessPut(cfg Config, msgBytes int64, handlerTime func(pkt int, bytes 
 	if msgBytes <= 0 {
 		return SendResult{}, errors.New("nic: empty message")
 	}
-	if cfg.HPUs <= 0 {
-		return SendResult{}, errors.New("nic: no HPUs")
+	ctx := &spin.ExecutionContext{
+		Name: "outbound",
+		Payload: func(a *spin.HandlerArgs) spin.Result {
+			return spin.Result{Runtime: handlerTime(a.PktIndex, a.PktBytes)}
+		},
 	}
-	res := SendResult{MsgBytes: msgBytes}
-	hpus := sim.NewMultiServer(cfg.HPUs)
-	var pcie, link sim.Server
-	npkt := cfg.Fabric.NumPackets(msgBytes)
-	cmd := cfg.HERDispatch // PtlProcessPut command reaches the outbound engine
-	for i := 0; i < npkt; i++ {
-		size := cfg.Fabric.MTU
-		if off := int64(i) * cfg.Fabric.MTU; off+size > msgBytes {
-			size = msgBytes - off
-		}
-		ht := handlerTime(i, size)
-		res.HPUBusy += ht
-		res.HandlerRuns++
-		_, handlerDone := hpus.Acquire(cmd, ht)
-		_, fetched := pcie.Acquire(handlerDone+cfg.PCIe.ReadLatency, cfg.PCIe.ByteTime(size))
-		// Packets must leave in order: the link server serializes them.
-		_, injected := link.Acquire(fetched, cfg.Fabric.PacketTime(size))
-		res.Injected = injected
-		res.PacketInjections = append(res.PacketInjections, injected)
-	}
-	return res, nil
+	return sendOne(cfg, TxMessage{Kind: TxProcessPut, MsgBytes: msgBytes, Ctx: ctx})
 }

@@ -1,0 +1,507 @@
+package nic
+
+import (
+	"errors"
+	"fmt"
+
+	"spinddt/internal/fabric"
+	"spinddt/internal/sim"
+	"spinddt/internal/spin"
+)
+
+// This file is the sender half of the symmetric device model: a txDevice
+// mirrors the rxDevice — the same HPU pool, the same NIC-memory accounting
+// of resident execution contexts — with the data path reversed. Gather
+// handlers resolve a packet's contiguous source regions in host memory and
+// fetch them over the PCIe read path; packets then leave, in stream order,
+// through the shared injection link. A batched send (SendBatch) runs every
+// posted message against ONE device, so concurrent sends contend for the
+// HPUs, the host read path, the wire and NIC memory — exactly the way a
+// batched receive contends on the rxDevice.
+//
+// The three message kinds are the paper's Fig. 4 tiles. For a single
+// uncontended message each kind reproduces, tick for tick, the server
+// algebra of the original closed-form sender models (SendPacked,
+// SendStreaming, SendProcessPut — now thin wrappers over a one-message
+// batch): the device simulation generalizes them, it does not re-tune
+// them.
+
+// TxKind selects the sender-side pipeline of one outbound message.
+type TxKind int
+
+const (
+	// TxPacked is the classic pack+send (Fig. 4, left): the sender CPU
+	// packs the datatype into a contiguous buffer, then the NIC streams
+	// it, pipelining PCIe reads with line-rate injection.
+	TxPacked TxKind = iota
+	// TxStreaming is streaming puts (Fig. 4, middle): the sender CPU
+	// walks the datatype announcing regions while the NIC fetches and
+	// injects already-announced data.
+	TxStreaming
+	// TxProcessPut is outbound sPIN (Fig. 4, right): gather handlers on
+	// the sender HPUs locate each packet's source regions and stream them
+	// out; the CPU only issues the control-plane operation.
+	TxProcessPut
+)
+
+// TxMessage describes one message of a batched send: the pipeline kind,
+// when its control-plane operation is issued, and the kind's parameters.
+type TxMessage struct {
+	Kind TxKind
+	// MsgBytes is the packed message size.
+	MsgBytes int64
+	// Start is when the send is issued (the pack begins / the first region
+	// is announced / the PtlProcessPut command is posted).
+	Start sim.Time
+
+	// PackTime is the CPU pack duration (TxPacked).
+	PackTime sim.Time
+
+	// ReadyAt holds, per packet and relative to Start, the CPU time at
+	// which the packet's last region has been announced (TxStreaming;
+	// StreamingSchedule computes it from a region walk). CPUTime is the
+	// total CPU busy time and Regions the announced region count.
+	ReadyAt []sim.Time
+	CPUTime sim.Time
+	Regions int64
+
+	// Ctx is the gather execution context (TxProcessPut): its Payload
+	// handler resolves each packet's source regions, issues DMA reads
+	// through HandlerArgs.DMARead and returns the modeled HPU runtime. The
+	// context's state is resident in NIC memory for the whole batch.
+	Ctx *spin.ExecutionContext
+	// Src is the host source buffer the gather reads from; Packed is the
+	// outgoing wire stream the gather fills. Both may be nil to run the
+	// gather timing-only (the functional pack was pre-staged — required
+	// for cross-domain coupling in a sharded exchange).
+	Src    []byte
+	Packed []byte
+
+	// Notify, when non-nil, observes each packet's injection completion
+	// in stream order (the fabric coupling hook: a coupled transfer turns
+	// injections into receiver-side arrivals).
+	Notify func(pkt int, injected sim.Time)
+}
+
+// txDevice is the per-NIC send side: the shared device core plus the host
+// read path (DMA reads fetching packet source data over PCIe) and the
+// injection link every outbound packet serializes through.
+type txDevice struct {
+	device
+
+	hostRead sim.Server // PCIe read path toward host memory
+	wire     sim.Server // injection link
+}
+
+// newTxDevice builds the shared outbound device state on eng.
+func newTxDevice(eng *sim.Engine, cfg Config) (*txDevice, error) {
+	d := &txDevice{}
+	if err := d.initDevice(eng, cfg); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// txSim is the per-message state of a send simulation: the packet pipeline
+// bookkeeping (which packets are ready, which have entered the in-order
+// fetch+inject stage) and the per-message result. Its vHPUs occupy the
+// device's physical HPUs while gather handlers run (TxProcessPut only).
+type txSim struct {
+	dev  *txDevice
+	self sim.Ctx
+
+	kind   TxKind
+	ctx    *spin.ExecutionContext
+	src    []byte
+	packed []byte
+	npkt   int
+
+	// ready / readyOK record when each packet became eligible for its host
+	// fetch (CPU announce or gather-handler completion); next is the first
+	// packet not yet advanced through the in-order fetch+inject stage.
+	ready   []sim.Time
+	readyOK []bool
+	next    int
+	left    int // packets not yet injected
+
+	vhpus []*vhpu
+
+	notify func(pkt int, injected sim.Time)
+	// notifyDone, when non-nil, is called once at the last injection; the
+	// sharded path uses it to mail the completion to the host domain.
+	notifyDone func(at sim.Time)
+
+	res SendResult
+	err error
+}
+
+// Typed event kinds of the send pipeline.
+var (
+	kindTxReady      sim.Kind // a = packet index: CPU made the packet fetchable
+	kindTxHER        sim.Kind // a = packet index: gather handler schedulable
+	kindTxHandlerEnd sim.Kind // ctx = *vhpu, a = packet index
+	kindTxInjected   sim.Kind // a = packet index: last bit left the NIC
+)
+
+func init() {
+	kindTxReady = sim.RegisterKind("nic.txReady", func(ctx any, a, _ int64) {
+		s := ctx.(*txSim)
+		if s.err != nil {
+			return
+		}
+		s.packetReady(int(a))
+	})
+	kindTxHER = sim.RegisterKind("nic.txHER", func(ctx any, a, _ int64) {
+		ctx.(*txSim).enqueue(int(a))
+	})
+	kindTxHandlerEnd = sim.RegisterKind("nic.txHandlerEnd", func(ctx any, a, _ int64) {
+		v := ctx.(*vhpu)
+		v.o.(*txSim).gatherDone(v, int(a))
+	})
+	kindTxInjected = sim.RegisterKind("nic.txInjected", func(ctx any, a, _ int64) {
+		ctx.(*txSim).injected(int(a))
+	})
+}
+
+// newMessage validates m and adds one message simulation to the device.
+func (d *txDevice) newMessage(m *TxMessage) (*txSim, error) {
+	if m.MsgBytes <= 0 {
+		return nil, errors.New("nic: empty message")
+	}
+	npkt := d.cfg.Fabric.NumPackets(m.MsgBytes)
+	s := &txSim{
+		dev:    d,
+		kind:   m.Kind,
+		ctx:    m.Ctx,
+		src:    m.Src,
+		packed: m.Packed,
+		npkt:   npkt,
+		notify: m.Notify,
+	}
+	s.res.MsgBytes = m.MsgBytes
+	s.left = npkt
+	s.ready = make([]sim.Time, npkt)
+	s.readyOK = make([]bool, npkt)
+	s.res.PacketInjections = make([]sim.Time, npkt)
+
+	switch m.Kind {
+	case TxPacked:
+		s.res.CPUBusy = m.PackTime
+		s.res.Regions = 1
+	case TxStreaming:
+		if len(m.ReadyAt) != npkt {
+			return nil, fmt.Errorf("nic: streaming schedule has %d entries for %d packets", len(m.ReadyAt), npkt)
+		}
+		s.res.CPUBusy = m.CPUTime
+		s.res.Regions = m.Regions
+	case TxProcessPut:
+		if m.Ctx == nil || m.Ctx.Payload == nil {
+			return nil, errors.New("nic: process put needs a gather execution context")
+		}
+		if m.Packed != nil && int64(len(m.Packed)) != m.MsgBytes {
+			return nil, fmt.Errorf("nic: packed stream is %d bytes, message %d", len(m.Packed), m.MsgBytes)
+		}
+		if err := d.reserveContext(m.Ctx); err != nil {
+			return nil, err
+		}
+		s.vhpus = make([]*vhpu, 0, 4)
+	default:
+		return nil, fmt.Errorf("nic: unknown send kind %d", m.Kind)
+	}
+	s.self = d.eng.Bind(s)
+	return s, nil
+}
+
+// postLaunch pre-posts the message's control-plane events: pack completion
+// (every packet fetchable at Start+PackTime), the streaming announce
+// schedule, or one handler execution request per packet at the command's
+// arrival at the outbound engine.
+func (s *txSim) postLaunch(m *TxMessage) {
+	d := s.dev
+	switch s.kind {
+	case TxPacked:
+		at := m.Start + m.PackTime
+		for i := 0; i < s.npkt; i++ {
+			d.eng.Post(at, kindTxReady, s.self, int64(i), 0)
+		}
+	case TxStreaming:
+		for i := 0; i < s.npkt; i++ {
+			d.eng.Post(m.Start+m.ReadyAt[i], kindTxReady, s.self, int64(i), 0)
+		}
+	case TxProcessPut:
+		at := m.Start + d.cfg.HERDispatch
+		for i := 0; i < s.npkt; i++ {
+			d.eng.Post(at, kindTxHER, s.self, int64(i), 0)
+		}
+	}
+}
+
+// pktSize returns packet i's payload size.
+func (s *txSim) pktSize(i int) int64 {
+	size := s.dev.cfg.Fabric.MTU
+	if off := int64(i) * size; off+size > s.res.MsgBytes {
+		size = s.res.MsgBytes - off
+	}
+	return size
+}
+
+func (s *txSim) fail(err error) {
+	if s.err == nil {
+		s.err = err
+	}
+}
+
+// enqueue hands packet pkt to its vHPU and kicks the device dispatcher
+// (TxProcessPut only). Outbound packets are synthesized on the fly: their
+// fields are pure functions of the packet index.
+func (s *txSim) enqueue(pkt int) {
+	if s.err != nil {
+		return
+	}
+	d := s.dev
+	vid := s.ctx.Policy.SequenceOf(pkt)
+	if vid < 0 {
+		vid = pkt // default policy: every packet independent
+	}
+	v := d.vhpuFor(s, &s.vhpus, vid)
+	d.enqueueVHPU(v, fabric.Packet{
+		Index:      pkt,
+		StreamOff:  int64(pkt) * d.cfg.Fabric.MTU,
+		Size:       s.pktSize(pkt),
+		Header:     pkt == 0,
+		Completion: pkt == s.npkt-1,
+	})
+	d.dispatch()
+}
+
+// runNext executes the gather handler for the head of v's queue
+// (hpuOwner).
+func (s *txSim) runNext(v *vhpu) {
+	d := s.dev
+	p := v.queue[0]
+	v.queue = v.queue[1:]
+
+	d.rb.ops = d.rb.ops[:0]
+	d.rb.src = s.src
+	var payload []byte
+	if s.packed != nil {
+		payload = s.packed[p.StreamOff : p.StreamOff+p.Size]
+	}
+	d.args = spin.HandlerArgs{
+		StreamOff: p.StreamOff,
+		Payload:   payload,
+		PktBytes:  p.Size,
+		MsgSize:   s.res.MsgBytes,
+		PktIndex:  p.Index,
+		VHPU:      v.id,
+		DMARead:   &d.rb,
+	}
+	res := s.ctx.Payload(&d.args)
+	d.rb.src = nil
+	if res.Err != nil {
+		s.fail(fmt.Errorf("nic: gather handler packet %d: %w", p.Index, res.Err))
+		return
+	}
+	s.res.HandlerRuns++
+	s.res.HPUBusy += res.Runtime
+	s.res.Regions += int64(len(d.rb.ops))
+
+	end := d.eng.Now() + res.Runtime
+	d.eng.Post(end, kindTxHandlerEnd, v.self, int64(p.Index), 0)
+}
+
+// gatherDone releases or reuses the HPU and feeds the packet into the
+// in-order fetch+inject stage.
+func (s *txSim) gatherDone(v *vhpu, pkt int) {
+	if s.err != nil {
+		return
+	}
+	s.dev.handlerFinished(v)
+	s.packetReady(pkt)
+}
+
+// packetReady marks pkt fetchable at the current time and advances the
+// pipeline: packets enter the host read path and the injection link
+// strictly in stream order, each fetch starting a PCIe read round trip
+// after the packet became ready, each injection serializing behind the
+// previous one on the shared wire.
+func (s *txSim) packetReady(pkt int) {
+	d := s.dev
+	s.ready[pkt] = d.eng.Now()
+	s.readyOK[pkt] = true
+	for s.next < s.npkt && s.readyOK[s.next] {
+		i := s.next
+		s.next++
+		size := s.pktSize(i)
+		at := s.fetchBase(i)
+		_, fetched := d.hostRead.Acquire(at, d.cfg.PCIe.ByteTime(size))
+		_, injected := d.wire.Acquire(fetched, d.cfg.Fabric.PacketTime(size))
+		s.res.PacketInjections[i] = injected
+		d.eng.Post(injected, kindTxInjected, s.self, int64(i), 0)
+	}
+}
+
+// fetchBase returns the earliest time packet i's host fetch may begin. For
+// the CPU-side kinds the read round trip overlaps the staging of the whole
+// message, so it is paid once from the moment the data became fetchable;
+// for gather handlers it follows each handler's completion.
+func (s *txSim) fetchBase(i int) sim.Time {
+	switch s.kind {
+	case TxPacked:
+		return s.ready[0] + s.dev.cfg.PCIe.ReadLatency
+	default:
+		return s.ready[i] + s.dev.cfg.PCIe.ReadLatency
+	}
+}
+
+// injected records packet pkt's injection completion.
+func (s *txSim) injected(pkt int) {
+	if s.err != nil {
+		return
+	}
+	now := s.dev.eng.Now()
+	if s.notify != nil {
+		s.notify(pkt, now)
+	}
+	s.left--
+	if s.left == 0 {
+		s.res.Injected = now
+		if s.notifyDone != nil {
+			s.notifyDone(now)
+		}
+	}
+}
+
+// finish assembles the SendResult after the engine drained.
+func (s *txSim) finish() (SendResult, error) {
+	if s.err != nil {
+		return SendResult{}, s.err
+	}
+	return s.res, nil
+}
+
+// SendBatch simulates the transmission of many messages from ONE NIC in a
+// single residency pass: all messages share the device's HPU pool, the
+// PCIe read path toward host memory and the injection link, and their
+// gather contexts must fit NIC memory together. This is the traffic an
+// endpoint's send side carries during a real exchange (alltoall, halo):
+// two senders sharing the outbound device are measurably slower than one.
+//
+// Results are per message, in input order. A single message reproduces
+// exactly what the classic closed-form sender models report.
+func SendBatch(cfg Config, msgs []TxMessage) ([]SendResult, error) {
+	if len(msgs) == 0 {
+		return nil, errors.New("nic: empty batch")
+	}
+	eng := sim.Acquire()
+	defer sim.Release(eng)
+	sims, err := newTxBatch(eng, cfg, msgs)
+	if err != nil {
+		return nil, err
+	}
+	eng.Run()
+	return finishTxBatch(sims)
+}
+
+// SendBatchSharded is SendBatch on the sharded engine: the NIC device is
+// one domain and the host another, joined by the injection-complete
+// notifications over the PCIe round trip. Per-message results are
+// byte-identical to the serial executor.
+func SendBatchSharded(cfg Config, msgs []TxMessage) ([]SendResult, error) {
+	if len(msgs) == 0 {
+		return nil, errors.New("nic: empty batch")
+	}
+	notifyLat := cfg.PCIe.NotifyLatency()
+	if notifyLat <= 0 {
+		return nil, fmt.Errorf("nic: PCIe notify latency %v cannot synchronize a sharded send", notifyLat)
+	}
+	pe := sim.AcquireParallel(1)
+	defer sim.ReleaseParallel(pe)
+	dev := pe.NewShard("nic", notifyLat)
+	hostShard := pe.NewShard("host", sim.InfiniteLookahead)
+	h := &clusterHost{shard: hostShard, notified: make([]sim.Time, len(msgs))}
+	hostCtx := hostShard.Bind(h)
+
+	sims, err := newTxBatch(&dev.Engine, cfg, msgs)
+	if err != nil {
+		return nil, err
+	}
+	for i, s := range sims {
+		idx := int64(i)
+		s.notifyDone = func(at sim.Time) {
+			dev.PostRemote(hostShard, at+notifyLat, kindClusterNotify, hostCtx, idx, 0)
+		}
+	}
+	pe.Run()
+	return finishTxBatch(sims)
+}
+
+// newTxBatch builds one shared device plus a message simulation per batch
+// entry on eng and pre-posts every launch schedule.
+func newTxBatch(eng *sim.Engine, cfg Config, msgs []TxMessage) ([]*txSim, error) {
+	dev, err := newTxDevice(eng, cfg)
+	if err != nil {
+		return nil, err
+	}
+	sims := make([]*txSim, len(msgs))
+	for i := range msgs {
+		s, err := dev.newMessage(&msgs[i])
+		if err != nil {
+			return nil, fmt.Errorf("nic: batch message %d: %w", i, err)
+		}
+		sims[i] = s
+	}
+	for i := range sims {
+		sims[i].postLaunch(&msgs[i])
+	}
+	return sims, nil
+}
+
+// finishTxBatch assembles the per-message results after the engine drained.
+func finishTxBatch(sims []*txSim) ([]SendResult, error) {
+	results := make([]SendResult, len(sims))
+	for i, s := range sims {
+		r, err := s.finish()
+		if err != nil {
+			return nil, fmt.Errorf("nic: batch message %d: %w", i, err)
+		}
+		results[i] = r
+	}
+	return results, nil
+}
+
+// StreamingSchedule computes the per-packet CPU announce times of a
+// streaming-puts send from its region walk: the CPU pays findPerRegion to
+// locate and announce each contiguous region; a packet becomes fetchable
+// when the region carrying its last byte has been announced. It returns
+// the per-packet ready times (relative to the send start), the total CPU
+// busy time and the message size.
+func StreamingSchedule(cfg Config, regions []IovecRegion, findPerRegion sim.Time) ([]sim.Time, sim.Time, int64, error) {
+	if len(regions) == 0 {
+		return nil, 0, 0, errors.New("nic: no regions")
+	}
+	var msgBytes int64
+	for _, r := range regions {
+		if r.Size <= 0 {
+			return nil, 0, 0, errors.New("nic: empty region")
+		}
+		msgBytes += r.Size
+	}
+	ready := make([]sim.Time, cfg.Fabric.NumPackets(msgBytes))
+	var cpu sim.Time
+	var pktBytes int64
+	idx := 0
+	for _, r := range regions {
+		cpu += findPerRegion
+		pktBytes += r.Size
+		for pktBytes >= cfg.Fabric.MTU {
+			pktBytes -= cfg.Fabric.MTU
+			ready[idx] = cpu
+			idx++
+		}
+	}
+	if pktBytes > 0 {
+		ready[idx] = cpu
+	}
+	return ready, cpu, msgBytes, nil
+}

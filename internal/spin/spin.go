@@ -33,20 +33,39 @@ type DMAWriter interface {
 	Write(hostOff int64, data []byte, flags WriteFlags)
 }
 
+// DMAReader is the gather handlers' path from host memory into NIC memory
+// (the sender-side mirror of DMAWriter: PtlHandlerDMAFromHost).
+// Implementations fetch the host bytes at hostOff into dst and account the
+// request in the simulated DMA read engine.
+type DMAReader interface {
+	// Read fetches len(dst) bytes at hostOff from the source buffer.
+	Read(hostOff int64, dst []byte)
+}
+
 // HandlerArgs carries one packet into a handler execution.
 type HandlerArgs struct {
 	// StreamOff is the packet payload's byte offset in the message stream.
 	StreamOff int64
-	// Payload is the packet payload (resident in NIC memory).
+	// Payload is the packet payload. On the receive path it is the arrived
+	// bytes resident in NIC memory; on the send path it is the packet's
+	// slice of the outgoing wire stream, which the gather handler fills
+	// (nil when the gather runs timing-only).
 	Payload []byte
+	// PktBytes is the packet payload size (== len(Payload) whenever the
+	// payload is materialized; also set for timing-only gathers).
+	PktBytes int64
 	// MsgSize is the total message size in bytes.
 	MsgSize int64
 	// PktIndex is the packet's position in the message.
 	PktIndex int
 	// VHPU is the virtual HPU executing the handler (scheduling unit).
 	VHPU int
-	// DMA issues writes toward host memory.
+	// DMA issues writes toward host memory (receive-side scatter handlers;
+	// nil on the send path).
 	DMA DMAWriter
+	// DMARead fetches from host memory (sender-side gather handlers; nil
+	// on the receive path).
+	DMARead DMAReader
 }
 
 // Breakdown splits a handler runtime into the three phases of Fig. 12:

@@ -6,8 +6,8 @@ import (
 
 // The session layer is the persistent-state API an MPI library would sit
 // on (paper Sec. 3.2.6 and Fig. 18): commit a datatype once, hold its
-// handle, and post many receives against it without ever rebuilding the
-// offload state.
+// handle, and post many receives — and sends — against it without ever
+// rebuilding the offload state.
 //
 //	sess := spinddt.NewSession(spinddt.NewSessionConfig())
 //	col, _ := sess.Commit(columnType)       // block program + offload state, once
@@ -24,6 +24,25 @@ import (
 // post reports zero (the Fig. 18 amortization). Run, RunSend and
 // RunTransfer remain as one-shot wrappers over a private session and
 // produce byte-identical results to earlier releases.
+//
+// The device model is symmetric (the sPIN offload builds packets with the
+// same committed block program the receiver scatters with), and so is the
+// endpoint: Send posts an outbound message against a handle and
+// FlushSends runs every pending send through ONE shared outbound device —
+// gather handlers contend for the endpoint's HPUs, the host read path and
+// the injection link, and the produced wire stream is byte-verified
+// against the reference Pack:
+//
+//	for rank := 0; rank < peers; rank++ {   // the exchange's send side
+//		sfutures[rank], _ = ep.Send(col, 1, spinddt.SendOpts{Seed: int64(rank + 1)})
+//	}
+//	ep.FlushSends()                         // one batched outbound device pass
+//
+// The handle's receive strategy selects the sender pipeline: offloaded
+// strategies gather on the NIC (PtlProcessPut), HostUnpack packs on the
+// CPU, PortalsIovec streams regions as the CPU announces them. The first
+// send of a (handle, count) build reports the gather-state preparation;
+// later sends report zero — the receive-side amortization, mirrored.
 
 // Session owns a Backend plus the shared offload build caches; it is the
 // library-lifetime object. Sessions are safe for concurrent use.
@@ -65,6 +84,18 @@ type PostOpts = core.PostOpts
 // Future is the deferred result of one posted message; Wait flushes the
 // endpoint if needed and returns the message's Result.
 type Future = core.Future
+
+// SendOpts tunes one posted send; SendReport reports it (including the
+// first-send-only gather preparation cost); SendFuture is its deferred
+// result, resolved by Endpoint.FlushSends or Wait.
+type (
+	SendOpts   = core.SendOpts
+	SendReport = core.SendReport
+	SendFuture = core.SendFuture
+)
+
+// CommitOpts tunes one committed handle (Session.CommitWith).
+type CommitOpts = core.CommitOpts
 
 // Backend executes the data movement of posted messages. The exchange
 // format is the committed datatype's compiled block program: SimBackend

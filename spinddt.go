@@ -15,14 +15,20 @@
 //     is built exactly once and amortized across every post — the paper's
 //     Fig. 18 reuse argument as an API, shaped the way an MPI library
 //     holds a committed type.
-//   - Endpoints and backends: Session.Endpoint is one receiving NIC;
-//     Endpoint.Post enqueues messages against committed handles and
-//     Flush executes the batch in a single simulated residency pass, so
-//     real exchanges (alltoall, halo) contend for the device the way real
-//     traffic does. The Backend interface decides what executes a flush:
-//     SimBackend replays block programs through the modeled 200 Gbit/s
-//     sPIN NIC, MemBackend executes them directly on host memory (the
-//     differential-testing oracle); custom backends plug in the same way.
+//   - Endpoints and backends: Session.Endpoint is one NIC with both
+//     halves of the paper's symmetric device model. On the receive side,
+//     Endpoint.Post enqueues messages against committed handles and Flush
+//     executes the batch in a single simulated inbound residency pass; on
+//     the send side, Endpoint.Send enqueues outbound messages and
+//     FlushSends runs them through one shared outbound device, where
+//     sPIN gather handlers walk the same committed block program the
+//     receiver scatters with. Either way, real exchanges (alltoall, halo)
+//     contend for the device — HPUs, DMA/host-read paths, wire, NIC
+//     memory — the way real traffic does. The Backend interface decides
+//     what executes a flush or a coupled transfer: SimBackend replays
+//     block programs through the modeled 200 Gbit/s sPIN NIC, MemBackend
+//     executes them directly on host memory (the differential-testing
+//     oracle for both directions); custom backends plug in the same way.
 //   - Strategies and one-shot runs: the paper's datatype-processing
 //     implementations — Specialized handlers, the general RW-CP / RO-CP /
 //     HPU-local strategies, the host-unpack and Portals-4 iovec baselines,
@@ -30,7 +36,11 @@
 //     driven either through sessions or through the one-shot Run /
 //     RunSend / RunTransfer wrappers, which commit, post and flush a
 //     private session per call and byte-verify every receive buffer
-//     against the reference unpack.
+//     against the reference unpack. RunTransfer couples the two device
+//     halves in ONE simulation joined by the fabric: each packet's
+//     injection completion becomes its arrival a wire latency later, so
+//     sender backpressure paces the receiver instead of being summed in
+//     from a closed-form cost model.
 //
 // See session.go for the session-layer walkthrough, DESIGN.md for the
 // system inventory and EXPERIMENTS.md for the paper-vs-measured results of
