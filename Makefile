@@ -5,11 +5,16 @@
 #   lint         gofmt -l (must print nothing), go vet, staticcheck
 #   test         build + test
 #   race         `make race` — includes nic/loggops/fabric now that
-#                shards execute those models concurrently
-#   bench-gate   `make bench-check` — reruns the core benchmarks and
-#                gates them against the checked-in BENCH_BASELINE.json
-#                (exit nonzero past the tolerance), so perf regressions
-#                fail the PR; the fresh snapshot is still uploaded as an
+#                shards execute those models concurrently, and the
+#                transport's ARQ endpoints
+#   loss-matrix  transport + UDP-backend differential tests under -race
+#                at 0%, 1% and 10% injected loss (SPINDDT_LOSS_PCT pins
+#                the rate per matrix shard; see `make loss-matrix`)
+#   bench-gate   `make bench-check` — reruns the core benchmarks
+#                (best-of-$(BENCH_COUNT) per benchmark) and gates them
+#                against the checked-in BENCH_BASELINE.json (exit
+#                nonzero past the tolerance), so perf regressions fail
+#                the PR; the fresh snapshot is still uploaded as an
 #                artifact alongside the bench-smoke snapshot
 #   determinism  `make determinism` — renders every figure/table twice,
 #                once on the serial engine and once on the sharded
@@ -27,15 +32,20 @@ BENCH_DATE := $(shell date +%F)
 # the event-engine microbench, the sharded cluster simulation (serial
 # executor baseline + all-cores executor), the session API (committed
 # handle reuse + the batched alltoall endpoint pass), and the symmetric
-# device model (sender-side handle reuse + the sharded halo exchange).
-BENCH_CORE := BenchmarkSimulationRWCP1MiB|BenchmarkSimulationSpecialized1MiB|BenchmarkDDTPackUnpack|BenchmarkEventEngine|BenchmarkSimulationClusterSerial|BenchmarkSimulationSharded|BenchmarkSessionPostReuse|BenchmarkAlltoall8|BenchmarkSessionSendReuse|BenchmarkHaloExchange8
+# device model (sender-side handle reuse + the sharded halo exchange),
+# and the reliable transport's steady-state message rate.
+BENCH_CORE := BenchmarkSimulationRWCP1MiB|BenchmarkSimulationSpecialized1MiB|BenchmarkDDTPackUnpack|BenchmarkEventEngine|BenchmarkSimulationClusterSerial|BenchmarkSimulationSharded|BenchmarkSessionPostReuse|BenchmarkAlltoall8|BenchmarkSessionSendReuse|BenchmarkHaloExchange8|BenchmarkTransportThroughput
 # Allowed fractional ns/op regression vs BENCH_BASELINE.json.
 TOLERANCE ?= 0.25
+# Gate runs take the best of BENCH_COUNT repetitions per benchmark
+# (min ns/op): single runs of the allocation-heavy benchmarks are too
+# noisy on a 1-core CI machine to gate at this tolerance.
+BENCH_COUNT ?= 3
 # Workload of the golden figure renders (kept moderate so the determinism
 # job stays fast; the bench smoke still runs paper-scale sizes).
 GOLDEN_ARGS := -fig all -msg 1048576
 
-.PHONY: build test race bench bench-all bench-check bench-baseline golden determinism
+.PHONY: build test race loss-matrix bench bench-all bench-check bench-baseline golden determinism
 
 build:
 	$(GO) build ./...
@@ -45,7 +55,17 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/ddt/ ./internal/core/ ./internal/sim/ ./internal/experiments/ ./internal/nic/ ./internal/loggops/ ./internal/fabric/
+	$(GO) test -race ./internal/ddt/ ./internal/core/ ./internal/sim/ ./internal/experiments/ ./internal/nic/ ./internal/loggops/ ./internal/fabric/ ./internal/transport/
+
+# loss-matrix runs the transport and UDP-backend differential tests under
+# -race at every loss rate of the matrix (each CI shard pins one rate via
+# SPINDDT_LOSS_PCT).
+loss-matrix:
+	for pct in 0 1 10; do \
+		SPINDDT_LOSS_PCT=$$pct $(GO) test -race -count=1 \
+			-run 'TestLossMatrix|TestUDPBackend' \
+			./internal/transport/ ./internal/core/ || exit 1; \
+	done
 
 # bench records the core perf trajectory to BENCH_<date>.json (multiple
 # iterations, stable numbers).
@@ -61,11 +81,11 @@ bench-all:
 # bench-check reruns the core benchmarks and fails if any is more than
 # TOLERANCE slower than the committed baseline (the CI bench-gate).
 bench-check:
-	$(GO) run ./cmd/benchjson -bench '$(BENCH_CORE)' -benchtime 2s -out BENCH_check.json -compare BENCH_BASELINE.json -tolerance $(TOLERANCE)
+	$(GO) run ./cmd/benchjson -bench '$(BENCH_CORE)' -benchtime 2s -count $(BENCH_COUNT) -out BENCH_check.json -compare BENCH_BASELINE.json -tolerance $(TOLERANCE)
 
 # bench-baseline refreshes the committed baseline snapshot.
 bench-baseline:
-	$(GO) run ./cmd/benchjson -bench '$(BENCH_CORE)' -benchtime 2s -out BENCH_BASELINE.json
+	$(GO) run ./cmd/benchjson -bench '$(BENCH_CORE)' -benchtime 2s -count $(BENCH_COUNT) -out BENCH_BASELINE.json
 
 # golden refreshes the checked-in figure/table outputs the determinism
 # job diffs against.

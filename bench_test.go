@@ -421,6 +421,16 @@ func BenchmarkSessionSendReuse(b *testing.B) {
 // device and its two receives on its inbound device, sharded one domain
 // per rank — the full symmetric device model under the parallel executor.
 func BenchmarkHaloExchange8(b *testing.B) {
+	// One untimed warm-up pass: the exchange allocates ~340MB, and its
+	// cold run (GC pacing from whatever heap the preceding benchmarks
+	// left) can exceed -benchtime on one core, pinning the framework at
+	// a single unrepresentative iteration.
+	if t, err := experiments.HaloExchange(8, 1<<20); err != nil {
+		b.Fatal(err)
+	} else {
+		printTable("haloexchange", t)
+	}
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		t, err := experiments.HaloExchange(8, 1<<20)
 		if err != nil {

@@ -8,9 +8,15 @@
 //	go test -run '^$' -bench . -benchmem ./... | benchjson -out BENCH_2026-07-27.json
 //	benchjson -bench 'BenchmarkSimulation|BenchmarkEventEngine' # runs go test itself
 //	benchjson -bench '...' -compare BENCH_BASELINE.json -tolerance 0.25
+//	benchjson -bench '...' -count 3   # best-of-3: min ns/op per benchmark
 //
 // With no -out, the file name defaults to BENCH_<today>.json in the
 // current directory.
+//
+// When a benchmark appears more than once in the input (go test -count,
+// or the -count flag of a -bench run), the runs collapse to the one with
+// the minimum ns/op: min-of-N is the noise statistic least sensitive to
+// GC and scheduler interference, which matters on small CI machines.
 //
 // -compare gates the fresh run against a checked-in baseline snapshot:
 // every baseline benchmark must be present in the fresh run and no slower
@@ -88,7 +94,26 @@ func parse(r io.Reader) ([]Result, error) {
 		}
 		out = append(out, res)
 	}
-	return out, sc.Err()
+	return dedupeMin(out), sc.Err()
+}
+
+// dedupeMin collapses repeated runs of one benchmark (go test -count) to
+// the run with the minimum ns/op, preserving first-seen order.
+func dedupeMin(in []Result) []Result {
+	idx := make(map[string]int, len(in))
+	out := in[:0]
+	for _, r := range in {
+		name := trimProcSuffix(r.Name)
+		if i, ok := idx[name]; ok {
+			if r.NsPerOp < out[i].NsPerOp {
+				out[i] = r
+			}
+			continue
+		}
+		idx[name] = len(out)
+		out = append(out, r)
+	}
+	return out
 }
 
 func main() {
@@ -96,6 +121,7 @@ func main() {
 	bench := flag.String("bench", "", "run `go test -bench` with this pattern instead of reading stdin")
 	pkg := flag.String("pkg", "./...", "package pattern for -bench runs")
 	benchtime := flag.String("benchtime", "1x", "benchtime for -bench runs")
+	count := flag.Int("count", 1, "go test -count for -bench runs; repeats collapse to min ns/op")
 	compare := flag.String("compare", "", "baseline snapshot to gate the fresh results against")
 	tolerance := flag.Float64("tolerance", 0.25, "allowed fractional ns/op regression for -compare")
 	flag.Parse()
@@ -108,7 +134,8 @@ func main() {
 		// nanosecond microbench timing in another, making recorded and
 		// gated ns/op non-comparable.
 		cmd := exec.Command("go", "test", "-run", "^$", "-bench", *bench,
-			"-benchmem", "-benchtime", *benchtime, "-p", "1", *pkg)
+			"-benchmem", "-benchtime", *benchtime, "-count", strconv.Itoa(*count),
+			"-p", "1", *pkg)
 		cmd.Stderr = os.Stderr
 		pipe, err := cmd.StdoutPipe()
 		if err != nil {

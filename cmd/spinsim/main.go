@@ -5,12 +5,21 @@
 // Example:
 //
 //	spinsim -strategy rwcp -block 256 -msg 1048576 -hpus 16 -ooo 8
+//
+// The wire modes move real transfers between two processes over the
+// reliable UDP transport (internal/transport): -serve scatters incoming
+// messages with the block program decoded from the wire, -send gathers
+// and ships the flag-described vector, surviving injected packet drops:
+//
+//	spinsim -serve 127.0.0.1:7117 -wiremsgs 4
+//	spinsim -send 127.0.0.1:7117 -wiremsgs 4 -block 512 -msg 1048576 -drop 0.05
 package main
 
 import (
 	"flag"
 	"fmt"
 	"math/rand"
+	"net"
 	"os"
 	"strings"
 
@@ -30,12 +39,59 @@ func main() {
 	ooo := flag.Int("ooo", 0, "out-of-order delivery window in packets (0 = in-order)")
 	seed := flag.Int64("seed", 1, "payload and reorder seed")
 	trace := flag.Int("trace", 0, "print the first N NIC pipeline trace events")
+	serve := flag.String("serve", "", "serve transfers over reliable UDP on this address (e.g. 127.0.0.1:7117)")
+	send := flag.String("send", "", "send the -block/-stride/-msg vector over reliable UDP to this server address")
+	wiremsgs := flag.Int("wiremsgs", 1, "number of wire messages to serve or send")
+	drop := flag.Float64("drop", 0, "sender-side injected datagram drop rate in [0, 1) (the transport recovers)")
 	flag.Parse()
 
-	if err := run(*strategy, *block, *stride, *msg, *hpus, *epsilon, *ooo, *seed, *trace); err != nil {
+	var err error
+	switch {
+	case *serve != "" && *send != "":
+		err = fmt.Errorf("-serve and -send are mutually exclusive")
+	case *serve != "":
+		err = runServe(*serve, *wiremsgs)
+	case *send != "":
+		err = runSend(*send, *block, *stride, *msg, *wiremsgs, *seed, *drop)
+	default:
+		err = run(*strategy, *block, *stride, *msg, *hpus, *epsilon, *ooo, *seed, *trace)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "spinsim:", err)
 		os.Exit(1)
 	}
+}
+
+// runServe binds the wire server address and serves n transfers.
+func runServe(addr string, n int) error {
+	conn, err := net.ListenPacket("udp", addr)
+	if err != nil {
+		return err
+	}
+	return serveWire(conn, n, os.Stdout)
+}
+
+// runSend builds the vector type the simulation flags describe and ships
+// it over the wire.
+func runSend(addr string, block, stride, msg int64, n int, seed int64, drop float64) error {
+	typ, err := vectorType(block, stride, msg)
+	if err != nil {
+		return err
+	}
+	return sendWire(addr, typ, 1, n, seed, drop, os.Stdout)
+}
+
+// vectorType builds the -block/-stride/-msg vector datatype shared by the
+// simulation and wire-send modes.
+func vectorType(block, stride, msg int64) (*ddt.Type, error) {
+	if block <= 0 || block%4 != 0 {
+		return nil, fmt.Errorf("block size %d must be a positive multiple of 4", block)
+	}
+	if stride == 0 {
+		stride = 2 * block
+	}
+	count := int(msg / block)
+	return ddt.NewVector(count, int(block/4), int(stride/4), ddt.Int)
 }
 
 func parseStrategy(s string) (core.Strategy, error) {
@@ -62,14 +118,7 @@ func run(strategyName string, block, stride, msg int64, hpus int, epsilon float6
 	if err != nil {
 		return err
 	}
-	if block <= 0 || block%4 != 0 {
-		return fmt.Errorf("block size %d must be a positive multiple of 4", block)
-	}
-	if stride == 0 {
-		stride = 2 * block
-	}
-	count := int(msg / block)
-	typ, err := ddt.NewVector(count, int(block/4), int(stride/4), ddt.Int)
+	typ, err := vectorType(block, stride, msg)
 	if err != nil {
 		return err
 	}

@@ -1,6 +1,10 @@
 package main
 
-import "testing"
+import (
+	"net"
+	"strings"
+	"testing"
+)
 
 func TestParseStrategy(t *testing.T) {
 	for _, name := range []string{"specialized", "spec", "rwcp", "RW-CP", "rocp", "hpulocal", "host", "iovec"} {
@@ -22,5 +26,39 @@ func TestRunEndToEnd(t *testing.T) {
 	}
 	if err := run("rwcp", 3, 0, 1<<16, 8, 0.2, 0, 1, 0); err == nil {
 		t.Fatal("block size 3 accepted")
+	}
+}
+
+// TestWireServeSend moves real transfers between the -serve and -send
+// modes over UDP loopback — including with sender-side packet drops the
+// reliability layer has to absorb — and requires the server to verify
+// every scatter against its regathered wire stream.
+func TestWireServeSend(t *testing.T) {
+	conn, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("no UDP loopback: %v", err)
+	}
+	const msgs = 3
+	var serveOut strings.Builder
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- serveWire(conn, msgs, &serveOut) }()
+
+	typ, err := vectorType(512, 0, 1<<18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sendOut strings.Builder
+	if err := sendWire(conn.LocalAddr().String(), typ, 1, msgs, 7, 0.05, &sendOut); err != nil {
+		t.Fatalf("send: %v\n%s", err, sendOut.String())
+	}
+	if err := <-serveErr; err != nil {
+		t.Fatalf("serve: %v\n%s", err, serveOut.String())
+	}
+	got := serveOut.String()
+	if strings.Count(got, "verified=true") != msgs {
+		t.Fatalf("server output missing verified messages:\n%s", got)
+	}
+	if !strings.Contains(sendOut.String(), "acks received") {
+		t.Fatalf("sender output missing transport stats:\n%s", sendOut.String())
 	}
 }

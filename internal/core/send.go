@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -159,6 +160,9 @@ func (ep *Endpoint) Send(h *TypeHandle, count int, opts SendOpts) (*SendFuture, 
 	if h.sess != ep.sess {
 		return nil, fmt.Errorf("core: handle committed on a different session")
 	}
+	if ep.sess.isClosed() {
+		return nil, ErrSessionClosed
+	}
 	if count <= 0 {
 		return nil, fmt.Errorf("core: count %d", count)
 	}
@@ -236,6 +240,24 @@ func (ep *Endpoint) flushSendsLocked() error {
 	env := BackendEnv{NIC: ep.sess.cfg.NIC, Engine: ep.sess.cfg.Engine, Host: ep.sess.cfg.Host}
 	results, err := ep.sess.backend.FlushSends(env, sends)
 	if err != nil {
+		var be *BatchError
+		if errors.As(err, &be) && len(be.Errs) == len(ops) && len(results) == len(ops) {
+			// Partial failure: resolve each send on its own status.
+			var first error
+			for i, op := range ops {
+				op.done = true
+				if opErr := be.Errs[i]; opErr != nil {
+					op.err = opErr
+					putBuf(op.packed)
+				} else {
+					op.res, op.err = ep.finishSendOp(op, results[i])
+				}
+				if op.err != nil && first == nil {
+					first = op.err
+				}
+			}
+			return first
+		}
 		for _, op := range ops {
 			op.done, op.err = true, err
 			putBuf(op.packed)

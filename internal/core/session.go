@@ -1,7 +1,9 @@
 package core
 
 import (
+	"errors"
 	"fmt"
+	"io"
 	"sync"
 	"sync/atomic"
 
@@ -11,6 +13,9 @@ import (
 	"spinddt/internal/portals"
 	"spinddt/internal/sim"
 )
+
+// ErrSessionClosed reports a commit or post on a Session after Close.
+var ErrSessionClosed = errors.New("core: session is closed")
 
 // SessionConfig configures a Session: the device and cost models shared by
 // every commit and post, the discrete-event executor, and the backend the
@@ -143,7 +148,7 @@ func (s *Session) CommitWith(t *ddt.Type, strategy Strategy, opts CommitOpts) (*
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
-		return nil, fmt.Errorf("core: session is closed")
+		return nil, ErrSessionClosed
 	}
 	id := handleID{typ: t, strategy: strategy, epsilon: opts.Epsilon}
 	if h, ok := s.handles[id]; ok {
@@ -194,16 +199,34 @@ func (s *Session) acquireTrace(tr *nic.Trace) (release func()) {
 	}
 }
 
-// Close frees every handle committed on the session. Posting on a closed
-// session's handles fails; already-flushed results stay valid.
+// Close frees every handle committed on the session and, when the backend
+// owns real resources (an io.Closer — UDPBackend's socket pair), releases
+// them. Committing or posting on a closed session fails with
+// ErrSessionClosed; already-flushed results stay valid. Close is
+// idempotent.
 func (s *Session) Close() {
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
 	s.closed = true
 	for id, h := range s.handles {
 		h.markFreed()
 		delete(s.handles, id)
 	}
+	backend := s.backend
+	s.mu.Unlock()
+	if c, ok := backend.(io.Closer); ok {
+		c.Close()
+	}
+}
+
+// isClosed reports whether Close has been called.
+func (s *Session) isClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
 }
 
 // TypeHandle is a committed datatype bound to a session and a strategy —
@@ -405,6 +428,9 @@ func (ep *Endpoint) Post(h *TypeHandle, count int, opts PostOpts) (*Future, erro
 	if h.sess != ep.sess {
 		return nil, fmt.Errorf("core: handle committed on a different session")
 	}
+	if ep.sess.isClosed() {
+		return nil, ErrSessionClosed
+	}
 	if count <= 0 {
 		return nil, fmt.Errorf("core: count %d", count)
 	}
@@ -506,6 +532,29 @@ func (ep *Endpoint) flushLocked() error {
 		ep.pt.Unlink(op.me)
 	}
 	if err != nil {
+		var be *BatchError
+		if errors.As(err, &be) && len(be.Errs) == len(ops) && len(results) == len(ops) {
+			// Partial failure: each message carries its own status — the
+			// failed ones surface their error through their Future, the
+			// rest finish normally instead of being poisoned by a sibling.
+			ep.pt.DrainEvents()
+			var first error
+			for i, op := range ops {
+				op.done = true
+				if opErr := be.Errs[i]; opErr != nil {
+					op.err = opErr
+					if op.pooledDst {
+						putBuf(op.dst) // possibly partially scattered: dirty pool
+					}
+				} else {
+					op.res, op.err = ep.finishOp(op, results[i])
+				}
+				if op.err != nil && first == nil {
+					first = op.err
+				}
+			}
+			return first
+		}
 		for _, op := range ops {
 			op.done, op.err = true, err
 			if op.pooledDst {

@@ -1,0 +1,423 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"spinddt/internal/ddt"
+	"spinddt/internal/transport"
+)
+
+// fastTransport keeps retransmission timers short so lossy differential
+// runs converge quickly.
+func fastTransport() transport.Config {
+	return transport.Config{RTOMin: time.Millisecond, RTOMax: 50 * time.Millisecond, MaxRetries: 30}
+}
+
+// newUDPSession builds a session whose backend moves bytes over the
+// in-memory pipe wire with the given loss percentage injected on both
+// directions.
+func newUDPSession(t *testing.T, lossPct int) *Session {
+	t.Helper()
+	cfg := UDPConfig{Network: "pipe", Transport: fastTransport()}
+	if lossPct > 0 {
+		rate := float64(lossPct) / 100
+		cfg.Fault = &transport.FaultConfig{
+			Seed:        1337,
+			DropRate:    rate,
+			DupRate:     rate / 2,
+			ReorderRate: rate / 2,
+			CorruptRate: rate / 2,
+		}
+	}
+	backend, err := NewUDPBackend(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scfg := NewSessionConfig()
+	scfg.Backend = backend
+	sess := NewSession(scfg)
+	t.Cleanup(sess.Close)
+	return sess
+}
+
+// udpLossRates returns the loss percentages the differential runs at.
+// CI's loss-matrix job pins one rate per shard via SPINDDT_LOSS_PCT; a
+// plain `go test` covers the whole matrix.
+func udpLossRates(t *testing.T) []int {
+	if s := os.Getenv("SPINDDT_LOSS_PCT"); s != "" {
+		pct, err := strconv.Atoi(s)
+		if err != nil || pct < 0 || pct > 90 {
+			t.Fatalf("SPINDDT_LOSS_PCT=%q: want an integer percentage in [0, 90]", s)
+		}
+		return []int{pct}
+	}
+	return []int{0, 1, 10}
+}
+
+// TestUDPBackendDifferential is the wire oracle: posting the same message
+// through the UDP backend (gather -> lossy wire -> scatter from received
+// bytes) and through the host-memory backend must land byte-identical
+// receive buffers, at every loss rate of the matrix. Every post also
+// passes finishOp's verification against the reference unpack, so wire
+// corruption or reassembly bugs cannot hide.
+func TestUDPBackendDifferential(t *testing.T) {
+	for _, pct := range udpLossRates(t) {
+		t.Run(fmt.Sprintf("loss%d", pct), func(t *testing.T) {
+			udpSess := newUDPSession(t, pct)
+			memCfg := NewSessionConfig()
+			memCfg.Backend = MemBackend{}
+			memSess := NewSession(memCfg)
+
+			rng := rand.New(rand.NewSource(42))
+			f := func(seed int64, depth uint8, strategyPick uint8, countPick uint8) bool {
+				typ := ddt.RandomType(rng, int(depth%4)+1)
+				count := int(countPick%3) + 1
+				if lo, _ := typ.Footprint(count); lo < 0 {
+					return true // not a valid receive datatype
+				}
+				strategy := OffloadStrategies[int(strategyPick)%len(OffloadStrategies)]
+				if seed == 0 {
+					seed = 1
+				}
+
+				post := func(sess *Session) ([]byte, error) {
+					h, err := sess.CommitAs(typ, strategy)
+					if err != nil {
+						return nil, err
+					}
+					_, hi := typ.Footprint(count)
+					dst := make([]byte, hi)
+					fut, err := sess.Endpoint(EndpointConfig{}).Post(h, count, PostOpts{Seed: seed, Dst: dst})
+					if err != nil {
+						return nil, err
+					}
+					res, err := fut.Wait()
+					if err != nil {
+						return nil, err
+					}
+					if !res.Verified {
+						return nil, fmt.Errorf("not verified")
+					}
+					return dst, nil
+				}
+
+				udpDst, err := post(udpSess)
+				if err != nil {
+					t.Logf("udp backend: type %s: %v", typ.Describe(), err)
+					return false
+				}
+				memDst, err := post(memSess)
+				if err != nil {
+					t.Logf("mem backend: type %s: %v", typ.Describe(), err)
+					return false
+				}
+				if !bytes.Equal(udpDst, memDst) {
+					t.Logf("buffers differ for type %s", typ.Describe())
+					return false
+				}
+				return true
+			}
+			for _, qseed := range []int64{1, 1337} {
+				if err := quick.Check(f, &quick.Config{MaxCount: 30, Rand: rand.New(rand.NewSource(qseed))}); err != nil {
+					t.Fatalf("quick seed %d: %v", qseed, err)
+				}
+			}
+		})
+	}
+}
+
+// TestUDPBackendRealSockets runs the clean-path differential over real
+// kernel UDP loopback sockets — the deployment wire — instead of the
+// in-memory pipe.
+func TestUDPBackendRealSockets(t *testing.T) {
+	backend, err := NewUDPBackend(UDPConfig{Network: "udp"})
+	if err != nil {
+		t.Skipf("no UDP loopback: %v", err)
+	}
+	cfg := NewSessionConfig()
+	cfg.Backend = backend
+	sess := NewSession(cfg)
+	defer sess.Close()
+
+	typ := ddt.MustVector(256, 128, 256, ddt.Int)
+	for _, strategy := range OffloadStrategies {
+		h, err := sess.CommitAs(typ, strategy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fut, err := sess.Endpoint(EndpointConfig{}).Post(h, 2, PostOpts{Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res, err := fut.Wait(); err != nil || !res.Verified {
+			t.Fatalf("%v over UDP loopback: verified=%v err=%v", strategy, res.Verified, err)
+		}
+	}
+}
+
+// TestUDPBackendSendDifferential drives the sender side over the lossy
+// wire: for random committed types, the gathered wire stream that ARRIVES
+// must equal the reference pack (finishSendOp verifies the received bytes
+// — the UDP backend materializes op.packed from what crossed the wire).
+func TestUDPBackendSendDifferential(t *testing.T) {
+	for _, pct := range udpLossRates(t) {
+		t.Run(fmt.Sprintf("loss%d", pct), func(t *testing.T) {
+			sess := newUDPSession(t, pct)
+			rng := rand.New(rand.NewSource(0x5eed))
+			f := func(strategyPick uint8, countPick uint8) bool {
+				typ := ddt.RandomType(rng, 3)
+				count := int(countPick%3) + 1
+				if lo, _ := typ.Footprint(count); lo < 0 {
+					return true
+				}
+				strategy := OffloadStrategies[int(strategyPick)%len(OffloadStrategies)]
+				h, err := sess.CommitAs(typ, strategy)
+				if err != nil {
+					t.Logf("commit %s: %v", typ.Describe(), err)
+					return false
+				}
+				fut, err := sess.Endpoint(EndpointConfig{}).Send(h, count, SendOpts{Seed: rng.Int63n(1<<30) + 1})
+				if err != nil {
+					t.Logf("send %s: %v", typ.Describe(), err)
+					return false
+				}
+				res, err := fut.Wait()
+				if err != nil || !res.Verified {
+					t.Logf("wait %s: verified=%v err=%v", typ.Describe(), res.Verified, err)
+					return false
+				}
+				return true
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(8))}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestUDPBackendTransferAndIovec covers the remaining backend surface
+// over the lossy wire: coupled transfers (gather -> wire -> scatter) and
+// the Portals-4 iovec baseline, both verified against the reference
+// pipeline.
+func TestUDPBackendTransferAndIovec(t *testing.T) {
+	sess := newUDPSession(t, 10)
+	typ := ddt.MustVector(64, 32, 96, ddt.Double)
+
+	req := NewTransferRequest(OutboundSpin, RWCP, typ, 2)
+	req.Seed = 9
+	res, err := sess.RunTransfer(req)
+	if err != nil || !res.Verified {
+		t.Fatalf("transfer: verified=%v err=%v", res.Verified, err)
+	}
+
+	ioReq := NewRequest(PortalsIovec, typ, 2)
+	ioReq.Seed = 11
+	ioRes, err := sess.Run(ioReq)
+	if err != nil || !ioRes.Verified {
+		t.Fatalf("iovec: verified=%v err=%v", ioRes.Verified, err)
+	}
+}
+
+// TestUDPBackendTimeoutPartialBatch pins the degraded-path contract: a
+// fault filter that kills every data frame of ONE message makes exactly
+// that future fail with ErrTimeout, while its batch siblings complete
+// verified — the flush reports per-message status instead of poisoning
+// the whole batch.
+func TestUDPBackendTimeoutPartialBatch(t *testing.T) {
+	tcfg := fastTransport()
+	tcfg.MaxRetries = 3
+	backend, err := NewUDPBackend(UDPConfig{
+		Network:   "pipe",
+		Transport: tcfg,
+		Fault: &transport.FaultConfig{
+			DropRate: 1,
+			Filter: func(pkt []byte) bool {
+				f, ok := transport.PeekFrame(pkt)
+				return ok && f.Type == transport.FrameData && f.Message == 1
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := NewSessionConfig()
+	cfg.Backend = backend
+	sess := NewSession(cfg)
+	defer sess.Close()
+
+	h, err := sess.CommitAs(ddt.MustVector(64, 32, 96, ddt.Int), RWCP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep := sess.Endpoint(EndpointConfig{})
+	futs := make([]*Future, 3)
+	for i := range futs {
+		if futs[i], err = ep.Post(h, 1, PostOpts{Seed: int64(i + 1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Messages flush in post order, so the filter's message ID 1 is the
+	// second post.
+	flushErr := ep.Flush()
+	if !errors.Is(flushErr, ErrTimeout) {
+		t.Fatalf("flush error %v, want ErrTimeout", flushErr)
+	}
+	for i, fut := range futs {
+		res, err := fut.Wait()
+		if i == 1 {
+			if !errors.Is(err, ErrTimeout) {
+				t.Fatalf("dropped future: err = %v, want ErrTimeout", err)
+			}
+			continue
+		}
+		if err != nil || !res.Verified {
+			t.Fatalf("sibling future %d poisoned: verified=%v err=%v", i, res.Verified, err)
+		}
+	}
+}
+
+// TestUDPBackendSendTimeout is the sender-side half of the degraded-path
+// contract: FlushSends surfaces ErrTimeout on the starved send only.
+func TestUDPBackendSendTimeout(t *testing.T) {
+	tcfg := fastTransport()
+	tcfg.MaxRetries = 3
+	backend, err := NewUDPBackend(UDPConfig{
+		Network:   "pipe",
+		Transport: tcfg,
+		Fault: &transport.FaultConfig{
+			DropRate: 1,
+			Filter: func(pkt []byte) bool {
+				f, ok := transport.PeekFrame(pkt)
+				return ok && f.Type == transport.FrameData && f.Message == 0
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := NewSessionConfig()
+	cfg.Backend = backend
+	sess := NewSession(cfg)
+	defer sess.Close()
+
+	h, err := sess.CommitAs(ddt.MustVector(64, 32, 96, ddt.Int), RWCP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep := sess.Endpoint(EndpointConfig{})
+	first, err := ep.Send(h, 1, SendOpts{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := ep.Send(h, 1, SendOpts{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flushErr := ep.FlushSends(); !errors.Is(flushErr, ErrTimeout) {
+		t.Fatalf("flush error %v, want ErrTimeout", flushErr)
+	}
+	if _, err := first.Wait(); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("starved send: err = %v, want ErrTimeout", err)
+	}
+	if res, err := second.Wait(); err != nil || !res.Verified {
+		t.Fatalf("sibling send poisoned: verified=%v err=%v", res.Verified, err)
+	}
+}
+
+// TestBatchErrorUnwrap pins the error type's contract: errors.Is sees
+// through to the wrapped sentinel, and Error() counts the failures.
+func TestBatchErrorUnwrap(t *testing.T) {
+	be := &BatchError{Errs: []error{nil, fmt.Errorf("msg 1: %w", ErrTimeout), nil}}
+	if !errors.Is(be, ErrTimeout) {
+		t.Fatal("BatchError hides ErrTimeout from errors.Is")
+	}
+	if got := be.Error(); got != "core: 1 of 3 batch messages failed; first: msg 1: "+ErrTimeout.Error() {
+		t.Fatalf("Error() = %q", got)
+	}
+	if batchErr([]error{nil, nil}) != nil {
+		t.Fatal("batchErr invented an error for an all-nil batch")
+	}
+}
+
+// TestSessionErrorPaths pins the hardened session API: freed handles,
+// undersized buffers, and closed sessions all fail with explicit errors,
+// and Session.Close is idempotent and rejects subsequent use.
+func TestSessionErrorPaths(t *testing.T) {
+	typ := ddt.MustVector(64, 32, 96, ddt.Int)
+
+	t.Run("freed handle", func(t *testing.T) {
+		sess := NewSession(NewSessionConfig())
+		defer sess.Close()
+		h, err := sess.CommitAs(typ, RWCP)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.Free()
+		if _, err := sess.Endpoint(EndpointConfig{}).Post(h, 1, PostOpts{}); err == nil {
+			t.Fatal("post with freed handle succeeded")
+		}
+		if _, err := sess.Endpoint(EndpointConfig{}).Send(h, 1, SendOpts{}); err == nil {
+			t.Fatal("send with freed handle succeeded")
+		}
+	})
+
+	t.Run("undersized buffers", func(t *testing.T) {
+		sess := NewSession(NewSessionConfig())
+		defer sess.Close()
+		h, err := sess.CommitAs(typ, RWCP)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, hi := typ.Footprint(1)
+		if _, err := sess.Endpoint(EndpointConfig{}).Post(h, 1, PostOpts{Dst: make([]byte, hi-1)}); err == nil {
+			t.Fatal("post with undersized destination succeeded")
+		}
+		if _, err := sess.Endpoint(EndpointConfig{}).Send(h, 1, SendOpts{Src: make([]byte, hi-1)}); err == nil {
+			t.Fatal("send with undersized source succeeded")
+		}
+	})
+
+	t.Run("closed session", func(t *testing.T) {
+		sess := NewSession(NewSessionConfig())
+		h, err := sess.CommitAs(typ, RWCP)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ep := sess.Endpoint(EndpointConfig{})
+		sess.Close()
+		sess.Close() // idempotent
+		if _, err := sess.CommitAs(typ, Specialized); !errors.Is(err, ErrSessionClosed) {
+			t.Fatalf("commit on closed session: %v", err)
+		}
+		if _, err := ep.Post(h, 1, PostOpts{}); err == nil {
+			t.Fatal("post on closed session succeeded")
+		}
+		if _, err := ep.Send(h, 1, SendOpts{}); err == nil {
+			t.Fatal("send on closed session succeeded")
+		}
+	})
+
+	t.Run("close releases backend", func(t *testing.T) {
+		backend, err := NewUDPBackend(UDPConfig{Network: "pipe"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := NewSessionConfig()
+		cfg.Backend = backend
+		sess := NewSession(cfg)
+		sess.Close()
+		// The session closed the backend's endpoints: a flush now fails
+		// instead of hanging.
+		if _, err := backend.Flush(BackendEnv{}, []BackendMessage{{Packed: []byte{1}, Dst: make([]byte, 8)}}); err == nil {
+			t.Fatal("flush on closed backend succeeded")
+		}
+	})
+}

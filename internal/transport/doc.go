@@ -1,0 +1,75 @@
+// Package transport is the reliable UDP wire underneath core.UDPBackend:
+// it moves committed-block-program exchanges between OS processes over an
+// unreliable packet network and survives loss, reordering, duplication and
+// corruption. Everything above it (the session API, the backends) deals in
+// whole messages; everything below it is any net.PacketConn — a kernel UDP
+// socket, the in-memory Pipe, or either wrapped in a FaultConn.
+//
+// # Frame layout
+//
+// Every datagram carries exactly one frame:
+//
+//	offset  size  field
+//	0       4     magic 0x53504454 ("SPDT", little endian)
+//	4       1     version (1)
+//	5       1     type (1 = data, 2 = ack)
+//	6       2     payload length
+//	8       4     session id
+//	12      4     message id
+//	16      4     sequence number
+//	20      4     aux (data: total frame count; ack: SACK bitmap)
+//	24      4     checksum (CRC-32C over the frame with this field zeroed)
+//	28      ...   payload (data frames only)
+//
+// A message is the unit callers send: Endpoint.Send(id, hdr, payload)
+// serializes the virtual stream [u32 hdrLen][hdr][payload] into data
+// frames of at most Config.MaxPayload bytes, sequence-numbered from 0;
+// the aux field of every data frame repeats the total frame count so any
+// single frame opens the message on the receiver. The header block is the
+// exchange format of the session layer (EncodeWireMeta: the ddt-encoded
+// datatype, element count and destination offset — the committed block
+// program's wire form), the payload is the packed byte stream the
+// receiver scatters through it. Both sides of a connection must agree on
+// MaxPayload: the receiver places frame seq at offset seq*MaxPayload.
+//
+// A frame whose checksum does not match its contents is dropped on
+// receipt — corruption degrades to loss, and the ARQ below recovers it.
+//
+// # Ack scheme
+//
+// The receiver acknowledges every data frame it receives with an ack
+// frame: seq is the cumulative ack (every frame below it has been
+// received) and aux is a selective-ack bitmap — bit i set means frame
+// seq+1+i has been received out of order. The sender marks both and
+// retransmits only the holes. Acks are unreliable; a lost ack costs at
+// most one spurious retransmission, which the receiver re-acks (completed
+// messages are remembered and re-acked with a full cumulative ack, so a
+// sender whose final ack was lost still converges).
+//
+// Because the bitmap covers 32 frames past the cumulative ack, the send
+// window (Config.Window) is capped at 33 frames in flight per message;
+// the default is 32.
+//
+// # RTO and backoff policy
+//
+// The sender samples round-trip times from acks of frames transmitted
+// exactly once (Karn's rule) and maintains the usual Jacobson estimate:
+// SRTT + 4*RTTVAR, clamped to [Config.RTOMin, Config.RTOMax]. Each Send
+// runs its own retransmission loop: when no ack progress arrives within
+// the current RTO, every unacked in-window frame is retransmitted and the
+// RTO doubles (up to RTOMax); any progress resets both the timer and the
+// retry budget. After Config.MaxRetries consecutive no-progress timeouts
+// the send fails with ErrTimeout — the bounded retry budget that surfaces
+// as a typed error from the session layer's Flush/FlushSends.
+//
+// # Fault injection
+//
+// FaultConn decorates any net.PacketConn with deterministic, seeded
+// fault injection on the write path: each datagram is independently
+// dropped, duplicated, held back one write (reordering) or bit-flipped
+// (corruption) according to FaultConfig rates drawn from a seeded PRNG,
+// and an optional Filter restricts the faults to matching datagrams
+// (PeekFrame exposes the parsed header for exactly this). Every loss
+// scenario is therefore reproducible in-process and race-testable — no
+// real lossy network required. FaultConn.Stats reports what was injected.
+package transport

@@ -1,0 +1,132 @@
+package transport
+
+import (
+	"math/rand"
+	"net"
+	"sync"
+)
+
+// FaultConfig describes the faults a FaultConn injects on its write path.
+// Rates are independent per-datagram probabilities in [0, 1]; the PRNG is
+// seeded, so a single-writer fault sequence is fully deterministic.
+type FaultConfig struct {
+	// Seed seeds the fault PRNG (0 is a valid seed).
+	Seed int64
+	// DropRate silently discards the datagram.
+	DropRate float64
+	// DupRate sends the datagram twice.
+	DupRate float64
+	// ReorderRate holds the datagram back until after the next write —
+	// a one-slot reordering queue, enough to exercise every out-of-order
+	// code path without unbounded delay.
+	ReorderRate float64
+	// CorruptRate flips one random byte of the datagram (a copy; the
+	// caller's buffer is never modified). The frame checksum turns this
+	// into a receive-side drop.
+	CorruptRate float64
+	// Filter, when non-nil, restricts faults to datagrams it returns
+	// true for; everything else passes through untouched. Use PeekFrame
+	// to target frame types or specific messages.
+	Filter func(pkt []byte) bool
+}
+
+// FaultStats counts what a FaultConn injected.
+type FaultStats struct {
+	Written   int64 // datagrams offered by the caller
+	Dropped   int64
+	Duplicate int64
+	Reordered int64
+	Corrupted int64
+}
+
+// FaultConn decorates a net.PacketConn with seeded fault injection on
+// WriteTo. Reads pass through untouched: injecting on one side's writes
+// already exercises the peer's full loss/reorder/corruption handling, and
+// keeping reads clean means wrapping both directions composes without
+// double-counting. FaultConn is safe for concurrent use.
+type FaultConn struct {
+	net.PacketConn
+	cfg FaultConfig
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	held  []byte // the one reordered datagram in flight
+	heldA net.Addr
+	stats FaultStats
+}
+
+// NewFaultConn wraps conn with the configured fault injection.
+func NewFaultConn(conn net.PacketConn, cfg FaultConfig) *FaultConn {
+	return &FaultConn{
+		PacketConn: conn,
+		cfg:        cfg,
+		rng:        rand.New(rand.NewSource(cfg.Seed)),
+	}
+}
+
+// Stats returns a snapshot of the injected-fault counters.
+func (c *FaultConn) Stats() FaultStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// WriteTo applies the configured faults, then forwards to the wrapped
+// conn. It always reports the full datagram length as written — from the
+// sender's point of view a dropped packet left just fine.
+func (c *FaultConn) WriteTo(p []byte, addr net.Addr) (int, error) {
+	c.mu.Lock()
+	c.stats.Written++
+	match := c.cfg.Filter == nil || c.cfg.Filter(p)
+
+	// Release a previously held datagram after this write completes, so
+	// the pair lands in swapped order.
+	var release []byte
+	var releaseA net.Addr
+
+	send := p
+	if match {
+		if c.rng.Float64() < c.cfg.DropRate {
+			c.stats.Dropped++
+			c.mu.Unlock()
+			return len(p), nil
+		}
+		if c.rng.Float64() < c.cfg.CorruptRate {
+			c.stats.Corrupted++
+			dup := append([]byte(nil), p...)
+			if len(dup) > 0 {
+				dup[c.rng.Intn(len(dup))] ^= 1 << uint(c.rng.Intn(8))
+			}
+			send = dup
+		}
+		if c.held == nil && c.rng.Float64() < c.cfg.ReorderRate {
+			c.stats.Reordered++
+			c.held = append([]byte(nil), send...)
+			c.heldA = addr
+			c.mu.Unlock()
+			return len(p), nil
+		}
+		if c.rng.Float64() < c.cfg.DupRate {
+			c.stats.Duplicate++
+			if _, err := c.PacketConn.WriteTo(send, addr); err != nil {
+				c.mu.Unlock()
+				return 0, err
+			}
+		}
+	}
+	release, releaseA = c.held, c.heldA
+	c.held, c.heldA = nil, nil
+	c.mu.Unlock()
+
+	n, err := c.PacketConn.WriteTo(send, addr)
+	if err == nil && release != nil {
+		_, err = c.PacketConn.WriteTo(release, releaseA)
+	}
+	if err != nil {
+		return 0, err
+	}
+	if n > len(p) {
+		n = len(p)
+	}
+	return n, err
+}

@@ -1,0 +1,132 @@
+package transport
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Pipe returns an in-memory net.PacketConn pair: datagrams written to one
+// end arrive at the other, preserving message boundaries. It is the
+// deterministic substrate for transport tests and benchmarks — the same
+// code paths as a kernel UDP socket, none of the kernel's own timing
+// noise — and composes with FaultConn for loss injection. Each end's
+// receive queue is bounded; a full queue drops the datagram, which is
+// exactly the overrun behavior of a real UDP socket buffer.
+func Pipe() (a, b net.PacketConn) {
+	ca := newPipeConn("pipe:a")
+	cb := newPipeConn("pipe:b")
+	ca.peer, cb.peer = cb, ca
+	return ca, cb
+}
+
+// pipeQueueCap bounds each end's receive queue (datagrams).
+const pipeQueueCap = 4096
+
+// pipeAddr is the net.Addr of one pipe end.
+type pipeAddr string
+
+func (a pipeAddr) Network() string { return "pipe" }
+func (a pipeAddr) String() string  { return string(a) }
+
+// pipeConn is one end of a Pipe.
+type pipeConn struct {
+	addr pipeAddr
+	peer *pipeConn
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queue    [][]byte
+	closed   bool
+	deadline time.Time
+}
+
+func newPipeConn(addr string) *pipeConn {
+	c := &pipeConn{addr: pipeAddr(addr)}
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+// deliver enqueues one datagram on this end's receive queue.
+func (c *pipeConn) deliver(p []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed || len(c.queue) >= pipeQueueCap {
+		return // socket-buffer overrun: the datagram is lost
+	}
+	c.queue = append(c.queue, append([]byte(nil), p...))
+	c.cond.Signal()
+}
+
+func (c *pipeConn) ReadFrom(p []byte) (int, net.Addr, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for len(c.queue) == 0 {
+		if c.closed {
+			return 0, nil, net.ErrClosed
+		}
+		if !c.deadline.IsZero() {
+			wait := time.Until(c.deadline)
+			if wait <= 0 {
+				return 0, nil, errPipeTimeout
+			}
+			// A coarse deadline poll keeps the implementation free of
+			// per-read timer goroutines; transport reads use no deadline.
+			c.mu.Unlock()
+			time.Sleep(min(wait, time.Millisecond))
+			c.mu.Lock()
+			continue
+		}
+		c.cond.Wait()
+	}
+	pkt := c.queue[0]
+	c.queue = c.queue[1:]
+	n := copy(p, pkt)
+	if n < len(pkt) {
+		return n, c.peer.addr, fmt.Errorf("transport: datagram %d bytes truncated to %d", len(pkt), n)
+	}
+	return n, c.peer.addr, nil
+}
+
+func (c *pipeConn) WriteTo(p []byte, _ net.Addr) (int, error) {
+	c.mu.Lock()
+	closed := c.closed
+	peer := c.peer
+	c.mu.Unlock()
+	if closed {
+		return 0, net.ErrClosed
+	}
+	peer.deliver(p)
+	return len(p), nil
+}
+
+func (c *pipeConn) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	c.cond.Broadcast()
+	return nil
+}
+
+func (c *pipeConn) LocalAddr() net.Addr { return c.addr }
+
+func (c *pipeConn) SetDeadline(t time.Time) error      { return c.SetReadDeadline(t) }
+func (c *pipeConn) SetWriteDeadline(t time.Time) error { return nil }
+func (c *pipeConn) SetReadDeadline(t time.Time) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.deadline = t
+	c.cond.Broadcast()
+	return nil
+}
+
+// errPipeTimeout satisfies net.Error so callers can detect deadline
+// expiry the same way they would on a real socket.
+var errPipeTimeout net.Error = &pipeTimeout{}
+
+type pipeTimeout struct{}
+
+func (*pipeTimeout) Error() string   { return "transport: pipe read deadline exceeded" }
+func (*pipeTimeout) Timeout() bool   { return true }
+func (*pipeTimeout) Temporary() bool { return true }

@@ -1,0 +1,339 @@
+package transport
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"spinddt/internal/ddt"
+)
+
+// testConfig keeps retransmission timers fast so lossy tests converge
+// quickly.
+func testConfig() Config {
+	return Config{RTOMin: time.Millisecond, RTOMax: 50 * time.Millisecond, MaxRetries: 30}
+}
+
+// pair builds a connected endpoint pair over an in-memory pipe, with
+// optional fault injection on each direction.
+func pair(t testing.TB, cfg Config, fault *FaultConfig) (sender, receiver *Endpoint) {
+	t.Helper()
+	a, b := Pipe()
+	ca, cb := net.PacketConn(a), net.PacketConn(b)
+	if fault != nil {
+		ackFault := *fault
+		ackFault.Seed = fault.Seed ^ 0x5eed
+		ca = NewFaultConn(a, *fault)
+		cb = NewFaultConn(b, ackFault)
+	}
+	sender = NewEndpoint(ca, b.LocalAddr(), 1, cfg)
+	receiver = NewEndpoint(cb, a.LocalAddr(), 1, cfg)
+	t.Cleanup(func() { sender.Close(); receiver.Close() })
+	return sender, receiver
+}
+
+// lossRates returns the loss percentages to exercise. CI's loss-matrix
+// job pins one rate per shard via SPINDDT_LOSS_PCT; a plain `go test`
+// runs the whole matrix.
+func lossRates(t *testing.T) []int {
+	if s := os.Getenv("SPINDDT_LOSS_PCT"); s != "" {
+		pct, err := strconv.Atoi(s)
+		if err != nil || pct < 0 || pct > 90 {
+			t.Fatalf("SPINDDT_LOSS_PCT=%q: want an integer percentage in [0, 90]", s)
+		}
+		return []int{pct}
+	}
+	return []int{0, 1, 10}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	f := Frame{Type: FrameData, Session: 7, Message: 9, Seq: 3, Aux: 42, Payload: []byte("hello frame")}
+	pkt := AppendFrame(nil, &f)
+	got, err := DecodeFrame(pkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Type != f.Type || got.Session != f.Session || got.Message != f.Message ||
+		got.Seq != f.Seq || got.Aux != f.Aux || !bytes.Equal(got.Payload, f.Payload) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", got, f)
+	}
+
+	// Every single-bit corruption anywhere in the datagram must be
+	// rejected — the checksum is the transport's integrity floor.
+	for i := range pkt {
+		for bit := 0; bit < 8; bit++ {
+			mut := append([]byte(nil), pkt...)
+			mut[i] ^= 1 << uint(bit)
+			if _, err := DecodeFrame(mut); err == nil {
+				t.Fatalf("corruption at byte %d bit %d accepted", i, bit)
+			}
+		}
+	}
+
+	if _, err := DecodeFrame(pkt[:HeaderSize-1]); !errors.Is(err, ErrCorruptFrame) {
+		t.Fatalf("short frame: %v", err)
+	}
+	if _, err := DecodeFrame(append(append([]byte(nil), pkt...), 0)); !errors.Is(err, ErrCorruptFrame) {
+		t.Fatalf("trailing byte: %v", err)
+	}
+}
+
+func TestPeekFrame(t *testing.T) {
+	pkt := AppendFrame(nil, &Frame{Type: FrameAck, Session: 5, Message: 6, Seq: 2, Aux: 0xf})
+	f, ok := PeekFrame(pkt)
+	if !ok || f.Type != FrameAck || f.Session != 5 || f.Message != 6 || f.Seq != 2 || f.Aux != 0xf {
+		t.Fatalf("peek = %+v, %v", f, ok)
+	}
+	if _, ok := PeekFrame([]byte("not a frame")); ok {
+		t.Fatal("peek accepted garbage")
+	}
+}
+
+func TestWireMetaRoundTrip(t *testing.T) {
+	typ := ddt.MustVector(16, 4, 8, ddt.Int)
+	m, err := DecodeWireMeta(EncodeWireMeta(WireMeta{Type: typ, Count: 3}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Type == nil || m.Count != 3 || !ddt.TypemapEqual(m.Type, typ) {
+		t.Fatalf("block-program meta mismatch: %+v", m)
+	}
+	c, err := DecodeWireMeta(EncodeWireMeta(WireMeta{Offset: 4096}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Type != nil || c.Offset != 4096 {
+		t.Fatalf("contiguous meta mismatch: %+v", c)
+	}
+	if _, err := DecodeWireMeta(nil); err == nil {
+		t.Fatal("empty meta accepted")
+	}
+	if _, err := DecodeWireMeta([]byte{metaKindBlockProgram, 1, 0, 0, 0, 0, 0, 0, 0, 0xff}); err == nil {
+		t.Fatal("truncated type encoding accepted")
+	}
+}
+
+// TestSendRecvSizes moves messages across the size spectrum — sub-frame,
+// exact frame multiples, multi-window — and requires byte-identical
+// delivery of header and payload.
+func TestSendRecvSizes(t *testing.T) {
+	sender, receiver := pair(t, testConfig(), nil)
+	chunk := sender.cfg.MaxPayload
+	sizes := []int{0, 1, chunk - 5, chunk - 4, chunk, chunk + 1, 3 * chunk, 40*chunk + 17}
+	for _, size := range sizes {
+		hdr := []byte(fmt.Sprintf("hdr-%d", size))
+		body := make([]byte, size)
+		for i := range body {
+			body[i] = byte(i * 31)
+		}
+		id := sender.NextMessageID()
+		if err := sender.Send(id, hdr, body); err != nil {
+			t.Fatalf("size %d: %v", size, err)
+		}
+		msg, err := receiver.Recv(5 * time.Second)
+		if err != nil {
+			t.Fatalf("size %d: %v", size, err)
+		}
+		if msg.ID != id || !bytes.Equal(msg.Hdr, hdr) || !bytes.Equal(msg.Payload, body) {
+			t.Fatalf("size %d: delivered message differs (id %d, hdr %q, %d payload bytes)",
+				size, msg.ID, msg.Hdr, len(msg.Payload))
+		}
+		msg.Release()
+	}
+	if s := sender.Stats(); s.MsgsSent != int64(len(sizes)) {
+		t.Fatalf("sender stats: %+v", s)
+	}
+}
+
+// TestLossMatrix is the transport's core reliability property: under
+// seeded drop+duplicate+reorder+corrupt injection on both directions,
+// every message still arrives exactly once, byte-identical, in bounded
+// time. Runs at each rate of the loss matrix (see lossRates).
+func TestLossMatrix(t *testing.T) {
+	for _, pct := range lossRates(t) {
+		t.Run(fmt.Sprintf("loss%d", pct), func(t *testing.T) {
+			rate := float64(pct) / 100
+			fault := &FaultConfig{
+				Seed:        1337,
+				DropRate:    rate,
+				DupRate:     rate / 2,
+				ReorderRate: rate / 2,
+				CorruptRate: rate / 2,
+			}
+			sender, receiver := pair(t, testConfig(), fault)
+
+			const msgs = 8
+			payloads := make([][]byte, msgs)
+			var wg sync.WaitGroup
+			errs := make(chan error, msgs)
+			for i := 0; i < msgs; i++ {
+				body := make([]byte, 3000+i*1777)
+				for j := range body {
+					body[j] = byte(j + i)
+				}
+				payloads[i] = body
+				wg.Add(1)
+				go func(id int) {
+					defer wg.Done()
+					if err := sender.Send(uint32(id), []byte{byte(id)}, payloads[id]); err != nil {
+						errs <- fmt.Errorf("send %d: %w", id, err)
+					}
+				}(i)
+			}
+
+			seen := make(map[uint32]bool)
+			for i := 0; i < msgs; i++ {
+				msg, err := receiver.Recv(30 * time.Second)
+				if err != nil {
+					t.Fatalf("recv %d: %v", i, err)
+				}
+				if seen[msg.ID] {
+					t.Fatalf("message %d delivered twice", msg.ID)
+				}
+				seen[msg.ID] = true
+				if len(msg.Hdr) != 1 || msg.Hdr[0] != byte(msg.ID) {
+					t.Fatalf("message %d: header %v", msg.ID, msg.Hdr)
+				}
+				if !bytes.Equal(msg.Payload, payloads[msg.ID]) {
+					t.Fatalf("message %d: payload differs", msg.ID)
+				}
+				msg.Release()
+			}
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				t.Fatal(err)
+			}
+			if pct >= 10 {
+				if s := sender.Stats(); s.Retransmits == 0 {
+					t.Fatalf("%d%% loss produced no retransmissions: %+v", pct, s)
+				}
+			}
+		})
+	}
+}
+
+// TestSendTimeout pins the bounded retry budget: a fault filter that
+// drops every data frame of one message makes exactly that send fail
+// with ErrTimeout while its sibling completes.
+func TestSendTimeout(t *testing.T) {
+	fault := &FaultConfig{
+		DropRate: 1,
+		Filter: func(pkt []byte) bool {
+			f, ok := PeekFrame(pkt)
+			return ok && f.Type == FrameData && f.Message == 1
+		},
+	}
+	cfg := testConfig()
+	cfg.MaxRetries = 3
+	a, b := Pipe()
+	sender := NewEndpoint(NewFaultConn(a, *fault), b.LocalAddr(), 1, cfg)
+	receiver := NewEndpoint(b, a.LocalAddr(), 1, cfg)
+	defer sender.Close()
+	defer receiver.Close()
+
+	okCh := make(chan error, 1)
+	go func() { okCh <- sender.Send(0, nil, make([]byte, 5000)) }()
+
+	start := time.Now()
+	err := sender.Send(1, nil, make([]byte, 5000))
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("dropped message: err = %v, want ErrTimeout", err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("retry budget took %v to exhaust", elapsed)
+	}
+	if err := <-okCh; err != nil {
+		t.Fatalf("sibling send failed: %v", err)
+	}
+	if s := sender.Stats(); s.Timeouts != 1 || s.MsgsSent != 1 {
+		t.Fatalf("stats: %+v", s)
+	}
+	msg, err := receiver.Recv(5 * time.Second)
+	if err != nil || msg.ID != 0 {
+		t.Fatalf("sibling delivery: id %d err %v", msg.ID, err)
+	}
+	msg.Release()
+}
+
+// TestEndpointClose pins shutdown semantics: Recv on a closed endpoint
+// fails with ErrClosed, Close is idempotent.
+func TestEndpointClose(t *testing.T) {
+	sender, receiver := pair(t, testConfig(), nil)
+	if err := sender.Send(0, nil, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := receiver.Recv(5 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg.Release()
+	receiver.Close()
+	receiver.Close()
+	if _, err := receiver.Recv(time.Second); !errors.Is(err, ErrClosed) {
+		t.Fatalf("recv after close: %v", err)
+	}
+}
+
+// TestUDPSocketPair runs the clean-path exchange over real kernel UDP
+// loopback sockets — the deployment configuration — rather than the
+// in-memory pipe.
+func TestUDPSocketPair(t *testing.T) {
+	a, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("no UDP loopback: %v", err)
+	}
+	b, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sender := NewEndpoint(a, b.LocalAddr(), 1, testConfig())
+	receiver := NewEndpoint(b, a.LocalAddr(), 1, testConfig())
+	defer sender.Close()
+	defer receiver.Close()
+
+	body := make([]byte, 100_000)
+	for i := range body {
+		body[i] = byte(i * 7)
+	}
+	if err := sender.Send(0, []byte("udp"), body); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := receiver.Recv(10 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer msg.Release()
+	if !bytes.Equal(msg.Payload, body) {
+		t.Fatal("payload differs over UDP loopback")
+	}
+}
+
+// TestFaultConnStats pins the injector's bookkeeping: with a seeded PRNG
+// the same write sequence injects the same faults.
+func TestFaultConnStats(t *testing.T) {
+	run := func() FaultStats {
+		a, _ := Pipe()
+		fc := NewFaultConn(a, FaultConfig{Seed: 99, DropRate: 0.3, DupRate: 0.2, ReorderRate: 0.1, CorruptRate: 0.2})
+		pkt := AppendFrame(nil, &Frame{Type: FrameData, Aux: 1})
+		for i := 0; i < 200; i++ {
+			if _, err := fc.WriteTo(pkt, nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return fc.Stats()
+	}
+	first := run()
+	if first.Dropped == 0 || first.Duplicate == 0 || first.Reordered == 0 || first.Corrupted == 0 {
+		t.Fatalf("faults not exercised: %+v", first)
+	}
+	if second := run(); second != first {
+		t.Fatalf("seeded injection not deterministic: %+v vs %+v", second, first)
+	}
+}

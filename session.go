@@ -111,3 +111,33 @@ type (
 	SimBackend     = core.SimBackend
 	MemBackend     = core.MemBackend
 )
+
+// UDPBackend executes posted messages over a real wire: gather on the
+// sender, reliable UDP transport (sliding-window ARQ, selective acks,
+// RTO backoff — internal/transport), scatter on the receiver from the
+// block program decoded off the wire. NewUDPBackend opens the socket
+// pair; UDPConfig selects the network ("udp" or the in-memory "pipe"),
+// tunes the transport, and optionally injects seeded faults. Close the
+// backend (or the owning Session) to release the sockets.
+type (
+	UDPBackend = core.UDPBackend
+	UDPConfig  = core.UDPConfig
+)
+
+// NewUDPBackend opens a UDPBackend's socket pair and starts its
+// transport endpoints.
+func NewUDPBackend(cfg UDPConfig) (*UDPBackend, error) { return core.NewUDPBackend(cfg) }
+
+// BatchError carries per-message errors out of a partially failed flush:
+// Errs[i] is message i's error, nil for messages that completed. Each
+// affected Future/SendFuture also carries its own error, so one
+// timed-out message never poisons its batch siblings.
+type BatchError = core.BatchError
+
+// ErrTimeout reports a message whose transport retry budget was
+// exhausted; test with errors.Is. ErrSessionClosed reports a commit or
+// post on a Session after Close.
+var (
+	ErrTimeout       = core.ErrTimeout
+	ErrSessionClosed = core.ErrSessionClosed
+)
