@@ -31,12 +31,18 @@ BENCH_DATE := $(shell date +%F)
 # bench-check: the end-to-end simulation hot path, the datatype engine,
 # the event-engine microbench, the sharded cluster simulation (serial
 # executor baseline + all-cores executor), the session API (committed
-# handle reuse + the batched alltoall endpoint pass), and the symmetric
-# device model (sender-side handle reuse + the sharded halo exchange),
-# and the reliable transport's steady-state message rate.
-BENCH_CORE := BenchmarkSimulationRWCP1MiB|BenchmarkSimulationSpecialized1MiB|BenchmarkDDTPackUnpack|BenchmarkEventEngine|BenchmarkSimulationClusterSerial|BenchmarkSimulationSharded|BenchmarkSessionPostReuse|BenchmarkAlltoall8|BenchmarkSessionSendReuse|BenchmarkHaloExchange8|BenchmarkTransportThroughput
+# handle reuse + the batched alltoall endpoint pass), the symmetric
+# device model (sender-side handle reuse + the sharded halo exchanges
+# at 8 and 64 ranks), and the reliable transport's steady-state message
+# rate.
+BENCH_CORE := BenchmarkSimulationRWCP1MiB|BenchmarkSimulationSpecialized1MiB|BenchmarkDDTPackUnpack|BenchmarkEventEngine|BenchmarkSimulationClusterSerial|BenchmarkSimulationSharded|BenchmarkSessionPostReuse|BenchmarkAlltoall8|BenchmarkSessionSendReuse|BenchmarkHaloExchange8|BenchmarkHaloExchange64|BenchmarkTransportThroughput
 # Allowed fractional ns/op regression vs BENCH_BASELINE.json.
 TOLERANCE ?= 0.25
+# Allowed fractional B/op and allocs/op regression vs BENCH_BASELINE.json.
+# Memory counters are near-deterministic, so the gate is much tighter
+# than the timing one: it is what holds the exchange path's streamed-
+# chunk/pooled-state memory diet in place.
+MEM_TOLERANCE ?= 0.10
 # Gate runs take the best of BENCH_COUNT repetitions per benchmark
 # (min ns/op): single runs of the allocation-heavy benchmarks are too
 # noisy on a 1-core CI machine to gate at this tolerance.
@@ -79,9 +85,10 @@ bench-all:
 	$(GO) test -run '^$$' -bench . -benchtime 1x -benchmem -p 1 ./... | $(GO) run ./cmd/benchjson -out BENCH_$(BENCH_DATE).json
 
 # bench-check reruns the core benchmarks and fails if any is more than
-# TOLERANCE slower than the committed baseline (the CI bench-gate).
+# TOLERANCE slower — or allocates more than MEM_TOLERANCE past — the
+# committed baseline (the CI bench-gate).
 bench-check:
-	$(GO) run ./cmd/benchjson -bench '$(BENCH_CORE)' -benchtime 2s -count $(BENCH_COUNT) -out BENCH_check.json -compare BENCH_BASELINE.json -tolerance $(TOLERANCE)
+	$(GO) run ./cmd/benchjson -bench '$(BENCH_CORE)' -benchtime 2s -count $(BENCH_COUNT) -out BENCH_check.json -compare BENCH_BASELINE.json -tolerance $(TOLERANCE) -mem-tolerance $(MEM_TOLERANCE)
 
 # bench-baseline refreshes the committed baseline snapshot.
 bench-baseline:
@@ -93,10 +100,12 @@ golden:
 	$(GO) run ./cmd/ddtbench $(GOLDEN_ARGS) -engine serial > testdata/golden/ddtbench.txt
 
 # determinism renders every figure/table on both engines and requires
-# byte-identical output, pinned to the goldens.
+# byte-identical output, pinned to the goldens. Scratch renders land in
+# the gitignored out/ directory, never at the repo root.
 determinism:
-	$(GO) run ./cmd/ddtbench $(GOLDEN_ARGS) -engine serial > ddtbench-serial.out
-	$(GO) run ./cmd/ddtbench $(GOLDEN_ARGS) -engine sharded > ddtbench-sharded.out
-	diff -u testdata/golden/ddtbench.txt ddtbench-serial.out
-	diff -u testdata/golden/ddtbench.txt ddtbench-sharded.out
+	@mkdir -p out
+	$(GO) run ./cmd/ddtbench $(GOLDEN_ARGS) -engine serial > out/ddtbench-serial.out
+	$(GO) run ./cmd/ddtbench $(GOLDEN_ARGS) -engine sharded > out/ddtbench-sharded.out
+	diff -u testdata/golden/ddtbench.txt out/ddtbench-serial.out
+	diff -u testdata/golden/ddtbench.txt out/ddtbench-sharded.out
 	@echo "determinism: serial and sharded outputs match the goldens"

@@ -440,6 +440,29 @@ func BenchmarkHaloExchange8(b *testing.B) {
 	}
 }
 
+// BenchmarkHaloExchange64 is the scaled-out exchange figure: a 64-rank
+// ring (128 gathered sends, 128 verified receives) at 256 KiB per
+// neighbor message, one sharded domain per rank. The headline metrics
+// are B/op and allocs/op — with the streamed wire chunks and pooled
+// exchange state the footprint must stay flat in rank count, not grow
+// with the ~32 MiB of wire traffic in flight.
+func BenchmarkHaloExchange64(b *testing.B) {
+	// Same untimed warm-up rationale as BenchmarkHaloExchange8.
+	if t, err := experiments.HaloExchange(64, 256<<10); err != nil {
+		b.Fatal(err)
+	} else {
+		printTable("haloexchange64", t)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.HaloExchange(64, 256<<10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printTable("haloexchange64", t)
+	}
+}
+
 func BenchmarkAblationEndToEnd(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		t, err := experiments.AblationEndToEnd(1<<20, 512)

@@ -8,6 +8,7 @@
 //	go test -run '^$' -bench . -benchmem ./... | benchjson -out BENCH_2026-07-27.json
 //	benchjson -bench 'BenchmarkSimulation|BenchmarkEventEngine' # runs go test itself
 //	benchjson -bench '...' -compare BENCH_BASELINE.json -tolerance 0.25
+//	benchjson -bench '...' -compare ... -mem-tolerance 0.10  # gate B/op and allocs/op too
 //	benchjson -bench '...' -count 3   # best-of-3: min ns/op per benchmark
 //
 // With no -out, the file name defaults to BENCH_<today>.json in the
@@ -21,8 +22,12 @@
 // -compare gates the fresh run against a checked-in baseline snapshot:
 // every baseline benchmark must be present in the fresh run and no slower
 // than (1 + tolerance) times its baseline ns/op, or the process exits
-// nonzero listing the regressions. CI runs this as `make bench-check` so
-// perf regressions fail the PR instead of only shipping an artifact.
+// nonzero listing the regressions. B/op and allocs/op are gated the same
+// way against -mem-tolerance whenever the baseline records them — memory
+// counters are near-deterministic, so their tolerance can sit well below
+// the timing one and still catch a pooling regression that timing noise
+// would hide. CI runs this as `make bench-check` so perf regressions fail
+// the PR instead of only shipping an artifact.
 package main
 
 import (
@@ -124,6 +129,7 @@ func main() {
 	count := flag.Int("count", 1, "go test -count for -bench runs; repeats collapse to min ns/op")
 	compare := flag.String("compare", "", "baseline snapshot to gate the fresh results against")
 	tolerance := flag.Float64("tolerance", 0.25, "allowed fractional ns/op regression for -compare")
+	memTolerance := flag.Float64("mem-tolerance", 0.10, "allowed fractional B/op and allocs/op regression for -compare")
 	flag.Parse()
 
 	var src io.Reader = os.Stdin
@@ -185,7 +191,7 @@ func main() {
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(results), path)
 
 	if *compare != "" {
-		if err := gate(*compare, results, *tolerance); err != nil {
+		if err := gate(*compare, results, *tolerance, *memTolerance); err != nil {
 			fatal(err)
 		}
 	}
@@ -193,8 +199,10 @@ func main() {
 
 // gate compares fresh results against the baseline snapshot at path:
 // every baseline benchmark must appear in the fresh run no slower than
-// (1 + tolerance) times its baseline ns/op.
-func gate(path string, fresh []Result, tolerance float64) error {
+// (1 + tolerance) times its baseline ns/op, and — when the baseline
+// records them — no more than (1 + memTolerance) times its baseline
+// B/op and allocs/op.
+func gate(path string, fresh []Result, tolerance, memTolerance float64) error {
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -212,7 +220,8 @@ func gate(path string, fresh []Result, tolerance float64) error {
 		byName[trimProcSuffix(r.Name)] = r
 	}
 	var failures []string
-	fmt.Fprintf(os.Stderr, "benchjson: gating against %s (tolerance %.0f%%)\n", path, tolerance*100)
+	fmt.Fprintf(os.Stderr, "benchjson: gating against %s (tolerance %.0f%%, mem %.0f%%)\n",
+		path, tolerance*100, memTolerance*100)
 	for _, b := range base.Benchmarks {
 		name := trimProcSuffix(b.Name)
 		got, ok := byName[name]
@@ -229,6 +238,28 @@ func gate(path string, fresh []Result, tolerance float64) error {
 		}
 		fmt.Fprintf(os.Stderr, "  %-45s %12.0f -> %12.0f ns/op  %+6.1f%%  %s\n",
 			name, b.NsPerOp, got.NsPerOp, (ratio-1)*100, verdict)
+		// Memory units gate only when the baseline recorded them, so old
+		// snapshots (and benchmarks without -benchmem) stay comparable.
+		for _, unit := range []string{"B/op", "allocs/op"} {
+			want, ok := b.Metrics[unit]
+			if !ok || want == 0 {
+				continue
+			}
+			have, ok := got.Metrics[unit]
+			if !ok {
+				failures = append(failures, fmt.Sprintf("%s: baseline records %s but this run did not report it", name, unit))
+				continue
+			}
+			mratio := have / want
+			mverdict := "ok"
+			if have > want*(1+memTolerance) {
+				mverdict = "REGRESSION"
+				failures = append(failures, fmt.Sprintf("%s: %.0f %s vs baseline %.0f %s (%+.1f%%, tolerance %.0f%%)",
+					name, have, unit, want, unit, (mratio-1)*100, memTolerance*100))
+			}
+			fmt.Fprintf(os.Stderr, "  %-45s %12.0f -> %12.0f %-9s %+6.1f%%  %s\n",
+				name, want, have, unit, (mratio-1)*100, mverdict)
+		}
 	}
 	if len(failures) > 0 {
 		return fmt.Errorf("%d benchmark(s) failed the gate:\n  %s", len(failures), strings.Join(failures, "\n  "))

@@ -9,7 +9,7 @@
 //	ddtbench -engine sharded     # same outputs on the sharded engine
 //
 // Figure ids: 2, 8, 9c, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19, cluster,
-// ablations, alltoall, haloexchange.
+// ablations, alltoall, haloexchange, haloexchange64, haloscaling.
 //
 // -engine selects the discrete-event executor: "serial" (default) or
 // "sharded" (domains with conservative-lookahead synchronization,
@@ -28,7 +28,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate (2|8|9b|9c|10|11|12|13|14|15|16|17|18|19|cluster|ablations|alltoall|haloexchange|all)")
+	fig := flag.String("fig", "all", "figure to regenerate (2|8|9b|9c|10|11|12|13|14|15|16|17|18|19|cluster|ablations|alltoall|haloexchange|haloexchange64|haloscaling|all)")
 	msg := flag.Int64("msg", 4<<20, "message size in bytes for the microbenchmarks")
 	fftN := flag.Int("fft-n", 20480, "FFT2D matrix dimension for Fig. 19")
 	engine := flag.String("engine", "serial", "discrete-event executor: serial|sharded")
@@ -171,6 +171,16 @@ func run(fig string, msg int64, fftN int) error {
 	}
 	if all || fig == "haloexchange" {
 		if err := show(experiments.HaloExchange(8, msg)); err != nil {
+			return err
+		}
+	}
+	if all || fig == "haloexchange64" {
+		if err := show(experiments.HaloExchange(64, 256<<10)); err != nil {
+			return err
+		}
+	}
+	if all || fig == "haloscaling" {
+		if err := show(experiments.HaloWeakScaling(64, 256<<10)); err != nil {
 			return err
 		}
 	}

@@ -3,6 +3,7 @@ package experiments
 import (
 	"bytes"
 	"fmt"
+	"sync"
 
 	"spinddt/internal/core"
 	"spinddt/internal/ddt"
@@ -12,6 +13,218 @@ import (
 	"spinddt/internal/sim"
 )
 
+// haloBufPool is a mutex-guarded free-list for the big halo buffers (rank
+// source and destination footprints, reference-pack scratch). A plain
+// free-list, not a sync.Pool: these are multi-megabyte buffers the figure
+// re-acquires on every regeneration, and a GC cycle between benchmark
+// iterations must not be able to drop them.
+var haloBufPool struct {
+	mu   sync.Mutex
+	free [][]byte
+}
+
+// getHaloBuf returns a pooled buffer of n bytes with unspecified content.
+func getHaloBuf(n int64) []byte {
+	haloBufPool.mu.Lock()
+	for i, b := range haloBufPool.free {
+		if int64(cap(b)) >= n {
+			last := len(haloBufPool.free) - 1
+			haloBufPool.free[i] = haloBufPool.free[last]
+			haloBufPool.free[last] = nil
+			haloBufPool.free = haloBufPool.free[:last]
+			haloBufPool.mu.Unlock()
+			return b[:n]
+		}
+	}
+	haloBufPool.mu.Unlock()
+	return make([]byte, n)
+}
+
+// getZeroedHaloBuf returns a pooled buffer of n zero bytes.
+func getZeroedHaloBuf(n int64) []byte {
+	b := getHaloBuf(n)
+	clear(b)
+	return b
+}
+
+func putHaloBuf(b []byte) {
+	if cap(b) == 0 {
+		return
+	}
+	haloBufPool.mu.Lock()
+	haloBufPool.free = append(haloBufPool.free, b[:cap(b)])
+	haloBufPool.mu.Unlock()
+}
+
+// haloRing is the buffer state of one ring instance, shared across the
+// offload strategies of a figure: per (rank, direction) a filled source
+// footprint and a zeroed destination footprint, plus one reference-pack
+// scratch and one reference-unpack buffer reused across every
+// verification. All buffers come from the halo free-list.
+//
+// Destinations are zeroed once and reused across strategies: every
+// strategy's scatter rewrites exactly the same host regions with the same
+// bytes (the datatype fixes the layout, the source fixes the content), so
+// a verified destination is already in the next strategy's expected final
+// state.
+type haloRing struct {
+	ranks    int
+	msgBytes int64
+	hi       int64
+	srcs     [][]byte
+	dsts     [][]byte
+	scratch  []byte // reference pack of one message
+	want     []byte // reference unpack footprint (gaps pinned zero)
+}
+
+const haloDirs = 2 // 0 = to the left neighbor, 1 = to the right
+
+func newHaloRing(ranks int, msgBytes, hi int64) *haloRing {
+	h := &haloRing{
+		ranks:    ranks,
+		msgBytes: msgBytes,
+		hi:       hi,
+		srcs:     make([][]byte, ranks*haloDirs),
+		dsts:     make([][]byte, ranks*haloDirs),
+		scratch:  getHaloBuf(msgBytes),
+		want:     getZeroedHaloBuf(hi),
+	}
+	for i := range h.srcs {
+		h.srcs[i] = getHaloBuf(hi)
+		fillHaloSrc(int64(i+1), h.srcs[i])
+		h.dsts[i] = getZeroedHaloBuf(hi)
+	}
+	return h
+}
+
+func (h *haloRing) release() {
+	for i := range h.srcs {
+		putHaloBuf(h.srcs[i])
+		putHaloBuf(h.dsts[i])
+	}
+	putHaloBuf(h.scratch)
+	putHaloBuf(h.want)
+}
+
+// haloStats aggregates one exchange run of the ring.
+type haloStats struct {
+	sendMax, hpuMax, recvMax, lastDone sim.Time
+	makespan                           sim.Time
+	windows                            uint64
+	verified                           int
+}
+
+// runHalo simulates one full ring halo exchange of h under one offload
+// strategy: every rank's two outbound messages are gathered functionally
+// by sender-side sPIN handlers (streamed as pooled wire chunks across the
+// rank domains) and its two inbound messages scattered into the rank's
+// destination footprints, which are then byte-verified against the
+// reference pack+unpack of the sending rank's source.
+func runHalo(typ *ddt.Type, h *haloRing, strategy core.Strategy) (haloStats, error) {
+	ranks := h.ranks
+	txoff, err := core.BuildTxOffload(core.BuildParams{
+		Type: typ, Count: 1,
+		NIC: nic.DefaultConfig(), Cost: core.DefaultCostModel(), Host: hostcpu.DefaultConfig(),
+	})
+	if err != nil {
+		return haloStats{}, fmt.Errorf("halo %v gather: %w", strategy, err)
+	}
+
+	eps := make([]nic.ExchangeEndpoint, ranks)
+	for r := 0; r < ranks; r++ {
+		left := (r + ranks - 1) % ranks
+		right := (r + 1) % ranks
+		recvs := make([]nic.BatchMessage, haloDirs)
+		// Slot 0 receives from the right neighbor's leftward send, slot 1
+		// from the left neighbor's rightward send.
+		for slot := 0; slot < haloDirs; slot++ {
+			off, err := core.BuildOffload(strategy, core.BuildParams{
+				Type: typ, Count: 1,
+				NIC: nic.DefaultConfig(), Cost: core.DefaultCostModel(), Host: hostcpu.DefaultConfig(),
+				Epsilon: 0.2,
+			})
+			if err != nil {
+				return haloStats{}, fmt.Errorf("halo %v: %w", strategy, err)
+			}
+			ni := portals.NewNI(1)
+			pt, err := ni.PT(0)
+			if err != nil {
+				return haloStats{}, err
+			}
+			if err := pt.Append(portals.PriorityList, &portals.ME{Match: 1, Ctx: off.Ctx}); err != nil {
+				return haloStats{}, err
+			}
+			recvs[slot] = nic.BatchMessage{PT: pt, Bits: 1, Host: h.dsts[r*haloDirs+slot]}
+		}
+		eps[r] = nic.ExchangeEndpoint{
+			Cfg:   nic.DefaultConfig(),
+			Recvs: recvs,
+			Sends: []nic.ExchangeSend{
+				{Msg: nic.TxMessage{Kind: nic.TxProcessPut, MsgBytes: h.msgBytes, Ctx: txoff.Ctx, Src: h.srcs[r*haloDirs+0]}, Dst: left, DstRecv: 0},
+				{Msg: nic.TxMessage{Kind: nic.TxProcessPut, MsgBytes: h.msgBytes, Ctx: txoff.Ctx, Src: h.srcs[r*haloDirs+1]}, Dst: right, DstRecv: 1},
+			},
+		}
+	}
+
+	res, err := nic.RunExchange(eps, clusterWorkers())
+	if err != nil {
+		return haloStats{}, fmt.Errorf("halo %v: %w", strategy, err)
+	}
+
+	st := haloStats{makespan: res.Makespan, windows: res.Windows}
+	for r := 0; r < ranks; r++ {
+		var hpu sim.Time
+		for _, sr := range res.Sends[r] {
+			if sr.Injected > st.sendMax {
+				st.sendMax = sr.Injected
+			}
+			hpu += sr.HPUBusy
+		}
+		if hpu > st.hpuMax {
+			st.hpuMax = hpu
+		}
+		for slot, rr := range res.Recvs[r] {
+			if rr.ProcTime > st.recvMax {
+				st.recvMax = rr.ProcTime
+			}
+			if res.Notified[r][slot] > st.lastDone {
+				st.lastDone = res.Notified[r][slot]
+			}
+			var from int
+			if slot == 0 {
+				from = ((r+1)%ranks)*haloDirs + 0
+			} else {
+				from = ((r+ranks-1)%ranks)*haloDirs + 1
+			}
+			// Reference path, independent of the simulated gather/scatter:
+			// pack the sender's source, unpack into the shared footprint
+			// (whose gaps stay zero, matching the zeroed destinations), and
+			// compare every byte.
+			n, err := ddt.PackInto(typ, 1, h.srcs[from], h.scratch)
+			if err != nil {
+				return haloStats{}, err
+			}
+			if n != h.msgBytes {
+				return haloStats{}, fmt.Errorf("halo reference pack wrote %d of %d bytes", n, h.msgBytes)
+			}
+			if err := ddt.Unpack(typ, 1, h.scratch, h.want); err != nil {
+				return haloStats{}, err
+			}
+			if bytes.Equal(h.dsts[r*haloDirs+slot], h.want) {
+				st.verified++
+			}
+		}
+	}
+	return st, nil
+}
+
+func haloSizeLabel(msgBytes int64) string {
+	if msgBytes < 1<<20 {
+		return fmt.Sprintf("%d KiB", msgBytes>>10)
+	}
+	return fmt.Sprintf("%d MiB", msgBytes>>20)
+}
+
 // HaloExchange reports a ring halo exchange on a sharded multi-NIC
 // cluster — the composition of both batching device passes with the
 // domain-sharded executor. Every rank is one simulation domain owning a
@@ -19,11 +232,13 @@ import (
 // neighbors) are gathered by sender-side sPIN handlers and contend for the
 // rank's ONE outbound device — HPUs, host read path, injection link — and
 // its two inbound messages contend for the rank's ONE inbound device,
-// ReceiveBatch-style. Packets cross the fabric as their injection
-// completes, so sender-side backpressure paces the receivers tick for
-// tick. Results are identical for every executor width and for both
-// engines (the serial executor and the windowed parallel one fire the same
-// event sequences), which the determinism CI job pins.
+// ReceiveBatch-style. Each packet's wire bytes stream across rank domains
+// as a pooled chunk when its injection completes, so sender-side
+// backpressure paces the receivers tick for tick and no per-message wire
+// stream is ever materialized. Results are identical for every executor
+// width and for both engines (the serial executor and the windowed
+// parallel one fire the same event sequences), which the determinism CI
+// job pins.
 func HaloExchange(ranks int, msgBytes int64) (*Table, error) {
 	if ranks < 3 {
 		return nil, fmt.Errorf("halo exchange needs at least 3 ranks, have %d", ranks)
@@ -34,134 +249,74 @@ func HaloExchange(ranks int, msgBytes int64) (*Table, error) {
 	if lo < 0 {
 		return nil, fmt.Errorf("halo exchange datatype has negative lower bound %d", lo)
 	}
-	size := fmt.Sprintf("%d MiB", msgBytes>>20)
-	if msgBytes < 1<<20 {
-		size = fmt.Sprintf("%d KiB", msgBytes>>10)
-	}
-
-	// One directed message per (rank, direction): the wire streams are
-	// pre-staged (cross-domain coupling forbids in-simulation functional
-	// gathers — tx and rx live in different domains), strategy-invariant,
-	// and verified against the reference unpack after every run.
-	const dirs = 2 // 0 = to the left neighbor, 1 = to the right
-	packs := make([][]byte, ranks*dirs)
-	for r := 0; r < ranks; r++ {
-		for d := 0; d < dirs; d++ {
-			src := make([]byte, hi)
-			fillHaloSrc(int64(r*dirs+d+1), src)
-			packed, err := ddt.Pack(typ, 1, src)
-			if err != nil {
-				return nil, err
-			}
-			packs[r*dirs+d] = packed
-		}
-	}
 
 	t := &Table{
-		Title: fmt.Sprintf("Halo exchange: %d-rank ring, %s per neighbor message (2 KiB blocks), both device halves sharded", ranks, size),
+		Title: fmt.Sprintf("Halo exchange: %d-rank ring, %s per neighbor message (2 KiB blocks), both device halves sharded", ranks, haloSizeLabel(msgBytes)),
 		Note: "per rank: 2 sends gathered on one outbound device (sPIN gather handlers; HPUs, host reads, wire shared)\n" +
 			"and 2 receives scattered on one inbound device; injections pace arrivals across rank domains (wire-latency lookahead);\n" +
 			"windows = synchronization rounds (executor-invariant); every buffer byte-verified against the reference unpack",
 		Header: []string{"strategy", "msgs", "send_max_us", "gather_hpu_us", "recv_max_us", "last_done_us", "makespan_us", "windows", "verified"},
 	}
 
+	ring := newHaloRing(ranks, msgBytes, hi)
+	defer ring.release()
 	for _, s := range core.OffloadStrategies {
-		txoff, err := core.BuildTxOffload(core.BuildParams{
-			Type: typ, Count: 1,
-			NIC: nic.DefaultConfig(), Cost: core.DefaultCostModel(), Host: hostcpu.DefaultConfig(),
-		})
+		st, err := runHalo(typ, ring, s)
 		if err != nil {
-			return nil, fmt.Errorf("halo %v gather: %w", s, err)
+			return nil, err
 		}
+		t.AddRow(s.String(), d64(int64(ranks*haloDirs)),
+			usec(st.sendMax.Microseconds()),
+			usec(st.hpuMax.Microseconds()),
+			usec(st.recvMax.Microseconds()),
+			usec(st.lastDone.Microseconds()),
+			usec(st.makespan.Microseconds()),
+			d64(int64(st.windows)),
+			fmt.Sprintf("%d/%d", st.verified, ranks*haloDirs))
+	}
+	return t, nil
+}
 
-		eps := make([]nic.ExchangeEndpoint, ranks)
-		dsts := make([][]byte, ranks*dirs)
-		for r := 0; r < ranks; r++ {
-			left := (r + ranks - 1) % ranks
-			right := (r + 1) % ranks
-			recvs := make([]nic.BatchMessage, dirs)
-			// Slot 0 receives from the right neighbor's leftward send,
-			// slot 1 from the left neighbor's rightward send.
-			for slot, from := range [dirs]int{right*dirs + 0, left*dirs + 1} {
-				off, err := core.BuildOffload(s, core.BuildParams{
-					Type: typ, Count: 1,
-					NIC: nic.DefaultConfig(), Cost: core.DefaultCostModel(), Host: hostcpu.DefaultConfig(),
-					Epsilon: 0.2,
-				})
-				if err != nil {
-					return nil, fmt.Errorf("halo %v: %w", s, err)
-				}
-				ni := portals.NewNI(1)
-				pt, err := ni.PT(0)
-				if err != nil {
-					return nil, err
-				}
-				if err := pt.Append(portals.PriorityList, &portals.ME{Match: 1, Ctx: off.Ctx}); err != nil {
-					return nil, err
-				}
-				dst := make([]byte, hi)
-				dsts[r*dirs+slot] = dst
-				recvs[slot] = nic.BatchMessage{PT: pt, Bits: 1, Packed: packs[from], Host: dst}
-			}
-			eps[r] = nic.ExchangeEndpoint{
-				Cfg:   nic.DefaultConfig(),
-				Recvs: recvs,
-				Sends: []nic.ExchangeSend{
-					{Msg: nic.TxMessage{Kind: nic.TxProcessPut, MsgBytes: msgBytes, Ctx: txoff.Ctx}, Dst: left, DstRecv: 0},
-					{Msg: nic.TxMessage{Kind: nic.TxProcessPut, MsgBytes: msgBytes, Ctx: txoff.Ctx}, Dst: right, DstRecv: 1},
-				},
-			}
-		}
+// HaloWeakScaling reports the weak-scaling behavior of the ring halo
+// exchange: the ring doubles from 8 to maxRanks ranks while every rank
+// keeps the same two neighbor messages of msgBytes each (constant work
+// per rank), under the RWCP offload. An ideal weak-scaling exchange keeps
+// last_done and makespan flat as domains are added; the windows column
+// exposes the synchronization rounds the conservative executor needs to
+// coordinate the growing cluster.
+func HaloWeakScaling(maxRanks int, msgBytes int64) (*Table, error) {
+	if maxRanks < 8 {
+		return nil, fmt.Errorf("halo weak scaling needs at least 8 ranks, have %d", maxRanks)
+	}
+	typ := fig8Vector(2048, msgBytes)
+	typ.Commit()
+	lo, hi := typ.Footprint(1)
+	if lo < 0 {
+		return nil, fmt.Errorf("halo exchange datatype has negative lower bound %d", lo)
+	}
 
-		res, err := nic.RunExchange(eps, clusterWorkers())
+	t := &Table{
+		Title: fmt.Sprintf("Halo exchange weak scaling: ring doubling 8 -> %d ranks, %s per neighbor message (2 KiB blocks), RWCP offload", maxRanks, haloSizeLabel(msgBytes)),
+		Note: "constant work per rank (2 sends + 2 receives of a fixed message) while the ring doubles;\n" +
+			"streamed wire chunks across rank domains; windows = synchronization rounds (executor-invariant);\n" +
+			"every buffer byte-verified against the reference unpack",
+		Header: []string{"ranks", "msgs", "send_max_us", "recv_max_us", "last_done_us", "makespan_us", "windows", "verified"},
+	}
+
+	for ranks := 8; ranks <= maxRanks; ranks *= 2 {
+		ring := newHaloRing(ranks, msgBytes, hi)
+		st, err := runHalo(typ, ring, core.RWCP)
+		ring.release()
 		if err != nil {
-			return nil, fmt.Errorf("halo %v: %w", s, err)
+			return nil, err
 		}
-
-		var sendMax, hpuMax, recvMax, lastDone sim.Time
-		verified := 0
-		for r := 0; r < ranks; r++ {
-			var hpu sim.Time
-			for _, sr := range res.Sends[r] {
-				if sr.Injected > sendMax {
-					sendMax = sr.Injected
-				}
-				hpu += sr.HPUBusy
-			}
-			if hpu > hpuMax {
-				hpuMax = hpu
-			}
-			for slot, rr := range res.Recvs[r] {
-				if rr.ProcTime > recvMax {
-					recvMax = rr.ProcTime
-				}
-				if res.Notified[r][slot] > lastDone {
-					lastDone = res.Notified[r][slot]
-				}
-				want := make([]byte, hi)
-				var from int
-				if slot == 0 {
-					from = ((r+1)%ranks)*dirs + 0
-				} else {
-					from = ((r+ranks-1)%ranks)*dirs + 1
-				}
-				if err := ddt.Unpack(typ, 1, packs[from], want); err != nil {
-					return nil, err
-				}
-				if bytes.Equal(dsts[r*dirs+slot], want) {
-					verified++
-				}
-			}
-		}
-
-		t.AddRow(s.String(), d64(int64(ranks*dirs)),
-			usec(sendMax.Microseconds()),
-			usec(hpuMax.Microseconds()),
-			usec(recvMax.Microseconds()),
-			usec(lastDone.Microseconds()),
-			usec(res.Makespan.Microseconds()),
-			d64(int64(res.Windows)),
-			fmt.Sprintf("%d/%d", verified, ranks*dirs))
+		t.AddRow(d64(int64(ranks)), d64(int64(ranks*haloDirs)),
+			usec(st.sendMax.Microseconds()),
+			usec(st.recvMax.Microseconds()),
+			usec(st.lastDone.Microseconds()),
+			usec(st.makespan.Microseconds()),
+			d64(int64(st.windows)),
+			fmt.Sprintf("%d/%d", st.verified, ranks*haloDirs))
 	}
 	return t, nil
 }

@@ -112,6 +112,24 @@ func (c Config) NumPackets(msgSize int64) int {
 	return int((msgSize + c.MTU - 1) / c.MTU)
 }
 
+// AppendArrivals appends one zero-time Arrival per packet of a message of
+// msgSize bytes into dst (which may be nil or a recycled buffer). It is the
+// coupled-transfer counterpart of AppendSchedule: arrival times are stamped
+// in later, as the sender-side simulation injects each packet.
+func (c Config) AppendArrivals(dst []Arrival, msgSize int64) ([]Arrival, error) {
+	if msgSize <= 0 {
+		return nil, fmt.Errorf("fabric: message size %d", msgSize)
+	}
+	if c.MTU <= 0 {
+		return nil, fmt.Errorf("fabric: MTU %d", c.MTU)
+	}
+	n := int((msgSize + c.MTU - 1) / c.MTU)
+	for i := 0; i < n; i++ {
+		dst = append(dst, Arrival{Packet: c.packetAt(i, n, msgSize)})
+	}
+	return dst, nil
+}
+
 // Arrival is one packet delivery: the packet and the time its last byte is
 // available at the receiving NIC.
 type Arrival struct {

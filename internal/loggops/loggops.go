@@ -289,6 +289,14 @@ func Run(params Params, sched Schedule) (Result, error) {
 	}
 	eng := sim.Acquire()
 	defer sim.Release(eng)
+	if params.L > 0 {
+		// LogGOPS events cluster at wire-latency spacing, orders of
+		// magnitude sparser than the NIC models the calendar queue's
+		// default bucket width is tuned for: widen the buckets so the
+		// cursor stops scanning empty nanosecond slots. Pure speed knob —
+		// event ordering (and so the figure goldens) is unaffected.
+		eng.SetEventSpacing(params.L)
+	}
 	d := newDomain(eng, params, sched, 0, n)
 	d.kick()
 	eng.Run()
@@ -327,6 +335,7 @@ func RunSharded(params Params, sched Schedule, domains, workers int) (Result, er
 			hi = n
 		}
 		shard := pe.NewShard(fmt.Sprintf("ranks[%d:%d]", lo, hi), params.L)
+		shard.Engine.SetEventSpacing(params.L) // see Run: wire-latency event spacing
 		d := newDomain(&shard.Engine, params, sched, lo, hi)
 		d.shard = shard
 		d.peers = peers

@@ -19,14 +19,45 @@
 //     Messages of one SendBatch contend for the HPUs, the host read path,
 //     the injection link and NIC memory.
 //
-// Devices are created per simulation and live for one residency pass: a
-// batch constructs the device, runs every message against it, and reads
-// per-message results after the engine drains. The two halves compose:
-// RunCoupled joins a txDevice and an rxDevice through the fabric (each
-// injection becomes an arrival one wire latency later), and RunExchange
-// shards a cluster of endpoints — each one domain owning both halves —
-// under conservative wire-latency lookahead. It substitutes for the Cray
-// Slingshot SST model + gem5 setup of the paper's Sec. 5.1.
+// A device lives for one residency pass: a batch runs every message
+// against it and reads per-message results after the engine drains. The
+// two halves compose: RunCoupled joins a txDevice and an rxDevice through
+// the fabric (each injection becomes an arrival one wire latency later),
+// and RunExchange shards a cluster of endpoints — each one domain owning
+// both halves — under conservative wire-latency lookahead. It substitutes
+// for the Cray Slingshot SST model + gem5 setup of the paper's Sec. 5.1.
+//
+// # Streamed wire bytes
+//
+// A coupled send moves real bytes in one of two ways, selected per
+// message by the exchange coupling contract (see ExchangeSend):
+//
+//   - Streamed: the send is functional (TxMessage.Src set, a TxProcessPut
+//     gather) and the paired receive is streamed (BatchMessage.Packed
+//     nil). Each packet's wire payload is a pooled MTU-sized chunk the
+//     gather handler fills on demand from the committed block program; at
+//     injection the chunk moves into the destination receive's per-packet
+//     mailbox — strictly before the arrival event is posted, so the
+//     cross-domain synchronization window orders the hand-off — and the
+//     receive side scatters it into host memory, then returns the chunk
+//     to the pool. The packed stream is never materialized: wire memory
+//     in flight is bounded by packets in flight, not message size.
+//   - Pre-staged: the send is timing-only (Src nil) and the receive
+//     supplies the full packed stream up front (Packed set). This is the
+//     legacy path; the chunked path is tick-for-tick identical to it
+//     (handler timing depends only on message geometry, never payload),
+//     which TestExchangeStreamedMatchesPreStaged pins down.
+//
+// # Pooling
+//
+// Everything the exchange path cycles through — wire chunks, virtual
+// HPUs, per-message simulation state, whole device halves (DMA engine
+// included), arrival schedules — is pooled and rewound between runs, so
+// a steady-state exchange performs a small, flat number of allocations
+// regardless of traffic volume (TestExchangeSteadyStateAllocBound and
+// the bench-gate's B/op / allocs/op tolerances guard this). Only state
+// that escapes into results (per-packet injection times, collected DMA
+// series) is freshly allocated or disowned on reuse.
 package nic
 
 import (

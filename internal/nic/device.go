@@ -104,14 +104,53 @@ type hpuOwner interface {
 // vhpu is a scheduling unit: a virtual HPU owning a FIFO of packets. It
 // carries its message simulation so a handler-end event needs only the
 // vhpu as context; the physical HPUs it competes for belong to the device.
+// The FIFO drains from head (a ring-style cursor) so a long-lived vHPU
+// reuses its queue storage instead of resliceing it away.
 type vhpu struct {
 	o        hpuOwner
 	self     sim.Ctx
 	id       int
 	queue    []fabric.Packet
+	head     int              // consumed prefix of queue
 	inline   [4]fabric.Packet // initial queue storage; spills to the heap
 	running  bool
 	enqueued bool
+}
+
+// pending returns the number of queued packets.
+func (v *vhpu) pending() int { return len(v.queue) - v.head }
+
+// popPkt removes and returns the head-of-queue packet, rewinding the
+// storage once drained so the capacity is reused by later bursts.
+func (v *vhpu) popPkt() fabric.Packet {
+	p := v.queue[v.head]
+	v.head++
+	if v.head == len(v.queue) {
+		v.queue = v.queue[:0]
+		v.head = 0
+	}
+	return p
+}
+
+// vhpuPool recycles scheduling units (with their queue storage) across
+// messages and simulations; a released vhpu is re-bound to its next
+// engine by vhpuFor.
+var vhpuPool = sync.Pool{New: func() any { return new(vhpu) }}
+
+// releaseVHPUs returns a message's scheduling units to the pool and clears
+// the table for reuse.
+func releaseVHPUs(vhpus []*vhpu) {
+	for i, v := range vhpus {
+		if v != nil {
+			v.o = nil
+			v.queue = v.queue[:0]
+			v.head = 0
+			v.running = false
+			v.enqueued = false
+			vhpuPool.Put(v)
+		}
+		vhpus[i] = nil
+	}
 }
 
 // Typed event kinds of the receive pipeline. Each handler recovers its
@@ -185,7 +224,6 @@ type device struct {
 
 	freeHPUs int
 	ready    []*vhpu
-	vslab    []vhpu // chunked backing storage for new vhpus
 
 	// wb, rb and args are reused across handler executions (the handlers
 	// run synchronously and must not retain them): wb collects the scatter
@@ -202,7 +240,9 @@ type device struct {
 	resCtxBytes int64
 }
 
-// initDevice validates the configuration and seeds the HPU pool.
+// initDevice validates the configuration and seeds the HPU pool. It also
+// rewinds any state a pooled device carried over from a previous
+// simulation, so a recycled device is indistinguishable from a fresh one.
 func (d *device) initDevice(eng *sim.Engine, cfg Config) error {
 	if cfg.HPUs <= 0 {
 		return fmt.Errorf("nic: %d HPUs", cfg.HPUs)
@@ -210,6 +250,16 @@ func (d *device) initDevice(eng *sim.Engine, cfg Config) error {
 	d.cfg = cfg
 	d.eng = eng
 	d.freeHPUs = cfg.HPUs
+	d.ready = d.ready[:0]
+	d.wb.ops = d.wb.ops[:0]
+	d.rb.ops = d.rb.ops[:0]
+	d.rb.src = nil
+	for i := range d.resCtxs {
+		d.resCtxs[i] = nil
+	}
+	d.resCtxs = d.resCtxs[:0]
+	d.resCtxBytes = 0
+	d.args = spin.HandlerArgs{}
 	return nil
 }
 
@@ -242,20 +292,18 @@ func (d *device) reserveContext(ctx *spin.ExecutionContext) error {
 }
 
 // vhpuFor returns the scheduling unit for vid in a message's dense vHPU
-// table, carving a new one from the device slab on first use.
+// table, drawing a pooled one (re-bound to this engine) on first use.
 func (d *device) vhpuFor(o hpuOwner, vhpus *[]*vhpu, vid int) *vhpu {
 	for vid >= len(*vhpus) {
 		*vhpus = append(*vhpus, nil)
 	}
 	v := (*vhpus)[vid]
 	if v == nil {
-		if len(d.vslab) == 0 {
-			d.vslab = make([]vhpu, 64)
-		}
-		v = &d.vslab[0]
-		d.vslab = d.vslab[1:]
+		v = vhpuPool.Get().(*vhpu)
 		v.o, v.id = o, vid
-		v.queue = v.inline[:0]
+		if v.queue == nil {
+			v.queue = v.inline[:0]
+		}
 		v.self = d.eng.Bind(v)
 		(*vhpus)[vid] = v
 	}
@@ -276,9 +324,10 @@ func (d *device) enqueueVHPU(v *vhpu, p fabric.Packet) {
 func (d *device) dispatch() {
 	for d.freeHPUs > 0 && len(d.ready) > 0 {
 		v := d.ready[0]
-		d.ready = d.ready[1:]
+		copy(d.ready, d.ready[1:])
+		d.ready = d.ready[:len(d.ready)-1]
 		v.enqueued = false
-		if len(v.queue) == 0 || v.running {
+		if v.pending() == 0 || v.running {
 			continue
 		}
 		v.running = true
@@ -291,7 +340,7 @@ func (d *device) dispatch() {
 // vHPU keeps its HPU while it has queued packets, otherwise the HPU goes
 // back to the pool and the dispatcher runs.
 func (d *device) handlerFinished(v *vhpu) {
-	if len(v.queue) > 0 {
+	if v.pending() > 0 {
 		v.o.runNext(v)
 		return
 	}
@@ -326,6 +375,32 @@ func newRxDevice(eng *sim.Engine, cfg Config) (*rxDevice, error) {
 	return d, nil
 }
 
+// rxDevPool recycles whole receive devices — the HPU dispatch state, the
+// DMA engine with its channel heap — across exchange runs.
+var rxDevPool = sync.Pool{New: func() any { return new(rxDevice) }}
+
+// acquireRxDevice is newRxDevice drawing from the device pool: a recycled
+// device is rewound (initDevice) and its DMA engine rebound to eng.
+func acquireRxDevice(eng *sim.Engine, cfg Config) (*rxDevice, error) {
+	d := rxDevPool.Get().(*rxDevice)
+	if err := d.initDevice(eng, cfg); err != nil {
+		rxDevPool.Put(d)
+		return nil, err
+	}
+	d.inbound = sim.Server{}
+	d.mtuCopyTime = cfg.NICMemCopyTime(cfg.Fabric.MTU)
+	if d.dma == nil {
+		d.dma = newDMAEngine(eng, cfg.PCIe, cfg.Channels(), cfg.DMAChannelOccupancy, cfg.CollectDMASeries)
+	} else {
+		d.dma.reset(eng, cfg.PCIe, cfg.Channels(), cfg.DMAChannelOccupancy, cfg.CollectDMASeries)
+	}
+	return d, nil
+}
+
+// releaseRxDevice returns a drained receive device to the pool. The engine
+// it was bound to must not run again before the device is re-acquired.
+func releaseRxDevice(d *rxDevice) { rxDevPool.Put(d) }
+
 // rxSim is the per-message state of a receive simulation: the match
 // result, the packed stream and destination buffer, the arrival schedule
 // and the completion bookkeeping. Its vHPUs are message-local scheduling
@@ -343,6 +418,13 @@ type rxSim struct {
 	packed   []byte
 	host     []byte
 	arrivals []fabric.Arrival
+
+	// chunks, when non-nil, is the copy-in/copy-out mailbox of a streamed
+	// message (packed is then nil): slot i holds packet i's payload as a
+	// pooled wire chunk, written by the sender-side domain strictly before
+	// it posts the packet's arrival event and consumed (then released)
+	// by the scatter path.
+	chunks []*chunk
 
 	vhpus []*vhpu // dense vid -> scheduling unit (message-local)
 
@@ -441,25 +523,74 @@ func newRxSim(eng *sim.Engine, cfg Config, pt *portals.PT, bits portals.MatchBit
 	return dev.newMessage(pt, bits, packed, host, arrivals)
 }
 
-// newMessage adds one message simulation to the device.
+// rxSimPool recycles per-message receive simulations (with their vHPU
+// tables and chunk mailboxes) across runs; see releaseRxSim.
+var rxSimPool = sync.Pool{New: func() any { return new(rxSim) }}
+
+// releaseRxSim returns a finished message simulation to the pool. The
+// caller must have extracted the Result and must not touch s afterwards;
+// the engine the simulation ran on must be drained.
+func releaseRxSim(s *rxSim) {
+	releaseVHPUs(s.vhpus)
+	for i, c := range s.chunks {
+		// Undelivered chunks (error or drop teardown) go back to the pool.
+		putChunk(c)
+		s.chunks[i] = nil
+	}
+	*s = rxSim{vhpus: s.vhpus[:0], chunks: s.chunks[:0]}
+	rxSimPool.Put(s)
+}
+
+// newMessage adds one message simulation with a materialized packed stream
+// to the device.
 func (d *rxDevice) newMessage(pt *portals.PT, bits portals.MatchBits, packed, host []byte, arrivals []fabric.Arrival) (*rxSim, error) {
 	if len(packed) == 0 {
+		return nil, errors.New("nic: empty message")
+	}
+	s, err := d.addMessage(pt, bits, int64(len(packed)), host, arrivals)
+	if err != nil {
+		return nil, err
+	}
+	s.packed = packed
+	return s, nil
+}
+
+// newStreamedMessage adds one message whose packet payloads are delivered
+// as pooled wire chunks through the message's mailbox instead of read from
+// a materialized packed stream: the sender-side simulation copies each
+// injected packet's chunk in, and the scatter path consumes and releases
+// it. This is what lets a cross-domain exchange run functionally without
+// pre-staging msgBytes of wire stream per message.
+func (d *rxDevice) newStreamedMessage(pt *portals.PT, bits portals.MatchBits, msgBytes int64, host []byte, arrivals []fabric.Arrival) (*rxSim, error) {
+	s, err := d.addMessage(pt, bits, msgBytes, host, arrivals)
+	if err != nil {
+		return nil, err
+	}
+	for len(s.chunks) < len(arrivals) {
+		s.chunks = append(s.chunks, nil)
+	}
+	return s, nil
+}
+
+// addMessage is the shared constructor of both message flavors.
+func (d *rxDevice) addMessage(pt *portals.PT, bits portals.MatchBits, msgBytes int64, host []byte, arrivals []fabric.Arrival) (*rxSim, error) {
+	if msgBytes <= 0 {
 		return nil, errors.New("nic: empty message")
 	}
 	if len(arrivals) == 0 {
 		return nil, errors.New("nic: empty arrival schedule")
 	}
-	s := &rxSim{
-		dev:      d,
-		pt:       pt,
-		bits:     bits,
-		packed:   packed,
-		host:     host,
-		arrivals: arrivals,
-		vhpus:    make([]*vhpu, len(arrivals)),
+	s := rxSimPool.Get().(*rxSim)
+	s.dev = d
+	s.pt = pt
+	s.bits = bits
+	s.host = host
+	s.arrivals = arrivals
+	for len(s.vhpus) < len(arrivals) {
+		s.vhpus = append(s.vhpus, nil)
 	}
 	s.self = d.eng.Bind(s)
-	s.res.MsgBytes = int64(len(packed))
+	s.res.MsgBytes = msgBytes
 	s.res.FirstByte = arrivals[0].At - d.cfg.Fabric.PacketTime(arrivals[0].Packet.Size)
 	s.payloadsLeft = len(arrivals)
 	return s, nil
@@ -500,8 +631,28 @@ func (s *rxSim) fail(err error) {
 	}
 }
 
+// payloadOf returns packet p's payload bytes: a slice of the materialized
+// packed stream, or the pooled chunk the sender mailed into the message's
+// mailbox. The caller must releaseChunk(p.Index) once the payload has been
+// consumed.
+func (s *rxSim) payloadOf(p fabric.Packet) []byte {
+	if len(s.chunks) > 0 {
+		return s.chunks[p.Index].b
+	}
+	return s.packed[p.StreamOff : p.StreamOff+p.Size]
+}
+
+// releaseChunk returns packet i's mailbox chunk (if any) to the pool.
+func (s *rxSim) releaseChunk(i int) {
+	if len(s.chunks) > 0 && s.chunks[i] != nil {
+		putChunk(s.chunks[i])
+		s.chunks[i] = nil
+	}
+}
+
 func (s *rxSim) onArrival(slot int) {
 	if s.err != nil {
+		s.releaseChunk(s.arrivals[slot].Packet.Index)
 		return
 	}
 	d := s.dev
@@ -519,6 +670,7 @@ func (s *rxSim) onArrival(slot int) {
 			// batch the shared engine keeps running other messages, so
 			// finish() must not stamp the batch's drain time on this one.
 			s.res.Done = a.At
+			s.releaseChunk(p.Index)
 			s.pt.PostEvent(portals.Event{Kind: portals.EventDropped, Match: s.bits, Size: s.res.MsgBytes})
 			return
 		}
@@ -533,9 +685,11 @@ func (s *rxSim) onArrival(slot int) {
 		}
 	}
 	if s.res.Dropped {
+		s.releaseChunk(p.Index)
 		return // rest of a dropped message is discarded
 	}
 	if s.me == nil {
+		s.releaseChunk(p.Index)
 		s.fail(errors.New("nic: non-header packet before header (fabric must deliver header first)"))
 		return
 	}
@@ -568,7 +722,8 @@ func (s *rxSim) onArrival(slot int) {
 func (s *rxSim) rdmaDeliver(p fabric.Packet) {
 	d := s.dev
 	hostOff := s.me.Region.Offset + p.StreamOff
-	d.dma.copyToHost(s.host, hostOff, s.packed[p.StreamOff:p.StreamOff+p.Size])
+	d.dma.copyToHost(s.host, hostOff, s.payloadOf(p))
+	s.releaseChunk(p.Index)
 	end := d.dma.write(&s.dmaStats, 1, p.Size) + d.cfg.PCIeWriteLatency
 	if end > s.lastWriteDone {
 		s.lastWriteDone = end
@@ -610,13 +765,12 @@ func (s *rxSim) enqueue(p fabric.Packet) {
 // runNext executes the payload handler for the head of v's queue.
 func (s *rxSim) runNext(v *vhpu) {
 	d := s.dev
-	p := v.queue[0]
-	v.queue = v.queue[1:]
+	p := v.popPkt()
 
 	d.wb.ops = d.wb.ops[:0]
 	d.args = spin.HandlerArgs{
 		StreamOff: p.StreamOff,
-		Payload:   s.packed[p.StreamOff : p.StreamOff+p.Size],
+		Payload:   s.payloadOf(p),
 		PktBytes:  p.Size,
 		MsgSize:   s.res.MsgBytes,
 		PktIndex:  p.Index,
@@ -625,6 +779,7 @@ func (s *rxSim) runNext(v *vhpu) {
 	}
 	res := s.ctx.Payload(&d.args)
 	if res.Err != nil {
+		s.releaseChunk(p.Index)
 		s.fail(fmt.Errorf("nic: payload handler packet %d: %w", p.Index, res.Err))
 		return
 	}
@@ -639,7 +794,10 @@ func (s *rxSim) runNext(v *vhpu) {
 	start := d.eng.Now()
 	end := start + res.Runtime
 	d.cfg.Trace.add(TraceEvent{At: start, Kind: TraceHandlerStart, Pkt: p.Index, VHPU: v.id, Dur: res.Runtime})
+	// scheduleWrites performs the functional copies synchronously, so the
+	// packet's wire chunk can go back to the pool right away.
 	s.scheduleWrites(start, res.Runtime, d.wb.ops)
+	s.releaseChunk(p.Index)
 	d.eng.Post(end, kindRxHandlerEnd, v.self, int64(p.Index), 0)
 }
 

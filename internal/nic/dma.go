@@ -72,6 +72,32 @@ func newDMAEngine(eng *sim.Engine, p pcie.Config, channels int, perReq sim.Time,
 	return d
 }
 
+// reset rebinds a pooled DMA engine to a new simulation, reusing the channel
+// heap when the pool size is unchanged. A depth series recorded for a prior
+// caller is disowned (the slice escaped into that caller's Result), not
+// truncated.
+func (d *dmaEngine) reset(eng *sim.Engine, p pcie.Config, channels int, perReq sim.Time, series bool) {
+	d.eng = eng
+	if d.channels == nil || d.channels.Servers() != channels {
+		d.channels = sim.NewMultiServer(channels)
+	} else {
+		d.channels.Reset()
+	}
+	d.link = sim.Server{}
+	d.pcie = pcie.NewLink(p)
+	d.perReq = perReq
+	d.depth = 0
+	if d.collectSeries {
+		d.stats = DMAStats{}
+	} else {
+		d.stats = DMAStats{Samples: d.stats.Samples[:0]}
+	}
+	d.collectSeries = series
+	d.sampleStride = 1
+	d.sampleSkip = 0
+	d.self = eng.Bind(d)
+}
+
 // write issues reqs DMA write requests at the current simulation time,
 // moving total payload bytes. The payload has already been copied to the
 // host buffer by the caller; this accounts timing and queue depth. Request

@@ -20,16 +20,30 @@ import (
 // between endpoints, notify latency toward the host), so serial and
 // parallel executors fire identical event sequences and the exchange
 // renders byte-identically at any worker count.
+//
+// Functional data crosses domains as streamed wire chunks: a send whose
+// Msg.Src is set gathers each packet's payload into a pooled chunk on the
+// sending domain, and the injection hand-off copies the chunk reference
+// into the destination message's mailbox slot strictly before posting the
+// arrival event — the window barrier between domains orders the write
+// against the receiving scatter handler. No per-message wire stream is
+// ever materialized, so an exchange's resident wire bytes are bounded by
+// the packets concurrently staged on its devices, not by message sizes.
 
 // ExchangeSend is one outbound message of an exchange endpoint, coupled to
 // a receive slot of a peer endpoint: the send's packet injections cross
 // the fabric and become the destination message's arrival schedule.
 //
-// Cross-domain coupling forbids in-simulation functional data movement
-// (the sending and receiving domains would share a mutable buffer), so
-// the wire stream must be pre-staged: Msg.Src and Msg.Packed must be nil
-// and the destination receive's Packed buffer already holds the packed
-// bytes — the gather handlers run timing-only against it.
+// The wire stream is never shared across domains, so Msg.Packed must be
+// nil. Two coupling modes exist:
+//
+//   - Functional (Msg.Src != nil, TxProcessPut only): gather handlers read
+//     the sender's source buffer and stream each packet's payload to the
+//     destination as a pooled wire chunk; the destination receive must
+//     leave Packed nil and is scattered functionally from the chunks.
+//   - Timing-only (Msg.Src == nil): the gather handlers run against no
+//     data and the destination receive's Packed buffer must pre-stage the
+//     packed bytes the scatter side processes.
 type ExchangeSend struct {
 	Msg TxMessage
 	// Dst names the receiving endpoint and the index of the coupled
@@ -70,6 +84,10 @@ type ExchangeResult struct {
 // RunExchange simulates the whole exchange in one sharded simulation
 // executed by up to workers goroutines (workers <= 1 runs the serial
 // executor; both fire identical event sequences).
+//
+// Endpoint, domain and per-message simulation state is pooled across
+// calls: a steady stream of exchanges reaches a steady state where the
+// simulation layer performs no per-packet or per-megabyte allocations.
 func RunExchange(eps []ExchangeEndpoint, workers int) (ExchangeResult, error) {
 	if len(eps) == 0 {
 		return ExchangeResult{}, errors.New("nic: empty exchange")
@@ -84,10 +102,16 @@ func RunExchange(eps []ExchangeEndpoint, workers int) (ExchangeResult, error) {
 		}
 	}
 
-	// coupled[e][m] marks receive m of endpoint e as fabric-paced.
+	// coupled[e][m] marks receive m of endpoint e as fabric-paced;
+	// coupledBytes its sender's message size and coupledSrc whether the
+	// sender streams functional wire chunks.
 	coupled := make([][]bool, len(eps))
+	coupledSrc := make([][]bool, len(eps))
+	coupledBytes := make([][]int64, len(eps))
 	for e := range eps {
 		coupled[e] = make([]bool, len(eps[e].Recvs))
+		coupledSrc[e] = make([]bool, len(eps[e].Recvs))
+		coupledBytes[e] = make([]int64, len(eps[e].Recvs))
 	}
 	for e := range eps {
 		for si := range eps[e].Sends {
@@ -101,10 +125,15 @@ func RunExchange(eps []ExchangeEndpoint, workers int) (ExchangeResult, error) {
 			if coupled[snd.Dst][snd.DstRecv] {
 				return ExchangeResult{}, fmt.Errorf("nic: endpoint %d receive %d is paced by two sends", snd.Dst, snd.DstRecv)
 			}
-			if snd.Msg.Src != nil || snd.Msg.Packed != nil {
-				return ExchangeResult{}, fmt.Errorf("nic: endpoint %d send %d: exchange sends run timing-only (pre-stage the packed stream in the destination receive)", e, si)
+			if snd.Msg.Packed != nil {
+				return ExchangeResult{}, fmt.Errorf("nic: endpoint %d send %d: exchange sends cannot carry a materialized wire stream (set Msg.Src to stream chunks, or pre-stage the packed bytes in the destination receive)", e, si)
+			}
+			if snd.Msg.Src != nil && snd.Msg.Kind != TxProcessPut {
+				return ExchangeResult{}, fmt.Errorf("nic: endpoint %d send %d: functional exchange sends need gather handlers (TxProcessPut)", e, si)
 			}
 			coupled[snd.Dst][snd.DstRecv] = true
+			coupledSrc[snd.Dst][snd.DstRecv] = snd.Msg.Src != nil
+			coupledBytes[snd.Dst][snd.DstRecv] = snd.Msg.MsgBytes
 		}
 	}
 
@@ -148,11 +177,11 @@ func RunExchange(eps []ExchangeEndpoint, workers int) (ExchangeResult, error) {
 		var err error
 		rxDevs[e] = nil
 		if len(ep.Recvs) > 0 || len(ep.Sends) > 0 {
-			rxDevs[e], err = newRxDevice(eng, ep.Cfg)
+			rxDevs[e], err = acquireRxDevice(eng, ep.Cfg)
 			if err != nil {
 				return ExchangeResult{}, fmt.Errorf("nic: endpoint %d: %w", e, err)
 			}
-			txDevs[e], err = newTxDevice(eng, ep.Cfg)
+			txDevs[e], err = acquireTxDevice(eng, ep.Cfg)
 			if err != nil {
 				return ExchangeResult{}, fmt.Errorf("nic: endpoint %d: %w", e, err)
 			}
@@ -169,15 +198,25 @@ func RunExchange(eps []ExchangeEndpoint, workers int) (ExchangeResult, error) {
 				if m.Arrivals != nil {
 					return ExchangeResult{}, fmt.Errorf("nic: endpoint %d receive %d: coupled receive cannot carry an explicit arrival schedule", e, mi)
 				}
-				pkts, err := ep.Cfg.Fabric.Packetize(int64(len(m.Packed)))
+				msgBytes := coupledBytes[e][mi]
+				arrivals, err := ep.Cfg.Fabric.AppendArrivals(getArrivalBuf(), msgBytes)
 				if err != nil {
 					return ExchangeResult{}, fmt.Errorf("nic: endpoint %d receive %d: %w", e, mi, err)
 				}
-				arrivals := make([]fabric.Arrival, len(pkts))
-				for i := range pkts {
-					arrivals[i].Packet = pkts[i]
+				schedules = append(schedules, arrivals)
+				switch {
+				case coupledSrc[e][mi]:
+					if m.Packed != nil {
+						return ExchangeResult{}, fmt.Errorf("nic: endpoint %d receive %d: a pre-staged stream cannot be combined with a functional send source", e, mi)
+					}
+					s, err = rxDevs[e].newStreamedMessage(m.PT, m.Bits, msgBytes, m.Host, arrivals)
+				case m.Packed == nil:
+					return ExchangeResult{}, fmt.Errorf("nic: endpoint %d receive %d: coupled receive needs either a functional send source or a pre-staged packed stream", e, mi)
+				case int64(len(m.Packed)) != msgBytes:
+					return ExchangeResult{}, fmt.Errorf("nic: endpoint %d receive %d: send injects %d bytes, receive pre-stages %d", e, mi, msgBytes, len(m.Packed))
+				default:
+					s, err = rxDevs[e].newMessage(m.PT, m.Bits, m.Packed, m.Host, arrivals)
 				}
-				s, err = rxDevs[e].newMessage(m.PT, m.Bits, m.Packed, m.Host, arrivals)
 				if err != nil {
 					return ExchangeResult{}, fmt.Errorf("nic: endpoint %d receive %d: %w", e, mi, err)
 				}
@@ -209,17 +248,14 @@ func RunExchange(eps []ExchangeEndpoint, workers int) (ExchangeResult, error) {
 	}
 
 	// Send side: every endpoint's outbound batch on its own device, each
-	// injection mailed to its destination endpoint's receive.
+	// injection mailed to its destination endpoint's receive (together
+	// with its wire chunk, for functional sends).
 	for e := range eps {
 		ep := &eps[e]
 		txSims[e] = make([]*txSim, len(ep.Sends))
 		for si := range ep.Sends {
 			snd := &ep.Sends[si]
 			dstRx := rxSims[snd.Dst][snd.DstRecv]
-			if int64(len(dstRx.packed)) != snd.Msg.MsgBytes {
-				return ExchangeResult{}, fmt.Errorf("nic: endpoint %d send %d injects %d bytes, receive expects %d",
-					e, si, snd.Msg.MsgBytes, len(dstRx.packed))
-			}
 			if ep.Cfg.Fabric.MTU != eps[snd.Dst].Cfg.Fabric.MTU {
 				return ExchangeResult{}, fmt.Errorf("nic: endpoint %d MTU %d differs from endpoint %d MTU %d",
 					e, ep.Cfg.Fabric.MTU, snd.Dst, eps[snd.Dst].Cfg.Fabric.MTU)
@@ -227,17 +263,36 @@ func RunExchange(eps []ExchangeEndpoint, workers int) (ExchangeResult, error) {
 			m := snd.Msg // local copy: the notify hook must not escape into the caller's slice
 			src, dst, wire := shards[e], shards[snd.Dst], ep.Cfg.Fabric.WireLatency
 			user := m.Notify
-			m.Notify = func(pkt int, injected sim.Time) {
-				if user != nil {
-					user(pkt, injected)
+			var ts *txSim // assigned below, before any event can fire
+			if m.Src != nil {
+				m.Notify = func(pkt int, injected sim.Time) {
+					if user != nil {
+						user(pkt, injected)
+					}
+					at := injected + wire
+					// Mailbox copy-out strictly before the arrival post:
+					// the window barrier orders this write against the
+					// destination domain's scatter of the chunk.
+					dstRx.chunks[pkt] = ts.takeChunk(pkt)
+					src.PostRemote(dst, at, kindRxArrivalAt, dstRx.self, int64(pkt), int64(at))
 				}
-				at := injected + wire
-				src.PostRemote(dst, at, kindRxArrivalAt, dstRx.self, int64(pkt), int64(at))
+			} else {
+				m.Notify = func(pkt int, injected sim.Time) {
+					if user != nil {
+						user(pkt, injected)
+					}
+					at := injected + wire
+					src.PostRemote(dst, at, kindRxArrivalAt, dstRx.self, int64(pkt), int64(at))
+				}
 			}
 			s, err := txDevs[e].newMessage(&m)
 			if err != nil {
 				return ExchangeResult{}, fmt.Errorf("nic: endpoint %d send %d: %w", e, si, err)
 			}
+			if m.Src != nil {
+				s.streamChunks()
+			}
+			ts = s
 			s.postLaunch(&m)
 			txSims[e][si] = s
 		}
@@ -269,6 +324,23 @@ func RunExchange(eps []ExchangeEndpoint, workers int) (ExchangeResult, error) {
 				return ExchangeResult{}, fmt.Errorf("nic: endpoint %d send %d: %w", e, si, err)
 			}
 			res.Sends[e][si] = r
+		}
+	}
+
+	// Results extracted: return every per-message simulation and both
+	// device halves of every domain to their pools.
+	for e := range eps {
+		for _, s := range rxSims[e] {
+			releaseRxSim(s)
+		}
+		for _, s := range txSims[e] {
+			releaseTxSim(s)
+		}
+		if rxDevs[e] != nil {
+			releaseRxDevice(rxDevs[e])
+		}
+		if txDevs[e] != nil {
+			releaseTxDevice(txDevs[e])
 		}
 	}
 	return res, nil

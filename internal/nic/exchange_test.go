@@ -1,0 +1,193 @@
+package nic
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"spinddt/internal/sim"
+	"spinddt/internal/spin"
+)
+
+// copyGatherCtx is a functional identity gather: each packet's handler
+// copies the packet's slice of the source buffer into its wire payload
+// (when one is attached) and costs a fixed runtime either way, so the
+// streamed and timing-only modes are tick-for-tick comparable.
+func copyGatherCtx(runtime sim.Time) *spin.ExecutionContext {
+	return &spin.ExecutionContext{
+		Name: "test-gather-copy",
+		Payload: func(a *spin.HandlerArgs) spin.Result {
+			if a.Payload != nil {
+				a.DMARead.Read(a.StreamOff, a.Payload)
+			}
+			return spin.Result{Runtime: runtime}
+		},
+	}
+}
+
+// buildRing returns a ranks-ring exchange where every rank sends msg bytes
+// to its right neighbor. streamed selects functional sends (gathered wire
+// chunks); otherwise the sends run timing-only against receives that
+// pre-stage the identical stream. Setup failures panic, so the builder is
+// safe to call off the test goroutine (the concurrency hammer does).
+func buildRing(ranks int, msg int64, streamed bool) ([]ExchangeEndpoint, [][]byte, [][]byte) {
+	cfg := DefaultConfig()
+	eps := make([]ExchangeEndpoint, ranks)
+	srcs := make([][]byte, ranks)
+	hosts := make([][]byte, ranks)
+	for r := 0; r < ranks; r++ {
+		src := make([]byte, msg)
+		for i := range src {
+			src[i] = byte(i*7 + r)
+		}
+		srcs[r] = src
+	}
+	for r := 0; r < ranks; r++ {
+		pt, err := rdmaPT(msg)
+		if err != nil {
+			panic(err)
+		}
+		hosts[r] = make([]byte, msg)
+		m := BatchMessage{PT: pt, Bits: 1, Host: hosts[r]}
+		snd := ExchangeSend{
+			Msg: TxMessage{Kind: TxProcessPut, MsgBytes: msg, Ctx: copyGatherCtx(400 * sim.Nanosecond)},
+			Dst: (r + 1) % ranks, DstRecv: 0,
+		}
+		if streamed {
+			snd.Msg.Src = srcs[r]
+		} else {
+			// The identity gather's wire stream IS the source buffer;
+			// pre-stage it in the destination receive.
+			m.Packed = srcs[(r+ranks-1)%ranks]
+		}
+		eps[r] = ExchangeEndpoint{Cfg: cfg, Recvs: []BatchMessage{m}}
+		eps[r].Sends = []ExchangeSend{snd}
+	}
+	return eps, srcs, hosts
+}
+
+// TestExchangeStreamedMatchesPreStaged is the golden equivalence of the
+// streamed wire-byte layer: a ring exchange gathered functionally into
+// pooled chunks must fire the exact event timings of the legacy
+// pre-staged-stream run AND deliver the same bytes to every destination.
+func TestExchangeStreamedMatchesPreStaged(t *testing.T) {
+	const ranks = 4
+	msg := int64(96 << 10)
+	for _, workers := range []int{1, 4} {
+		legacyEps, srcs, legacyHosts := buildRing(ranks, msg, false)
+		legacy, err := RunExchange(legacyEps, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		streamEps, _, streamHosts := buildRing(ranks, msg, true)
+		stream, err := RunExchange(streamEps, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		if legacy.Makespan != stream.Makespan || legacy.Windows != stream.Windows {
+			t.Fatalf("workers=%d: legacy %v/%d windows, streamed %v/%d",
+				workers, legacy.Makespan, legacy.Windows, stream.Makespan, stream.Windows)
+		}
+		for r := 0; r < ranks; r++ {
+			if legacy.Sends[r][0].Injected != stream.Sends[r][0].Injected {
+				t.Fatalf("workers=%d rank %d: injected %v != %v",
+					workers, r, legacy.Sends[r][0].Injected, stream.Sends[r][0].Injected)
+			}
+			lr, sr := legacy.Recvs[r][0], stream.Recvs[r][0]
+			if lr.Done != sr.Done || lr.FirstByte != sr.FirstByte || lr.ProcTime != sr.ProcTime {
+				t.Fatalf("workers=%d rank %d: receive %+v != %+v", workers, r, lr, sr)
+			}
+			if legacy.Notified[r][0] != stream.Notified[r][0] {
+				t.Fatalf("workers=%d rank %d: notified %v != %v",
+					workers, r, legacy.Notified[r][0], stream.Notified[r][0])
+			}
+			if !bytes.Equal(legacyHosts[r], streamHosts[r]) {
+				t.Fatalf("workers=%d rank %d: delivered bytes differ", workers, r)
+			}
+			if !bytes.Equal(streamHosts[r], srcs[(r+ranks-1)%ranks]) {
+				t.Fatalf("workers=%d rank %d: streamed bytes differ from the sender's source", workers, r)
+			}
+		}
+	}
+}
+
+// TestExchangeSteadyStateAllocBound guards the memory diet of the exchange
+// path: once the pools are warm, a full streamed ring exchange settles
+// into a small, flat allocation profile — no per-packet or per-megabyte
+// allocations survive (wire chunks, vHPUs, message sims, devices, shard
+// queues and arrival schedules are all pooled).
+func TestExchangeSteadyStateAllocBound(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; alloc guard runs without -race")
+	}
+	const ranks = 3
+	msg := int64(256 << 10) // 128 packets per message
+	run := func() {
+		eps, _, _ := buildRing(ranks, msg, true)
+		if _, err := RunExchange(eps, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 8; i++ {
+		run()
+	}
+	n := testing.AllocsPerRun(30, run)
+	// The bound covers the per-run state that legitimately escapes (test
+	// fixtures, result slices, PacketInjections) with slack; 384 streamed
+	// packets used to cost thousands of allocations in staging buffers
+	// alone.
+	if n > 400 {
+		t.Fatalf("steady-state exchange allocates %v per run", n)
+	}
+}
+
+// TestExchangeConcurrentChunkPool hammers concurrent exchanges sharing the
+// process-wide chunk, sim and device pools; under -race this checks the
+// mailbox hand-off (chunk written strictly before the arrival event is
+// posted) and every pool interaction.
+func TestExchangeConcurrentChunkPool(t *testing.T) {
+	const goroutines = 4
+	const rounds = 3
+	msg := int64(64 << 10)
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	wg.Add(goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func(workers int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				eps, srcs, hosts := buildRing(3, msg, true)
+				res, err := RunExchange(eps, workers)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if res.Makespan == 0 {
+					errs <- errEmptyExchange
+					return
+				}
+				for r := range hosts {
+					if !bytes.Equal(hosts[r], srcs[(r+2)%3]) {
+						errs <- errCorruptExchange
+						return
+					}
+				}
+			}
+		}(1 + g%2*3) // alternate serial and 4-worker executors
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+var (
+	errEmptyExchange   = &exchangeTestError{"zero makespan"}
+	errCorruptExchange = &exchangeTestError{"delivered bytes differ from source"}
+)
+
+type exchangeTestError struct{ msg string }
+
+func (e *exchangeTestError) Error() string { return e.msg }

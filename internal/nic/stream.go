@@ -1,0 +1,44 @@
+package nic
+
+import "sync"
+
+// This file is the streamed wire-byte layer of the exchange path. A
+// cross-domain transfer used to require its whole packed stream to be
+// materialized up front (342 MB/op on the 8-rank halo benchmark came
+// almost entirely from those staging buffers). Instead, the gather side
+// now produces each packet's payload on demand into a pooled fixed-size
+// chunk, the chunk crosses domains through a copy-in/copy-out mailbox slot
+// on the receiving message, and the scatter side consumes it into the
+// destination buffer and returns it to the pool — so the bytes in flight
+// at any instant are bounded by the staging backlog, not the message size.
+//
+// Chunk hand-off is memory-model safe under the sharded executor: the
+// sender writes the mailbox slot strictly before calling Shard.PostRemote,
+// and the arrival event that reads the slot is delivered to the receiving
+// domain only after the window barrier (WaitGroup + goroutine start)
+// that orders the two domains.
+
+// chunk is one pooled wire chunk: at most an MTU of packet payload.
+type chunk struct{ b []byte }
+
+// chunkPool recycles wire chunks across messages, domains and exchanges.
+// Steady-state exchanges allocate no chunk storage: the pool holds one
+// chunk per packet concurrently staged on any device.
+var chunkPool = sync.Pool{New: func() any { return new(chunk) }}
+
+// getChunk returns a pooled chunk resized to n bytes.
+func getChunk(n int64) *chunk {
+	c := chunkPool.Get().(*chunk)
+	if int64(cap(c.b)) < n {
+		c.b = make([]byte, n)
+	}
+	c.b = c.b[:n]
+	return c
+}
+
+// putChunk returns a chunk to the pool.
+func putChunk(c *chunk) {
+	if c != nil {
+		chunkPool.Put(c)
+	}
+}

@@ -3,6 +3,7 @@ package nic
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"spinddt/internal/fabric"
 	"spinddt/internal/sim"
@@ -102,6 +103,24 @@ func newTxDevice(eng *sim.Engine, cfg Config) (*txDevice, error) {
 	return d, nil
 }
 
+// txDevPool recycles whole send devices across exchange runs.
+var txDevPool = sync.Pool{New: func() any { return new(txDevice) }}
+
+// acquireTxDevice is newTxDevice drawing from the device pool.
+func acquireTxDevice(eng *sim.Engine, cfg Config) (*txDevice, error) {
+	d := txDevPool.Get().(*txDevice)
+	if err := d.initDevice(eng, cfg); err != nil {
+		txDevPool.Put(d)
+		return nil, err
+	}
+	d.hostRead = sim.Server{}
+	d.wire = sim.Server{}
+	return d, nil
+}
+
+// releaseTxDevice returns a drained send device to the pool.
+func releaseTxDevice(d *txDevice) { txDevPool.Put(d) }
+
 // txSim is the per-message state of a send simulation: the packet pipeline
 // bookkeeping (which packets are ready, which have entered the in-order
 // fetch+inject stage) and the per-message result. Its vHPUs occupy the
@@ -123,6 +142,12 @@ type txSim struct {
 	readyOK []bool
 	next    int
 	left    int // packets not yet injected
+
+	// chunks, when non-empty, streams the gather's wire bytes: each
+	// packet's payload is produced into a pooled chunk by its gather
+	// handler and handed off at injection time (takeChunk) instead of
+	// being materialized in a packed stream.
+	chunks []*chunk
 
 	vhpus []*vhpu
 
@@ -163,25 +188,71 @@ func init() {
 	})
 }
 
+// txSimPool recycles per-message send simulations (with their pipeline
+// bookkeeping and vHPU tables) across runs; see releaseTxSim.
+var txSimPool = sync.Pool{New: func() any { return new(txSim) }}
+
+// releaseTxSim returns a finished send simulation to the pool. The caller
+// must have extracted the SendResult (PacketInjections is allocated per
+// message, so the extracted result stays valid) and must not touch s
+// afterwards; the engine the simulation ran on must be drained.
+func releaseTxSim(s *txSim) {
+	releaseVHPUs(s.vhpus)
+	for i, c := range s.chunks {
+		putChunk(c) // un-injected chunks (error teardown) go back to the pool
+		s.chunks[i] = nil
+	}
+	*s = txSim{
+		ready:   s.ready[:0],
+		readyOK: s.readyOK[:0],
+		chunks:  s.chunks[:0],
+		vhpus:   s.vhpus[:0],
+	}
+	txSimPool.Put(s)
+}
+
+// streamChunks switches a gather send to streamed wire chunks: each
+// packet's payload is produced into a pooled chunk during its gather
+// handler and handed off at injection time through takeChunk. Requires a
+// TxProcessPut message with a functional source and no materialized
+// stream (Src != nil, Packed == nil).
+func (s *txSim) streamChunks() {
+	for len(s.chunks) < s.npkt {
+		s.chunks = append(s.chunks, nil)
+	}
+}
+
+// takeChunk removes and returns packet pkt's gathered wire chunk; the
+// caller owns it (the exchange path mails it into the destination
+// message's mailbox).
+func (s *txSim) takeChunk(pkt int) *chunk {
+	c := s.chunks[pkt]
+	s.chunks[pkt] = nil
+	return c
+}
+
 // newMessage validates m and adds one message simulation to the device.
 func (d *txDevice) newMessage(m *TxMessage) (*txSim, error) {
 	if m.MsgBytes <= 0 {
 		return nil, errors.New("nic: empty message")
 	}
 	npkt := d.cfg.Fabric.NumPackets(m.MsgBytes)
-	s := &txSim{
-		dev:    d,
-		kind:   m.Kind,
-		ctx:    m.Ctx,
-		src:    m.Src,
-		packed: m.Packed,
-		npkt:   npkt,
-		notify: m.Notify,
-	}
+	s := txSimPool.Get().(*txSim)
+	s.dev = d
+	s.kind = m.Kind
+	s.ctx = m.Ctx
+	s.src = m.Src
+	s.packed = m.Packed
+	s.npkt = npkt
+	s.notify = m.Notify
 	s.res.MsgBytes = m.MsgBytes
 	s.left = npkt
-	s.ready = make([]sim.Time, npkt)
-	s.readyOK = make([]bool, npkt)
+	for len(s.ready) < npkt {
+		s.ready = append(s.ready, 0)
+	}
+	for len(s.readyOK) < npkt {
+		s.readyOK = append(s.readyOK, false)
+	}
 	s.res.PacketInjections = make([]sim.Time, npkt)
 
 	switch m.Kind {
@@ -204,7 +275,6 @@ func (d *txDevice) newMessage(m *TxMessage) (*txSim, error) {
 		if err := d.reserveContext(m.Ctx); err != nil {
 			return nil, err
 		}
-		s.vhpus = make([]*vhpu, 0, 4)
 	default:
 		return nil, fmt.Errorf("nic: unknown send kind %d", m.Kind)
 	}
@@ -278,14 +348,19 @@ func (s *txSim) enqueue(pkt int) {
 // (hpuOwner).
 func (s *txSim) runNext(v *vhpu) {
 	d := s.dev
-	p := v.queue[0]
-	v.queue = v.queue[1:]
+	p := v.popPkt()
 
 	d.rb.ops = d.rb.ops[:0]
 	d.rb.src = s.src
 	var payload []byte
 	if s.packed != nil {
 		payload = s.packed[p.StreamOff : p.StreamOff+p.Size]
+	} else if len(s.chunks) > 0 {
+		// Streamed gather: produce this packet's wire bytes into a pooled
+		// chunk; it is handed off downstream at injection time.
+		c := getChunk(p.Size)
+		s.chunks[p.Index] = c
+		payload = c.b
 	}
 	d.args = spin.HandlerArgs{
 		StreamOff: p.StreamOff,

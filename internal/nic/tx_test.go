@@ -301,22 +301,34 @@ func TestRunExchangeDeterminism(t *testing.T) {
 	}
 }
 
-// TestRunExchangeRejectsFunctionalSends: cross-domain coupling requires
-// pre-staged streams.
-func TestRunExchangeRejectsFunctionalSends(t *testing.T) {
+// TestRunExchangeCouplingValidation pins the coupling contract: a send
+// cannot carry a materialized wire stream, a functional send cannot feed a
+// pre-staged receive (the two would alias the same bytes), and a coupled
+// receive with neither a functional sender nor a pre-staged stream has no
+// wire bytes to scatter.
+func TestRunExchangeCouplingValidation(t *testing.T) {
 	cfg := DefaultConfig()
-	pt, err := rdmaPT(4096)
-	if err != nil {
-		t.Fatal(err)
+	build := func(src, sndPacked, rcvPacked []byte) []ExchangeEndpoint {
+		pt, err := rdmaPT(4096)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return []ExchangeEndpoint{
+			{Cfg: cfg, Recvs: []BatchMessage{{PT: pt, Bits: 1, Packed: rcvPacked, Host: make([]byte, 4096)}}},
+			{Cfg: cfg, Sends: []ExchangeSend{{
+				Msg: TxMessage{Kind: TxProcessPut, MsgBytes: 4096, Ctx: gatherCtx(100), Src: src, Packed: sndPacked},
+				Dst: 0, DstRecv: 0,
+			}}},
+		}
 	}
-	eps := []ExchangeEndpoint{
-		{Cfg: cfg, Recvs: []BatchMessage{{PT: pt, Bits: 1, Packed: make([]byte, 4096), Host: make([]byte, 4096)}}},
-		{Cfg: cfg, Sends: []ExchangeSend{{
-			Msg: TxMessage{Kind: TxProcessPut, MsgBytes: 4096, Ctx: gatherCtx(100), Src: make([]byte, 4096)},
-			Dst: 0, DstRecv: 0,
-		}}},
+	buf := make([]byte, 4096)
+	if _, err := RunExchange(build(nil, buf, buf), 1); err == nil {
+		t.Fatal("materialized send stream accepted across domains")
 	}
-	if _, err := RunExchange(eps, 1); err == nil {
-		t.Fatal("functional gather across domains accepted")
+	if _, err := RunExchange(build(buf, nil, buf), 1); err == nil {
+		t.Fatal("functional send into a pre-staged receive accepted")
+	}
+	if _, err := RunExchange(build(nil, nil, nil), 1); err == nil {
+		t.Fatal("coupled receive with no wire bytes accepted")
 	}
 }

@@ -130,15 +130,22 @@ func (b *bucket) reset() {
 
 // Calendar-queue geometry. The bucket width is a power of two of
 // picoseconds so bucket indexing is a shift, and the ring is a power of two
-// of buckets so the slot lookup is a mask. 2^16 ps = 65.536 ns per bucket
-// matches the inter-event spacing of the NIC models (packet arrivals every
-// ~85 ns at 200 Gbit/s); 256 buckets give a ~16.8 us horizon. Events beyond
-// the horizon wait in the overflow store and are admitted as the cursor
-// advances, so the width only affects speed, never ordering.
+// of buckets so the slot lookup is a mask. The width is per queue
+// (calQueue.shift, settable through Engine.SetEventSpacing) because it is a
+// pure speed knob: a bucket should hold about one event, so its width
+// should track the model's dominant inter-event spacing. The default
+// 2^16 ps = 65.536 ns matches the NIC models (packet arrivals every ~85 ns
+// at 200 Gbit/s); coarser models — e.g. LogGOPS collectives whose events
+// are microseconds apart — widen the buckets so the cursor stops paying a
+// constant per empty 65 ns slot. 256 buckets give a horizon of 256 widths;
+// events beyond it wait in the overflow store and are admitted as the
+// cursor advances, so the width only affects speed, never ordering.
 const (
-	calShift   = 16
-	calBuckets = 256
-	calMask    = calBuckets - 1
+	calShift    = 16 // default bucket width exponent
+	calShiftMin = 10 // 1.024 ns — finer buckets than any model's event rate
+	calShiftMax = 26 // 67 us — beyond this the ring degenerates to overflow
+	calBuckets  = 256
+	calMask     = calBuckets - 1
 )
 
 // calQueue is a calendar (bucket) queue specialized for the near-monotone
@@ -146,7 +153,7 @@ const (
 // lookahead past the clock, so the common case is an O(1) append into a
 // bucket near the cursor and an O(1) pop from it.
 //
-//   - Bucket b holds events whose absolute bucket index at>>calShift equals
+//   - Bucket b holds events whose absolute bucket index at>>shift equals
 //     b for some era; each bucket is a sorted run drained from its
 //     head, so intra-bucket ordering (including same-time bursts, via seq)
 //     is exact and pushes into the bucket currently being drained stay
@@ -168,6 +175,7 @@ const (
 type calQueue struct {
 	curAbs   int64 // absolute bucket index of the drain cursor
 	ovMinAbs int64 // bucket index of the earliest overflow event (maxInt64 when empty)
+	shift    uint  // bucket width exponent (0 on a zero-value queue: calShift)
 	ringSize int   // events resident in buckets
 	size     int   // total events (ring + overflow)
 	ovHead   int   // consumed prefix of ovSorted
@@ -186,7 +194,7 @@ func (q *calQueue) refreshOvMin() {
 	if q.ovLen() == 0 {
 		q.ovMinAbs = ovEmptyAbs
 	} else {
-		q.ovMinAbs = int64(q.ovMin().at) >> calShift
+		q.ovMinAbs = int64(q.ovMin().at) >> q.shift
 	}
 }
 
@@ -196,8 +204,11 @@ func (q *calQueue) push(ev event) {
 	if q.size == 0 && q.ringSize == 0 && q.ovMinAbs == 0 {
 		q.ovMinAbs = ovEmptyAbs // zero-value queue: mark overflow empty
 	}
+	if q.shift == 0 {
+		q.shift = calShift
+	}
 	q.size++
-	abs := int64(ev.at) >> calShift
+	abs := int64(ev.at) >> q.shift
 	if abs < q.curAbs {
 		// The cursor ran ahead of the clock over empty buckets (a peek with
 		// nothing due yet); rewind it so the scan revisits this bucket. The
@@ -256,7 +267,7 @@ func (q *calQueue) ovLen() int { return len(q.ovSorted) - q.ovHead + len(q.ovHea
 func (q *calQueue) admit() {
 	for q.ovMinAbs < q.curAbs+calBuckets {
 		ev := q.ovPop()
-		q.buckets[int64(ev.at)>>calShift&calMask].insert(ev)
+		q.buckets[int64(ev.at)>>q.shift&calMask].insert(ev)
 		q.ringSize++
 		q.refreshOvMin()
 	}
@@ -272,7 +283,7 @@ func (q *calQueue) settle() *bucket {
 	}
 	for {
 		b := &q.buckets[q.curAbs&calMask]
-		if !b.empty() && int64(b.peek().at)>>calShift == q.curAbs {
+		if !b.empty() && int64(b.peek().at)>>q.shift == q.curAbs {
 			return b
 		}
 		q.curAbs++
@@ -301,8 +312,23 @@ func (q *calQueue) pop() event {
 	return b.pop()
 }
 
+// setShift reconfigures the bucket width to 2^shift picoseconds. Only legal
+// on an empty queue: resident events were placed under the old geometry.
+func (q *calQueue) setShift(shift uint) {
+	if q.size != 0 {
+		panic("sim: calendar width change with pending events")
+	}
+	q.shift = shift
+	q.curAbs = 0
+	if q.ovMinAbs == 0 {
+		q.ovMinAbs = ovEmptyAbs // zero-value queue: mark overflow empty
+	}
+}
+
 // reset empties the queue, retaining bucket and overflow capacity so a
-// pooled engine reaches steady state with no further allocations.
+// pooled engine reaches steady state with no further allocations — and
+// restores the default geometry, so a pooled engine does not leak a
+// previous model's bucket width into the next simulation.
 func (q *calQueue) reset() {
 	for i := range q.buckets {
 		q.buckets[i].reset()
@@ -312,6 +338,7 @@ func (q *calQueue) reset() {
 	q.ovHead = 0
 	q.ovMinAbs = ovEmptyAbs
 	q.curAbs = 0
+	q.shift = calShift
 	q.ringSize = 0
 	q.size = 0
 }

@@ -81,6 +81,111 @@ func TestCalendarQueueMatchesHeap(t *testing.T) {
 	}
 }
 
+// TestCalendarQueueShiftInvariance drives one random schedule through the
+// calendar queue at every legal bucket width and through the reference
+// heap: the (time, seq) firing order must be identical at each width —
+// the geometry is a speed knob, never an ordering input.
+func TestCalendarQueueShiftInvariance(t *testing.T) {
+	type op struct {
+		popsBefore int
+		at         Time
+	}
+	rng := rand.New(rand.NewSource(11))
+	var script []op
+	now := Time(0)
+	for i := 0; i < 400; i++ {
+		script = append(script, op{popsBefore: rng.Intn(3), at: now + Time(rng.Int63n(int64(300*Microsecond)))})
+		now += Time(rng.Intn(50_000))
+	}
+
+	run := func(shift uint) []event {
+		var cal calQueue
+		if shift != 0 {
+			cal.setShift(shift)
+		}
+		var fired []event
+		var seq uint64
+		clock := Time(0)
+		for _, o := range script {
+			for p := 0; p < o.popsBefore && cal.len() > 0; p++ {
+				ev := cal.pop()
+				if ev.at < clock {
+					t.Fatalf("shift %d: time went backwards", shift)
+				}
+				clock = ev.at
+				fired = append(fired, ev)
+			}
+			at := o.at
+			if at < clock {
+				at = clock
+			}
+			cal.push(event{at: at, seq: seq})
+			seq++
+		}
+		for cal.len() > 0 {
+			fired = append(fired, cal.pop())
+		}
+		return fired
+	}
+
+	want := run(0) // default geometry
+	for shift := uint(calShiftMin); shift <= calShiftMax; shift += 4 {
+		got := run(shift)
+		if len(got) != len(want) {
+			t.Fatalf("shift %d fired %d events, want %d", shift, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("shift %d: event %d = (%d,%d), want (%d,%d)",
+					shift, i, got[i].at, got[i].seq, want[i].at, want[i].seq)
+			}
+		}
+	}
+}
+
+// TestSetEventSpacing pins the spacing -> width mapping, the pending-events
+// panic, and that Reset restores the default geometry.
+func TestSetEventSpacing(t *testing.T) {
+	e := New()
+	for _, tc := range []struct {
+		spacing Time
+		shift   uint
+	}{
+		{1, calShiftMin},                // clamped low
+		{65 * Nanosecond, 15},           // 2^15 ps = 32.8 ns <= 65 ns < 2^16
+		{66 * Nanosecond, 16},           // the default width, derived
+		{745 * Nanosecond, 19},          // LogGOPS wire latency
+		{10 * Millisecond, calShiftMax}, // clamped high
+	} {
+		e.SetEventSpacing(tc.spacing)
+		if got := e.queue.shift; got != tc.shift {
+			t.Fatalf("SetEventSpacing(%v): shift %d, want %d", tc.spacing, got, tc.shift)
+		}
+	}
+
+	e.SetEventSpacing(10 * Millisecond)
+	e.Reset()
+	if got := e.queue.shift; got != calShift {
+		t.Fatalf("Reset left shift %d, want default %d", got, calShift)
+	}
+
+	var fired bool
+	kind := RegisterKind("sim.testSpacingPanic", func(any, int64, int64) { fired = true })
+	e.Post(Nanosecond, kind, e.Bind(&struct{}{}), 0, 0)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("SetEventSpacing with pending events did not panic")
+			}
+		}()
+		e.SetEventSpacing(Microsecond)
+	}()
+	e.Run()
+	if !fired {
+		t.Fatal("pending event lost")
+	}
+}
+
 // TestCalendarQueueEqualBurst floods one timestamp with more events than a
 // bucket initially holds; firing order must be exactly insertion order.
 func TestCalendarQueueEqualBurst(t *testing.T) {

@@ -120,6 +120,16 @@ func (m *MultiServer) Acquire(t, d Time) (start, end Time) {
 	return start, end
 }
 
+// Reset returns every server to idle and zeroes the counters, so a pooled
+// device can reuse the heap storage across simulations.
+func (m *MultiServer) Reset() {
+	for i := range m.heap {
+		m.heap[i] = serverSlot{idx: i}
+	}
+	m.busyTotal = 0
+	m.jobs = 0
+}
+
 // Servers returns the pool size.
 func (m *MultiServer) Servers() int { return len(m.heap) }
 

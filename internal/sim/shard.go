@@ -2,7 +2,6 @@ package sim
 
 import (
 	"fmt"
-	"sort"
 	"sync"
 	"sync/atomic"
 )
@@ -80,6 +79,7 @@ type ParallelEngine struct {
 	horizon Time
 	windows uint64
 	scratch []xmsg
+	aux     []xmsg // merge buffer of sortXmsgs, reused across windows
 }
 
 // NewParallel returns an empty sharded simulation executed by up to
@@ -184,12 +184,85 @@ func (p *ParallelEngine) flush() {
 		}
 		// Stable sort: equal timestamps keep their concatenation order,
 		// which is (source shard id, post order within the source).
-		sort.SliceStable(msgs, func(i, j int) bool { return msgs[i].at < msgs[j].at })
+		p.sortXmsgs(msgs)
 		for _, m := range msgs {
 			dst.Post(m.at, m.kind, m.ctx, m.a, m.b)
 		}
 		p.scratch = msgs // retain capacity
 	}
+}
+
+// sortXmsgs stably sorts msgs by firing time without allocating on the
+// steady state (sort.SliceStable would allocate a closure and a reflect
+// Swapper per call — once per window per destination, the dominant
+// allocation source of large sharded runs). Small slices use binary
+// insertion; larger ones a bottom-up merge through the reused aux buffer.
+func (p *ParallelEngine) sortXmsgs(msgs []xmsg) {
+	n := len(msgs)
+	const run = 32
+	if n <= run {
+		insertionSortXmsgs(msgs)
+		return
+	}
+	for i := 0; i < n; i += run {
+		end := i + run
+		if end > n {
+			end = n
+		}
+		insertionSortXmsgs(msgs[i:end])
+	}
+	if cap(p.aux) < n {
+		p.aux = make([]xmsg, n)
+	}
+	src, buf := msgs, p.aux[:n]
+	for width := run; width < n; width *= 2 {
+		for i := 0; i < n; i += 2 * width {
+			mid, hi := i+width, i+2*width
+			if mid > n {
+				mid = n
+			}
+			if hi > n {
+				hi = n
+			}
+			mergeXmsgs(src[i:mid], src[mid:hi], buf[i:hi])
+		}
+		src, buf = buf, src
+	}
+	if &src[0] != &msgs[0] {
+		copy(msgs, src)
+	}
+}
+
+// insertionSortXmsgs is a stable insertion sort (strict < moves, so equal
+// times keep their input order).
+func insertionSortXmsgs(msgs []xmsg) {
+	for i := 1; i < len(msgs); i++ {
+		m := msgs[i]
+		j := i
+		for j > 0 && m.at < msgs[j-1].at {
+			msgs[j] = msgs[j-1]
+			j--
+		}
+		msgs[j] = m
+	}
+}
+
+// mergeXmsgs merges two sorted runs into out, taking from a on ties (left
+// run precedes right in the concatenation order, keeping the merge stable).
+func mergeXmsgs(a, b, out []xmsg) {
+	i, j, k := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		if b[j].at < a[i].at {
+			out[k] = b[j]
+			j++
+		} else {
+			out[k] = a[i]
+			i++
+		}
+		k++
+	}
+	k += copy(out[k:], a[i:])
+	copy(out[k:], b[j:])
 }
 
 // lbts returns the horizon of the next window: no cross-shard event can be

@@ -11,7 +11,16 @@
 // Buckets are tiny binary min-heaps, events beyond the bucket horizon wait
 // in an overflow heap, and an empty ring jumps the cursor straight to the
 // overflow minimum, so sparse millisecond-scale schedules cost no empty
-// scans. Bucket geometry affects only speed, never order.
+// scans.
+//
+// The bucket width is adaptive: Engine.SetEventSpacing sizes it to the
+// dominant event spacing of the model about to run (the NIC models leave
+// the packet-scale default; LogGOPS replays widen to the wire latency),
+// keeping the cursor from scanning empty slots when events are sparse and
+// buckets from degenerating into heaps when events are dense. Geometry is
+// purely a speed knob — the firing order is identical at every width,
+// which TestCalendarQueueShiftInvariance pins down — so golden outputs
+// never depend on it.
 //
 // # Determinism contract
 //
@@ -220,6 +229,26 @@ func (e *Engine) Fired() uint64 { return e.fired }
 
 // Pending returns the number of events still queued.
 func (e *Engine) Pending() int { return e.queue.len() }
+
+// SetEventSpacing adapts the calendar-queue geometry to a model whose
+// dominant inter-event spacing is about spacing: the bucket width becomes
+// the largest power of two of picoseconds not exceeding it (clamped to
+// [2^10, 2^26] ps), so a bucket holds roughly one event and the drain
+// cursor stops scanning empty slots. The width is a pure speed knob — it
+// never affects event ordering — but it may only be changed while no
+// events are pending (resident events were bucketed under the old
+// geometry); violating that panics. Reset restores the default geometry,
+// tuned for the ~85 ns packet spacing of the NIC models.
+func (e *Engine) SetEventSpacing(spacing Time) {
+	if e.queue.len() > 0 {
+		panic("sim: SetEventSpacing with pending events")
+	}
+	shift := uint(calShiftMin)
+	for shift < calShiftMax && Time(1)<<(shift+1) <= spacing {
+		shift++
+	}
+	e.queue.setShift(shift)
+}
 
 // Post schedules a typed event at absolute time t: at t, the handler
 // registered for k runs with (ctx, a, b), where ctx is the object bound to
