@@ -20,6 +20,15 @@
 #                once on the serial engine and once on the sharded
 #                engine, and diffs both against the golden outputs in
 #                testdata/golden/ (byte-identical or the job fails)
+#   server-soak  `make soak` — >= 64 concurrent client sessions against
+#                an in-process spinsimd session daemon over seeded
+#                fault injection, race-clean, one SPINDDT_LOSS_PCT rate
+#                per matrix shard; every delivered buffer is
+#                byte-verified server-side
+#   fuzz-smoke   `make fuzz-smoke` — a FUZZTIME fuzzing budget per wire
+#                decoder: the server request/response framing plus the
+#                transport frame and block-program decoders (seed
+#                corpora committed under each package's testdata/fuzz/)
 #
 # Refresh the baseline with `make bench-baseline` (on a quiet machine) and
 # the goldens with `make golden` whenever an intentional model change
@@ -33,9 +42,10 @@ BENCH_DATE := $(shell date +%F)
 # executor baseline + all-cores executor), the session API (committed
 # handle reuse + the batched alltoall endpoint pass), the symmetric
 # device model (sender-side handle reuse + the sharded halo exchanges
-# at 8 and 64 ranks), and the reliable transport's steady-state message
-# rate.
-BENCH_CORE := BenchmarkSimulationRWCP1MiB|BenchmarkSimulationSpecialized1MiB|BenchmarkDDTPackUnpack|BenchmarkEventEngine|BenchmarkSimulationClusterSerial|BenchmarkSimulationSharded|BenchmarkSessionPostReuse|BenchmarkAlltoall8|BenchmarkSessionSendReuse|BenchmarkHaloExchange8|BenchmarkHaloExchange64|BenchmarkTransportThroughput
+# at 8 and 64 ranks), the reliable transport's steady-state message
+# rate, and the session daemon's full client-session cycle
+# (open/commit/post/flush/close over the in-memory pipe).
+BENCH_CORE := BenchmarkSimulationRWCP1MiB|BenchmarkSimulationSpecialized1MiB|BenchmarkDDTPackUnpack|BenchmarkEventEngine|BenchmarkSimulationClusterSerial|BenchmarkSimulationSharded|BenchmarkSessionPostReuse|BenchmarkAlltoall8|BenchmarkSessionSendReuse|BenchmarkHaloExchange8|BenchmarkHaloExchange64|BenchmarkTransportThroughput|BenchmarkServerThroughput
 # Allowed fractional ns/op regression vs BENCH_BASELINE.json.
 TOLERANCE ?= 0.25
 # Allowed fractional B/op and allocs/op regression vs BENCH_BASELINE.json.
@@ -51,7 +61,13 @@ BENCH_COUNT ?= 3
 # job stays fast; the bench smoke still runs paper-scale sizes).
 GOLDEN_ARGS := -fig all -msg 1048576
 
-.PHONY: build test race loss-matrix bench bench-all bench-check bench-baseline golden determinism
+# SOAK_RATES are the injected-loss percentages the server soak runs at
+# (CI pins one per shard; a local `make soak` covers the matrix).
+SOAK_RATES ?= 0 1 10
+# FUZZTIME is the per-target budget of `make fuzz-smoke`.
+FUZZTIME ?= 30s
+
+.PHONY: build test race loss-matrix soak fuzz-smoke bench bench-all bench-check bench-baseline golden determinism
 
 build:
 	$(GO) build ./...
@@ -61,7 +77,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/ddt/ ./internal/core/ ./internal/sim/ ./internal/experiments/ ./internal/nic/ ./internal/loggops/ ./internal/fabric/ ./internal/transport/
+	$(GO) test -race ./internal/ddt/ ./internal/core/ ./internal/sim/ ./internal/experiments/ ./internal/nic/ ./internal/loggops/ ./internal/fabric/ ./internal/transport/ ./internal/server/
 
 # loss-matrix runs the transport and UDP-backend differential tests under
 # -race at every loss rate of the matrix (each CI shard pins one rate via
@@ -72,6 +88,28 @@ loss-matrix:
 			-run 'TestLossMatrix|TestUDPBackend' \
 			./internal/transport/ ./internal/core/ || exit 1; \
 	done
+
+# soak is the server-soak CI gate: >= 64 concurrent client sessions of
+# mixed commit/post/flush traffic with random datatypes against one
+# in-process spinsimd, under seeded fault injection on both directions,
+# race-clean, at each SOAK_RATES loss percentage. Every delivered
+# buffer is byte-verified against the reference unpack of the exact
+# wire stream.
+soak:
+	for pct in $(SOAK_RATES); do \
+		SPINDDT_LOSS_PCT=$$pct $(GO) test -race -count=1 \
+			-run 'TestServerSoak' ./internal/server/ || exit 1; \
+	done
+
+# fuzz-smoke gives each wire decoder a FUZZTIME fuzzing budget (one
+# -fuzz run per target; go test allows a single target per invocation).
+# Seed corpora are committed under each package's testdata/fuzz/ and
+# refreshed with SPINDDT_WRITE_CORPUS=1.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzRequestDecode$$' -fuzztime $(FUZZTIME) ./internal/server/
+	$(GO) test -run '^$$' -fuzz '^FuzzResponseDecode$$' -fuzztime $(FUZZTIME) ./internal/server/
+	$(GO) test -run '^$$' -fuzz '^FuzzFrameDecode$$' -fuzztime $(FUZZTIME) ./internal/transport/
+	$(GO) test -run '^$$' -fuzz '^FuzzBlockProgramDecode$$' -fuzztime $(FUZZTIME) ./internal/transport/
 
 # bench records the core perf trajectory to BENCH_<date>.json (multiple
 # iterations, stable numbers).

@@ -7,11 +7,13 @@
 //	spinsim -strategy rwcp -block 256 -msg 1048576 -hpus 16 -ooo 8
 //
 // The wire modes move real transfers between two processes over the
-// reliable UDP transport (internal/transport): -serve scatters incoming
-// messages with the block program decoded from the wire, -send gathers
-// and ships the flag-described vector, surviving injected packet drops:
+// reliable UDP transport: -serve runs the spinsimd session daemon
+// in-process, -send drives it through the session protocol
+// (internal/server/client) — committing the flag-described vector and
+// posting caller-packed wire streams the daemon scatters and
+// byte-verifies — surviving injected packet drops:
 //
-//	spinsim -serve 127.0.0.1:7117 -wiremsgs 4
+//	spinsim -serve 127.0.0.1:7117 -sessions 1
 //	spinsim -send 127.0.0.1:7117 -wiremsgs 4 -block 512 -msg 1048576 -drop 0.05
 package main
 
@@ -41,7 +43,9 @@ func main() {
 	trace := flag.Int("trace", 0, "print the first N NIC pipeline trace events")
 	serve := flag.String("serve", "", "serve transfers over reliable UDP on this address (e.g. 127.0.0.1:7117)")
 	send := flag.String("send", "", "send the -block/-stride/-msg vector over reliable UDP to this server address")
-	wiremsgs := flag.Int("wiremsgs", 1, "number of wire messages to serve or send")
+	wiremsgs := flag.Int("wiremsgs", 1, "number of wire messages to send per session")
+	sessions := flag.Int("sessions", 1, "number of client sessions -serve waits for before exiting")
+	session := flag.Uint("session", 1, "wire session id -send claims on the daemon (nonzero)")
 	drop := flag.Float64("drop", 0, "sender-side injected datagram drop rate in [0, 1) (the transport recovers)")
 	flag.Parse()
 
@@ -50,9 +54,9 @@ func main() {
 	case *serve != "" && *send != "":
 		err = fmt.Errorf("-serve and -send are mutually exclusive")
 	case *serve != "":
-		err = runServe(*serve, *wiremsgs)
+		err = runServe(*serve, *sessions)
 	case *send != "":
-		err = runSend(*send, *block, *stride, *msg, *wiremsgs, *seed, *drop)
+		err = runSend(*send, *block, *stride, *msg, *wiremsgs, uint32(*session), *seed, *drop)
 	default:
 		err = run(*strategy, *block, *stride, *msg, *hpus, *epsilon, *ooo, *seed, *trace)
 	}
@@ -62,7 +66,7 @@ func main() {
 	}
 }
 
-// runServe binds the wire server address and serves n transfers.
+// runServe binds the daemon address and serves n client sessions.
 func runServe(addr string, n int) error {
 	conn, err := net.ListenPacket("udp", addr)
 	if err != nil {
@@ -71,14 +75,17 @@ func runServe(addr string, n int) error {
 	return serveWire(conn, n, os.Stdout)
 }
 
-// runSend builds the vector type the simulation flags describe and ships
-// it over the wire.
-func runSend(addr string, block, stride, msg int64, n int, seed int64, drop float64) error {
+// runSend builds the vector type the simulation flags describe and
+// drives it through a session on the daemon.
+func runSend(addr string, block, stride, msg int64, n int, session uint32, seed int64, drop float64) error {
 	typ, err := vectorType(block, stride, msg)
 	if err != nil {
 		return err
 	}
-	return sendWire(addr, typ, 1, n, seed, drop, os.Stdout)
+	if session == 0 {
+		return fmt.Errorf("-session must be nonzero (0 is the daemon's own wire session)")
+	}
+	return sendWire(addr, typ, 1, n, session, seed, drop, os.Stdout)
 }
 
 // vectorType builds the -block/-stride/-msg vector datatype shared by the

@@ -30,9 +30,11 @@ func TestRunEndToEnd(t *testing.T) {
 }
 
 // TestWireServeSend moves real transfers between the -serve and -send
-// modes over UDP loopback — including with sender-side packet drops the
-// reliability layer has to absorb — and requires the server to verify
-// every scatter against its regathered wire stream.
+// modes over UDP loopback — the in-process session daemon on one side,
+// the session-protocol client on the other, with sender-side packet
+// drops the reliability layer has to absorb — and requires every
+// posted wire stream to come back verified by the daemon's scatter
+// check.
 func TestWireServeSend(t *testing.T) {
 	conn, err := net.ListenPacket("udp", "127.0.0.1:0")
 	if err != nil {
@@ -41,24 +43,26 @@ func TestWireServeSend(t *testing.T) {
 	const msgs = 3
 	var serveOut strings.Builder
 	serveErr := make(chan error, 1)
-	go func() { serveErr <- serveWire(conn, msgs, &serveOut) }()
+	go func() { serveErr <- serveWire(conn, 1, &serveOut) }()
 
 	typ, err := vectorType(512, 0, 1<<18)
 	if err != nil {
 		t.Fatal(err)
 	}
 	var sendOut strings.Builder
-	if err := sendWire(conn.LocalAddr().String(), typ, 1, msgs, 7, 0.05, &sendOut); err != nil {
+	if err := sendWire(conn.LocalAddr().String(), typ, 1, msgs, 9, 7, 0.05, &sendOut); err != nil {
 		t.Fatalf("send: %v\n%s", err, sendOut.String())
 	}
 	if err := <-serveErr; err != nil {
 		t.Fatalf("serve: %v\n%s", err, serveOut.String())
 	}
-	got := serveOut.String()
-	if strings.Count(got, "verified=true") != msgs {
-		t.Fatalf("server output missing verified messages:\n%s", got)
+	if got := sendOut.String(); strings.Count(got, "verified=true") != msgs {
+		t.Fatalf("sender output missing verified messages:\n%s", got)
 	}
 	if !strings.Contains(sendOut.String(), "acks received") {
 		t.Fatalf("sender output missing transport stats:\n%s", sendOut.String())
+	}
+	if !strings.Contains(serveOut.String(), "served 1 sessions") {
+		t.Fatalf("server output missing session summary:\n%s", serveOut.String())
 	}
 }

@@ -1,14 +1,15 @@
-// Wire modes: -serve receives datatype transfers over the reliable UDP
-// transport and scatters them with the block program decoded from the
-// wire; -send gathers a committed type and ships it to a server. Together
-// they move a non-contiguous transfer between two processes:
+// Wire modes: -serve runs the spinsimd session daemon in-process until
+// the requested number of client sessions have come and gone; -send
+// drives a daemon through the internal/server/client protocol — open a
+// session, commit the flag-described vector, post caller-packed wire
+// streams the server scatters and byte-verifies, flush, close.
+// Together they move non-contiguous transfers between two processes:
 //
-//	spinsim -serve 127.0.0.1:7117 -wiremsgs 4
+//	spinsim -serve 127.0.0.1:7117 -sessions 1
 //	spinsim -send 127.0.0.1:7117 -wiremsgs 4 -block 512 -msg 1048576
 package main
 
 import (
-	"bytes"
 	"fmt"
 	"io"
 	"math/rand"
@@ -16,81 +17,61 @@ import (
 	"time"
 
 	"spinddt/internal/ddt"
+	"spinddt/internal/server"
+	"spinddt/internal/server/client"
 	"spinddt/internal/transport"
 )
 
-// wireRecvTimeout bounds how long the server waits for each message.
-const wireRecvTimeout = 60 * time.Second
+// wireServeTimeout bounds how long -serve waits for its sessions.
+const wireServeTimeout = 60 * time.Second
 
-// serveWire receives nmsgs transfers on conn, scatters each through the
-// block program carried in its wire header, and verifies the scatter by
-// re-gathering: packing the scattered buffer with the same program must
-// reproduce the received wire stream byte for byte.
-func serveWire(conn net.PacketConn, nmsgs int, out io.Writer) error {
-	ep := transport.NewEndpoint(conn, nil, 1, transport.Config{})
-	defer ep.Close()
-	fmt.Fprintf(out, "listening on %v for %d messages\n", conn.LocalAddr(), nmsgs)
-	for i := 0; i < nmsgs; i++ {
-		msg, err := ep.Recv(wireRecvTimeout)
-		if err != nil {
-			return fmt.Errorf("recv %d: %w", i, err)
+// serveWire runs the session daemon on conn until nsessions client
+// sessions have closed (or been reaped), then prints the service
+// summary.
+func serveWire(conn net.PacketConn, nsessions int, out io.Writer) error {
+	srv := server.New(conn, server.Config{})
+	defer srv.Close()
+	fmt.Fprintf(out, "spinsimd session server on %v, waiting for %d sessions\n", srv.Addr(), nsessions)
+	deadline := time.Now().Add(wireServeTimeout)
+	for {
+		st := srv.Stats()
+		if st.Closed+st.Reaped >= int64(nsessions) {
+			fmt.Fprintf(out, "served %d sessions (%d reaped), %d requests, %d rejections\n",
+				st.Closed+st.Reaped, st.Reaped, st.Requests, st.Rejections)
+			return nil
 		}
-		meta, err := transport.DecodeWireMeta(msg.Hdr)
-		if err != nil {
-			msg.Release()
-			return fmt.Errorf("message %d: %w", msg.ID, err)
+		if time.Now().After(deadline) {
+			return fmt.Errorf("timed out with %d of %d sessions served", st.Closed+st.Reaped, nsessions)
 		}
-		if meta.Type == nil {
-			fmt.Fprintf(out, "msg %-3d contiguous %d bytes at offset %d\n", msg.ID, len(msg.Payload), meta.Offset)
-			msg.Release()
-			continue
-		}
-		_, hi := meta.Type.Footprint(meta.Count)
-		dst := make([]byte, hi)
-		if err := ddt.Unpack(meta.Type, meta.Count, msg.Payload, dst); err != nil {
-			msg.Release()
-			return fmt.Errorf("message %d: scatter: %w", msg.ID, err)
-		}
-		repacked := make([]byte, len(msg.Payload))
-		if _, err := ddt.PackInto(meta.Type, meta.Count, dst, repacked); err != nil {
-			msg.Release()
-			return fmt.Errorf("message %d: regather: %w", msg.ID, err)
-		}
-		verified := bytes.Equal(repacked, msg.Payload)
-		fmt.Fprintf(out, "msg %-3d %s count=%d wire=%d bytes footprint=%d bytes verified=%v\n",
-			msg.ID, meta.Type.Signature(), meta.Count, len(msg.Payload), hi, verified)
-		msg.Release()
-		if !verified {
-			return fmt.Errorf("message %d: scattered buffer does not regather to the wire stream", msg.ID)
-		}
+		time.Sleep(5 * time.Millisecond)
 	}
-	st := ep.Stats()
-	fmt.Fprintf(out, "served %d messages (%d corrupt frames dropped, %d acks sent)\n",
-		st.MsgsReceived, st.CorruptFrames, st.AcksSent)
-	return nil
 }
 
 // sendWire gathers count elements of typ from a seeded source image and
-// ships nmsgs copies to the server at addr, optionally through a
-// fault-injecting wrapper that drops the given fraction of datagrams (the
-// reliability layer recovers; the stats line shows the retransmissions).
-func sendWire(addr string, typ *ddt.Type, count, nmsgs int, seed int64, drop float64, out io.Writer) error {
-	peer, err := net.ResolveUDPAddr("udp", addr)
-	if err != nil {
-		return err
-	}
-	conn, err := net.ListenPacket("udp", "127.0.0.1:0")
-	if err != nil {
-		return err
-	}
-	var wire net.PacketConn = conn
+// posts nmsgs caller-packed copies to the daemon at addr on the given
+// wire session, optionally through a fault-injecting wrapper that drops
+// the given fraction of datagrams (the reliability layer recovers; the
+// stats line shows the retransmissions). The daemon scatters each
+// stream and byte-verifies it against the reference unpack; the flush
+// records report the verdicts.
+func sendWire(addr string, typ *ddt.Type, count, nmsgs int, session uint32, seed int64, drop float64, out io.Writer) error {
+	cfg := client.Config{}
 	if drop > 0 {
-		wire = transport.NewFaultConn(conn, transport.FaultConfig{Seed: seed, DropRate: drop})
+		cfg.Fault = &transport.FaultConfig{Seed: seed, DropRate: drop}
 	}
-	ep := transport.NewEndpoint(wire, peer, 1, transport.Config{})
-	defer ep.Close()
+	c, err := client.Dial(addr, session, cfg)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	if err := c.Open(); err != nil {
+		return fmt.Errorf("open session %d: %w", session, err)
+	}
+	h, err := c.CommitAuto(typ)
+	if err != nil {
+		return fmt.Errorf("commit: %w", err)
+	}
 
-	typ.Commit()
 	_, hi := typ.Footprint(count)
 	src := make([]byte, hi)
 	rng := rand.New(rand.NewSource(seed))
@@ -101,16 +82,30 @@ func sendWire(addr string, typ *ddt.Type, count, nmsgs int, seed int64, drop flo
 	if _, err := ddt.PackInto(typ, count, src, packed); err != nil {
 		return err
 	}
-	hdr := transport.EncodeWireMeta(transport.WireMeta{Type: typ, Count: count})
 
 	start := time.Now()
 	for i := 0; i < nmsgs; i++ {
-		if err := ep.Send(ep.NextMessageID(), hdr, packed); err != nil {
-			return fmt.Errorf("send %d: %w", i, err)
+		if _, err := c.PostPacked(h, count, packed); err != nil {
+			return fmt.Errorf("post %d: %w", i, err)
 		}
 	}
+	recs, err := c.Flush()
+	if err != nil {
+		return fmt.Errorf("flush: %w", err)
+	}
 	elapsed := time.Since(start)
-	st := ep.Stats()
+	for i, rec := range recs {
+		fmt.Fprintf(out, "msg %-3d %s count=%d wire=%d bytes status=%v verified=%v\n",
+			i, typ.Signature(), count, rec.Bytes, rec.Status, rec.Verified)
+		if rec.Status != server.StatusOK || !rec.Verified {
+			return fmt.Errorf("message %d: status=%v verified=%v", i, rec.Status, rec.Verified)
+		}
+	}
+	if err := c.CloseSession(); err != nil {
+		return fmt.Errorf("close session: %w", err)
+	}
+
+	st := c.Stats()
 	total := int64(nmsgs) * int64(len(packed))
 	fmt.Fprintf(out, "sent %d x %d bytes (%s count=%d) in %v: %.1f Mbit/s\n",
 		nmsgs, len(packed), typ.Signature(), count, elapsed.Round(time.Millisecond),

@@ -375,8 +375,15 @@ type Endpoint struct {
 // PostOpts tunes one posted message. The zero value is a valid default.
 type PostOpts struct {
 	// Seed generates the synthetic packed payload (0 = seed 1, matching
-	// NewRequest).
+	// NewRequest); ignored when Packed is given.
 	Seed int64
+	// Packed, when non-nil, is the caller's wire stream — it must be
+	// exactly the datatype's packed size (Type.Size() * count) and is
+	// retained until the flush. This is how a served transfer hands the
+	// bytes that actually crossed the wire to the scatter: the session
+	// server posts each client payload through it, so verification checks
+	// true wire content, not a synthesized stand-in.
+	Packed []byte
 	// Start is when the message's first bit leaves its sender; staggering
 	// starts models an incast ramp.
 	Start sim.Time
@@ -453,14 +460,21 @@ func (ep *Endpoint) Post(h *TypeHandle, count int, opts PostOpts) (*Future, erro
 	if lo < 0 {
 		return nil, fmt.Errorf("core: receive datatype has negative lower bound %d", lo)
 	}
-	seed := opts.Seed
-	if seed == 0 {
-		seed = 1
-	}
 	op := &postOp{
 		h: h, build: b, off: off, count: count, opts: opts,
-		packed: payloadFor(seed, msgSize),
-		hi:     hi,
+		hi: hi,
+	}
+	if opts.Packed != nil {
+		if int64(len(opts.Packed)) != msgSize {
+			return nil, fmt.Errorf("core: packed stream %d bytes, datatype packs to %d", len(opts.Packed), msgSize)
+		}
+		op.packed = opts.Packed
+	} else {
+		seed := opts.Seed
+		if seed == 0 {
+			seed = 1
+		}
+		op.packed = payloadFor(seed, msgSize)
 	}
 	if opts.Dst != nil {
 		if int64(len(opts.Dst)) < hi {

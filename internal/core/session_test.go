@@ -397,3 +397,43 @@ func TestBackendDifferential(t *testing.T) {
 		}
 	}
 }
+
+// TestPostCallerPacked pins the PostOpts.Packed contract: a caller-
+// supplied wire stream is scattered (and verified) instead of a
+// synthesized payload, and a stream whose length disagrees with the
+// datatype's packed size is rejected before it reaches a backend.
+func TestPostCallerPacked(t *testing.T) {
+	sess := NewSession(NewSessionConfig())
+	defer sess.Close()
+	typ := ddt.MustVector(32, 16, 48, ddt.Int)
+	h, err := sess.CommitAs(typ, RWCP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 2
+	msgSize := typ.Size() * int64(count)
+	packed := make([]byte, msgSize)
+	for i := range packed {
+		packed[i] = byte(i*13 + 7)
+	}
+	_, hi := typ.Footprint(count)
+	dst := make([]byte, hi)
+	fut, err := sess.Endpoint(EndpointConfig{}).Post(h, count, PostOpts{Packed: packed, Dst: dst})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := fut.Wait()
+	if err != nil || !res.Verified {
+		t.Fatalf("caller-packed post: verified=%v err=%v", res.Verified, err)
+	}
+	want := make([]byte, hi)
+	if err := ddt.Unpack(typ, count, packed, want); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dst, want) {
+		t.Fatal("scattered buffer differs from the reference unpack of the caller stream")
+	}
+	if _, err := sess.Endpoint(EndpointConfig{}).Post(h, count, PostOpts{Packed: packed[:msgSize-1]}); err == nil {
+		t.Fatal("undersized packed stream accepted")
+	}
+}

@@ -1,0 +1,61 @@
+package server_test
+
+import (
+	"testing"
+	"time"
+
+	"spinddt/internal/ddt"
+	"spinddt/internal/server"
+	"spinddt/internal/server/client"
+	"spinddt/internal/transport"
+)
+
+// BenchmarkServerThroughput measures the daemon's full session cycle
+// over the in-memory Pipe — open, commit, one 64 KiB caller-packed
+// post, flush (server-side scatter + byte verification), close — so
+// ns/op is the per-session wall cost and the bytes/sec rate tracks the
+// served payload throughput. One shared client endpoint hosts every
+// session view, so the cycle cost is protocol + daemon work, not
+// socket setup.
+func BenchmarkServerThroughput(b *testing.B) {
+	srvConn, cliConn := transport.Pipe()
+	srv := server.New(srvConn, server.Config{MaxSessions: 1 << 20})
+	defer srv.Close()
+	ep := transport.NewEndpoint(cliConn, srvConn.LocalAddr(), 0, transport.Config{})
+	defer ep.Close()
+
+	typ := ddt.MustVector(256, 64, 128, ddt.Int)
+	const count = 1
+	packed := make([]byte, typ.Size()*count) // 64 KiB
+	for i := range packed {
+		packed[i] = byte(i * 131)
+	}
+
+	b.SetBytes(int64(len(packed)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := client.NewOnEndpoint(ep, srvConn.LocalAddr(), uint32(i+1), time.Minute)
+		if err := c.Open(); err != nil {
+			b.Fatal(err)
+		}
+		h, err := c.CommitAuto(typ)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.PostPacked(h, count, packed); err != nil {
+			b.Fatal(err)
+		}
+		recs, err := c.Flush()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(recs) != 1 || !recs[0].Verified {
+			b.Fatalf("flush records: %+v", recs)
+		}
+		if err := c.CloseSession(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "sessions/sec")
+}

@@ -1,0 +1,257 @@
+// Package client drives a spinsimd session daemon over the reliable
+// transport: it speaks the request/response protocol of
+// internal/server (see that package's docs for the wire layout) and
+// maps every non-OK status back to the typed error the in-process
+// session API would have returned — errors.Is works identically three
+// processes away. A Client owns one wire session; its methods mirror
+// the core.Session lifecycle: Open, Commit, Post/Send, Flush (whose
+// failed records come back folded into a *core.BatchError), Free,
+// CloseSession.
+//
+// A Client serializes its own round trips and is NOT safe for
+// concurrent use; open one Client per concurrent session instead (the
+// daemon demultiplexes them by session id).
+package client
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"spinddt/internal/core"
+	"spinddt/internal/ddt"
+	"spinddt/internal/server"
+	"spinddt/internal/transport"
+)
+
+// Config tunes a Client. The zero value selects the defaults.
+type Config struct {
+	// Transport configures the wire endpoint (must agree with the
+	// server's on MaxPayload).
+	Transport transport.Config
+	// Timeout bounds each round trip's wait for the response (default
+	// 30s; the transport's retry budget usually trips first).
+	Timeout time.Duration
+	// Fault, when non-nil, wraps the dialed socket in a fault-injecting
+	// FaultConn — the soak harness's hook. Only Dial applies it.
+	Fault *transport.FaultConfig
+}
+
+func (c Config) timeout() time.Duration {
+	if c.Timeout <= 0 {
+		return 30 * time.Second
+	}
+	return c.Timeout
+}
+
+// Client is one wire session against a spinsimd daemon.
+type Client struct {
+	ep      *transport.Endpoint
+	peer    net.Addr
+	session uint32
+	timeout time.Duration
+	ownsEP  bool
+	nextID  uint32
+}
+
+// Dial connects a new UDP socket to the daemon at addr and returns a
+// client claiming the given wire session id (each concurrent client
+// needs a distinct nonzero id).
+func Dial(addr string, session uint32, cfg Config) (*Client, error) {
+	peer, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	var wire net.PacketConn = conn
+	if cfg.Fault != nil {
+		wire = transport.NewFaultConn(conn, *cfg.Fault)
+	}
+	return New(wire, peer, session, cfg), nil
+}
+
+// New wraps an existing socket (the client owns and closes it).
+func New(conn net.PacketConn, peer net.Addr, session uint32, cfg Config) *Client {
+	return &Client{
+		ep:      transport.NewEndpoint(conn, peer, session, cfg.Transport),
+		peer:    peer,
+		session: session,
+		timeout: cfg.timeout(),
+		ownsEP:  true,
+	}
+}
+
+// NewOnEndpoint is a session view over a shared endpoint — how a bench
+// loop reuses one socket across thousands of sequential sessions
+// without re-dialing. Views on one endpoint must not round-trip
+// concurrently: they share the endpoint's single inbound queue.
+func NewOnEndpoint(ep *transport.Endpoint, peer net.Addr, session uint32, timeout time.Duration) *Client {
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	return &Client{ep: ep, peer: peer, session: session, timeout: timeout}
+}
+
+// Session returns the client's wire session id.
+func (c *Client) Session() uint32 { return c.session }
+
+// Stats returns the client endpoint's transport counters.
+func (c *Client) Stats() transport.Stats { return c.ep.Stats() }
+
+// Close releases the client's socket (a no-op for shared-endpoint
+// views). It does NOT close the server-side session; use CloseSession
+// first for a graceful end.
+func (c *Client) Close() error {
+	if c.ownsEP {
+		return c.ep.Close()
+	}
+	return nil
+}
+
+// roundTrip sends one request and waits for its echoed response,
+// mapping a non-OK status to its typed error.
+func (c *Client) roundTrip(req *server.Request) (*server.Response, error) {
+	id := c.nextID
+	c.nextID++
+	hdr, payload := server.EncodeRequest(req)
+	if err := c.ep.SendTo(c.peer, c.session, id, hdr, payload); err != nil {
+		return nil, err
+	}
+	deadline := time.Now().Add(c.timeout)
+	for {
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			return nil, fmt.Errorf("%w: no response to %d", transport.ErrTimeout, id)
+		}
+		msg, err := c.ep.Recv(remain)
+		if err != nil {
+			return nil, err
+		}
+		if msg.Session != c.session || msg.ID != id {
+			msg.Release() // stale response to an abandoned round trip
+			continue
+		}
+		resp, err := server.DecodeResponse(msg.Hdr, msg.Payload)
+		msg.Release()
+		if err != nil {
+			return nil, err
+		}
+		if resp.Status != server.StatusOK {
+			return resp, resp.Status.Err(resp.Detail)
+		}
+		return resp, nil
+	}
+}
+
+// Open claims the session on the daemon.
+func (c *Client) Open() error {
+	_, err := c.roundTrip(&server.Request{Kind: server.ReqOpen})
+	return err
+}
+
+// Commit commits the datatype with an explicit strategy and returns the
+// server-side handle id.
+func (c *Client) Commit(t *ddt.Type, strategy core.Strategy) (uint32, error) {
+	resp, err := c.roundTrip(&server.Request{
+		Kind: server.ReqCommit, Strategy: uint8(strategy), Type: t,
+	})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Value, nil
+}
+
+// CommitAuto commits the datatype with the server-selected strategy.
+func (c *Client) CommitAuto(t *ddt.Type) (uint32, error) {
+	resp, err := c.roundTrip(&server.Request{
+		Kind: server.ReqCommit, Strategy: server.StrategyAuto, Type: t,
+	})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Value, nil
+}
+
+// Post posts a receive of count elements against the handle with a
+// server-synthesized seeded payload; it returns the future id.
+func (c *Client) Post(handle uint32, count int, seed int64) (uint32, error) {
+	resp, err := c.roundTrip(&server.Request{
+		Kind: server.ReqPost, Handle: handle, Count: uint32(count), Seed: seed,
+	})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Value, nil
+}
+
+// PostPacked posts a receive whose wire stream is the caller's packed
+// bytes — the server scatters and byte-verifies exactly what crossed
+// the wire. The stream must be exactly Type.Size()*count bytes.
+func (c *Client) PostPacked(handle uint32, count int, packed []byte) (uint32, error) {
+	resp, err := c.roundTrip(&server.Request{
+		Kind: server.ReqPost, Handle: handle, Count: uint32(count), Packed: packed,
+	})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Value, nil
+}
+
+// Send posts an outbound gather of count elements against the handle;
+// it returns the future id.
+func (c *Client) Send(handle uint32, count int, seed int64) (uint32, error) {
+	resp, err := c.roundTrip(&server.Request{
+		Kind: server.ReqSend, Handle: handle, Count: uint32(count), Seed: seed,
+	})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Value, nil
+}
+
+// Free releases one committed handle; later posts against it fail with
+// ErrFreedHandle.
+func (c *Client) Free(handle uint32) error {
+	_, err := c.roundTrip(&server.Request{Kind: server.ReqFree, Handle: handle})
+	return err
+}
+
+// Flush executes every pending post and send on the server and returns
+// their per-future records in post order. When any record failed, the
+// error is a *core.BatchError whose Errs align with the records — the
+// same partial-failure contract core.Endpoint.Flush has in process.
+func (c *Client) Flush() ([]server.FutureStatus, error) {
+	resp, err := c.roundTrip(&server.Request{Kind: server.ReqFlush})
+	if err != nil {
+		return nil, err
+	}
+	failed := false
+	errs := make([]error, len(resp.Futures))
+	for i, f := range resp.Futures {
+		if errs[i] = f.Err(); errs[i] != nil {
+			failed = true
+		}
+	}
+	if failed {
+		return resp.Futures, &core.BatchError{Errs: errs}
+	}
+	return resp.Futures, nil
+}
+
+// CloseSession closes the server-side session, freeing its handles.
+func (c *Client) CloseSession() error {
+	_, err := c.roundTrip(&server.Request{Kind: server.ReqClose})
+	return err
+}
+
+// ServerSessions asks the daemon how many sessions it holds open.
+func (c *Client) ServerSessions() (int, error) {
+	resp, err := c.roundTrip(&server.Request{Kind: server.ReqStats})
+	if err != nil {
+		return 0, err
+	}
+	return int(resp.Value), nil
+}

@@ -1,0 +1,71 @@
+// Package server is the spinsimd session daemon: a long-running process
+// that multiplexes many concurrent core.Sessions over one reliable
+// transport socket — the paper's sPIN engine as a service, where many
+// hosts post non-contiguous transfer requests against shared NIC
+// resources. Each peer claims a wire session id, the daemon
+// demultiplexes inbound requests by it (the transport already keys
+// reassembly by (session, message)) and answers with
+// transport.Endpoint.SendTo; every peer gets its own core.Session with
+// bounded server-side accounting — max sessions, max committed handles,
+// a per-session pending-byte budget — and idle sessions are reaped.
+//
+// # Request wire protocol
+//
+// A request is one transport message: the fixed 20-byte request header
+// travels as the message's Hdr block, the bulk bytes (an encoded
+// datatype, a packed stream) as its Payload. All integers are little
+// endian.
+//
+//	offset  size  field
+//	0       1     version (1)
+//	1       1     kind (1=open 2=commit 3=post 4=send 5=flush 6=close 7=free
+//	              8=stats)
+//	2       1     strategy (commit only: 0..3 explicit, 255 = auto-select)
+//	3       1     reserved (must be zero)
+//	4       4     handle id (post/send/free)
+//	8       4     element count (post/send)
+//	12      8     payload seed (post/send; 0 = default)
+//
+// Payload by kind: commit carries the ddt-encoded datatype (the same
+// codec transport.WireMeta uses); post may carry the caller's packed
+// wire stream (exactly Type.Size()*count bytes — the server then
+// scatters and verifies those bytes instead of synthesizing a payload);
+// every other kind carries none.
+//
+// # Response wire protocol
+//
+// The response echoes the request's message id on the same wire
+// session. Its Hdr is the fixed 12-byte response header, its Payload
+// depends on the status.
+//
+//	offset  size  field
+//	0       1     version (1)
+//	1       1     kind (echo of the request)
+//	2       1     status (see Status)
+//	3       1     reserved (zero)
+//	4       4     value (open: session id; commit: handle id;
+//	              post/send: future id; stats: open session count)
+//	8       4     flush: number of per-future records in the payload
+//
+// A StatusOK flush response carries one 16-byte record per future
+// resolved, in post order:
+//
+//	offset  size  field
+//	0       4     future id
+//	4       1     future status (StatusOK / StatusMsgTimeout / StatusMsgFailed)
+//	5       1     verified (1 = byte-for-byte reference check passed)
+//	6       2     reserved (zero)
+//	8       8     message bytes moved
+//
+// This reuses core.BatchError semantics on the wire: the flush as a
+// whole succeeds, each message carries its own status, and the client
+// package folds the failed records back into a *core.BatchError.
+//
+// Any non-OK status carries a human-readable detail string as the
+// payload; the client package maps each status to its typed error
+// (ErrUnknownSession, ErrSessionLimit, ErrHandleLimit, ErrByteBudget,
+// ErrUnknownHandle, ErrFreedHandle, ErrDuplicateCommit, ErrBadRequest —
+// and StatusMsgTimeout wraps core.ErrTimeout), so a caller three
+// processes away can still errors.Is against the same sentinels the
+// in-process session API returns.
+package server

@@ -35,6 +35,22 @@
 // A frame whose checksum does not match its contents is dropped on
 // receipt — corruption degrades to loss, and the ARQ below recovers it.
 //
+// # Sessions and fan-out
+//
+// The session id is the demultiplexing key of a shared server socket:
+// inbound reassembly is keyed by (session, message), so one endpoint
+// receives from any number of peers as long as their session ids differ,
+// and Message.From reports each message's observed source address.
+// Outbound state is keyed the same way — Endpoint.SendTo(dest, session,
+// id, ...) transmits frames tagged with an explicit session to an
+// explicit address, which is how a server answers many peers over one
+// socket (acks echo the data frame's session id, so they find the right
+// sender state on the way back). Endpoint.Send is the single-peer
+// special case: SendTo(peer, own session, ...). The request framing one
+// layer up (internal/server) rides exactly this: each client claims a
+// session id, the daemon demultiplexes requests by it and addresses
+// responses with SendTo.
+//
 // # Ack scheme
 //
 // The receiver acknowledges every data frame it receives with an ack

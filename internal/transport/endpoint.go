@@ -106,7 +106,7 @@ type Endpoint struct {
 	cfg     Config
 
 	mu      sync.Mutex
-	tx      map[uint32]*txState
+	tx      map[txKey]*txState
 	rx      map[rxKey]*rxState
 	rxDone  map[rxKey]uint32 // completed messages -> frame count (for re-acks)
 	rxOrder []rxKey          // FIFO eviction of rxDone
@@ -134,6 +134,15 @@ type rxKey struct {
 	message uint32
 }
 
+// txKey identifies one outbound message in flight. Keying sends by
+// (session, message) — not message alone — lets one server endpoint hold
+// concurrent responses to many peers whose per-session message ids
+// collide.
+type txKey struct {
+	session uint32
+	message uint32
+}
+
 // rxDoneCap bounds the completed-message memory used for re-acking
 // duplicate frames of already-delivered messages.
 const rxDoneCap = 1024
@@ -149,7 +158,7 @@ func NewEndpoint(conn net.PacketConn, peer net.Addr, session uint32, cfg Config)
 		peer:    peer,
 		session: session,
 		cfg:     cfg.withDefaults(),
-		tx:      make(map[uint32]*txState),
+		tx:      make(map[txKey]*txState),
 		rx:      make(map[rxKey]*rxState),
 		rxDone:  make(map[rxKey]uint32),
 		deliver: make(chan Message, 1024),
@@ -168,6 +177,13 @@ func (e *Endpoint) Close() error {
 	})
 	return nil
 }
+
+// LocalAddr returns the underlying conn's local address.
+func (e *Endpoint) LocalAddr() net.Addr { return e.conn.LocalAddr() }
+
+// Closed returns a channel that closes when the endpoint shuts down —
+// a select hook for goroutines whose lifetime tracks the endpoint's.
+func (e *Endpoint) Closed() <-chan struct{} { return e.closed }
 
 // Stats returns a snapshot of the endpoint's wire counters.
 func (e *Endpoint) Stats() Stats {
@@ -189,13 +205,15 @@ func (e *Endpoint) NextMessageID() uint32 { return e.nextID.Add(1) - 1 }
 
 // txState is the sender side of one in-flight message.
 type txState struct {
-	id     uint32
-	hdr    []byte
-	body   []byte
-	prefix [4]byte // u32 hdrLen — the stream's first bytes
-	chunk  int
-	total  int // stream length: 4 + len(hdr) + len(body)
-	frames int
+	id      uint32
+	session uint32
+	dest    net.Addr
+	hdr     []byte
+	body    []byte
+	prefix  [4]byte // u32 hdrLen — the stream's first bytes
+	chunk   int
+	total   int // stream length: 4 + len(hdr) + len(body)
+	frames  int
 
 	mu       sync.Mutex
 	acked    []uint64
@@ -246,10 +264,24 @@ func (e *Endpoint) Send(id uint32, hdr, body []byte) error {
 	if e.peer == nil {
 		return fmt.Errorf("transport: endpoint has no peer address")
 	}
+	return e.SendTo(e.peer, e.session, id, hdr, body)
+}
+
+// SendTo is Send with an explicit destination and session tag: the frames
+// carry the given session id and travel to dest instead of the endpoint's
+// configured peer. It is how a server endpoint answers many peers over
+// one socket — each response is tagged with the requesting session and
+// addressed to that session's observed source address (Message.From).
+// Messages are keyed by (session, id), so ids only need to be unique per
+// session.
+func (e *Endpoint) SendTo(dest net.Addr, session, id uint32, hdr, body []byte) error {
+	if dest == nil {
+		return fmt.Errorf("transport: send without a destination address")
+	}
 	total := 4 + len(hdr) + len(body)
 	frames := (total + e.cfg.MaxPayload - 1) / e.cfg.MaxPayload
 	st := &txState{
-		id: id, hdr: hdr, body: body,
+		id: id, session: session, dest: dest, hdr: hdr, body: body,
 		chunk: e.cfg.MaxPayload, total: total, frames: frames,
 		acked:    make([]uint64, (frames+63)/64),
 		sentAt:   make([]int64, frames),
@@ -260,16 +292,17 @@ func (e *Endpoint) Send(id uint32, hdr, body []byte) error {
 	}
 	binary.LittleEndian.PutUint32(st.prefix[:], uint32(len(hdr)))
 
+	key := txKey{session: session, message: id}
 	e.mu.Lock()
-	if _, busy := e.tx[id]; busy {
+	if _, busy := e.tx[key]; busy {
 		e.mu.Unlock()
-		return fmt.Errorf("transport: message id %d already in flight", id)
+		return fmt.Errorf("transport: message id %d already in flight on session %d", id, session)
 	}
-	e.tx[id] = st
+	e.tx[key] = st
 	e.mu.Unlock()
 	defer func() {
 		e.mu.Lock()
-		delete(e.tx, id)
+		delete(e.tx, key)
 		e.mu.Unlock()
 	}()
 
@@ -359,7 +392,7 @@ func (e *Endpoint) sendDataFrame(st *txState, seq int) error {
 	payload := buf[HeaderSize : HeaderSize+n]
 	st.streamAt(payload, off)
 	pkt := AppendFrame(buf, &Frame{
-		Type: FrameData, Session: e.session, Message: st.id,
+		Type: FrameData, Session: st.session, Message: st.id,
 		Seq: uint32(seq), Aux: uint32(st.frames), Payload: payload,
 	})
 	st.sentAt[seq] = time.Since(st.start).Nanoseconds()
@@ -370,7 +403,7 @@ func (e *Endpoint) sendDataFrame(st *txState, seq int) error {
 	if st.txCount[seq] > 1 {
 		e.stats.retransmits.Add(1)
 	}
-	_, err := e.conn.WriteTo(pkt, e.peer)
+	_, err := e.conn.WriteTo(pkt, st.dest)
 	if err != nil && errors.Is(err, net.ErrClosed) {
 		return ErrClosed
 	}
@@ -434,7 +467,7 @@ func (e *Endpoint) readLoop() {
 // handleAck applies one cumulative+selective ack to its sender state.
 func (e *Endpoint) handleAck(f Frame) {
 	e.mu.Lock()
-	st := e.tx[f.Message]
+	st := e.tx[txKey{session: f.Session, message: f.Message}]
 	e.mu.Unlock()
 	if st == nil {
 		return // message already done (or never ours): stale ack

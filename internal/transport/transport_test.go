@@ -337,3 +337,81 @@ func TestFaultConnStats(t *testing.T) {
 		t.Fatalf("seeded injection not deterministic: %+v vs %+v", second, first)
 	}
 }
+
+// TestSendToFanOut pins the server-side demux contract: one endpoint on a
+// shared socket receives from many peers whose message ids collide
+// (distinct session ids keep them apart), and answers each with SendTo —
+// the response tagged with the requester's session and addressed to its
+// observed source. Every client must get exactly its own response.
+func TestSendToFanOut(t *testing.T) {
+	srvConn, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("no UDP loopback: %v", err)
+	}
+	srv := NewEndpoint(srvConn, nil, 0, testConfig())
+	defer srv.Close()
+
+	const clients = 8
+	done := make(chan error, 1)
+	go func() {
+		for i := 0; i < clients; i++ {
+			msg, err := srv.Recv(10 * time.Second)
+			if err != nil {
+				done <- err
+				return
+			}
+			reply := fmt.Sprintf("reply-to-%d", msg.Session)
+			err = srv.SendTo(msg.From, msg.Session, msg.ID, []byte("resp"), []byte(reply))
+			msg.Release()
+			if err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 1; c <= clients; c++ {
+		wg.Add(1)
+		go func(session uint32) {
+			defer wg.Done()
+			conn, err := net.ListenPacket("udp", "127.0.0.1:0")
+			if err != nil {
+				errs <- err
+				return
+			}
+			ep := NewEndpoint(conn, srvConn.LocalAddr(), session, testConfig())
+			defer ep.Close()
+			// Every client uses the SAME message id: only the session id
+			// separates them at the server.
+			if err := ep.Send(7, []byte("req"), []byte("ping")); err != nil {
+				errs <- err
+				return
+			}
+			resp, err := ep.Recv(10 * time.Second)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer resp.Release()
+			want := fmt.Sprintf("reply-to-%d", session)
+			if resp.Session != session || string(resp.Payload) != want {
+				errs <- fmt.Errorf("session %d got session=%d payload=%q, want %q",
+					session, resp.Session, resp.Payload, want)
+				return
+			}
+			errs <- nil
+		}(uint32(c))
+	}
+	wg.Wait()
+	for i := 0; i < clients; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("server: %v", err)
+	}
+}
