@@ -43,9 +43,10 @@ BENCH_DATE := $(shell date +%F)
 # handle reuse + the batched alltoall endpoint pass), the symmetric
 # device model (sender-side handle reuse + the sharded halo exchanges
 # at 8 and 64 ranks), the reliable transport's steady-state message
-# rate, and the session daemon's full client-session cycle
-# (open/commit/post/flush/close over the in-memory pipe).
-BENCH_CORE := BenchmarkSimulationRWCP1MiB|BenchmarkSimulationSpecialized1MiB|BenchmarkDDTPackUnpack|BenchmarkEventEngine|BenchmarkSimulationClusterSerial|BenchmarkSimulationSharded|BenchmarkSessionPostReuse|BenchmarkAlltoall8|BenchmarkSessionSendReuse|BenchmarkHaloExchange8|BenchmarkHaloExchange64|BenchmarkTransportThroughput|BenchmarkServerThroughput
+# rate, the session daemon's full client-session cycle
+# (open/commit/post/flush/close over the in-memory pipe), and the lowered
+# execution-plan kernels (pack/unpack and gather resolve per plan kind).
+BENCH_CORE := BenchmarkSimulationRWCP1MiB|BenchmarkSimulationSpecialized1MiB|BenchmarkDDTPackUnpack|BenchmarkEventEngine|BenchmarkSimulationClusterSerial|BenchmarkSimulationSharded|BenchmarkSessionPostReuse|BenchmarkAlltoall8|BenchmarkSessionSendReuse|BenchmarkHaloExchange8|BenchmarkHaloExchange64|BenchmarkTransportThroughput|BenchmarkServerThroughput|BenchmarkPlanPack|BenchmarkPlanGather
 # Allowed fractional ns/op regression vs BENCH_BASELINE.json.
 TOLERANCE ?= 0.25
 # Allowed fractional B/op and allocs/op regression vs BENCH_BASELINE.json.
@@ -67,7 +68,7 @@ SOAK_RATES ?= 0 1 10
 # FUZZTIME is the per-target budget of `make fuzz-smoke`.
 FUZZTIME ?= 30s
 
-.PHONY: build test race loss-matrix soak fuzz-smoke bench bench-all bench-check bench-baseline golden determinism
+.PHONY: build test race loss-matrix soak fuzz-smoke bench bench-all bench-check bench-baseline golden plans-golden determinism
 
 build:
 	$(GO) build ./...
@@ -137,6 +138,11 @@ bench-baseline:
 golden:
 	$(GO) run ./cmd/ddtbench $(GOLDEN_ARGS) -engine serial > testdata/golden/ddtbench.txt
 
+# plans-golden refreshes the execution-plan snapshot: the disassembled
+# pack/unpack plan and gather resolver of every application datatype.
+plans-golden:
+	$(GO) run ./cmd/ddtbench -fig plans -engine serial > testdata/golden/plans.txt
+
 # determinism renders every figure/table on both engines and requires
 # byte-identical output, pinned to the goldens. Scratch renders land in
 # the gitignored out/ directory, never at the repo root.
@@ -146,4 +152,8 @@ determinism:
 	$(GO) run ./cmd/ddtbench $(GOLDEN_ARGS) -engine sharded > out/ddtbench-sharded.out
 	diff -u testdata/golden/ddtbench.txt out/ddtbench-serial.out
 	diff -u testdata/golden/ddtbench.txt out/ddtbench-sharded.out
+	$(GO) run ./cmd/ddtbench -fig plans -engine serial > out/plans-serial.out
+	$(GO) run ./cmd/ddtbench -fig plans -engine sharded > out/plans-sharded.out
+	diff -u testdata/golden/plans.txt out/plans-serial.out
+	diff -u testdata/golden/plans.txt out/plans-sharded.out
 	@echo "determinism: serial and sharded outputs match the goldens"

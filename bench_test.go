@@ -231,6 +231,91 @@ func BenchmarkDDTPackUnpack(b *testing.B) {
 	}
 }
 
+// planBenchTypes returns one representative datatype per lowered plan
+// kind, all at a 256 KiB packed message.
+func planBenchTypes() []struct {
+	name string
+	typ  *ddt.Type
+} {
+	displs := make([]int, 4096)
+	lens := make([]int, 4096)
+	pos := 0
+	for i := range displs {
+		displs[i] = pos
+		lens[i] = 14 + i%5 // 56..72 B regions, non-uniform
+		pos += lens[i] + 1 + i%3
+	}
+	return []struct {
+		name string
+		typ  *ddt.Type
+	}{
+		{"contig", ddt.MustContiguous(65536, ddt.Int)},
+		{"stride", ddt.MustVector(4096, 16, 32, ddt.Int)},
+		{"offsets", ddt.MustIndexed(lens, displs, ddt.Int)},
+	}
+}
+
+// BenchmarkPlanPack measures the lowered pack kernels alone: one
+// pack+unpack round trip per iteration through Type.Plan(), per plan kind.
+func BenchmarkPlanPack(b *testing.B) {
+	for _, c := range planBenchTypes() {
+		b.Run(c.name, func(b *testing.B) {
+			typ := c.typ
+			typ.Commit()
+			p := typ.Plan()
+			if p == nil {
+				b.Fatal("no plan")
+			}
+			_, hi := typ.Footprint(1)
+			src := make([]byte, hi)
+			dst := make([]byte, hi)
+			packed := make([]byte, typ.Size())
+			b.SetBytes(typ.Size())
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p.Pack(1, src, packed)
+				p.Unpack(1, packed, dst)
+			}
+		})
+	}
+}
+
+// hostReader is the benchmark's in-memory DMA read path.
+type hostReader []byte
+
+func (h hostReader) Read(hostOff int64, dst []byte) {
+	copy(dst, h[hostOff:hostOff+int64(len(dst))])
+}
+
+// BenchmarkPlanGather measures the sender-side gather resolvers: the full
+// message resolved in MTU-sized packets per iteration, per resolver kind.
+func BenchmarkPlanGather(b *testing.B) {
+	const mtu = 2048
+	for _, c := range planBenchTypes() {
+		b.Run(c.name, func(b *testing.B) {
+			typ := c.typ
+			g, _ := core.GatherPlan(typ, 1)
+			_, hi := typ.Footprint(1)
+			host := hostReader(make([]byte, hi))
+			msg := typ.Size()
+			payload := make([]byte, mtu)
+			b.SetBytes(msg)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for off := int64(0); off < msg; off += mtu {
+					n := int64(mtu)
+					if n > msg-off {
+						n = msg - off
+					}
+					if g.Resolve(off, n, payload[:n], host) <= 0 {
+						b.Fatal("no blocks")
+					}
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkSimulationRWCP1MiB(b *testing.B) {
 	typ := ddt.MustVector(2048, 128, 256, ddt.Int) // 512B blocks, 1 MiB
 	b.ResetTimer()

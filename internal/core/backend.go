@@ -17,6 +17,9 @@ type BackendEnv struct {
 	NIC    nic.Config
 	Engine EngineMode
 	Host   hostcpu.Config
+	// Counters, when non-nil, receives plan-usage tallies (fused CRC
+	// kernels) from backends that exercise them; nil disables counting.
+	Counters *PlanCounters
 }
 
 // BackendMessage is one posted message in the backend exchange format. The

@@ -237,7 +237,8 @@ func (ep *Endpoint) flushSendsLocked() error {
 			sends[i].Msg.Ctx = b.off.Ctx
 		}
 	}
-	env := BackendEnv{NIC: ep.sess.cfg.NIC, Engine: ep.sess.cfg.Engine, Host: ep.sess.cfg.Host}
+	env := BackendEnv{NIC: ep.sess.cfg.NIC, Engine: ep.sess.cfg.Engine, Host: ep.sess.cfg.Host,
+		Counters: &ep.sess.caches.counters}
 	results, err := ep.sess.backend.FlushSends(env, sends)
 	if err != nil {
 		var be *BatchError
@@ -288,15 +289,11 @@ func (ep *Endpoint) finishSendOp(op *sendOp, nicRes nic.SendResult) (SendReport,
 		// Only a gathered stream carries information to check: the
 		// CPU-side kinds were materialized by the reference pack itself.
 		if op.build.kind == nic.TxProcessPut {
-			want := getBuf(int64(len(op.packed)))
-			if _, err := ddt.PackInto(op.h.typ, op.count, op.src, want); err != nil {
-				putBuf(want)
-				putBuf(op.packed)
+			same, err := verifyWire(op.h.typ, op.count, op.src, op.packed)
+			putBuf(op.packed)
+			if err != nil {
 				return SendReport{}, err
 			}
-			same := bytes.Equal(op.packed, want)
-			putBuf(want)
-			putBuf(op.packed)
 			if !same {
 				return SendReport{}, fmt.Errorf("core: %v send (backend %s): wire stream differs from reference pack",
 					op.h.strategy, ep.sess.backend.Name())
@@ -309,6 +306,25 @@ func (ep *Endpoint) finishSendOp(op *sendOp, nicRes nic.SendResult) (SendReport,
 		putBuf(op.packed)
 	}
 	return res, nil
+}
+
+// verifyWire checks a gathered wire stream against the reference pack of
+// the committed datatype. A lowered plan compares region by region with no
+// scratch pack; types without a plan — or buffers not covering the element
+// footprint — fall back to a reference PackInto of a pooled buffer.
+func verifyWire(typ *ddt.Type, count int, src, packed []byte) (bool, error) {
+	if p := typ.Plan(); p != nil && count > 0 {
+		lo, hi := typ.Footprint(count)
+		if lo >= 0 && hi <= int64(len(src)) && typ.Size()*int64(count) <= int64(len(packed)) {
+			return p.Equal(count, src, packed), nil
+		}
+	}
+	want := getBuf(int64(len(packed)))
+	defer putBuf(want)
+	if _, err := ddt.PackInto(typ, count, src, want); err != nil {
+		return false, err
+	}
+	return bytes.Equal(packed, want), nil
 }
 
 // Wait flushes the endpoint's sends if the message is still pending and

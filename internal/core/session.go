@@ -156,6 +156,7 @@ func (s *Session) CommitWith(t *ddt.Type, strategy Strategy, opts CommitOpts) (*
 	}
 	h := &TypeHandle{sess: s, typ: t, strategy: strategy, epsilon: opts.Epsilon}
 	s.handles[id] = h
+	s.caches.counters.notePlan(t.Plan())
 	return h, nil
 }
 
@@ -534,7 +535,8 @@ func (ep *Endpoint) flushLocked() error {
 			Order:  op.opts.Order,
 		}
 	}
-	env := BackendEnv{NIC: ep.sess.cfg.NIC, Engine: ep.sess.cfg.Engine, Host: ep.sess.cfg.Host}
+	env := BackendEnv{NIC: ep.sess.cfg.NIC, Engine: ep.sess.cfg.Engine, Host: ep.sess.cfg.Host,
+		Counters: &ep.sess.caches.counters}
 	env.NIC.Trace = ep.cfg.Trace // session-level traces are rejected at NewSession
 	release := ep.sess.acquireTrace(ep.cfg.Trace)
 	results, err := ep.sess.backend.Flush(env, msgs)

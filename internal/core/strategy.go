@@ -162,6 +162,8 @@ type specCacheEntry struct {
 type offloadCaches struct {
 	loop, ckpt, spec, txspec sync.Map
 	size                     atomic.Int64
+	// counters tallies plan selections for Session.Stats.
+	counters PlanCounters
 }
 
 // defaultCaches backs the package-level BuildOffload and the private

@@ -2,12 +2,11 @@ package core
 
 import (
 	"fmt"
-	"math/bits"
-	"sort"
 
 	"spinddt/internal/ddt"
 	"spinddt/internal/hostcpu"
 	"spinddt/internal/nic"
+	"spinddt/internal/plan"
 	"spinddt/internal/spin"
 )
 
@@ -18,8 +17,10 @@ import (
 // regions, fetches them over the PCIe read path (HandlerArgs.DMARead) and
 // fills the packet's slice of the outgoing wire stream. It is the state a
 // PtlProcessPut references on the sender NIC (Sec. 3.1.2), mirroring the
-// receive-side specialized handlers: O(1) arithmetic state for vector-like
-// layouts, an offset list with binary search otherwise.
+// receive-side specialized handlers. The resolver itself — O(1) arithmetic
+// for vector-like layouts, an offset list with binary search otherwise — is
+// a lowered plan.Gather; the handler here only adds the device cost model
+// on top of the kernel.
 
 // iovecRegions materializes the committed layout's contiguous regions in
 // stream order — the list the iovec baseline, the streaming-puts
@@ -40,82 +41,35 @@ type TxOffload struct {
 	Kind string
 	// Blocks is the number of contiguous source regions of the layout.
 	Blocks int64
+	// Plan is the lowered gather resolver the handler executes.
+	Plan *plan.Gather
 }
 
-// txVecState is the O(1) gather state for strided uniform-block layouts:
-// constant-time arithmetic maps any stream offset to its source address.
-type txVecState struct {
-	cost      CostModel
-	blockSize int64
-	stride    int64
-	perElem   int64
-	extent    int64
+// txGatherState wraps a lowered gather plan with the handler cost model:
+// the plan resolves and fetches a packet's source regions, the state maps
+// the touched-region count to simulated handler time.
+type txGatherState struct {
+	cost CostModel
+	g    *plan.Gather
 }
 
-func (v *txVecState) payload(a *spin.HandlerArgs) spin.Result {
-	var blocks int64
-	consumed := int64(0)
-	total := a.PktBytes
-	for consumed < total {
-		pos := a.StreamOff + consumed
-		g := pos / v.blockSize
-		within := pos % v.blockSize
-		hostOff := (g/v.perElem)*v.extent + (g%v.perElem)*v.stride + within
-		n := v.blockSize - within
-		if n > total-consumed {
-			n = total - consumed
+func (t *txGatherState) payload(a *spin.HandlerArgs) spin.Result {
+	blocks := t.g.Resolve(a.StreamOff, a.PktBytes, a.Payload, a.DMARead)
+	proc := times(blocks, t.cost.SpecPerBlock)
+	if steps := t.g.SearchSteps(); steps > 0 {
+		search := times(int64(steps), t.cost.SpecBinSearchStep)
+		return spin.Result{
+			Runtime: t.cost.SpecInit + search + proc,
+			Breakdown: spin.Breakdown{
+				Init:       t.cost.SpecInit,
+				Setup:      search,
+				Processing: proc,
+			},
 		}
-		if a.Payload != nil {
-			a.DMARead.Read(hostOff, a.Payload[consumed:consumed+n])
-		}
-		consumed += n
-		blocks++
 	}
-	proc := times(blocks, v.cost.SpecPerBlock)
 	return spin.Result{
-		Runtime:   v.cost.SpecInit + proc,
-		Breakdown: spin.Breakdown{Init: v.cost.SpecInit, Processing: proc},
-	}
-}
-
-// txListState is the offset-list gather state for every other layout: the
-// host copies the region list to NIC memory and the handler locates a
-// packet's first source region with a binary search over stream positions.
-type txListState struct {
-	cost        CostModel
-	hostOff     []int64
-	size        []int64
-	streamStart []int64
-}
-
-func (l *txListState) payload(a *spin.HandlerArgs) spin.Result {
-	total := a.PktBytes
-	end := a.StreamOff + total
-	i := sort.Search(len(l.streamStart), func(k int) bool {
-		return l.streamStart[k] > a.StreamOff
-	}) - 1
-	var blocks int64
-	for pos := a.StreamOff; pos < end; i++ {
-		within := pos - l.streamStart[i]
-		n := l.size[i] - within
-		if n > end-pos {
-			n = end - pos
-		}
-		if a.Payload != nil {
-			a.DMARead.Read(l.hostOff[i]+within, a.Payload[pos-a.StreamOff:pos-a.StreamOff+n])
-		}
-		pos += n
-		blocks++
-	}
-	search := times(int64(bits.Len(uint(len(l.streamStart)))), l.cost.SpecBinSearchStep)
-	proc := times(blocks, l.cost.SpecPerBlock)
-	return spin.Result{
-		Runtime: l.cost.SpecInit + search + proc,
-		Breakdown: spin.Breakdown{
-			Init:       l.cost.SpecInit,
-			Setup:      search,
-			Processing: proc,
-		},
+		Runtime:   t.cost.SpecInit + proc,
+		Breakdown: spin.Breakdown{Init: t.cost.SpecInit, Processing: proc},
 	}
 }
 
@@ -130,6 +84,7 @@ type txCacheKey struct {
 
 type txCacheEntry struct {
 	handler  spin.Handler
+	gather   *plan.Gather
 	nicBytes int64
 	kind     string
 	blocks   int64
@@ -139,6 +94,14 @@ type txCacheEntry struct {
 // elements of the committed datatype, using the shared default caches.
 func BuildTxOffload(p BuildParams) (*TxOffload, error) {
 	return defaultCaches.buildTxOffload(p)
+}
+
+// GatherPlan returns the lowered gather resolver the sender offload would
+// select for count elements of the committed datatype, plus its kind label
+// — the plan-report hook, bypassing the caches.
+func GatherPlan(typ *ddt.Type, count int) (*plan.Gather, string) {
+	e := buildTxGather(DefaultCostModel(), typ, count)
+	return e.gather, e.kind
 }
 
 // buildTxOffload is BuildTxOffload against one session's cache set. The
@@ -163,6 +126,7 @@ func (c *offloadCaches) buildTxOffload(p BuildParams) (*TxOffload, error) {
 		e = buildTxGather(p.Cost, p.Type, p.Count)
 		c.store(&c.txspec, k, e)
 	}
+	c.counters.noteGather(e.kind)
 
 	walk := int64(0)
 	if e.kind == "list" {
@@ -181,47 +145,45 @@ func (c *offloadCaches) buildTxOffload(p BuildParams) (*TxOffload, error) {
 		},
 		Kind:   e.kind,
 		Blocks: e.blocks,
+		Plan:   e.gather,
 	}, nil
 }
 
-// buildTxGather selects the vector fast path when the normalized datatype
-// is a uniform-block strided layout, and the offset-list gather otherwise
-// (the sender-side mirror of buildSpecialized).
+// buildTxGather lowers the committed layout into its gather plan — the
+// O(1) arithmetic resolver when the normalized datatype is a uniform-block
+// strided layout, the offset-list resolver otherwise (the sender-side
+// mirror of buildSpecialized) — and wraps it with the cost model.
 func buildTxGather(cost CostModel, typ *ddt.Type, count int) txCacheEntry {
 	msgSize := typ.Size() * int64(count)
 	norm := ddt.Normalize(typ)
 
 	if norm.Contiguous() {
-		v := &txVecState{cost: cost, blockSize: msgSize, stride: 0, perElem: 1, extent: msgSize}
-		return txCacheEntry{handler: v.payload, nicBytes: 32, kind: "contiguous", blocks: 1}
+		g := plan.NewContigGather(msgSize)
+		st := &txGatherState{cost: cost, g: g}
+		return txCacheEntry{handler: st.payload, gather: g, nicBytes: 32, kind: "contiguous", blocks: 1}
 	}
 	if norm.Kind() == ddt.KindVector || norm.Kind() == ddt.KindHVector {
 		base := norm.Children()[0]
 		if base.Contiguous() && norm.BlockLen() > 0 && norm.StrideBytes() > 0 {
-			v := &txVecState{
-				cost:      cost,
-				blockSize: int64(norm.BlockLen()) * base.Size(),
-				stride:    norm.StrideBytes(),
-				perElem:   int64(norm.Count()),
-				extent:    norm.Extent(),
-			}
-			return txCacheEntry{handler: v.payload, nicBytes: 32, kind: "vector", blocks: typ.TotalBlocks(count)}
+			g := plan.NewVectorGather(
+				int64(norm.BlockLen())*base.Size(),
+				norm.StrideBytes(),
+				int64(norm.Count()),
+				norm.Extent(),
+			)
+			st := &txGatherState{cost: cost, g: g}
+			return txCacheEntry{handler: st.payload, gather: g, nicBytes: 32, kind: "vector", blocks: typ.TotalBlocks(count)}
 		}
 	}
 
 	n := typ.TotalBlocks(count)
-	ls := &txListState{
-		cost:        cost,
-		hostOff:     make([]int64, 0, n),
-		size:        make([]int64, 0, n),
-		streamStart: make([]int64, 0, n),
-	}
-	var pos int64
-	typ.ForEachBlock(count, func(off, size int64) {
-		ls.hostOff = append(ls.hostOff, off)
-		ls.size = append(ls.size, size)
-		ls.streamStart = append(ls.streamStart, pos)
-		pos += size
+	hostOff := make([]int64, 0, n)
+	size := make([]int64, 0, n)
+	typ.ForEachBlock(count, func(off, sz int64) {
+		hostOff = append(hostOff, off)
+		size = append(size, sz)
 	})
-	return txCacheEntry{handler: ls.payload, nicBytes: n * 16, kind: "list", blocks: n}
+	g := plan.NewListGather(hostOff, size)
+	st := &txGatherState{cost: cost, g: g}
+	return txCacheEntry{handler: st.payload, gather: g, nicBytes: n * 16, kind: "list", blocks: n}
 }

@@ -10,6 +10,7 @@ import (
 	"spinddt/internal/ddt"
 	"spinddt/internal/hostcpu"
 	"spinddt/internal/nic"
+	"spinddt/internal/plan"
 	"spinddt/internal/sim"
 	"spinddt/internal/transport"
 )
@@ -178,11 +179,15 @@ func (u *UDPBackend) drainInto(expect int, idx map[uint32]int, deliver func(i in
 
 // scatter executes one received message's block program against its
 // destination buffer and reports cost-model timing, mirroring
-// MemBackend so both backends land identical results.
-func scatter(env BackendEnv, m *BackendMessage, meta transport.WireMeta, payload []byte, start sim.Time) (nic.Result, error) {
+// MemBackend so both backends land identical results. want is the
+// CRC-32C the sender computed over the wire stream it injected; when the
+// destination type carries a lowered plan, the checksum of what actually
+// arrived is computed FUSED with the scatter (one pass over the payload)
+// and compared, otherwise a separate checksum pass runs before the unpack.
+func scatter(env BackendEnv, m *BackendMessage, meta transport.WireMeta, payload []byte, start sim.Time, want uint32) (nic.Result, error) {
 	res := nic.Result{MsgBytes: int64(len(payload)), FirstByte: start}
 	if meta.Type != nil {
-		if err := ddt.Unpack(meta.Type, meta.Count, payload, m.Dst); err != nil {
+		if err := scatterPayload(env, m, meta, payload, want); err != nil {
 			return res, err
 		}
 		cost := hostcpu.UnpackCost(env.Host, meta.Type, meta.Count)
@@ -192,12 +197,37 @@ func scatter(env BackendEnv, m *BackendMessage, meta transport.WireMeta, payload
 		if meta.Offset > int64(len(m.Dst)) {
 			return res, fmt.Errorf("offset %d beyond %d-byte destination", meta.Offset, len(m.Dst))
 		}
+		if got := plan.Checksum(payload); got != want {
+			return res, fmt.Errorf("wire checksum %08x, sender computed %08x", got, want)
+		}
 		copy(m.Dst[meta.Offset:], payload)
 		res.Done = start + hostcpu.CopyCost(env.Host, int64(len(payload)))
 		res.DMA = nic.DMAStats{Writes: 1, Bytes: int64(len(payload))}
 	}
 	res.ProcTime = res.Done - res.FirstByte
 	return res, nil
+}
+
+// scatterPayload is the datatype half of scatter: the fused
+// unpack+checksum kernel when the type's lowered plan applies (the payload
+// is exactly the packed size and the destination covers the footprint),
+// the reference checksum-then-Unpack otherwise.
+func scatterPayload(env BackendEnv, m *BackendMessage, meta transport.WireMeta, payload []byte, want uint32) error {
+	typ, count := meta.Type, meta.Count
+	if p := typ.Plan(); p != nil && count > 0 && typ.Size()*int64(count) == int64(len(payload)) {
+		lo, hi := typ.Footprint(count)
+		if lo >= 0 && hi <= int64(len(m.Dst)) {
+			if got := p.UnpackSum(count, payload, m.Dst); got != want {
+				return fmt.Errorf("wire checksum %08x, sender computed %08x", got, want)
+			}
+			env.Counters.noteFusedUnpack()
+			return nil
+		}
+	}
+	if got := plan.Checksum(payload); got != want {
+		return fmt.Errorf("wire checksum %08x, sender computed %08x", got, want)
+	}
+	return ddt.Unpack(typ, count, payload, m.Dst)
 }
 
 // Flush implements Backend over the wire: each message's packed stream
@@ -210,10 +240,12 @@ func (u *UDPBackend) Flush(env BackendEnv, msgs []BackendMessage) ([]nic.Result,
 
 	results := make([]nic.Result, len(msgs))
 	errs := make([]error, len(msgs))
+	sums := make([]uint32, len(msgs))
 	idx := make(map[uint32]int, len(msgs))
 	expect := 0
 	for i := range msgs {
 		m := &msgs[i]
+		sums[i] = plan.Checksum(m.Packed)
 		id := u.tx.NextMessageID()
 		if err := u.tx.Send(id, transport.EncodeWireMeta(recvMeta(m)), m.Packed); err != nil {
 			errs[i] = fmt.Errorf("core: udp backend message %d: %w", i, err)
@@ -230,7 +262,7 @@ func (u *UDPBackend) Flush(env BackendEnv, msgs []BackendMessage) ([]nic.Result,
 			errs[i] = fmt.Errorf("core: udp backend message %d: %w", i, merr)
 			return
 		}
-		res, serr := scatter(env, m, meta, msg.Payload, m.Start)
+		res, serr := scatter(env, m, meta, msg.Payload, m.Start, sums[i])
 		if serr != nil {
 			errs[i] = fmt.Errorf("core: udp backend message %d: %w", i, serr)
 			return
@@ -266,6 +298,7 @@ func (u *UDPBackend) FlushSends(env BackendEnv, sends []BackendSend) ([]nic.Send
 
 	results := make([]nic.SendResult, len(sends))
 	errs := make([]error, len(sends))
+	sums := make([]uint32, len(sends))
 	idx := make(map[uint32]int, len(sends))
 	expect := 0
 	for i := range sends {
@@ -279,13 +312,15 @@ func (u *UDPBackend) FlushSends(env BackendEnv, sends []BackendSend) ([]nic.Send
 			continue
 		}
 		scratch := getBuf(int64(len(s.Msg.Packed)))
-		if _, err := ddt.PackInto(s.Type, s.Count, s.Src, scratch); err != nil {
+		sum, err := packSum(env, s, scratch)
+		if err != nil {
 			putBuf(scratch)
 			errs[i] = fmt.Errorf("core: udp backend send %d: %w", i, err)
 			continue
 		}
+		sums[i] = sum
 		id := u.tx.NextMessageID()
-		err := u.tx.Send(id, transport.EncodeWireMeta(transport.WireMeta{}), scratch)
+		err = u.tx.Send(id, transport.EncodeWireMeta(transport.WireMeta{}), scratch)
 		putBuf(scratch)
 		if err != nil {
 			errs[i] = fmt.Errorf("core: udp backend send %d: %w", i, err)
@@ -296,6 +331,10 @@ func (u *UDPBackend) FlushSends(env BackendEnv, sends []BackendSend) ([]nic.Send
 	}
 
 	err := u.drainInto(expect, idx, func(i int, msg transport.Message) {
+		if got := plan.Checksum(msg.Payload); got != sums[i] {
+			errs[i] = fmt.Errorf("core: udp backend send %d: wire checksum %08x, gather computed %08x", i, got, sums[i])
+			return
+		}
 		copy(sends[i].Msg.Packed, msg.Payload)
 		results[i] = udpSendResult(env, &sends[i])
 	})
@@ -303,6 +342,27 @@ func (u *UDPBackend) FlushSends(env BackendEnv, sends []BackendSend) ([]nic.Send
 		return nil, err
 	}
 	return results, batchErr(errs)
+}
+
+// packSum gathers one send's wire stream into scratch and returns its
+// CRC-32C: the fused pack+checksum kernel when the committed type's
+// lowered plan applies (scratch is exactly the packed size and the source
+// covers the footprint), the reference PackInto plus a separate checksum
+// pass otherwise.
+func packSum(env BackendEnv, s *BackendSend, scratch []byte) (uint32, error) {
+	typ, count := s.Type, s.Count
+	if p := typ.Plan(); p != nil && count > 0 && typ.Size()*int64(count) == int64(len(scratch)) {
+		lo, hi := typ.Footprint(count)
+		if lo >= 0 && hi <= int64(len(s.Src)) {
+			sum := p.PackSum(count, s.Src, scratch)
+			env.Counters.noteFusedPack()
+			return sum, nil
+		}
+	}
+	if _, err := ddt.PackInto(typ, count, s.Src, scratch); err != nil {
+		return 0, err
+	}
+	return plan.Checksum(scratch), nil
 }
 
 // Transfer implements Backend as gather -> wire -> scatter: the send
@@ -314,6 +374,7 @@ func (u *UDPBackend) Transfer(env BackendEnv, xfers []BackendTransfer) ([]nic.Se
 
 	sends := make([]nic.SendResult, len(xfers))
 	recvs := make([]nic.Result, len(xfers))
+	sums := make([]uint32, len(xfers))
 	idx := make(map[uint32]int, len(xfers))
 	expect := 0
 	for i := range xfers {
@@ -323,6 +384,7 @@ func (u *UDPBackend) Transfer(env BackendEnv, xfers []BackendTransfer) ([]nic.Se
 			return nil, nil, err
 		}
 		sends[i] = sr
+		sums[i] = plan.Checksum(x.Recv.Packed)
 		id := u.tx.NextMessageID()
 		if err := u.tx.Send(id, transport.EncodeWireMeta(recvMeta(&x.Recv)), x.Recv.Packed); err != nil {
 			return nil, nil, fmt.Errorf("core: udp backend transfer %d: %w", i, err)
@@ -336,7 +398,7 @@ func (u *UDPBackend) Transfer(env BackendEnv, xfers []BackendTransfer) ([]nic.Se
 		x := &xfers[i]
 		meta, merr := transport.DecodeWireMeta(msg.Hdr)
 		if merr == nil {
-			recvs[i], merr = scatter(env, &x.Recv, meta, msg.Payload, sends[i].Injected)
+			recvs[i], merr = scatter(env, &x.Recv, meta, msg.Payload, sends[i].Injected, sums[i])
 		}
 		if merr != nil && scatterErr == nil {
 			scatterErr = fmt.Errorf("core: udp backend transfer %d: %w", i, merr)

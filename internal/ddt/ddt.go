@@ -14,13 +14,23 @@
 // program.go) that Pack, Unpack, ForEachBlock, Flatten, TotalBlocks and
 // Gamma replay instead of re-walking the constructor tree, mirroring how
 // the paper's offload engine precomputes per-datatype state once at
-// MPI_Type_commit and reuses it for every message.
+// MPI_Type_commit and reuses it for every message. Commit additionally
+// lowers the program into a specialized execution plan (internal/plan,
+// exposed via Type.Plan): contiguous memmove, unrolled fixed-stride kernel
+// or general offset loop, selected once per type — Pack/Unpack/PackInto
+// dispatch to it whenever the caller's buffers cover the footprint, and
+// fall back to the streaming walk otherwise. Typemaps above the flat
+// compilation cap compile into bounded tiles (still replayed by flat
+// loops); only past the tiled cap does iteration stream the recursive
+// walk.
 package ddt
 
 import (
 	"fmt"
 	"strings"
 	"sync"
+
+	"spinddt/internal/plan"
 )
 
 // Kind identifies a datatype constructor.
@@ -104,6 +114,7 @@ type Type struct {
 	trueUB     int64 // largest typemap offset+size (MPI true upper bound)
 	fuse       bool  // last region of element i fuses with first of i+1
 	prog       *blockProgram
+	execPlan   *plan.Plan // execution plan lowered from prog at Commit
 }
 
 // Kind returns the constructor kind of the type.
@@ -175,6 +186,7 @@ func (t *Type) commit() {
 	var tlo, thi int64
 	var firstOff, lastEnd int64
 	var blocks []Block
+	var tiles [][]Block
 	overflow := false
 	m := &merger{emit: func(off, size int64) {
 		if n == 0 {
@@ -197,12 +209,21 @@ func (t *Type) commit() {
 			minB = size
 		}
 		if !overflow {
-			if n > compiledBlockCap {
+			switch {
+			case n > tiledBlockCap:
 				// Pathological region count: drop the program and keep
 				// streaming; only the statistics are retained.
 				overflow = true
+				blocks, tiles = nil, nil
+			case tiles != nil:
+				tiles = appendTiled(tiles, Block{Offset: off, Size: size})
+			case n > compiledBlockCap:
+				// Spill the flat program into per-checkpoint-interval
+				// tiles and keep compiling: pathological types still
+				// replay flat loops instead of the recursive walk.
+				tiles = appendTiled(splitTiles(blocks), Block{Offset: off, Size: size})
 				blocks = nil
-			} else {
+			default:
 				blocks = append(blocks, Block{Offset: off, Size: size})
 			}
 		}
@@ -219,9 +240,20 @@ func (t *Type) commit() {
 	// those coincide, identically at every boundary.
 	t.fuse = n > 0 && lastEnd == firstOff+t.extent
 	if !overflow {
-		t.prog = &blockProgram{elem: blocks, fuse: t.fuse}
+		t.prog = &blockProgram{elem: blocks, tiles: tiles, fuse: t.fuse}
+		t.execPlan = lowerPlan(t.prog, t.size, t.extent)
 	}
 	t.committed = true
+}
+
+// Plan returns the execution plan lowered from the compiled block program
+// at Commit — the specialized pack/unpack kernels the hot consumers
+// dispatch to. It is nil only for typemaps whose region count exceeds the
+// tiled compilation cap (the streaming-walk fallback). Plan commits the
+// type.
+func (t *Type) Plan() *plan.Plan {
+	t.Commit()
+	return t.execPlan
 }
 
 // TrueBounds returns the smallest typemap offset and the largest typemap

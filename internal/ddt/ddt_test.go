@@ -40,9 +40,9 @@ func TestContiguous(t *testing.T) {
 	if c.Size() != 20 || c.Extent() != 20 {
 		t.Fatalf("contiguous(5,Int): size=%d extent=%d", c.Size(), c.Extent())
 	}
-	blocksEqual(t, c.Flatten(1), []Block{{0, 20}})
+	blocksEqual(t, c.Flatten(1), []Block{{Offset: 0, Size: 20}})
 	// Merging across elements: contiguous elements coalesce into one block.
-	blocksEqual(t, c.Flatten(3), []Block{{0, 60}})
+	blocksEqual(t, c.Flatten(3), []Block{{Offset: 0, Size: 60}})
 	if c.TotalBlocks(3) != 1 {
 		t.Fatalf("TotalBlocks = %d", c.TotalBlocks(3))
 	}
@@ -57,7 +57,7 @@ func TestMatrixColumnVector(t *testing.T) {
 	if v.Extent() != 3*16+4 { // last block at 48, block size 4
 		t.Fatalf("extent = %d", v.Extent())
 	}
-	blocksEqual(t, v.Flatten(1), []Block{{0, 4}, {16, 4}, {32, 4}, {48, 4}})
+	blocksEqual(t, v.Flatten(1), []Block{{Offset: 0, Size: 4}, {Offset: 16, Size: 4}, {Offset: 32, Size: 4}, {Offset: 48, Size: 4}})
 	if v.NumBlocks() != 4 || v.MaxBlock() != 4 || v.MinBlock() != 4 {
 		t.Fatalf("blocks=%d max=%d min=%d", v.NumBlocks(), v.MaxBlock(), v.MinBlock())
 	}
@@ -65,7 +65,7 @@ func TestMatrixColumnVector(t *testing.T) {
 
 func TestVectorDenseStrideMerges(t *testing.T) {
 	v := MustVector(4, 2, 2, Int) // stride == blockLen: dense
-	blocksEqual(t, v.Flatten(1), []Block{{0, 32}})
+	blocksEqual(t, v.Flatten(1), []Block{{Offset: 0, Size: 32}})
 	if !v.Contiguous() {
 		t.Fatal("dense vector must be contiguous")
 	}
@@ -82,7 +82,7 @@ func TestHVectorNegativeStride(t *testing.T) {
 	if v.Extent() != 20 { // [-16, 4)
 		t.Fatalf("extent = %d, want 20", v.Extent())
 	}
-	blocksEqual(t, v.Flatten(1), []Block{{0, 4}, {-8, 4}, {-16, 4}})
+	blocksEqual(t, v.Flatten(1), []Block{{Offset: 0, Size: 4}, {Offset: -8, Size: 4}, {Offset: -16, Size: 4}})
 }
 
 func TestIndexed(t *testing.T) {
@@ -93,12 +93,12 @@ func TestIndexed(t *testing.T) {
 	if ix.Extent() != 20 { // block 1 covers [16, 20)
 		t.Fatalf("extent = %d", ix.Extent())
 	}
-	blocksEqual(t, ix.Flatten(1), []Block{{0, 8}, {16, 4}})
+	blocksEqual(t, ix.Flatten(1), []Block{{Offset: 0, Size: 8}, {Offset: 16, Size: 4}})
 }
 
 func TestIndexedAdjacentBlocksMerge(t *testing.T) {
 	ix := MustIndexed([]int{1, 1, 2}, []int{0, 1, 2}, Int)
-	blocksEqual(t, ix.Flatten(1), []Block{{0, 16}})
+	blocksEqual(t, ix.Flatten(1), []Block{{Offset: 0, Size: 16}})
 }
 
 func TestIndexedBlock(t *testing.T) {
@@ -106,7 +106,7 @@ func TestIndexedBlock(t *testing.T) {
 	if ib.Size() != 24 {
 		t.Fatalf("size = %d", ib.Size())
 	}
-	blocksEqual(t, ib.Flatten(1), []Block{{0, 8}, {16, 8}, {40, 8}})
+	blocksEqual(t, ib.Flatten(1), []Block{{Offset: 0, Size: 8}, {Offset: 16, Size: 8}, {Offset: 40, Size: 8}})
 }
 
 func TestHIndexedBlockByteDispls(t *testing.T) {
@@ -117,7 +117,7 @@ func TestHIndexedBlockByteDispls(t *testing.T) {
 	if ib.LB() != 3 || ib.Extent() != 7 { // [3, 10)
 		t.Fatalf("lb=%d extent=%d", ib.LB(), ib.Extent())
 	}
-	blocksEqual(t, ib.Flatten(1), []Block{{3, 1}, {9, 1}})
+	blocksEqual(t, ib.Flatten(1), []Block{{Offset: 3, Size: 1}, {Offset: 9, Size: 1}})
 }
 
 func TestStruct(t *testing.T) {
@@ -128,13 +128,13 @@ func TestStruct(t *testing.T) {
 	if s.Extent() != 32 {
 		t.Fatalf("extent = %d", s.Extent())
 	}
-	blocksEqual(t, s.Flatten(1), []Block{{0, 8}, {24, 8}})
+	blocksEqual(t, s.Flatten(1), []Block{{Offset: 0, Size: 8}, {Offset: 24, Size: 8}})
 }
 
 func TestStructOfVectors(t *testing.T) {
 	col := MustVector(2, 1, 2, Int) // two 4B blocks 8B apart
 	s := MustStruct([]int{1, 1}, []int64{0, 100}, []*Type{col, Double})
-	blocksEqual(t, s.Flatten(1), []Block{{0, 4}, {8, 4}, {100, 8}})
+	blocksEqual(t, s.Flatten(1), []Block{{Offset: 0, Size: 4}, {Offset: 8, Size: 4}, {Offset: 100, Size: 8}})
 }
 
 func subarrayOracle(sizes, subSizes, starts []int, elemSize int64) []Block {
@@ -173,7 +173,7 @@ func subarrayOracle(sizes, subSizes, starts []int, elemSize int64) []Block {
 		for j < int64(len(mask)) && mask[j] {
 			j++
 		}
-		blocks = append(blocks, Block{i, j - i})
+		blocks = append(blocks, Block{Offset: i, Size: j - i})
 		i = j
 	}
 	return blocks
@@ -199,7 +199,7 @@ func TestSubarray3D(t *testing.T) {
 
 func TestSubarrayFullIsContiguous(t *testing.T) {
 	sa := MustSubarray([]int{4, 4}, []int{4, 4}, []int{0, 0}, Int)
-	blocksEqual(t, sa.Flatten(1), []Block{{0, 64}})
+	blocksEqual(t, sa.Flatten(1), []Block{{Offset: 0, Size: 64}})
 }
 
 func TestResizedSpacing(t *testing.T) {
@@ -207,7 +207,7 @@ func TestResizedSpacing(t *testing.T) {
 	if r.Size() != 4 || r.Extent() != 16 {
 		t.Fatalf("size=%d extent=%d", r.Size(), r.Extent())
 	}
-	blocksEqual(t, r.Flatten(3), []Block{{0, 4}, {16, 4}, {32, 4}})
+	blocksEqual(t, r.Flatten(3), []Block{{Offset: 0, Size: 4}, {Offset: 16, Size: 4}, {Offset: 32, Size: 4}})
 }
 
 func TestFootprint(t *testing.T) {

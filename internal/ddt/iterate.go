@@ -1,12 +1,12 @@
 package ddt
 
+import "spinddt/internal/plan"
+
 // Block is one contiguous region of a typemap: Size bytes at byte Offset
 // relative to the element origin (or buffer start when iterating a count of
-// elements).
-type Block struct {
-	Offset int64
-	Size   int64
-}
+// elements). It is an alias of plan.Region so a committed block program's
+// region lists lower into execution plans without copying.
+type Block = plan.Region
 
 // merger coalesces adjacent emissions: a block starting exactly where the
 // previous one ended extends it, mirroring how MPI implementations build

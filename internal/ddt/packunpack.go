@@ -2,6 +2,17 @@ package ddt
 
 import "fmt"
 
+// planFor gates the plan fast path: non-nil only when the lowered plan
+// exists and buf covers the element footprint (lo >= 0, hi <= len(buf)) —
+// exactly the condition under which the streaming walk cannot error.
+func planFor(t *Type, count int, buf []byte) bool {
+	if t.execPlan == nil || count <= 0 {
+		return false
+	}
+	lo, hi := t.Footprint(count)
+	return lo >= 0 && hi <= int64(len(buf))
+}
+
 // PackInto gathers count elements of the type from src into dst, returning
 // the number of bytes packed. Offsets are interpreted relative to src[0],
 // so the type's footprint must lie inside src (types with negative lower
@@ -11,6 +22,11 @@ func PackInto(t *Type, count int, src, dst []byte) (int64, error) {
 	need := t.Size() * int64(count)
 	if int64(len(dst)) < need {
 		return 0, fmt.Errorf("ddt: pack destination %d bytes, need %d", len(dst), need)
+	}
+	t.Commit()
+	if planFor(t, count, src) {
+		t.execPlan.Pack(count, src, dst)
+		return need, nil
 	}
 	var pos int64
 	var err error
@@ -48,6 +64,11 @@ func Unpack(t *Type, count int, packed, dst []byte) error {
 	need := t.Size() * int64(count)
 	if int64(len(packed)) < need {
 		return fmt.Errorf("ddt: packed stream %d bytes, need %d", len(packed), need)
+	}
+	t.Commit()
+	if planFor(t, count, dst) {
+		t.execPlan.Unpack(count, packed, dst)
+		return nil
 	}
 	var pos int64
 	var err error

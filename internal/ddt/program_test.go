@@ -90,7 +90,7 @@ func TestCompiledBoundaryFusion(t *testing.T) {
 	// Single region per element, size == extent: the whole message is one
 	// contiguous run.
 	dense := MustContiguous(5, Int)
-	if got := dense.Flatten(4); !reflect.DeepEqual(got, []Block{{0, 80}}) {
+	if got := dense.Flatten(4); !reflect.DeepEqual(got, []Block{{Offset: 0, Size: 80}}) {
 		t.Fatalf("dense blocks = %v", got)
 	}
 	if n := dense.TotalBlocks(4); n != 1 {
@@ -104,7 +104,7 @@ func TestCompiledBoundaryFusion(t *testing.T) {
 	if fused.Extent() != 16 {
 		t.Fatalf("extent = %d", fused.Extent())
 	}
-	want := []Block{{0, 4}, {8, 12}, {24, 12}, {40, 8}}
+	want := []Block{{Offset: 0, Size: 4}, {Offset: 8, Size: 12}, {Offset: 24, Size: 12}, {Offset: 40, Size: 8}}
 	if got := fused.Flatten(3); !reflect.DeepEqual(got, want) {
 		t.Fatalf("fused blocks = %v, want %v", got, want)
 	}
@@ -123,25 +123,77 @@ func TestCompiledBoundaryFusion(t *testing.T) {
 }
 
 func TestCompiledCapFallsBackToStreaming(t *testing.T) {
-	saved := compiledBlockCap
-	compiledBlockCap = 4
-	defer func() { compiledBlockCap = saved }()
+	savedFlat, savedTile, savedTiled := compiledBlockCap, tileBlocks, tiledBlockCap
+	compiledBlockCap, tileBlocks, tiledBlockCap = 4, 3, 6
+	defer func() { compiledBlockCap, tileBlocks, tiledBlockCap = savedFlat, savedTile, savedTiled }()
 
-	typ := MustVector(8, 1, 2, Int) // 8 regions: above the lowered cap
+	typ := MustVector(8, 1, 2, Int) // 8 regions: above even the tiled cap
 	typ.Commit()
 	if typ.prog != nil {
-		t.Fatal("program materialized above the cap")
+		t.Fatal("program materialized above the tiled cap")
+	}
+	if typ.Plan() != nil {
+		t.Fatal("plan lowered above the tiled cap")
 	}
 	if typ.NumBlocks() != 8 {
 		t.Fatalf("NumBlocks = %d", typ.NumBlocks())
 	}
 	checkCompiledAgainstRecursive(t, typ, 3)
 
-	// Under the cap the program exists and agrees.
+	// Between the flat and tiled caps the program compiles tiled and still
+	// replays exactly.
+	mid := MustVector(6, 1, 2, Int) // 6 regions: above flat (4), within tiled (6)
+	mid.Commit()
+	if mid.prog == nil || mid.prog.tiles == nil {
+		t.Fatal("tiled program missing between the caps")
+	}
+	if mid.prog.elem != nil {
+		t.Fatal("flat slice retained by a tiled program")
+	}
+	if got := len(mid.prog.tiles); got != 2 {
+		t.Fatalf("tiles = %d, want 2 (6 regions at tileBlocks=3)", got)
+	}
+	if mid.Plan() == nil {
+		t.Fatal("plan missing for a tiled program")
+	}
+	checkCompiledAgainstRecursive(t, mid, 3)
+
+	// Under the flat cap the program exists and agrees.
 	small := MustVector(3, 1, 2, Int)
 	small.Commit()
-	if small.prog == nil {
+	if small.prog == nil || small.prog.elem == nil {
 		t.Fatal("program missing below the cap")
 	}
 	checkCompiledAgainstRecursive(t, small, 3)
+}
+
+func TestTiledReplayFusedBoundaries(t *testing.T) {
+	savedFlat, savedTile, savedTiled := compiledBlockCap, tileBlocks, tiledBlockCap
+	compiledBlockCap, tileBlocks, tiledBlockCap = 2, 2, 64
+	defer func() { compiledBlockCap, tileBlocks, tiledBlockCap = savedFlat, savedTile, savedTiled }()
+
+	// 4 regions per element with the last region ending at the extent, so
+	// element boundaries fuse — the hardest replay case, now spanning
+	// multiple tiles.
+	fused := MustIndexed([]int{1, 1, 1, 2}, []int{0, 2, 4, 6}, Int)
+	fused.Commit()
+	if fused.prog == nil || fused.prog.tiles == nil {
+		t.Fatalf("expected a tiled program (regions=%d)", fused.NumBlocks())
+	}
+	if !fused.prog.fuse {
+		t.Fatal("expected fused element boundaries")
+	}
+	for count := 1; count <= 4; count++ {
+		checkCompiledAgainstRecursive(t, fused, count)
+	}
+
+	// Non-fused multi-tile replay: trailing padding keeps elements apart.
+	padded := MustResized(MustIndexed([]int{1, 1, 1}, []int{0, 2, 4}, Int), 0, 28)
+	padded.Commit()
+	if padded.prog == nil || padded.prog.tiles == nil {
+		t.Fatal("expected a tiled program")
+	}
+	for count := 1; count <= 3; count++ {
+		checkCompiledAgainstRecursive(t, padded, count)
+	}
 }

@@ -146,7 +146,7 @@ func TestSubarrayFortranAgainstOracle(t *testing.T) {
 		for j < int64(len(mask)) && mask[j] {
 			j++
 		}
-		want = append(want, Block{i, j - i})
+		want = append(want, Block{Offset: i, Size: j - i})
 		i = j
 	}
 	if got := sa.Flatten(1); !reflect.DeepEqual(got, want) {

@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"spinddt/internal/apps"
+	"spinddt/internal/core"
+)
+
+// PlanListing is the execution-plan snapshot of the application sweep: for
+// every Fig. 16 datatype, the pack/unpack plan its commit lowers to and
+// the gather resolver its sends build, both disassembled. The listing is
+// deterministic — the `make plans-golden` snapshot the determinism CI job
+// diffs — so any change to plan selection or kernel shape shows up as a
+// golden diff, not a silent behaviour change.
+type PlanListing struct {
+	entries []planEntry
+}
+
+type planEntry struct {
+	name     string
+	typeDesc string
+	msgBytes int64
+	plan     string // pack/unpack disassembly (or the streaming note)
+	gather   string // sender resolver disassembly
+}
+
+// String renders the listing, one block per application instance.
+func (l *PlanListing) String() string {
+	var b strings.Builder
+	b.WriteString("== Execution plans: application datatype sweep ==\n")
+	b.WriteString("# Lowered pack/unpack plan and sender gather resolver per committed\n")
+	b.WriteString("# Fig. 16 datatype. Regenerate with `make plans-golden`.\n")
+	for _, e := range l.entries {
+		fmt.Fprintf(&b, "\n-- %s (%s, msg=%d) --\n", e.name, e.typeDesc, e.msgBytes)
+		b.WriteString(e.plan)
+		b.WriteString(e.gather)
+	}
+	return b.String()
+}
+
+// PlanReport commits every application datatype and records the plans
+// selected for its message count.
+func PlanReport() (*PlanListing, error) {
+	l := &PlanListing{}
+	for _, in := range apps.All() {
+		typ, count := in.Type, in.Count
+		typ.Commit()
+		var planText string
+		if p := typ.Plan(); p != nil {
+			planText = p.Disassemble()
+		} else {
+			planText = "plan none (streaming walk: block count above the tiled cap)\n"
+		}
+		g, kind := core.GatherPlan(typ, count)
+		if g == nil {
+			return nil, fmt.Errorf("experiments: %s: no gather resolver", in.Name())
+		}
+		if kind != g.Kind().String() {
+			return nil, fmt.Errorf("experiments: %s: gather kind %q, resolver %v",
+				in.Name(), kind, g.Kind())
+		}
+		l.entries = append(l.entries, planEntry{
+			name:     in.Name(),
+			typeDesc: in.TypeDesc,
+			msgBytes: in.MsgBytes(),
+			plan:     planText,
+			gather:   g.Disassemble(),
+		})
+	}
+	return l, nil
+}

@@ -47,7 +47,7 @@ func ReceiveBatch(cfg Config, msgs []BatchMessage) ([]Result, error) {
 	}
 	eng := sim.Acquire()
 	defer sim.Release(eng)
-	sims, schedules, err := newBatch(eng, cfg, msgs)
+	dev, sims, schedules, err := newBatch(eng, cfg, msgs)
 	defer releaseSchedules(schedules)
 	if err != nil {
 		return nil, err
@@ -56,7 +56,12 @@ func ReceiveBatch(cfg Config, msgs []BatchMessage) ([]Result, error) {
 		s.postArrivals()
 	}
 	eng.Run()
-	return finishBatch(sims)
+	results, err := finishBatch(sims)
+	if err != nil {
+		return nil, err
+	}
+	releaseRxBatch(dev, sims)
+	return results, nil
 }
 
 // ReceiveBatchSharded is ReceiveBatch on the sharded engine: the NIC
@@ -80,7 +85,7 @@ func ReceiveBatchSharded(cfg Config, msgs []BatchMessage) ([]Result, error) {
 	h := &clusterHost{shard: hostShard, notified: make([]sim.Time, len(msgs))}
 	hostCtx := hostShard.Bind(h)
 
-	sims, schedules, err := newBatch(&dev.Engine, cfg, msgs)
+	rxDev, sims, schedules, err := newBatch(&dev.Engine, cfg, msgs)
 	defer releaseSchedules(schedules)
 	if err != nil {
 		return nil, err
@@ -96,17 +101,24 @@ func ReceiveBatchSharded(cfg Config, msgs []BatchMessage) ([]Result, error) {
 		s.postArrivals()
 	}
 	pe.Run()
-	return finishBatch(sims)
+	results, err := finishBatch(sims)
+	if err != nil {
+		return nil, err
+	}
+	releaseRxBatch(rxDev, sims)
+	return results, nil
 }
 
 // newBatch builds one shared device plus a message simulation per batch
 // entry on eng, arrival schedules offset by each message's Start (or taken
 // verbatim from the message). It returns the pooled schedule buffers it
-// allocated; the caller releases them after the results are assembled.
-func newBatch(eng *sim.Engine, cfg Config, msgs []BatchMessage) ([]*rxSim, [][]fabric.Arrival, error) {
-	dev, err := newRxDevice(eng, cfg)
+// allocated; the caller releases them after the results are assembled. The
+// device is drawn from the pool; a successful batch hands it back via
+// releaseRxBatch.
+func newBatch(eng *sim.Engine, cfg Config, msgs []BatchMessage) (*rxDevice, []*rxSim, [][]fabric.Arrival, error) {
+	dev, err := acquireRxDevice(eng, cfg)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	sims := make([]*rxSim, len(msgs))
 	var schedules [][]fabric.Arrival
@@ -116,18 +128,28 @@ func newBatch(eng *sim.Engine, cfg Config, msgs []BatchMessage) ([]*rxSim, [][]f
 		if arrivals == nil {
 			arrivals, err = cfg.Fabric.AppendSchedule(getArrivalBuf(), int64(len(m.Packed)), m.Start, m.Order)
 			if err != nil {
-				return nil, schedules, fmt.Errorf("nic: batch message %d: %w", i, err)
+				return nil, nil, schedules, fmt.Errorf("nic: batch message %d: %w", i, err)
 			}
 			schedules = append(schedules, arrivals)
 		}
 		s, err := dev.newMessage(m.PT, m.Bits, m.Packed, m.Host, arrivals)
 		if err != nil {
-			return nil, schedules, fmt.Errorf("nic: batch message %d: %w", i, err)
+			return nil, nil, schedules, fmt.Errorf("nic: batch message %d: %w", i, err)
 		}
 		s.notify = m.Notify
 		sims[i] = s
 	}
-	return sims, schedules, nil
+	return dev, sims, schedules, nil
+}
+
+// releaseRxBatch returns a drained batch's message simulations and shared
+// device to their pools. Callers must have extracted every Result
+// (finishBatch) first.
+func releaseRxBatch(dev *rxDevice, sims []*rxSim) {
+	for _, s := range sims {
+		releaseRxSim(s)
+	}
+	releaseRxDevice(dev)
 }
 
 // releaseSchedules returns pooled arrival buffers after a batch finished.

@@ -470,12 +470,17 @@ func SendBatch(cfg Config, msgs []TxMessage) ([]SendResult, error) {
 	}
 	eng := sim.Acquire()
 	defer sim.Release(eng)
-	sims, err := newTxBatch(eng, cfg, msgs)
+	dev, sims, err := newTxBatch(eng, cfg, msgs)
 	if err != nil {
 		return nil, err
 	}
 	eng.Run()
-	return finishTxBatch(sims)
+	results, err := finishTxBatch(sims)
+	if err != nil {
+		return nil, err
+	}
+	releaseTxBatch(dev, sims)
+	return results, nil
 }
 
 // SendBatchSharded is SendBatch on the sharded engine: the NIC device is
@@ -497,7 +502,7 @@ func SendBatchSharded(cfg Config, msgs []TxMessage) ([]SendResult, error) {
 	h := &clusterHost{shard: hostShard, notified: make([]sim.Time, len(msgs))}
 	hostCtx := hostShard.Bind(h)
 
-	sims, err := newTxBatch(&dev.Engine, cfg, msgs)
+	txDev, sims, err := newTxBatch(&dev.Engine, cfg, msgs)
 	if err != nil {
 		return nil, err
 	}
@@ -508,28 +513,44 @@ func SendBatchSharded(cfg Config, msgs []TxMessage) ([]SendResult, error) {
 		}
 	}
 	pe.Run()
-	return finishTxBatch(sims)
+	results, err := finishTxBatch(sims)
+	if err != nil {
+		return nil, err
+	}
+	releaseTxBatch(txDev, sims)
+	return results, nil
 }
 
 // newTxBatch builds one shared device plus a message simulation per batch
-// entry on eng and pre-posts every launch schedule.
-func newTxBatch(eng *sim.Engine, cfg Config, msgs []TxMessage) ([]*txSim, error) {
-	dev, err := newTxDevice(eng, cfg)
+// entry on eng and pre-posts every launch schedule. The device is drawn
+// from the pool; a successful batch hands it back via releaseTxBatch.
+func newTxBatch(eng *sim.Engine, cfg Config, msgs []TxMessage) (*txDevice, []*txSim, error) {
+	dev, err := acquireTxDevice(eng, cfg)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	sims := make([]*txSim, len(msgs))
 	for i := range msgs {
 		s, err := dev.newMessage(&msgs[i])
 		if err != nil {
-			return nil, fmt.Errorf("nic: batch message %d: %w", i, err)
+			return nil, nil, fmt.Errorf("nic: batch message %d: %w", i, err)
 		}
 		sims[i] = s
 	}
 	for i := range sims {
 		sims[i].postLaunch(&msgs[i])
 	}
-	return sims, nil
+	return dev, sims, nil
+}
+
+// releaseTxBatch returns a drained batch's message simulations and shared
+// device to their pools. Callers must have extracted every SendResult
+// (finishTxBatch) first.
+func releaseTxBatch(dev *txDevice, sims []*txSim) {
+	for _, s := range sims {
+		releaseTxSim(s)
+	}
+	releaseTxDevice(dev)
 }
 
 // finishTxBatch assembles the per-message results after the engine drained.

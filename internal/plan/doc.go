@@ -1,0 +1,66 @@
+// Package plan lowers committed block programs into specialized execution
+// plans — the codegen layer of the datatype engine. The block program
+// (internal/ddt, program.go) is a one-IR-many-consumers design; before this
+// package every consumer *interpreted* it through per-region callbacks.
+// Lowering happens once, at ddt.Commit / Session.Commit, and every hot
+// consumer — ddt.Pack/Unpack/PackInto, MemBackend, UDPBackend and the
+// txDevice gather resolver — dispatches to the selected kernel instead.
+//
+// # Plan IR
+//
+// The lowering input is a Program: the merged contiguous Regions of ONE
+// element in typemap order (split into bounded tiles for pathological
+// region counts; a flat program is a single tile), the cross-element fusion
+// bit, and the element's packed size and extent. Lower selects exactly one
+// of three plan kinds:
+//
+//   - Contig: a single region per element fusing across every boundary —
+//     the whole message is one run, executed as a single memmove.
+//   - Stride: uniform region sizes at arithmetic offsets — executed as an
+//     unrolled inner loop, with 8/16-byte wide word moves when the block
+//     size is a multiple of 8 bytes.
+//   - Offsets: the general fallback — a tight loop over the region list
+//     (flat or tiled), one copy per region.
+//
+// Selection rules at Commit:
+//
+//   - Contig requires len(regions)==1 && Fuse. The run may start at a
+//     nonzero offset (trueLB>0 spill types), which the kernel honors — it
+//     does NOT require the ddt.Contiguous predicate.
+//   - Stride requires uniform sizes and arithmetic offsets only; the
+//     fusion bit is irrelevant because fusion changes region *boundaries*
+//     (a timing concern), never the packed byte stream. Plain MPI vectors
+//     are fused and still lower to Stride.
+//   - Tiled programs always lower to Offsets.
+//
+// # Kernel contracts
+//
+// Kernels are count-generic and bounds-free by contract: the caller must
+// guarantee that dst/packed holds Size*count bytes and that src/dst covers
+// the footprint [trueLB, (count-1)*extent + trueUB) with trueLB >= 0.
+// The ddt wrappers gate the fast path on exactly those bounds and fall back
+// to the streaming walk (which reproduces the reference error messages)
+// otherwise. Every kernel produces the byte stream of the reference
+// ddt.Pack/Unpack exactly.
+//
+// The fused kernels (PackSum, UnpackSum) compute the CRC-32C (Castagnoli,
+// the transport frame polynomial) of the packed stream *during* the gather
+// or scatter — per copied chunk, in stream order, which equals the whole-
+// stream checksum — so the transport path never needs a second pass.
+// Equal verifies a wire stream against the source image region by region
+// without materializing a reference pack.
+//
+// # Gather plans
+//
+// Gather is the sender-side mirror: the txDevice resolver state that maps
+// a packet's stream offset to its contiguous host source regions
+// (contiguous / vector arithmetic in O(1), offset list with binary search
+// otherwise). Constructors take the classification explicitly — the core
+// layer keeps its Normalize-based selection — and Resolve reproduces the
+// resolver arithmetic of the previous interpreter exactly, so simulated
+// timing and DMA accounting are unchanged.
+//
+// Every plan renders a deterministic Disassemble listing; the snapshot
+// goldens in testdata/golden/plans.txt (make plans-golden) pin one
+// disassembly per figure datatype so selection cannot drift silently.
+package plan

@@ -1,0 +1,146 @@
+package plan
+
+import (
+	"math/bits"
+	"sort"
+)
+
+// Reader is the gather kernels' host read path. spin.DMAReader satisfies
+// it, so the txDevice handlers pass their DMA engine straight through.
+type Reader interface {
+	// Read fetches len(dst) bytes at hostOff from the source buffer.
+	Read(hostOff int64, dst []byte)
+}
+
+// GatherKind identifies a gather plan's resolver family.
+type GatherKind uint8
+
+const (
+	// GatherContig resolves the whole message as one run.
+	GatherContig GatherKind = iota
+	// GatherVector resolves strided uniform blocks with O(1) arithmetic.
+	GatherVector
+	// GatherList resolves an offset list with a binary search per packet.
+	GatherList
+)
+
+func (k GatherKind) String() string {
+	switch k {
+	case GatherContig:
+		return "contiguous"
+	case GatherVector:
+		return "vector"
+	case GatherList:
+		return "list"
+	default:
+		return "unknown"
+	}
+}
+
+// Gather is the sender-side lowered plan: the resolver state that maps a
+// packet's stream offset to its contiguous host source regions. It is the
+// state a PtlProcessPut references on the sender NIC — immutable after
+// construction, shared by every message of the committed layout.
+type Gather struct {
+	kind GatherKind
+
+	// Contig/vector arithmetic: perElem blocks of blockSize bytes, stride
+	// apart within an element, elements extent apart.
+	blockSize int64
+	stride    int64
+	perElem   int64
+	extent    int64
+
+	// List state: regions in stream order plus their stream positions.
+	hostOff     []int64
+	size        []int64
+	streamStart []int64
+	searchSteps int
+}
+
+// NewContigGather returns the single-run resolver of a contiguous message.
+func NewContigGather(msgSize int64) *Gather {
+	return &Gather{kind: GatherContig, blockSize: msgSize, stride: 0, perElem: 1, extent: msgSize}
+}
+
+// NewVectorGather returns the O(1) arithmetic resolver of a strided
+// uniform-block layout: perElem blocks of blockSize bytes, stride apart,
+// elements extent apart.
+func NewVectorGather(blockSize, stride, perElem, extent int64) *Gather {
+	return &Gather{kind: GatherVector, blockSize: blockSize, stride: stride, perElem: perElem, extent: extent}
+}
+
+// NewListGather returns the offset-list resolver. hostOff and size list the
+// merged regions of the full message in stream order; the stream positions
+// are derived here. The slices are retained.
+func NewListGather(hostOff, size []int64) *Gather {
+	streamStart := make([]int64, len(size))
+	var pos int64
+	for i, s := range size {
+		streamStart[i] = pos
+		pos += s
+	}
+	return &Gather{
+		kind:        GatherList,
+		hostOff:     hostOff,
+		size:        size,
+		streamStart: streamStart,
+		searchSteps: bits.Len(uint(len(streamStart))),
+	}
+}
+
+// Kind returns the resolver family.
+func (g *Gather) Kind() GatherKind { return g.kind }
+
+// SearchSteps returns the binary-search step count a packet pays to locate
+// its first region: zero for the arithmetic resolvers.
+func (g *Gather) SearchSteps() int { return g.searchSteps }
+
+// Resolve fills one packet's payload slice by fetching its contiguous
+// source regions through r, returning the number of regions touched. A nil
+// payload resolves region addresses without issuing reads (the simulator's
+// timing-only mode).
+func (g *Gather) Resolve(streamOff, pktBytes int64, payload []byte, r Reader) int64 {
+	if g.kind == GatherList {
+		return g.resolveList(streamOff, pktBytes, payload, r)
+	}
+	var blocks int64
+	consumed := int64(0)
+	for consumed < pktBytes {
+		pos := streamOff + consumed
+		b := pos / g.blockSize
+		within := pos % g.blockSize
+		hostOff := (b/g.perElem)*g.extent + (b%g.perElem)*g.stride + within
+		n := g.blockSize - within
+		if n > pktBytes-consumed {
+			n = pktBytes - consumed
+		}
+		if payload != nil {
+			r.Read(hostOff, payload[consumed:consumed+n])
+		}
+		consumed += n
+		blocks++
+	}
+	return blocks
+}
+
+func (g *Gather) resolveList(streamOff, pktBytes int64, payload []byte, r Reader) int64 {
+	end := streamOff + pktBytes
+	i := sort.Search(len(g.streamStart), func(k int) bool {
+		return g.streamStart[k] > streamOff
+	}) - 1
+	var blocks int64
+	for pos := streamOff; pos < end; i++ {
+		within := pos - g.streamStart[i]
+		n := g.size[i] - within
+		if n > end-pos {
+			n = end - pos
+		}
+		if payload != nil {
+			r.Read(g.hostOff[i]+within, payload[pos-streamOff:pos-streamOff+n])
+		}
+		pos += n
+		blocks++
+	}
+	return blocks
+}

@@ -1,0 +1,290 @@
+package plan
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+)
+
+// castagnoli is the CRC-32C table of the fused pack+checksum kernels — the
+// same polynomial the transport frames carry, so an end-to-end stream
+// checksum composes with the per-frame ones.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Checksum returns the CRC-32C of a packed stream (the value the fused
+// kernels compute incrementally).
+func Checksum(stream []byte) uint32 { return crc32.Checksum(stream, castagnoli) }
+
+// copyWide moves len(src) bytes — a multiple of 8 — with unrolled 16-byte
+// word moves. binary.LittleEndian loads/stores compile to single unaligned
+// machine words on little-endian targets and round-trip bytes on any
+// target, so no alignment fixup is needed.
+func copyWide(dst, src []byte) {
+	for len(src) >= 16 {
+		a := binary.LittleEndian.Uint64(src)
+		b := binary.LittleEndian.Uint64(src[8:])
+		binary.LittleEndian.PutUint64(dst, a)
+		binary.LittleEndian.PutUint64(dst[8:], b)
+		src = src[16:]
+		dst = dst[16:]
+	}
+	if len(src) >= 8 {
+		binary.LittleEndian.PutUint64(dst, binary.LittleEndian.Uint64(src))
+	}
+}
+
+// Pack gathers count elements from src into dst, producing the byte stream
+// of the reference ddt.Pack. Caller contract (all kernels): dst holds
+// ElemSize*count bytes and src covers the element footprint
+// [trueLB, (count-1)*extent + trueUB) with trueLB >= 0.
+func (p *Plan) Pack(count int, src, dst []byte) {
+	switch p.kind {
+	case Contig:
+		n := p.size * int64(count)
+		copy(dst[:n], src[p.off:p.off+n])
+	case Stride:
+		p.packStride(count, src, dst)
+	default:
+		p.packOffsets(count, src, dst)
+	}
+}
+
+func (p *Plan) packStride(count int, src, dst []byte) {
+	bs, st, n, ext := p.blockSize, p.stride, p.perElem, p.extent
+	pos := int64(0)
+	base := p.off
+	if p.wide {
+		for e := 0; e < count; e++ {
+			off := base
+			for b := int64(0); b < n; b++ {
+				copyWide(dst[pos:pos+bs:pos+bs], src[off:off+bs:off+bs])
+				off += st
+				pos += bs
+			}
+			base += ext
+		}
+		return
+	}
+	for e := 0; e < count; e++ {
+		off := base
+		for b := int64(0); b < n; b++ {
+			copy(dst[pos:pos+bs], src[off:off+bs])
+			off += st
+			pos += bs
+		}
+		base += ext
+	}
+}
+
+func (p *Plan) packOffsets(count int, src, dst []byte) {
+	pos := int64(0)
+	base := int64(0)
+	for e := 0; e < count; e++ {
+		for _, tile := range p.tiles {
+			for _, r := range tile {
+				off := base + r.Offset
+				copy(dst[pos:pos+r.Size], src[off:off+r.Size])
+				pos += r.Size
+			}
+		}
+		base += p.extent
+	}
+}
+
+// Unpack scatters a packed stream into dst according to count elements,
+// the inverse of Pack (same caller contract, with dst covering the
+// footprint and packed holding ElemSize*count bytes).
+func (p *Plan) Unpack(count int, packed, dst []byte) {
+	switch p.kind {
+	case Contig:
+		n := p.size * int64(count)
+		copy(dst[p.off:p.off+n], packed[:n])
+	case Stride:
+		p.unpackStride(count, packed, dst)
+	default:
+		p.unpackOffsets(count, packed, dst)
+	}
+}
+
+func (p *Plan) unpackStride(count int, packed, dst []byte) {
+	bs, st, n, ext := p.blockSize, p.stride, p.perElem, p.extent
+	pos := int64(0)
+	base := p.off
+	if p.wide {
+		for e := 0; e < count; e++ {
+			off := base
+			for b := int64(0); b < n; b++ {
+				copyWide(dst[off:off+bs:off+bs], packed[pos:pos+bs:pos+bs])
+				off += st
+				pos += bs
+			}
+			base += ext
+		}
+		return
+	}
+	for e := 0; e < count; e++ {
+		off := base
+		for b := int64(0); b < n; b++ {
+			copy(dst[off:off+bs], packed[pos:pos+bs])
+			off += st
+			pos += bs
+		}
+		base += ext
+	}
+}
+
+func (p *Plan) unpackOffsets(count int, packed, dst []byte) {
+	pos := int64(0)
+	base := int64(0)
+	for e := 0; e < count; e++ {
+		for _, tile := range p.tiles {
+			for _, r := range tile {
+				off := base + r.Offset
+				copy(dst[off:off+r.Size], packed[pos:pos+r.Size])
+				pos += r.Size
+			}
+		}
+		base += p.extent
+	}
+}
+
+// PackSum is Pack fused with the CRC-32C of the produced stream: the
+// checksum is updated per copied chunk in stream order, which equals the
+// whole-stream checksum, so the transport path needs no second pass.
+func (p *Plan) PackSum(count int, src, dst []byte) uint32 {
+	switch p.kind {
+	case Contig:
+		n := p.size * int64(count)
+		copy(dst[:n], src[p.off:p.off+n])
+		return crc32.Update(0, castagnoli, dst[:n])
+	case Stride:
+		bs, st, n, ext := p.blockSize, p.stride, p.perElem, p.extent
+		pos := int64(0)
+		base := p.off
+		sum := uint32(0)
+		for e := 0; e < count; e++ {
+			off := base
+			for b := int64(0); b < n; b++ {
+				d := dst[pos : pos+bs : pos+bs]
+				if p.wide {
+					copyWide(d, src[off:off+bs:off+bs])
+				} else {
+					copy(d, src[off:off+bs])
+				}
+				sum = crc32.Update(sum, castagnoli, d)
+				off += st
+				pos += bs
+			}
+			base += ext
+		}
+		return sum
+	default:
+		pos := int64(0)
+		base := int64(0)
+		sum := uint32(0)
+		for e := 0; e < count; e++ {
+			for _, tile := range p.tiles {
+				for _, r := range tile {
+					off := base + r.Offset
+					d := dst[pos : pos+r.Size : pos+r.Size]
+					copy(d, src[off:off+r.Size])
+					sum = crc32.Update(sum, castagnoli, d)
+					pos += r.Size
+				}
+			}
+			base += p.extent
+		}
+		return sum
+	}
+}
+
+// UnpackSum is Unpack fused with the CRC-32C of the consumed stream.
+func (p *Plan) UnpackSum(count int, packed, dst []byte) uint32 {
+	switch p.kind {
+	case Contig:
+		n := p.size * int64(count)
+		copy(dst[p.off:p.off+n], packed[:n])
+		return crc32.Update(0, castagnoli, packed[:n])
+	case Stride:
+		bs, st, n, ext := p.blockSize, p.stride, p.perElem, p.extent
+		pos := int64(0)
+		base := p.off
+		sum := uint32(0)
+		for e := 0; e < count; e++ {
+			off := base
+			for b := int64(0); b < n; b++ {
+				s := packed[pos : pos+bs : pos+bs]
+				if p.wide {
+					copyWide(dst[off:off+bs:off+bs], s)
+				} else {
+					copy(dst[off:off+bs], s)
+				}
+				sum = crc32.Update(sum, castagnoli, s)
+				off += st
+				pos += bs
+			}
+			base += ext
+		}
+		return sum
+	default:
+		pos := int64(0)
+		base := int64(0)
+		sum := uint32(0)
+		for e := 0; e < count; e++ {
+			for _, tile := range p.tiles {
+				for _, r := range tile {
+					off := base + r.Offset
+					s := packed[pos : pos+r.Size : pos+r.Size]
+					copy(dst[off:off+r.Size], s)
+					sum = crc32.Update(sum, castagnoli, s)
+					pos += r.Size
+				}
+			}
+			base += p.extent
+		}
+		return sum
+	}
+}
+
+// Equal reports whether packed[:ElemSize*count] is exactly the stream Pack
+// would gather from src — the fused wire-stream verification, region by
+// region, with no scratch pack.
+func (p *Plan) Equal(count int, src, packed []byte) bool {
+	switch p.kind {
+	case Contig:
+		n := p.size * int64(count)
+		return bytes.Equal(packed[:n], src[p.off:p.off+n])
+	case Stride:
+		bs, st, n, ext := p.blockSize, p.stride, p.perElem, p.extent
+		pos := int64(0)
+		base := p.off
+		for e := 0; e < count; e++ {
+			off := base
+			for b := int64(0); b < n; b++ {
+				if !bytes.Equal(packed[pos:pos+bs], src[off:off+bs]) {
+					return false
+				}
+				off += st
+				pos += bs
+			}
+			base += ext
+		}
+		return true
+	default:
+		pos := int64(0)
+		base := int64(0)
+		for e := 0; e < count; e++ {
+			for _, tile := range p.tiles {
+				for _, r := range tile {
+					off := base + r.Offset
+					if !bytes.Equal(packed[pos:pos+r.Size], src[off:off+r.Size]) {
+						return false
+					}
+					pos += r.Size
+				}
+			}
+			base += p.extent
+		}
+		return true
+	}
+}

@@ -7,22 +7,28 @@
 //
 //   - Datatypes: the MPI derived-datatype constructors (Vector, Indexed,
 //     Struct, Subarray, ...), their typemap algebra and reference
-//     Pack/Unpack. Committing a datatype compiles its flat block program —
-//     the exchange format every layer below consumes.
+//     Pack/Unpack. Committing a datatype compiles its flat (or, above the
+//     region cap, tiled) block program — the exchange format every layer
+//     below consumes — and lowers it once into an execution plan
+//     (internal/plan): a contiguous memmove, a strided wide-move kernel,
+//     or the general offset list, selected at commit and reused by every
+//     pack, unpack, wire verification and transport checksum afterwards.
 //   - Sessions and handles: NewSession owns a Backend plus the offload
 //     build caches; Session.Commit returns a persistent TypeHandle whose
 //     strategy state (specialized handlers, checkpoint sets, offset lists)
 //     is built exactly once and amortized across every post — the paper's
 //     Fig. 18 reuse argument as an API, shaped the way an MPI library
-//     holds a committed type.
+//     holds a committed type. Session.Stats reports which plans and
+//     gather resolvers the session actually selected.
 //   - Endpoints and backends: Session.Endpoint is one NIC with both
 //     halves of the paper's symmetric device model. On the receive side,
 //     Endpoint.Post enqueues messages against committed handles and Flush
 //     executes the batch in a single simulated inbound residency pass; on
 //     the send side, Endpoint.Send enqueues outbound messages and
 //     FlushSends runs them through one shared outbound device, where
-//     sPIN gather handlers walk the same committed block program the
-//     receiver scatters with. Either way, real exchanges (alltoall, halo)
+//     sPIN gather handlers execute the lowered gather resolver (contig /
+//     vector arithmetic / offset-list binary search) of the same committed
+//     block program the receiver scatters with. Either way, real exchanges (alltoall, halo)
 //     contend for the device — HPUs, DMA/host-read paths, wire, NIC
 //     memory — the way real traffic does. The Backend interface decides
 //     what executes a flush or a coupled transfer: SimBackend replays
