@@ -46,7 +46,7 @@ BENCH_DATE := $(shell date +%F)
 # rate, the session daemon's full client-session cycle
 # (open/commit/post/flush/close over the in-memory pipe), and the lowered
 # execution-plan kernels (pack/unpack and gather resolve per plan kind).
-BENCH_CORE := BenchmarkSimulationRWCP1MiB|BenchmarkSimulationSpecialized1MiB|BenchmarkDDTPackUnpack|BenchmarkEventEngine|BenchmarkSimulationClusterSerial|BenchmarkSimulationSharded|BenchmarkSessionPostReuse|BenchmarkAlltoall8|BenchmarkSessionSendReuse|BenchmarkHaloExchange8|BenchmarkHaloExchange64|BenchmarkTransportThroughput|BenchmarkServerThroughput|BenchmarkPlanPack|BenchmarkPlanGather
+BENCH_CORE := BenchmarkSimulationRWCP1MiB|BenchmarkSimulationSpecialized1MiB|BenchmarkDDTPackUnpack|BenchmarkEventEngine|BenchmarkSimulationClusterSerial|BenchmarkSimulationSharded|BenchmarkSessionPostReuse|BenchmarkAlltoall8|BenchmarkSessionSendReuse|BenchmarkHaloExchange8|BenchmarkHaloExchange64|BenchmarkHaloExchange256|BenchmarkOffloadInstantiate|BenchmarkTransportThroughput|BenchmarkServerThroughput|BenchmarkPlanPack|BenchmarkPlanGather
 # Allowed fractional ns/op regression vs BENCH_BASELINE.json.
 TOLERANCE ?= 0.25
 # Allowed fractional B/op and allocs/op regression vs BENCH_BASELINE.json.

@@ -20,6 +20,9 @@ import (
 	"spinddt/internal/core"
 	"spinddt/internal/ddt"
 	"spinddt/internal/experiments"
+	"spinddt/internal/hostcpu"
+	"spinddt/internal/nic"
+	"spinddt/internal/plan"
 	"spinddt/internal/sim"
 )
 
@@ -280,15 +283,19 @@ func BenchmarkPlanPack(b *testing.B) {
 	}
 }
 
-// hostReader is the benchmark's in-memory DMA read path.
+// hostReader is the benchmark's in-memory DMA read path. The pointer
+// receiver keeps the plan.Reader conversion pointer-shaped (boxing a slice
+// header would allocate on every conversion).
 type hostReader []byte
 
-func (h hostReader) Read(hostOff int64, dst []byte) {
-	copy(dst, h[hostOff:hostOff+int64(len(dst))])
+func (h *hostReader) Read(hostOff int64, dst []byte) {
+	copy(dst, (*h)[hostOff:hostOff+int64(len(dst))])
 }
 
 // BenchmarkPlanGather measures the sender-side gather resolvers: the full
 // message resolved in MTU-sized packets per iteration, per resolver kind.
+// The reader is converted to the interface once, as the device handlers do
+// with their DMA engine — Resolve itself must be alloc-free per call.
 func BenchmarkPlanGather(b *testing.B) {
 	const mtu = 2048
 	for _, c := range planBenchTypes() {
@@ -297,9 +304,11 @@ func BenchmarkPlanGather(b *testing.B) {
 			g, _ := core.GatherPlan(typ, 1)
 			_, hi := typ.Footprint(1)
 			host := hostReader(make([]byte, hi))
+			var r plan.Reader = &host
 			msg := typ.Size()
 			payload := make([]byte, mtu)
 			b.SetBytes(msg)
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				for off := int64(0); off < msg; off += mtu {
@@ -307,7 +316,7 @@ func BenchmarkPlanGather(b *testing.B) {
 					if n > msg-off {
 						n = msg - off
 					}
-					if g.Resolve(off, n, payload[:n], host) <= 0 {
+					if g.Resolve(off, n, payload[:n], r) <= 0 {
 						b.Fatal("no blocks")
 					}
 				}
@@ -545,6 +554,56 @@ func BenchmarkHaloExchange64(b *testing.B) {
 			b.Fatal(err)
 		}
 		printTable("haloexchange64", t)
+	}
+}
+
+// BenchmarkHaloExchange256 is the quarter-paper-scale weak-scaling point:
+// a 256-rank ring (512 gathered sends, 512 verified receives) at 64 KiB
+// per neighbor message. At this rank count the instantiate-not-rebuild
+// layer is the difference between one offload build plus 511 pooled
+// instantiations and 512 full builds — the benchmark gates both the
+// wall-clock and the per-run footprint of that path.
+func BenchmarkHaloExchange256(b *testing.B) {
+	// Same untimed warm-up rationale as BenchmarkHaloExchange8.
+	if t, err := experiments.HaloExchange(256, 64<<10); err != nil {
+		b.Fatal(err)
+	} else {
+		printTable("haloexchange256", t)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.HaloExchange(256, 64<<10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printTable("haloexchange256", t)
+	}
+}
+
+// BenchmarkOffloadInstantiate prices one instantiate/release cycle
+// against a warm template: the steady-state cost a rank pays for its own
+// execution context once the (type, count, strategy) build is cached —
+// the quantity the exchange figures multiply by the rank count.
+func BenchmarkOffloadInstantiate(b *testing.B) {
+	typ := ddt.MustVector(512, 512, 1024, ddt.Char)
+	typ.Commit()
+	seed, err := core.BuildOffload(core.RWCP, core.BuildParams{
+		Type: typ, Count: 1,
+		NIC: nic.DefaultConfig(), Cost: core.DefaultCostModel(), Host: hostcpu.DefaultConfig(),
+		Epsilon: 0.2,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer seed.Release()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		off, err := seed.Instantiate()
+		if err != nil {
+			b.Fatal(err)
+		}
+		off.Release()
 	}
 }
 

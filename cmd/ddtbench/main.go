@@ -9,7 +9,7 @@
 //	ddtbench -engine sharded     # same outputs on the sharded engine
 //
 // Figure ids: 2, 8, 9c, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19, cluster,
-// ablations, alltoall, haloexchange, haloexchange64, haloscaling.
+// ablations, alltoall, haloexchange, haloexchange64, haloscaling, haloscaling512, incast.
 //
 // -engine selects the discrete-event executor: "serial" (default) or
 // "sharded" (domains with conservative-lookahead synchronization,
@@ -28,7 +28,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate (2|8|9b|9c|10|11|12|13|14|15|16|17|18|19|cluster|ablations|alltoall|haloexchange|haloexchange64|haloscaling|all) or the plans snapshot (plans, not in all)")
+	fig := flag.String("fig", "all", "figure to regenerate (2|8|9b|9c|10|11|12|13|14|15|16|17|18|19|cluster|ablations|alltoall|haloexchange|haloexchange64|haloscaling|haloscaling512|incast|all) or the plans snapshot (plans, not in all)")
 	msg := flag.Int64("msg", 4<<20, "message size in bytes for the microbenchmarks")
 	fftN := flag.Int("fft-n", 20480, "FFT2D matrix dimension for Fig. 19")
 	engine := flag.String("engine", "serial", "discrete-event executor: serial|sharded")
@@ -181,6 +181,19 @@ func run(fig string, msg int64, fftN int) error {
 	}
 	if all || fig == "haloscaling" {
 		if err := show(experiments.HaloWeakScaling(64, 256<<10)); err != nil {
+			return err
+		}
+	}
+	// Paper-scale weak scaling: the ring doubles to 512 ranks. The message
+	// drops to 64 KiB so the figure's live buffers stay in the hundreds of
+	// megabytes (1024 sources + 1024 destinations of ~2x message extent).
+	if all || fig == "haloscaling512" {
+		if err := show(experiments.HaloWeakScaling(512, 64<<10)); err != nil {
+			return err
+		}
+	}
+	if all || fig == "incast" {
+		if err := show(experiments.Incast(32, 256<<10)); err != nil {
 			return err
 		}
 	}

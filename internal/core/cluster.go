@@ -6,7 +6,6 @@ import (
 	"spinddt/internal/ddt"
 	"spinddt/internal/hostcpu"
 	"spinddt/internal/nic"
-	"spinddt/internal/portals"
 	"spinddt/internal/sim"
 )
 
@@ -70,8 +69,17 @@ type ClusterResult struct {
 	Windows uint64
 }
 
-// RunCluster builds and runs the sharded cluster experiment.
+// RunCluster builds and runs the sharded cluster experiment against the
+// shared default caches (one-shot wrapper over the package session).
 func RunCluster(req ClusterRequest) (ClusterResult, error) {
+	return oneShot.RunCluster(req)
+}
+
+// RunCluster builds and runs the sharded cluster experiment on the
+// session: the offload state is built once, every endpoint instantiates
+// from that template, and the instances go back to the pool when the run
+// completes.
+func (s *Session) RunCluster(req ClusterRequest) (ClusterResult, error) {
 	if req.Endpoints <= 0 {
 		return ClusterResult{}, fmt.Errorf("core: cluster needs endpoints, have %d", req.Endpoints)
 	}
@@ -98,14 +106,20 @@ func RunCluster(req ClusterRequest) (ClusterResult, error) {
 	packs := make([][]byte, req.Endpoints)
 	dsts := make([][]byte, req.Endpoints)
 	for i := range eps {
-		// Each endpoint gets its own offload build: the immutable parts
-		// (dataloops, checkpoint masters) come from the shared caches, the
-		// mutable handler state (e.g. RW-CP's live checkpoints) is fresh,
-		// so endpoint domains share no writable state.
-		off, err := BuildOffload(req.Strategy, BuildParams{
-			Type: typ, Count: req.Count,
-			NIC: req.NIC, Cost: req.Cost, Host: req.Host, Epsilon: req.Epsilon,
-		})
+		// Each endpoint gets its own offload instance: the immutable parts
+		// (dataloops, checkpoint masters) live in the shared template, the
+		// mutable handler state (e.g. RW-CP's live checkpoints) is
+		// per-instance, so endpoint domains share no writable state.
+		var off *Offload
+		var err error
+		if i == 0 {
+			off, err = s.caches.buildOffload(req.Strategy, BuildParams{
+				Type: typ, Count: req.Count,
+				NIC: req.NIC, Cost: req.Cost, Host: req.Host, Epsilon: req.Epsilon,
+			})
+		} else {
+			off, err = offs[0].Instantiate()
+		}
 		if err != nil {
 			return ClusterResult{}, err
 		}
@@ -114,7 +128,7 @@ func RunCluster(req ClusterRequest) (ClusterResult, error) {
 		dsts[i] = getZeroBuf(hi)
 		eps[i] = nic.ClusterEndpoint{
 			Cfg:    req.NIC,
-			PT:     singleMatchPT(&portals.ME{Match: 1, Ctx: off.Ctx}),
+			PT:     off.PT(),
 			Bits:   1,
 			Packed: packs[i],
 			Host:   dsts[i],
@@ -157,6 +171,11 @@ func RunCluster(req ClusterRequest) (ClusterResult, error) {
 			putBuf(dsts[i])
 		}
 		res.Results[i] = r
+	}
+	// Every endpoint's bookkeeping has been copied out: the instances can
+	// rejoin the pool. (Early error returns just drop them to the GC.)
+	for _, off := range offs {
+		off.Release()
 	}
 	return res, nil
 }

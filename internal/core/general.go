@@ -31,31 +31,42 @@ func (e *emitState) init() {
 // HPU, each vHPU sees every P-th packet and pays a (P-1)-packet catch-up
 // per handler; an out-of-order packet behind the segment position resets
 // the segment to its initial state.
+// Working segments are generation-stamped so a pooled instance rewinds in
+// O(1): rewind bumps gen, and the first packet a vHPU's segment sees under
+// the new generation resets it to the fresh-build state before processing.
 type hpuLocalState struct {
-	cost CostModel
-	loop *dataloop.Dataloop
-	segs map[int]*dataloop.Segment
+	cost   CostModel
+	loop   *dataloop.Dataloop
+	segs   []*dataloop.Segment
+	gen    uint64
+	segGen []uint64
 	emitState
 }
 
-func newHPULocalState(cost CostModel, loop *dataloop.Dataloop) *hpuLocalState {
-	h := &hpuLocalState{cost: cost, loop: loop, segs: make(map[int]*dataloop.Segment)}
+func newHPULocalState(cost CostModel, loop *dataloop.Dataloop, vhpus int) *hpuLocalState {
+	h := &hpuLocalState{
+		cost:   cost,
+		loop:   loop,
+		segs:   make([]*dataloop.Segment, vhpus),
+		gen:    1,
+		segGen: make([]uint64, vhpus),
+	}
 	h.init()
 	return h
 }
 
-// NICBytes: the dataloop description plus one segment per vHPU.
-func (h *hpuLocalState) NICBytes(vhpus int) int64 {
-	seg := dataloop.NewSegment(h.loop)
-	return h.loop.EncodedSize() + int64(vhpus)*seg.EncodedSize()
-}
+func (h *hpuLocalState) rewind() { h.gen++ }
 
 func (h *hpuLocalState) payload(a *spin.HandlerArgs) spin.Result {
 	seg := h.segs[a.VHPU]
 	if seg == nil {
 		seg = dataloop.NewSegment(h.loop)
 		h.segs[a.VHPU] = seg
+	} else if h.segGen[a.VHPU] != h.gen {
+		// Stale from a previous message: behave like a fresh segment.
+		seg.Reset()
 	}
+	h.segGen[a.VHPU] = h.gen
 	h.cur = a
 	st, err := seg.Process(a.StreamOff, a.StreamOff+int64(len(a.Payload)), h.emit)
 	if err != nil {
@@ -89,6 +100,10 @@ func newROCPState(cost CostModel, ckpts *dataloop.CheckpointSet) *rocpState {
 	return r
 }
 
+// rewind is a no-op: the scratch segment is overwritten from a master
+// before every packet, so RO-CP state never leaks across messages.
+func (r *rocpState) rewind() {}
+
 func (r *rocpState) payload(a *spin.HandlerArgs) spin.Result {
 	i := r.ckpts.Index(a.StreamOff)
 	w := r.scratch
@@ -112,28 +127,44 @@ func (r *rocpState) payload(a *spin.HandlerArgs) spin.Result {
 // checkpoint state with no copy and no catch-up. A master copy of every
 // checkpoint allows reverting when an out-of-order packet arrives behind
 // the progressed state.
+// The working set is cloned from the masters once, through the segment
+// arena, and generation-stamped: rewind bumps gen, and the first packet of
+// a checkpoint's sequence under the new generation re-takes the master
+// state in place — exactly the no-cost ownership step a fresh build's
+// first packet performs.
 type rwcpState struct {
 	cost    CostModel
 	ckpts   *dataloop.CheckpointSet
-	working map[int]*dataloop.Segment
+	working []*dataloop.Segment
+	gen     uint64
+	wGen    []uint64
 	emitState
 }
 
 func newRWCPState(cost CostModel, ckpts *dataloop.CheckpointSet) *rwcpState {
-	r := &rwcpState{cost: cost, ckpts: ckpts, working: make(map[int]*dataloop.Segment)}
+	r := &rwcpState{
+		cost:    cost,
+		ckpts:   ckpts,
+		working: ckpts.CloneMasters(),
+		gen:     1,
+		wGen:    make([]uint64, ckpts.Count()),
+	}
 	r.init()
 	return r
 }
+
+func (r *rwcpState) rewind() { r.gen++ }
 
 func (r *rwcpState) payload(a *spin.HandlerArgs) spin.Result {
 	i := r.ckpts.Index(a.StreamOff)
 	w := r.working[i]
 	init := r.cost.GenInit
-	if w == nil {
-		// First packet of the sequence: the vHPU takes ownership of the
-		// checkpoint (no copy; the master stays pristine for reverts).
-		w = r.ckpts.Working(i)
-		r.working[i] = w
+	if r.wGen[i] != r.gen {
+		// First packet of the sequence this message: the vHPU takes
+		// ownership of the checkpoint (no modeled copy cost; the master
+		// stays pristine for reverts).
+		w.CopyFrom(r.ckpts.Master(i))
+		r.wGen[i] = r.gen
 	}
 	if w.Pos() > a.StreamOff {
 		// Out-of-order within the sequence: revert to the master.

@@ -1,0 +1,171 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"spinddt/internal/dataloop"
+	"spinddt/internal/portals"
+	"spinddt/internal/spin"
+)
+
+// This file is the instantiation layer of the strategy state. The build
+// caches (strategy.go) produce one immutable offloadTemplate per
+// (strategy, BuildParams) key; every execution-ready *Offload handed to a
+// caller is an INSTANCE minted from such a template. Instances carry the
+// only mutable pieces of an offload — the general strategies' working
+// state (progressing checkpoints, per-vHPU segments, the RO-CP scratch)
+// plus an optional single-entry portal table — and are pooled on the
+// template: Release rewinds an instance in O(1) and hands it back, so a
+// cluster posting the same committed type on hundreds of ranks pays the
+// build once and the mint cost only until the pool is primed.
+
+// offloadPoolCap bounds the instances one template retains. It is sized
+// for the paper-scale exchanges (512 ranks x 2 slots); past the cap a
+// released instance is simply dropped to the GC.
+const offloadPoolCap = 2048
+
+// offloadState is the rewindable per-instance handler state of the general
+// strategies. rewind must restore the state a fresh build would start a
+// message with, in O(1) — the generation-stamp idiom in general.go.
+type offloadState interface {
+	rewind()
+}
+
+// offloadTemplate is the immutable build product of one (strategy,
+// BuildParams) key: every artifact that is read-only after construction —
+// the specialized handler, the compiled dataloop, the checkpoint set with
+// its interval choice — plus the bookkeeping every instance reports
+// (Prep, policy, NIC memory). Templates never execute; they mint.
+type offloadTemplate struct {
+	strategy    Strategy
+	cost        CostModel
+	prep        HostPrep
+	interval    int64
+	checkpoints int
+	choice      IntervalChoice
+	specKind    string
+	nicMemBytes int64
+	policy      spin.Policy
+	// completion is stateless and shared by every instance context.
+	completion spin.Handler
+
+	// Per-strategy immutable artifacts (exactly one set is non-zero).
+	specHandler spin.Handler            // Specialized
+	loop        *dataloop.Dataloop      // HPULocal
+	vhpus       int                     // HPULocal
+	ckpts       *dataloop.CheckpointSet // ROCP, RWCP
+
+	mu   sync.Mutex
+	free []*Offload
+}
+
+// instantiate pops a pooled instance or mints a cold one. Instances are
+// handed out exclusively: until Release, no other caller can observe one.
+func (t *offloadTemplate) instantiate() *Offload {
+	t.mu.Lock()
+	if n := len(t.free); n > 0 {
+		off := t.free[n-1]
+		t.free[n-1] = nil
+		t.free = t.free[:n-1]
+		t.mu.Unlock()
+		off.pooled = false
+		return off
+	}
+	t.mu.Unlock()
+	return t.mint()
+}
+
+// mint builds one cold instance: the per-message mutable handler state and
+// its own execution context. Every instance owns a distinct *ExecutionContext
+// so the devices' NIC-memory residency accounting counts concurrent
+// messages exactly as it counted per-message builds.
+func (t *offloadTemplate) mint() *Offload {
+	off := &Offload{
+		Strategy:    t.strategy,
+		Prep:        t.prep,
+		Interval:    t.interval,
+		Checkpoints: t.checkpoints,
+		Choice:      t.choice,
+		SpecKind:    t.specKind,
+		tmpl:        t,
+	}
+	ctx := &spin.ExecutionContext{
+		Name:        t.strategy.String(),
+		Completion:  t.completion,
+		Policy:      t.policy,
+		NICMemBytes: t.nicMemBytes,
+	}
+	switch t.strategy {
+	case Specialized:
+		ctx.Payload = t.specHandler
+	case HPULocal:
+		st := newHPULocalState(t.cost, t.loop, t.vhpus)
+		ctx.Payload = st.payload
+		off.state = st
+	case ROCP:
+		st := newROCPState(t.cost, t.ckpts)
+		ctx.Payload = st.payload
+		off.state = st
+	case RWCP:
+		st := newRWCPState(t.cost, t.ckpts)
+		ctx.Payload = st.payload
+		off.state = st
+	}
+	off.Ctx = ctx
+	return off
+}
+
+// Instantiate returns an execution-ready clone of this offload's template:
+// a pooled instance with its own execution context and rewound handler
+// state, behaviorally identical to a fresh BuildOffload of the same
+// parameters (tick for tick and byte for byte). Callers that are done with
+// an instance should Release it; dropping it to the GC is also safe.
+func (o *Offload) Instantiate() (*Offload, error) {
+	if o.tmpl == nil {
+		return nil, fmt.Errorf("core: %v offload carries no template (not built by BuildOffload)", o.Strategy)
+	}
+	return o.tmpl.instantiate(), nil
+}
+
+// Release rewinds the instance and returns it to its template's pool: the
+// general-strategy working state is invalidated by a generation bump (the
+// next message starts from the checkpoint masters / fresh segments, exactly
+// as a cold build would) and the instance portal table's event queue is
+// cleared in place. The caller must not touch the offload — including its
+// Ctx and PT — after Release. Releasing an offload that was not minted
+// from a template is a no-op; releasing one twice panics.
+func (o *Offload) Release() {
+	t := o.tmpl
+	if t == nil {
+		return
+	}
+	if o.state != nil {
+		o.state.rewind()
+	}
+	if o.pt != nil {
+		o.pt.ResetEvents()
+	}
+	t.mu.Lock()
+	if o.pooled {
+		t.mu.Unlock()
+		panic("core: Offload released twice")
+	}
+	if len(t.free) < offloadPoolCap {
+		o.pooled = true
+		t.free = append(t.free, o)
+	}
+	t.mu.Unlock()
+}
+
+// PT returns the instance's single-entry portal table — one persistent
+// matching entry binding match bits 1 to the instance context — wiring it
+// lazily on first use and keeping it across Release/instantiate cycles.
+// It is the portal state an exchange endpoint's receive slot plugs in.
+func (o *Offload) PT() *portals.PT {
+	if o.pt == nil {
+		o.me = &portals.ME{Match: 1, Ctx: o.Ctx}
+		o.pt = singleMatchPT(o.me)
+	}
+	return o.pt
+}

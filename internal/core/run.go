@@ -199,9 +199,8 @@ func (s *Session) Run(req Request) (Result, error) {
 		if err != nil {
 			return Result{}, err
 		}
-		pt := singleMatchPT(&portals.ME{Match: 1, Ctx: off.Ctx})
 		nicRes, err := s.flushOne(env, BackendMessage{
-			Type: typ, Count: req.Count, PT: pt, Bits: 1,
+			Type: typ, Count: req.Count, PT: off.PT(), Bits: 1,
 			Packed: packed, Dst: dst, Order: req.Order,
 		})
 		if err != nil {
@@ -216,6 +215,7 @@ func (s *Session) Run(req Request) (Result, error) {
 		res.Choice = off.Choice
 		res.SpecKind = off.SpecKind
 		res.TrafficBytes = msgSize // zero-copy: only the data lands in memory
+		off.Release()
 	}
 
 	if req.Verify {

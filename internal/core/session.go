@@ -32,7 +32,24 @@ type SessionConfig struct {
 	Engine EngineMode
 	// Backend executes posted messages; nil selects SimBackend.
 	Backend Backend
+	// Caches, when non-nil, is a cache set shared with other sessions:
+	// every session pointing at the same SharedCaches instantiates from the
+	// same offload templates and pools (the server wires its per-peer
+	// sessions this way). Nil gives the session a private set.
+	Caches *SharedCaches
 }
+
+// SharedCaches is an offload build-cache set that outlives any one session.
+// Hand the same SharedCaches to several SessionConfigs and their sessions
+// share compiled dataloops, checkpoint sets, specialized handlers, offload
+// templates and instance pools — a type committed by one peer's session is
+// instantiate-only for every other peer. Safe for concurrent use.
+type SharedCaches struct {
+	caches offloadCaches
+}
+
+// NewSharedCaches returns an empty shared cache set.
+func NewSharedCaches() *SharedCaches { return &SharedCaches{} }
 
 // NewSessionConfig returns the paper's default session configuration.
 func NewSessionConfig() SessionConfig {
@@ -81,10 +98,14 @@ func NewSession(cfg SessionConfig) *Session {
 	if b == nil {
 		b = SimBackend{}
 	}
+	caches := &offloadCaches{}
+	if cfg.Caches != nil {
+		caches = &cfg.Caches.caches
+	}
 	return &Session{
 		cfg:     cfg,
 		backend: b,
-		caches:  &offloadCaches{},
+		caches:  caches,
 		handles: make(map[handleID]*TypeHandle),
 	}
 }
@@ -321,14 +342,14 @@ func (h *TypeHandle) build(count int) (*handleBuild, error) {
 
 // instantiate returns the execution context for one posted message. The
 // specialized handlers are stateless after construction, so the template
-// context is shared by every post; the general strategies carry mutable
+// instance is shared by every post; the general strategies carry mutable
 // per-message working state (progressing checkpoints, per-vHPU segments)
-// and mint a fresh context from the cached immutable artifacts.
+// and draw a pooled instance from the build's template.
 func (h *TypeHandle) instantiate(b *handleBuild) (*Offload, error) {
 	if h.strategy == Specialized {
 		return b.template, nil
 	}
-	return h.sess.caches.buildOffload(h.strategy, b.params)
+	return b.template.Instantiate()
 }
 
 // Instantiate returns an execution-ready Offload for one message of count
@@ -565,6 +586,7 @@ func (ep *Endpoint) flushLocked() error {
 				} else {
 					op.res, op.err = ep.finishOp(op, results[i])
 				}
+				op.releaseOff()
 				if op.err != nil && first == nil {
 					first = op.err
 				}
@@ -576,6 +598,7 @@ func (ep *Endpoint) flushLocked() error {
 			if op.pooledDst {
 				putBuf(op.dst) // possibly partially scattered: dirty pool
 			}
+			op.releaseOff()
 		}
 		return err
 	}
@@ -585,11 +608,21 @@ func (ep *Endpoint) flushLocked() error {
 	for i, op := range ops {
 		op.done = true
 		op.res, op.err = ep.finishOp(op, results[i])
+		op.releaseOff()
 		if op.err != nil && first == nil {
 			first = op.err
 		}
 	}
 	return first
+}
+
+// releaseOff returns the op's pooled instance once the op is done. The
+// shared Specialized template instance is left alone — every post of the
+// handle plugs it in, so it never enters the pool.
+func (op *postOp) releaseOff() {
+	if op.off != op.build.template {
+		op.off.Release()
+	}
 }
 
 // finishOp assembles one post's Result from its device-level result,

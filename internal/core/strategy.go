@@ -9,6 +9,7 @@ import (
 	"spinddt/internal/ddt"
 	"spinddt/internal/hostcpu"
 	"spinddt/internal/nic"
+	"spinddt/internal/portals"
 	"spinddt/internal/sim"
 	"spinddt/internal/spin"
 )
@@ -75,7 +76,11 @@ type HostPrep struct {
 // Total returns the full preparation latency.
 func (hp HostPrep) Total() sim.Time { return hp.CPUTime + hp.CopyTime }
 
-// Offload is a built execution context plus its bookkeeping.
+// Offload is one execution-ready instance of a built strategy: an
+// execution context plus the build's bookkeeping. Instances are minted
+// from an immutable per-(strategy, BuildParams) template (instantiate.go):
+// Instantiate clones one more from the same template, Release returns this
+// one to the template's pool.
 type Offload struct {
 	Strategy Strategy
 	Ctx      *spin.ExecutionContext
@@ -87,6 +92,15 @@ type Offload struct {
 	// SpecKind labels the specialized variant ("vector", "list",
 	// "contiguous").
 	SpecKind string
+
+	// tmpl is the template this instance was minted from; state the
+	// instance's rewindable handler state (nil for Specialized); pt/me the
+	// lazily wired single-entry portal table (see Offload.PT).
+	tmpl   *offloadTemplate
+	state  offloadState
+	pt     *portals.PT
+	me     *portals.ME
+	pooled bool
 }
 
 // BuildParams carries everything needed to construct an offload.
@@ -109,17 +123,36 @@ type BuildParams struct {
 	DisableNormalization bool
 }
 
-// The offload build caches amortize the immutable, deterministic parts of
-// BuildOffload across simulations of the same committed datatype — the
-// paper's Fig. 18 reuse story as an implementation reality: a sweep
-// re-posts the same type for every strategy, size and repetition, and
-// recompiling the dataloop, rebuilding the checkpoint set or re-walking
-// the offset list each time dominated the host-side cost. Cached values
-// are read-only (dataloops are immutable, checkpoint masters are never
-// mutated, specialized handler state is never written after construction),
-// so concurrent sweep workers share them safely. The reported Prep costs
+// The offload build caches implement the template/instance contract
+// (instantiate.go) behind BuildOffload:
+//
+//   - IMMUTABLE, cached per key: compiled dataloops, checkpoint sets with
+//     their interval choice, specialized handlers and gather plans, and
+//     the offloadTemplate assembling them per full (strategy, BuildParams)
+//     key. Templates and their artifacts are read-only after construction
+//     — dataloops are never written, checkpoint masters stay pristine for
+//     reverts, specialized/gather handler state is fixed at build — so
+//     concurrent sweep workers and cluster ranks share them safely.
+//   - MUTABLE, pooled per template: the *Offload instances BuildOffload
+//     returns. Each owns its execution context, its general-strategy
+//     working state (progressing checkpoints, per-vHPU segments, the
+//     RO-CP scratch) and an optional single-entry portal table, and is
+//     handed out exclusively until Release.
+//   - REWOUND by Release: the working state is invalidated by a
+//     generation bump (the next message starts from the checkpoint
+//     masters / position-zero segments, exactly as a cold build would)
+//     and the portal table's event queue is cleared in place. Release is
+//     O(1); nothing is freed, so a steady exchange re-posts with zero
+//     per-(rank, slot) build or clone work.
+//
+// The paper's Fig. 18 reuse story is the same argument from the host's
+// side: a sweep re-posts one committed type for every strategy, size and
+// repetition, and recompiling the dataloop or recloning the checkpoint
+// set each time dominated the host-side cost. The reported Prep costs
 // still model a cold build: caching changes wall-clock, never results.
-// Entries are bounded; past the cap, builds simply run uncached.
+// Entries are bounded; past the cap, builds simply run uncached (each
+// call then mints from a private template, which is correct, just not
+// pooled).
 const offloadCacheCap = 512
 
 type loopCacheKey struct {
@@ -155,13 +188,23 @@ type specCacheEntry struct {
 	kind     string
 }
 
+// tmplCacheKey identifies one offload template: the strategy plus every
+// build input (the NIC trace is normalized away — tracing never affects a
+// build).
+type tmplCacheKey struct {
+	strategy Strategy
+	params   BuildParams
+}
+
 // offloadCaches is one set of the build caches above. Every Session owns
-// its own set (NewSession), so sessions are isolated; the package-level
-// one-shot wrappers (Run, RunTransfer, RunCluster via BuildOffload) share
-// defaultCaches.
+// its own set by default (NewSession) so sessions are isolated; sessions
+// created with SessionConfig.Caches share one (the server's per-peer
+// sessions instantiate from server-wide templates that way), and the
+// package-level one-shot wrappers (Run, RunTransfer, RunCluster via
+// BuildOffload) share defaultCaches.
 type offloadCaches struct {
-	loop, ckpt, spec, txspec sync.Map
-	size                     atomic.Int64
+	loop, ckpt, spec, txspec, tmpl sync.Map
+	size                           atomic.Int64
 	// counters tallies plan selections for Session.Stats.
 	counters PlanCounters
 }
@@ -193,29 +236,62 @@ func (c *offloadCaches) compileLoop(typ *ddt.Type, count int) (*dataloop.Dataloo
 	return loop, nil
 }
 
-// BuildOffload constructs the execution context for an offloaded strategy
-// using the shared default caches. This is the work an MPI implementation
-// performs at type-commit and receive-post time (Sec. 3.2.6).
+// BuildOffload returns an execution-ready offload instance for the
+// strategy, minted from the shared default caches' template. This is the
+// work an MPI implementation performs at type-commit and receive-post time
+// (Sec. 3.2.6); repeated calls with the same parameters reuse the cached
+// template and, once instances are Released, the template's pool.
 func BuildOffload(s Strategy, p BuildParams) (*Offload, error) {
 	return defaultCaches.buildOffload(s, p)
 }
 
-// buildOffload is BuildOffload against one session's cache set.
+// buildOffload is BuildOffload against one session's cache set: template
+// lookup plus one instantiation.
 func (c *offloadCaches) buildOffload(s Strategy, p BuildParams) (*Offload, error) {
+	t, err := c.template(s, p)
+	if err != nil {
+		return nil, err
+	}
+	return t.instantiate(), nil
+}
+
+// template returns the immutable template of one (strategy, BuildParams)
+// key, building and caching it on first use. Concurrent first builds may
+// race; LoadOrStore keeps exactly one winner so every caller pools on the
+// same template.
+func (c *offloadCaches) template(s Strategy, p BuildParams) (*offloadTemplate, error) {
 	if p.Count <= 0 {
 		return nil, fmt.Errorf("core: count %d", p.Count)
 	}
-	msgSize := p.Type.Size() * int64(p.Count)
-	if msgSize <= 0 {
+	if p.Type.Size()*int64(p.Count) <= 0 {
 		return nil, fmt.Errorf("core: empty datatype")
 	}
+	k := tmplCacheKey{strategy: s, params: p}
+	k.params.NIC.Trace = nil // tracing does not affect the build
+	if v, ok := c.tmpl.Load(k); ok {
+		return v.(*offloadTemplate), nil
+	}
+	t, err := c.buildTemplate(s, p)
+	if err != nil {
+		return nil, err
+	}
+	if c.size.Load() < offloadCacheCap {
+		if v, loaded := c.tmpl.LoadOrStore(k, t); loaded {
+			return v.(*offloadTemplate), nil
+		}
+		c.size.Add(1)
+	}
+	return t, nil
+}
 
-	off := &Offload{Strategy: s}
-	ctx := &spin.ExecutionContext{Name: s.String()}
-	ctx.Completion = func(*spin.HandlerArgs) spin.Result {
+// buildTemplate assembles one template from the artifact caches: the cold
+// path of BuildOffload.
+func (c *offloadCaches) buildTemplate(s Strategy, p BuildParams) (*offloadTemplate, error) {
+	msgSize := p.Type.Size() * int64(p.Count)
+	t := &offloadTemplate{strategy: s, cost: p.Cost}
+	t.completion = func(*spin.HandlerArgs) spin.Result {
 		return spin.Result{Runtime: p.Cost.CompletionTime}
 	}
-	off.Ctx = ctx
 
 	switch s {
 	case Specialized:
@@ -231,34 +307,36 @@ func (c *offloadCaches) buildOffload(s Strategy, p BuildParams) (*Offload, error
 			se = specCacheEntry{handler: handler, nicBytes: nicBytes, kind: kind}
 			c.store(&c.spec, sk, se)
 		}
-		ctx.Payload = se.handler
-		ctx.NICMemBytes = se.nicBytes
-		off.SpecKind = se.kind
+		t.specHandler = se.handler
+		t.nicMemBytes = se.nicBytes
+		t.specKind = se.kind
 		walk := int64(0)
 		if se.kind == "list" {
 			walk = p.Type.TotalBlocks(p.Count)
 		}
-		off.Prep = HostPrep{
+		t.prep = HostPrep{
 			CPUTime:   hostcpu.WalkCost(p.Host, walk),
 			CopyBytes: se.nicBytes,
 			CopyTime:  p.NIC.PCIe.ByteTime(se.nicBytes) + p.NIC.PCIe.ReadLatency,
 		}
-		return off, nil
+		return t, nil
 
 	case HPULocal:
 		loop, err := c.compileLoop(p.Type, p.Count)
 		if err != nil {
 			return nil, err
 		}
-		st := newHPULocalState(p.Cost, loop)
-		ctx.Payload = st.payload
-		ctx.Policy = spin.Policy{DeltaP: 1, VHPUs: p.NIC.HPUs}
-		ctx.NICMemBytes = st.NICBytes(p.NIC.HPUs)
-		off.Prep = HostPrep{
+		t.loop = loop
+		t.vhpus = p.NIC.HPUs
+		t.policy = spin.Policy{DeltaP: 1, VHPUs: p.NIC.HPUs}
+		// NIC memory: the dataloop description plus one segment per vHPU.
+		segSize := dataloop.NewSegment(loop).EncodedSize()
+		t.nicMemBytes = loop.EncodedSize() + int64(p.NIC.HPUs)*segSize
+		t.prep = HostPrep{
 			CopyBytes: loop.EncodedSize(),
 			CopyTime:  p.NIC.PCIe.ByteTime(loop.EncodedSize()) + p.NIC.PCIe.ReadLatency,
 		}
-		return off, nil
+		return t, nil
 
 	case ROCP, RWCP:
 		loop, err := c.compileLoop(p.Type, p.Count)
@@ -305,26 +383,22 @@ func (c *offloadCaches) buildOffload(s Strategy, p BuildParams) (*Offload, error
 			}
 			c.store(&c.ckpt, ck, ckptCacheEntry{choice: choice, ckpts: ckpts})
 		}
-		off.Interval = choice.IntervalBytes
-		off.Checkpoints = ckpts.Count()
-		off.Choice = choice
-		ctx.NICMemBytes = ckpts.NICBytes() + loop.EncodedSize()
-		off.Prep = HostPrep{
+		t.ckpts = ckpts
+		t.interval = choice.IntervalBytes
+		t.checkpoints = ckpts.Count()
+		t.choice = choice
+		t.nicMemBytes = ckpts.NICBytes() + loop.EncodedSize()
+		t.prep = HostPrep{
 			CPUTime: hostcpu.WalkCost(p.Host, ckpts.Build.BlocksWalked) +
 				hostcpu.CopyCost(p.Host, ckpts.Build.BytesCloned),
-			CopyBytes: ctx.NICMemBytes,
-			CopyTime:  p.NIC.PCIe.ByteTime(ctx.NICMemBytes) + p.NIC.PCIe.ReadLatency,
+			CopyBytes: t.nicMemBytes,
+			CopyTime:  p.NIC.PCIe.ByteTime(t.nicMemBytes) + p.NIC.PCIe.ReadLatency,
 		}
-		if s == ROCP {
-			st := newROCPState(p.Cost, ckpts)
-			ctx.Payload = st.payload
-			// Default policy: RO-CP handlers are independent.
-			return off, nil
+		if s == RWCP {
+			t.policy = spin.Policy{DeltaP: choice.DeltaP}
 		}
-		st := newRWCPState(p.Cost, ckpts)
-		ctx.Payload = st.payload
-		ctx.Policy = spin.Policy{DeltaP: choice.DeltaP}
-		return off, nil
+		// Default policy otherwise: RO-CP handlers are independent.
+		return t, nil
 
 	default:
 		return nil, fmt.Errorf("core: %v is not an offloaded strategy", s)

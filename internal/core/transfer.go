@@ -186,9 +186,8 @@ func (s *Session) RunTransfer(req TransferRequest) (TransferResult, error) {
 		if err != nil {
 			return TransferResult{}, err
 		}
-		pt := singleMatchPT(&portals.ME{Match: 1, Ctx: off.Ctx})
 		sendRes, recvRes, err := s.transferOne(env, send, BackendMessage{
-			Type: recvTyp, Count: req.Count, PT: pt, Bits: 1,
+			Type: recvTyp, Count: req.Count, PT: off.PT(), Bits: 1,
 			Packed: packed, Dst: dst,
 		})
 		if err != nil {
@@ -197,6 +196,7 @@ func (s *Session) RunTransfer(req TransferRequest) (TransferResult, error) {
 		res.Sender = sendRes
 		res.Receiver = recvRes
 		res.Total = recvRes.Done
+		off.Release()
 	}
 
 	if req.Verify {

@@ -92,5 +92,22 @@ func (cs *CheckpointSet) Master(i int) *Segment { return cs.masters[i] }
 // made by every handler before processing.
 func (cs *CheckpointSet) Working(i int) *Segment { return cs.masters[i].Clone() }
 
+// CloneMasters bulk-clones every master snapshot through one segment arena:
+// the persistent working set an execution context starts from. The whole
+// set costs two slab allocations instead of two heap objects per
+// checkpoint, and each returned segment behaves exactly like
+// Master(i).Clone().
+func (cs *CheckpointSet) CloneMasters() []*Segment {
+	out := make([]*Segment, len(cs.masters))
+	if len(cs.masters) == 0 {
+		return out
+	}
+	arena := newSegmentArena(len(cs.masters), cs.masters[0].Loop().Depth())
+	for i, m := range cs.masters {
+		out[i] = arena.clone(m)
+	}
+	return out
+}
+
 // Pos returns the stream position of checkpoint i.
 func (cs *CheckpointSet) Pos(i int) int64 { return cs.masters[i].Pos() }

@@ -433,6 +433,16 @@ type rxSim struct {
 	// the completion to the host domain.
 	notify func(done sim.Time)
 
+	// Exchange wiring, set by RunExchange in place of a notify closure so
+	// a pooled sim carries no per-run allocation: when xHost is non-nil
+	// the completion is additionally mailed from xShard to the host
+	// domain xHost after xNotifyLat, waking slot xIdx of xCtx.
+	xShard     *sim.Shard
+	xHost      *sim.Shard
+	xCtx       sim.Ctx
+	xIdx       int64
+	xNotifyLat sim.Time
+
 	// deferFirstByte marks a coupled receive whose arrival times are filled
 	// in by a sender-side simulation as packets cross the fabric: FirstByte
 	// is then derived from the header packet's actual arrival instead of
@@ -736,6 +746,9 @@ func (s *rxSim) rdmaDeliver(p fabric.Packet) {
 		if s.notify != nil {
 			s.notify(done)
 		}
+		if s.xHost != nil {
+			s.xShard.PostRemote(s.xHost, done+s.xNotifyLat, kindClusterNotify, s.xCtx, s.xIdx, 0)
+		}
 	}
 }
 
@@ -862,6 +875,9 @@ func (s *rxSim) finishCompletion(at sim.Time) {
 	s.dev.eng.Post(at, kindRxPortalsEvent, s.self, int64(portals.EventHandlerCompletion), 0)
 	if s.notify != nil {
 		s.notify(at)
+	}
+	if s.xHost != nil {
+		s.xShard.PostRemote(s.xHost, at+s.xNotifyLat, kindClusterNotify, s.xCtx, s.xIdx, 0)
 	}
 }
 

@@ -3,6 +3,7 @@ package nic
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"spinddt/internal/fabric"
 	"spinddt/internal/sim"
@@ -81,6 +82,84 @@ type ExchangeResult struct {
 	Windows  uint64
 }
 
+// exchangeScratch is the per-run bookkeeping of RunExchange — coupling
+// tables, shard/device/simulation rosters and the arrival-schedule list —
+// pooled across calls so a steady stream of exchanges reuses one warm set
+// of slices instead of reallocating ~2 dozen of them per run. Only state
+// that never escapes into the ExchangeResult lives here; the result
+// slices and the host-notification times are minted fresh every call.
+type exchangeScratch struct {
+	coupled      [][]bool
+	coupledSrc   [][]bool
+	coupledBytes [][]int64
+	shards       []*sim.Shard
+	hostStore    []clusterHost
+	rxDevs       []*rxDevice
+	txDevs       []*txDevice
+	rxSims       [][]*rxSim
+	txSims       [][]*txSim
+	schedules    [][]fabric.Arrival
+}
+
+var exchangeScratchPool = sync.Pool{New: func() any { return new(exchangeScratch) }}
+
+// scratchRows resizes a pooled row slice to n zeroed entries, reusing its
+// capacity when it suffices.
+func scratchRows[T any](s []T, n int) []T {
+	if cap(s) >= n {
+		s = s[:n]
+		clear(s)
+		return s
+	}
+	return make([]T, n)
+}
+
+// scratchTable resizes an outer row list WITHOUT clearing, so surviving
+// rows keep their capacity across runs; the caller re-sizes every row
+// (scratchRows) before reading it.
+func scratchTable[T any](s [][]T, n int) [][]T {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	t := make([][]T, n)
+	copy(t, s)
+	return t
+}
+
+func acquireExchangeScratch(n int) *exchangeScratch {
+	sc := exchangeScratchPool.Get().(*exchangeScratch)
+	sc.coupled = scratchTable(sc.coupled, n)
+	sc.coupledSrc = scratchTable(sc.coupledSrc, n)
+	sc.coupledBytes = scratchTable(sc.coupledBytes, n)
+	sc.shards = scratchRows(sc.shards, n)
+	sc.hostStore = scratchRows(sc.hostStore, n)
+	sc.rxDevs = scratchRows(sc.rxDevs, n)
+	sc.txDevs = scratchRows(sc.txDevs, n)
+	sc.rxSims = scratchTable(sc.rxSims, n)
+	sc.txSims = scratchTable(sc.txSims, n)
+	sc.schedules = sc.schedules[:0]
+	return sc
+}
+
+// release returns the pooled arrival schedules and drops every reference
+// the scratch still holds (devices, sims, shards are pooled elsewhere and
+// must not be pinned between runs), then parks the scratch.
+func (sc *exchangeScratch) release() {
+	releaseSchedules(sc.schedules)
+	sc.schedules = sc.schedules[:0]
+	clear(sc.shards)
+	clear(sc.hostStore)
+	clear(sc.rxDevs)
+	clear(sc.txDevs)
+	for i := range sc.rxSims {
+		clear(sc.rxSims[i])
+	}
+	for i := range sc.txSims {
+		clear(sc.txSims[i])
+	}
+	exchangeScratchPool.Put(sc)
+}
+
 // RunExchange simulates the whole exchange in one sharded simulation
 // executed by up to workers goroutines (workers <= 1 runs the serial
 // executor; both fire identical event sequences).
@@ -102,16 +181,17 @@ func RunExchange(eps []ExchangeEndpoint, workers int) (ExchangeResult, error) {
 		}
 	}
 
+	sc := acquireExchangeScratch(len(eps))
+	defer sc.release()
+
 	// coupled[e][m] marks receive m of endpoint e as fabric-paced;
 	// coupledBytes its sender's message size and coupledSrc whether the
 	// sender streams functional wire chunks.
-	coupled := make([][]bool, len(eps))
-	coupledSrc := make([][]bool, len(eps))
-	coupledBytes := make([][]int64, len(eps))
+	coupled, coupledSrc, coupledBytes := sc.coupled, sc.coupledSrc, sc.coupledBytes
 	for e := range eps {
-		coupled[e] = make([]bool, len(eps[e].Recvs))
-		coupledSrc[e] = make([]bool, len(eps[e].Recvs))
-		coupledBytes[e] = make([]int64, len(eps[e].Recvs))
+		coupled[e] = scratchRows(coupled[e], len(eps[e].Recvs))
+		coupledSrc[e] = scratchRows(coupledSrc[e], len(eps[e].Recvs))
+		coupledBytes[e] = scratchRows(coupledBytes[e], len(eps[e].Recvs))
 	}
 	for e := range eps {
 		for si := range eps[e].Sends {
@@ -144,7 +224,7 @@ func RunExchange(eps []ExchangeEndpoint, workers int) (ExchangeResult, error) {
 	// the final notification). A domain's lookahead is the tightest bound
 	// on its outgoing influence: the notify round trip toward the host,
 	// and — when it sends — its wire latency toward peer endpoints.
-	shards := make([]*sim.Shard, len(eps))
+	shards := sc.shards
 	for e := range eps {
 		notifyLat := eps[e].Cfg.PCIe.NotifyLatency()
 		if notifyLat <= 0 {
@@ -161,14 +241,9 @@ func RunExchange(eps []ExchangeEndpoint, workers int) (ExchangeResult, error) {
 		shards[e] = pe.NewShard(fmt.Sprintf("nic%d", e), la)
 	}
 	hostShard := pe.NewShard("host", sim.InfiniteLookahead)
-	hosts := make([]*clusterHost, len(eps))
 
-	rxDevs := make([]*rxDevice, len(eps))
-	txDevs := make([]*txDevice, len(eps))
-	rxSims := make([][]*rxSim, len(eps))
-	txSims := make([][]*txSim, len(eps))
-	var schedules [][]fabric.Arrival
-	defer func() { releaseSchedules(schedules) }()
+	rxDevs, txDevs := sc.rxDevs, sc.txDevs
+	rxSims, txSims := sc.rxSims, sc.txSims
 
 	// Receive side: every endpoint's inbound batch on its own device.
 	for e := range eps {
@@ -186,11 +261,15 @@ func RunExchange(eps []ExchangeEndpoint, workers int) (ExchangeResult, error) {
 				return ExchangeResult{}, fmt.Errorf("nic: endpoint %d: %w", e, err)
 			}
 		}
-		hosts[e] = &clusterHost{shard: hostShard, notified: make([]sim.Time, len(ep.Recvs))}
-		hostCtx := hostShard.Bind(hosts[e])
+		// The notification times escape into the result, so they are the
+		// one piece of host state minted fresh; the actor shell is pooled.
+		host := &sc.hostStore[e]
+		host.shard = hostShard
+		host.notified = make([]sim.Time, len(ep.Recvs))
+		hostCtx := hostShard.Bind(host)
 		notifyLat := ep.Cfg.PCIe.NotifyLatency()
 
-		rxSims[e] = make([]*rxSim, len(ep.Recvs))
+		rxSims[e] = scratchRows(rxSims[e], len(ep.Recvs))
 		for mi := range ep.Recvs {
 			m := &ep.Recvs[mi]
 			var s *rxSim
@@ -203,7 +282,7 @@ func RunExchange(eps []ExchangeEndpoint, workers int) (ExchangeResult, error) {
 				if err != nil {
 					return ExchangeResult{}, fmt.Errorf("nic: endpoint %d receive %d: %w", e, mi, err)
 				}
-				schedules = append(schedules, arrivals)
+				sc.schedules = append(sc.schedules, arrivals)
 				switch {
 				case coupledSrc[e][mi]:
 					if m.Packed != nil {
@@ -228,7 +307,7 @@ func RunExchange(eps []ExchangeEndpoint, workers int) (ExchangeResult, error) {
 					if err != nil {
 						return ExchangeResult{}, fmt.Errorf("nic: endpoint %d receive %d: %w", e, mi, err)
 					}
-					schedules = append(schedules, arrivals)
+					sc.schedules = append(sc.schedules, arrivals)
 				}
 				s, err = rxDevs[e].newMessage(m.PT, m.Bits, m.Packed, m.Host, arrivals)
 				if err != nil {
@@ -236,13 +315,9 @@ func RunExchange(eps []ExchangeEndpoint, workers int) (ExchangeResult, error) {
 				}
 				s.postArrivals()
 			}
-			idx, user, shard := int64(mi), m.Notify, shards[e]
-			s.notify = func(done sim.Time) {
-				if user != nil {
-					user(done)
-				}
-				shard.PostRemote(hostShard, done+notifyLat, kindClusterNotify, hostCtx, idx, 0)
-			}
+			s.notify = m.Notify
+			s.xShard, s.xHost = shards[e], hostShard
+			s.xCtx, s.xIdx, s.xNotifyLat = hostCtx, int64(mi), notifyLat
 			rxSims[e][mi] = s
 		}
 	}
@@ -252,7 +327,7 @@ func RunExchange(eps []ExchangeEndpoint, workers int) (ExchangeResult, error) {
 	// with its wire chunk, for functional sends).
 	for e := range eps {
 		ep := &eps[e]
-		txSims[e] = make([]*txSim, len(ep.Sends))
+		txSims[e] = scratchRows(txSims[e], len(ep.Sends))
 		for si := range ep.Sends {
 			snd := &ep.Sends[si]
 			dstRx := rxSims[snd.Dst][snd.DstRecv]
@@ -260,40 +335,20 @@ func RunExchange(eps []ExchangeEndpoint, workers int) (ExchangeResult, error) {
 				return ExchangeResult{}, fmt.Errorf("nic: endpoint %d MTU %d differs from endpoint %d MTU %d",
 					e, ep.Cfg.Fabric.MTU, snd.Dst, eps[snd.Dst].Cfg.Fabric.MTU)
 			}
-			m := snd.Msg // local copy: the notify hook must not escape into the caller's slice
-			src, dst, wire := shards[e], shards[snd.Dst], ep.Cfg.Fabric.WireLatency
-			user := m.Notify
-			var ts *txSim // assigned below, before any event can fire
-			if m.Src != nil {
-				m.Notify = func(pkt int, injected sim.Time) {
-					if user != nil {
-						user(pkt, injected)
-					}
-					at := injected + wire
-					// Mailbox copy-out strictly before the arrival post:
-					// the window barrier orders this write against the
-					// destination domain's scatter of the chunk.
-					dstRx.chunks[pkt] = ts.takeChunk(pkt)
-					src.PostRemote(dst, at, kindRxArrivalAt, dstRx.self, int64(pkt), int64(at))
-				}
-			} else {
-				m.Notify = func(pkt int, injected sim.Time) {
-					if user != nil {
-						user(pkt, injected)
-					}
-					at := injected + wire
-					src.PostRemote(dst, at, kindRxArrivalAt, dstRx.self, int64(pkt), int64(at))
-				}
-			}
-			s, err := txDevs[e].newMessage(&m)
+			s, err := txDevs[e].newMessage(&snd.Msg)
 			if err != nil {
 				return ExchangeResult{}, fmt.Errorf("nic: endpoint %d send %d: %w", e, si, err)
 			}
-			if m.Src != nil {
+			// Field wiring instead of a notify closure: the pooled sim
+			// carries the coupling, so a send costs no per-run allocation.
+			s.xDstRx = dstRx
+			s.xShard, s.xDstShard = shards[e], shards[snd.Dst]
+			s.xWire = ep.Cfg.Fabric.WireLatency
+			if snd.Msg.Src != nil {
 				s.streamChunks()
+				s.xStream = true
 			}
-			ts = s
-			s.postLaunch(&m)
+			s.postLaunch(&snd.Msg)
 			txSims[e][si] = s
 		}
 	}
@@ -308,7 +363,7 @@ func RunExchange(eps []ExchangeEndpoint, workers int) (ExchangeResult, error) {
 		Windows:  pe.Windows(),
 	}
 	for e := range eps {
-		res.Notified[e] = hosts[e].notified
+		res.Notified[e] = sc.hostStore[e].notified
 		res.Recvs[e] = make([]Result, len(rxSims[e]))
 		for mi, s := range rxSims[e] {
 			r, err := s.finish()

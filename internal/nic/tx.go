@@ -156,6 +156,18 @@ type txSim struct {
 	// sharded path uses it to mail the completion to the host domain.
 	notifyDone func(at sim.Time)
 
+	// Exchange coupling, set by RunExchange in place of a per-send
+	// closure so a pooled sim carries no per-run allocation: when xDstRx
+	// is non-nil every injected packet is mailed from xShard to the
+	// destination domain xDstShard one xWire later; functional sends
+	// (xStream) hand the packet's pooled chunk into the destination
+	// mailbox strictly before the arrival post.
+	xDstRx    *rxSim
+	xShard    *sim.Shard
+	xDstShard *sim.Shard
+	xWire     sim.Time
+	xStream   bool
+
 	res SendResult
 	err error
 }
@@ -437,6 +449,16 @@ func (s *txSim) injected(pkt int) {
 	now := s.dev.eng.Now()
 	if s.notify != nil {
 		s.notify(pkt, now)
+	}
+	if s.xDstRx != nil {
+		at := now + s.xWire
+		if s.xStream {
+			// Mailbox copy-out strictly before the arrival post: the
+			// window barrier orders this write against the destination
+			// domain's scatter of the chunk.
+			s.xDstRx.chunks[pkt] = s.takeChunk(pkt)
+		}
+		s.xShard.PostRemote(s.xDstShard, at, kindRxArrivalAt, s.xDstRx.self, int64(pkt), int64(at))
 	}
 	s.left--
 	if s.left == 0 {

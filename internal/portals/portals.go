@@ -204,6 +204,14 @@ func (pt *PT) DrainEvents() []Event {
 	return evs
 }
 
+// ResetEvents discards the queued events and the counting event, keeping
+// the queue's storage. It is the rewind step of a pooled portal table:
+// unlike DrainEvents, the next PostEvent reuses the existing backing array.
+func (pt *PT) ResetEvents() {
+	pt.events = pt.events[:0]
+	pt.counter = 0
+}
+
 // NI is a Portals 4 network interface with a fixed portal table.
 type NI struct {
 	pts []*PT

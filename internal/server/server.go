@@ -83,6 +83,10 @@ type Stats struct {
 type Server struct {
 	cfg Config
 	ep  *transport.Endpoint
+	// caches is the offload build-cache set every peer session shares: a
+	// type committed by one peer is template-cached for all of them, and
+	// their posts draw pooled instances instead of rebuilding.
+	caches *core.SharedCaches
 
 	mu       sync.Mutex
 	sessions map[uint32]*peerSession
@@ -136,6 +140,7 @@ func New(conn net.PacketConn, cfg Config) *Server {
 	s := &Server{
 		cfg:      cfg,
 		ep:       transport.NewEndpoint(conn, nil, 0, cfg.Transport),
+		caches:   core.NewSharedCaches(),
 		sessions: make(map[uint32]*peerSession),
 	}
 	s.wg.Add(2)
@@ -241,6 +246,7 @@ func (s *Server) route(session, id uint32, from net.Addr, req *Request) {
 		}
 		sc := core.NewSessionConfig()
 		sc.Backend = s.cfg.Backend
+		sc.Caches = s.caches
 		sess := core.NewSession(sc)
 		p = &peerSession{
 			id:      session,
